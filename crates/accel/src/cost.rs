@@ -1,0 +1,614 @@
+//! The analytical latency / energy / area model.
+//!
+//! Modeling approach (a transaction-free analogue of Timeloop's
+//! micro-architecture evaluation):
+//!
+//! * **Spatial mapping** — output channels map across PE-array rows,
+//!   output-row pixels across columns (Eyeriss-flavored). Utilization
+//!   accounts for array-edge waste via ceiling division on both axes.
+//! * **Latency** — a roofline: `max(compute cycles, DRAM cycles)` where
+//!   compute is `MACs / (PEs · utilization)` and DRAM traffic is the
+//!   layer's working set inflated by a *refetch factor* when it exceeds
+//!   the global buffer.
+//! * **Energy** — MAC energy + per-PE scratchpad accesses (amortized by
+//!   block width) + global-buffer accesses (inflated when scratchpads are
+//!   undersized) + DRAM bytes.
+//! * **Area** — PEs plus per-PE scratchpads (×PEs!) plus the banked
+//!   global buffer.
+//! * **Feasibility** — scratchpads must hold their minimum tiles, the
+//!   global buffer a row-tile of the working set, and register files must
+//!   not exceed implementable capacity.
+
+use crate::arch::AccelConfig;
+use archgym_models::{ConvLayer, Network};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Clock frequency of the PE array in GHz.
+pub const CLOCK_GHZ: f64 = 1.0;
+/// Sustainable DRAM bandwidth in bytes per accelerator cycle.
+pub const DRAM_BYTES_PER_CYCLE: f64 = 16.0;
+/// DRAM access energy in pJ per byte.
+pub const DRAM_PJ_PER_BYTE: f64 = 50.0;
+/// Energy of one multiply-accumulate in pJ.
+pub const MAC_PJ: f64 = 0.4;
+/// Area of one PE (MAC + control, no scratchpads) in mm².
+pub const PE_AREA_MM2: f64 = 0.012;
+/// Bytes per activation/weight element.
+pub const WORD_BYTES: u64 = 1;
+/// Bytes per partial-sum element.
+pub const PSUM_BYTES: u64 = 4;
+
+/// Why a design point is infeasible for a layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Infeasibility {
+    /// A register-file-class buffer exceeds implementable capacity.
+    BufferClassOverflow {
+        /// Which buffer (`"ifm"`, `"weights"`, `"psum"`, `"gb"`).
+        buffer: &'static str,
+    },
+    /// A scratchpad cannot hold its minimum tile for this layer.
+    SpadTooSmall {
+        /// Which scratchpad.
+        buffer: &'static str,
+        /// Bytes required.
+        required: u64,
+        /// Bytes available.
+        available: u64,
+    },
+    /// The global buffer cannot hold one row-tile of the working set.
+    GlobalBufferTooSmall {
+        /// Bytes required.
+        required: u64,
+        /// Bytes available.
+        available: u64,
+    },
+}
+
+impl fmt::Display for Infeasibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Infeasibility::BufferClassOverflow { buffer } => {
+                write!(f, "{buffer} buffer class cannot be built at this capacity")
+            }
+            Infeasibility::SpadTooSmall {
+                buffer,
+                required,
+                available,
+            } => write!(
+                f,
+                "{buffer} scratchpad too small: needs {required} B, has {available} B"
+            ),
+            Infeasibility::GlobalBufferTooSmall {
+                required,
+                available,
+            } => write!(
+                f,
+                "global buffer too small: needs {required} B, has {available} B"
+            ),
+        }
+    }
+}
+
+/// Per-layer cost breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Multiply-accumulates executed.
+    pub macs: u64,
+    /// Latency in cycles (roofline).
+    pub latency_cycles: f64,
+    /// Energy in nanojoules.
+    pub energy_nj: f64,
+    /// DRAM traffic in bytes.
+    pub dram_bytes: f64,
+    /// PE-array utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Whether the layer was compute-bound (vs DRAM-bound).
+    pub compute_bound: bool,
+}
+
+/// Whole-network cost summary — the TimeloopGym observation source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkCost {
+    /// End-to-end latency in milliseconds.
+    pub latency_ms: f64,
+    /// Total energy in millijoules.
+    pub energy_mj: f64,
+    /// Accelerator area in mm².
+    pub area_mm2: f64,
+    /// MAC-weighted mean utilization.
+    pub mean_utilization: f64,
+}
+
+fn check_feasible(cfg: &AccelConfig, layer: &ConvLayer) -> Result<(), Infeasibility> {
+    // Class scalability limits.
+    let class_checks = [
+        ("ifm", cfg.ifm_spad),
+        ("weights", cfg.weights_spad),
+        ("psum", cfg.psum_spad),
+    ];
+    for (name, buf) in class_checks {
+        if buf.bytes() > buf.class.max_feasible_bytes() {
+            return Err(Infeasibility::BufferClassOverflow { buffer: name });
+        }
+    }
+    if cfg.gb_bytes() > cfg.global_buffer.class.max_feasible_bytes() {
+        return Err(Infeasibility::BufferClassOverflow { buffer: "gb" });
+    }
+
+    // Minimum tiles. A weights scratchpad must hold one filter's worth of
+    // taps over (up to) 64 input channels; the input scratchpad a matching
+    // window; the psum scratchpad one output-row segment per PE.
+    let c_tile = layer.c.min(64);
+    let weights_req = layer.r * layer.s * c_tile * WORD_BYTES;
+    if cfg.weights_spad.bytes() < weights_req {
+        return Err(Infeasibility::SpadTooSmall {
+            buffer: "weights",
+            required: weights_req,
+            available: cfg.weights_spad.bytes(),
+        });
+    }
+    let ifm_req = layer.r * layer.s * c_tile * WORD_BYTES;
+    if cfg.ifm_spad.bytes() < ifm_req {
+        return Err(Infeasibility::SpadTooSmall {
+            buffer: "ifm",
+            required: ifm_req,
+            available: cfg.ifm_spad.bytes(),
+        });
+    }
+    let x_per_col = layer.x.div_ceil(cfg.pe_array_x);
+    let psum_req = x_per_col * PSUM_BYTES;
+    if cfg.psum_spad.bytes() < psum_req {
+        return Err(Infeasibility::SpadTooSmall {
+            buffer: "psum",
+            required: psum_req,
+            available: cfg.psum_spad.bytes(),
+        });
+    }
+
+    // The global buffer must hold a row-tile of the working set: the
+    // filter slice, `r` input rows, and one output row.
+    let x_in = (layer.x - 1) * layer.stride + layer.s;
+    let gb_req =
+        (layer.r * layer.s * layer.c + layer.r * x_in * layer.c + layer.x * layer.k.min(64))
+            * WORD_BYTES;
+    if cfg.gb_bytes() < gb_req {
+        return Err(Infeasibility::GlobalBufferTooSmall {
+            required: gb_req,
+            available: cfg.gb_bytes(),
+        });
+    }
+    Ok(())
+}
+
+/// Dataflow (spatial reuse strategy) of the PE array.
+///
+/// The Fig. 3(b) space fixes an Eyeriss-like row-stationary dataflow; the
+/// other two classic strategies are provided as library variants so a
+/// user can study the reuse trade-off (Chen et al.'s taxonomy): each
+/// dataflow pins one operand in place and streams the others, shifting
+/// which scratchpad absorbs the per-MAC traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// Eyeriss-style: filter rows pinned, balanced traffic (the default).
+    RowStationary,
+    /// Weights pinned in the PE; input/psum traffic rises.
+    WeightStationary,
+    /// Partial sums pinned in the PE; input/weight traffic rises.
+    OutputStationary,
+}
+
+impl Dataflow {
+    /// All variants.
+    pub const ALL: [Dataflow; 3] = [
+        Dataflow::RowStationary,
+        Dataflow::WeightStationary,
+        Dataflow::OutputStationary,
+    ];
+
+    /// Per-MAC scratchpad access multipliers `(ifm, weights, psum)`.
+    /// Row-stationary is the calibration baseline `(1, 1, 2)`.
+    fn access_factors(&self) -> (f64, f64, f64) {
+        match self {
+            Dataflow::RowStationary => (1.0, 1.0, 2.0),
+            Dataflow::WeightStationary => (1.2, 0.3, 2.2),
+            Dataflow::OutputStationary => (1.2, 1.2, 0.4),
+        }
+    }
+}
+
+/// Evaluate one layer on a configuration (row-stationary dataflow).
+///
+/// # Errors
+///
+/// Returns the first [`Infeasibility`] violated by the design.
+pub fn layer_cost(cfg: &AccelConfig, layer: &ConvLayer) -> Result<LayerCost, Infeasibility> {
+    layer_cost_with_dataflow(cfg, layer, Dataflow::RowStationary)
+}
+
+/// Evaluate one layer under an explicit [`Dataflow`].
+///
+/// # Errors
+///
+/// Returns the first [`Infeasibility`] violated by the design.
+pub fn layer_cost_with_dataflow(
+    cfg: &AccelConfig,
+    layer: &ConvLayer,
+    dataflow: Dataflow,
+) -> Result<LayerCost, Infeasibility> {
+    check_feasible(cfg, layer)?;
+
+    let macs = layer.macs();
+    let pe_x = cfg.pe_array_x;
+    let pe_y = cfg.pe_array_y().max(1);
+
+    // Spatial mapping: output channels over rows, output columns over
+    // array columns; ceiling waste on both axes.
+    let used_x = pe_x.min(layer.x);
+    let used_y = pe_y.min(layer.k);
+    let eff_x = layer.x as f64 / (layer.x.div_ceil(used_x) * used_x) as f64;
+    let eff_y = layer.k as f64 / (layer.k.div_ceil(used_y) * used_y) as f64;
+    let occupancy = (used_x * used_y) as f64 / cfg.num_pes as f64;
+    let utilization = (eff_x * eff_y * occupancy).clamp(0.0, 1.0);
+
+    let compute_cycles = macs as f64 / (cfg.num_pes as f64 * utilization.max(1e-6));
+
+    // DRAM traffic: working set inflated when it exceeds the global
+    // buffer (tiled refetch).
+    let working_set = ((layer.weight_elems() + layer.input_elems()) * WORD_BYTES
+        + layer.output_elems() * WORD_BYTES) as f64;
+    let refetch = (working_set / cfg.gb_bytes() as f64)
+        .powf(0.75)
+        .clamp(1.0, 24.0);
+    let dram_bytes = working_set * refetch;
+    let dram_cycles = dram_bytes / DRAM_BYTES_PER_CYCLE;
+
+    let latency_cycles = compute_cycles.max(dram_cycles);
+    let compute_bound = compute_cycles >= dram_cycles;
+
+    // Energy: MACs + scratchpad traffic + global-buffer traffic + DRAM.
+    let macs_f = macs as f64;
+    let (ifm_rate, w_rate, psum_rate) = dataflow.access_factors();
+    let spad_pj = macs_f
+        * (ifm_rate * cfg.ifm_spad.class.access_energy_pj(cfg.ifm_spad.bytes())
+            / cfg.ifm_spad.block as f64
+            + w_rate
+                * cfg
+                    .weights_spad
+                    .class
+                    .access_energy_pj(cfg.weights_spad.bytes())
+                / cfg.weights_spad.block as f64
+            + psum_rate * cfg.psum_spad.class.access_energy_pj(cfg.psum_spad.bytes())
+                / cfg.psum_spad.block as f64);
+    // Scratchpad misses spill to the global buffer: the smaller the spads
+    // relative to the layer's per-PE footprint, the more GB traffic.
+    let per_pe_footprint = (layer.r * layer.s * layer.c.min(64) * WORD_BYTES) as f64;
+    let spad_total = (cfg.ifm_spad.bytes() + cfg.weights_spad.bytes()) as f64;
+    let gb_rate = 0.05 * (per_pe_footprint / spad_total).clamp(1.0, 8.0);
+    let gb_pj = macs_f
+        * gb_rate
+        * cfg.global_buffer.class.access_energy_pj(cfg.gb_bytes())
+        * (1.0 + 1.0 / cfg.gb_banks as f64); // banking shortens bitlines
+    let dram_pj = dram_bytes * DRAM_PJ_PER_BYTE;
+    let energy_nj = (macs_f * MAC_PJ + spad_pj + gb_pj + dram_pj) / 1e3;
+
+    Ok(LayerCost {
+        macs,
+        latency_cycles,
+        energy_nj,
+        dram_bytes,
+        utilization,
+        compute_bound,
+    })
+}
+
+/// Accelerator area for a configuration, in mm².
+pub fn area_mm2(cfg: &AccelConfig) -> f64 {
+    let spads = cfg.ifm_spad.class.area_mm2(cfg.ifm_spad.bytes())
+        + cfg.weights_spad.class.area_mm2(cfg.weights_spad.bytes())
+        + cfg.psum_spad.class.area_mm2(cfg.psum_spad.bytes());
+    let gb = cfg.global_buffer.class.area_mm2(cfg.gb_bytes()) * 1.05; // bank overhead
+    cfg.num_pes as f64 * (PE_AREA_MM2 + spads) + gb
+}
+
+/// Evaluate a whole network (honoring layer repeats).
+///
+/// # Errors
+///
+/// Returns the first layer infeasibility encountered.
+pub fn evaluate_network(
+    cfg: &AccelConfig,
+    network: &Network,
+) -> Result<NetworkCost, Infeasibility> {
+    let mut cycles = 0.0;
+    let mut energy_nj = 0.0;
+    let mut util_weighted = 0.0;
+    let mut total_macs = 0u64;
+    for layer in network.layers() {
+        let cost = layer_cost(cfg, layer)?;
+        let n = layer.repeat as f64;
+        cycles += cost.latency_cycles * n;
+        energy_nj += cost.energy_nj * n;
+        util_weighted += cost.utilization * (cost.macs as f64) * n;
+        total_macs += cost.macs * layer.repeat;
+    }
+    Ok(NetworkCost {
+        latency_ms: cycles / (CLOCK_GHZ * 1e9) * 1e3,
+        energy_mj: energy_nj / 1e6,
+        area_mm2: area_mm2(cfg),
+        mean_utilization: util_weighted / total_macs as f64,
+    })
+}
+
+/// Per-layer cost table for a network on a configuration — the detailed
+/// report an architect reads after the search converges.
+///
+/// # Errors
+///
+/// Returns the first layer infeasibility encountered.
+pub fn network_breakdown(
+    cfg: &AccelConfig,
+    network: &Network,
+) -> Result<Vec<(String, LayerCost)>, Infeasibility> {
+    network
+        .layers()
+        .iter()
+        .map(|layer| Ok((layer.name.clone(), layer_cost(cfg, layer)?)))
+        .collect()
+}
+
+/// Which layers of a network are the latency bottleneck: layer names
+/// sorted by total latency contribution (descending), with their share of
+/// the end-to-end cycles.
+///
+/// # Errors
+///
+/// Returns the first layer infeasibility encountered.
+pub fn latency_hotspots(
+    cfg: &AccelConfig,
+    network: &Network,
+) -> Result<Vec<(String, f64)>, Infeasibility> {
+    let mut contributions: Vec<(String, f64)> = network
+        .layers()
+        .iter()
+        .map(|layer| {
+            let cost = layer_cost(cfg, layer)?;
+            Ok((
+                layer.name.clone(),
+                cost.latency_cycles * layer.repeat as f64,
+            ))
+        })
+        .collect::<Result<_, Infeasibility>>()?;
+    let total: f64 = contributions.iter().map(|(_, c)| c).sum();
+    for (_, c) in &mut contributions {
+        *c /= total;
+    }
+    contributions.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite shares"));
+    Ok(contributions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{BufferClass, BufferConfig};
+
+    fn eyeriss_like() -> AccelConfig {
+        AccelConfig {
+            num_pes: 168,
+            pe_array_x: 14,
+            ifm_spad: BufferConfig {
+                depth: 2048,
+                block: 1,
+                class: BufferClass::Regfile,
+            },
+            weights_spad: BufferConfig {
+                depth: 4096,
+                block: 1,
+                class: BufferClass::SmartbufferRf,
+            },
+            psum_spad: BufferConfig {
+                depth: 1024,
+                block: 4,
+                class: BufferClass::Regfile,
+            },
+            global_buffer: BufferConfig {
+                depth: 16384,
+                block: 4,
+                class: BufferClass::Sram,
+            },
+            gb_banks: 32,
+        }
+    }
+
+    #[test]
+    fn eyeriss_like_config_is_feasible_on_standard_nets() {
+        let cfg = eyeriss_like();
+        for net in [archgym_models::alexnet(), archgym_models::resnet50()] {
+            let cost = evaluate_network(&cfg, &net)
+                .unwrap_or_else(|e| panic!("{} infeasible: {e}", net.name()));
+            assert!(cost.latency_ms > 0.0 && cost.latency_ms < 1e3);
+            assert!(cost.energy_mj > 0.0);
+            assert!(cost.area_mm2 > 1.0 && cost.area_mm2 < 100.0);
+            assert!((0.0..=1.0).contains(&cost.mean_utilization));
+        }
+    }
+
+    #[test]
+    fn more_pes_reduce_compute_bound_latency() {
+        let mut small = eyeriss_like();
+        small.num_pes = 28;
+        let mut large = eyeriss_like();
+        large.num_pes = 336;
+        let net = archgym_models::resnet50();
+        let c_small = evaluate_network(&small, &net).unwrap();
+        let c_large = evaluate_network(&large, &net).unwrap();
+        assert!(
+            c_large.latency_ms < c_small.latency_ms,
+            "large {} vs small {}",
+            c_large.latency_ms,
+            c_small.latency_ms
+        );
+        assert!(c_large.area_mm2 > c_small.area_mm2);
+    }
+
+    #[test]
+    fn bigger_global_buffer_cuts_dram_traffic() {
+        let net = archgym_models::vgg16();
+        let layer = &net.layers()[5]; // 256-ch conv at 56×56
+        let mut small = eyeriss_like();
+        small.global_buffer.depth = 1024;
+        small.gb_banks = 16;
+        let mut large = eyeriss_like();
+        large.global_buffer.depth = 65536;
+        large.gb_banks = 128;
+        let c_small = layer_cost(&small, layer).unwrap();
+        let c_large = layer_cost(&large, layer).unwrap();
+        assert!(c_large.dram_bytes < c_small.dram_bytes);
+    }
+
+    #[test]
+    fn oversized_regfile_is_infeasible() {
+        let mut cfg = eyeriss_like();
+        cfg.ifm_spad = BufferConfig {
+            depth: 65536,
+            block: 4,
+            class: BufferClass::Regfile,
+        };
+        let err = layer_cost(&cfg, &archgym_models::alexnet().layers()[0]).unwrap_err();
+        assert!(matches!(
+            err,
+            Infeasibility::BufferClassOverflow { buffer: "ifm" }
+        ));
+    }
+
+    #[test]
+    fn undersized_weights_spad_is_infeasible_on_wide_layers() {
+        let mut cfg = eyeriss_like();
+        cfg.weights_spad = BufferConfig {
+            depth: 1024,
+            block: 1,
+            class: BufferClass::Regfile,
+        };
+        // stage3_b3x3 of ResNet-50: 3·3·min(256,64) = 2304 B < needed? No:
+        // 3·3·64 = 576 < 1024 — feasible. Use a 7×7 layer over 64 chans:
+        // conv1 needs 7·7·3 = 147 — too small. Use VGG conv4_2: 3·3·64 =
+        // 576. We need r·s·min(c,64) > 1024 → r=s=5, c≥41: AlexNet conv2
+        // (5×5, c=96) → 5·5·64 = 1600 B.
+        let net = archgym_models::alexnet();
+        let conv2 = &net.layers()[1];
+        let err = layer_cost(&cfg, conv2).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                Infeasibility::SpadTooSmall {
+                    buffer: "weights",
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn small_global_buffer_infeasible_on_wide_layers() {
+        let mut cfg = eyeriss_like();
+        cfg.global_buffer = BufferConfig {
+            depth: 1024,
+            block: 1,
+            class: BufferClass::Sram,
+        };
+        cfg.gb_banks = 16;
+        // VGG conv4_1 row tile: 3·3·256 + 3·30·256 + 28·64 ≈ 27 KB > 16 KB.
+        let net = archgym_models::vgg16();
+        let layer = net.layer("conv4_1").unwrap();
+        let err = layer_cost(&cfg, layer).unwrap_err();
+        assert!(
+            matches!(err, Infeasibility::GlobalBufferTooSmall { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn utilization_degrades_when_array_exceeds_layer_parallelism() {
+        let cfg = eyeriss_like(); // 14 × 12 array
+                                  // A 7×7 output layer with few channels cannot fill the array.
+        let net = archgym_models::resnet18();
+        let tiny = net.layer("stage4").unwrap();
+        let wide = net.layer("stage1").unwrap();
+        let c_tiny = layer_cost(&cfg, tiny).unwrap();
+        let c_wide = layer_cost(&cfg, wide).unwrap();
+        assert!(c_tiny.utilization < 1.0 + 1e-12);
+        assert!(c_wide.utilization >= c_tiny.utilization * 0.9);
+    }
+
+    #[test]
+    fn energy_scales_with_macs() {
+        let cfg = eyeriss_like();
+        let small = archgym_models::resnet18().layer("stage4").unwrap().clone();
+        let big = archgym_models::vgg16().layer("conv1_2").unwrap().clone();
+        let c_small = layer_cost(&cfg, &small).unwrap();
+        let c_big = layer_cost(&cfg, &big).unwrap();
+        assert!(big.macs() > 10 * small.macs());
+        assert!(c_big.energy_nj > 5.0 * c_small.energy_nj);
+    }
+
+    #[test]
+    fn dataflows_shift_energy_not_latency() {
+        let cfg = eyeriss_like();
+        let net = archgym_models::resnet18();
+        let layer = net.layer("stage1").unwrap();
+        let rs = layer_cost_with_dataflow(&cfg, layer, Dataflow::RowStationary).unwrap();
+        let ws = layer_cost_with_dataflow(&cfg, layer, Dataflow::WeightStationary).unwrap();
+        let os = layer_cost_with_dataflow(&cfg, layer, Dataflow::OutputStationary).unwrap();
+        // The dataflow changes scratchpad traffic (energy), not the
+        // roofline latency.
+        assert_eq!(rs.latency_cycles, ws.latency_cycles);
+        assert_eq!(rs.latency_cycles, os.latency_cycles);
+        // Output-stationary kills the psum round trips — on a psum-heavy
+        // regfile configuration that's a real saving.
+        assert!(os.energy_nj < rs.energy_nj);
+        assert_ne!(ws.energy_nj, rs.energy_nj);
+        // The default entry point is exactly row-stationary (golden
+        // stability).
+        assert_eq!(layer_cost(&cfg, layer).unwrap(), rs);
+    }
+
+    #[test]
+    fn breakdown_sums_to_network_cost() {
+        let cfg = eyeriss_like();
+        let net = archgym_models::resnet50();
+        let rows = network_breakdown(&cfg, &net).unwrap();
+        assert_eq!(rows.len(), net.layers().len());
+        let summed_cycles: f64 = rows
+            .iter()
+            .zip(net.layers())
+            .map(|((_, c), l)| c.latency_cycles * l.repeat as f64)
+            .sum();
+        let total = evaluate_network(&cfg, &net).unwrap();
+        let total_cycles = total.latency_ms / 1e3 * CLOCK_GHZ * 1e9;
+        assert!((summed_cycles - total_cycles).abs() / total_cycles < 1e-9);
+    }
+
+    #[test]
+    fn hotspots_are_normalized_and_sorted() {
+        let cfg = eyeriss_like();
+        let net = archgym_models::vgg16();
+        let hotspots = latency_hotspots(&cfg, &net).unwrap();
+        let sum: f64 = hotspots.iter().map(|(_, s)| s).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(hotspots.windows(2).all(|w| w[0].1 >= w[1].1));
+        // VGG's early big-feature-map layers dominate on this template.
+        assert!(hotspots[0].1 > 0.1);
+    }
+
+    #[test]
+    fn infeasibility_display_is_informative() {
+        let err = Infeasibility::SpadTooSmall {
+            buffer: "weights",
+            required: 2048,
+            available: 1024,
+        };
+        let text = err.to_string();
+        assert!(text.contains("weights") && text.contains("2048"));
+    }
+}

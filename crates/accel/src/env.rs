@@ -1,0 +1,225 @@
+//! [`AccelEnv`] — the TimeloopGym environment.
+
+use crate::arch::{accel_space, decode_config};
+use crate::cost::evaluate_network;
+use archgym_core::env::{Environment, Observation, StepResult};
+use archgym_core::reward::RewardSpec;
+use archgym_core::space::{Action, ParamSpace};
+use archgym_models::Network;
+
+/// Observation metric indices for TimeloopGym.
+pub mod metric {
+    /// End-to-end network latency in milliseconds.
+    pub const LATENCY: usize = 0;
+    /// Total energy in millijoules.
+    pub const ENERGY: usize = 1;
+    /// Accelerator area in mm².
+    pub const AREA: usize = 2;
+}
+
+/// A TimeloopGym optimization objective.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objective {
+    name: String,
+    spec: RewardSpec,
+}
+
+impl Objective {
+    /// Target an end-to-end latency of `ms`.
+    pub fn latency(ms: f64) -> Self {
+        Objective {
+            name: format!("latency({ms}ms)"),
+            spec: RewardSpec::TargetRatio {
+                terms: vec![(metric::LATENCY, ms)],
+            },
+        }
+    }
+
+    /// Target a total energy of `mj` millijoules.
+    pub fn energy(mj: f64) -> Self {
+        Objective {
+            name: format!("energy({mj}mJ)"),
+            spec: RewardSpec::TargetRatio {
+                terms: vec![(metric::ENERGY, mj)],
+            },
+        }
+    }
+
+    /// Target an area budget of `mm2`.
+    pub fn area(mm2: f64) -> Self {
+        Objective {
+            name: format!("area({mm2}mm2)"),
+            spec: RewardSpec::TargetRatio {
+                terms: vec![(metric::AREA, mm2)],
+            },
+        }
+    }
+
+    /// Jointly target latency and energy.
+    pub fn joint(latency_ms: f64, energy_mj: f64) -> Self {
+        Objective {
+            name: format!("joint({latency_ms}ms,{energy_mj}mJ)"),
+            spec: RewardSpec::TargetRatio {
+                terms: vec![(metric::LATENCY, latency_ms), (metric::ENERGY, energy_mj)],
+            },
+        }
+    }
+
+    /// The objective's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying reward formulation.
+    pub fn spec(&self) -> &RewardSpec {
+        &self.spec
+    }
+}
+
+/// The TimeloopGym environment: one CNN workload + one objective.
+///
+/// Infeasible designs terminate with `feasible = false` and a negative
+/// reward so agents learn to steer away (the observation is zeroed; the
+/// paper's Section 1 calls out how such points complicate optimization).
+#[derive(Debug, Clone)]
+pub struct AccelEnv {
+    space: ParamSpace,
+    network: Network,
+    objective: Objective,
+    name: String,
+}
+
+impl AccelEnv {
+    /// Create an environment evaluating `network` under `objective`.
+    pub fn new(network: Network, objective: Objective) -> Self {
+        let name = format!("timeloop/{}", network.name());
+        AccelEnv {
+            space: accel_space(),
+            network,
+            objective,
+            name,
+        }
+    }
+
+    /// The workload network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The optimization objective.
+    pub fn objective(&self) -> &Objective {
+        &self.objective
+    }
+}
+
+impl Environment for AccelEnv {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn observation_labels(&self) -> Vec<String> {
+        vec!["latency_ms".into(), "energy_mj".into(), "area_mm2".into()]
+    }
+
+    fn step(&mut self, action: &Action) -> StepResult {
+        let config = match decode_config(&self.space, action) {
+            Ok(cfg) => cfg,
+            Err(_) => {
+                return StepResult::infeasible(Observation::new(vec![0.0; 3]), -2.0);
+            }
+        };
+        match evaluate_network(&config, &self.network) {
+            Ok(cost) => {
+                let observation =
+                    Observation::new(vec![cost.latency_ms, cost.energy_mj, cost.area_mm2]);
+                let reward = self.objective.spec.reward(&observation);
+                StepResult::terminal(observation, reward)
+                    .with_info("utilization", cost.mean_utilization)
+            }
+            Err(_) => StepResult::infeasible(Observation::new(vec![0.0; 3]), -1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgym_core::agent::RandomWalker;
+    use archgym_core::search::{RunConfig, SearchLoop};
+    use archgym_core::seeded_rng;
+
+    #[test]
+    fn step_reports_three_metrics() {
+        let mut env = AccelEnv::new(archgym_models::resnet50(), Objective::latency(5.0));
+        let mut rng = seeded_rng(1);
+        // Sample until a feasible design appears (most are feasible).
+        for _ in 0..100 {
+            let action = env.space().sample(&mut rng);
+            let result = env.step(&action);
+            if result.feasible {
+                assert_eq!(result.observation.len(), 3);
+                assert!(result.reward > 0.0);
+                assert!(result.observation.get(metric::AREA) > 0.0);
+                return;
+            }
+        }
+        panic!("no feasible design in 100 samples");
+    }
+
+    #[test]
+    fn infeasible_designs_are_flagged_with_negative_reward() {
+        let mut env = AccelEnv::new(archgym_models::vgg16(), Objective::latency(5.0));
+        let mut rng = seeded_rng(2);
+        let mut saw_infeasible = false;
+        for _ in 0..300 {
+            let action = env.space().sample(&mut rng);
+            let result = env.step(&action);
+            if !result.feasible {
+                assert!(result.reward < 0.0);
+                saw_infeasible = true;
+                break;
+            }
+        }
+        assert!(
+            saw_infeasible,
+            "the accelerator space should contain infeasible points"
+        );
+    }
+
+    #[test]
+    fn deterministic_evaluation() {
+        let mut env = AccelEnv::new(archgym_models::alexnet(), Objective::energy(10.0));
+        let mut rng = seeded_rng(3);
+        let action = env.space().sample(&mut rng);
+        assert_eq!(env.step(&action), env.step(&action));
+    }
+
+    #[test]
+    fn random_search_finds_designs_near_latency_target() {
+        let mut env = AccelEnv::new(archgym_models::resnet18(), Objective::latency(6.0));
+        let mut agent = RandomWalker::new(env.space().clone(), 7);
+        let result = SearchLoop::new(RunConfig::with_budget(60)).run(&mut agent, &mut env);
+        assert!(
+            result.best_reward > 1.0,
+            "best reward {} too low",
+            result.best_reward
+        );
+    }
+
+    #[test]
+    fn objective_names() {
+        assert_eq!(Objective::latency(5.0).name(), "latency(5ms)");
+        assert_eq!(Objective::area(20.0).name(), "area(20mm2)");
+        assert!(Objective::joint(5.0, 10.0).name().starts_with("joint"));
+    }
+
+    #[test]
+    fn env_name_includes_network() {
+        let env = AccelEnv::new(archgym_models::resnet50(), Objective::latency(5.0));
+        assert_eq!(env.name(), "timeloop/resnet50");
+    }
+}

@@ -1,0 +1,38 @@
+//! # archgym-accel — TimeloopGym
+//!
+//! An Eyeriss-like DNN-accelerator cost model environment for ArchGym,
+//! standing in for the Timeloop evaluator used by the paper.
+//!
+//! The architecture template mirrors Fig. 3(b): a 2-D PE array, three
+//! per-PE scratchpads (input features, weights, partial sums), and a
+//! banked shared global buffer, each with configurable depth, block size
+//! and memory class. The analytical model computes latency (roofline of
+//! compute and DRAM bandwidth), energy (MACs + buffer + DRAM accesses)
+//! and area — the `<latency, energy, area>` observation of Table 3 — and
+//! flags infeasible designs (undersized scratchpads, register files
+//! scaled beyond plausibility), reproducing the rugged landscape the
+//! paper highlights.
+//!
+//! # Example
+//!
+//! ```
+//! use archgym_core::prelude::*;
+//! use archgym_accel::{AccelEnv, Objective};
+//!
+//! let mut env = AccelEnv::new(archgym_models::resnet50(), Objective::latency(5.0));
+//! let mut rng = archgym_core::seeded_rng(3);
+//! let action = env.space().sample(&mut rng);
+//! let result = env.step(&action);
+//! assert_eq!(result.observation.len(), 3); // <latency, energy, area>
+//! ```
+
+pub mod arch;
+pub mod cost;
+pub mod env;
+
+pub use arch::{accel_space, decode_config, AccelConfig, BufferClass, BufferConfig};
+pub use cost::{
+    evaluate_network, latency_hotspots, layer_cost, layer_cost_with_dataflow, network_breakdown,
+    Dataflow, Infeasibility, LayerCost, NetworkCost,
+};
+pub use env::{AccelEnv, Objective};

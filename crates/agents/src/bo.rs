@@ -1,0 +1,493 @@
+//! Gaussian-process Bayesian optimization.
+//!
+//! The policy is a **surrogate model** (Fig. 2): a GP with an RBF kernel
+//! over the design space's unit-hypercube encoding. Candidates are scored
+//! by an acquisition function — expected improvement, upper confidence
+//! bound, or probability of improvement — whose exploration appetite is
+//! the agent's Q3 knob. The GP history is capped because fitting is cubic
+//! in the number of observations (the cost the paper calls out in
+//! Section 2).
+
+use crate::linalg::{sq_dist, Cholesky, Matrix};
+use archgym_core::agent::{Agent, HyperMap};
+use archgym_core::env::StepResult;
+use archgym_core::error::{ArchGymError, Result};
+use archgym_core::seeded_rng;
+use archgym_core::space::{Action, ParamSpace};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Acquisition functions for [`BayesOpt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acquisition {
+    /// Expected improvement over the incumbent (default).
+    Ei,
+    /// Upper confidence bound `μ + κ·σ`.
+    Ucb,
+    /// Probability of improvement.
+    Pi,
+}
+
+impl Acquisition {
+    /// Parse from the sweep-grid spelling (`"ei"`, `"ucb"`, `"pi"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::InvalidHyper`] for unknown names.
+    pub fn parse(name: &str) -> Result<Self> {
+        match name {
+            "ei" => Ok(Acquisition::Ei),
+            "ucb" => Ok(Acquisition::Ucb),
+            "pi" => Ok(Acquisition::Pi),
+            other => Err(ArchGymError::InvalidHyper(format!(
+                "unknown acquisition `{other}` (expected ei|ucb|pi)"
+            ))),
+        }
+    }
+}
+
+/// Standard normal probability density.
+fn norm_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution (Abramowitz–Stegun 7.1.26 erf).
+fn norm_cdf(x: f64) -> f64 {
+    let z = x / std::f64::consts::SQRT_2;
+    let sign = if z < 0.0 { -1.0 } else { 1.0 };
+    let z = z.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * z);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erf = sign * (1.0 - poly * (-z * z).exp());
+    0.5 * (1.0 + erf)
+}
+
+struct GpFit {
+    chol: Cholesky,
+    alpha: Vec<f64>,
+    /// Target standardization constants; predictions stay standardized
+    /// inside the agent, but tests de-standardize to check the GP.
+    #[allow(dead_code)]
+    y_mean: f64,
+    #[allow(dead_code)]
+    y_std: f64,
+    best_std: f64,
+}
+
+/// Gaussian-process Bayesian optimization agent.
+#[derive(Debug)]
+pub struct BayesOpt {
+    space: ParamSpace,
+    rng: StdRng,
+    length_scale: f64,
+    signal_var: f64,
+    noise_var: f64,
+    acquisition: Acquisition,
+    kappa: f64,
+    xi: f64,
+    n_init: usize,
+    candidates: usize,
+    max_history: usize,
+    xs: Vec<Vec<f64>>,
+    ys: Vec<f64>,
+    seen: HashSet<Vec<usize>>,
+}
+
+impl BayesOpt {
+    /// Construct with explicit hyperparameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive kernel parameters, zero initial design, or a
+    /// zero candidate pool.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        space: ParamSpace,
+        length_scale: f64,
+        noise_var: f64,
+        acquisition: Acquisition,
+        kappa: f64,
+        xi: f64,
+        n_init: usize,
+        candidates: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(length_scale > 0.0, "length scale must be positive");
+        assert!(noise_var > 0.0, "noise variance must be positive");
+        assert!(n_init > 0, "need a non-empty initial design");
+        assert!(candidates > 0, "need a non-empty candidate pool");
+        BayesOpt {
+            space,
+            rng: seeded_rng(seed),
+            length_scale,
+            signal_var: 1.0,
+            noise_var,
+            acquisition,
+            kappa,
+            xi,
+            n_init,
+            candidates,
+            max_history: 192,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Sensible defaults: EI, length scale 0.25, noise 1e-4, 8 initial
+    /// random designs, 256 candidates per round.
+    pub fn with_defaults(space: ParamSpace, seed: u64) -> Self {
+        BayesOpt::new(space, 0.25, 1e-4, Acquisition::Ei, 2.0, 0.01, 8, 256, seed)
+    }
+
+    /// Build from a hyperparameter map. Recognized keys (all optional):
+    /// `length_scale` (float), `noise` (float), `acquisition`
+    /// (`"ei"|"ucb"|"pi"`), `kappa` (float), `xi` (float), `n_init` (int),
+    /// `candidates` (int).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a present key has the wrong type or an
+    /// unknown acquisition name.
+    pub fn from_hyper(space: ParamSpace, hyper: &HyperMap, seed: u64) -> Result<Self> {
+        Ok(BayesOpt::new(
+            space,
+            hyper.float_or("length_scale", 0.25)?,
+            hyper.float_or("noise", 1e-4)?,
+            Acquisition::parse(hyper.text_or("acquisition", "ei")?)?,
+            hyper.float_or("kappa", 2.0)?,
+            hyper.float_or("xi", 0.01)?,
+            hyper.int_or("n_init", 8)? as usize,
+            hyper.int_or("candidates", 256)? as usize,
+            seed,
+        ))
+    }
+
+    /// Number of observations currently held by the surrogate.
+    pub fn history_len(&self) -> usize {
+        self.ys.len()
+    }
+
+    fn kernel(&self, a: &[f64], b: &[f64]) -> f64 {
+        self.signal_var * (-sq_dist(a, b) / (2.0 * self.length_scale * self.length_scale)).exp()
+    }
+
+    fn fit(&mut self) -> Option<GpFit> {
+        let n = self.ys.len();
+        if n == 0 {
+            return None;
+        }
+        let y_mean = self.ys.iter().sum::<f64>() / n as f64;
+        let y_var = self.ys.iter().map(|y| (y - y_mean).powi(2)).sum::<f64>() / n as f64;
+        let y_std = y_var.sqrt().max(1e-12);
+        let ys_std: Vec<f64> = self.ys.iter().map(|y| (y - y_mean) / y_std).collect();
+        let best_std = ys_std.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+        let mut jitter = self.noise_var;
+        for _ in 0..6 {
+            let k = Matrix::from_fn(n, n, |i, j| {
+                self.kernel(&self.xs[i], &self.xs[j]) + if i == j { jitter } else { 0.0 }
+            });
+            if let Some(chol) = k.cholesky() {
+                let alpha = chol.solve(&ys_std);
+                return Some(GpFit {
+                    chol,
+                    alpha,
+                    y_mean,
+                    y_std,
+                    best_std,
+                });
+            }
+            jitter *= 10.0;
+        }
+        None
+    }
+
+    fn predict(&self, fit: &GpFit, x: &[f64]) -> (f64, f64) {
+        let k: Vec<f64> = self.xs.iter().map(|xi| self.kernel(xi, x)).collect();
+        let mean = k.iter().zip(&fit.alpha).map(|(a, b)| a * b).sum::<f64>();
+        let v = fit.chol.solve_lower(&k);
+        let var = (self.signal_var - v.iter().map(|x| x * x).sum::<f64>()).max(1e-12);
+        (mean, var.sqrt())
+    }
+
+    fn score(&self, fit: &GpFit, mean: f64, std: f64) -> f64 {
+        match self.acquisition {
+            Acquisition::Ucb => mean + self.kappa * std,
+            Acquisition::Ei => {
+                let gamma = (mean - fit.best_std - self.xi) / std;
+                std * (gamma * norm_cdf(gamma) + norm_pdf(gamma))
+            }
+            Acquisition::Pi => {
+                let gamma = (mean - fit.best_std - self.xi) / std;
+                norm_cdf(gamma)
+            }
+        }
+    }
+
+    fn candidate_pool(&mut self) -> Vec<Action> {
+        let mut pool = Vec::with_capacity(self.candidates);
+        let n_random = self.candidates * 3 / 4;
+        for _ in 0..n_random {
+            pool.push(self.space.sample(&mut self.rng));
+        }
+        // Local perturbations of the incumbent best.
+        if let Some(best_idx) = self
+            .ys
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN reward"))
+            .map(|(i, _)| i)
+        {
+            let base = self.space.denormalize(&self.xs[best_idx]);
+            let cards = self.space.cardinalities();
+            while pool.len() < self.candidates {
+                let mut genes = base.as_slice().to_vec();
+                let d = self.rng.gen_range(0..genes.len());
+                genes[d] = self.rng.gen_range(0..cards[d]);
+                pool.push(Action::new(genes));
+            }
+        }
+        pool
+    }
+}
+
+impl Agent for BayesOpt {
+    fn name(&self) -> &str {
+        "bo"
+    }
+
+    fn propose(&mut self, max_batch: usize) -> Vec<Action> {
+        // Initial space-filling design.
+        if self.ys.len() < self.n_init {
+            let n = (self.n_init - self.ys.len()).min(max_batch).max(1);
+            return (0..n).map(|_| self.space.sample(&mut self.rng)).collect();
+        }
+        let Some(fit) = self.fit() else {
+            // Surrogate is numerically unusable: fall back to random.
+            return vec![self.space.sample(&mut self.rng)];
+        };
+        let pool = self.candidate_pool();
+        let mut scored: Vec<(f64, Action)> = pool
+            .into_iter()
+            .map(|a| {
+                let x = self.space.normalize(&a);
+                let (mean, std) = self.predict(&fit, &x);
+                (self.score(&fit, mean, std), a)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN acquisition"));
+        let batch = max_batch.clamp(1, 4);
+        let mut out = Vec::with_capacity(batch);
+        for (_, action) in scored {
+            if out.len() >= batch {
+                break;
+            }
+            if !self.seen.contains(action.as_slice()) && !out.contains(&action) {
+                out.push(action);
+            }
+        }
+        if out.is_empty() {
+            out.push(self.space.sample(&mut self.rng));
+        }
+        out
+    }
+
+    fn observe(&mut self, results: &[(Action, StepResult)]) {
+        for (action, result) in results {
+            self.seen.insert(action.as_slice().to_vec());
+            self.xs.push(self.space.normalize(action));
+            self.ys.push(result.reward);
+        }
+        // Cap the history: keep the incumbent best plus the most recent.
+        if self.ys.len() > self.max_history {
+            let best = self
+                .ys
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN reward"))
+                .map(|(i, _)| i)
+                .expect("non-empty history");
+            let start = self.ys.len() - self.max_history + 1;
+            let mut xs = vec![self.xs[best].clone()];
+            let mut ys = vec![self.ys[best]];
+            for i in start.max(1)..self.ys.len() {
+                if i != best {
+                    xs.push(self.xs[i].clone());
+                    ys.push(self.ys[i]);
+                }
+            }
+            self.xs = xs;
+            self.ys = ys;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgym_core::env::{Environment, Observation};
+    use archgym_core::search::{RunConfig, SearchLoop};
+    use archgym_core::toy::PeakEnv;
+
+    fn space(cards: &[usize]) -> ParamSpace {
+        let mut b = ParamSpace::builder();
+        for (i, &c) in cards.iter().enumerate() {
+            b = b.int(&format!("p{i}"), 0, c as i64 - 1, 1);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn norm_cdf_matches_known_values() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((norm_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((norm_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(norm_cdf(8.0) > 0.999_999);
+    }
+
+    #[test]
+    fn initial_design_is_random_and_valid() {
+        let s = space(&[6, 6]);
+        let mut bo = BayesOpt::with_defaults(s.clone(), 1);
+        let batch = bo.propose(16);
+        assert_eq!(batch.len(), 8); // n_init
+        for a in &batch {
+            s.validate(a).unwrap();
+        }
+    }
+
+    #[test]
+    fn gp_prediction_interpolates_observations() {
+        let s = space(&[11]);
+        let mut bo = BayesOpt::new(s, 0.2, 1e-6, Acquisition::Ei, 2.0, 0.0, 2, 64, 2);
+        // Observe a linear function y = x/10.
+        let results: Vec<(Action, StepResult)> = (0..11)
+            .map(|i| {
+                let a = Action::new(vec![i]);
+                let y = i as f64 / 10.0;
+                (a, StepResult::terminal(Observation::new(vec![y]), y))
+            })
+            .collect();
+        bo.observe(&results);
+        let fit = bo.fit().unwrap();
+        for i in [0usize, 5, 10] {
+            let x = bo.space.normalize(&Action::new(vec![i]));
+            let (mean_std, std) = bo.predict(&fit, &x);
+            let mean = mean_std * fit.y_std + fit.y_mean;
+            assert!(
+                (mean - i as f64 / 10.0).abs() < 0.05,
+                "mean at {i} was {mean}"
+            );
+            assert!(std < 0.2, "posterior std {std} too wide at data");
+        }
+    }
+
+    #[test]
+    fn bo_finds_peak_sample_efficiently() {
+        let mut env = PeakEnv::new(&[20, 20], vec![13, 4]);
+        let mut bo = BayesOpt::with_defaults(env.space().clone(), 5);
+        let result = SearchLoop::new(RunConfig::with_budget(120).batch(4)).run(&mut bo, &mut env);
+        assert!(
+            result.best_reward > 0.45,
+            "BO best reward {} too low",
+            result.best_reward
+        );
+    }
+
+    #[test]
+    fn proposals_avoid_already_seen_points() {
+        let s = space(&[3]);
+        let mut bo = BayesOpt::new(s, 0.3, 1e-4, Acquisition::Ucb, 2.0, 0.0, 1, 32, 3);
+        // Mark two of the three points as seen with low reward.
+        let seen: Vec<(Action, StepResult)> = [0usize, 1]
+            .iter()
+            .map(|&i| {
+                (
+                    Action::new(vec![i]),
+                    StepResult::terminal(Observation::new(vec![0.0]), 0.0),
+                )
+            })
+            .collect();
+        bo.observe(&seen);
+        let batch = bo.propose(4);
+        assert!(batch.iter().all(|a| a.index(0) == 2), "proposed {batch:?}");
+    }
+
+    #[test]
+    fn history_cap_keeps_best() {
+        let s = space(&[50]);
+        let mut bo = BayesOpt::with_defaults(s, 4);
+        bo.max_history = 10;
+        // The best point (reward 100) arrives early, then 50 mediocre ones.
+        let mk = |i: usize, r: f64| {
+            (
+                Action::new(vec![i % 50]),
+                StepResult::terminal(Observation::new(vec![r]), r),
+            )
+        };
+        bo.observe(&[mk(7, 100.0)]);
+        for i in 0..50 {
+            bo.observe(&[mk(i, 1.0)]);
+        }
+        assert!(bo.history_len() <= 10);
+        assert!(bo.ys.contains(&100.0), "incumbent best evicted");
+    }
+
+    #[test]
+    fn warm_started_bo_skips_its_initial_random_design() {
+        use archgym_core::agent::warm_start;
+        use archgym_core::search::{RunConfig, SearchLoop};
+        use archgym_core::trajectory::{Dataset, Transition};
+        // Log exploration with a random walker on the peak landscape.
+        let mut env = PeakEnv::new(&[15, 15], vec![4, 11]);
+        let mut walker = archgym_core::agent::RandomWalker::new(env.space().clone(), 2);
+        let logged: Dataset = walker
+            .propose(60)
+            .into_iter()
+            .map(|a| {
+                let r = env.step(&a);
+                Transition::new("peak", "rw", a, &r)
+            })
+            .collect();
+        // A warm-started BO holds that history before its first proposal
+        // and therefore goes straight to surrogate-guided candidates.
+        let mut bo = BayesOpt::with_defaults(env.space().clone(), 4);
+        warm_start(&mut bo, &logged, 16);
+        assert_eq!(bo.history_len(), 60);
+        let mut env2 = PeakEnv::new(&[15, 15], vec![4, 11]);
+        let result = SearchLoop::new(RunConfig::with_budget(20).batch(4)).run(&mut bo, &mut env2);
+        // 20 guided samples on top of 60 replayed ones: near the peak.
+        assert!(
+            result.best_reward >= 0.5,
+            "warm-started BO reward {} too low",
+            result.best_reward
+        );
+    }
+
+    #[test]
+    fn acquisition_parse() {
+        assert_eq!(Acquisition::parse("ei").unwrap(), Acquisition::Ei);
+        assert_eq!(Acquisition::parse("ucb").unwrap(), Acquisition::Ucb);
+        assert_eq!(Acquisition::parse("pi").unwrap(), Acquisition::Pi);
+        assert!(Acquisition::parse("nope").is_err());
+    }
+
+    #[test]
+    fn from_hyper_reads_keys() {
+        let s = space(&[4]);
+        let hyper = HyperMap::new()
+            .with("length_scale", 0.5)
+            .with("acquisition", "ucb")
+            .with("kappa", 3.0)
+            .with("n_init", 2i64);
+        let bo = BayesOpt::from_hyper(s, &hyper, 0).unwrap();
+        assert_eq!(bo.acquisition, Acquisition::Ucb);
+        assert_eq!(bo.n_init, 2);
+        assert_eq!(bo.kappa, 3.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Agent factory and default hyperparameter-lottery grids.
+//!
+//! The sweeps of Figs. 4–7 need to build many agents of every family from
+//! string-keyed hyperparameter assignments; this module centralizes that
+//! plumbing so experiment harnesses stay declarative.
+
+use crate::aco::AntColony;
+use crate::bo::BayesOpt;
+use crate::ga::GeneticAlgorithm;
+use crate::ppo::Ppo;
+use crate::rl::Reinforce;
+use crate::sa::SimulatedAnnealing;
+use archgym_core::agent::{Agent, HyperGrid, HyperMap, RandomWalker};
+use archgym_core::error::{ArchGymError, Result};
+use archgym_core::space::ParamSpace;
+
+/// The five agent families of the paper (Section 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AgentKind {
+    /// Ant colony optimization.
+    Aco,
+    /// Bayesian optimization.
+    Bo,
+    /// Genetic algorithm.
+    Ga,
+    /// Reinforcement learning (REINFORCE).
+    Rl,
+    /// Random walker.
+    Rw,
+    /// Simulated annealing (a Section 4 integration example; not part of
+    /// the paper's five-family studies).
+    Sa,
+    /// Proximal policy optimization (a second RL formulation; the paper
+    /// names PPO among the algorithms a gymnasium must host).
+    Ppo,
+}
+
+impl AgentKind {
+    /// The paper's five families in plotting order (ACO, BO, GA, RL, RW).
+    pub const ALL: [AgentKind; 5] = [
+        AgentKind::Aco,
+        AgentKind::Bo,
+        AgentKind::Ga,
+        AgentKind::Rl,
+        AgentKind::Rw,
+    ];
+
+    /// The paper's families plus integrations added on top (Section 4).
+    pub const EXTENDED: [AgentKind; 7] = [
+        AgentKind::Aco,
+        AgentKind::Bo,
+        AgentKind::Ga,
+        AgentKind::Rl,
+        AgentKind::Rw,
+        AgentKind::Sa,
+        AgentKind::Ppo,
+    ];
+
+    /// Short identifier (`"aco"`, `"bo"`, ...).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AgentKind::Aco => "aco",
+            AgentKind::Bo => "bo",
+            AgentKind::Ga => "ga",
+            AgentKind::Rl => "rl",
+            AgentKind::Rw => "rw",
+            AgentKind::Sa => "sa",
+            AgentKind::Ppo => "ppo",
+        }
+    }
+
+    /// Parse from the short identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::InvalidConfig`] for unknown names.
+    pub fn parse(name: &str) -> Result<Self> {
+        match name {
+            "aco" => Ok(AgentKind::Aco),
+            "bo" => Ok(AgentKind::Bo),
+            "ga" => Ok(AgentKind::Ga),
+            "rl" => Ok(AgentKind::Rl),
+            "rw" => Ok(AgentKind::Rw),
+            "sa" => Ok(AgentKind::Sa),
+            "ppo" => Ok(AgentKind::Ppo),
+            other => Err(ArchGymError::InvalidConfig(format!(
+                "unknown agent `{other}` (expected aco|bo|ga|rl|rw|sa|ppo)"
+            ))),
+        }
+    }
+}
+
+/// Build an agent of the given family over `space` from a hyperparameter
+/// assignment. Unknown keys are ignored (grids may carry axes for several
+/// families); missing keys fall back to each agent's defaults.
+///
+/// # Errors
+///
+/// Returns an error when a present key has the wrong type or an invalid
+/// categorical value.
+pub fn build_agent(
+    kind: AgentKind,
+    space: &ParamSpace,
+    hyper: &HyperMap,
+    seed: u64,
+) -> Result<Box<dyn Agent>> {
+    Ok(match kind {
+        AgentKind::Aco => Box::new(AntColony::from_hyper(space.clone(), hyper, seed)?),
+        AgentKind::Bo => Box::new(BayesOpt::from_hyper(space.clone(), hyper, seed)?),
+        AgentKind::Ga => Box::new(GeneticAlgorithm::from_hyper(space.clone(), hyper, seed)?),
+        AgentKind::Rl => Box::new(Reinforce::from_hyper(space.clone(), hyper, seed)?),
+        AgentKind::Rw => Box::new(RandomWalker::new(space.clone(), seed)),
+        AgentKind::Sa => Box::new(SimulatedAnnealing::from_hyper(space.clone(), hyper, seed)?),
+        AgentKind::Ppo => Box::new(Ppo::from_hyper(space.clone(), hyper, seed)?),
+    })
+}
+
+/// The default lottery sweep grid for a family — the axes the paper
+/// identifies as each algorithm's exploration/exploitation knobs (Q3 of
+/// Table 2), sized so a full Fig. 4-style study stays tractable.
+pub fn default_grid(kind: AgentKind) -> HyperGrid {
+    match kind {
+        AgentKind::Aco => HyperGrid::new()
+            .axis("ants", [4i64, 16, 32])
+            .axis("evaporation", [0.05, 0.25, 0.5])
+            .axis("greediness", [0.0, 0.25, 0.5]),
+        AgentKind::Bo => HyperGrid::new()
+            .axis("length_scale", [0.1, 0.25, 0.5])
+            .axis("acquisition", ["ei", "ucb", "pi"])
+            .axis("kappa", [1.0, 2.0, 4.0]),
+        AgentKind::Ga => HyperGrid::new()
+            .axis("population", [8i64, 16, 32])
+            .axis("mutation_prob", [0.01, 0.05, 0.2])
+            .axis("crossover_prob", [0.5, 0.8, 0.95]),
+        AgentKind::Rl => HyperGrid::new()
+            .axis("lr", [0.005, 0.05, 0.2])
+            .axis("entropy_coef", [0.0, 0.02, 0.1])
+            .axis("policy", ["tabular", "mlp"]),
+        // The random walker's only "hyperparameter" is its seed; sweeping
+        // a dummy axis keeps the experiment shape uniform across agents.
+        AgentKind::Rw => HyperGrid::new().axis("restart", [0i64, 1, 2]),
+        AgentKind::Sa => HyperGrid::new()
+            .axis("temperature", [0.25, 1.0, 4.0])
+            .axis("cooling", [0.9, 0.98, 0.999]),
+        AgentKind::Ppo => HyperGrid::new()
+            .axis("lr", [0.02, 0.1, 0.3])
+            .axis("clip", [0.1, 0.2, 0.4])
+            .axis("entropy_coef", [0.0, 0.01, 0.05]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgym_core::env::Environment;
+    use archgym_core::search::{RunConfig, SearchLoop};
+    use archgym_core::sweep::Sweep;
+    use archgym_core::toy::PeakEnv;
+
+    fn space() -> ParamSpace {
+        ParamSpace::builder()
+            .int("a", 0, 7, 1)
+            .int("b", 0, 7, 1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn every_family_builds_and_runs() {
+        for kind in AgentKind::EXTENDED {
+            let mut agent = build_agent(kind, &space(), &HyperMap::new(), 3).unwrap();
+            assert_eq!(agent.name(), kind.name());
+            let mut env = PeakEnv::new(&[8, 8], vec![5, 1]);
+            let result =
+                SearchLoop::new(RunConfig::with_budget(64).batch(8)).run(&mut agent, &mut env);
+            assert_eq!(result.samples_used, 64, "{kind:?} under-sampled");
+            assert!(result.best_reward > 0.1, "{kind:?} made no progress");
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for kind in AgentKind::EXTENDED {
+            assert_eq!(AgentKind::parse(kind.name()).unwrap(), kind);
+        }
+        assert!(AgentKind::parse("dqn").is_err());
+    }
+
+    #[test]
+    fn default_grids_are_nonempty_and_buildable() {
+        for kind in AgentKind::EXTENDED {
+            let grid = default_grid(kind);
+            assert!(grid.len() >= 3, "{kind:?} grid too small");
+            for hyper in grid.iter() {
+                build_agent(kind, &space(), &hyper, 0)
+                    .unwrap_or_else(|e| panic!("{kind:?} failed on {}: {e}", hyper.summary()));
+            }
+        }
+    }
+
+    #[test]
+    fn factory_integrates_with_sweep() {
+        let grid = HyperGrid::new().axis("population", [4i64, 8]);
+        let sweep = Sweep::new(RunConfig::with_budget(40).batch(8)).seeds([0, 1]);
+        let result = sweep
+            .run(
+                "ga",
+                &grid,
+                || PeakEnv::new(&[6, 6], vec![2, 4]),
+                |hyper, seed| {
+                    build_agent(
+                        AgentKind::Ga,
+                        PeakEnv::new(&[6, 6], vec![2, 4]).space(),
+                        hyper,
+                        seed,
+                    )
+                },
+            )
+            .unwrap();
+        assert_eq!(result.points.len(), 4);
+        assert!(result.summary().stats.max > 0.2);
+    }
+
+    #[test]
+    fn bad_hyper_type_surfaces_as_error() {
+        let hyper = HyperMap::new().with("lr", "fast");
+        assert!(build_agent(AgentKind::Rl, &space(), &hyper, 0).is_err());
+    }
+}

@@ -1,0 +1,434 @@
+//! Genetic algorithm with optional GAMMA-style domain-specific operators.
+//!
+//! The policy is the population's *genome* (Fig. 2): an individual is an
+//! index vector over the design space. Standard machinery: tournament
+//! selection, uniform crossover, per-gene mutation, elitism. On top, the
+//! three domain-specific operators GAMMA (Kao & Krishna, ICCAD 2020)
+//! introduced for DNN-mapping search, which the paper ablates in Fig. 6:
+//!
+//! * **Reordering** (`GA+RO`) — swap the values of two compatible genes
+//!   (for mapping spaces this permutes tiling dimensions / loop order).
+//! * **Aging** (`GA+AG`) — individuals retire after `max_age`
+//!   generations, preventing stale elites from dominating.
+//! * **Growth** (`GA+GR`) — instead of uniform resampling, mutate a gene
+//!   by ±1 step (hill-climbing-flavored local growth).
+
+// Indexed loops here mirror the textbook formulations of the numeric
+// kernels; iterator rewrites would obscure them.
+#![allow(clippy::needless_range_loop)]
+
+use archgym_core::agent::{Agent, HyperMap};
+use archgym_core::env::StepResult;
+use archgym_core::error::Result;
+use archgym_core::seeded_rng;
+use archgym_core::space::{Action, ParamSpace};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Which GAMMA-style operators are enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GaOperators {
+    /// Enable the reordering operator.
+    pub reordering: bool,
+    /// Enable the aging operator.
+    pub aging: bool,
+    /// Enable the growth operator.
+    pub growth: bool,
+}
+
+impl GaOperators {
+    /// Vanilla GA: no domain-specific operators (the paper's "GA ArchGym").
+    pub fn none() -> Self {
+        GaOperators::default()
+    }
+
+    /// All three operators (the paper's "GA-V1", i.e. GAMMA).
+    pub fn all() -> Self {
+        GaOperators {
+            reordering: true,
+            aging: true,
+            growth: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Individual {
+    genes: Vec<usize>,
+    fitness: f64,
+    age: u32,
+}
+
+/// Tournament-selection genetic algorithm over an index-encoded space.
+#[derive(Debug)]
+pub struct GeneticAlgorithm {
+    cards: Vec<usize>,
+    rng: StdRng,
+    population_size: usize,
+    mutation_prob: f64,
+    crossover_prob: f64,
+    tournament: usize,
+    elites: usize,
+    operators: GaOperators,
+    max_age: u32,
+    parents: Vec<Individual>,
+    current: Vec<Individual>,
+    pending: VecDeque<Vec<usize>>,
+}
+
+impl GeneticAlgorithm {
+    /// Construct with explicit hyperparameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `population_size == 0`, `tournament == 0`, probabilities
+    /// are outside `[0, 1]`, or `elites >= population_size`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        space: ParamSpace,
+        population_size: usize,
+        mutation_prob: f64,
+        crossover_prob: f64,
+        tournament: usize,
+        elites: usize,
+        operators: GaOperators,
+        max_age: u32,
+        seed: u64,
+    ) -> Self {
+        assert!(population_size > 0, "population must be non-empty");
+        assert!(tournament > 0, "tournament size must be positive");
+        assert!(
+            (0.0..=1.0).contains(&mutation_prob),
+            "mutation_prob out of range"
+        );
+        assert!(
+            (0.0..=1.0).contains(&crossover_prob),
+            "crossover_prob out of range"
+        );
+        assert!(
+            elites < population_size,
+            "elites must leave room for offspring"
+        );
+        let cards = space.cardinalities();
+        GeneticAlgorithm {
+            cards,
+            rng: seeded_rng(seed),
+            population_size,
+            mutation_prob,
+            crossover_prob,
+            tournament,
+            elites,
+            operators,
+            max_age,
+            parents: Vec::new(),
+            current: Vec::new(),
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Sensible defaults: population 32, mutation 0.1, crossover 0.8,
+    /// tournament 3, 2 elites, no domain-specific operators.
+    pub fn with_defaults(space: ParamSpace, seed: u64) -> Self {
+        GeneticAlgorithm::new(space, 32, 0.1, 0.8, 3, 2, GaOperators::none(), 8, seed)
+    }
+
+    /// Build from a hyperparameter map. Recognized keys (all optional):
+    /// `population` (int), `mutation_prob` (float), `crossover_prob`
+    /// (float), `tournament` (int), `elites` (int), `reordering` (bool),
+    /// `aging` (bool), `growth` (bool), `max_age` (int).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a present key has the wrong type.
+    pub fn from_hyper(space: ParamSpace, hyper: &HyperMap, seed: u64) -> Result<Self> {
+        Ok(GeneticAlgorithm::new(
+            space,
+            hyper.int_or("population", 32)? as usize,
+            hyper.float_or("mutation_prob", 0.1)?,
+            hyper.float_or("crossover_prob", 0.8)?,
+            hyper.int_or("tournament", 3)? as usize,
+            hyper.int_or("elites", 2)? as usize,
+            GaOperators {
+                reordering: hyper.bool_or("reordering", false)?,
+                aging: hyper.bool_or("aging", false)?,
+                growth: hyper.bool_or("growth", false)?,
+            },
+            hyper.int_or("max_age", 8)? as u32,
+            seed,
+        ))
+    }
+
+    /// The enabled domain-specific operators.
+    pub fn operators(&self) -> GaOperators {
+        self.operators
+    }
+
+    fn random_genes(&mut self) -> Vec<usize> {
+        self.cards
+            .iter()
+            .map(|&c| self.rng.gen_range(0..c))
+            .collect()
+    }
+
+    fn tournament_pick<'a>(&mut self, pool: &'a [Individual]) -> &'a Individual {
+        let mut best: Option<&Individual> = None;
+        for _ in 0..self.tournament {
+            let cand = &pool[self.rng.gen_range(0..pool.len())];
+            if best.is_none_or(|b| cand.fitness > b.fitness) {
+                best = Some(cand);
+            }
+        }
+        best.expect("tournament size > 0")
+    }
+
+    fn mutate(&mut self, genes: &mut [usize]) {
+        for d in 0..genes.len() {
+            if self.rng.gen_bool(self.mutation_prob) {
+                if self.operators.growth && self.cards[d] > 1 && self.rng.gen_bool(0.5) {
+                    // Growth: local ±1 step instead of uniform resample.
+                    let up = self.rng.gen_bool(0.5);
+                    genes[d] = if up {
+                        (genes[d] + 1).min(self.cards[d] - 1)
+                    } else {
+                        genes[d].saturating_sub(1)
+                    };
+                } else {
+                    genes[d] = self.rng.gen_range(0..self.cards[d]);
+                }
+            }
+        }
+        if self.operators.reordering && genes.len() >= 2 && self.rng.gen_bool(self.mutation_prob) {
+            // Reordering: swap two genes with compatible domains.
+            let a = self.rng.gen_range(0..genes.len());
+            let compatible: Vec<usize> = (0..genes.len())
+                .filter(|&b| b != a && self.cards[b] == self.cards[a])
+                .collect();
+            if let Some(&b) = compatible.get(
+                self.rng
+                    .gen_range(0..compatible.len().max(1))
+                    .min(compatible.len().saturating_sub(1)),
+            ) {
+                genes.swap(a, b);
+            }
+        }
+    }
+
+    fn crossover(&mut self, a: &[usize], b: &[usize]) -> Vec<usize> {
+        if self.rng.gen_bool(self.crossover_prob) {
+            (0..a.len())
+                .map(|d| if self.rng.gen_bool(0.5) { a[d] } else { b[d] })
+                .collect()
+        } else {
+            a.to_vec()
+        }
+    }
+
+    fn breed_generation(&mut self) {
+        if self.parents.is_empty() {
+            // Generation zero: uniform random.
+            for _ in 0..self.population_size {
+                let genes = self.random_genes();
+                self.pending.push_back(genes);
+            }
+            return;
+        }
+        // Aging: retire individuals older than max_age (keep at least two).
+        let pool: Vec<Individual> = if self.operators.aging {
+            let mut alive: Vec<Individual> = self
+                .parents
+                .iter()
+                .filter(|i| i.age <= self.max_age)
+                .cloned()
+                .collect();
+            if alive.len() < 2 {
+                alive = self.parents.clone();
+            }
+            alive
+        } else {
+            self.parents.clone()
+        };
+
+        // Elites survive unchanged (re-evaluated; envs are deterministic,
+        // so this simply re-anchors them in the new generation).
+        let mut ranked = pool.clone();
+        ranked.sort_by(|a, b| b.fitness.partial_cmp(&a.fitness).expect("NaN fitness"));
+        for elite in ranked.iter().take(self.elites) {
+            self.pending.push_back(elite.genes.clone());
+        }
+        while self.pending.len() < self.population_size {
+            let p1 = self.tournament_pick(&pool).genes.clone();
+            let p2 = self.tournament_pick(&pool).genes.clone();
+            let mut child = self.crossover(&p1, &p2);
+            self.mutate(&mut child);
+            self.pending.push_back(child);
+        }
+    }
+}
+
+impl Agent for GeneticAlgorithm {
+    fn name(&self) -> &str {
+        "ga"
+    }
+
+    fn propose(&mut self, max_batch: usize) -> Vec<Action> {
+        if self.pending.is_empty() {
+            self.breed_generation();
+        }
+        let n = max_batch
+            .min(self.pending.len())
+            .max(1)
+            .min(self.pending.len());
+        self.pending.drain(..n).map(Action::new).collect()
+    }
+
+    fn observe(&mut self, results: &[(Action, StepResult)]) {
+        for (action, result) in results {
+            self.current.push(Individual {
+                genes: action.as_slice().to_vec(),
+                fitness: result.reward,
+                age: 0,
+            });
+        }
+        if self.current.len() >= self.population_size {
+            for p in &mut self.parents {
+                p.age += 1;
+            }
+            // Survivor selection: best of (old parents + new generation),
+            // truncated to the population size.
+            let mut pool = std::mem::take(&mut self.current);
+            pool.append(&mut self.parents);
+            pool.sort_by(|a, b| b.fitness.partial_cmp(&a.fitness).expect("NaN fitness"));
+            pool.truncate(self.population_size);
+            self.parents = pool;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgym_core::env::Environment;
+    use archgym_core::search::{RunConfig, SearchLoop};
+    use archgym_core::toy::PeakEnv;
+
+    fn space(cards: &[usize]) -> ParamSpace {
+        let mut b = ParamSpace::builder();
+        for (i, &c) in cards.iter().enumerate() {
+            b = b.int(&format!("p{i}"), 0, c as i64 - 1, 1);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn proposals_are_valid_actions() {
+        let s = space(&[5, 7, 3]);
+        let mut ga = GeneticAlgorithm::with_defaults(s.clone(), 1);
+        for a in ga.propose(32) {
+            s.validate(&a).unwrap();
+        }
+    }
+
+    #[test]
+    fn ga_finds_peak_of_separable_landscape() {
+        let mut env = PeakEnv::new(&[16, 16, 16], vec![9, 2, 14]);
+        let mut ga = GeneticAlgorithm::with_defaults(env.space().clone(), 3);
+        let result = SearchLoop::new(RunConfig::with_budget(1500).batch(32)).run(&mut ga, &mut env);
+        assert!(
+            result.best_reward > 0.45,
+            "GA best reward {} too low",
+            result.best_reward
+        );
+    }
+
+    #[test]
+    fn ga_beats_its_own_first_generation() {
+        let mut env = PeakEnv::new(&[32, 32], vec![20, 7]);
+        let mut ga = GeneticAlgorithm::new(
+            env.space().clone(),
+            16,
+            0.15,
+            0.9,
+            3,
+            2,
+            GaOperators::none(),
+            8,
+            5,
+        );
+        let result = SearchLoop::new(RunConfig::with_budget(640).batch(16)).run(&mut ga, &mut env);
+        let history = &result.reward_history;
+        let gen0: f64 = history[..16].iter().sum::<f64>() / 16.0;
+        let last: f64 = history[history.len() - 16..].iter().sum::<f64>() / 16.0;
+        assert!(
+            last > gen0 * 1.5,
+            "no generational improvement: first {gen0}, last {last}"
+        );
+    }
+
+    #[test]
+    fn operators_construct_and_run() {
+        for ops in [
+            GaOperators::none(),
+            GaOperators {
+                reordering: true,
+                ..GaOperators::none()
+            },
+            GaOperators {
+                aging: true,
+                ..GaOperators::none()
+            },
+            GaOperators {
+                growth: true,
+                ..GaOperators::none()
+            },
+            GaOperators::all(),
+        ] {
+            let mut env = PeakEnv::new(&[8, 8, 8], vec![1, 6, 3]);
+            let mut ga = GeneticAlgorithm::new(env.space().clone(), 8, 0.2, 0.8, 2, 1, ops, 4, 11);
+            let result =
+                SearchLoop::new(RunConfig::with_budget(160).batch(8)).run(&mut ga, &mut env);
+            assert!(result.best_reward > 0.2, "{ops:?} failed to make progress");
+        }
+    }
+
+    #[test]
+    fn from_hyper_reads_all_keys() {
+        let s = space(&[4, 4]);
+        let hyper = HyperMap::new()
+            .with("population", 10i64)
+            .with("mutation_prob", 0.25)
+            .with("crossover_prob", 0.5)
+            .with("tournament", 2i64)
+            .with("elites", 1i64)
+            .with("aging", true)
+            .with("growth", true)
+            .with("reordering", true)
+            .with("max_age", 3i64);
+        let ga = GeneticAlgorithm::from_hyper(s, &hyper, 0).unwrap();
+        assert_eq!(ga.population_size, 10);
+        assert_eq!(ga.operators(), GaOperators::all());
+        assert_eq!(ga.max_age, 3);
+    }
+
+    #[test]
+    fn from_hyper_rejects_type_errors() {
+        let s = space(&[4]);
+        let hyper = HyperMap::new().with("population", 0.5); // float, not int
+        assert!(GeneticAlgorithm::from_hyper(s, &hyper, 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "elites must leave room")]
+    fn rejects_degenerate_elitism() {
+        let s = space(&[4]);
+        let _ = GeneticAlgorithm::new(s, 4, 0.1, 0.8, 2, 4, GaOperators::none(), 8, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = space(&[9, 9]);
+        let mut a = GeneticAlgorithm::with_defaults(s.clone(), 42);
+        let mut b = GeneticAlgorithm::with_defaults(s, 42);
+        assert_eq!(a.propose(8), b.propose(8));
+    }
+}

@@ -1,0 +1,56 @@
+//! # archgym-agents
+//!
+//! The five search-agent families the ArchGym paper seeds its gymnasium
+//! with (Section 3.2), implemented from scratch:
+//!
+//! * [`RandomWalker`] — uniform random search (re-exported from core).
+//! * [`GeneticAlgorithm`] — tournament-selection GA with optional
+//!   GAMMA-style domain-specific operators (*aging*, *growth*,
+//!   *reordering*) for the Fig. 6 ablation.
+//! * [`AntColony`] — ant colony optimization with per-dimension pheromone
+//!   tables, evaporation and elitist deposits.
+//! * [`BayesOpt`] — Gaussian-process Bayesian optimization (RBF kernel,
+//!   Cholesky factorization, EI/UCB/PI acquisitions).
+//! * [`Reinforce`] — REINFORCE policy-gradient RL over a factored
+//!   categorical policy, parameterized either tabularly or by a small
+//!   multilayer perceptron trained with Adam.
+//!
+//! Every agent implements [`archgym_core::Agent`] and can be constructed
+//! either with sensible defaults or from a [`HyperMap`] — the latter is
+//! what the hyperparameter-lottery sweeps use. [`factory`] builds any
+//! agent by name and supplies the default sweep grids.
+//!
+//! # Example
+//!
+//! ```
+//! use archgym_agents::factory::{build_agent, AgentKind};
+//! use archgym_core::prelude::*;
+//!
+//! let space = ParamSpace::builder().int("x", 0, 31, 1).build()?;
+//! let hyper = HyperMap::new(); // defaults
+//! let mut agent = build_agent(AgentKind::Ga, &space, &hyper, 7)?;
+//! let batch = agent.propose(8);
+//! assert_eq!(batch.len(), 8);
+//! # Ok::<(), ArchGymError>(())
+//! ```
+//!
+//! [`HyperMap`]: archgym_core::HyperMap
+
+pub mod aco;
+pub mod bo;
+pub mod factory;
+pub mod ga;
+pub mod linalg;
+pub mod nn;
+pub mod ppo;
+pub mod rl;
+pub mod sa;
+
+pub use aco::AntColony;
+pub use archgym_core::agent::RandomWalker;
+pub use bo::{Acquisition, BayesOpt};
+pub use factory::{build_agent, default_grid, AgentKind};
+pub use ga::{GaOperators, GeneticAlgorithm};
+pub use ppo::Ppo;
+pub use rl::{PolicyKind, Reinforce};
+pub use sa::SimulatedAnnealing;

@@ -1,0 +1,316 @@
+//! Minimal dense linear algebra for the Gaussian-process surrogate.
+//!
+//! Only what Bayesian optimization needs: symmetric positive-definite
+//! systems solved via Cholesky factorization. Matrices are row-major
+//! `Vec<f64>` wrappers; everything is `O(n³)` and fine for the few hundred
+//! observations a BO history holds (the paper itself notes BO's cubic
+//! sample cost, Section 2).
+
+// Indexed loops here mirror the textbook formulations of the numeric
+// kernels; iterator rewrites would obscure them.
+#![allow(clippy::needless_range_loop)]
+
+use std::fmt;
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// An all-zero `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Matrix::from_fn(n, n, |r, c| f64::from(r == c))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|r| {
+                (0..self.cols)
+                    .map(|c| self.data[r * self.cols + c] * v[c])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite
+    /// matrix, returning lower-triangular `L`.
+    ///
+    /// Returns `None` if the matrix is not positive definite (a
+    /// non-positive pivot is encountered).
+    pub fn cholesky(&self) -> Option<Cholesky> {
+        assert_eq!(self.rows, self.cols, "cholesky needs a square matrix");
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return None;
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Some(Cholesky { l })
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{:>10.4}", self.get(r, c))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A Cholesky factor `L` with triangular solves.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// The lower-triangular factor.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solve `L·x = b` (forward substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match.
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "dimension mismatch");
+        let mut x = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l.get(i, k) * x[k];
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        x
+    }
+
+    /// Solve `Lᵀ·x = b` (back substitution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` does not match.
+    pub fn solve_upper(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.rows();
+        assert_eq!(b.len(), n, "dimension mismatch");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for k in (i + 1)..n {
+                sum -= self.l.get(k, i) * x[k];
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        x
+    }
+
+    /// Solve the full system `A·x = b` where `A = L·Lᵀ`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_upper(&self.solve_lower(b))
+    }
+
+    /// Log-determinant of `A`: `2·Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows())
+            .map(|i| self.l.get(i, i).ln())
+            .sum::<f64>()
+            * 2.0
+    }
+}
+
+/// Euclidean distance squared between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+/// Dot product.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        // A·Aᵀ + n·I is SPD for any A.
+        use rand::Rng;
+        let mut rng = archgym_core::seeded_rng(seed);
+        let a = Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        Matrix::from_fn(n, n, |i, j| {
+            let mut s = 0.0;
+            for k in 0..n {
+                s += a.get(i, k) * a.get(j, k);
+            }
+            s + if i == j { n as f64 } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn cholesky_of_identity_is_identity() {
+        let chol = Matrix::identity(4).cholesky().unwrap();
+        assert_eq!(chol.factor(), &Matrix::identity(4));
+        assert_eq!(chol.log_det(), 0.0);
+    }
+
+    #[test]
+    fn cholesky_reconstructs_known_matrix() {
+        // A = [[4, 2], [2, 3]] → L = [[2, 0], [1, sqrt(2)]]
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 4.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 2.0);
+        a.set(1, 1, 3.0);
+        let chol = a.cholesky().unwrap();
+        assert!((chol.factor().get(0, 0) - 2.0).abs() < 1e-12);
+        assert!((chol.factor().get(1, 0) - 1.0).abs() < 1e-12);
+        assert!((chol.factor().get(1, 1) - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_non_spd() {
+        let mut a = Matrix::identity(2);
+        a.set(0, 0, -1.0);
+        assert!(a.cholesky().is_none());
+    }
+
+    #[test]
+    fn solve_matches_direct_inverse_on_2x2() {
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 4.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 2.0);
+        a.set(1, 1, 3.0);
+        let x = a.cholesky().unwrap().solve(&[8.0, 7.0]);
+        // Solution of 4x+2y=8, 2x+3y=7 → x=1.25, y=1.5
+        assert!((x[0] - 1.25).abs() < 1e-12);
+        assert!((x[1] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_vec_and_dot() {
+        let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f64);
+        assert_eq!(m.mul_vec(&[1.0, 1.0, 1.0]), vec![3.0, 12.0]);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cholesky_solve_is_inverse(n in 1usize..8, seed in 0u64..200) {
+            let a = spd(n, seed);
+            let chol = a.cholesky().expect("SPD by construction");
+            let b: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+            let x = chol.solve(&b);
+            let back = a.mul_vec(&x);
+            for (u, v) in back.iter().zip(&b) {
+                prop_assert!((u - v).abs() < 1e-8, "residual too large: {u} vs {v}");
+            }
+        }
+
+        #[test]
+        fn prop_log_det_positive_for_diagonally_dominant(n in 1usize..8, seed in 0u64..100) {
+            let a = spd(n, seed);
+            let chol = a.cholesky().unwrap();
+            // Diagonal entries are ≥ n ≥ 1, so det ≥ 1 and log det ≥ 0 is
+            // not guaranteed in general, but it must be finite.
+            prop_assert!(chol.log_det().is_finite());
+        }
+    }
+}

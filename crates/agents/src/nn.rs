@@ -1,0 +1,313 @@
+//! A tiny multilayer perceptron with Adam, for the RL policy.
+//!
+//! The paper's RL agent carries a neural-network policy (Fig. 2). This
+//! module implements just enough of one: dense layers with tanh
+//! activations, manual backpropagation, and the Adam optimizer. No
+//! autograd, no BLAS — design spaces here have tens of dimensions, so a
+//! few thousand parameters suffice.
+
+// Indexed loops here mirror the textbook formulations of the numeric
+// kernels; iterator rewrites would obscure them.
+#![allow(clippy::needless_range_loop)]
+
+use rand::Rng;
+
+/// One dense layer `y = W·x + b` with an optional tanh activation.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    w: Vec<f64>, // row-major out_dim × in_dim
+    b: Vec<f64>,
+    in_dim: usize,
+    out_dim: usize,
+    tanh: bool,
+    // forward caches
+    last_x: Vec<f64>,
+    last_y: Vec<f64>,
+    // gradients
+    gw: Vec<f64>,
+    gb: Vec<f64>,
+    // Adam state
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Dense {
+    /// Create a layer with Xavier-uniform initialization.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, tanh: bool, rng: &mut R) -> Self {
+        let bound = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        let w = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Dense {
+            w,
+            b: vec![0.0; out_dim],
+            in_dim,
+            out_dim,
+            tanh,
+            last_x: vec![0.0; in_dim],
+            last_y: vec![0.0; out_dim],
+            gw: vec![0.0; in_dim * out_dim],
+            gb: vec![0.0; out_dim],
+            mw: vec![0.0; in_dim * out_dim],
+            vw: vec![0.0; in_dim * out_dim],
+            mb: vec![0.0; out_dim],
+            vb: vec![0.0; out_dim],
+        }
+    }
+
+    /// Forward pass, caching activations for backprop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    pub fn forward(&mut self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
+        self.last_x.copy_from_slice(x);
+        let mut y = vec![0.0; self.out_dim];
+        for o in 0..self.out_dim {
+            let mut sum = self.b[o];
+            for i in 0..self.in_dim {
+                sum += self.w[o * self.in_dim + i] * x[i];
+            }
+            y[o] = if self.tanh { sum.tanh() } else { sum };
+        }
+        self.last_y.copy_from_slice(&y);
+        y
+    }
+
+    /// Backward pass: accumulate gradients, return `dL/dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dy.len() != out_dim`.
+    pub fn backward(&mut self, dy: &[f64]) -> Vec<f64> {
+        assert_eq!(dy.len(), self.out_dim, "gradient dimension mismatch");
+        let mut dx = vec![0.0; self.in_dim];
+        for o in 0..self.out_dim {
+            // Through the activation.
+            let dz = if self.tanh {
+                dy[o] * (1.0 - self.last_y[o] * self.last_y[o])
+            } else {
+                dy[o]
+            };
+            self.gb[o] += dz;
+            for i in 0..self.in_dim {
+                self.gw[o * self.in_dim + i] += dz * self.last_x[i];
+                dx[i] += dz * self.w[o * self.in_dim + i];
+            }
+        }
+        dx
+    }
+
+    fn adam_update(p: &mut [f64], g: &mut [f64], m: &mut [f64], v: &mut [f64], lr: f64, t: u64) {
+        const B1: f64 = 0.9;
+        const B2: f64 = 0.999;
+        const EPS: f64 = 1e-8;
+        let bias1 = 1.0 - B1.powi(t as i32);
+        let bias2 = 1.0 - B2.powi(t as i32);
+        for i in 0..p.len() {
+            m[i] = B1 * m[i] + (1.0 - B1) * g[i];
+            v[i] = B2 * v[i] + (1.0 - B2) * g[i] * g[i];
+            let mh = m[i] / bias1;
+            let vh = v[i] / bias2;
+            p[i] += lr * mh / (vh.sqrt() + EPS);
+            g[i] = 0.0;
+        }
+    }
+
+    /// Apply one Adam **ascent** step (policy gradients maximize) and
+    /// clear accumulated gradients. `t` is the 1-based step counter.
+    pub fn step(&mut self, lr: f64, t: u64) {
+        Self::adam_update(&mut self.w, &mut self.gw, &mut self.mw, &mut self.vw, lr, t);
+        Self::adam_update(&mut self.b, &mut self.gb, &mut self.mb, &mut self.vb, lr, t);
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+/// A feed-forward stack of [`Dense`] layers.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    steps: u64,
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer widths; all hidden layers use
+    /// tanh, the output layer is linear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new<R: Rng + ?Sized>(widths: &[usize], rng: &mut R) -> Self {
+        assert!(widths.len() >= 2, "need at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Dense::new(w[0], w[1], i + 2 < widths.len(), rng))
+            .collect();
+        Mlp { layers, steps: 0 }
+    }
+
+    /// Forward pass through all layers.
+    pub fn forward(&mut self, x: &[f64]) -> Vec<f64> {
+        let mut h = x.to_vec();
+        for layer in &mut self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Backward pass; accumulates gradients in every layer.
+    pub fn backward(&mut self, dy: &[f64]) {
+        let mut g = dy.to_vec();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+    }
+
+    /// One Adam ascent step over all layers, clearing gradients.
+    pub fn step(&mut self, lr: f64) {
+        self.steps += 1;
+        for layer in &mut self.layers {
+            layer.step(lr, self.steps);
+        }
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+}
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&z| (z - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Sample an index from a probability distribution.
+///
+/// # Panics
+///
+/// Panics if `probs` is empty.
+pub fn sample_categorical<R: Rng + ?Sized>(probs: &[f64], rng: &mut R) -> usize {
+    assert!(!probs.is_empty(), "empty distribution");
+    let mut u: f64 = rng.gen();
+    for (i, &p) in probs.iter().enumerate() {
+        u -= p;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    probs.len() - 1
+}
+
+/// Shannon entropy of a distribution (natural log).
+pub fn entropy(probs: &[f64]) -> f64 {
+    -probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.ln())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgym_core::seeded_rng;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders_correctly() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Stability with huge logits.
+        let q = softmax(&[1000.0, 1000.0]);
+        assert!((q[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_categorical_respects_distribution() {
+        let mut rng = seeded_rng(1);
+        let probs = [0.1, 0.8, 0.1];
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[sample_categorical(&probs, &mut rng)] += 1;
+        }
+        assert!(counts[1] > 2000, "mode undersampled: {counts:?}");
+        assert!(counts[0] > 100 && counts[2] > 100);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert_eq!(entropy(&[1.0, 0.0]), 0.0);
+        let uniform = entropy(&[0.25; 4]);
+        assert!(
+            (uniform - 4.0f64.ln() / 1.0 * 1.0).abs() < 1e-12
+                || (uniform - (4.0f64).ln()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn dense_forward_known_values() {
+        let mut rng = seeded_rng(2);
+        let mut layer = Dense::new(2, 1, false, &mut rng);
+        // Overwrite weights for a deterministic check.
+        layer.w = vec![2.0, -1.0];
+        layer.b = vec![0.5];
+        assert_eq!(layer.forward(&[1.0, 3.0]), vec![2.0 - 3.0 + 0.5]);
+    }
+
+    #[test]
+    fn backward_gradient_matches_finite_difference() {
+        let mut rng = seeded_rng(3);
+        let mut mlp = Mlp::new(&[2, 4, 3], &mut rng);
+        let x = [0.3, -0.7];
+        // Loss = y[0]; dL/dy = (1, 0, 0).
+        let y0 = mlp.forward(&x)[0];
+        mlp.backward(&[1.0, 0.0, 0.0]);
+        let analytic = mlp.layers[0].gw[0];
+        // Finite difference on the first weight of layer 0.
+        let eps = 1e-6;
+        let mut probe = mlp.clone();
+        probe.layers[0].w[0] += eps;
+        let y1 = probe.forward(&x)[0];
+        let numeric = (y1 - y0) / eps;
+        assert!(
+            (analytic - numeric).abs() < 1e-5,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn adam_ascends_a_simple_objective() {
+        // Maximize -(w·x - 2)² via its gradient; the MLP output should
+        // approach 2 for the fixed input.
+        let mut rng = seeded_rng(4);
+        let mut mlp = Mlp::new(&[1, 8, 1], &mut rng);
+        let x = [1.0];
+        for _ in 0..500 {
+            let y = mlp.forward(&x)[0];
+            let dy = 2.0 * (2.0 - y); // d/dy of -(y-2)²
+            mlp.backward(&[dy]);
+            mlp.step(0.05);
+        }
+        let y = mlp.forward(&x)[0];
+        assert!((y - 2.0).abs() < 0.05, "converged to {y}");
+    }
+
+    #[test]
+    fn param_count_is_correct() {
+        let mut rng = seeded_rng(5);
+        let mlp = Mlp::new(&[3, 5, 2], &mut rng);
+        assert_eq!(mlp.param_count(), (3 * 5 + 5) + (5 * 2 + 2));
+    }
+}

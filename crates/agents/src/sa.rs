@@ -1,0 +1,271 @@
+//! Simulated annealing — a worked example of the paper's Section 4
+//! recipe for integrating a *new* search algorithm into ArchGym.
+//!
+//! Answering the three standardization questions:
+//!
+//! * **Q1 (how are parameters selected?)** — the policy is the current
+//!   incumbent design plus a temperature-scaled perturbation kernel;
+//!   [`Agent::propose`] emits perturbed neighbors.
+//! * **Q2 (how is feedback used?)** — [`Agent::observe`] applies the
+//!   Metropolis acceptance rule: better designs always replace the
+//!   incumbent, worse ones with probability `exp(Δ/T)`.
+//! * **Q3 (exploration vs exploitation?)** — the initial temperature and
+//!   cooling rate are the exposed hyperparameters; high temperature means
+//!   random-walk behaviour, low temperature means hill climbing.
+//!
+//! Nothing else is needed: the standard [`SearchLoop`] drives it, its
+//! trajectories land in the standard dataset format, and the sweep
+//! machinery can lottery its hyperparameters like any seeded agent.
+//!
+//! [`SearchLoop`]: archgym_core::search::SearchLoop
+
+use archgym_core::agent::{Agent, HyperMap};
+use archgym_core::env::StepResult;
+use archgym_core::error::Result;
+use archgym_core::seeded_rng;
+use archgym_core::space::{Action, ParamSpace};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Simulated-annealing agent over an index-encoded space.
+#[derive(Debug)]
+pub struct SimulatedAnnealing {
+    cards: Vec<usize>,
+    rng: StdRng,
+    temperature: f64,
+    cooling: f64,
+    /// Reward scale estimate for the Metropolis criterion (EWMA of
+    /// absolute reward deltas).
+    delta_scale: f64,
+    incumbent: Option<(Vec<usize>, f64)>,
+}
+
+impl SimulatedAnnealing {
+    /// Construct with explicit hyperparameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_temperature <= 0` or `cooling` is outside
+    /// `(0, 1]`.
+    pub fn new(space: ParamSpace, initial_temperature: f64, cooling: f64, seed: u64) -> Self {
+        assert!(initial_temperature > 0.0, "temperature must be positive");
+        assert!(cooling > 0.0 && cooling <= 1.0, "cooling must be in (0, 1]");
+        SimulatedAnnealing {
+            cards: space.cardinalities(),
+            rng: seeded_rng(seed),
+            temperature: initial_temperature,
+            cooling,
+            delta_scale: 1.0,
+            incumbent: None,
+        }
+    }
+
+    /// Sensible defaults: T₀ = 1.0, cooling 0.98 per observation round.
+    pub fn with_defaults(space: ParamSpace, seed: u64) -> Self {
+        SimulatedAnnealing::new(space, 1.0, 0.98, seed)
+    }
+
+    /// Build from a hyperparameter map. Recognized keys (all optional):
+    /// `temperature` (float), `cooling` (float).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a present key has the wrong type.
+    pub fn from_hyper(space: ParamSpace, hyper: &HyperMap, seed: u64) -> Result<Self> {
+        Ok(SimulatedAnnealing::new(
+            space,
+            hyper.float_or("temperature", 1.0)?,
+            hyper.float_or("cooling", 0.98)?,
+            seed,
+        ))
+    }
+
+    /// Current temperature (diagnostic).
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+
+    fn random_genes(&mut self) -> Vec<usize> {
+        self.cards
+            .iter()
+            .map(|&c| self.rng.gen_range(0..c))
+            .collect()
+    }
+
+    /// Perturb the incumbent: the number of mutated dimensions scales
+    /// with temperature (hot → many, cold → one).
+    fn neighbor(&mut self, base: &[usize]) -> Vec<usize> {
+        let mut genes = base.to_vec();
+        let hot_frac = self.temperature.min(1.0);
+        let n_mutations = 1 + (hot_frac * (genes.len() - 1) as f64).round() as usize;
+        for _ in 0..n_mutations {
+            let d = self.rng.gen_range(0..genes.len());
+            if self.cards[d] == 1 {
+                continue;
+            }
+            // Local ±1 step when cold, uniform resample when hot.
+            genes[d] = if self.rng.gen_bool(hot_frac.clamp(0.05, 0.95)) {
+                self.rng.gen_range(0..self.cards[d])
+            } else if self.rng.gen_bool(0.5) {
+                (genes[d] + 1).min(self.cards[d] - 1)
+            } else {
+                genes[d].saturating_sub(1)
+            };
+        }
+        genes
+    }
+}
+
+impl Agent for SimulatedAnnealing {
+    fn name(&self) -> &str {
+        "sa"
+    }
+
+    fn propose(&mut self, max_batch: usize) -> Vec<Action> {
+        let n = max_batch.max(1);
+        let base = self.incumbent.as_ref().map(|(g, _)| g.clone());
+        (0..n)
+            .map(|_| match &base {
+                None => Action::new(self.random_genes()),
+                Some(genes) => Action::new(self.neighbor(genes)),
+            })
+            .collect()
+    }
+
+    fn observe(&mut self, results: &[(Action, StepResult)]) {
+        for (action, result) in results {
+            match &self.incumbent {
+                None => {
+                    self.incumbent = Some((action.as_slice().to_vec(), result.reward));
+                }
+                Some((_, current)) => {
+                    let delta = result.reward - current;
+                    self.delta_scale = 0.95 * self.delta_scale + 0.05 * delta.abs().max(1e-12);
+                    let accept = delta >= 0.0 || {
+                        let normalized = delta / self.delta_scale;
+                        self.rng
+                            .gen_bool((normalized / self.temperature).exp().clamp(0.0, 1.0))
+                    };
+                    if accept {
+                        self.incumbent = Some((action.as_slice().to_vec(), result.reward));
+                    }
+                }
+            }
+        }
+        self.temperature = (self.temperature * self.cooling).max(1e-4);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgym_core::env::{Environment, Observation};
+    use archgym_core::search::{RunConfig, SearchLoop};
+    use archgym_core::toy::{DecoyEnv, PeakEnv};
+
+    fn space(cards: &[usize]) -> ParamSpace {
+        let mut b = ParamSpace::builder();
+        for (i, &c) in cards.iter().enumerate() {
+            b = b.int(&format!("p{i}"), 0, c as i64 - 1, 1);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn temperature_cools_monotonically() {
+        let mut sa = SimulatedAnnealing::new(space(&[4]), 2.0, 0.9, 1);
+        let mut last = sa.temperature();
+        for _ in 0..20 {
+            let batch = sa.propose(4);
+            let results: Vec<(Action, StepResult)> = batch
+                .into_iter()
+                .map(|a| (a, StepResult::terminal(Observation::new(vec![0.0]), 0.0)))
+                .collect();
+            sa.observe(&results);
+            assert!(sa.temperature() <= last);
+            last = sa.temperature();
+        }
+        assert!(last < 0.5);
+    }
+
+    #[test]
+    fn sa_climbs_to_the_peak() {
+        let mut env = PeakEnv::new(&[20, 20, 20], vec![14, 3, 9]);
+        let mut sa = SimulatedAnnealing::with_defaults(env.space().clone(), 4);
+        let result = SearchLoop::new(RunConfig::with_budget(1_200).batch(8)).run(&mut sa, &mut env);
+        assert!(
+            result.best_reward > 0.45,
+            "SA best reward {} too low",
+            result.best_reward
+        );
+    }
+
+    #[test]
+    fn sa_escapes_the_decoy_more_often_hot_than_cold() {
+        // Q3 in action: a hot schedule explores past the broad decoy
+        // ridge toward the sharp global peak more reliably than a frozen
+        // one started cold.
+        let score = |t0: f64, seed: u64| {
+            let mut env = DecoyEnv::new(&[24, 24], vec![20, 20], vec![3, 3], 0.55);
+            let mut sa = SimulatedAnnealing::new(env.space().clone(), t0, 0.995, seed);
+            SearchLoop::new(RunConfig::with_budget(400).batch(8))
+                .run(&mut sa, &mut env)
+                .best_reward
+        };
+        let hot: f64 = (0..8).map(|s| score(2.0, s)).sum::<f64>() / 8.0;
+        let cold: f64 = (0..8).map(|s| score(1e-3, s)).sum::<f64>() / 8.0;
+        assert!(
+            hot >= cold * 0.95,
+            "hot schedule ({hot}) should not lose to frozen ({cold})"
+        );
+    }
+
+    #[test]
+    fn from_hyper_and_validation() {
+        let sa = SimulatedAnnealing::from_hyper(
+            space(&[4]),
+            &HyperMap::new()
+                .with("temperature", 3.0)
+                .with("cooling", 0.5),
+            0,
+        )
+        .unwrap();
+        assert_eq!(sa.temperature(), 3.0);
+        assert!(SimulatedAnnealing::from_hyper(
+            space(&[4]),
+            &HyperMap::new().with("temperature", "hot"),
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "cooling must be in (0, 1]")]
+    fn rejects_bad_cooling() {
+        let _ = SimulatedAnnealing::new(space(&[4]), 1.0, 1.5, 0);
+    }
+
+    #[test]
+    fn proposals_are_valid_before_and_after_feedback() {
+        let s = space(&[5, 9, 2]);
+        let mut sa = SimulatedAnnealing::with_defaults(s.clone(), 8);
+        let batch = sa.propose(6);
+        for a in &batch {
+            s.validate(a).unwrap();
+        }
+        let results: Vec<(Action, StepResult)> = batch
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| {
+                (
+                    a,
+                    StepResult::terminal(Observation::new(vec![i as f64]), i as f64),
+                )
+            })
+            .collect();
+        sa.observe(&results);
+        for a in sa.propose(6) {
+            s.validate(&a).unwrap();
+        }
+    }
+}

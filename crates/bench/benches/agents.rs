@@ -1,0 +1,54 @@
+//! Criterion microbenchmarks for the five agents' propose/observe cost
+//! on a DRAM-sized design space — the agent-side overhead Fig. 8's
+//! time-to-completion differences come from.
+
+use archgym_agents::factory::{build_agent, AgentKind};
+use archgym_core::agent::HyperMap;
+use archgym_core::env::{Observation, StepResult};
+use archgym_dram::dram_space;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_propose_observe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("agents/propose_observe_16");
+    for kind in AgentKind::ALL {
+        let space = dram_space();
+        let mut agent = build_agent(kind, &space, &HyperMap::new(), 11).unwrap();
+        // Warm the agent so BO is past its initial design (the expensive
+        // surrogate path is what matters).
+        for _ in 0..4 {
+            let batch = agent.propose(16);
+            let results: Vec<(archgym_core::space::Action, StepResult)> = batch
+                .into_iter()
+                .enumerate()
+                .map(|(i, a)| {
+                    (
+                        a,
+                        StepResult::terminal(Observation::new(vec![30.0, 1.0, 20.0]), i as f64),
+                    )
+                })
+                .collect();
+            agent.observe(&results);
+        }
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let batch = agent.propose(16);
+                let results: Vec<(archgym_core::space::Action, StepResult)> = batch
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, a)| {
+                        (
+                            a,
+                            StepResult::terminal(Observation::new(vec![30.0, 1.0, 20.0]), i as f64),
+                        )
+                    })
+                    .collect();
+                agent.observe(black_box(&results));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propose_observe);
+criterion_main!(benches);

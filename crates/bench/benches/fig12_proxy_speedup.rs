@@ -1,0 +1,34 @@
+//! **Fig. 12(a) (criterion)** — one simulator evaluation vs one proxy
+//! prediction, head to head. The reported ratio is the speedup the
+//! proxy cost model buys on this substrate.
+
+use archgym_bench::fig10::{collect_pool, POWER_METRIC};
+use archgym_bench::harness::Scale;
+use archgym_core::env::Environment;
+use archgym_core::seeded_rng;
+use archgym_dram::{DramEnv, DramWorkload, Objective};
+use archgym_proxy::forest::ForestConfig;
+use archgym_proxy::pipeline::train_proxy_fixed;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig12_speedup(c: &mut Criterion) {
+    let pool = collect_pool(Scale::Smoke).expect("dataset collection");
+    let proxy = train_proxy_fixed(&pool, POWER_METRIC, &ForestConfig::default(), 1)
+        .expect("proxy training");
+    let mut env = DramEnv::new(DramWorkload::Random, Objective::low_power(1.0));
+    let mut rng = seeded_rng(21);
+    let action = env.space().sample(&mut rng);
+
+    let mut group = c.benchmark_group("fig12/per_evaluation");
+    group.bench_function("simulator", |b| {
+        b.iter(|| black_box(env.step(black_box(&action))))
+    });
+    group.bench_function("proxy", |b| {
+        b.iter(|| black_box(proxy.predict(black_box(action.as_slice()))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig12_speedup);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! **Fig. 8 (criterion)** — time-to-completion of each agent for a fixed
+//! sample budget on DRAMGym and FARSIGym, measured by criterion rather
+//! than a single wall-clock sample.
+
+use archgym_agents::factory::{build_agent, AgentKind};
+use archgym_core::agent::HyperMap;
+use archgym_core::env::Environment;
+use archgym_core::search::{RunConfig, SearchLoop};
+use archgym_dram::{DramEnv, DramWorkload, Objective};
+use archgym_soc::{SocEnv, SocWorkload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const BUDGET: u64 = 256;
+
+fn bench_env<F>(c: &mut Criterion, label: &str, mut make_env: F)
+where
+    F: FnMut() -> Box<dyn Environment>,
+{
+    let mut group = c.benchmark_group(format!("fig8/{label}"));
+    group.sample_size(10);
+    for kind in AgentKind::ALL {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut env = make_env();
+                let mut agent = build_agent(kind, env.space(), &HyperMap::new(), 7).unwrap();
+                let result = SearchLoop::new(RunConfig::with_budget(BUDGET).record(false))
+                    .run(&mut agent, &mut env);
+                black_box(result.best_reward)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn fig8(c: &mut Criterion) {
+    bench_env(c, "dram", || {
+        Box::new(DramEnv::new(
+            DramWorkload::Random,
+            Objective::low_power(1.0),
+        ))
+    });
+    bench_env(c, "farsi", || {
+        Box::new(SocEnv::new(SocWorkload::AudioDecoder))
+    });
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

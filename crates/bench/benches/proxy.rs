@@ -1,0 +1,34 @@
+//! Criterion microbenchmarks for the proxy pipeline: random-forest
+//! training and prediction — the costs behind the Fig. 12 speedup story.
+
+use archgym_bench::fig10::{collect_pool, POWER_METRIC};
+use archgym_bench::harness::Scale;
+use archgym_proxy::forest::{ForestConfig, RandomForest};
+use archgym_proxy::pipeline::train_proxy_fixed;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_proxy(c: &mut Criterion) {
+    let pool = collect_pool(Scale::Smoke).expect("dataset collection");
+    let (xs, ys) = pool.features_targets(POWER_METRIC).expect("features");
+    let proxy = train_proxy_fixed(&pool, POWER_METRIC, &ForestConfig::default(), 1)
+        .expect("proxy training");
+
+    let mut group = c.benchmark_group("proxy");
+    group.sample_size(10);
+    group.bench_function("fit_24_trees", |b| {
+        b.iter(|| {
+            black_box(
+                RandomForest::fit(black_box(&xs), black_box(&ys), &ForestConfig::default(), 3)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("predict", |b| {
+        b.iter(|| black_box(proxy.predict(black_box(&[1, 2, 3, 4, 0, 1, 2, 0, 1, 0]))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_proxy);
+criterion_main!(benches);

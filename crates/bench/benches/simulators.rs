@@ -1,0 +1,67 @@
+//! Criterion microbenchmarks for the four architecture cost models —
+//! the per-evaluation costs every experiment in the paper multiplies by
+//! its sample budget.
+
+use archgym_core::env::Environment;
+use archgym_core::seeded_rng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_dram(c: &mut Criterion) {
+    use archgym_dram::{DramEnv, DramWorkload, Objective};
+    let mut group = c.benchmark_group("simulators/dram");
+    for workload in DramWorkload::ALL {
+        let mut env = DramEnv::new(workload, Objective::low_power(1.0));
+        let mut rng = seeded_rng(1);
+        let action = env.space().sample(&mut rng);
+        group.bench_function(workload.name(), |b| {
+            b.iter(|| black_box(env.step(black_box(&action))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_accel(c: &mut Criterion) {
+    use archgym_accel::{AccelEnv, Objective};
+    let mut group = c.benchmark_group("simulators/timeloop");
+    for net in [archgym_models::alexnet(), archgym_models::resnet50()] {
+        let name = net.name().to_owned();
+        let mut env = AccelEnv::new(net, Objective::latency(5.0));
+        let mut rng = seeded_rng(2);
+        let action = env.space().sample(&mut rng);
+        group.bench_function(&name, |b| {
+            b.iter(|| black_box(env.step(black_box(&action))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_soc(c: &mut Criterion) {
+    use archgym_soc::{SocEnv, SocWorkload};
+    let mut group = c.benchmark_group("simulators/farsi");
+    for workload in SocWorkload::ALL {
+        let mut env = SocEnv::new(workload);
+        let mut rng = seeded_rng(3);
+        let action = env.space().sample(&mut rng);
+        group.bench_function(workload.name(), |b| {
+            b.iter(|| black_box(env.step(black_box(&action))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    use archgym_mapping::{MappingEnv, Objective};
+    let mut group = c.benchmark_group("simulators/maestro");
+    let net = archgym_models::resnet18();
+    let mut env = MappingEnv::for_layer(&net, "stage2", Objective::runtime()).unwrap();
+    let mut rng = seeded_rng(4);
+    let action = env.space().sample(&mut rng);
+    group.bench_function("resnet18/stage2", |b| {
+        b.iter(|| black_box(env.step(black_box(&action))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dram, bench_accel, bench_soc, bench_mapping);
+criterion_main!(benches);

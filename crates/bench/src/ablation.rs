@@ -1,0 +1,152 @@
+//! Per-hyperparameter ablations: vary one knob at a time while holding
+//! the rest at defaults, for each agent family, on a fixed DRAM problem.
+//!
+//! Where Fig. 4 sweeps the *joint* grid and reports the spread, this
+//! harness isolates how sensitive each algorithm is to each individual
+//! knob — the per-axis view behind the design choices DESIGN.md calls
+//! out (acquisition function for BO, mutation rate for GA, learning rate
+//! for RL, evaporation for ACO, temperature for SA).
+
+use crate::harness::Scale;
+use archgym_agents::factory::{build_agent, default_grid, AgentKind};
+use archgym_core::agent::{HyperMap, HyperValue};
+use archgym_core::env::Environment;
+use archgym_core::error::Result;
+use archgym_core::search::{RunConfig, SearchLoop};
+use archgym_dram::{DramEnv, DramWorkload, Objective};
+use std::collections::BTreeMap;
+
+/// One axis of one agent's ablation: the knob's values and the best
+/// reward achieved at each (mean over seeds).
+#[derive(Debug, Clone)]
+pub struct AxisAblation {
+    /// Agent family.
+    pub agent: &'static str,
+    /// The hyperparameter being varied.
+    pub axis: String,
+    /// `(value, mean best reward)` in grid order.
+    pub points: Vec<(String, f64)>,
+}
+
+impl AxisAblation {
+    /// Ratio of the best point to the worst point — how much this one
+    /// knob alone is worth.
+    pub fn sensitivity(&self) -> f64 {
+        let best = self.points.iter().map(|(_, r)| *r).fold(f64::MIN, f64::max);
+        let worst = self.points.iter().map(|(_, r)| *r).fold(f64::MAX, f64::min);
+        if worst.abs() < f64::EPSILON {
+            f64::INFINITY
+        } else {
+            best / worst
+        }
+    }
+}
+
+/// Collect the per-axis value lists from an agent's default grid.
+fn axes_of(kind: AgentKind) -> BTreeMap<String, Vec<HyperValue>> {
+    let grid = default_grid(kind);
+    let mut axes: BTreeMap<String, Vec<HyperValue>> = BTreeMap::new();
+    for assignment in grid.iter() {
+        for (key, value) in assignment.iter() {
+            let values = axes.entry(key.to_owned()).or_default();
+            if !values.contains(value) {
+                values.push(value.clone());
+            }
+        }
+    }
+    axes
+}
+
+/// Run the ablation study.
+///
+/// # Errors
+///
+/// Propagates agent-construction failures.
+pub fn run(scale: Scale) -> Result<Vec<AxisAblation>> {
+    let budget = match scale {
+        Scale::Smoke => 128,
+        Scale::Default => 1_000,
+        Scale::Full => 5_000,
+    };
+    let seeds: &[u64] = match scale {
+        Scale::Smoke => &[1],
+        Scale::Default => &[1, 2, 3],
+        Scale::Full => &[1, 2, 3, 4, 5],
+    };
+    let kinds: &[AgentKind] = match scale {
+        Scale::Smoke => &[AgentKind::Ga, AgentKind::Sa],
+        _ => &AgentKind::EXTENDED,
+    };
+    let mut out = Vec::new();
+    for &kind in kinds {
+        for (axis, values) in axes_of(kind) {
+            let mut points = Vec::new();
+            for value in values {
+                let mut total = 0.0;
+                for &seed in seeds {
+                    let mut env = DramEnv::new(DramWorkload::Cloud1, Objective::low_power(1.0));
+                    let hyper = HyperMap::new().with(&axis, value.clone());
+                    let mut agent = build_agent(kind, env.space(), &hyper, seed)?;
+                    let result = SearchLoop::new(RunConfig::with_budget(budget).record(false))
+                        .run(&mut agent, &mut env);
+                    total += result.best_reward;
+                }
+                points.push((value.to_string(), total / seeds.len() as f64));
+            }
+            out.push(AxisAblation {
+                agent: kind.name(),
+                axis,
+                points,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Print the ablation table.
+pub fn print(results: &[AxisAblation]) {
+    println!("\n=== Ablation — one knob at a time, DRAM cloud-1, 1 W target ===");
+    println!(
+        "{:<6} {:<16} {:>12}  per-value mean best reward",
+        "agent", "axis", "sensitivity×"
+    );
+    for r in results {
+        let values = r
+            .points
+            .iter()
+            .map(|(v, reward)| format!("{v}→{reward:.1}"))
+            .collect::<Vec<_>>()
+            .join("  ");
+        println!(
+            "{:<6} {:<16} {:>12.2}  {values}",
+            r.agent,
+            r.axis,
+            r.sensitivity()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_ablation_covers_each_axis_once() {
+        let results = run(Scale::Smoke).unwrap();
+        // GA has 3 axes, SA has 2.
+        assert_eq!(results.len(), 5);
+        for r in &results {
+            assert!(r.points.len() >= 3, "{}:{} too few points", r.agent, r.axis);
+            assert!(r.sensitivity() >= 1.0);
+        }
+        print(&results);
+    }
+
+    #[test]
+    fn axes_match_the_default_grids() {
+        let axes = axes_of(AgentKind::Bo);
+        assert!(axes.contains_key("acquisition"));
+        assert!(axes.contains_key("length_scale"));
+        assert_eq!(axes["acquisition"].len(), 3);
+    }
+}

@@ -1,0 +1,10 @@
+//! Per-hyperparameter ablation study. Pass `--scale=smoke|default|full`.
+
+use archgym_bench::harness::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running ablation at {scale:?} scale...");
+    let result = archgym_bench::ablation::run(scale).expect("experiment failed");
+    archgym_bench::ablation::print(&result);
+}

@@ -1,0 +1,10 @@
+//! Regenerate the paper's fig11. Pass `--scale=smoke|default|full`.
+
+use archgym_bench::harness::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running fig11 at {scale:?} scale...");
+    let result = archgym_bench::fig11::run(scale).expect("experiment failed");
+    archgym_bench::fig11::print(&result);
+}

@@ -1,0 +1,44 @@
+//! Regenerate the paper's Fig. 3: the four architecture design spaces,
+//! their parameters, domains and total cardinalities.
+
+use archgym_core::space::{ParamDomain, ParamSpace};
+
+fn print_space(title: &str, space: &ParamSpace) {
+    println!("\n=== Fig. 3 — {title} ===");
+    println!("{:<34} {:<44} {:>8}", "Parameter", "Domain", "values");
+    for p in space.params() {
+        let domain = match p.domain() {
+            ParamDomain::Int { min, max, step } => format!("({min}, {max}, {step})"),
+            ParamDomain::Pow2 { min, max } => format!("({min}, {max}, 2^x)"),
+            ParamDomain::Categorical { choices } => {
+                let joined = choices.join(", ");
+                if joined.len() > 42 {
+                    format!("{}...", &joined[..39])
+                } else {
+                    joined
+                }
+            }
+        };
+        println!(
+            "{:<34} {:<44} {:>8}",
+            p.name(),
+            domain,
+            p.domain().cardinality()
+        );
+    }
+    println!("total design points: {:.3e}", space.cardinality());
+}
+
+fn main() {
+    print_space("(a) DRAM memory controller", &archgym_dram::dram_space());
+    print_space(
+        "(b) Eyeriss-like accelerator",
+        &archgym_accel::accel_space(),
+    );
+    print_space("(c) system on-chip", &archgym_soc::soc_space());
+    let net = archgym_models::vgg16();
+    print_space(
+        "(d) DNN mapping (VGG16 conv1_2)",
+        &archgym_mapping::mapping_space(net.layer("conv1_2").unwrap()),
+    );
+}

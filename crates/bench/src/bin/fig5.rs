@@ -1,0 +1,10 @@
+//! Regenerate the paper's fig5. Pass `--scale=smoke|default|full`.
+
+use archgym_bench::harness::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running fig5 at {scale:?} scale...");
+    let result = archgym_bench::fig5::run(scale).expect("experiment failed");
+    archgym_bench::fig5::print(&result);
+}

@@ -1,0 +1,10 @@
+//! Regenerate the paper's fig8. Pass `--scale=smoke|default|full`.
+
+use archgym_bench::harness::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running fig8 at {scale:?} scale...");
+    let result = archgym_bench::fig8::run(scale).expect("experiment failed");
+    archgym_bench::fig8::print(&result);
+}

@@ -1,0 +1,10 @@
+//! Samples-to-target study. Pass `--scale=smoke|default|full`.
+
+use archgym_bench::harness::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running sample_efficiency at {scale:?} scale...");
+    let result = archgym_bench::sample_efficiency::run(scale).expect("experiment failed");
+    archgym_bench::sample_efficiency::print(&result);
+}

@@ -1,0 +1,10 @@
+//! Regenerate the paper's table4. Pass `--scale=smoke|default|full`.
+
+use archgym_bench::harness::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("running table4 at {scale:?} scale...");
+    let result = archgym_bench::table4::run(scale).expect("experiment failed");
+    archgym_bench::table4::print(&result);
+}

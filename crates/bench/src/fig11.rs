@@ -1,0 +1,100 @@
+//! **Fig. 11** — predicted vs actual power: correlation of the proxy
+//! trained on a single-source dataset vs a diverse dataset.
+//!
+//! The paper's scatter plots show diverse-trained proxies hugging the
+//! diagonal while single-source proxies decorrelate off their agent's
+//! exploration manifold; we quantify the same with the Pearson
+//! correlation on a uniform held-out set.
+
+use crate::fig10::{collect_pool, uniform_test_set, POWER_METRIC};
+use crate::harness::Scale;
+use archgym_core::error::Result;
+use archgym_core::seeded_rng;
+use archgym_proxy::forest::ForestConfig;
+use archgym_proxy::pipeline::{train_proxy_fixed, DatasetTiers};
+
+/// The study output.
+#[derive(Debug, Clone)]
+pub struct Fig11Result {
+    /// Correlation of the single-source (ACO-only) power proxy.
+    pub single_correlation: f64,
+    /// Correlation of the diverse power proxy.
+    pub diverse_correlation: f64,
+    /// RMSE of the single-source proxy.
+    pub single_rmse: f64,
+    /// RMSE of the diverse proxy.
+    pub diverse_rmse: f64,
+    /// Matched training-set size.
+    pub train_size: usize,
+}
+
+/// Run the study at one matched dataset size.
+///
+/// # Errors
+///
+/// Propagates dataset-collection and training failures.
+pub fn run(scale: Scale) -> Result<Fig11Result> {
+    let pool = collect_pool(scale)?;
+    let size = match scale {
+        Scale::Smoke => 192,
+        Scale::Default => 1_500,
+        Scale::Full => 8_000,
+    };
+    let mut rng = seeded_rng(0xF11);
+    let tiers = DatasetTiers::build(&pool, "aco", &[size], &mut rng)?;
+    let (actual_size, single, diverse) = &tiers.tiers[0];
+    let test = uniform_test_set(scale, 0x11E5);
+    let config = ForestConfig::default();
+    let single_report = train_proxy_fixed(single, POWER_METRIC, &config, 3)?.report(&test)?;
+    let diverse_report = train_proxy_fixed(diverse, POWER_METRIC, &config, 3)?.report(&test)?;
+    Ok(Fig11Result {
+        single_correlation: single_report.correlation,
+        diverse_correlation: diverse_report.correlation,
+        single_rmse: single_report.rmse,
+        diverse_rmse: diverse_report.rmse,
+        train_size: *actual_size,
+    })
+}
+
+/// Print the study.
+pub fn print(result: &Fig11Result) {
+    println!("\n=== Fig. 11 — predicted vs actual power (held-out designs) ===");
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "training set", "correlation", "RMSE (W)"
+    );
+    println!(
+        "{:<22} {:>14.4} {:>14.5}",
+        format!("single-source ({})", result.train_size),
+        result.single_correlation,
+        result.single_rmse
+    );
+    println!(
+        "{:<22} {:>14.4} {:>14.5}",
+        format!("diverse ({})", result.train_size),
+        result.diverse_correlation,
+        result.diverse_rmse
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diverse_training_correlates_at_least_as_well() {
+        let result = run(Scale::Smoke).unwrap();
+        assert!(
+            result.diverse_correlation > 0.5,
+            "diverse proxy decorrelated: {}",
+            result.diverse_correlation
+        );
+        assert!(
+            result.diverse_correlation >= result.single_correlation - 0.1,
+            "diversity hurt correlation: {} vs {}",
+            result.diverse_correlation,
+            result.single_correlation
+        );
+        print(&result);
+    }
+}

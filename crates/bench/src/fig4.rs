@@ -1,0 +1,150 @@
+//! **Fig. 4** — the hyperparameter lottery on the DRAM memory controller:
+//! best-reward distributions per agent across 4 memory traces × 3 target
+//! objectives (low power, low latency, joint).
+//!
+//! The paper's headline numbers: up to ~90 % statistical spread
+//! (interquartile range) across hyperparameter choices, and at least one
+//! winning configuration per agent family.
+
+use crate::harness::{lottery, print_summary_table, LotterySpec, Scale};
+use archgym_agents::factory::AgentKind;
+use archgym_core::error::Result;
+use archgym_core::sweep::SweepSummary;
+use archgym_dram::{DramEnv, DramWorkload, Objective};
+
+/// One panel of Fig. 4: a workload × objective cell with one summary per
+/// agent family.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    /// Trace name.
+    pub workload: &'static str,
+    /// Objective name.
+    pub objective: String,
+    /// One sweep summary per agent (ACO, BO, GA, RL, RW).
+    pub summaries: Vec<SweepSummary>,
+}
+
+impl Panel {
+    /// The largest relative IQR spread across agents in this panel — the
+    /// quantity behind the paper's "up to 90 % spread" claim.
+    pub fn max_spread(&self) -> f64 {
+        self.summaries
+            .iter()
+            .map(|s| s.stats.relative_spread())
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether every agent family found at least one design *meeting the
+    /// target specification* within `tolerance` — the paper's "at least
+    /// one winning ticket per agent" observation (a design is optimal as
+    /// soon as it meets the user-defined target, Section 1).
+    ///
+    /// For the `target/|target − obs|` reward, a best reward of at least
+    /// `1/tolerance` means the best design landed within `tolerance`
+    /// (relative) of the target.
+    pub fn every_agent_has_a_ticket(&self, tolerance: f64) -> bool {
+        self.summaries
+            .iter()
+            .all(|s| s.stats.max >= 1.0 / tolerance)
+    }
+}
+
+/// A reasonable mean-latency target for a workload — near, but above,
+/// the trace's achievable floor, so meeting the target takes design
+/// effort (high-locality streams can run near the row-hit floor; bursty
+/// cloud blends queue).
+pub fn latency_target_ns(workload: DramWorkload) -> f64 {
+    match workload {
+        // The streaming trace rides the row-hit floor (~19 ns); 22 ns
+        // keeps the target inside the achievable band.
+        DramWorkload::Stream => 22.0,
+        DramWorkload::Random => 50.0,
+        DramWorkload::Cloud1 => 250.0,
+        DramWorkload::Cloud2 => 150.0,
+    }
+}
+
+/// The objectives of Fig. 4 for one workload, with targets sized to the
+/// simulator's achievable envelope.
+pub fn objectives(workload: DramWorkload) -> Vec<Objective> {
+    let latency = latency_target_ns(workload);
+    vec![
+        Objective::low_power(1.0),
+        Objective::low_latency(latency),
+        Objective::joint(latency, 1.0),
+    ]
+}
+
+/// Run the Fig. 4 study. At `Smoke` scale only the first workload ×
+/// objective cell runs.
+///
+/// # Errors
+///
+/// Propagates agent-construction failures.
+pub fn run(scale: Scale) -> Result<Vec<Panel>> {
+    let spec = LotterySpec::new(scale);
+    let workloads: &[DramWorkload] = match scale {
+        Scale::Smoke => &[DramWorkload::Stream],
+        _ => &DramWorkload::ALL,
+    };
+    let mut panels = Vec::new();
+    for &workload in workloads {
+        let objectives = match scale {
+            Scale::Smoke => objectives(workload).into_iter().take(1).collect::<Vec<_>>(),
+            _ => objectives(workload),
+        };
+        for objective in &objectives {
+            let mut summaries = Vec::new();
+            for kind in AgentKind::ALL {
+                let objective = objective.clone();
+                let sweep = lottery(kind, &spec, || {
+                    Box::new(DramEnv::new(workload, objective.clone()))
+                })?;
+                summaries.push(sweep.summary());
+            }
+            panels.push(Panel {
+                workload: workload.name(),
+                objective: objective.name().to_owned(),
+                summaries,
+            });
+        }
+    }
+    Ok(panels)
+}
+
+/// Print the figure as tables, one per panel.
+pub fn print(panels: &[Panel]) {
+    for panel in panels {
+        print_summary_table(
+            &format!(
+                "Fig. 4 — DRAMGym, trace={}, objective={}",
+                panel.workload, panel.objective
+            ),
+            &panel.summaries,
+        );
+        println!(
+            "max spread {:.1}% | every agent meets the target within 20%: {}",
+            panel.max_spread() * 100.0,
+            panel.every_agent_has_a_ticket(0.2)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_one_panel_with_all_agents() {
+        let panels = run(Scale::Smoke).unwrap();
+        assert_eq!(panels.len(), 1);
+        let panel = &panels[0];
+        assert_eq!(panel.summaries.len(), 5);
+        let agents: Vec<&str> = panel.summaries.iter().map(|s| s.agent.as_str()).collect();
+        assert_eq!(agents, ["aco", "bo", "ga", "rl", "rw"]);
+        assert!(panel.max_spread() >= 0.0);
+        // Rewards must be positive for the target-ratio objective.
+        assert!(panel.summaries.iter().all(|s| s.stats.max > 0.0));
+        print(&panels);
+    }
+}

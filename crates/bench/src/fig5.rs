@@ -1,0 +1,151 @@
+//! **Fig. 5** — the hyperparameter lottery across all four simulators:
+//! (a) DRAMGym on the streaming trace, (b) TimeloopGym designing an
+//! Eyeriss-like accelerator for ResNet-50, (c) FARSIGym designing a SoC
+//! for edge detection, and (d) MaestroGym mapping ResNet-18.
+//!
+//! For (b)–(d) the paper plots a *minimization* quantity (distance /
+//! latency), so this harness also reports each panel in the paper's
+//! native units.
+
+use crate::harness::{lottery, print_summary_table, LotterySpec, Scale};
+use archgym_accel::{AccelEnv, Objective as AccelObjective};
+use archgym_agents::factory::AgentKind;
+use archgym_core::error::Result;
+use archgym_core::sweep::SweepSummary;
+use archgym_dram::{DramEnv, DramWorkload, Objective as DramObjective};
+use archgym_mapping::{MappingEnv, Objective as MappingObjective};
+use archgym_soc::{SocEnv, SocWorkload};
+
+/// One simulator panel of Fig. 5.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    /// Panel label (`"dram"`, `"timeloop"`, `"farsi"`, `"maestro"`).
+    pub simulator: &'static str,
+    /// One sweep summary per agent family.
+    pub summaries: Vec<SweepSummary>,
+}
+
+/// Which panels to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanelId {
+    /// DRAMGym, streaming trace, low-power objective.
+    Dram,
+    /// TimeloopGym, ResNet-50, latency target.
+    Timeloop,
+    /// FARSIGym, edge detection, distance-to-budget.
+    Farsi,
+    /// MaestroGym, ResNet-18 stage-2 mapping, runtime minimization.
+    Maestro,
+}
+
+impl PanelId {
+    /// All four panels in paper order.
+    pub const ALL: [PanelId; 4] = [
+        PanelId::Dram,
+        PanelId::Timeloop,
+        PanelId::Farsi,
+        PanelId::Maestro,
+    ];
+}
+
+/// Run one panel.
+///
+/// # Errors
+///
+/// Propagates agent-construction failures.
+pub fn run_panel(id: PanelId, scale: Scale) -> Result<Panel> {
+    let spec = LotterySpec::new(scale);
+    let mut summaries = Vec::new();
+    for kind in AgentKind::ALL {
+        let sweep = match id {
+            PanelId::Dram => lottery(kind, &spec, || {
+                Box::new(DramEnv::new(
+                    DramWorkload::Stream,
+                    DramObjective::low_power(1.0),
+                ))
+            })?,
+            PanelId::Timeloop => lottery(kind, &spec, || {
+                Box::new(AccelEnv::new(
+                    archgym_models::resnet50(),
+                    AccelObjective::latency(15.0),
+                ))
+            })?,
+            PanelId::Farsi => lottery(kind, &spec, || {
+                Box::new(SocEnv::new(SocWorkload::EdgeDetection))
+            })?,
+            PanelId::Maestro => lottery(kind, &spec, || {
+                let net = archgym_models::resnet18();
+                Box::new(
+                    MappingEnv::for_layer(&net, "stage2", MappingObjective::runtime())
+                        .expect("stage2 exists"),
+                )
+            })?,
+        };
+        summaries.push(sweep.summary());
+    }
+    Ok(Panel {
+        simulator: match id {
+            PanelId::Dram => "dram",
+            PanelId::Timeloop => "timeloop",
+            PanelId::Farsi => "farsi",
+            PanelId::Maestro => "maestro",
+        },
+        summaries,
+    })
+}
+
+/// Run the full figure (at `Smoke` scale, only the DRAM and FARSI panels
+/// to keep CI fast).
+///
+/// # Errors
+///
+/// Propagates agent-construction failures.
+pub fn run(scale: Scale) -> Result<Vec<Panel>> {
+    let panels: &[PanelId] = match scale {
+        Scale::Smoke => &[PanelId::Dram, PanelId::Farsi],
+        _ => &PanelId::ALL,
+    };
+    panels.iter().map(|&id| run_panel(id, scale)).collect()
+}
+
+/// Print the figure as tables, one per simulator panel.
+pub fn print(panels: &[Panel]) {
+    for panel in panels {
+        print_summary_table(
+            &format!("Fig. 5 — hyperparameter lottery on {}", panel.simulator),
+            &panel.summaries,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_panels_cover_two_simulators() {
+        let panels = run(Scale::Smoke).unwrap();
+        assert_eq!(panels.len(), 2);
+        assert_eq!(panels[0].simulator, "dram");
+        assert_eq!(panels[1].simulator, "farsi");
+        for panel in &panels {
+            assert_eq!(panel.summaries.len(), 5);
+        }
+        print(&panels);
+    }
+
+    #[test]
+    fn maestro_panel_runs_at_smoke_scale() {
+        let panel = run_panel(PanelId::Maestro, Scale::Smoke).unwrap();
+        assert_eq!(panel.simulator, "maestro");
+        // Runtime minimization rewards are positive (1/x) for feasible
+        // mappings; at least one agent must have found one.
+        assert!(panel.summaries.iter().any(|s| s.stats.max > 0.0));
+    }
+
+    #[test]
+    fn timeloop_panel_runs_at_smoke_scale() {
+        let panel = run_panel(PanelId::Timeloop, Scale::Smoke).unwrap();
+        assert!(panel.summaries.iter().any(|s| s.stats.max > 0.0));
+    }
+}

@@ -1,0 +1,141 @@
+//! **Fig. 7** — trade-offs under sample-efficiency constraints: mean
+//! normalized reward of each agent on DRAMGym and TimeloopGym when the
+//! simulator only grants {100, 1k, 10k, 100k} samples.
+//!
+//! The paper's shape: in the low-sample regime every simple algorithm
+//! (even the random walker) is competitive while RL lags badly; with
+//! large budgets RL improves drastically and the field converges.
+
+use crate::harness::{lottery, LotterySpec, Scale};
+use archgym_accel::{AccelEnv, Objective as AccelObjective};
+use archgym_agents::factory::AgentKind;
+use archgym_core::error::Result;
+use archgym_core::sweep::mean_normalized_rewards;
+use archgym_dram::{DramEnv, DramWorkload, Objective as DramObjective};
+
+/// One (environment, budget) cell: normalized mean best reward per agent.
+#[derive(Debug, Clone)]
+pub struct BudgetCell {
+    /// Environment label.
+    pub env: &'static str,
+    /// Sample budget.
+    pub budget: u64,
+    /// `(agent, mean normalized reward)` pairs, paper order.
+    pub normalized: Vec<(String, f64)>,
+}
+
+impl BudgetCell {
+    /// Normalized score of one agent.
+    pub fn score(&self, agent: &str) -> Option<f64> {
+        self.normalized
+            .iter()
+            .find(|(a, _)| a == agent)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// The budgets of the study, scaled.
+pub fn budgets(scale: Scale) -> Vec<u64> {
+    match scale {
+        Scale::Smoke => vec![64, 512],
+        Scale::Default => vec![100, 1_000, 10_000],
+        Scale::Full => vec![100, 1_000, 10_000, 100_000],
+    }
+}
+
+/// Run the study.
+///
+/// # Errors
+///
+/// Propagates agent-construction failures.
+pub fn run(scale: Scale) -> Result<Vec<BudgetCell>> {
+    let mut cells = Vec::new();
+    let envs: Vec<&'static str> = match scale {
+        Scale::Smoke => vec!["dram"],
+        _ => vec!["dram", "timeloop"],
+    };
+    for env_label in envs {
+        for &budget in &budgets(scale) {
+            let spec = LotterySpec::new(scale).budget(budget);
+            let mut sweeps = Vec::new();
+            for kind in AgentKind::ALL {
+                let sweep = match env_label {
+                    "dram" => lottery(kind, &spec, || {
+                        Box::new(DramEnv::new(
+                            DramWorkload::Cloud1,
+                            DramObjective::joint(
+                                crate::fig4::latency_target_ns(DramWorkload::Cloud1),
+                                1.0,
+                            ),
+                        ))
+                    })?,
+                    _ => lottery(kind, &spec, || {
+                        Box::new(AccelEnv::new(
+                            archgym_models::resnet18(),
+                            AccelObjective::latency(8.0),
+                        ))
+                    })?,
+                };
+                sweeps.push(sweep);
+            }
+            cells.push(BudgetCell {
+                env: env_label,
+                budget,
+                normalized: mean_normalized_rewards(&sweeps),
+            });
+        }
+    }
+    Ok(cells)
+}
+
+/// Print the figure as one row per (env, budget).
+pub fn print(cells: &[BudgetCell]) {
+    println!("\n=== Fig. 7 — mean normalized reward vs sample budget ===");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "env", "budget", "aco", "bo", "ga", "rl", "rw"
+    );
+    for cell in cells {
+        print!("{:<10} {:>8}", cell.env, cell.budget);
+        for agent in ["aco", "bo", "ga", "rl", "rw"] {
+            print!(" {:>8.3}", cell.score(agent).unwrap_or(f64::NAN));
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_produces_cells_for_each_budget() {
+        let cells = run(Scale::Smoke).unwrap();
+        assert_eq!(cells.len(), 2);
+        for cell in &cells {
+            assert_eq!(cell.normalized.len(), 5);
+            // Normalization: the best agent scores exactly 1.
+            let max = cell
+                .normalized
+                .iter()
+                .map(|(_, v)| *v)
+                .fold(f64::NEG_INFINITY, f64::max);
+            assert!((max - 1.0).abs() < 1e-9);
+        }
+        print(&cells);
+    }
+
+    #[test]
+    fn rl_improves_with_budget() {
+        // The qualitative Fig. 7 claim, at smoke scale: RL's normalized
+        // score at the larger budget is at least its small-budget score
+        // (allowing noise slack).
+        let cells = run(Scale::Smoke).unwrap();
+        let small = cells[0].score("rl").unwrap();
+        let large = cells[1].score("rl").unwrap();
+        assert!(
+            large >= small * 0.8,
+            "RL did not improve with budget: {small} -> {large}"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! **Fig. 8** — time to completion of each agent on DRAMGym and
+//! FARSIGym for a fixed sample budget.
+//!
+//! The paper's caveat applies here too: wall-clock comparisons conflate
+//! implementation effort with algorithmic merit (ACO's sequential
+//! construction vs GA's batched evaluation, BO's cubic surrogate), which
+//! is exactly why the paper prefers sample efficiency as the yardstick.
+
+use crate::harness::Scale;
+use archgym_agents::factory::{build_agent, AgentKind};
+use archgym_core::agent::HyperMap;
+use archgym_core::env::Environment;
+use archgym_core::error::Result;
+use archgym_core::search::{RunConfig, SearchLoop};
+use archgym_dram::{DramEnv, DramWorkload, Objective};
+use archgym_soc::{SocEnv, SocWorkload};
+
+/// Wall-clock of one agent on one environment.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// Environment label.
+    pub env: String,
+    /// Agent family.
+    pub agent: &'static str,
+    /// Wall-clock seconds for the budgeted run.
+    pub seconds: f64,
+    /// Samples consumed.
+    pub samples: u64,
+}
+
+/// Run the study with each agent's default hyperparameters.
+///
+/// # Errors
+///
+/// Propagates agent-construction failures.
+pub fn run(scale: Scale) -> Result<Vec<Timing>> {
+    let budget = match scale {
+        Scale::Smoke => 128,
+        Scale::Default => 2_000,
+        Scale::Full => 10_000,
+    };
+    let mut timings = Vec::new();
+    let mut envs: Vec<Box<dyn FnMut() -> Box<dyn Environment>>> = vec![
+        Box::new(|| {
+            Box::new(DramEnv::new(
+                DramWorkload::Random,
+                Objective::low_power(1.0),
+            ))
+        }),
+        Box::new(|| Box::new(SocEnv::new(SocWorkload::AudioDecoder))),
+    ];
+    for make_env in envs.iter_mut() {
+        for kind in AgentKind::ALL {
+            let mut env = make_env();
+            let mut agent = build_agent(kind, env.space(), &HyperMap::new(), 7)?;
+            let result = SearchLoop::new(RunConfig::with_budget(budget).record(false))
+                .run(&mut agent, &mut env);
+            timings.push(Timing {
+                env: env.name().to_owned(),
+                agent: kind.name(),
+                seconds: result.wall_seconds,
+                samples: result.samples_used,
+            });
+        }
+    }
+    Ok(timings)
+}
+
+/// Print the figure as a table.
+pub fn print(timings: &[Timing]) {
+    println!("\n=== Fig. 8 — time to completion (fixed sample budget) ===");
+    println!(
+        "{:<22} {:<6} {:>12} {:>10}",
+        "env", "agent", "seconds", "samples"
+    );
+    for t in timings {
+        println!(
+            "{:<22} {:<6} {:>12.4} {:>10}",
+            t.env, t.agent, t.seconds, t.samples
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_run_times_every_agent_on_both_envs() {
+        let timings = run(Scale::Smoke).unwrap();
+        assert_eq!(timings.len(), 10);
+        for t in &timings {
+            assert!(t.seconds >= 0.0);
+            assert_eq!(t.samples, 128, "{}/{} under-sampled", t.env, t.agent);
+        }
+        let envs: std::collections::BTreeSet<&str> =
+            timings.iter().map(|t| t.env.as_str()).collect();
+        assert_eq!(envs.len(), 2);
+        print(&timings);
+    }
+}

@@ -1,0 +1,261 @@
+//! Shared experiment plumbing: scales, capped lottery sweeps, tables.
+
+use archgym_agents::factory::{build_agent, default_grid, AgentKind};
+use archgym_core::agent::HyperMap;
+use archgym_core::env::Environment;
+use archgym_core::error::Result;
+use archgym_core::search::{RunConfig, SearchLoop};
+use archgym_core::sweep::{SweepPoint, SweepResult, SweepSummary};
+
+/// Experiment scale. The paper's studies span 21,600 experiments and
+/// ~1.5 billion simulations on a cluster; `Full` approaches that
+/// methodology faithfully, `Default` reproduces the *shapes* in minutes
+/// on a laptop, `Smoke` keeps CI fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale: tiny budgets, 2 grid points, 1 seed.
+    Smoke,
+    /// Minutes-scale: the default for `cargo run --release`.
+    Default,
+    /// Faithful sweeps (expect hours).
+    Full,
+}
+
+impl Scale {
+    /// Parse `--scale=smoke|default|full` from `std::env::args`.
+    pub fn from_args() -> Scale {
+        for arg in std::env::args() {
+            if let Some(value) = arg.strip_prefix("--scale=") {
+                return match value {
+                    "smoke" => Scale::Smoke,
+                    "full" => Scale::Full,
+                    _ => Scale::Default,
+                };
+            }
+        }
+        Scale::Default
+    }
+
+    /// Sample budget per search run.
+    pub fn budget(&self) -> u64 {
+        match self {
+            Scale::Smoke => 128,
+            Scale::Default => 1_000,
+            Scale::Full => 10_000,
+        }
+    }
+
+    /// Maximum hyperparameter assignments taken from each agent's grid.
+    pub fn grid_cap(&self) -> usize {
+        match self {
+            Scale::Smoke => 2,
+            Scale::Default => 9,
+            Scale::Full => 27,
+        }
+    }
+
+    /// Seeds per assignment.
+    pub fn seeds(&self) -> Vec<u64> {
+        match self {
+            Scale::Smoke => vec![1],
+            Scale::Default => vec![1, 2],
+            Scale::Full => vec![1, 2, 3, 4],
+        }
+    }
+}
+
+/// What a lottery sweep runs: one environment family at one scale.
+#[derive(Debug, Clone, Copy)]
+pub struct LotterySpec {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Sample budget per run (defaults to `scale.budget()`).
+    pub budget: u64,
+    /// Batch size handed to agents per proposal round.
+    pub batch: usize,
+    /// Record trajectories (needed by the dataset experiments).
+    pub record: bool,
+}
+
+impl LotterySpec {
+    /// The standard spec for a scale.
+    pub fn new(scale: Scale) -> Self {
+        LotterySpec {
+            scale,
+            budget: scale.budget(),
+            batch: 16,
+            record: false,
+        }
+    }
+
+    /// Override the budget, builder-style.
+    pub fn budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Enable trajectory recording, builder-style.
+    pub fn record(mut self, record: bool) -> Self {
+        self.record = record;
+        self
+    }
+}
+
+/// Run the hyperparameter lottery for one agent family against an
+/// environment factory: every (capped) grid assignment × every seed.
+///
+/// Runs are distributed over all available cores; because every run is
+/// independently seeded, the result is bit-identical to a sequential
+/// sweep regardless of thread count.
+///
+/// # Errors
+///
+/// Propagates agent-construction failures.
+pub fn lottery<F>(kind: AgentKind, spec: &LotterySpec, make_env: F) -> Result<SweepResult>
+where
+    F: Fn() -> Box<dyn Environment> + Sync,
+{
+    let grid = default_grid(kind);
+    let run_config = RunConfig {
+        sample_budget: spec.budget,
+        batch: spec.batch,
+        record: spec.record,
+    };
+    let jobs: Vec<(HyperMap, u64)> = grid
+        .iter()
+        .take(spec.scale.grid_cap())
+        .flat_map(|hyper| {
+            spec.scale
+                .seeds()
+                .into_iter()
+                .map(move |seed| (hyper.clone(), seed))
+        })
+        .collect();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(jobs.len().max(1));
+
+    let run_one = |(hyper, seed): &(HyperMap, u64)| -> Result<(String, SweepPoint)> {
+        let mut env = make_env();
+        let env_name = env.name().to_owned();
+        let mut agent = build_agent(kind, env.space(), hyper, *seed)?;
+        let result = SearchLoop::new(run_config.clone()).run(&mut agent, &mut env);
+        Ok((
+            env_name,
+            SweepPoint {
+                hyper: hyper.clone(),
+                seed: *seed,
+                result,
+            },
+        ))
+    };
+
+    let outcomes: Vec<Result<(String, SweepPoint)>> = if workers <= 1 {
+        jobs.iter().map(run_one).collect()
+    } else {
+        let mut slots: Vec<Option<Result<(String, SweepPoint)>>> = Vec::new();
+        slots.resize_with(jobs.len(), || None);
+        std::thread::scope(|scope| {
+            for (job_chunk, slot_chunk) in jobs
+                .chunks(jobs.len().div_ceil(workers))
+                .zip(slots.chunks_mut(jobs.len().div_ceil(workers)))
+            {
+                let run_one = &run_one;
+                scope.spawn(move || {
+                    for (job, slot) in job_chunk.iter().zip(slot_chunk.iter_mut()) {
+                        *slot = Some(run_one(job));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("worker filled every slot"))
+            .collect()
+    };
+
+    let mut points = Vec::with_capacity(outcomes.len());
+    let mut env_name = String::new();
+    for outcome in outcomes {
+        let (name, point) = outcome?;
+        env_name = name;
+        points.push(point);
+    }
+    Ok(SweepResult {
+        agent: kind.name().to_owned(),
+        env: env_name,
+        points,
+    })
+}
+
+/// Render sweep summaries as the box-plot-style table the paper's Fig. 4
+/// and Fig. 5 panels encode: min / Q1 / median / Q3 / max best reward per
+/// agent, plus the relative IQR spread and the winning assignment.
+pub fn print_summary_table(title: &str, summaries: &[SweepSummary]) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8}  winning ticket",
+        "agent", "min", "q1", "median", "q3", "max", "spread%"
+    );
+    for s in summaries {
+        println!(
+            "{:<6} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>12.4} {:>8.1}  {}",
+            s.agent,
+            s.stats.min,
+            s.stats.q1,
+            s.stats.median,
+            s.stats.q3,
+            s.stats.max,
+            s.stats.relative_spread() * 100.0,
+            s.winning_hyper.summary()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgym_core::toy::PeakEnv;
+
+    #[test]
+    fn scale_parameters_are_ordered() {
+        assert!(Scale::Smoke.budget() < Scale::Default.budget());
+        assert!(Scale::Default.budget() < Scale::Full.budget());
+        assert!(Scale::Smoke.grid_cap() < Scale::Full.grid_cap());
+        assert!(Scale::Smoke.seeds().len() <= Scale::Full.seeds().len());
+    }
+
+    #[test]
+    fn lottery_runs_capped_grid_times_seeds() {
+        let spec = LotterySpec::new(Scale::Smoke);
+        let result = lottery(AgentKind::Rw, &spec, || {
+            Box::new(PeakEnv::new(&[8, 8], vec![3, 5]))
+        })
+        .unwrap();
+        assert_eq!(result.points.len(), 2); // grid cap 2 × 1 seed
+        assert_eq!(result.env, "peak");
+        assert!(result.summary().stats.max > 0.1);
+    }
+
+    #[test]
+    fn lottery_works_for_every_family() {
+        let spec = LotterySpec::new(Scale::Smoke);
+        for kind in AgentKind::ALL {
+            let result = lottery(kind, &spec, || Box::new(PeakEnv::new(&[6, 6], vec![2, 4])))
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert!(!result.points.is_empty());
+            assert_eq!(result.agent, kind.name());
+        }
+    }
+
+    #[test]
+    fn print_summary_table_does_not_panic() {
+        let spec = LotterySpec::new(Scale::Smoke);
+        let result = lottery(AgentKind::Ga, &spec, || {
+            Box::new(PeakEnv::new(&[5], vec![1]))
+        })
+        .unwrap();
+        print_summary_table("smoke", &[result.summary()]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Samples-to-target: how many simulator queries each agent needs before
+//! it first meets the target specification — the paper's own definition
+//! of search efficiency ("the number of requisite samples before reaching
+//! an optimal solution", Section 2), reported directly instead of through
+//! budget-sliced normalized rewards.
+
+use crate::harness::Scale;
+use archgym_agents::factory::{build_agent, default_grid, AgentKind};
+use archgym_core::env::Environment;
+use archgym_core::error::Result;
+use archgym_core::search::{RunConfig, SearchLoop};
+use archgym_dram::{DramEnv, DramWorkload, Objective};
+
+/// One agent's samples-to-target distribution over its hyper sweep.
+#[derive(Debug, Clone)]
+pub struct EfficiencyRow {
+    /// Agent family.
+    pub agent: &'static str,
+    /// Runs that reached the target, as `(samples_to_target)` values.
+    pub reached: Vec<u64>,
+    /// Number of runs that never reached it within the budget.
+    pub missed: usize,
+}
+
+impl EfficiencyRow {
+    /// Median samples-to-target among the runs that reached it.
+    pub fn median(&self) -> Option<u64> {
+        if self.reached.is_empty() {
+            return None;
+        }
+        let mut sorted = self.reached.clone();
+        sorted.sort_unstable();
+        Some(sorted[sorted.len() / 2])
+    }
+}
+
+/// Run the study: DRAM random trace, 1 W power target; a run "reaches the
+/// target" when its reward crosses `1/tolerance` (within `tolerance` of
+/// the target specification).
+///
+/// # Errors
+///
+/// Propagates agent-construction failures.
+pub fn run(scale: Scale) -> Result<Vec<EfficiencyRow>> {
+    let budget = match scale {
+        Scale::Smoke => 256,
+        Scale::Default => 2_000,
+        Scale::Full => 20_000,
+    };
+    let tolerance = 0.05; // within 5% of the 1 W goal
+    let threshold = 1.0 / tolerance;
+    let mut rows = Vec::new();
+    for kind in AgentKind::ALL {
+        let mut reached = Vec::new();
+        let mut missed = 0usize;
+        for (i, hyper) in default_grid(kind)
+            .iter()
+            .take(scale.grid_cap())
+            .enumerate()
+        {
+            let mut env = DramEnv::new(DramWorkload::Random, Objective::low_power(1.0));
+            let mut agent = build_agent(kind, env.space(), &hyper, i as u64)?;
+            let result = SearchLoop::new(RunConfig::with_budget(budget)).run(&mut agent, &mut env);
+            match result.samples_to_reach(threshold) {
+                Some(n) => reached.push(n),
+                None => missed += 1,
+            }
+        }
+        rows.push(EfficiencyRow {
+            agent: kind.name(),
+            reached,
+            missed,
+        });
+    }
+    Ok(rows)
+}
+
+/// Print the study.
+pub fn print(rows: &[EfficiencyRow]) {
+    println!("\n=== Samples to reach the 1 W target within 5% (DRAM, pointer-chase) ===");
+    println!(
+        "{:<6} {:>10} {:>8} {:>8}  per-run samples-to-target",
+        "agent", "median", "reached", "missed"
+    );
+    for row in rows {
+        let detail = row
+            .reached
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!(
+            "{:<6} {:>10} {:>8} {:>8}  {detail}",
+            row.agent,
+            row.median().map_or("—".into(), |m| m.to_string()),
+            row.reached.len(),
+            row.missed
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_study_reports_every_family() {
+        let rows = run(Scale::Smoke).unwrap();
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert_eq!(row.reached.len() + row.missed, 2); // smoke grid cap
+            for &n in &row.reached {
+                assert!(n >= 1 && n <= 256);
+            }
+        }
+        // At least one family reaches the target even at smoke budgets.
+        assert!(rows.iter().any(|r| !r.reached.is_empty()));
+        print(&rows);
+    }
+}

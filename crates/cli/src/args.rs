@@ -1,0 +1,149 @@
+//! A minimal `--key value` argument parser (no external dependencies).
+
+use archgym_core::error::{ArchGymError, Result};
+use std::collections::BTreeMap;
+
+/// Parsed command line: one subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Args {
+    command: String,
+    options: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parse from an iterator of argument strings (excluding the program
+    /// name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::InvalidConfig`] for missing subcommands,
+    /// options without values, or positional arguments after the
+    /// subcommand.
+    pub fn parse<I, S>(args: I) -> Result<Args>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut iter = args.into_iter().map(Into::into);
+        let command = iter
+            .next()
+            .ok_or_else(|| ArchGymError::InvalidConfig("missing subcommand".into()))?;
+        if command.starts_with("--") {
+            return Err(ArchGymError::InvalidConfig(format!(
+                "expected a subcommand before `{command}`"
+            )));
+        }
+        let mut options = BTreeMap::new();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(ArchGymError::InvalidConfig(format!(
+                    "unexpected positional argument `{arg}`"
+                )));
+            };
+            // Support both `--key value` and `--key=value`.
+            if let Some((k, v)) = key.split_once('=') {
+                options.insert(k.to_owned(), v.to_owned());
+            } else {
+                let value = iter.next().ok_or_else(|| {
+                    ArchGymError::InvalidConfig(format!("option `--{key}` needs a value"))
+                })?;
+                options.insert(key.to_owned(), value);
+            }
+        }
+        Ok(Args { command, options })
+    }
+
+    /// The subcommand name.
+    pub fn command(&self) -> &str {
+        &self.command
+    }
+
+    /// A required string option.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::InvalidConfig`] when absent.
+    pub fn require(&self, key: &str) -> Result<&str> {
+        self.options
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArchGymError::InvalidConfig(format!("missing required `--{key}`")))
+    }
+
+    /// An optional string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// An optional integer with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::InvalidConfig`] on unparsable values.
+    pub fn u64_or(&self, key: &str, default: u64) -> Result<u64> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                ArchGymError::InvalidConfig(format!("`--{key}` expects an integer, got `{v}`"))
+            }),
+        }
+    }
+
+    /// An optional float with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::InvalidConfig`] on unparsable values.
+    pub fn f64_or(&self, key: &str, default: f64) -> Result<f64> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                ArchGymError::InvalidConfig(format!("`--{key}` expects a number, got `{v}`"))
+            }),
+        }
+    }
+
+    /// Every option key, for unknown-flag diagnostics.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.options.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let args = Args::parse(["search", "--env", "dram/stream", "--budget", "500"]).unwrap();
+        assert_eq!(args.command(), "search");
+        assert_eq!(args.require("env").unwrap(), "dram/stream");
+        assert_eq!(args.u64_or("budget", 0).unwrap(), 500);
+        assert_eq!(args.u64_or("seed", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn supports_equals_style() {
+        let args = Args::parse(["sweep", "--env=farsi/audio-decoder", "--seeds=3"]).unwrap();
+        assert_eq!(args.require("env").unwrap(), "farsi/audio-decoder");
+        assert_eq!(args.u64_or("seeds", 1).unwrap(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Args::parse(Vec::<String>::new()).is_err());
+        assert!(Args::parse(["--env", "x"]).is_err());
+        assert!(Args::parse(["search", "stray"]).is_err());
+        assert!(Args::parse(["search", "--env"]).is_err());
+        let args = Args::parse(["search", "--budget", "many"]).unwrap();
+        assert!(args.u64_or("budget", 1).is_err());
+        assert!(args.f64_or("budget", 1.0).is_err());
+    }
+
+    #[test]
+    fn require_reports_the_flag_name() {
+        let args = Args::parse(["search"]).unwrap();
+        let err = args.require("env").unwrap_err();
+        assert!(err.to_string().contains("--env"));
+    }
+}

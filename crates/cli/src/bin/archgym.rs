@@ -1,0 +1,24 @@
+//! The `archgym` command-line tool. See `archgym help`.
+
+use archgym_cli::{run, Args};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("error: {err}\n\n{}", archgym_cli::cmd::usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

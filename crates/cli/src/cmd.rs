@@ -1,0 +1,415 @@
+//! The CLI subcommands. Each returns its report as a `String` so the
+//! logic is unit-testable; the binary just prints it.
+
+use crate::args::Args;
+use crate::spec::{known_envs, make_env};
+use archgym_agents::factory::{build_agent, default_grid, AgentKind};
+use archgym_core::env::Environment;
+use archgym_core::error::{ArchGymError, Result};
+use archgym_core::search::{RunConfig, SearchLoop};
+use archgym_core::seeded_rng;
+use archgym_core::stats::summarize;
+use archgym_core::trajectory::Dataset;
+use std::fmt::Write as _;
+use std::fs::File;
+
+/// Dispatch a parsed command line.
+///
+/// # Errors
+///
+/// Returns [`ArchGymError::InvalidConfig`] for unknown subcommands and
+/// propagates each subcommand's errors.
+pub fn run(args: &Args) -> Result<String> {
+    match args.command() {
+        "list" => Ok(list()),
+        "search" => search(args),
+        "sweep" => sweep(args),
+        "halving" => halving(args),
+        "trace" => trace(args),
+        "proxy" => proxy(args),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(ArchGymError::InvalidConfig(format!(
+            "unknown subcommand `{other}`\n\n{}",
+            usage()
+        ))),
+    }
+}
+
+/// The help text.
+pub fn usage() -> String {
+    "archgym — ML-assisted architecture design space exploration
+
+USAGE:
+  archgym list
+  archgym search --env <spec> --agent <aco|bo|ga|rl|rw|sa> [--objective <spec>]
+                 [--budget N] [--seed N] [--batch N] [--dataset out.jsonl] [--csv out.csv]
+  archgym sweep  --env <spec> --agent <kind> [--objective <spec>] [--budget N] [--seeds N] [--grid N]
+  archgym halving --env <spec> --agent <kind> [--objective <spec>] [--budget N] [--eta N]
+  archgym trace  --workload <stream|random|cloud-1|cloud-2> [--length N] [--seed N] [--out file] [--stats true]
+  archgym proxy  --dataset in.jsonl --metric N [--search N] [--seed N]
+
+ENVIRONMENT SPECS:
+  dram/<trace>            objectives: power:<W> latency:<ns> joint:<ns>,<W>
+  timeloop/<model>        objectives: latency:<ms> energy:<mJ> area:<mm2> joint:<ms>,<mJ>
+  farsi/<workload>        objectives: budgets:<ms>,<mW>,<mm2> (default: built-in budgets)
+  maestro/<model>/<layer> objectives: runtime energy
+"
+    .to_owned()
+}
+
+fn list() -> String {
+    let mut out = String::from("environments:\n");
+    for spec in known_envs() {
+        let _ = writeln!(out, "  {spec}");
+    }
+    out.push_str("\nagents:\n");
+    for kind in AgentKind::EXTENDED {
+        let _ = writeln!(
+            out,
+            "  {:<4} (default grid: {} assignments)",
+            kind.name(),
+            default_grid(kind).len()
+        );
+    }
+    out
+}
+
+fn search(args: &Args) -> Result<String> {
+    let mut env = make_env(args.require("env")?, args.get("objective"))?;
+    let kind = AgentKind::parse(args.require("agent")?)?;
+    let budget = args.u64_or("budget", 1_000)?;
+    let seed = args.u64_or("seed", 0)?;
+    let batch = args.u64_or("batch", 16)? as usize;
+    let mut agent = build_agent(kind, env.space(), &Default::default(), seed)?;
+    let result =
+        SearchLoop::new(RunConfig::with_budget(budget).batch(batch)).run(&mut agent, &mut env);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} on {}: {} samples in {:.2}s",
+        result.agent, result.env, result.samples_used, result.wall_seconds
+    );
+    let _ = writeln!(out, "best reward: {:.6}", result.best_reward);
+    let labels = env.observation_labels();
+    for (label, value) in labels.iter().zip(&result.best_observation) {
+        let _ = writeln!(out, "  {label:<20} = {value:.6}");
+    }
+    let _ = writeln!(out, "best design:");
+    for (name, value) in env.space().decode(&result.best_action)? {
+        let _ = writeln!(out, "  {name:<34} = {value}");
+    }
+    if let Some(path) = args.get("dataset") {
+        result.dataset.write_jsonl(File::create(path)?)?;
+        let _ = writeln!(out, "wrote {} transitions to {path}", result.dataset.len());
+    }
+    if let Some(path) = args.get("csv") {
+        result.dataset.write_csv(File::create(path)?)?;
+        let _ = writeln!(out, "wrote {} transitions to {path}", result.dataset.len());
+    }
+    Ok(out)
+}
+
+fn sweep(args: &Args) -> Result<String> {
+    let env_spec = args.require("env")?.to_owned();
+    let objective = args.get("objective").map(str::to_owned);
+    let kind = AgentKind::parse(args.require("agent")?)?;
+    let budget = args.u64_or("budget", 500)?;
+    let seeds = args.u64_or("seeds", 2)?;
+    let grid_cap = args.u64_or("grid", 9)? as usize;
+
+    let mut rewards = Vec::new();
+    let mut best: Option<(f64, String)> = None;
+    let mut env_name = String::new();
+    for hyper in default_grid(kind).iter().take(grid_cap) {
+        for seed in 0..seeds {
+            let mut env = make_env(&env_spec, objective.as_deref())?;
+            env_name = env.name().to_owned();
+            let mut agent = build_agent(kind, env.space(), &hyper, seed)?;
+            let result = SearchLoop::new(RunConfig::with_budget(budget).record(false))
+                .run(&mut agent, &mut env);
+            rewards.push(result.best_reward);
+            if best.as_ref().is_none_or(|(b, _)| result.best_reward > *b) {
+                best = Some((result.best_reward, hyper.summary()));
+            }
+        }
+    }
+    let stats = summarize(&rewards);
+    let (best_reward, winning) = best.expect("non-empty sweep");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} on {env_name}: {} runs × {budget} samples",
+        kind.name(),
+        rewards.len()
+    );
+    let _ = writeln!(
+        out,
+        "best reward  min {:.4} | q1 {:.4} | median {:.4} | q3 {:.4} | max {:.4}",
+        stats.min, stats.q1, stats.median, stats.q3, stats.max
+    );
+    let _ = writeln!(
+        out,
+        "IQR spread {:.1}% of max | winning ticket: {winning} (reward {best_reward:.4})",
+        stats.relative_spread() * 100.0
+    );
+    Ok(out)
+}
+
+fn halving(args: &Args) -> Result<String> {
+    use archgym_core::sweep::SuccessiveHalving;
+    let env_spec = args.require("env")?.to_owned();
+    let objective = args.get("objective").map(str::to_owned);
+    let kind = AgentKind::parse(args.require("agent")?)?;
+    let initial_budget = args.u64_or("budget", 64)?;
+    let eta = args.u64_or("eta", 2)? as usize;
+    let seed = args.u64_or("seed", 0)?;
+
+    // Validate the spec once up front so the factories can't fail later.
+    let probe = make_env(&env_spec, objective.as_deref())?;
+    let space = probe.space().clone();
+    drop(probe);
+
+    let tuner = SuccessiveHalving::new(initial_budget, eta).seed(seed);
+    let result = tuner.run(
+        kind.name(),
+        &default_grid(kind),
+        || make_env(&env_spec, objective.as_deref()).expect("spec validated above"),
+        |hyper, seed| build_agent(kind, &space, hyper, seed),
+    )?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} on {}: successive halving over {} assignments",
+        result.agent,
+        result.env,
+        result.rounds.first().map_or(0, |r| r.survivors.len())
+    );
+    for (i, round) in result.rounds.iter().enumerate() {
+        let best = round.survivors.first().map(|(_, r)| *r).unwrap_or(f64::NAN);
+        let _ = writeln!(
+            out,
+            "  round {i}: {} candidates × {} samples, best reward {best:.4}",
+            round.survivors.len(),
+            round.budget
+        );
+    }
+    let _ = writeln!(
+        out,
+        "winner: {} (reward {:.4})",
+        result.winner_hyper.summary(),
+        result.winner_result.best_reward
+    );
+    let _ = writeln!(
+        out,
+        "spent {} samples vs {} for a flat final-budget sweep ({:.1}× saving)",
+        result.total_samples,
+        result.flat_sweep_samples,
+        result.savings_factor()
+    );
+    Ok(out)
+}
+
+fn trace(args: &Args) -> Result<String> {
+    use archgym_dram::{trace::generate, DramWorkload, TraceConfig};
+    let name = args.require("workload")?;
+    let workload = DramWorkload::ALL
+        .into_iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| ArchGymError::InvalidConfig(format!("unknown workload `{name}`")))?;
+    let config = TraceConfig {
+        length: args.u64_or("length", 1_000)? as usize,
+        ..TraceConfig::default()
+    };
+    let seed = args.u64_or("seed", 0)?;
+    let trace = generate(workload, &config, &mut seeded_rng(seed));
+    let mut out = String::new();
+    if args.get("stats").is_some() {
+        let stats = archgym_dram::characterize(&trace);
+        let _ = writeln!(out, "trace `{name}` ({} requests):", stats.requests);
+        let _ = writeln!(out, "  write fraction     {:.3}", stats.write_fraction);
+        let _ = writeln!(out, "  mean gap (cycles)  {:.2}", stats.mean_gap_cycles);
+        let _ = writeln!(out, "  row-hit potential  {:.3}", stats.row_hit_potential);
+        let _ = writeln!(out, "  banks touched      {}", stats.banks_touched);
+        let _ = writeln!(out, "  unique 64B lines   {}", stats.unique_lines);
+        return Ok(out);
+    }
+    match args.get("out") {
+        Some(path) => {
+            archgym_dram::write_trace(&trace, File::create(path)?)?;
+            let _ = writeln!(out, "wrote {} requests to {path}", trace.len());
+        }
+        None => {
+            let mut bytes = Vec::new();
+            archgym_dram::write_trace(&trace, &mut bytes)?;
+            out.push_str(&String::from_utf8(bytes).expect("trace text is UTF-8"));
+        }
+    }
+    Ok(out)
+}
+
+fn proxy(args: &Args) -> Result<String> {
+    use archgym_proxy::pipeline::train_proxy;
+    let path = args.require("dataset")?;
+    let metric = args.u64_or("metric", 0)? as usize;
+    let search_budget = args.u64_or("search", 6)? as usize;
+    let seed = args.u64_or("seed", 0)?;
+    let dataset = Dataset::read_jsonl(File::open(path)?)?;
+    let mut rng = seeded_rng(seed);
+    let (train, test) = dataset.split(0.8, &mut rng);
+    let model = train_proxy(&train, metric, search_budget, seed)?;
+    let report = model.report(&test)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "trained on {} transitions, evaluated on {}",
+        train.len(),
+        test.len()
+    );
+    let _ = writeln!(
+        out,
+        "metric {metric}: RMSE {:.6} ({:.3}% of mean) | correlation {:.4}",
+        report.rmse,
+        report.relative_rmse * 100.0,
+        report.correlation
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &[&str]) -> Result<String> {
+        run(&Args::parse(line.iter().copied())?)
+    }
+
+    #[test]
+    fn list_names_every_family() {
+        let out = run_line(&["list"]).unwrap();
+        for needle in [
+            "dram/stream",
+            "timeloop/resnet50",
+            "farsi/edge-detection",
+            "aco",
+            "sa",
+        ] {
+            assert!(out.contains(needle), "missing {needle} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn search_reports_a_decoded_design() {
+        let out = run_line(&[
+            "search",
+            "--env",
+            "dram/stream",
+            "--agent",
+            "rw",
+            "--objective",
+            "power:1.0",
+            "--budget",
+            "32",
+        ])
+        .unwrap();
+        assert!(out.contains("best reward"));
+        assert!(out.contains("PagePolicy"));
+        assert!(out.contains("power_w"));
+    }
+
+    #[test]
+    fn sweep_reports_quartiles_and_ticket() {
+        let out = run_line(&[
+            "sweep",
+            "--env",
+            "maestro/resnet18/stage2",
+            "--agent",
+            "ga",
+            "--budget",
+            "64",
+            "--seeds",
+            "1",
+            "--grid",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("median"));
+        assert!(out.contains("winning ticket"));
+    }
+
+    #[test]
+    fn halving_reports_rounds_and_a_winner() {
+        let out = run_line(&[
+            "halving",
+            "--env",
+            "maestro/resnet18/stage4",
+            "--agent",
+            "sa",
+            "--budget",
+            "16",
+            "--eta",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("round 0"), "{out}");
+        assert!(out.contains("winner:"), "{out}");
+        assert!(out.contains("saving"), "{out}");
+    }
+
+    #[test]
+    fn trace_prints_requests_without_out_file() {
+        let out = run_line(&["trace", "--workload", "random", "--length", "5"]).unwrap();
+        assert_eq!(out.lines().count(), 5);
+        assert!(out.contains("read 0x"));
+    }
+
+    #[test]
+    fn trace_stats_mode_characterizes() {
+        let out = run_line(&[
+            "trace",
+            "--workload",
+            "cloud-2",
+            "--length",
+            "500",
+            "--stats",
+            "true",
+        ])
+        .unwrap();
+        assert!(out.contains("row-hit potential"), "{out}");
+        assert!(out.contains("500 requests"), "{out}");
+    }
+
+    #[test]
+    fn search_dataset_export_feeds_proxy_training() {
+        let dir = std::env::temp_dir().join("archgym-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let path = path.to_str().unwrap();
+        run_line(&[
+            "search",
+            "--env",
+            "dram/random",
+            "--agent",
+            "ga",
+            "--budget",
+            "200",
+            "--dataset",
+            path,
+        ])
+        .unwrap();
+        let out =
+            run_line(&["proxy", "--dataset", path, "--metric", "1", "--search", "2"]).unwrap();
+        assert!(out.contains("correlation"), "{out}");
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run_line(&["destroy"]).is_err());
+        assert!(run_line(&["search", "--agent", "ga"]).is_err()); // missing env
+        assert!(run_line(&["search", "--env", "dram/stream", "--agent", "dqn"]).is_err());
+        assert!(run_line(&["trace", "--workload", "spec2017"]).is_err());
+        let help = run_line(&["help"]).unwrap();
+        assert!(help.contains("USAGE"));
+    }
+}

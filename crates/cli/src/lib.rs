@@ -1,0 +1,24 @@
+//! # archgym-cli
+//!
+//! The command-line front end for ArchGym. Everything the library can do
+//! from Rust, scripted from a shell:
+//!
+//! ```sh
+//! archgym list
+//! archgym search --env dram/stream --agent ga --objective power:1.0 --budget 1000
+//! archgym sweep  --env farsi/edge-detection --agent rl --budget 500 --seeds 2
+//! archgym trace  --workload cloud-1 --length 2000 --out trace.stl
+//! archgym proxy  --dataset explored.jsonl --metric 1
+//! ```
+//!
+//! The crate splits into [`args`] (a tiny `--key value` parser), [`spec`]
+//! (string specs for environments, objectives and agents), and [`cmd`]
+//! (one function per subcommand, all returning their report as a string
+//! so they are unit-testable without a terminal).
+
+pub mod args;
+pub mod cmd;
+pub mod spec;
+
+pub use args::Args;
+pub use cmd::run;

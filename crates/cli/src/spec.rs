@@ -1,0 +1,221 @@
+//! String specs for environments and objectives.
+//!
+//! Environments: `dram/<trace>`, `timeloop/<model>`, `farsi/<workload>`,
+//! `maestro/<model>/<layer>`.
+//!
+//! Objectives (environment-family specific):
+//!
+//! * DRAM — `power:1.0`, `latency:30`, `joint:30,1.0`
+//! * Timeloop — `latency:5`, `energy:10`, `area:20`, `joint:15,10`
+//! * FARSI — `budgets:<lat_ms>,<pow_mw>,<area_mm2>` (default: workload budgets)
+//! * MAESTRO — `runtime`, `energy`
+
+use archgym_core::env::Environment;
+use archgym_core::error::{ArchGymError, Result};
+use archgym_dram::DramWorkload;
+use archgym_soc::SocWorkload;
+
+fn bad(msg: String) -> ArchGymError {
+    ArchGymError::InvalidConfig(msg)
+}
+
+fn parse_two(values: &str, what: &str) -> Result<(f64, f64)> {
+    let (a, b) = values
+        .split_once(',')
+        .ok_or_else(|| bad(format!("{what} expects two comma-separated numbers")))?;
+    Ok((
+        a.trim()
+            .parse()
+            .map_err(|_| bad(format!("bad number `{a}`")))?,
+        b.trim()
+            .parse()
+            .map_err(|_| bad(format!("bad number `{b}`")))?,
+    ))
+}
+
+fn parse_one(values: &str) -> Result<f64> {
+    values
+        .trim()
+        .parse()
+        .map_err(|_| bad(format!("bad number `{values}`")))
+}
+
+fn dram_workload(name: &str) -> Result<DramWorkload> {
+    DramWorkload::ALL
+        .into_iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| {
+            bad(format!(
+                "unknown DRAM trace `{name}` (stream|random|cloud-1|cloud-2)"
+            ))
+        })
+}
+
+fn soc_workload(name: &str) -> Result<SocWorkload> {
+    SocWorkload::ALL
+        .into_iter()
+        .find(|w| w.name() == name)
+        .ok_or_else(|| {
+            bad(format!(
+                "unknown FARSI workload `{name}` (audio-decoder|edge-detection)"
+            ))
+        })
+}
+
+/// Build an environment from `spec` with an optional objective string.
+///
+/// # Errors
+///
+/// Returns [`ArchGymError::InvalidConfig`] for unknown specs.
+pub fn make_env(spec: &str, objective: Option<&str>) -> Result<Box<dyn Environment>> {
+    let mut parts = spec.splitn(3, '/');
+    let family = parts.next().unwrap_or_default();
+    match family {
+        "dram" => {
+            let workload = dram_workload(parts.next().unwrap_or("stream"))?;
+            let objective = match objective.unwrap_or("power:1.0").split_once(':') {
+                Some(("power", v)) => archgym_dram::Objective::low_power(parse_one(v)?),
+                Some(("latency", v)) => archgym_dram::Objective::low_latency(parse_one(v)?),
+                Some(("joint", v)) => {
+                    let (lat, pow) = parse_two(v, "joint")?;
+                    archgym_dram::Objective::joint(lat, pow)
+                }
+                _ => {
+                    return Err(bad(format!(
+                        "unknown DRAM objective `{}` (power:|latency:|joint:)",
+                        objective.unwrap_or_default()
+                    )))
+                }
+            };
+            Ok(Box::new(archgym_dram::DramEnv::new(workload, objective)))
+        }
+        "timeloop" => {
+            let model = parts.next().unwrap_or("resnet50");
+            let network = archgym_models::by_name(model)
+                .ok_or_else(|| bad(format!("unknown model `{model}`")))?;
+            let objective = match objective.unwrap_or("latency:15").split_once(':') {
+                Some(("latency", v)) => archgym_accel::Objective::latency(parse_one(v)?),
+                Some(("energy", v)) => archgym_accel::Objective::energy(parse_one(v)?),
+                Some(("area", v)) => archgym_accel::Objective::area(parse_one(v)?),
+                Some(("joint", v)) => {
+                    let (lat, energy) = parse_two(v, "joint")?;
+                    archgym_accel::Objective::joint(lat, energy)
+                }
+                _ => {
+                    return Err(bad(format!(
+                        "unknown Timeloop objective `{}` (latency:|energy:|area:|joint:)",
+                        objective.unwrap_or_default()
+                    )))
+                }
+            };
+            Ok(Box::new(archgym_accel::AccelEnv::new(network, objective)))
+        }
+        "farsi" => {
+            let workload = soc_workload(parts.next().unwrap_or("edge-detection"))?;
+            match objective {
+                None => Ok(Box::new(archgym_soc::SocEnv::new(workload))),
+                Some(obj) => {
+                    let values = obj.strip_prefix("budgets:").ok_or_else(|| {
+                        bad(format!("unknown FARSI objective `{obj}` (budgets:)"))
+                    })?;
+                    let fields: Vec<&str> = values.split(',').collect();
+                    if fields.len() != 3 {
+                        return Err(bad("budgets: expects lat_ms,pow_mw,area_mm2".into()));
+                    }
+                    Ok(Box::new(archgym_soc::SocEnv::with_budgets(
+                        workload,
+                        parse_one(fields[0])?,
+                        parse_one(fields[1])?,
+                        parse_one(fields[2])?,
+                    )))
+                }
+            }
+        }
+        "maestro" => {
+            let model = parts
+                .next()
+                .ok_or_else(|| bad("maestro/<model>/<layer>".into()))?;
+            let layer = parts
+                .next()
+                .ok_or_else(|| bad("maestro/<model>/<layer>".into()))?;
+            let network = archgym_models::by_name(model)
+                .ok_or_else(|| bad(format!("unknown model `{model}`")))?;
+            let objective = match objective.unwrap_or("runtime") {
+                "runtime" => archgym_mapping::Objective::runtime(),
+                "energy" => archgym_mapping::Objective::energy(),
+                other => {
+                    return Err(bad(format!(
+                        "unknown MAESTRO objective `{other}` (runtime|energy)"
+                    )))
+                }
+            };
+            Ok(Box::new(archgym_mapping::MappingEnv::for_layer(
+                &network, layer, objective,
+            )?))
+        }
+        other => Err(bad(format!(
+            "unknown environment family `{other}` (dram|timeloop|farsi|maestro)"
+        ))),
+    }
+}
+
+/// The environment specs `archgym list` advertises.
+pub fn known_envs() -> Vec<String> {
+    let mut out = Vec::new();
+    for w in DramWorkload::ALL {
+        out.push(format!("dram/{}", w.name()));
+    }
+    for m in ["alexnet", "vgg16", "resnet18", "resnet50", "mobilenet_v1"] {
+        out.push(format!("timeloop/{m}"));
+    }
+    for w in SocWorkload::ALL {
+        out.push(format!("farsi/{}", w.name()));
+    }
+    out.push("maestro/<model>/<layer>  (e.g. maestro/resnet18/stage2)".into());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_every_family() {
+        for (spec, objective) in [
+            ("dram/stream", Some("power:1.0")),
+            ("dram/cloud-2", Some("joint:30,1.0")),
+            ("timeloop/resnet50", Some("latency:15")),
+            ("timeloop/alexnet", None),
+            ("farsi/audio-decoder", None),
+            ("farsi/edge-detection", Some("budgets:8,300,10")),
+            ("maestro/resnet18/stage2", Some("runtime")),
+            ("maestro/vgg16/conv1_2", None),
+        ] {
+            let env = make_env(spec, objective)
+                .unwrap_or_else(|e| panic!("{spec} with {objective:?}: {e}"));
+            assert!(!env.space().is_empty());
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_specs() {
+        assert!(make_env("gem5/spec2006", None).is_err());
+        assert!(make_env("dram/spec2006", None).is_err());
+        assert!(make_env("dram/stream", Some("area:3")).is_err());
+        assert!(make_env("timeloop/lenet", None).is_err());
+        assert!(make_env("maestro/resnet18", None).is_err());
+        assert!(make_env("maestro/resnet18/nope", None).is_err());
+        assert!(make_env("farsi/edge-detection", Some("budgets:1,2")).is_err());
+        assert!(make_env("dram/stream", Some("joint:30")).is_err());
+    }
+
+    #[test]
+    fn known_envs_are_constructible() {
+        for spec in known_envs() {
+            if spec.starts_with("maestro") {
+                continue; // templated entry
+            }
+            assert!(make_env(&spec, None).is_ok(), "{spec} not constructible");
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! The ArchGym environment trait and its interface signals.
+//!
+//! An environment encapsulates an **architecture cost model** together with a
+//! **target workload** (Section 3.1). Agents interact with it exclusively
+//! through the three standardized signals of Section 3.3 — action,
+//! observation and reward — via the OpenAI-gym-style [`Environment::step`].
+
+use crate::space::{Action, ParamSpace};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The state information an environment reports back to the agent.
+///
+/// For DRAMGym this is `<latency, power, energy>`; for TimeloopGym
+/// `<latency, energy, area>`; and so on (Table 3). Values are in the
+/// environment's natural units; [`Environment::observation_labels`] names
+/// each component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation(Vec<f64>);
+
+impl Observation {
+    /// Wrap a metric vector.
+    pub fn new(values: Vec<f64>) -> Self {
+        Observation(values)
+    }
+
+    /// The metric at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> f64 {
+        self.0[i]
+    }
+
+    /// Number of metrics.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the observation carries no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// View the metrics as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Consume, returning the metric vector.
+    pub fn into_inner(self) -> Vec<f64> {
+        self.0
+    }
+}
+
+impl From<Vec<f64>> for Observation {
+    fn from(values: Vec<f64>) -> Self {
+        Observation(values)
+    }
+}
+
+impl fmt::Display for Observation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        write!(f, ">")
+    }
+}
+
+/// Everything `step()` returns: observation, reward/fitness, episode-done
+/// flag and free-form diagnostic info.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepResult {
+    /// The cost model's state information for the evaluated design.
+    pub observation: Observation,
+    /// The scalar feedback signal (reward in RL parlance, fitness for
+    /// BO/GA/ACO — the paper treats them as the same signal).
+    pub reward: f64,
+    /// Whether the episode terminated. Architecture DSE is one-shot, so
+    /// most environments return `true` on every step.
+    pub done: bool,
+    /// Whether the evaluated design was feasible. Infeasible designs (e.g.
+    /// a tile that overflows its scratchpad) still produce a (penalized)
+    /// reward so that agents can learn to avoid them.
+    pub feasible: bool,
+    /// Free-form named diagnostics (e.g. per-component energies).
+    pub info: BTreeMap<String, f64>,
+}
+
+impl StepResult {
+    /// A feasible, terminal step — the common case for one-shot DSE.
+    pub fn terminal(observation: Observation, reward: f64) -> Self {
+        StepResult {
+            observation,
+            reward,
+            done: true,
+            feasible: true,
+            info: BTreeMap::new(),
+        }
+    }
+
+    /// A terminal step for an infeasible design with a penalty reward.
+    pub fn infeasible(observation: Observation, penalty_reward: f64) -> Self {
+        StepResult {
+            observation,
+            reward: penalty_reward,
+            done: true,
+            feasible: false,
+            info: BTreeMap::new(),
+        }
+    }
+
+    /// Attach a named diagnostic value, builder-style.
+    pub fn with_info(mut self, key: &str, value: f64) -> Self {
+        self.info.insert(key.to_owned(), value);
+        self
+    }
+}
+
+/// An ArchGym environment: an architecture cost model plus workload, behind
+/// the standardized action/observation/reward interface.
+///
+/// Implementations decode the index-encoded [`Action`] against
+/// [`Environment::space`], run their cost model, and report an
+/// [`Observation`] plus scalar reward.
+///
+/// The trait is object-safe: the search loop and sweep infrastructure work
+/// with `&mut dyn Environment`.
+pub trait Environment {
+    /// A short, stable identifier, e.g. `"dram"`, `"timeloop"`.
+    fn name(&self) -> &str;
+
+    /// The design space this environment exposes (the paper's Fig. 3).
+    fn space(&self) -> &ParamSpace;
+
+    /// Names for each component of the observation vector, in order.
+    fn observation_labels(&self) -> Vec<String>;
+
+    /// Reset internal episode state, returning the initial observation.
+    ///
+    /// One-shot DSE environments are stateless between designs, so the
+    /// default returns an all-zero observation of the right width.
+    fn reset(&mut self) -> Observation {
+        Observation::new(vec![0.0; self.observation_labels().len()])
+    }
+
+    /// Evaluate one design point.
+    fn step(&mut self, action: &Action) -> StepResult;
+}
+
+impl<E: Environment + ?Sized> Environment for Box<E> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn space(&self) -> &ParamSpace {
+        (**self).space()
+    }
+    fn observation_labels(&self) -> Vec<String> {
+        (**self).observation_labels()
+    }
+    fn reset(&mut self) -> Observation {
+        (**self).reset()
+    }
+    fn step(&mut self, action: &Action) -> StepResult {
+        (**self).step(action)
+    }
+}
+
+impl<E: Environment + ?Sized> Environment for &mut E {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn space(&self) -> &ParamSpace {
+        (**self).space()
+    }
+    fn observation_labels(&self) -> Vec<String> {
+        (**self).observation_labels()
+    }
+    fn reset(&mut self) -> Observation {
+        (**self).reset()
+    }
+    fn step(&mut self, action: &Action) -> StepResult {
+        (**self).step(action)
+    }
+}
+
+/// A counting wrapper that tracks how many simulator queries have been
+/// issued — the paper's *sample efficiency* axis (Section 6.2) normalizes
+/// all agent comparisons by this number.
+#[derive(Debug)]
+pub struct CountingEnv<E> {
+    inner: E,
+    samples: u64,
+}
+
+impl<E: Environment> CountingEnv<E> {
+    /// Wrap an environment, starting the counter at zero.
+    pub fn new(inner: E) -> Self {
+        CountingEnv { inner, samples: 0 }
+    }
+
+    /// Number of `step()` calls issued so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Access the wrapped environment.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Unwrap, discarding the counter.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+}
+
+impl<E: Environment> Environment for CountingEnv<E> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn space(&self) -> &ParamSpace {
+        self.inner.space()
+    }
+    fn observation_labels(&self) -> Vec<String> {
+        self.inner.observation_labels()
+    }
+    fn reset(&mut self) -> Observation {
+        self.inner.reset()
+    }
+    fn step(&mut self, action: &Action) -> StepResult {
+        self.samples += 1;
+        self.inner.step(action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::toy::PeakEnv;
+
+    #[test]
+    fn observation_display_and_access() {
+        let obs = Observation::new(vec![1.0, 2.5]);
+        assert_eq!(obs.len(), 2);
+        assert_eq!(obs.get(1), 2.5);
+        assert_eq!(obs.to_string(), "<1.0000, 2.5000>");
+    }
+
+    #[test]
+    fn step_result_constructors() {
+        let ok = StepResult::terminal(Observation::new(vec![1.0]), 2.0);
+        assert!(ok.feasible && ok.done);
+        let bad = StepResult::infeasible(Observation::new(vec![0.0]), -1.0).with_info("why", 3.0);
+        assert!(!bad.feasible);
+        assert_eq!(bad.info["why"], 3.0);
+    }
+
+    #[test]
+    fn peak_env_rewards_peak() {
+        let mut env = PeakEnv::new(&[4, 4], vec![2, 3]);
+        let at_peak = env.step(&Action::new(vec![2, 3]));
+        assert_eq!(at_peak.reward, 1.0);
+        let off_peak = env.step(&Action::new(vec![0, 0]));
+        assert!(off_peak.reward < at_peak.reward);
+    }
+
+    #[test]
+    fn counting_env_counts() {
+        let mut env = CountingEnv::new(PeakEnv::new(&[3], vec![1]));
+        assert_eq!(env.samples(), 0);
+        env.step(&Action::new(vec![0]));
+        env.step(&Action::new(vec![2]));
+        assert_eq!(env.samples(), 2);
+        assert_eq!(env.name(), "peak");
+    }
+
+    #[test]
+    fn default_reset_matches_observation_width() {
+        let mut env = PeakEnv::new(&[3], vec![1]);
+        assert_eq!(env.reset().len(), env.observation_labels().len());
+    }
+
+    #[test]
+    fn environment_is_object_safe() {
+        let mut env = PeakEnv::new(&[3], vec![1]);
+        let dyn_env: &mut dyn Environment = &mut env;
+        let r = dyn_env.step(&Action::new(vec![1]));
+        assert_eq!(r.reward, 1.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Error types shared across the ArchGym workspace.
+
+use std::fmt;
+
+/// Convenience alias for results produced by ArchGym APIs.
+pub type Result<T> = std::result::Result<T, ArchGymError>;
+
+/// The error type returned by fallible ArchGym operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchGymError {
+    /// A parameter space was constructed with an invalid domain
+    /// (e.g. `min > max`, a zero step, or an empty categorical set).
+    InvalidSpace(String),
+    /// An action did not match the parameter space it was applied to
+    /// (wrong dimensionality or an out-of-range index).
+    InvalidAction(String),
+    /// A hyperparameter was missing or had the wrong type.
+    InvalidHyper(String),
+    /// An environment-specific configuration error (e.g. an unknown
+    /// workload name or an inconsistent simulator setting).
+    InvalidConfig(String),
+    /// A dataset operation failed (parsing, empty dataset, shape mismatch).
+    Dataset(String),
+    /// An I/O error, stringified to keep the error type `Clone + PartialEq`.
+    Io(String),
+}
+
+impl fmt::Display for ArchGymError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchGymError::InvalidSpace(msg) => write!(f, "invalid parameter space: {msg}"),
+            ArchGymError::InvalidAction(msg) => write!(f, "invalid action: {msg}"),
+            ArchGymError::InvalidHyper(msg) => write!(f, "invalid hyperparameter: {msg}"),
+            ArchGymError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            ArchGymError::Dataset(msg) => write!(f, "dataset error: {msg}"),
+            ArchGymError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchGymError {}
+
+impl From<std::io::Error> for ArchGymError {
+    fn from(err: std::io::Error) -> Self {
+        ArchGymError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let err = ArchGymError::InvalidSpace("min 4 > max 2 for `x`".into());
+        let text = err.to_string();
+        assert!(text.starts_with("invalid parameter space"));
+        assert!(text.contains('x'));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err: ArchGymError = io.into();
+        assert!(matches!(err, ArchGymError::Io(_)));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArchGymError>();
+    }
+}

@@ -1,0 +1,219 @@
+//! Reward / fitness formulations (the paper's Table 3).
+//!
+//! Three formulations appear in the paper:
+//!
+//! * `r_x = X_target / |X_target − X_obs|` — DRAMGym and TimeloopGym, which
+//!   drive a metric toward a user-defined *target specification* (a design is
+//!   "optimal" as soon as it meets the target, Section 1 footnote 2);
+//! * `r_x = 1 / X` — MaestroGym, plain minimization;
+//! * `distance-to-budget = Σ_m α · (D_m − B_m)/B_m` — FARSIGym, which sums
+//!   normalized budget overshoots over {performance, power, area} (lower is
+//!   better, so the reward is its negation).
+//!
+//! Multi-metric objectives combine per-metric terms; the paper's "joint
+//! latency + power" DRAM objective is the product of the two target ratios.
+
+use crate::env::Observation;
+use serde::{Deserialize, Serialize};
+
+/// Which observation components an objective cares about, and how.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RewardSpec {
+    /// `r = Π_i target_i / |target_i − obs_i|`, capped at [`RewardSpec::MAX_TERM`]
+    /// per term when the observation hits the target exactly.
+    ///
+    /// `terms` pairs an observation index with its target value.
+    TargetRatio {
+        /// `(observation index, target value)` pairs.
+        terms: Vec<(usize, f64)>,
+    },
+    /// `r = 1 / obs_i` — minimize a single metric.
+    Inverse {
+        /// Observation index to minimize.
+        metric: usize,
+    },
+    /// `r = −Σ_i α_i · max(0, (obs_i − budget_i) / budget_i)` — FARSI's
+    /// distance-to-budget, negated so that higher is better and a design
+    /// meeting all budgets scores exactly `0`.
+    DistanceToBudget {
+        /// Per-metric budget terms.
+        terms: Vec<BudgetTerm>,
+    },
+    /// `r = −Σ_i w_i · obs_i` — weighted-sum minimization, a common baseline
+    /// formulation for joint objectives.
+    WeightedSum {
+        /// `(observation index, weight)` pairs.
+        weights: Vec<(usize, f64)>,
+    },
+}
+
+/// One budget term of [`RewardSpec::DistanceToBudget`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetTerm {
+    /// Observation index the budget applies to.
+    pub metric: usize,
+    /// The budget value `B_m` (must be positive).
+    pub budget: f64,
+    /// The weight `α` of this term.
+    pub alpha: f64,
+}
+
+impl RewardSpec {
+    /// Cap applied to a target-ratio term when `obs == target` exactly.
+    pub const MAX_TERM: f64 = 1e6;
+
+    /// Evaluate the reward for an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced observation index is out of bounds; the
+    /// objective and the environment must agree on the observation layout.
+    pub fn reward(&self, obs: &Observation) -> f64 {
+        match self {
+            RewardSpec::TargetRatio { terms } => terms
+                .iter()
+                .map(|&(i, target)| {
+                    let gap = (target - obs.get(i)).abs();
+                    if gap <= target / Self::MAX_TERM {
+                        Self::MAX_TERM
+                    } else {
+                        target / gap
+                    }
+                })
+                .product(),
+            RewardSpec::Inverse { metric } => {
+                let x = obs.get(*metric);
+                if x <= 0.0 {
+                    0.0
+                } else {
+                    1.0 / x
+                }
+            }
+            RewardSpec::DistanceToBudget { terms } => -terms
+                .iter()
+                .map(|t| {
+                    let overshoot = (obs.get(t.metric) - t.budget) / t.budget;
+                    t.alpha * overshoot.max(0.0)
+                })
+                .sum::<f64>(),
+            RewardSpec::WeightedSum { weights } => {
+                -weights.iter().map(|&(i, w)| w * obs.get(i)).sum::<f64>()
+            }
+        }
+    }
+}
+
+/// A named optimization objective: a reward formulation plus metadata used
+/// by sweep reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Objective {
+    name: String,
+    spec: RewardSpec,
+}
+
+impl Objective {
+    /// Create a named objective.
+    pub fn new(name: &str, spec: RewardSpec) -> Self {
+        Objective {
+            name: name.to_owned(),
+            spec,
+        }
+    }
+
+    /// The objective's display name, e.g. `"low-power"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying reward formulation.
+    pub fn spec(&self) -> &RewardSpec {
+        &self.spec
+    }
+
+    /// Evaluate the reward for an observation.
+    pub fn reward(&self, obs: &Observation) -> f64 {
+        self.spec.reward(obs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_ratio_rises_toward_target() {
+        let spec = RewardSpec::TargetRatio {
+            terms: vec![(0, 1.0)],
+        };
+        let far = spec.reward(&Observation::new(vec![3.0]));
+        let near = spec.reward(&Observation::new(vec![1.1]));
+        assert!(near > far);
+        assert!((far - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn target_ratio_exact_hit_is_capped_not_infinite() {
+        let spec = RewardSpec::TargetRatio {
+            terms: vec![(0, 2.0)],
+        };
+        let hit = spec.reward(&Observation::new(vec![2.0]));
+        assert_eq!(hit, RewardSpec::MAX_TERM);
+        assert!(hit.is_finite());
+    }
+
+    #[test]
+    fn joint_target_ratio_is_product_of_terms() {
+        let spec = RewardSpec::TargetRatio {
+            terms: vec![(0, 1.0), (1, 2.0)],
+        };
+        let r = spec.reward(&Observation::new(vec![2.0, 4.0]));
+        assert!((r - 1.0).abs() < 1e-12); // (1/1) * (2/2)
+    }
+
+    #[test]
+    fn inverse_minimizes() {
+        let spec = RewardSpec::Inverse { metric: 0 };
+        assert!(
+            spec.reward(&Observation::new(vec![2.0])) > spec.reward(&Observation::new(vec![4.0]))
+        );
+        assert_eq!(spec.reward(&Observation::new(vec![0.0])), 0.0);
+    }
+
+    #[test]
+    fn distance_to_budget_zero_when_under_budget() {
+        let spec = RewardSpec::DistanceToBudget {
+            terms: vec![
+                BudgetTerm {
+                    metric: 0,
+                    budget: 10.0,
+                    alpha: 1.0,
+                },
+                BudgetTerm {
+                    metric: 1,
+                    budget: 5.0,
+                    alpha: 1.0,
+                },
+            ],
+        };
+        assert_eq!(spec.reward(&Observation::new(vec![9.0, 4.0])), 0.0);
+        let over = spec.reward(&Observation::new(vec![20.0, 4.0]));
+        assert!((over + 1.0).abs() < 1e-12); // (20-10)/10 = 1 overshoot
+    }
+
+    #[test]
+    fn weighted_sum_prefers_lower_cost() {
+        let spec = RewardSpec::WeightedSum {
+            weights: vec![(0, 1.0), (1, 0.5)],
+        };
+        let cheap = spec.reward(&Observation::new(vec![1.0, 1.0]));
+        let costly = spec.reward(&Observation::new(vec![2.0, 2.0]));
+        assert!(cheap > costly);
+    }
+
+    #[test]
+    fn objective_carries_name() {
+        let obj = Objective::new("low-power", RewardSpec::Inverse { metric: 1 });
+        assert_eq!(obj.name(), "low-power");
+        assert_eq!(obj.reward(&Observation::new(vec![0.0, 4.0])), 0.25);
+    }
+}

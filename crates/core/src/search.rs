@@ -1,0 +1,328 @@
+//! The agent↔environment driver loop.
+//!
+//! [`SearchLoop`] runs an [`Agent`] against an [`Environment`] under a
+//! sample budget (the paper's normalization axis, Section 6.2), recording
+//! every interaction into a [`Dataset`] and tracking the best design found.
+
+use crate::agent::Agent;
+use crate::env::{Environment, StepResult};
+use crate::space::Action;
+use crate::trajectory::{Dataset, Transition};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Configuration of one search run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Maximum number of simulator samples the agent may consume — the
+    /// paper compares agents at budgets of 100 / 1k / 10k / 100k samples.
+    pub sample_budget: u64,
+    /// Upper bound on the batch size requested from [`Agent::propose`].
+    /// Population-based agents use it as their generation size.
+    pub batch: usize,
+    /// Record every transition into the run's dataset. Disable for very
+    /// long runs where only the best design matters.
+    pub record: bool,
+}
+
+impl RunConfig {
+    /// A run with the given sample budget and a batch size of 16.
+    pub fn with_budget(sample_budget: u64) -> Self {
+        RunConfig {
+            sample_budget,
+            batch: 16,
+            record: true,
+        }
+    }
+
+    /// Override the proposal batch size, builder-style.
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Toggle transition recording, builder-style.
+    pub fn record(mut self, record: bool) -> Self {
+        self.record = record;
+        self
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig::with_budget(1_000)
+    }
+}
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Agent identifier.
+    pub agent: String,
+    /// Environment identifier.
+    pub env: String,
+    /// Best reward observed.
+    pub best_reward: f64,
+    /// The action achieving [`RunResult::best_reward`].
+    pub best_action: Action,
+    /// Observation metrics of the best design.
+    pub best_observation: Vec<f64>,
+    /// Simulator samples actually consumed.
+    pub samples_used: u64,
+    /// Wall-clock duration of the run in seconds (the paper's Fig. 8
+    /// time-to-completion axis).
+    pub wall_seconds: f64,
+    /// Reward after each evaluation — the best-so-far curve is derivable
+    /// from this; empty when recording was disabled.
+    pub reward_history: Vec<f64>,
+    /// Every recorded transition (empty when recording was disabled).
+    pub dataset: Dataset,
+}
+
+impl RunResult {
+    /// The best-so-far reward curve (prefix maximum of the history).
+    pub fn best_so_far(&self) -> Vec<f64> {
+        let mut best = f64::NEG_INFINITY;
+        self.reward_history
+            .iter()
+            .map(|&r| {
+                best = best.max(r);
+                best
+            })
+            .collect()
+    }
+
+    /// Number of simulator samples spent before the reward first reached
+    /// `threshold` — the paper's sample-efficiency metric ("the number of
+    /// requisite samples before reaching an optimal solution",
+    /// Section 2). `None` if the run never reached it or recording was
+    /// disabled.
+    pub fn samples_to_reach(&self, threshold: f64) -> Option<u64> {
+        self.reward_history
+            .iter()
+            .position(|&r| r >= threshold)
+            .map(|i| i as u64 + 1)
+    }
+}
+
+/// Drives one agent against one environment.
+///
+/// ```
+/// use archgym_core::agent::RandomWalker;
+/// use archgym_core::prelude::*;
+/// use archgym_core::search::SearchLoop;
+/// # use archgym_core::space::ParamSpace;
+/// # struct Toy { space: ParamSpace }
+/// # impl Environment for Toy {
+/// #     fn name(&self) -> &str { "toy" }
+/// #     fn space(&self) -> &ParamSpace { &self.space }
+/// #     fn observation_labels(&self) -> Vec<String> { vec!["cost".into()] }
+/// #     fn step(&mut self, action: &Action) -> StepResult {
+/// #         let x = action.index(0) as f64;
+/// #         StepResult::terminal(Observation::new(vec![x]), -(x - 3.0).abs())
+/// #     }
+/// # }
+/// let space = ParamSpace::builder().int("x", 0, 15, 1).build()?;
+/// let mut env = Toy { space: space.clone() };
+/// let mut agent = RandomWalker::new(space, 0);
+/// let result = SearchLoop::new(RunConfig::with_budget(64)).run(&mut agent, &mut env);
+/// assert_eq!(result.samples_used, 64);
+/// assert!(result.best_reward <= 0.0);
+/// # Ok::<(), ArchGymError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SearchLoop {
+    config: RunConfig,
+}
+
+impl SearchLoop {
+    /// Create a driver with the given configuration.
+    pub fn new(config: RunConfig) -> Self {
+        SearchLoop { config }
+    }
+
+    /// The driver's configuration.
+    pub fn config(&self) -> &RunConfig {
+        &self.config
+    }
+
+    /// Run `agent` against `env` until the sample budget is exhausted or
+    /// the agent stops proposing. Returns the run report.
+    pub fn run<A, E>(&self, agent: &mut A, env: &mut E) -> RunResult
+    where
+        A: Agent + ?Sized,
+        E: Environment + ?Sized,
+    {
+        let start = Instant::now();
+        let mut samples_used = 0u64;
+        let mut best_reward = f64::NEG_INFINITY;
+        let mut best_action: Option<Action> = None;
+        let mut best_observation = Vec::new();
+        let mut reward_history = Vec::new();
+        let mut dataset = Dataset::new();
+        env.reset();
+
+        while samples_used < self.config.sample_budget {
+            let remaining = (self.config.sample_budget - samples_used) as usize;
+            let batch = agent.propose(self.config.batch.min(remaining).max(1));
+            if batch.is_empty() {
+                break; // agent converged
+            }
+            let mut results: Vec<(Action, StepResult)> = Vec::with_capacity(batch.len());
+            for action in batch {
+                if samples_used >= self.config.sample_budget {
+                    break;
+                }
+                let result = env.step(&action);
+                samples_used += 1;
+                if result.reward > best_reward {
+                    best_reward = result.reward;
+                    best_action = Some(action.clone());
+                    best_observation = result.observation.as_slice().to_vec();
+                }
+                if self.config.record {
+                    reward_history.push(result.reward);
+                    dataset.push(Transition::new(
+                        env.name(),
+                        agent.name(),
+                        action.clone(),
+                        &result,
+                    ));
+                }
+                results.push((action, result));
+            }
+            agent.observe(&results);
+        }
+
+        RunResult {
+            agent: agent.name().to_owned(),
+            env: env.name().to_owned(),
+            best_reward,
+            best_action: best_action.unwrap_or_else(|| Action::new(Vec::new())),
+            best_observation,
+            samples_used,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            reward_history,
+            dataset,
+        }
+    }
+}
+
+impl Default for SearchLoop {
+    fn default() -> Self {
+        SearchLoop::new(RunConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::RandomWalker;
+    use crate::env::{CountingEnv, Observation};
+    use crate::toy::PeakEnv;
+
+    #[test]
+    fn run_respects_sample_budget_exactly() {
+        let mut env = CountingEnv::new(PeakEnv::new(&[10, 10], vec![3, 4]));
+        let mut agent = RandomWalker::new(env.space().clone(), 1);
+        let result =
+            SearchLoop::new(RunConfig::with_budget(37).batch(16)).run(&mut agent, &mut env);
+        assert_eq!(result.samples_used, 37);
+        assert_eq!(env.samples(), 37);
+        assert_eq!(result.reward_history.len(), 37);
+        assert_eq!(result.dataset.len(), 37);
+    }
+
+    #[test]
+    fn run_tracks_best_design() {
+        let mut env = PeakEnv::new(&[6, 6], vec![2, 5]);
+        let mut agent = RandomWalker::new(env.space().clone(), 9);
+        let result = SearchLoop::new(RunConfig::with_budget(200)).run(&mut agent, &mut env);
+        // With 200 samples in a 36-point space, the peak is found w.h.p.
+        assert_eq!(result.best_reward, 1.0);
+        assert_eq!(result.best_action.as_slice(), &[2, 5]);
+        assert_eq!(result.best_observation, vec![0.0]);
+        assert_eq!(result.agent, "rw");
+        assert_eq!(result.env, "peak");
+    }
+
+    #[test]
+    fn best_so_far_is_monotone() {
+        let mut env = PeakEnv::new(&[20], vec![11]);
+        let mut agent = RandomWalker::new(env.space().clone(), 1);
+        let result = SearchLoop::new(RunConfig::with_budget(50)).run(&mut agent, &mut env);
+        let curve = result.best_so_far();
+        assert_eq!(curve.len(), 50);
+        assert!(curve.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*curve.last().unwrap(), result.best_reward);
+    }
+
+    #[test]
+    fn samples_to_reach_reports_first_crossing() {
+        let mut env = PeakEnv::new(&[12, 12], vec![4, 9]);
+        let mut agent = RandomWalker::new(env.space().clone(), 3);
+        let result = SearchLoop::new(RunConfig::with_budget(400)).run(&mut agent, &mut env);
+        let at_half = result.samples_to_reach(0.5).expect("reached 0.5");
+        let at_best = result
+            .samples_to_reach(result.best_reward)
+            .expect("reached its own best");
+        assert!(at_half <= at_best);
+        assert_eq!(
+            result.reward_history[at_best as usize - 1],
+            result.best_reward
+        );
+        assert!(result.samples_to_reach(2.0).is_none()); // reward caps at 1
+    }
+
+    #[test]
+    fn recording_can_be_disabled() {
+        let mut env = PeakEnv::new(&[5], vec![0]);
+        let mut agent = RandomWalker::new(env.space().clone(), 2);
+        let result =
+            SearchLoop::new(RunConfig::with_budget(10).record(false)).run(&mut agent, &mut env);
+        assert!(result.dataset.is_empty());
+        assert!(result.reward_history.is_empty());
+        assert!(result.best_reward.is_finite());
+    }
+
+    #[test]
+    fn empty_proposal_stops_early() {
+        struct Mute;
+        impl Agent for Mute {
+            fn name(&self) -> &str {
+                "mute"
+            }
+            fn propose(&mut self, _max: usize) -> Vec<Action> {
+                Vec::new()
+            }
+            fn observe(&mut self, _results: &[(Action, StepResult)]) {}
+        }
+        let mut env = PeakEnv::new(&[5], vec![0]);
+        let mut agent = Mute;
+        let result = SearchLoop::new(RunConfig::with_budget(100)).run(&mut agent, &mut env);
+        assert_eq!(result.samples_used, 0);
+        assert_eq!(result.best_reward, f64::NEG_INFINITY);
+        assert!(result.best_action.is_empty());
+        let _ = Observation::new(vec![]);
+    }
+
+    #[test]
+    fn oversized_batches_are_truncated_to_budget() {
+        struct Flood;
+        impl Agent for Flood {
+            fn name(&self) -> &str {
+                "flood"
+            }
+            fn propose(&mut self, _max: usize) -> Vec<Action> {
+                // Misbehaving agent ignores max_batch entirely.
+                (0..1000).map(|i| Action::new(vec![i % 5])).collect()
+            }
+            fn observe(&mut self, _results: &[(Action, StepResult)]) {}
+        }
+        let mut env = CountingEnv::new(PeakEnv::new(&[5], vec![0]));
+        let mut agent = Flood;
+        let result = SearchLoop::new(RunConfig::with_budget(42)).run(&mut agent, &mut env);
+        assert_eq!(result.samples_used, 42);
+        assert_eq!(env.samples(), 42);
+    }
+}

@@ -1,0 +1,326 @@
+//! The summary statistics the paper reports.
+//!
+//! Section 6 measures agent performance by the *statistical spread*
+//! (interquartile range) of best rewards across a hyperparameter sweep,
+//! *mean normalized reward* under sample budgets (Fig. 7), and proxy-model
+//! quality by *RMSE* and predicted-vs-actual *correlation* (Figs. 10–12).
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number summary plus mean of a sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Smallest value.
+    pub min: f64,
+    /// First quartile (linear interpolation).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (linear interpolation).
+    pub q3: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Interquartile range `q3 − q1` — the paper's spread metric.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// IQR as a fraction of the sample's largest magnitude, the paper's
+    /// "up to 90% statistical spread" normalization. Returns `0` for an
+    /// all-zero sample. (Normalizing by magnitude rather than by `max`
+    /// keeps the ratio meaningful for negated-distance rewards, whose
+    /// best value is `0`.)
+    pub fn relative_spread(&self) -> f64 {
+        let denom = self.max.abs().max(self.min.abs());
+        if denom < f64::EPSILON {
+            0.0
+        } else {
+            self.iqr() / denom
+        }
+    }
+}
+
+/// Compute a [`Summary`] of a non-empty sample.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains NaN.
+pub fn summarize(values: &[f64]) -> Summary {
+    assert!(!values.is_empty(), "cannot summarize an empty sample");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    Summary {
+        count: sorted.len(),
+        min: sorted[0],
+        q1: quantile_sorted(&sorted, 0.25),
+        median: quantile_sorted(&sorted, 0.5),
+        q3: quantile_sorted(&sorted, 0.75),
+        max: sorted[sorted.len() - 1],
+        mean: mean(values),
+    }
+}
+
+/// Linearly interpolated quantile of a **sorted** sample, `q` in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "empty sample");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Population standard deviation.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn std_dev(values: &[f64]) -> f64 {
+    let m = mean(values);
+    (values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Root-mean-square error between predictions and ground truth.
+///
+/// # Panics
+///
+/// Panics if the slices are empty or differ in length.
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "length mismatch");
+    assert!(!predicted.is_empty(), "empty sample");
+    (predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a).powi(2))
+        .sum::<f64>()
+        / predicted.len() as f64)
+        .sqrt()
+}
+
+/// Pearson correlation coefficient. Returns `0` when either sample is
+/// constant (no linear relationship is measurable).
+///
+/// # Panics
+///
+/// Panics if the slices are empty or differ in length.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    assert!(!x.is_empty(), "empty sample");
+    let mx = mean(x);
+    let my = mean(y);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx).powi(2);
+        vy += (b - my).powi(2);
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Percentile bootstrap confidence interval for the mean: resample
+/// `values` with replacement `resamples` times and report the
+/// `[(1−level)/2, (1+level)/2]` quantiles of the resampled means.
+///
+/// The paper's call to action — "report statistical distributions rather
+/// than the state-of-the-art algorithm" — needs uncertainty estimates;
+/// this is the standard nonparametric one.
+///
+/// # Panics
+///
+/// Panics if `values` is empty, `resamples == 0`, or `level` is outside
+/// `(0, 1)`.
+pub fn bootstrap_mean_ci(values: &[f64], resamples: usize, level: f64, seed: u64) -> (f64, f64) {
+    assert!(!values.is_empty(), "empty sample");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(
+        (0.0..1.0).contains(&level) && level > 0.0,
+        "level outside (0, 1)"
+    );
+    use rand::Rng;
+    let mut rng = crate::seeded_rng(seed);
+    let mut means: Vec<f64> = (0..resamples)
+        .map(|_| {
+            (0..values.len())
+                .map(|_| values[rng.gen_range(0..values.len())])
+                .sum::<f64>()
+                / values.len() as f64
+        })
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).expect("NaN resampled mean"));
+    (
+        quantile_sorted(&means, (1.0 - level) / 2.0),
+        quantile_sorted(&means, (1.0 + level) / 2.0),
+    )
+}
+
+/// Min-max normalize each value into `[0, 1]` over the given bounds.
+/// A degenerate range maps everything to `0.5`.
+pub fn min_max_normalize(values: &[f64], lo: f64, hi: f64) -> Vec<f64> {
+    values
+        .iter()
+        .map(|&v| {
+            if (hi - lo).abs() < f64::EPSILON {
+                0.5
+            } else {
+                ((v - lo) / (hi - lo)).clamp(0.0, 1.0)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.iqr(), 2.0);
+        assert!((s.relative_spread() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_handles_unsorted_input() {
+        let s = summarize(&[5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(quantile_sorted(&sorted, 0.5), 5.0);
+        assert_eq!(quantile_sorted(&sorted, 0.25), 2.5);
+    }
+
+    #[test]
+    fn singleton_sample() {
+        let s = summarize(&[42.0]);
+        assert_eq!(s.q1, 42.0);
+        assert_eq!(s.q3, 42.0);
+        assert_eq!(s.iqr(), 0.0);
+    }
+
+    #[test]
+    fn rmse_zero_for_perfect_prediction() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_linear_data_is_one() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+        let neg = [-2.0, -4.0, -6.0, -8.0];
+        assert!((pearson(&x, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_constant_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn min_max_normalize_clamps() {
+        assert_eq!(
+            min_max_normalize(&[-1.0, 0.5, 2.0], 0.0, 1.0),
+            vec![0.0, 0.5, 1.0]
+        );
+        assert_eq!(min_max_normalize(&[3.0], 2.0, 2.0), vec![0.5]);
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_mean_and_narrows_with_data() {
+        let narrow: Vec<f64> = (0..400).map(|i| (i % 10) as f64).collect();
+        let (lo, hi) = bootstrap_mean_ci(&narrow, 500, 0.95, 1);
+        let m = mean(&narrow);
+        assert!(lo <= m && m <= hi, "CI [{lo}, {hi}] misses mean {m}");
+        assert!(hi - lo < 1.0, "CI too wide for 400 points: {}", hi - lo);
+        let small: Vec<f64> = narrow[..20].to_vec();
+        let (lo_s, hi_s) = bootstrap_mean_ci(&small, 500, 0.95, 1);
+        assert!(hi_s - lo_s > hi - lo, "more data should narrow the CI");
+    }
+
+    #[test]
+    #[should_panic(expected = "level outside")]
+    fn bootstrap_rejects_bad_level() {
+        let _ = bootstrap_mean_ci(&[1.0], 10, 1.5, 0);
+    }
+
+    #[test]
+    fn std_dev_of_known_sample() {
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quartiles_are_ordered(values in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let s = summarize(&values);
+            prop_assert!(s.min <= s.q1 + 1e-9);
+            prop_assert!(s.q1 <= s.median + 1e-9);
+            prop_assert!(s.median <= s.q3 + 1e-9);
+            prop_assert!(s.q3 <= s.max + 1e-9);
+            prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        }
+
+        #[test]
+        fn prop_pearson_bounded(
+            x in proptest::collection::vec(-1e3f64..1e3, 2..50),
+            seed in 0u64..100,
+        ) {
+            // Build y the same length as x, pseudo-randomly.
+            let y: Vec<f64> = x.iter().enumerate()
+                .map(|(i, v)| v * ((seed + i as u64) % 7) as f64 - i as f64)
+                .collect();
+            let r = pearson(&x, &y);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+
+        #[test]
+        fn prop_rmse_nonnegative(
+            p in proptest::collection::vec(-1e3f64..1e3, 1..50),
+        ) {
+            let a: Vec<f64> = p.iter().map(|v| v + 1.0).collect();
+            prop_assert!(rmse(&p, &a) >= 0.0);
+        }
+    }
+}

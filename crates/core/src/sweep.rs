@@ -1,0 +1,619 @@
+//! Hyperparameter sweeps — the machinery behind the "hyperparameter
+//! lottery" studies (Section 6.1, Figs. 4–6).
+//!
+//! A sweep runs one agent family over every assignment of a [`HyperGrid`]
+//! (optionally with several seeds per assignment), collects the best reward
+//! of each run, and summarizes the distribution. The paper's headline
+//! observation — up to 90% interquartile spread, yet at least one winning
+//! ticket per agent family — falls out of [`SweepSummary`].
+
+use crate::agent::{Agent, HyperGrid, HyperMap};
+use crate::env::Environment;
+use crate::error::Result;
+use crate::search::{RunConfig, RunResult, SearchLoop};
+use crate::stats::{summarize, Summary};
+use crate::trajectory::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one `(hyperparameter assignment, seed)` run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The hyperparameter assignment of this run.
+    pub hyper: HyperMap,
+    /// RNG seed used.
+    pub seed: u64,
+    /// The run report.
+    pub result: RunResult,
+}
+
+/// All runs of one agent family over a hyperparameter grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Agent family identifier (e.g. `"ga"`).
+    pub agent: String,
+    /// Environment identifier.
+    pub env: String,
+    /// Every `(assignment, seed)` outcome.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepResult {
+    /// Best rewards across all points, in run order.
+    pub fn best_rewards(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.result.best_reward).collect()
+    }
+
+    /// Distribution summary of best rewards — one box of a Fig. 4 box plot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep is empty.
+    pub fn summary(&self) -> SweepSummary {
+        let rewards = self.best_rewards();
+        let stats = summarize(&rewards);
+        let winner = self
+            .points
+            .iter()
+            .max_by(|a, b| {
+                a.result
+                    .best_reward
+                    .partial_cmp(&b.result.best_reward)
+                    .expect("NaN reward")
+            })
+            .expect("empty sweep");
+        SweepSummary {
+            agent: self.agent.clone(),
+            env: self.env.clone(),
+            stats,
+            winning_hyper: winner.hyper.clone(),
+            winning_seed: winner.seed,
+        }
+    }
+
+    /// The winning run (highest best reward).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep is empty.
+    pub fn winner(&self) -> &SweepPoint {
+        self.points
+            .iter()
+            .max_by(|a, b| {
+                a.result
+                    .best_reward
+                    .partial_cmp(&b.result.best_reward)
+                    .expect("NaN reward")
+            })
+            .expect("empty sweep")
+    }
+
+    /// Merge the recorded transitions of every run into one dataset —
+    /// this is the per-agent dataset that Fig. 9 aggregates.
+    pub fn merged_dataset(&self) -> Dataset {
+        let mut merged = Dataset::new();
+        for p in &self.points {
+            merged.merge(p.result.dataset.clone());
+        }
+        merged
+    }
+
+    /// Export the sweep as CSV — one row per `(assignment, seed)` run —
+    /// for external plotting of the lottery distributions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_csv<W: std::io::Write>(&self, mut writer: W) -> Result<()> {
+        writeln!(
+            writer,
+            "agent,env,hyper,seed,best_reward,samples_used,wall_seconds"
+        )?;
+        for p in &self.points {
+            writeln!(
+                writer,
+                "{},{},\"{}\",{},{},{},{}",
+                self.agent,
+                self.env,
+                p.hyper.summary(),
+                p.seed,
+                p.result.best_reward,
+                p.result.samples_used,
+                p.result.wall_seconds
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Distribution summary of one agent's sweep — one box of Fig. 4/5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSummary {
+    /// Agent family identifier.
+    pub agent: String,
+    /// Environment identifier.
+    pub env: String,
+    /// Five-number summary of best rewards over the sweep.
+    pub stats: Summary,
+    /// The hyperparameter assignment of the best run — the "winning
+    /// lottery ticket".
+    pub winning_hyper: HyperMap,
+    /// Seed of the best run.
+    pub winning_seed: u64,
+}
+
+/// Runs a hyperparameter sweep for one agent family.
+///
+/// The caller supplies two factories: one building a fresh environment per
+/// run (environments may carry mutable simulator state) and one building
+/// the agent from a hyperparameter assignment and seed.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    run_config: RunConfig,
+    seeds: Vec<u64>,
+}
+
+impl Sweep {
+    /// A sweep executing each assignment once with seed `0`.
+    pub fn new(run_config: RunConfig) -> Self {
+        Sweep {
+            run_config,
+            seeds: vec![0],
+        }
+    }
+
+    /// Run each assignment once per seed, builder-style.
+    pub fn seeds<I: IntoIterator<Item = u64>>(mut self, seeds: I) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Execute the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the agent factory (e.g. a grid assignment
+    /// with a missing or mistyped hyperparameter).
+    pub fn run<E, FE, FA, A>(
+        &self,
+        agent_name: &str,
+        grid: &HyperGrid,
+        mut make_env: FE,
+        mut make_agent: FA,
+    ) -> Result<SweepResult>
+    where
+        E: Environment,
+        A: Agent,
+        FE: FnMut() -> E,
+        FA: FnMut(&HyperMap, u64) -> Result<A>,
+    {
+        let mut points = Vec::new();
+        let mut env_name = String::new();
+        for hyper in grid.iter() {
+            for &seed in &self.seeds {
+                let mut env = make_env();
+                env_name = env.name().to_owned();
+                let mut agent = make_agent(&hyper, seed)?;
+                let result = SearchLoop::new(self.run_config.clone()).run(&mut agent, &mut env);
+                points.push(SweepPoint {
+                    hyper: hyper.clone(),
+                    seed,
+                    result,
+                });
+            }
+        }
+        Ok(SweepResult {
+            agent: agent_name.to_owned(),
+            env: env_name,
+            points,
+        })
+    }
+}
+
+/// One elimination round of a successive-halving tune.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HalvingRound {
+    /// Sample budget each surviving assignment received this round.
+    pub budget: u64,
+    /// Assignments evaluated this round (summaries of their best rewards).
+    pub survivors: Vec<(HyperMap, f64)>,
+}
+
+/// The outcome of a successive-halving hyperparameter tune.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HalvingResult {
+    /// Agent family identifier.
+    pub agent: String,
+    /// Environment identifier.
+    pub env: String,
+    /// The winning assignment and its final run.
+    pub winner_hyper: HyperMap,
+    /// The winner's final full-budget run.
+    pub winner_result: RunResult,
+    /// Per-round elimination history.
+    pub rounds: Vec<HalvingRound>,
+    /// Simulator samples actually consumed across all rounds.
+    pub total_samples: u64,
+    /// What a flat grid sweep at the final budget would have consumed.
+    pub flat_sweep_samples: u64,
+}
+
+impl HalvingResult {
+    /// Sample-budget saving relative to a flat sweep at the final budget.
+    pub fn savings_factor(&self) -> f64 {
+        self.flat_sweep_samples as f64 / self.total_samples.max(1) as f64
+    }
+}
+
+/// Successive halving over a hyperparameter grid: evaluate every
+/// assignment cheaply, keep the best `1/eta` fraction, multiply the
+/// budget by `eta`, repeat until one assignment remains.
+///
+/// The paper observes that finding good hyperparameters "requires a
+/// significant amount of resources" and that tuning techniques add
+/// another layer of complexity; successive halving is the standard way
+/// to spend those simulator samples sub-linearly in grid size.
+#[derive(Debug, Clone)]
+pub struct SuccessiveHalving {
+    initial_budget: u64,
+    eta: usize,
+    batch: usize,
+    seed: u64,
+}
+
+impl SuccessiveHalving {
+    /// Create a tuner starting each assignment at `initial_budget`
+    /// samples, keeping the top `1/eta` each round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta < 2` or `initial_budget == 0`.
+    pub fn new(initial_budget: u64, eta: usize) -> Self {
+        assert!(eta >= 2, "eta must be at least 2");
+        assert!(initial_budget > 0, "initial budget must be positive");
+        SuccessiveHalving {
+            initial_budget,
+            eta,
+            batch: 16,
+            seed: 0,
+        }
+    }
+
+    /// Override the proposal batch size, builder-style.
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Override the per-run seed, builder-style.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Run the tune.
+    ///
+    /// # Errors
+    ///
+    /// Propagates agent-factory errors; fails on an empty grid.
+    pub fn run<E, FE, FA, A>(
+        &self,
+        agent_name: &str,
+        grid: &HyperGrid,
+        mut make_env: FE,
+        mut make_agent: FA,
+    ) -> Result<HalvingResult>
+    where
+        E: Environment,
+        A: Agent,
+        FE: FnMut() -> E,
+        FA: FnMut(&HyperMap, u64) -> Result<A>,
+    {
+        let mut candidates: Vec<HyperMap> = grid.iter().collect();
+        if candidates.is_empty() {
+            return Err(crate::error::ArchGymError::InvalidConfig(
+                "successive halving needs a non-empty grid".into(),
+            ));
+        }
+        let grid_size = candidates.len() as u64;
+        let mut budget = self.initial_budget;
+        let mut rounds = Vec::new();
+        let mut total_samples = 0u64;
+        let mut env_name = String::new();
+        #[allow(unused_assignments)]
+        let mut last_results: Vec<RunResult> = Vec::new();
+
+        loop {
+            let mut scored: Vec<(HyperMap, RunResult)> = Vec::with_capacity(candidates.len());
+            for hyper in &candidates {
+                let mut env = make_env();
+                env_name = env.name().to_owned();
+                let mut agent = make_agent(hyper, self.seed)?;
+                let result = SearchLoop::new(
+                    RunConfig::with_budget(budget)
+                        .batch(self.batch)
+                        .record(false),
+                )
+                .run(&mut agent, &mut env);
+                total_samples += result.samples_used;
+                scored.push((hyper.clone(), result));
+            }
+            scored.sort_by(|a, b| {
+                b.1.best_reward
+                    .partial_cmp(&a.1.best_reward)
+                    .expect("NaN reward")
+            });
+            rounds.push(HalvingRound {
+                budget,
+                survivors: scored
+                    .iter()
+                    .map(|(h, r)| (h.clone(), r.best_reward))
+                    .collect(),
+            });
+            let keep = scored.len().div_ceil(self.eta);
+            scored.truncate(keep);
+            last_results = scored.iter().map(|(_, r)| r.clone()).collect();
+            candidates = scored.into_iter().map(|(h, _)| h).collect();
+            if candidates.len() <= 1 {
+                break;
+            }
+            budget *= self.eta as u64;
+        }
+
+        let winner_hyper = candidates.remove(0);
+        let winner_result = last_results.remove(0);
+        Ok(HalvingResult {
+            agent: agent_name.to_owned(),
+            env: env_name,
+            winner_hyper,
+            winner_result,
+            rounds,
+            total_samples,
+            flat_sweep_samples: grid_size * budget,
+        })
+    }
+}
+
+/// Normalize each agent's mean best reward by the best mean across agents —
+/// the y-axis of Fig. 7 ("mean normalized reward").
+///
+/// Returns `(agent, normalized mean)` pairs in the input order. An all-zero
+/// or negative-best field normalizes against the maximum *absolute* mean to
+/// keep the scale meaningful.
+pub fn mean_normalized_rewards(sweeps: &[SweepResult]) -> Vec<(String, f64)> {
+    let means: Vec<(String, f64)> = sweeps
+        .iter()
+        .map(|s| {
+            let rewards = s.best_rewards();
+            let mean = if rewards.is_empty() {
+                0.0
+            } else {
+                rewards.iter().sum::<f64>() / rewards.len() as f64
+            };
+            (s.agent.clone(), mean)
+        })
+        .collect();
+    let denom = means
+        .iter()
+        .map(|(_, m)| m.abs())
+        .fold(0.0f64, f64::max)
+        .max(f64::EPSILON);
+    means.into_iter().map(|(a, m)| (a, m / denom)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::RandomWalker;
+    use crate::toy::PeakEnv;
+
+    fn peak_grid() -> HyperGrid {
+        HyperGrid::new().axis("dummy", [1i64, 2, 3])
+    }
+
+    #[test]
+    fn sweep_runs_grid_times_seeds() {
+        let sweep = Sweep::new(RunConfig::with_budget(20)).seeds([1, 2]);
+        let result = sweep
+            .run(
+                "rw",
+                &peak_grid(),
+                || PeakEnv::new(&[8, 8], vec![1, 6]),
+                |_hyper, seed| {
+                    Ok(RandomWalker::new(
+                        PeakEnv::new(&[8, 8], vec![1, 6]).space().clone(),
+                        seed,
+                    ))
+                },
+            )
+            .unwrap();
+        assert_eq!(result.points.len(), 6);
+        assert_eq!(result.agent, "rw");
+        assert_eq!(result.env, "peak");
+        assert!(result.points.iter().all(|p| p.result.samples_used == 20));
+    }
+
+    #[test]
+    fn summary_identifies_winner() {
+        let sweep = Sweep::new(RunConfig::with_budget(64));
+        let result = sweep
+            .run(
+                "rw",
+                &peak_grid(),
+                || PeakEnv::new(&[4, 4], vec![3, 3]),
+                |hyper, _seed| {
+                    // Seed derived from the hyper so runs differ.
+                    let seed = hyper.int("dummy")? as u64;
+                    Ok(RandomWalker::new(
+                        PeakEnv::new(&[4, 4], vec![3, 3]).space().clone(),
+                        seed,
+                    ))
+                },
+            )
+            .unwrap();
+        let summary = result.summary();
+        assert_eq!(summary.stats.count, 3);
+        assert!(summary.stats.max >= summary.stats.median);
+        assert_eq!(result.winner().result.best_reward, summary.stats.max);
+        // 64 samples over a 16-point space: the peak is found.
+        assert_eq!(summary.stats.max, 1.0);
+    }
+
+    #[test]
+    fn merged_dataset_accumulates_all_runs() {
+        let sweep = Sweep::new(RunConfig::with_budget(10));
+        let result = sweep
+            .run(
+                "rw",
+                &peak_grid(),
+                || PeakEnv::new(&[5], vec![2]),
+                |_h, s| {
+                    Ok(RandomWalker::new(
+                        PeakEnv::new(&[5], vec![2]).space().clone(),
+                        s,
+                    ))
+                },
+            )
+            .unwrap();
+        assert_eq!(result.merged_dataset().len(), 30);
+    }
+
+    #[test]
+    fn mean_normalized_rewards_peak_at_one() {
+        let sweep = Sweep::new(RunConfig::with_budget(30));
+        let a = sweep
+            .run(
+                "rw-a",
+                &peak_grid(),
+                || PeakEnv::new(&[6], vec![5]),
+                |_h, s| {
+                    Ok(RandomWalker::new(
+                        PeakEnv::new(&[6], vec![5]).space().clone(),
+                        s,
+                    ))
+                },
+            )
+            .unwrap();
+        let b = sweep
+            .run(
+                "rw-b",
+                &peak_grid(),
+                || PeakEnv::new(&[6], vec![5]),
+                |_h, s| {
+                    Ok(RandomWalker::new(
+                        PeakEnv::new(&[6], vec![5]).space().clone(),
+                        s + 10,
+                    ))
+                },
+            )
+            .unwrap();
+        let normalized = mean_normalized_rewards(&[a, b]);
+        assert_eq!(normalized.len(), 2);
+        let max = normalized.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+        assert!((max - 1.0).abs() < 1e-12);
+        assert!(normalized.iter().all(|(_, v)| *v <= 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn sweep_csv_export_has_one_row_per_run() {
+        let sweep = Sweep::new(RunConfig::with_budget(10)).seeds([1, 2]);
+        let result = sweep
+            .run(
+                "rw",
+                &peak_grid(),
+                || PeakEnv::new(&[5], vec![2]),
+                |_h, s| {
+                    Ok(RandomWalker::new(
+                        PeakEnv::new(&[5], vec![2]).space().clone(),
+                        s,
+                    ))
+                },
+            )
+            .unwrap();
+        let mut buf = Vec::new();
+        result.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1 + 6); // header + 3 assignments × 2 seeds
+        assert!(lines[0].starts_with("agent,env,hyper"));
+        assert!(lines[1].starts_with("rw,peak,"));
+    }
+
+    #[test]
+    fn successive_halving_eliminates_down_to_one_winner() {
+        // A grid where the "dummy" hyperparameter is actually the seed,
+        // so assignments genuinely differ in quality.
+        let grid = HyperGrid::new().axis("dummy", [1i64, 2, 3, 4, 5, 6, 7, 8]);
+        let tuner = SuccessiveHalving::new(8, 2).batch(4);
+        let result = tuner
+            .run(
+                "rw",
+                &grid,
+                || PeakEnv::new(&[30, 30], vec![17, 3]),
+                |hyper, _seed| {
+                    let seed = hyper.int("dummy")? as u64;
+                    Ok(RandomWalker::new(
+                        PeakEnv::new(&[30, 30], vec![17, 3]).space().clone(),
+                        seed,
+                    ))
+                },
+            )
+            .unwrap();
+        // 8 → 4 → 2 → 1 candidates: three evaluation rounds.
+        assert_eq!(result.rounds.len(), 3);
+        assert_eq!(result.rounds[0].survivors.len(), 8);
+        assert_eq!(result.rounds[1].survivors.len(), 4);
+        assert_eq!(result.rounds[2].survivors.len(), 2);
+        // Budgets escalate geometrically.
+        assert_eq!(result.rounds[0].budget, 8);
+        assert_eq!(result.rounds[2].budget, 32);
+        // Total cost is below a flat final-budget sweep of all 8.
+        assert!(result.total_samples < result.flat_sweep_samples);
+        assert!(result.savings_factor() > 1.2);
+        // The winner is the best of the final round.
+        assert_eq!(
+            result.winner_result.best_reward,
+            result.rounds[2].survivors[0].1
+        );
+    }
+
+    #[test]
+    fn successive_halving_rejects_empty_grid_and_bad_eta() {
+        let grid = HyperGrid::new().axis("x", Vec::<i64>::new());
+        let tuner = SuccessiveHalving::new(4, 2);
+        assert!(tuner
+            .run(
+                "rw",
+                &grid,
+                || PeakEnv::new(&[4], vec![1]),
+                |_h, s| Ok(RandomWalker::new(
+                    PeakEnv::new(&[4], vec![1]).space().clone(),
+                    s
+                )),
+            )
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "eta must be at least 2")]
+    fn successive_halving_panics_on_eta_one() {
+        let _ = SuccessiveHalving::new(4, 1);
+    }
+
+    #[test]
+    fn agent_factory_errors_propagate() {
+        let sweep = Sweep::new(RunConfig::with_budget(10));
+        let err = sweep.run(
+            "rw",
+            &peak_grid(),
+            || PeakEnv::new(&[5], vec![2]),
+            |hyper, _s| {
+                hyper.float("missing")?; // always fails
+                Ok(RandomWalker::new(
+                    PeakEnv::new(&[5], vec![2]).space().clone(),
+                    0,
+                ))
+            },
+        );
+        assert!(err.is_err());
+    }
+}

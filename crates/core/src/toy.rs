@@ -1,0 +1,187 @@
+//! Toy environments for testing and demonstrating search agents.
+//!
+//! Real ArchGym environments wrap architecture simulators; these toys wrap
+//! closed-form landscapes with known optima, so agent behaviour can be
+//! asserted exactly. They are used throughout the workspace's test suites
+//! and are handy when integrating a new agent (Section 4 of the paper).
+
+use crate::env::{Environment, Observation, StepResult};
+use crate::space::{Action, ParamSpace};
+
+/// A separable landscape with a single peak at a known target action;
+/// reward is `1 / (1 + L1 distance to the target)`.
+#[derive(Debug, Clone)]
+pub struct PeakEnv {
+    space: ParamSpace,
+    target: Vec<usize>,
+}
+
+impl PeakEnv {
+    /// Create a peak environment with per-dimension cardinalities `cards`
+    /// and the optimum at `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` does not fit the given cardinalities.
+    pub fn new(cards: &[usize], target: Vec<usize>) -> Self {
+        assert_eq!(cards.len(), target.len(), "target dimensionality mismatch");
+        assert!(
+            target.iter().zip(cards).all(|(&t, &c)| t < c),
+            "target outside the space"
+        );
+        let mut builder = ParamSpace::builder();
+        for (i, &c) in cards.iter().enumerate() {
+            assert!(c >= 1, "cardinalities must be at least 1");
+            builder = builder.int(&format!("p{i}"), 0, c as i64 - 1, 1);
+        }
+        PeakEnv {
+            space: builder.build().expect("generated space is valid"),
+            target,
+        }
+    }
+
+    /// The optimum action's indices.
+    pub fn target(&self) -> &[usize] {
+        &self.target
+    }
+}
+
+impl Environment for PeakEnv {
+    fn name(&self) -> &str {
+        "peak"
+    }
+
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn observation_labels(&self) -> Vec<String> {
+        vec!["distance".into()]
+    }
+
+    fn step(&mut self, action: &Action) -> StepResult {
+        let dist: usize = action
+            .iter()
+            .zip(&self.target)
+            .map(|(&a, &t)| a.abs_diff(t))
+            .sum();
+        StepResult::terminal(
+            Observation::new(vec![dist as f64]),
+            1.0 / (1.0 + dist as f64),
+        )
+    }
+}
+
+/// A deceptive multimodal landscape: a global peak plus a broad local
+/// ridge, for exercising exploration/exploitation trade-offs (the paper's
+/// Q3). Reward of the global peak is `1.0`; the decoy ridge tops out at
+/// `decoy_height`.
+#[derive(Debug, Clone)]
+pub struct DecoyEnv {
+    space: ParamSpace,
+    peak: Vec<usize>,
+    decoy: Vec<usize>,
+    decoy_height: f64,
+}
+
+impl DecoyEnv {
+    /// Create a decoy environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points do not fit the space or `decoy_height` is not
+    /// within `(0, 1)`.
+    pub fn new(cards: &[usize], peak: Vec<usize>, decoy: Vec<usize>, decoy_height: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&decoy_height),
+            "decoy height must be in (0, 1)"
+        );
+        assert_eq!(cards.len(), peak.len());
+        assert_eq!(cards.len(), decoy.len());
+        assert!(peak.iter().zip(cards).all(|(&t, &c)| t < c));
+        assert!(decoy.iter().zip(cards).all(|(&t, &c)| t < c));
+        let mut builder = ParamSpace::builder();
+        for (i, &c) in cards.iter().enumerate() {
+            builder = builder.int(&format!("p{i}"), 0, c as i64 - 1, 1);
+        }
+        DecoyEnv {
+            space: builder.build().expect("generated space is valid"),
+            peak,
+            decoy,
+            decoy_height,
+        }
+    }
+}
+
+impl Environment for DecoyEnv {
+    fn name(&self) -> &str {
+        "decoy"
+    }
+
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn observation_labels(&self) -> Vec<String> {
+        vec!["distance".into()]
+    }
+
+    fn step(&mut self, action: &Action) -> StepResult {
+        let dist = |target: &[usize]| -> f64 {
+            action
+                .iter()
+                .zip(target)
+                .map(|(&a, &t)| a.abs_diff(t))
+                .sum::<usize>() as f64
+        };
+        let d_peak = dist(&self.peak);
+        let d_decoy = dist(&self.decoy);
+        // The peak is sharp; the decoy ridge is broad.
+        let r_peak = 1.0 / (1.0 + 2.0 * d_peak);
+        let r_decoy = self.decoy_height / (1.0 + 0.3 * d_decoy);
+        StepResult::terminal(
+            Observation::new(vec![d_peak.min(d_decoy)]),
+            r_peak.max(r_decoy),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_env_reward_structure() {
+        let mut env = PeakEnv::new(&[4, 4], vec![2, 3]);
+        assert_eq!(env.step(&Action::new(vec![2, 3])).reward, 1.0);
+        assert_eq!(env.step(&Action::new(vec![2, 2])).reward, 0.5);
+        assert_eq!(env.target(), &[2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "target outside the space")]
+    fn peak_env_rejects_bad_target() {
+        let _ = PeakEnv::new(&[4], vec![4]);
+    }
+
+    #[test]
+    fn decoy_env_peak_beats_decoy_at_their_centers() {
+        let mut env = DecoyEnv::new(&[10, 10], vec![8, 8], vec![1, 1], 0.6);
+        let at_peak = env.step(&Action::new(vec![8, 8])).reward;
+        let at_decoy = env.step(&Action::new(vec![1, 1])).reward;
+        assert_eq!(at_peak, 1.0);
+        assert!((at_decoy - 0.6).abs() < 1e-12);
+        // Near the decoy the ridge is broad: one step away barely hurts.
+        let near_decoy = env.step(&Action::new(vec![1, 2])).reward;
+        assert!(near_decoy > 0.4);
+        // Near the peak the drop is sharp.
+        let near_peak = env.step(&Action::new(vec![8, 7])).reward;
+        assert!(near_peak < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "decoy height")]
+    fn decoy_env_rejects_bad_height() {
+        let _ = DecoyEnv::new(&[4], vec![0], vec![1], 1.5);
+    }
+}

@@ -1,0 +1,524 @@
+//! Standardized exploration datasets (the paper's Section 3.4 and Fig. 9).
+//!
+//! Because every agent speaks the same action/observation/reward interface,
+//! every agent↔environment interaction can be recorded as a [`Transition`].
+//! A [`Dataset`] aggregates transitions across agents, hyperparameter runs
+//! and experiments; datasets can be merged (for *size*) or sampled per
+//! agent (for *diversity*) and exported to JSON/CSV — the Rust stand-in for
+//! the paper's TFDS/RLDS artifacts. Section 7 trains random-forest proxy
+//! cost models directly from these datasets.
+
+use crate::env::StepResult;
+use crate::error::{ArchGymError, Result};
+use crate::space::Action;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// One recorded agent↔environment interaction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transition {
+    /// Environment identifier (e.g. `"dram"`).
+    pub env: String,
+    /// Agent identifier (e.g. `"aco"`). This is the *source* label that
+    /// dataset-diversity experiments stratify on.
+    pub agent: String,
+    /// Index-encoded design point.
+    pub action: Action,
+    /// Raw observation metrics.
+    pub observation: Vec<f64>,
+    /// Scalar reward/fitness.
+    pub reward: f64,
+    /// Whether the design was feasible.
+    pub feasible: bool,
+}
+
+impl Transition {
+    /// Record a step outcome.
+    pub fn new(env: &str, agent: &str, action: Action, result: &StepResult) -> Self {
+        Transition {
+            env: env.to_owned(),
+            agent: agent.to_owned(),
+            action,
+            observation: result.observation.as_slice().to_vec(),
+            reward: result.reward,
+            feasible: result.feasible,
+        }
+    }
+}
+
+/// An ordered collection of [`Transition`]s with merge/sample/export
+/// utilities — the "ArchGym Dataset" of Fig. 1.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    transitions: Vec<Transition>,
+}
+
+impl Dataset {
+    /// An empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Number of transitions.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Whether the dataset holds no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Append one transition.
+    pub fn push(&mut self, transition: Transition) {
+        self.transitions.push(transition);
+    }
+
+    /// The transitions in insertion order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Iterate over transitions.
+    pub fn iter(&self) -> std::slice::Iter<'_, Transition> {
+        self.transitions.iter()
+    }
+
+    /// Merge another dataset into this one (the *size* axis of Fig. 10).
+    pub fn merge(&mut self, other: Dataset) {
+        self.transitions.extend(other.transitions);
+    }
+
+    /// The set of distinct agent labels present, with per-agent counts —
+    /// the *composition* reported in Fig. 10(a).
+    pub fn composition(&self) -> BTreeMap<String, usize> {
+        let mut counts = BTreeMap::new();
+        for t in &self.transitions {
+            *counts.entry(t.agent.clone()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Keep only transitions produced by `agent` (the "single-source"
+    /// datasets of Section 7.1).
+    pub fn filter_agent(&self, agent: &str) -> Dataset {
+        Dataset {
+            transitions: self
+                .transitions
+                .iter()
+                .filter(|t| t.agent == agent)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Keep only feasible transitions.
+    pub fn filter_feasible(&self) -> Dataset {
+        Dataset {
+            transitions: self
+                .transitions
+                .iter()
+                .filter(|t| t.feasible)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Uniformly sample `n` transitions without replacement (clamped to the
+    /// dataset size) — the pandas-style sampling used to build the
+    /// fixed-size dataset tiers of Fig. 10.
+    pub fn sample<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Dataset {
+        let mut picked = self.transitions.clone();
+        picked.shuffle(rng);
+        picked.truncate(n);
+        Dataset {
+            transitions: picked,
+        }
+    }
+
+    /// Split into `(train, test)` with `train_frac` of the data (after a
+    /// shuffle) in the training split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_frac` is outside `(0, 1)`.
+    pub fn split<R: Rng + ?Sized>(&self, train_frac: f64, rng: &mut R) -> (Dataset, Dataset) {
+        assert!(
+            train_frac > 0.0 && train_frac < 1.0,
+            "train_frac {train_frac} outside (0, 1)"
+        );
+        let mut shuffled = self.transitions.clone();
+        shuffled.shuffle(rng);
+        let cut = ((shuffled.len() as f64) * train_frac).round() as usize;
+        let test = shuffled.split_off(cut.min(shuffled.len()));
+        (
+            Dataset {
+                transitions: shuffled,
+            },
+            Dataset { transitions: test },
+        )
+    }
+
+    /// Serialize as JSON-lines (one transition per line) to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and I/O failures.
+    pub fn write_jsonl<W: Write>(&self, mut writer: W) -> Result<()> {
+        for t in &self.transitions {
+            let line =
+                serde_json::to_string(t).map_err(|e| ArchGymError::Dataset(e.to_string()))?;
+            writeln!(writer, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Parse a JSON-lines stream produced by [`Dataset::write_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::Dataset`] on malformed lines.
+    pub fn read_jsonl<R: Read>(reader: R) -> Result<Dataset> {
+        let mut dataset = Dataset::new();
+        for line in BufReader::new(reader).lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let t: Transition = serde_json::from_str(&line)
+                .map_err(|e| ArchGymError::Dataset(format!("bad line: {e}")))?;
+            dataset.push(t);
+        }
+        Ok(dataset)
+    }
+
+    /// Serialize as CSV with a header row. Action indices become columns
+    /// `a0..a{d-1}` and observation metrics `o0..o{m-1}`; all transitions
+    /// must share the same action and observation widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::Dataset`] if widths are inconsistent, and
+    /// propagates I/O failures.
+    pub fn write_csv<W: Write>(&self, mut writer: W) -> Result<()> {
+        let Some(first) = self.transitions.first() else {
+            return Ok(());
+        };
+        let (ad, od) = (first.action.len(), first.observation.len());
+        let mut header = vec!["env".to_owned(), "agent".to_owned()];
+        header.extend((0..ad).map(|i| format!("a{i}")));
+        header.extend((0..od).map(|i| format!("o{i}")));
+        header.push("reward".into());
+        header.push("feasible".into());
+        writeln!(writer, "{}", header.join(","))?;
+        for t in &self.transitions {
+            if t.action.len() != ad || t.observation.len() != od {
+                return Err(ArchGymError::Dataset(format!(
+                    "inconsistent widths: expected {ad} action / {od} observation columns"
+                )));
+            }
+            let mut row = vec![t.env.clone(), t.agent.clone()];
+            row.extend(t.action.iter().map(|i| i.to_string()));
+            row.extend(t.observation.iter().map(|v| format!("{v}")));
+            row.push(format!("{}", t.reward));
+            row.push(format!("{}", t.feasible));
+            writeln!(writer, "{}", row.join(","))?;
+        }
+        Ok(())
+    }
+
+    /// Parse a CSV stream produced by [`Dataset::write_csv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::Dataset`] on malformed headers or rows.
+    pub fn read_csv<R: Read>(reader: R) -> Result<Dataset> {
+        let mut lines = BufReader::new(reader).lines();
+        let Some(header) = lines.next() else {
+            return Ok(Dataset::new());
+        };
+        let header = header?;
+        let columns: Vec<&str> = header.split(',').collect();
+        let n_actions = columns
+            .iter()
+            .filter(|c| c.starts_with('a') && c[1..].parse::<usize>().is_ok())
+            .count();
+        let n_obs = columns
+            .iter()
+            .filter(|c| c.starts_with('o') && c[1..].parse::<usize>().is_ok())
+            .count();
+        let expected = 2 + n_actions + n_obs + 2;
+        if columns.len() != expected
+            || columns.first() != Some(&"env")
+            || columns.get(1) != Some(&"agent")
+        {
+            return Err(ArchGymError::Dataset(format!(
+                "unrecognized CSV header `{header}`"
+            )));
+        }
+        let mut dataset = Dataset::new();
+        for (lineno, line) in lines.enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let bad = |what: &str| ArchGymError::Dataset(format!("CSV row {}: {what}", lineno + 2));
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != expected {
+                return Err(bad("wrong column count"));
+            }
+            let action: Vec<usize> = fields[2..2 + n_actions]
+                .iter()
+                .map(|f| f.parse().map_err(|_| bad("bad action index")))
+                .collect::<Result<_>>()?;
+            let observation: Vec<f64> = fields[2 + n_actions..2 + n_actions + n_obs]
+                .iter()
+                .map(|f| f.parse().map_err(|_| bad("bad observation value")))
+                .collect::<Result<_>>()?;
+            let reward: f64 = fields[expected - 2]
+                .parse()
+                .map_err(|_| bad("bad reward"))?;
+            let feasible: bool = fields[expected - 1]
+                .parse()
+                .map_err(|_| bad("bad feasible flag"))?;
+            dataset.push(Transition {
+                env: fields[0].to_owned(),
+                agent: fields[1].to_owned(),
+                action: Action::new(action),
+                observation,
+                reward,
+                feasible,
+            });
+        }
+        Ok(dataset)
+    }
+
+    /// Feature/target matrices for proxy-model training: features are the
+    /// raw action indices as `f64`, the target is observation metric
+    /// `metric`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::Dataset`] on an empty dataset or an
+    /// out-of-range metric index.
+    pub fn features_targets(&self, metric: usize) -> Result<(Vec<Vec<f64>>, Vec<f64>)> {
+        if self.transitions.is_empty() {
+            return Err(ArchGymError::Dataset("empty dataset".into()));
+        }
+        let mut xs = Vec::with_capacity(self.len());
+        let mut ys = Vec::with_capacity(self.len());
+        for t in &self.transitions {
+            if metric >= t.observation.len() {
+                return Err(ArchGymError::Dataset(format!(
+                    "metric index {metric} out of range ({} metrics)",
+                    t.observation.len()
+                )));
+            }
+            xs.push(t.action.iter().map(|&i| i as f64).collect());
+            ys.push(t.observation[metric]);
+        }
+        Ok((xs, ys))
+    }
+
+    /// The transition with the highest reward, if any.
+    pub fn best(&self) -> Option<&Transition> {
+        self.transitions
+            .iter()
+            .max_by(|a, b| a.reward.partial_cmp(&b.reward).expect("NaN reward"))
+    }
+}
+
+impl FromIterator<Transition> for Dataset {
+    fn from_iter<I: IntoIterator<Item = Transition>>(iter: I) -> Self {
+        Dataset {
+            transitions: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Transition> for Dataset {
+    fn extend<I: IntoIterator<Item = Transition>>(&mut self, iter: I) {
+        self.transitions.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Observation;
+    use crate::seeded_rng;
+
+    fn transition(agent: &str, reward: f64) -> Transition {
+        Transition::new(
+            "toy",
+            agent,
+            Action::new(vec![1, 2]),
+            &StepResult::terminal(Observation::new(vec![reward * 2.0, 7.0]), reward),
+        )
+    }
+
+    fn sample_dataset() -> Dataset {
+        let mut d = Dataset::new();
+        for i in 0..10 {
+            d.push(transition(if i % 2 == 0 { "aco" } else { "ga" }, i as f64));
+        }
+        d
+    }
+
+    #[test]
+    fn push_merge_and_composition() {
+        let mut d = sample_dataset();
+        assert_eq!(d.len(), 10);
+        let comp = d.composition();
+        assert_eq!(comp["aco"], 5);
+        assert_eq!(comp["ga"], 5);
+        let mut other = Dataset::new();
+        other.push(transition("bo", 1.0));
+        d.merge(other);
+        assert_eq!(d.len(), 11);
+        assert_eq!(d.composition()["bo"], 1);
+    }
+
+    #[test]
+    fn filter_agent_keeps_only_that_source() {
+        let d = sample_dataset();
+        let aco = d.filter_agent("aco");
+        assert_eq!(aco.len(), 5);
+        assert!(aco.iter().all(|t| t.agent == "aco"));
+    }
+
+    #[test]
+    fn filter_feasible_drops_infeasible() {
+        let mut d = sample_dataset();
+        let mut bad = transition("rl", 0.0);
+        bad.feasible = false;
+        d.push(bad);
+        assert_eq!(d.filter_feasible().len(), 10);
+    }
+
+    #[test]
+    fn sample_without_replacement() {
+        let d = sample_dataset();
+        let mut rng = seeded_rng(3);
+        let s = d.sample(4, &mut rng);
+        assert_eq!(s.len(), 4);
+        let s_all = d.sample(100, &mut rng);
+        assert_eq!(s_all.len(), 10);
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let d = sample_dataset();
+        let mut rng = seeded_rng(5);
+        let (train, test) = d.split(0.8, &mut rng);
+        assert_eq!(train.len() + test.len(), d.len());
+        assert_eq!(train.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1)")]
+    fn split_rejects_bad_fraction() {
+        let d = sample_dataset();
+        let mut rng = seeded_rng(5);
+        let _ = d.split(1.0, &mut rng);
+    }
+
+    #[test]
+    fn jsonl_roundtrip() {
+        let d = sample_dataset();
+        let mut buf = Vec::new();
+        d.write_jsonl(&mut buf).unwrap();
+        let back = Dataset::read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn jsonl_rejects_garbage() {
+        let err = Dataset::read_jsonl("not json\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ArchGymError::Dataset(_)));
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let d = sample_dataset();
+        let mut buf = Vec::new();
+        d.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 11);
+        assert_eq!(lines[0], "env,agent,a0,a1,o0,o1,reward,feasible");
+        assert!(lines[1].starts_with("toy,aco,1,2,"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let d = sample_dataset();
+        let mut buf = Vec::new();
+        d.write_csv(&mut buf).unwrap();
+        let back = Dataset::read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), d.len());
+        for (a, b) in d.iter().zip(back.iter()) {
+            assert_eq!(a.env, b.env);
+            assert_eq!(a.agent, b.agent);
+            assert_eq!(a.action, b.action);
+            assert_eq!(a.reward, b.reward);
+            assert_eq!(a.feasible, b.feasible);
+            for (x, y) in a.observation.iter().zip(&b.observation) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn csv_reader_rejects_malformed_input() {
+        assert!(Dataset::read_csv("not,a,header\n".as_bytes()).is_err());
+        let missing_col = "env,agent,a0,o0,reward,feasible\ntoy,rw,1,2.0,0.5\n";
+        assert!(Dataset::read_csv(missing_col.as_bytes()).is_err());
+        let bad_action = "env,agent,a0,o0,reward,feasible\ntoy,rw,x,2.0,0.5,true\n";
+        assert!(Dataset::read_csv(bad_action.as_bytes()).is_err());
+        let bad_flag = "env,agent,a0,o0,reward,feasible\ntoy,rw,1,2.0,0.5,maybe\n";
+        assert!(Dataset::read_csv(bad_flag.as_bytes()).is_err());
+        // An empty stream is an empty dataset, not an error.
+        assert!(Dataset::read_csv("".as_bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn csv_rejects_ragged_rows() {
+        let mut d = sample_dataset();
+        d.push(Transition::new(
+            "toy",
+            "rw",
+            Action::new(vec![1]),
+            &StepResult::terminal(Observation::new(vec![0.0]), 0.0),
+        ));
+        let mut buf = Vec::new();
+        assert!(d.write_csv(&mut buf).is_err());
+    }
+
+    #[test]
+    fn features_targets_shape() {
+        let d = sample_dataset();
+        let (xs, ys) = d.features_targets(1).unwrap();
+        assert_eq!(xs.len(), 10);
+        assert_eq!(xs[0], vec![1.0, 2.0]);
+        assert!(ys.iter().all(|&y| y == 7.0));
+        assert!(d.features_targets(9).is_err());
+        assert!(Dataset::new().features_targets(0).is_err());
+    }
+
+    #[test]
+    fn best_finds_max_reward() {
+        let d = sample_dataset();
+        assert_eq!(d.best().unwrap().reward, 9.0);
+        assert!(Dataset::new().best().is_none());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let d: Dataset = (0..3).map(|i| transition("rw", i as f64)).collect();
+        assert_eq!(d.len(), 3);
+    }
+}

@@ -1,0 +1,861 @@
+//! The configurable DRAM memory controller and its transaction-level
+//! simulator.
+//!
+//! The controller exposes exactly the ten parameters of the paper's
+//! Fig. 3(a). Requests flow: trace → request buffer (admission limited by
+//! `RequestBufferSize` and `MaxActiveTransactions`) → scheduler + arbiter
+//! pick → bank timing engine (page policy decides row-buffer fate) →
+//! response queue (in-order or out-of-order delivery). An all-bank refresh
+//! engine can postpone or pull in refreshes within configured limits.
+
+use crate::device::{AddressMapping, DeviceTiming};
+use crate::power::{OpCounts, PowerModel};
+use crate::trace::MemoryRequest;
+use serde::{Deserialize, Serialize};
+
+/// Row-buffer management policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PagePolicy {
+    /// Keep the row open after every access.
+    Open,
+    /// Keep open while the recent hit rate justifies it.
+    OpenAdaptive,
+    /// Precharge immediately after every access.
+    Closed,
+    /// Precharge unless the recent hit rate is very high.
+    ClosedAdaptive,
+}
+
+impl PagePolicy {
+    /// All variants in the paper's order.
+    pub const ALL: [PagePolicy; 4] = [
+        PagePolicy::Open,
+        PagePolicy::OpenAdaptive,
+        PagePolicy::Closed,
+        PagePolicy::ClosedAdaptive,
+    ];
+}
+
+/// Request scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheduler {
+    /// Strictly oldest-first.
+    Fifo,
+    /// Row hits first, grouped by access type to limit bus turnarounds.
+    FrFcfsGrp,
+    /// Row hits first, then oldest-first.
+    FrFcfs,
+}
+
+impl Scheduler {
+    /// All variants in the paper's order.
+    pub const ALL: [Scheduler; 3] = [Scheduler::Fifo, Scheduler::FrFcfsGrp, Scheduler::FrFcfs];
+}
+
+/// Which buffered requests the scheduler can see each cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerBuffer {
+    /// Per-bank queues served round-robin.
+    Bankwise,
+    /// Separate read and write queues; reads drain first.
+    ReadWrite,
+    /// One shared queue, everything visible.
+    Shared,
+}
+
+impl SchedulerBuffer {
+    /// All variants in the paper's order.
+    pub const ALL: [SchedulerBuffer; 3] = [
+        SchedulerBuffer::Bankwise,
+        SchedulerBuffer::ReadWrite,
+        SchedulerBuffer::Shared,
+    ];
+}
+
+/// Tie-breaking policy when several requests are equally schedulable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Arbiter {
+    /// Static bank priority (cheapest, least fair).
+    Simple,
+    /// Arrival order.
+    Fifo,
+    /// Earliest-possible-start wins (costs reorder logic power).
+    Reorder,
+}
+
+impl Arbiter {
+    /// All variants in the paper's order.
+    pub const ALL: [Arbiter; 3] = [Arbiter::Simple, Arbiter::Fifo, Arbiter::Reorder];
+}
+
+/// Response delivery order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RespQueue {
+    /// Responses return in request order; a slow older request delays all
+    /// younger ones.
+    Fifo,
+    /// Responses return as soon as data is available.
+    Reorder,
+}
+
+impl RespQueue {
+    /// All variants in the paper's order.
+    pub const ALL: [RespQueue; 2] = [RespQueue::Fifo, RespQueue::Reorder];
+}
+
+/// Refresh strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RefreshPolicy {
+    /// No refresh at all (cheapest; valid for short-lived or non-volatile
+    /// experiments — the paper's space includes it).
+    NoRefresh,
+    /// Periodic all-bank refresh every `tREFI`, with postpone/pull-in
+    /// flexibility.
+    AllBank,
+}
+
+impl RefreshPolicy {
+    /// All variants in the paper's order.
+    pub const ALL: [RefreshPolicy; 2] = [RefreshPolicy::NoRefresh, RefreshPolicy::AllBank];
+}
+
+/// The ten-parameter memory-controller configuration of Fig. 3(a).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// How many due refreshes may be postponed (1–8).
+    pub refresh_max_postponed: u32,
+    /// How many refreshes may be pulled in early (1–8).
+    pub refresh_max_pulled_in: u32,
+    /// Scheduler-visible request-buffer entries (1–8).
+    pub request_buffer_size: usize,
+    /// Outstanding-transaction window (1–128, powers of two).
+    pub max_active_transactions: usize,
+    /// Row-buffer management policy.
+    pub page_policy: PagePolicy,
+    /// Request scheduling policy.
+    pub scheduler: Scheduler,
+    /// Scheduler queue organization.
+    pub scheduler_buffer: SchedulerBuffer,
+    /// Tie-breaking arbiter.
+    pub arbiter: Arbiter,
+    /// Response delivery order.
+    pub resp_queue: RespQueue,
+    /// Refresh strategy.
+    pub refresh_policy: RefreshPolicy,
+}
+
+impl Default for ControllerConfig {
+    /// A sensible mid-range controller (FR-FCFS, open page, refresh on).
+    fn default() -> Self {
+        ControllerConfig {
+            refresh_max_postponed: 1,
+            refresh_max_pulled_in: 1,
+            request_buffer_size: 4,
+            max_active_transactions: 16,
+            page_policy: PagePolicy::Open,
+            scheduler: Scheduler::FrFcfs,
+            scheduler_buffer: SchedulerBuffer::Shared,
+            arbiter: Arbiter::Fifo,
+            resp_queue: RespQueue::Fifo,
+            refresh_policy: RefreshPolicy::AllBank,
+        }
+    }
+}
+
+/// Aggregate results of one trace simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Mean request latency (arrival → response) in nanoseconds.
+    pub avg_latency_ns: f64,
+    /// 95th-percentile request latency in nanoseconds.
+    pub p95_latency_ns: f64,
+    /// Average power over the simulation in watts.
+    pub power_w: f64,
+    /// Total energy in microjoules.
+    pub energy_uj: f64,
+    /// Simulated duration in cycles.
+    pub total_cycles: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Accesses to a precharged bank (row miss).
+    pub row_misses: u64,
+    /// Accesses that had to close another row first (row conflict).
+    pub row_conflicts: u64,
+    /// Operation counters used for the energy model.
+    pub counts: OpCounts,
+}
+
+impl SimStats {
+    /// Row-buffer hit fraction over all accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    id: usize,
+    row: u64,
+    bank: usize,
+    is_write: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    /// Earliest cycle the bank accepts its next column command.
+    ready_at: u64,
+    activated_at: u64,
+    /// When the last access's data (plus write recovery) finishes — the
+    /// earliest a precharge may start.
+    data_done: u64,
+    hit_ewma: f64,
+}
+
+/// The memory controller: device timing + power model + configuration.
+#[derive(Debug, Clone)]
+pub struct MemoryController {
+    timing: DeviceTiming,
+    mapping: AddressMapping,
+    power: PowerModel,
+    config: ControllerConfig,
+}
+
+impl MemoryController {
+    /// Build a controller with default DDR3 timing and power models.
+    pub fn new(config: ControllerConfig) -> Self {
+        MemoryController {
+            timing: DeviceTiming::ddr3_1600(),
+            mapping: AddressMapping::new(),
+            power: PowerModel::ddr3(),
+            config,
+        }
+    }
+
+    /// Override the device timing, builder-style. The address mapping is
+    /// re-derived so every bank of the new device is addressable.
+    pub fn timing(mut self, timing: DeviceTiming) -> Self {
+        self.mapping = AddressMapping::with_banks(timing.banks);
+        self.timing = timing;
+        self
+    }
+
+    /// Override the power model, builder-style.
+    pub fn power_model(mut self, power: PowerModel) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.config
+    }
+
+    /// Simulate a trace to completion and report aggregate statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trace` is empty.
+    pub fn simulate(&self, trace: &[MemoryRequest]) -> SimStats {
+        assert!(!trace.is_empty(), "cannot simulate an empty trace");
+        let t = &self.timing;
+        let cfg = &self.config;
+        let n = trace.len();
+
+        let mut completion = vec![0u64; n];
+        let mut banks: Vec<Bank> = (0..t.banks).map(|_| Bank::default()).collect();
+        let mut buffer: Vec<Pending> = Vec::with_capacity(cfg.request_buffer_size);
+        let mut outstanding: Vec<u64> = Vec::new(); // completion times of issued reqs
+        let mut next_admit = 0usize;
+        let mut now = 0u64;
+        let mut bus_free = 0u64;
+        let mut counts = OpCounts::default();
+        let mut row_hits = 0u64;
+        let mut row_misses = 0u64;
+        let mut row_conflicts = 0u64;
+        let mut next_refi = t.t_refi;
+        let mut refresh_debt: i64 = 0;
+        let mut last_type_write = false;
+        let mut rr_bank = 0usize;
+
+        loop {
+            // 1. Retire issued requests whose data has returned.
+            outstanding.retain(|&c| c > now);
+
+            // 2. Admit arrivals within buffer and transaction-window limits.
+            while next_admit < n
+                && trace[next_admit].arrival <= now
+                && buffer.len() < cfg.request_buffer_size
+                && buffer.len() + outstanding.len() < cfg.max_active_transactions
+            {
+                let req = trace[next_admit];
+                let coords = self.mapping.decode(req.addr);
+                buffer.push(Pending {
+                    id: next_admit,
+                    row: coords.row,
+                    bank: coords.bank,
+                    is_write: req.is_write,
+                });
+                next_admit += 1;
+            }
+
+            // 3. Refresh engine.
+            if cfg.refresh_policy == RefreshPolicy::AllBank {
+                while now >= next_refi {
+                    refresh_debt += 1;
+                    next_refi += t.t_refi;
+                }
+                let forced = refresh_debt > cfg.refresh_max_postponed as i64;
+                let opportunistic = buffer.is_empty()
+                    && next_admit < n
+                    && refresh_debt > -(cfg.refresh_max_pulled_in as i64);
+                if forced || (opportunistic && refresh_debt > 0) {
+                    let start = banks
+                        .iter()
+                        .map(|b| b.ready_at)
+                        .max()
+                        .unwrap_or(now)
+                        .max(now);
+                    for b in &mut banks {
+                        if b.open_row.take().is_some() {
+                            counts.precharges += 1;
+                        }
+                        b.ready_at = start + t.t_rfc;
+                    }
+                    counts.refreshes += 1;
+                    refresh_debt -= 1;
+                    now = start + t.t_rfc;
+                    continue;
+                }
+            }
+
+            // 4. Nothing schedulable: advance time to the next event.
+            if buffer.is_empty() {
+                if next_admit >= n {
+                    break; // every request issued; data returns on its own
+                }
+                let arrival_evt = trace[next_admit].arrival;
+                // Admission may also be blocked by the transaction window.
+                let window_full = outstanding.len() >= cfg.max_active_transactions;
+                let evt = if window_full {
+                    outstanding.iter().copied().min().unwrap_or(arrival_evt)
+                } else {
+                    arrival_evt
+                };
+                now = now.max(evt).max(now + 1);
+                continue;
+            }
+
+            // 5. Scheduler visibility.
+            let visible: Vec<usize> = match cfg.scheduler_buffer {
+                SchedulerBuffer::Shared => (0..buffer.len()).collect(),
+                SchedulerBuffer::ReadWrite => {
+                    let reads: Vec<usize> =
+                        (0..buffer.len()).filter(|&i| !buffer[i].is_write).collect();
+                    if reads.is_empty() {
+                        (0..buffer.len()).collect()
+                    } else {
+                        reads
+                    }
+                }
+                SchedulerBuffer::Bankwise => {
+                    let nb = banks.len();
+                    let mut chosen = None;
+                    for off in 0..nb {
+                        let bank = (rr_bank + off) % nb;
+                        if buffer.iter().any(|p| p.bank == bank) {
+                            chosen = Some(bank);
+                            break;
+                        }
+                    }
+                    let bank = chosen.expect("buffer non-empty");
+                    rr_bank = (bank + 1) % nb;
+                    (0..buffer.len())
+                        .filter(|&i| buffer[i].bank == bank)
+                        .collect()
+                }
+            };
+
+            // 6. Scheduler class: lower is more preferred.
+            let class = |p: &Pending| -> u32 {
+                let hit = banks[p.bank].open_row == Some(p.row);
+                match cfg.scheduler {
+                    Scheduler::Fifo => 0,
+                    Scheduler::FrFcfs => u32::from(!hit),
+                    Scheduler::FrFcfsGrp => {
+                        if hit {
+                            0
+                        } else if p.is_write == last_type_write {
+                            1
+                        } else {
+                            2
+                        }
+                    }
+                }
+            };
+            let best_class = visible.iter().map(|&i| class(&buffer[i])).min().unwrap();
+            let candidates: Vec<usize> = visible
+                .into_iter()
+                .filter(|&i| class(&buffer[i]) == best_class)
+                .collect();
+
+            // 7. Arbiter tie-break.
+            let estimate_start = |p: &Pending| -> u64 {
+                let b = &banks[p.bank];
+                let base = now.max(b.ready_at);
+                let extra = match b.open_row {
+                    Some(r) if r == p.row => 0,
+                    Some(_) => t.t_rp + t.t_rcd,
+                    None => t.t_rcd,
+                };
+                base + extra
+            };
+            let chosen_pos = match cfg.arbiter {
+                Arbiter::Simple => candidates
+                    .into_iter()
+                    .min_by_key(|&i| (buffer[i].bank, buffer[i].id))
+                    .unwrap(),
+                Arbiter::Fifo => candidates
+                    .into_iter()
+                    .min_by_key(|&i| buffer[i].id)
+                    .unwrap(),
+                Arbiter::Reorder => candidates
+                    .into_iter()
+                    .min_by_key(|&i| (estimate_start(&buffer[i]), buffer[i].id))
+                    .unwrap(),
+            };
+            let p = buffer.swap_remove(chosen_pos);
+
+            // 8. Bank timing engine.
+            let bank = &mut banks[p.bank];
+            let start = now.max(bank.ready_at);
+            let was_hit = bank.open_row == Some(p.row);
+            let col_ready = match bank.open_row {
+                Some(r) if r == p.row => {
+                    row_hits += 1;
+                    start
+                }
+                Some(_) => {
+                    row_conflicts += 1;
+                    counts.precharges += 1;
+                    counts.activates += 1;
+                    let pre_start = start.max(bank.activated_at + t.t_ras).max(bank.data_done);
+                    bank.activated_at = pre_start + t.t_rp;
+                    pre_start + t.t_rp + t.t_rcd
+                }
+                None => {
+                    row_misses += 1;
+                    counts.activates += 1;
+                    bank.activated_at = start;
+                    start + t.t_rcd
+                }
+            };
+            let cas = if p.is_write { t.t_cwl } else { t.t_cl };
+            let data_start = (col_ready + cas).max(bus_free);
+            let data_end = data_start + t.t_burst;
+            bus_free = data_end;
+            completion[p.id] = data_end;
+            outstanding.push(data_end);
+            if p.is_write {
+                counts.writes += 1;
+            } else {
+                counts.reads += 1;
+            }
+            last_type_write = p.is_write;
+
+            // Column commands pipeline: the bank can accept its next CAS
+            // one burst (≈tCCD) after this one issued; data return is
+            // overlapped. Writes add recovery before the row can close.
+            let cas_issue = data_start - cas;
+            let next_cas = cas_issue + t.t_burst;
+            let data_done = if p.is_write {
+                data_end + t.t_wr
+            } else {
+                data_end
+            };
+
+            // 9. Page policy.
+            bank.hit_ewma = 0.875 * bank.hit_ewma + 0.125 * f64::from(was_hit);
+            let keep_open = match cfg.page_policy {
+                PagePolicy::Open => true,
+                PagePolicy::Closed => false,
+                PagePolicy::OpenAdaptive => bank.hit_ewma > 0.25,
+                PagePolicy::ClosedAdaptive => bank.hit_ewma > 0.75,
+            };
+            if keep_open {
+                bank.open_row = Some(p.row);
+                bank.ready_at = next_cas;
+            } else {
+                bank.open_row = None;
+                counts.precharges += 1;
+                bank.ready_at = data_done + t.t_rp;
+            }
+            bank.data_done = data_done;
+
+            now = start + 1;
+        }
+
+        // 10. Response-queue delivery and latency accounting.
+        let mut latencies_ns = Vec::with_capacity(n);
+        let mut last_resp = 0u64;
+        let mut final_cycle = 0u64;
+        for (id, req) in trace.iter().enumerate() {
+            let resp = match cfg.resp_queue {
+                RespQueue::Reorder => completion[id],
+                RespQueue::Fifo => {
+                    last_resp = last_resp.max(completion[id]);
+                    last_resp
+                }
+            };
+            final_cycle = final_cycle.max(resp);
+            latencies_ns.push((resp - req.arrival) as f64 * t.clock_ns);
+        }
+        latencies_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let avg_latency_ns = latencies_ns.iter().sum::<f64>() / n as f64;
+        let p95_latency_ns = latencies_ns[((n - 1) as f64 * 0.95) as usize];
+
+        let (energy_uj, power_w) = self.power.evaluate(&counts, cfg, final_cycle, t.clock_ns);
+
+        SimStats {
+            avg_latency_ns,
+            p95_latency_ns,
+            power_w,
+            energy_uj,
+            total_cycles: final_cycle,
+            row_hits,
+            row_misses,
+            row_conflicts,
+            counts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{generate, DramWorkload, TraceConfig};
+    use archgym_core::seeded_rng;
+    use proptest::prelude::*;
+
+    fn trace(wl: DramWorkload, seed: u64) -> Vec<MemoryRequest> {
+        generate(wl, &TraceConfig::default(), &mut seeded_rng(seed))
+    }
+
+    fn with(f: impl FnOnce(&mut ControllerConfig)) -> ControllerConfig {
+        let mut cfg = ControllerConfig::default();
+        f(&mut cfg);
+        cfg
+    }
+
+    #[test]
+    fn simulation_completes_all_requests() {
+        let stats = MemoryController::new(ControllerConfig::default())
+            .simulate(&trace(DramWorkload::Cloud1, 1));
+        let total = stats.counts.reads + stats.counts.writes;
+        assert_eq!(total, 768);
+        assert_eq!(
+            stats.row_hits + stats.row_misses + stats.row_conflicts,
+            total
+        );
+        assert!(stats.avg_latency_ns > 0.0);
+        assert!(stats.total_cycles > 0);
+    }
+
+    #[test]
+    fn latency_at_least_device_minimum() {
+        let t = DeviceTiming::ddr3_1600();
+        for wl in DramWorkload::ALL {
+            let stats = MemoryController::new(ControllerConfig::default()).simulate(&trace(wl, 2));
+            assert!(
+                stats.avg_latency_ns >= t.min_read_latency() as f64 * t.clock_ns - 1e-9,
+                "{:?}: {} ns below device floor",
+                wl,
+                stats.avg_latency_ns
+            );
+        }
+    }
+
+    #[test]
+    fn stream_hits_rows_random_does_not() {
+        let open = with(|c| c.page_policy = PagePolicy::Open);
+        let stream = MemoryController::new(open.clone()).simulate(&trace(DramWorkload::Stream, 3));
+        let random = MemoryController::new(open).simulate(&trace(DramWorkload::Random, 3));
+        assert!(
+            stream.hit_rate() > 0.7,
+            "stream hit rate {}",
+            stream.hit_rate()
+        );
+        assert!(
+            random.hit_rate() < 0.2,
+            "random hit rate {}",
+            random.hit_rate()
+        );
+    }
+
+    #[test]
+    fn open_policy_beats_closed_on_streaming() {
+        let open = MemoryController::new(with(|c| c.page_policy = PagePolicy::Open))
+            .simulate(&trace(DramWorkload::Stream, 4));
+        let closed = MemoryController::new(with(|c| c.page_policy = PagePolicy::Closed))
+            .simulate(&trace(DramWorkload::Stream, 4));
+        assert!(
+            open.avg_latency_ns < closed.avg_latency_ns,
+            "open {} vs closed {}",
+            open.avg_latency_ns,
+            closed.avg_latency_ns
+        );
+        // Closed pays an activate per access on a streaming trace.
+        assert!(closed.counts.activates > open.counts.activates * 5);
+    }
+
+    #[test]
+    fn frfcfs_not_worse_than_fifo_on_mixed_trace() {
+        let fifo = MemoryController::new(with(|c| {
+            c.scheduler = Scheduler::Fifo;
+            c.arbiter = Arbiter::Fifo;
+        }))
+        .simulate(&trace(DramWorkload::Cloud2, 5));
+        let frfcfs = MemoryController::new(with(|c| {
+            c.scheduler = Scheduler::FrFcfs;
+            c.arbiter = Arbiter::Reorder;
+        }))
+        .simulate(&trace(DramWorkload::Cloud2, 5));
+        assert!(
+            frfcfs.avg_latency_ns <= fifo.avg_latency_ns * 1.05,
+            "frfcfs {} vs fifo {}",
+            frfcfs.avg_latency_ns,
+            fifo.avg_latency_ns
+        );
+        assert!(frfcfs.row_hits >= fifo.row_hits);
+    }
+
+    #[test]
+    fn no_refresh_saves_power_and_never_refreshes() {
+        let on = MemoryController::new(with(|c| c.refresh_policy = RefreshPolicy::AllBank))
+            .simulate(&trace(DramWorkload::Random, 6));
+        let off = MemoryController::new(with(|c| c.refresh_policy = RefreshPolicy::NoRefresh))
+            .simulate(&trace(DramWorkload::Random, 6));
+        assert_eq!(off.counts.refreshes, 0);
+        assert!(on.counts.refreshes > 0, "long random trace must refresh");
+        assert!(off.energy_uj < on.energy_uj);
+    }
+
+    #[test]
+    fn fifo_resp_queue_never_faster_than_reorder() {
+        for wl in DramWorkload::ALL {
+            let fifo = MemoryController::new(with(|c| c.resp_queue = RespQueue::Fifo))
+                .simulate(&trace(wl, 7));
+            let reorder = MemoryController::new(with(|c| c.resp_queue = RespQueue::Reorder))
+                .simulate(&trace(wl, 7));
+            assert!(
+                reorder.avg_latency_ns <= fifo.avg_latency_ns + 1e-9,
+                "{wl:?}: reorder {} vs fifo {}",
+                reorder.avg_latency_ns,
+                fifo.avg_latency_ns
+            );
+        }
+    }
+
+    #[test]
+    fn wider_transaction_window_helps_bursty_traffic() {
+        let narrow = MemoryController::new(with(|c| {
+            c.max_active_transactions = 1;
+            c.request_buffer_size = 1;
+        }))
+        .simulate(&trace(DramWorkload::Cloud2, 8));
+        let wide = MemoryController::new(with(|c| {
+            c.max_active_transactions = 64;
+            c.request_buffer_size = 8;
+        }))
+        .simulate(&trace(DramWorkload::Cloud2, 8));
+        assert!(
+            wide.avg_latency_ns < narrow.avg_latency_ns,
+            "wide {} vs narrow {}",
+            wide.avg_latency_ns,
+            narrow.avg_latency_ns
+        );
+        // ... but the wide window costs static power.
+        let narrow_static = PowerModel::ddr3().static_power_w(&with(|c| {
+            c.max_active_transactions = 1;
+            c.request_buffer_size = 1;
+        }));
+        let wide_static = PowerModel::ddr3().static_power_w(&with(|c| {
+            c.max_active_transactions = 64;
+            c.request_buffer_size = 8;
+        }));
+        assert!(wide_static > narrow_static);
+    }
+
+    #[test]
+    fn readwrite_buffer_drains_reads_before_writes() {
+        // Two requests arrive together: a write first, then a read. The
+        // ReadWrite queue organization must serve the read first.
+        let trace = vec![
+            MemoryRequest {
+                arrival: 0,
+                addr: 0,
+                is_write: true,
+            },
+            MemoryRequest {
+                arrival: 0,
+                addr: 1 << 20,
+                is_write: false,
+            },
+        ];
+        let mk = |buffer: SchedulerBuffer| {
+            let cfg = with(|c| {
+                c.scheduler_buffer = buffer;
+                c.scheduler = Scheduler::Fifo;
+                c.arbiter = Arbiter::Fifo;
+                c.resp_queue = RespQueue::Reorder;
+                c.refresh_policy = RefreshPolicy::NoRefresh;
+            });
+            MemoryController::new(cfg).simulate(&trace)
+        };
+        let rw = mk(SchedulerBuffer::ReadWrite);
+        let shared = mk(SchedulerBuffer::Shared);
+        // Under Shared+FIFO the write (older) goes first and the read
+        // waits; under ReadWrite the read jumps the queue, so its
+        // latency — and with only one read, the p95 tail — shrinks.
+        assert!(
+            rw.avg_latency_ns < shared.avg_latency_ns + 1e-9,
+            "ReadWrite {} vs Shared {}",
+            rw.avg_latency_ns,
+            shared.avg_latency_ns
+        );
+    }
+
+    #[test]
+    fn bankwise_buffer_round_robins_across_banks() {
+        // Four requests to two banks; Bankwise must alternate banks while
+        // Shared+Fifo serves in arrival order. Observable via bank-level
+        // parallelism: alternation overlaps activates, lowering latency
+        // on a conflict-heavy pattern.
+        let bank_stride = 64 << 7; // flips the bank bits
+        let trace: Vec<MemoryRequest> = (0..8)
+            .map(|i| MemoryRequest {
+                arrival: 0,
+                // Same bank twice, then the other bank twice, with
+                // different rows to force conflicts within a bank.
+                addr: (i / 2 % 2) as u64 * bank_stride + (i as u64) * (1 << 20),
+                is_write: false,
+            })
+            .collect();
+        let mk = |buffer: SchedulerBuffer| {
+            let cfg = with(|c| {
+                c.scheduler_buffer = buffer;
+                c.scheduler = Scheduler::Fifo;
+                c.arbiter = Arbiter::Fifo;
+                c.request_buffer_size = 8;
+                c.max_active_transactions = 8;
+                c.refresh_policy = RefreshPolicy::NoRefresh;
+            });
+            MemoryController::new(cfg).simulate(&trace)
+        };
+        let bankwise = mk(SchedulerBuffer::Bankwise);
+        let shared = mk(SchedulerBuffer::Shared);
+        assert!(
+            bankwise.avg_latency_ns <= shared.avg_latency_ns + 1e-9,
+            "bankwise {} vs shared {}",
+            bankwise.avg_latency_ns,
+            shared.avg_latency_ns
+        );
+    }
+
+    #[test]
+    fn refresh_postpone_budget_is_respected() {
+        // A long idle-free trace with AllBank refresh: with a generous
+        // postpone budget, refreshes can slide; the total count over the
+        // trace still tracks elapsed tREFI intervals.
+        let cfg_tight = with(|c| {
+            c.refresh_policy = RefreshPolicy::AllBank;
+            c.refresh_max_postponed = 1;
+        });
+        let cfg_loose = with(|c| {
+            c.refresh_policy = RefreshPolicy::AllBank;
+            c.refresh_max_postponed = 8;
+        });
+        let tr = trace(DramWorkload::Random, 12);
+        let tight = MemoryController::new(cfg_tight).simulate(&tr);
+        let loose = MemoryController::new(cfg_loose).simulate(&tr);
+        // Both must refresh roughly every tREFI; postponement shifts
+        // timing, not long-run counts (within the postpone window).
+        let diff = tight.counts.refreshes.abs_diff(loose.counts.refreshes);
+        assert!(diff <= 8, "refresh counts diverged: {tight:?} vs {loose:?}");
+        assert!(tight.counts.refreshes > 0);
+    }
+
+    #[test]
+    fn deterministic_for_same_config_and_trace() {
+        let tr = trace(DramWorkload::Cloud1, 9);
+        let a = MemoryController::new(ControllerConfig::default()).simulate(&tr);
+        let b = MemoryController::new(ControllerConfig::default()).simulate(&tr);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ddr4_grade_runs_and_uses_all_sixteen_banks() {
+        let tr = trace(DramWorkload::Random, 15);
+        let ddr4 = MemoryController::new(ControllerConfig::default())
+            .timing(DeviceTiming::ddr4_2400())
+            .simulate(&tr);
+        let ddr3 = MemoryController::new(ControllerConfig::default()).simulate(&tr);
+        assert_eq!(ddr4.counts.reads + ddr4.counts.writes, 768);
+        assert!(ddr4.avg_latency_ns > 0.0 && ddr4.avg_latency_ns < 1e5);
+        // Random pointer chasing: similar absolute latency band across
+        // grades; DDR4 must not be pathologically slower.
+        assert!(
+            ddr4.avg_latency_ns < ddr3.avg_latency_ns * 1.5,
+            "ddr4 {} vs ddr3 {}",
+            ddr4.avg_latency_ns,
+            ddr3.avg_latency_ns
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_panics() {
+        let _ = MemoryController::new(ControllerConfig::default()).simulate(&[]);
+    }
+
+    fn arbitrary_config(seed: u64) -> ControllerConfig {
+        use rand::Rng;
+        let mut rng = seeded_rng(seed);
+        ControllerConfig {
+            refresh_max_postponed: rng.gen_range(1..=8),
+            refresh_max_pulled_in: rng.gen_range(1..=8),
+            request_buffer_size: rng.gen_range(1..=8),
+            max_active_transactions: 1 << rng.gen_range(0..=7),
+            page_policy: PagePolicy::ALL[rng.gen_range(0..4)],
+            scheduler: Scheduler::ALL[rng.gen_range(0..3)],
+            scheduler_buffer: SchedulerBuffer::ALL[rng.gen_range(0..3)],
+            arbiter: Arbiter::ALL[rng.gen_range(0..3)],
+            resp_queue: RespQueue::ALL[rng.gen_range(0..2)],
+            refresh_policy: RefreshPolicy::ALL[rng.gen_range(0..2)],
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn prop_any_config_completes_with_sane_stats(cfg_seed in 0u64..5000, wl_idx in 0usize..4) {
+            let cfg = arbitrary_config(cfg_seed);
+            let tr = generate(
+                DramWorkload::ALL[wl_idx],
+                &TraceConfig { length: 200, ..TraceConfig::default() },
+                &mut seeded_rng(cfg_seed),
+            );
+            let stats = MemoryController::new(cfg).simulate(&tr);
+            prop_assert_eq!(stats.counts.reads + stats.counts.writes, 200);
+            prop_assert!(stats.avg_latency_ns.is_finite() && stats.avg_latency_ns > 0.0);
+            prop_assert!(stats.p95_latency_ns >= stats.avg_latency_ns * 0.2);
+            prop_assert!(stats.power_w > 0.1 && stats.power_w < 20.0);
+            prop_assert!(stats.energy_uj > 0.0);
+        }
+    }
+}

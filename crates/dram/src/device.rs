@@ -1,0 +1,268 @@
+//! DDR3-style DRAM device model: timing parameters, address mapping and
+//! per-bank row-buffer state.
+//!
+//! The numbers default to a DDR3-1600-like speed grade; they are not meant
+//! to replicate any specific vendor part, only to give the memory
+//! controller design space the cost landscape a real device would (row hits
+//! are cheap, row conflicts pay `tRP + tRCD`, refresh steals `tRFC` from
+//! every bank, ...).
+
+use serde::{Deserialize, Serialize};
+
+/// Core timing parameters, all in memory-controller clock cycles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceTiming {
+    /// Clock period in nanoseconds (DDR3-1600 command clock: 1.25 ns).
+    pub clock_ns: f64,
+    /// ACT → internal READ/WRITE delay.
+    pub t_rcd: u64,
+    /// PRE → ACT delay.
+    pub t_rp: u64,
+    /// READ → first data (CAS latency).
+    pub t_cl: u64,
+    /// WRITE → first data (CAS write latency).
+    pub t_cwl: u64,
+    /// ACT → PRE minimum.
+    pub t_ras: u64,
+    /// Data burst length on the bus (BL8 / 2 for DDR).
+    pub t_burst: u64,
+    /// Write recovery after the last write data.
+    pub t_wr: u64,
+    /// Refresh command duration (all banks blocked).
+    pub t_rfc: u64,
+    /// Average refresh interval.
+    pub t_refi: u64,
+    /// Number of banks.
+    pub banks: usize,
+    /// Bytes per column burst (x64 channel, BL8 = 64 bytes).
+    pub burst_bytes: u64,
+}
+
+impl DeviceTiming {
+    /// A DDR3-1600-like speed grade (11-11-11, 8 banks).
+    pub fn ddr3_1600() -> Self {
+        DeviceTiming {
+            clock_ns: 1.25,
+            t_rcd: 11,
+            t_rp: 11,
+            t_cl: 11,
+            t_cwl: 8,
+            t_ras: 28,
+            t_burst: 4,
+            t_wr: 12,
+            t_rfc: 208,
+            t_refi: 6240,
+            banks: 8,
+            burst_bytes: 64,
+        }
+    }
+
+    /// A DDR4-2400-like speed grade (17-17-17, 16 banks): higher clock,
+    /// more banks, longer absolute refresh.
+    pub fn ddr4_2400() -> Self {
+        DeviceTiming {
+            clock_ns: 0.833,
+            t_rcd: 17,
+            t_rp: 17,
+            t_cl: 17,
+            t_cwl: 12,
+            t_ras: 39,
+            t_burst: 4,
+            t_wr: 18,
+            t_rfc: 420,
+            t_refi: 9360,
+            banks: 16,
+            burst_bytes: 64,
+        }
+    }
+
+    /// Minimum possible read latency (row open, no queuing): `tCL + tBURST`.
+    pub fn min_read_latency(&self) -> u64 {
+        self.t_cl + self.t_burst
+    }
+}
+
+impl Default for DeviceTiming {
+    fn default() -> Self {
+        DeviceTiming::ddr3_1600()
+    }
+}
+
+/// Splits a byte address into `(row, bank, column)` coordinates.
+///
+/// Layout (low → high bits): 6 bits burst offset, `col_bits` column,
+/// `bank_bits` bank, remainder row — the standard row-interleaved mapping
+/// that makes sequential streams hit the same row repeatedly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddressMapping {
+    /// Bits of burst offset discarded from the bottom.
+    pub offset_bits: u32,
+    /// Column bits above the offset.
+    pub col_bits: u32,
+    /// Bank bits above the columns.
+    pub bank_bits: u32,
+}
+
+impl AddressMapping {
+    /// The default mapping: 64-byte bursts, 128 columns, 8 banks.
+    pub fn new() -> Self {
+        AddressMapping {
+            offset_bits: 6,
+            col_bits: 7,
+            bank_bits: 3,
+        }
+    }
+
+    /// A mapping addressing `banks` banks (must be a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks` is not a power of two.
+    pub fn with_banks(banks: usize) -> Self {
+        assert!(banks.is_power_of_two(), "bank count must be a power of two");
+        AddressMapping {
+            offset_bits: 6,
+            col_bits: 7,
+            bank_bits: banks.trailing_zeros(),
+        }
+    }
+
+    /// Decompose an address.
+    pub fn decode(&self, addr: u64) -> Coordinates {
+        let col = (addr >> self.offset_bits) & ((1 << self.col_bits) - 1);
+        let bank = (addr >> (self.offset_bits + self.col_bits)) & ((1 << self.bank_bits) - 1);
+        let row = addr >> (self.offset_bits + self.col_bits + self.bank_bits);
+        Coordinates {
+            row,
+            bank: bank as usize,
+            col,
+        }
+    }
+
+    /// Number of banks this mapping addresses.
+    pub fn banks(&self) -> usize {
+        1 << self.bank_bits
+    }
+}
+
+impl Default for AddressMapping {
+    fn default() -> Self {
+        AddressMapping::new()
+    }
+}
+
+/// `(row, bank, column)` coordinates of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coordinates {
+    /// Row index within the bank.
+    pub row: u64,
+    /// Bank index.
+    pub bank: usize,
+    /// Column index within the row.
+    pub col: u64,
+}
+
+/// Row-buffer state of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct BankState {
+    /// The currently open row, if any.
+    pub open_row: Option<u64>,
+    /// Earliest cycle at which the bank can accept a new column command.
+    pub ready_at: u64,
+    /// Cycle at which the open row was activated (for `tRAS` accounting).
+    pub activated_at: u64,
+}
+
+impl BankState {
+    /// A fresh, precharged bank.
+    pub fn new() -> Self {
+        BankState::default()
+    }
+
+    /// Whether a request to `row` would be a row-buffer hit.
+    pub fn is_hit(&self, row: u64) -> bool {
+        self.open_row == Some(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ddr3_defaults_are_sane() {
+        let t = DeviceTiming::ddr3_1600();
+        assert!(t.t_ras >= t.t_rcd);
+        assert!(t.t_rfc > t.t_rp);
+        assert!(t.t_refi > t.t_rfc);
+        assert_eq!(t.banks, 8);
+        assert_eq!(t.min_read_latency(), 15);
+    }
+
+    #[test]
+    fn ddr4_grade_is_faster_in_wall_clock_terms() {
+        let d3 = DeviceTiming::ddr3_1600();
+        let d4 = DeviceTiming::ddr4_2400();
+        // More cycles of CAS latency, but each cycle is shorter: the
+        // absolute random-access latency is in the same band.
+        let lat3 = (d3.t_rcd + d3.t_cl + d3.t_burst) as f64 * d3.clock_ns;
+        let lat4 = (d4.t_rcd + d4.t_cl + d4.t_burst) as f64 * d4.clock_ns;
+        assert!((lat4 - lat3).abs() / lat3 < 0.25, "{lat3} vs {lat4}");
+        // Peak bandwidth is clearly higher.
+        let bw3 = d3.burst_bytes as f64 / (d3.t_burst as f64 * d3.clock_ns);
+        let bw4 = d4.burst_bytes as f64 / (d4.t_burst as f64 * d4.clock_ns);
+        assert!(bw4 > bw3 * 1.3);
+        assert_eq!(d4.banks, 16);
+    }
+
+    #[test]
+    fn address_mapping_sequential_addresses_share_a_row() {
+        let m = AddressMapping::new();
+        let a = m.decode(0);
+        let b = m.decode(64); // next burst
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.bank, b.bank);
+        assert_eq!(a.col + 1, b.col);
+    }
+
+    #[test]
+    fn address_mapping_row_stride_changes_bank_then_row() {
+        let m = AddressMapping::new();
+        let row_bytes = 64u64 << m.col_bits; // one full row in one bank
+        let a = m.decode(0);
+        let c = m.decode(row_bytes);
+        assert_eq!(a.row, c.row);
+        assert_eq!(c.bank, 1); // first the bank bits advance
+        let d = m.decode(row_bytes * m.banks() as u64);
+        assert_eq!(d.bank, 0);
+        assert_eq!(d.row, a.row + 1); // then the row
+    }
+
+    #[test]
+    fn bank_state_hit_detection() {
+        let mut b = BankState::new();
+        assert!(!b.is_hit(5));
+        b.open_row = Some(5);
+        assert!(b.is_hit(5));
+        assert!(!b.is_hit(6));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decode_is_injective_on_aligned_addresses(x in 0u64..1_000_000) {
+            let m = AddressMapping::new();
+            let addr = x * 64;
+            let c = m.decode(addr);
+            // Reassemble and compare.
+            let back = (((c.row << m.bank_bits) | c.bank as u64) << m.col_bits | c.col) << m.offset_bits;
+            prop_assert_eq!(back, addr);
+        }
+
+        #[test]
+        fn prop_bank_index_in_range(addr in 0u64..u64::MAX / 2) {
+            let m = AddressMapping::new();
+            prop_assert!(m.decode(addr).bank < m.banks());
+        }
+    }
+}

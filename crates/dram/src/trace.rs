@@ -1,0 +1,474 @@
+//! Memory-trace workloads.
+//!
+//! The paper evaluates DRAMGym on four traces shipped with DRAMSys:
+//! *streaming access*, *random access* (pointer chasing), and two
+//! datacenter blends, *cloud-1* and *cloud-2*. Those traces are not
+//! redistributable, so this module generates synthetic traces with matched
+//! access statistics; the agents only ever see the cost deltas the
+//! statistics induce (row-buffer locality, bank parallelism, read/write
+//! mix, arrival burstiness).
+
+use archgym_core::error::{ArchGymError, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// One memory transaction as seen by the controller frontend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryRequest {
+    /// Cycle at which the request arrives at the controller.
+    pub arrival: u64,
+    /// Byte address.
+    pub addr: u64,
+    /// Write (`true`) or read (`false`).
+    pub is_write: bool,
+}
+
+/// The four trace workloads of the paper's Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DramWorkload {
+    /// Sequential streaming: long unit-stride runs, 100% reads — maximal
+    /// row-buffer locality.
+    Stream,
+    /// Pointer chasing: uniformly random addresses, dependent arrivals —
+    /// minimal locality. This is the trace behind the paper's Table 4.
+    Random,
+    /// Datacenter blend 1: mostly short sequential bursts with occasional
+    /// random jumps, 30% writes, bursty arrivals.
+    Cloud1,
+    /// Datacenter blend 2: hotter working set (Zipf-ish reuse of a few
+    /// rows), 50% writes, heavier bursts.
+    Cloud2,
+}
+
+impl DramWorkload {
+    /// All four workloads in paper order.
+    pub const ALL: [DramWorkload; 4] = [
+        DramWorkload::Stream,
+        DramWorkload::Random,
+        DramWorkload::Cloud1,
+        DramWorkload::Cloud2,
+    ];
+
+    /// Short identifier used in reports (`"stream"`, `"random"`, ...).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DramWorkload::Stream => "stream",
+            DramWorkload::Random => "random",
+            DramWorkload::Cloud1 => "cloud-1",
+            DramWorkload::Cloud2 => "cloud-2",
+        }
+    }
+}
+
+/// Trace generation knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Number of requests to generate.
+    pub length: usize,
+    /// Mean inter-arrival gap in cycles for non-bursty phases.
+    pub mean_gap: u64,
+    /// Address-space size in bytes (working set).
+    pub footprint: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            length: 768,
+            mean_gap: 6,
+            footprint: 1 << 26, // 64 MiB
+        }
+    }
+}
+
+/// Generate a deterministic trace for a workload.
+///
+/// The same `(workload, config, seed)` triple always yields the same trace.
+pub fn generate<R: Rng + ?Sized>(
+    workload: DramWorkload,
+    config: &TraceConfig,
+    rng: &mut R,
+) -> Vec<MemoryRequest> {
+    match workload {
+        DramWorkload::Stream => stream(config, rng),
+        DramWorkload::Random => pointer_chase(config, rng),
+        DramWorkload::Cloud1 => cloud(config, rng, 0.30, 24, 0.10),
+        DramWorkload::Cloud2 => cloud(config, rng, 0.50, 12, 0.35),
+    }
+}
+
+/// The data bus serves one 64-byte burst every `tBURST = 4` cycles, so a
+/// sustainable trace must arrive slower than that on average; generators
+/// keep mean gaps above this floor so queueing stays bounded and latency
+/// reflects design quality rather than raw saturation.
+const BUS_SERVICE_CYCLES: u64 = 4;
+
+fn stream<R: Rng + ?Sized>(config: &TraceConfig, rng: &mut R) -> Vec<MemoryRequest> {
+    let mut trace = Vec::with_capacity(config.length);
+    let mut addr = (rng.gen_range(0..config.footprint) / 64) * 64;
+    let mut cycle = 0u64;
+    for _ in 0..config.length {
+        trace.push(MemoryRequest {
+            arrival: cycle,
+            addr: addr % config.footprint,
+            is_write: false,
+        });
+        addr += 64;
+        cycle += BUS_SERVICE_CYCLES + 1 + rng.gen_range(0..config.mean_gap.max(1));
+    }
+    trace
+}
+
+fn pointer_chase<R: Rng + ?Sized>(config: &TraceConfig, rng: &mut R) -> Vec<MemoryRequest> {
+    let mut trace = Vec::with_capacity(config.length);
+    let mut cycle = 0u64;
+    for _ in 0..config.length {
+        let addr = (rng.gen_range(0..config.footprint) / 64) * 64;
+        trace.push(MemoryRequest {
+            arrival: cycle,
+            addr,
+            is_write: false,
+        });
+        // A dependent chain: the next load can only issue after the
+        // previous one would plausibly return, so gaps are long.
+        cycle += config.mean_gap.max(1) * 4 + rng.gen_range(0..config.mean_gap.max(1) * 2);
+    }
+    trace
+}
+
+/// Mixed datacenter-style trace.
+///
+/// `write_frac` of requests are writes; sequential runs of geometric mean
+/// length `run_len` are interleaved with random jumps; `hot_frac` of jumps
+/// land in a small hot region (row reuse).
+fn cloud<R: Rng + ?Sized>(
+    config: &TraceConfig,
+    rng: &mut R,
+    write_frac: f64,
+    run_len: u64,
+    hot_frac: f64,
+) -> Vec<MemoryRequest> {
+    let mut trace = Vec::with_capacity(config.length);
+    let hot_region = config.footprint / 256;
+    let mut addr = (rng.gen_range(0..config.footprint) / 64) * 64;
+    let mut remaining_run = 0u64;
+    let mut cycle = 0u64;
+    for _ in 0..config.length {
+        if remaining_run == 0 {
+            // Jump: either into the hot region or anywhere.
+            addr = if rng.gen_bool(hot_frac) {
+                (rng.gen_range(0..hot_region) / 64) * 64
+            } else {
+                (rng.gen_range(0..config.footprint) / 64) * 64
+            };
+            remaining_run = 1 + rng.gen_range(0..run_len.max(1));
+            // Bursts arrive near back-to-back; the inter-run pause keeps
+            // the long-run arrival rate below the bus service rate so the
+            // burstiness stresses buffering, not raw saturation.
+            cycle += remaining_run * (BUS_SERVICE_CYCLES - 2)
+                + config.mean_gap.max(1) * 3
+                + rng.gen_range(0..config.mean_gap.max(1) * 2);
+        } else {
+            addr = (addr + 64) % config.footprint;
+            cycle += 2;
+        }
+        remaining_run -= 1;
+        trace.push(MemoryRequest {
+            arrival: cycle,
+            addr,
+            is_write: rng.gen_bool(write_frac),
+        });
+    }
+    trace
+}
+
+/// Summary statistics of a memory trace — the characterization an
+/// architect reads before choosing controller parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Number of requests.
+    pub requests: usize,
+    /// Fraction of writes.
+    pub write_fraction: f64,
+    /// Mean inter-arrival gap in cycles.
+    pub mean_gap_cycles: f64,
+    /// Fraction of accesses that would hit an open row under an
+    /// always-open policy (upper bound on row-buffer locality).
+    pub row_hit_potential: f64,
+    /// Number of distinct banks touched.
+    pub banks_touched: usize,
+    /// Footprint: number of distinct 64-byte lines touched.
+    pub unique_lines: usize,
+}
+
+/// Characterize a trace (using the default address mapping).
+///
+/// # Panics
+///
+/// Panics if `trace` is empty.
+pub fn characterize(trace: &[MemoryRequest]) -> TraceStats {
+    assert!(!trace.is_empty(), "cannot characterize an empty trace");
+    let mapping = crate::device::AddressMapping::new();
+    let mut open: Vec<Option<u64>> = vec![None; mapping.banks()];
+    let mut hits = 0usize;
+    let mut banks = std::collections::BTreeSet::new();
+    let mut lines = std::collections::BTreeSet::new();
+    let mut writes = 0usize;
+    for req in trace {
+        let c = mapping.decode(req.addr);
+        if open[c.bank] == Some(c.row) {
+            hits += 1;
+        }
+        open[c.bank] = Some(c.row);
+        banks.insert(c.bank);
+        lines.insert(req.addr / 64);
+        writes += usize::from(req.is_write);
+    }
+    let span = trace.last().unwrap().arrival - trace[0].arrival;
+    TraceStats {
+        requests: trace.len(),
+        write_fraction: writes as f64 / trace.len() as f64,
+        mean_gap_cycles: if trace.len() > 1 {
+            span as f64 / (trace.len() - 1) as f64
+        } else {
+            0.0
+        },
+        row_hit_potential: hits as f64 / trace.len() as f64,
+        banks_touched: banks.len(),
+        unique_lines: lines.len(),
+    }
+}
+
+/// Write a trace in the STL-like text format DRAMSys uses:
+/// one `<cycle>: <read|write> <hex address>` line per request.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_trace<W: Write>(trace: &[MemoryRequest], mut writer: W) -> Result<()> {
+    for req in trace {
+        writeln!(
+            writer,
+            "{}: {} 0x{:x}",
+            req.arrival,
+            if req.is_write { "write" } else { "read" },
+            req.addr
+        )?;
+    }
+    Ok(())
+}
+
+/// Parse a trace written by [`write_trace`]. Blank lines and `#` comments
+/// are skipped.
+///
+/// # Errors
+///
+/// Returns [`ArchGymError::InvalidConfig`] on malformed lines or
+/// non-monotonic arrival cycles.
+pub fn read_trace<R: Read>(reader: R) -> Result<Vec<MemoryRequest>> {
+    let mut trace = Vec::new();
+    let mut last_arrival = 0u64;
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad =
+            |what: &str| ArchGymError::InvalidConfig(format!("trace line {}: {what}", lineno + 1));
+        let (cycle_str, rest) = line.split_once(':').ok_or_else(|| bad("missing `:`"))?;
+        let arrival: u64 = cycle_str
+            .trim()
+            .parse()
+            .map_err(|_| bad("bad cycle count"))?;
+        let mut parts = rest.split_whitespace();
+        let op = parts.next().ok_or_else(|| bad("missing operation"))?;
+        let is_write = match op {
+            "read" => false,
+            "write" => true,
+            _ => return Err(bad("operation must be read|write")),
+        };
+        let addr_str = parts.next().ok_or_else(|| bad("missing address"))?;
+        let addr_str = addr_str.strip_prefix("0x").unwrap_or(addr_str);
+        let addr = u64::from_str_radix(addr_str, 16).map_err(|_| bad("bad hex address"))?;
+        if arrival < last_arrival {
+            return Err(bad("arrival cycles must be non-decreasing"));
+        }
+        last_arrival = arrival;
+        trace.push(MemoryRequest {
+            arrival,
+            addr,
+            is_write,
+        });
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::AddressMapping;
+    use archgym_core::seeded_rng;
+
+    fn row_hit_fraction(trace: &[MemoryRequest]) -> f64 {
+        let mapping = AddressMapping::new();
+        let mut open: Vec<Option<u64>> = vec![None; mapping.banks()];
+        let mut hits = 0usize;
+        for req in trace {
+            let c = mapping.decode(req.addr);
+            if open[c.bank] == Some(c.row) {
+                hits += 1;
+            }
+            open[c.bank] = Some(c.row);
+        }
+        hits as f64 / trace.len() as f64
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let cfg = TraceConfig::default();
+        for wl in DramWorkload::ALL {
+            let a = generate(wl, &cfg, &mut seeded_rng(7));
+            let b = generate(wl, &cfg, &mut seeded_rng(7));
+            assert_eq!(a, b, "{} trace must be reproducible", wl.name());
+            let c = generate(wl, &cfg, &mut seeded_rng(8));
+            assert_ne!(a, c, "{} trace must vary with seed", wl.name());
+        }
+    }
+
+    #[test]
+    fn traces_have_requested_length_and_monotone_arrivals() {
+        let cfg = TraceConfig {
+            length: 300,
+            ..TraceConfig::default()
+        };
+        for wl in DramWorkload::ALL {
+            let t = generate(wl, &cfg, &mut seeded_rng(3));
+            assert_eq!(t.len(), 300);
+            assert!(
+                t.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+                "{} arrivals must be non-decreasing",
+                wl.name()
+            );
+            assert!(t.iter().all(|r| r.addr < cfg.footprint));
+            assert!(t.iter().all(|r| r.addr % 64 == 0));
+        }
+    }
+
+    #[test]
+    fn stream_has_high_locality_random_has_low() {
+        let cfg = TraceConfig::default();
+        let stream = generate(DramWorkload::Stream, &cfg, &mut seeded_rng(1));
+        let random = generate(DramWorkload::Random, &cfg, &mut seeded_rng(1));
+        let stream_hits = row_hit_fraction(&stream);
+        let random_hits = row_hit_fraction(&random);
+        assert!(stream_hits > 0.8, "stream locality {stream_hits} too low");
+        assert!(random_hits < 0.1, "random locality {random_hits} too high");
+    }
+
+    #[test]
+    fn cloud_traces_sit_between_the_extremes() {
+        let cfg = TraceConfig::default();
+        let c1 = row_hit_fraction(&generate(DramWorkload::Cloud1, &cfg, &mut seeded_rng(5)));
+        let c2 = row_hit_fraction(&generate(DramWorkload::Cloud2, &cfg, &mut seeded_rng(5)));
+        for (name, frac) in [("cloud-1", c1), ("cloud-2", c2)] {
+            assert!(
+                (0.1..0.95).contains(&frac),
+                "{name} locality {frac} out of band"
+            );
+        }
+    }
+
+    #[test]
+    fn write_fractions_match_blend() {
+        let cfg = TraceConfig {
+            length: 2000,
+            ..TraceConfig::default()
+        };
+        let writes = |wl| {
+            let t = generate(wl, &cfg, &mut seeded_rng(2));
+            t.iter().filter(|r| r.is_write).count() as f64 / t.len() as f64
+        };
+        assert_eq!(writes(DramWorkload::Stream), 0.0);
+        assert_eq!(writes(DramWorkload::Random), 0.0);
+        let w1 = writes(DramWorkload::Cloud1);
+        let w2 = writes(DramWorkload::Cloud2);
+        assert!((w1 - 0.30).abs() < 0.06, "cloud-1 write frac {w1}");
+        assert!((w2 - 0.50).abs() < 0.06, "cloud-2 write frac {w2}");
+    }
+
+    #[test]
+    fn arrival_rates_stay_below_bus_saturation() {
+        // Mean inter-arrival gap must exceed the bus service time so the
+        // measured latency reflects controller quality, not unbounded
+        // queueing.
+        let cfg = TraceConfig {
+            length: 2000,
+            ..TraceConfig::default()
+        };
+        for wl in DramWorkload::ALL {
+            let t = generate(wl, &cfg, &mut seeded_rng(13));
+            let span = t.last().unwrap().arrival - t[0].arrival;
+            let mean_gap = span as f64 / (t.len() - 1) as f64;
+            assert!(
+                mean_gap > BUS_SERVICE_CYCLES as f64 + 0.5,
+                "{}: mean gap {mean_gap} saturates the bus",
+                wl.name()
+            );
+        }
+    }
+
+    #[test]
+    fn workload_names_are_stable() {
+        let names: Vec<&str> = DramWorkload::ALL.iter().map(|w| w.name()).collect();
+        assert_eq!(names, ["stream", "random", "cloud-1", "cloud-2"]);
+    }
+
+    #[test]
+    fn characterization_distinguishes_the_workloads() {
+        let cfg = TraceConfig::default();
+        let stats = |wl| characterize(&generate(wl, &cfg, &mut seeded_rng(7)));
+        let stream = stats(DramWorkload::Stream);
+        let random = stats(DramWorkload::Random);
+        let cloud1 = stats(DramWorkload::Cloud1);
+        assert!(stream.row_hit_potential > 0.8);
+        assert!(random.row_hit_potential < 0.1);
+        assert!(random.unique_lines > stream.unique_lines / 2);
+        assert_eq!(stream.write_fraction, 0.0);
+        assert!(cloud1.write_fraction > 0.2);
+        assert!(random.mean_gap_cycles > stream.mean_gap_cycles);
+        assert!(random.banks_touched == 8);
+    }
+
+    #[test]
+    fn trace_file_roundtrip() {
+        let cfg = TraceConfig::default();
+        let trace = generate(DramWorkload::Cloud2, &cfg, &mut seeded_rng(9));
+        let mut bytes = Vec::new();
+        write_trace(&trace, &mut bytes).unwrap();
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        assert!(text.lines().next().unwrap().contains("0x"));
+        let back = read_trace(bytes.as_slice()).unwrap();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn trace_parser_skips_comments_and_rejects_garbage() {
+        let good = "# a comment\n\n0: read 0x40\n5: write 0x80\n";
+        let trace = read_trace(good.as_bytes()).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert!(trace[1].is_write);
+        assert_eq!(trace[1].addr, 0x80);
+
+        for bad in [
+            "0 read 0x40\n",                // missing colon
+            "x: read 0x40\n",               // bad cycle
+            "0: load 0x40\n",               // unknown op
+            "0: read zz\n",                 // bad address
+            "5: read 0x40\n0: read 0x80\n", // decreasing arrivals
+        ] {
+            assert!(read_trace(bad.as_bytes()).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Data-centric mapping cost analysis (MAESTRO-flavored).
+//!
+//! Classic tiling reuse analysis: the loop nest iterates over tiles of
+//! each dimension (outermost first per the mapping's loop order). Each
+//! tensor — weights `(K,C,R,S)`, inputs `(C,X,Y)` (plus halo), outputs
+//! `(K,X,Y)` — must be re-fetched from DRAM once per iteration of every
+//! loop it does *not* depend on that sits **outside** its innermost
+//! dependent loop; tensors that fit on-chip in their entirety are fetched
+//! once. Compute parallelism comes from intra-tile output parallelism
+//! across `Num_PE` processing elements.
+
+use archgym_models::ConvLayer;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A loop dimension of the convolution nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TensorDim {
+    /// Filter width.
+    S,
+    /// Filter height.
+    R,
+    /// Output width.
+    X,
+    /// Output height.
+    Y,
+    /// Input channels.
+    C,
+    /// Output channels (filters).
+    K,
+}
+
+/// One candidate mapping of a layer (decoded Fig. 3(d) action).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// Filter-width tile.
+    pub tile_s: u64,
+    /// Filter-height tile.
+    pub tile_r: u64,
+    /// Output-width tile.
+    pub tile_x: u64,
+    /// Output-height tile.
+    pub tile_y: u64,
+    /// Input-channel tile.
+    pub tile_c: u64,
+    /// Output-channel tile.
+    pub tile_k: u64,
+    /// Loop order, outermost first.
+    pub order: [TensorDim; 6],
+    /// Number of processing elements.
+    pub num_pe: u64,
+}
+
+/// Why a mapping is infeasible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MappingInfeasible {
+    /// The tile working set exceeds the on-chip buffer.
+    BufferOverflow {
+        /// Bytes required by one tile.
+        required: u64,
+        /// On-chip capacity.
+        capacity: u64,
+    },
+    /// A tile dimension exceeds its layer dimension.
+    TileOutOfRange,
+}
+
+impl fmt::Display for MappingInfeasible {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingInfeasible::BufferOverflow { required, capacity } => {
+                write!(
+                    f,
+                    "tile needs {required} B on-chip, capacity is {capacity} B"
+                )
+            }
+            MappingInfeasible::TileOutOfRange => write!(f, "tile exceeds layer dimension"),
+        }
+    }
+}
+
+/// Evaluation outputs — the MaestroGym observation source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MappingCost {
+    /// Layer runtime in milliseconds.
+    pub runtime_ms: f64,
+    /// Throughput in GMACs per second.
+    pub throughput_gmacs: f64,
+    /// Energy in millijoules.
+    pub energy_mj: f64,
+    /// Area in mm² (PEs plus the on-chip buffer).
+    pub area_mm2: f64,
+    /// DRAM traffic in megabytes.
+    pub dram_mb: f64,
+    /// Whether the layer was compute-bound.
+    pub compute_bound: bool,
+}
+
+/// Accelerator clock in GHz.
+pub const CLOCK_GHZ: f64 = 1.0;
+/// On-chip buffer capacity in bytes (a MAESTRO-scale L2).
+pub const BUFFER_BYTES: u64 = 1 << 20;
+/// DRAM bandwidth in bytes per cycle.
+pub const DRAM_BYTES_PER_CYCLE: f64 = 16.0;
+/// Energy constants (pJ).
+pub const MAC_PJ: f64 = 0.4;
+/// On-chip buffer access energy per byte (pJ).
+pub const BUF_PJ_PER_BYTE: f64 = 0.8;
+/// DRAM access energy per byte (pJ).
+pub const DRAM_PJ_PER_BYTE: f64 = 50.0;
+/// PE area (mm²).
+pub const PE_AREA_MM2: f64 = 0.008;
+/// Buffer area per byte (mm²).
+pub const BUF_AREA_PER_BYTE: f64 = 3.0e-7 * 8.0;
+
+fn dep_dims(tensor: &str) -> &'static [TensorDim] {
+    match tensor {
+        "weights" => &[TensorDim::K, TensorDim::C, TensorDim::R, TensorDim::S],
+        "inputs" => &[
+            TensorDim::C,
+            TensorDim::X,
+            TensorDim::Y,
+            TensorDim::R,
+            TensorDim::S,
+        ],
+        "outputs" => &[TensorDim::K, TensorDim::X, TensorDim::Y],
+        other => panic!("unknown tensor `{other}`"),
+    }
+}
+
+/// Evaluate one mapping of one layer.
+///
+/// # Errors
+///
+/// Returns a [`MappingInfeasible`] when the tile working set overflows
+/// the on-chip buffer or a tile exceeds its dimension.
+pub fn evaluate_mapping(
+    mapping: &Mapping,
+    layer: &ConvLayer,
+) -> Result<MappingCost, MappingInfeasible> {
+    let dims = [
+        (TensorDim::S, layer.s, mapping.tile_s),
+        (TensorDim::R, layer.r, mapping.tile_r),
+        (TensorDim::X, layer.x, mapping.tile_x),
+        (TensorDim::Y, layer.y, mapping.tile_y),
+        (TensorDim::C, layer.c, mapping.tile_c),
+        (TensorDim::K, layer.k, mapping.tile_k),
+    ];
+    for &(_, full, tile) in &dims {
+        if tile == 0 || tile > full {
+            return Err(MappingInfeasible::TileOutOfRange);
+        }
+    }
+    let trip = |d: TensorDim| -> u64 {
+        let &(_, full, tile) = dims.iter().find(|&&(dd, _, _)| dd == d).unwrap();
+        full.div_ceil(tile)
+    };
+
+    // Tile working set (halo'd inputs, 4-byte partial sums).
+    let in_x = (mapping.tile_x - 1) * layer.stride + mapping.tile_s;
+    let in_y = (mapping.tile_y - 1) * layer.stride + mapping.tile_r;
+    let w_tile = mapping.tile_k * mapping.tile_c * mapping.tile_r * mapping.tile_s;
+    let i_tile = mapping.tile_c * in_x * in_y;
+    let o_tile = mapping.tile_k * mapping.tile_x * mapping.tile_y * 4;
+    let tile_bytes = w_tile + i_tile + o_tile;
+    if tile_bytes > BUFFER_BYTES {
+        return Err(MappingInfeasible::BufferOverflow {
+            required: tile_bytes,
+            capacity: BUFFER_BYTES,
+        });
+    }
+
+    // DRAM traffic per tensor: size × Π trips of irrelevant loops outer
+    // to the tensor's innermost dependent loop; capped at one fetch when
+    // the whole tensor fits on-chip beside the active tile.
+    let tensor_traffic = |tensor: &str, size: u64| -> f64 {
+        if size + tile_bytes <= BUFFER_BYTES {
+            return size as f64; // fully resident
+        }
+        let deps = dep_dims(tensor);
+        let innermost_dep = mapping
+            .order
+            .iter()
+            .rposition(|d| deps.contains(d))
+            .unwrap_or(0);
+        let refetch: u64 = mapping.order[..innermost_dep]
+            .iter()
+            .filter(|d| !deps.contains(d))
+            .map(|&d| trip(d))
+            .product();
+        size as f64 * refetch.max(1) as f64
+    };
+    let w_size = layer.weight_elems();
+    let i_size = layer.input_elems();
+    let o_size = layer.output_elems();
+    let dram_bytes = tensor_traffic("weights", w_size)
+        + tensor_traffic("inputs", i_size)
+        + 2.0 * tensor_traffic("outputs", o_size); // read-modify-write
+
+    // Compute: intra-tile output parallelism across PEs.
+    let macs = layer.macs();
+    let tile_outputs = mapping.tile_k * mapping.tile_x * mapping.tile_y;
+    let pe_used = mapping.num_pe.min(tile_outputs).max(1);
+    let edge_eff = tile_outputs as f64 / (tile_outputs.div_ceil(pe_used) * pe_used) as f64;
+    let compute_cycles = macs as f64 / (pe_used as f64 * edge_eff);
+    let dram_cycles = dram_bytes / DRAM_BYTES_PER_CYCLE;
+    let latency_cycles = compute_cycles.max(dram_cycles);
+
+    // Buffer traffic: every tile loaded once per its loop iteration.
+    let total_tiles: u64 = [
+        TensorDim::S,
+        TensorDim::R,
+        TensorDim::X,
+        TensorDim::Y,
+        TensorDim::C,
+        TensorDim::K,
+    ]
+    .iter()
+    .map(|&d| trip(d))
+    .product();
+    let buf_bytes = total_tiles as f64 * tile_bytes as f64;
+
+    let energy_pj =
+        macs as f64 * MAC_PJ + buf_bytes * BUF_PJ_PER_BYTE + dram_bytes * DRAM_PJ_PER_BYTE;
+    let runtime_s = latency_cycles / (CLOCK_GHZ * 1e9);
+
+    Ok(MappingCost {
+        runtime_ms: runtime_s * 1e3,
+        throughput_gmacs: macs as f64 / runtime_s / 1e9,
+        energy_mj: energy_pj / 1e9,
+        area_mm2: mapping.num_pe as f64 * PE_AREA_MM2 + BUFFER_BYTES as f64 * BUF_AREA_PER_BYTE,
+        dram_mb: dram_bytes / (1024.0 * 1024.0),
+        compute_bound: compute_cycles >= dram_cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::parse_order;
+
+    fn layer() -> ConvLayer {
+        archgym_models::resnet18().layer("stage2").unwrap().clone()
+    }
+
+    fn base_mapping() -> Mapping {
+        Mapping {
+            tile_s: 3,
+            tile_r: 3,
+            tile_x: 14,
+            tile_y: 14,
+            tile_c: 32,
+            tile_k: 16,
+            order: parse_order("KCYXRS"),
+            num_pe: 256,
+        }
+    }
+
+    #[test]
+    fn base_mapping_is_feasible_and_sane() {
+        let cost = evaluate_mapping(&base_mapping(), &layer()).unwrap();
+        assert!(cost.runtime_ms > 0.0);
+        assert!(cost.throughput_gmacs > 0.0);
+        assert!(cost.energy_mj > 0.0);
+        assert!(cost.area_mm2 > 1.0);
+        assert!(cost.dram_mb > 0.0);
+    }
+
+    #[test]
+    fn more_pes_reduce_compute_bound_runtime() {
+        let mut few = base_mapping();
+        few.num_pe = 16;
+        let mut many = base_mapping();
+        many.num_pe = 1024;
+        let c_few = evaluate_mapping(&few, &layer()).unwrap();
+        let c_many = evaluate_mapping(&many, &layer()).unwrap();
+        assert!(c_many.runtime_ms <= c_few.runtime_ms);
+        assert!(c_many.area_mm2 > c_few.area_mm2);
+    }
+
+    #[test]
+    fn loop_order_changes_dram_traffic() {
+        // Weights-innermost order re-fetches weights across X/Y tiles;
+        // weights-outermost keeps them resident per K/C tile.
+        let l = archgym_models::vgg16().layer("conv4_1").unwrap().clone();
+        let mut weights_thrash = base_mapping();
+        weights_thrash.tile_c = 64;
+        weights_thrash.tile_k = 64;
+        weights_thrash.tile_x = 7;
+        weights_thrash.tile_y = 7;
+        weights_thrash.order = parse_order("XYKCRS"); // X/Y outer, weights deps inner
+        let mut weights_friendly = weights_thrash;
+        weights_friendly.order = parse_order("KCRSXY"); // weights deps outer
+        let c_thrash = evaluate_mapping(&weights_thrash, &l).unwrap();
+        let c_friendly = evaluate_mapping(&weights_friendly, &l).unwrap();
+        assert!(
+            c_friendly.dram_mb < c_thrash.dram_mb,
+            "friendly {} MB vs thrash {} MB",
+            c_friendly.dram_mb,
+            c_thrash.dram_mb
+        );
+    }
+
+    #[test]
+    fn oversized_tile_overflows_buffer() {
+        let l = archgym_models::vgg16().layer("conv1_2").unwrap().clone();
+        let huge = Mapping {
+            tile_s: 3,
+            tile_r: 3,
+            tile_x: 224,
+            tile_y: 224,
+            tile_c: 64,
+            tile_k: 64,
+            order: parse_order("SRXYCK"),
+            num_pe: 256,
+        };
+        let err = evaluate_mapping(&huge, &l).unwrap_err();
+        assert!(matches!(err, MappingInfeasible::BufferOverflow { .. }));
+    }
+
+    #[test]
+    fn tile_out_of_range_is_rejected() {
+        let mut m = base_mapping();
+        m.tile_k = 4096; // layer has 128 filters
+        assert_eq!(
+            evaluate_mapping(&m, &layer()).unwrap_err(),
+            MappingInfeasible::TileOutOfRange
+        );
+        m.tile_k = 0;
+        assert_eq!(
+            evaluate_mapping(&m, &layer()).unwrap_err(),
+            MappingInfeasible::TileOutOfRange
+        );
+    }
+
+    #[test]
+    fn tiny_tiles_waste_buffer_bandwidth() {
+        let mut tiny = base_mapping();
+        tiny.tile_x = 1;
+        tiny.tile_y = 1;
+        tiny.tile_c = 1;
+        tiny.tile_k = 1;
+        let c_tiny = evaluate_mapping(&tiny, &layer()).unwrap();
+        let c_base = evaluate_mapping(&base_mapping(), &layer()).unwrap();
+        assert!(
+            c_tiny.energy_mj > c_base.energy_mj,
+            "tiny {} mJ vs base {} mJ",
+            c_tiny.energy_mj,
+            c_base.energy_mj
+        );
+    }
+
+    #[test]
+    fn fully_resident_tensors_are_fetched_once() {
+        // A small layer whose tensors all fit in 1 MiB: traffic equals
+        // the compulsory footprint.
+        let l = archgym_models::resnet18()
+            .layer("stage4_down")
+            .unwrap()
+            .clone();
+        let small_enough =
+            (l.weight_elems() + l.input_elems() + l.output_elems()) < BUFFER_BYTES / 2;
+        if small_enough {
+            let m = Mapping {
+                tile_s: 1,
+                tile_r: 1,
+                tile_x: 7,
+                tile_y: 7,
+                tile_c: 64,
+                tile_k: 64,
+                order: parse_order("SRXYCK"),
+                num_pe: 128,
+            };
+            let cost = evaluate_mapping(&m, &l).unwrap();
+            let compulsory =
+                (l.weight_elems() + l.input_elems() + 2 * l.output_elems()) as f64 / 1048576.0;
+            assert!((cost.dram_mb - compulsory).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn infeasible_display() {
+        let err = MappingInfeasible::BufferOverflow {
+            required: 2048,
+            capacity: 1024,
+        };
+        assert!(err.to_string().contains("2048"));
+    }
+
+    mod properties {
+        use super::*;
+        use crate::space::{decode_mapping, mapping_space};
+        use archgym_core::seeded_rng;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn prop_feasible_mappings_respect_physical_floors(seed in 0u64..10_000) {
+                let net = archgym_models::resnet18();
+                let l = net.layer("stage2").unwrap();
+                let space = mapping_space(l);
+                let mut rng = seeded_rng(seed);
+                let action = space.sample(&mut rng);
+                let mapping = decode_mapping(&space, &action).unwrap();
+                if let Ok(cost) = evaluate_mapping(&mapping, l) {
+                    // DRAM traffic can never drop below the compulsory
+                    // footprint (each tensor touched at least once).
+                    let compulsory =
+                        (l.weight_elems() + l.input_elems() + 2 * l.output_elems()) as f64
+                            / (1024.0 * 1024.0);
+                    prop_assert!(
+                        cost.dram_mb >= compulsory - 1e-9,
+                        "traffic {} MB below compulsory {} MB",
+                        cost.dram_mb,
+                        compulsory
+                    );
+                    // Energy can never drop below the pure-MAC floor.
+                    let mac_floor = l.macs() as f64 * MAC_PJ / 1e9;
+                    prop_assert!(cost.energy_mj >= mac_floor);
+                    // Runtime can never beat one MAC per PE per cycle.
+                    let compute_floor_ms =
+                        l.macs() as f64 / (mapping.num_pe as f64) / (CLOCK_GHZ * 1e9) * 1e3;
+                    prop_assert!(cost.runtime_ms >= compute_floor_ms * 0.999);
+                    prop_assert!(cost.throughput_gmacs > 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! [`MappingEnv`] — the MaestroGym environment.
+
+use crate::cost::evaluate_mapping;
+use crate::space::{decode_mapping, mapping_space};
+use archgym_core::env::{Environment, Observation, StepResult};
+use archgym_core::error::{ArchGymError, Result};
+use archgym_core::reward::RewardSpec;
+use archgym_core::space::{Action, ParamSpace};
+use archgym_models::{ConvLayer, Network};
+
+/// Observation metric indices for MaestroGym.
+pub mod metric {
+    /// Layer runtime in milliseconds.
+    pub const RUNTIME: usize = 0;
+    /// Throughput in GMACs/s.
+    pub const THROUGHPUT: usize = 1;
+    /// Energy in millijoules.
+    pub const ENERGY: usize = 2;
+    /// Area in mm².
+    pub const AREA: usize = 3;
+}
+
+/// A MaestroGym optimization objective — the paper's `r = 1/X`
+/// minimization form (Table 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Objective {
+    name: String,
+    spec: RewardSpec,
+}
+
+impl Objective {
+    /// Minimize layer runtime (the Fig. 6 latency objective).
+    pub fn runtime() -> Self {
+        Objective {
+            name: "runtime".into(),
+            spec: RewardSpec::Inverse {
+                metric: metric::RUNTIME,
+            },
+        }
+    }
+
+    /// Minimize energy.
+    pub fn energy() -> Self {
+        Objective {
+            name: "energy".into(),
+            spec: RewardSpec::Inverse {
+                metric: metric::ENERGY,
+            },
+        }
+    }
+
+    /// Minimize an energy-delay-like weighted sum of runtime and energy.
+    pub fn edp(runtime_weight: f64, energy_weight: f64) -> Self {
+        Objective {
+            name: "edp".into(),
+            spec: RewardSpec::WeightedSum {
+                weights: vec![
+                    (metric::RUNTIME, runtime_weight),
+                    (metric::ENERGY, energy_weight),
+                ],
+            },
+        }
+    }
+
+    /// The objective's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying reward formulation.
+    pub fn spec(&self) -> &RewardSpec {
+        &self.spec
+    }
+}
+
+/// The MaestroGym environment: one layer's mapping space + one objective.
+#[derive(Debug, Clone)]
+pub struct MappingEnv {
+    space: ParamSpace,
+    layer: ConvLayer,
+    objective: Objective,
+    name: String,
+    two_level: bool,
+}
+
+impl MappingEnv {
+    /// Create an environment for one layer of a network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::InvalidConfig`] for unknown layer names.
+    pub fn for_layer(network: &Network, layer_name: &str, objective: Objective) -> Result<Self> {
+        let layer = network
+            .layer(layer_name)
+            .ok_or_else(|| {
+                ArchGymError::InvalidConfig(format!(
+                    "network `{}` has no layer `{layer_name}`",
+                    network.name()
+                ))
+            })?
+            .clone();
+        Ok(Self::new(network.name(), layer, objective))
+    }
+
+    /// Create an environment directly from a layer.
+    pub fn new(network_name: &str, layer: ConvLayer, objective: Objective) -> Self {
+        let name = format!("maestro/{network_name}/{}", layer.name);
+        MappingEnv {
+            space: mapping_space(&layer),
+            layer,
+            objective,
+            name,
+            two_level: false,
+        }
+    }
+
+    /// Create a **two-level** (L1 + L2) environment for one layer — the
+    /// full 14-dimensional space the paper's Table 3 names ("L1 and L2
+    /// mapping"; ≈1e24 points for VGG16's second layer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::InvalidConfig`] for unknown layer names.
+    pub fn two_level_for_layer(
+        network: &Network,
+        layer_name: &str,
+        objective: Objective,
+    ) -> Result<Self> {
+        let mut env = Self::for_layer(network, layer_name, objective)?;
+        env.space = crate::two_level::mapping_space_two_level(&env.layer);
+        env.name = format!("{}/2level", env.name);
+        env.two_level = true;
+        Ok(env)
+    }
+
+    /// The layer being mapped.
+    pub fn layer(&self) -> &ConvLayer {
+        &self.layer
+    }
+
+    /// The optimization objective.
+    pub fn objective(&self) -> &Objective {
+        &self.objective
+    }
+}
+
+impl Environment for MappingEnv {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn observation_labels(&self) -> Vec<String> {
+        vec![
+            "runtime_ms".into(),
+            "throughput_gmacs".into(),
+            "energy_mj".into(),
+            "area_mm2".into(),
+        ]
+    }
+
+    fn step(&mut self, action: &Action) -> StepResult {
+        let evaluated = if self.two_level {
+            match crate::two_level::decode_mapping_two_level(&self.space, action) {
+                Ok(m) => crate::two_level::evaluate_mapping_two_level(&m, &self.layer),
+                Err(_) => return StepResult::infeasible(Observation::new(vec![0.0; 4]), -1.0),
+            }
+        } else {
+            match decode_mapping(&self.space, action) {
+                Ok(m) => evaluate_mapping(&m, &self.layer),
+                Err(_) => return StepResult::infeasible(Observation::new(vec![0.0; 4]), -1.0),
+            }
+        };
+        match evaluated {
+            Ok(cost) => {
+                let observation = Observation::new(vec![
+                    cost.runtime_ms,
+                    cost.throughput_gmacs,
+                    cost.energy_mj,
+                    cost.area_mm2,
+                ]);
+                let reward = self.objective.spec.reward(&observation);
+                StepResult::terminal(observation, reward)
+                    .with_info("dram_mb", cost.dram_mb)
+                    .with_info("compute_bound", f64::from(cost.compute_bound))
+            }
+            Err(_) => StepResult::infeasible(Observation::new(vec![0.0; 4]), -1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgym_core::agent::RandomWalker;
+    use archgym_core::search::{RunConfig, SearchLoop};
+    use archgym_core::seeded_rng;
+
+    #[test]
+    fn for_layer_rejects_unknown_names() {
+        let net = archgym_models::resnet18();
+        assert!(MappingEnv::for_layer(&net, "nope", Objective::runtime()).is_err());
+        let env = MappingEnv::for_layer(&net, "stage1", Objective::runtime()).unwrap();
+        assert_eq!(env.name(), "maestro/resnet18/stage1");
+    }
+
+    #[test]
+    fn step_reports_four_metrics() {
+        let net = archgym_models::resnet18();
+        let mut env = MappingEnv::for_layer(&net, "stage2", Objective::runtime()).unwrap();
+        let mut rng = seeded_rng(4);
+        for _ in 0..50 {
+            let action = env.space().sample(&mut rng);
+            let result = env.step(&action);
+            if result.feasible {
+                assert_eq!(result.observation.len(), 4);
+                assert!(result.reward > 0.0);
+                return;
+            }
+        }
+        panic!("no feasible mapping in 50 samples");
+    }
+
+    #[test]
+    fn infeasible_mappings_penalized() {
+        let net = archgym_models::vgg16();
+        let mut env = MappingEnv::for_layer(&net, "conv1_2", Objective::runtime()).unwrap();
+        // Max tiles on a 224×224×64×64 layer blow the 1 MiB buffer.
+        let space = env.space().clone();
+        let maxed = Action::new(
+            space
+                .cardinalities()
+                .iter()
+                .map(|&c| c - 1)
+                .collect::<Vec<usize>>(),
+        );
+        let result = env.step(&maxed);
+        assert!(!result.feasible);
+        assert!(result.reward < 0.0);
+    }
+
+    #[test]
+    fn random_search_improves_runtime() {
+        let net = archgym_models::resnet18();
+        let mut env = MappingEnv::for_layer(&net, "stage3", Objective::runtime()).unwrap();
+        let mut agent = RandomWalker::new(env.space().clone(), 13);
+        let result = SearchLoop::new(RunConfig::with_budget(256)).run(&mut agent, &mut env);
+        assert!(result.best_reward > 0.0);
+        let best_runtime = result.best_observation[metric::RUNTIME];
+        // 256 random mappings should find something under 10 ms for this
+        // ~0.15 GMAC layer.
+        assert!(best_runtime < 10.0, "best runtime {best_runtime} ms");
+    }
+
+    #[test]
+    fn two_level_env_serves_the_same_interface() {
+        let net = archgym_models::resnet18();
+        let mut env =
+            MappingEnv::two_level_for_layer(&net, "stage2", Objective::runtime()).unwrap();
+        assert_eq!(env.name(), "maestro/resnet18/stage2/2level");
+        assert_eq!(env.space().len(), 14);
+        let mut rng = seeded_rng(9);
+        let mut feasible = 0usize;
+        for _ in 0..20_000 {
+            let action = env.space().sample(&mut rng);
+            let result = env.step(&action);
+            if result.feasible {
+                assert_eq!(result.observation.len(), 4);
+                assert!(result.reward > 0.0);
+                feasible += 1;
+                if feasible > 3 {
+                    return;
+                }
+            } else {
+                assert!(result.reward < 0.0);
+            }
+        }
+        panic!("no feasible two-level mapping sampled");
+    }
+
+    #[test]
+    fn objectives_have_names() {
+        assert_eq!(Objective::runtime().name(), "runtime");
+        assert_eq!(Objective::energy().name(), "energy");
+        assert_eq!(Objective::edp(1.0, 1.0).name(), "edp");
+    }
+
+    #[test]
+    fn deterministic_steps() {
+        let net = archgym_models::alexnet();
+        let mut env = MappingEnv::for_layer(&net, "conv3", Objective::energy()).unwrap();
+        let mut rng = seeded_rng(5);
+        let action = env.space().sample(&mut rng);
+        assert_eq!(env.step(&action), env.step(&action));
+    }
+}

@@ -1,0 +1,39 @@
+//! # archgym-mapping — MaestroGym
+//!
+//! A data-centric DNN-mapping cost model environment for ArchGym,
+//! standing in for the MAESTRO evaluator used by the paper.
+//!
+//! A *mapping* for one convolution layer is a per-dimension tile size
+//! (`Filter_X/Y`, `Input_X/Y`, `Input Channels`, `Number of Filters`), a
+//! loop order over `<S, R, X, Y, C, K>`, and a PE count — exactly the
+//! Fig. 3(d) space. The cost model performs classic tiling reuse
+//! analysis: the loop order decides which tensors are re-fetched from
+//! DRAM across outer tiles, tile sizes decide buffer pressure and
+//! parallelism, and the observation is `<runtime, throughput, energy,
+//! area>` (Table 3) with the reward `r = 1/X` minimization formulation.
+//!
+//! # Example
+//!
+//! ```
+//! use archgym_core::prelude::*;
+//! use archgym_mapping::{MappingEnv, Objective};
+//!
+//! let net = archgym_models::resnet18();
+//! let mut env = MappingEnv::for_layer(&net, "stage1", Objective::runtime()).unwrap();
+//! let mut rng = archgym_core::seeded_rng(2);
+//! let action = env.space().sample(&mut rng);
+//! let result = env.step(&action);
+//! assert_eq!(result.observation.len(), 4);
+//! ```
+
+pub mod cost;
+pub mod env;
+pub mod space;
+pub mod two_level;
+
+pub use cost::{evaluate_mapping, Mapping, MappingCost, MappingInfeasible, TensorDim};
+pub use env::{MappingEnv, Objective};
+pub use space::{decode_mapping, loop_orders, mapping_space};
+pub use two_level::{
+    decode_mapping_two_level, evaluate_mapping_two_level, mapping_space_two_level, Mapping2L,
+};

@@ -1,0 +1,169 @@
+//! The Fig. 3(d) mapping space, instantiated per layer.
+//!
+//! Tile dimensions range over `[1:D:1]` for each layer dimension `D`; the
+//! loop order is a categorical over all 720 permutations of
+//! `<S, R, X, Y, C, K>`; the PE count ranges over `1:1024:2`.
+
+use crate::cost::{Mapping, TensorDim};
+use archgym_core::error::Result;
+use archgym_core::space::{Action, ParamSpace};
+use archgym_models::ConvLayer;
+
+/// All 720 permutations of `SRXYCK`, lexicographically ordered, rendered
+/// as 6-character strings (e.g. `"SRXYCK"`).
+pub fn loop_orders() -> Vec<String> {
+    let dims = ['S', 'R', 'X', 'Y', 'C', 'K'];
+    let mut orders = Vec::with_capacity(720);
+    permute(&dims, &mut Vec::new(), &mut orders);
+    orders
+}
+
+fn permute(remaining: &[char], prefix: &mut Vec<char>, out: &mut Vec<String>) {
+    if remaining.is_empty() {
+        out.push(prefix.iter().collect());
+        return;
+    }
+    for (i, &c) in remaining.iter().enumerate() {
+        let mut rest = remaining.to_vec();
+        rest.remove(i);
+        prefix.push(c);
+        permute(&rest, prefix, out);
+        prefix.pop();
+    }
+}
+
+/// Parse a 6-character order string into [`TensorDim`]s, outermost first.
+///
+/// # Panics
+///
+/// Panics on malformed strings; only strings from [`loop_orders`] are
+/// expected here.
+pub fn parse_order(order: &str) -> [TensorDim; 6] {
+    let mut dims = [TensorDim::S; 6];
+    for (i, ch) in order.chars().enumerate() {
+        dims[i] = match ch {
+            'S' => TensorDim::S,
+            'R' => TensorDim::R,
+            'X' => TensorDim::X,
+            'Y' => TensorDim::Y,
+            'C' => TensorDim::C,
+            'K' => TensorDim::K,
+            other => panic!("unknown loop dimension `{other}`"),
+        };
+    }
+    dims
+}
+
+/// Build the mapping space for one layer.
+///
+/// ```
+/// let net = archgym_models::vgg16();
+/// let space = archgym_mapping::mapping_space(net.layer("conv1_2").unwrap());
+/// assert_eq!(space.len(), 8);
+/// // 3·3·224·224·64·64·720·512 ≈ 6.8e14 candidate mappings.
+/// assert!(space.cardinality() > 1e14);
+/// ```
+pub fn mapping_space(layer: &ConvLayer) -> ParamSpace {
+    ParamSpace::builder()
+        .int("Filter_X", 1, layer.s as i64, 1)
+        .int("Filter_Y", 1, layer.r as i64, 1)
+        .int("Input_X", 1, layer.x as i64, 1)
+        .int("Input_Y", 1, layer.y as i64, 1)
+        .int("Input_Channels", 1, layer.c as i64, 1)
+        .int("Num_Filters", 1, layer.k as i64, 1)
+        .categorical("LoopOrder", loop_orders())
+        .int("Num_PE", 1, 1024, 2)
+        .build()
+        .expect("layer dimensions are positive")
+}
+
+/// Decode a MaestroGym action into a [`Mapping`].
+///
+/// # Errors
+///
+/// Returns [`archgym_core::ArchGymError::InvalidAction`] if the action
+/// does not fit the space.
+pub fn decode_mapping(space: &ParamSpace, action: &Action) -> Result<Mapping> {
+    space.validate(action)?;
+    let int = |name: &str| -> u64 {
+        space
+            .decode_one(action, name)
+            .as_int()
+            .expect("numeric dimension") as u64
+    };
+    let order_name = space
+        .decode_one(action, "LoopOrder")
+        .as_cat()
+        .expect("categorical dimension")
+        .to_owned();
+    Ok(Mapping {
+        tile_s: int("Filter_X"),
+        tile_r: int("Filter_Y"),
+        tile_x: int("Input_X"),
+        tile_y: int("Input_Y"),
+        tile_c: int("Input_Channels"),
+        tile_k: int("Num_Filters"),
+        order: parse_order(&order_name),
+        num_pe: int("Num_PE"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgym_core::seeded_rng;
+
+    #[test]
+    fn there_are_720_unique_loop_orders() {
+        let orders = loop_orders();
+        assert_eq!(orders.len(), 720);
+        let mut sorted = orders.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 720);
+        assert_eq!(orders[0], "SRXYCK"); // lexicographic first
+        assert!(orders.iter().all(|o| o.len() == 6));
+    }
+
+    #[test]
+    fn space_bounds_follow_the_layer() {
+        let net = archgym_models::resnet18();
+        let layer = net.layer("stage4").unwrap(); // 512×512×3×3 @ 7×7
+        let space = mapping_space(layer);
+        let cards = space.cardinalities();
+        assert_eq!(cards, vec![3, 3, 7, 7, 512, 512, 720, 512]);
+    }
+
+    #[test]
+    fn vgg16_second_layer_cardinality() {
+        let net = archgym_models::vgg16();
+        let space = mapping_space(net.layer("conv1_2").unwrap());
+        // The exact product of the printed Fig. 3(d) domains (the paper
+        // quotes 1e24, which counts two tiling levels; we map one level).
+        let expected = 3.0 * 3.0 * 224.0 * 224.0 * 64.0 * 64.0 * 720.0 * 512.0;
+        assert_eq!(space.cardinality(), expected);
+    }
+
+    #[test]
+    fn decode_sampled_actions() {
+        let net = archgym_models::alexnet();
+        let layer = net.layer("conv2").unwrap();
+        let space = mapping_space(layer);
+        let mut rng = seeded_rng(6);
+        for _ in 0..40 {
+            let action = space.sample(&mut rng);
+            let m = decode_mapping(&space, &action).unwrap();
+            assert!(m.tile_s >= 1 && m.tile_s <= layer.s);
+            assert!(m.tile_k >= 1 && m.tile_k <= layer.k);
+            assert!(m.num_pe >= 1 && m.num_pe <= 1023);
+            assert!(m.num_pe % 2 == 1); // 1:1024:2 arithmetic steps
+        }
+    }
+
+    #[test]
+    fn parse_order_maps_characters() {
+        let dims = parse_order("KCYXRS");
+        assert_eq!(dims[0], TensorDim::K);
+        assert_eq!(dims[5], TensorDim::S);
+    }
+}

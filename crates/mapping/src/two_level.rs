@@ -1,0 +1,303 @@
+//! Two-level (L1 + L2) mapping — the full space the paper's Table 3
+//! names ("L1 and L2 mapping").
+//!
+//! The single-level space of [`crate::space::mapping_space`] tiles each
+//! layer once; its VGG16-conv1_2 cardinality is ≈6.8e14. Squaring the
+//! tile dimensions for a second level — an inner per-PE (L1) tile inside
+//! the buffer-resident (L2) tile — gives ≈1.26e24, matching the paper's
+//! quoted 1e24 for that layer. This module provides that full space:
+//!
+//! * **L2 tiles** stage data in the shared on-chip buffer (1 MiB), and
+//!   the loop order over L2 tiles governs DRAM re-fetch exactly as in the
+//!   single-level analysis.
+//! * **L1 tiles** live in each PE's register file (4 KiB); the number of
+//!   L1 tiles inside one L2 tile bounds the exploitable PE parallelism,
+//!   and L2→L1 traffic pays the buffer access energy.
+//! * L1 tile dimensions exceeding their L2 counterparts are infeasible —
+//!   a second, plentiful source of the invalid mappings the paper
+//!   discusses.
+
+use crate::cost::{
+    Mapping, MappingCost, MappingInfeasible, BUFFER_BYTES, BUF_PJ_PER_BYTE, CLOCK_GHZ,
+    DRAM_BYTES_PER_CYCLE, DRAM_PJ_PER_BYTE, MAC_PJ, PE_AREA_MM2,
+};
+use crate::space::{loop_orders, parse_order};
+use archgym_core::error::Result;
+use archgym_core::space::{Action, ParamSpace};
+use archgym_models::ConvLayer;
+use serde::{Deserialize, Serialize};
+
+/// Per-PE L1 (register-file) capacity in bytes.
+pub const L1_BYTES: u64 = 4 << 10;
+/// Energy of one L1 (register) access in pJ per byte.
+pub const L1_PJ_PER_BYTE: f64 = 0.06;
+/// Area of one PE's L1 storage in mm².
+pub const L1_AREA_MM2: f64 = L1_BYTES as f64 * 8.0 * 1.2e-6;
+
+/// A two-level mapping: an L2 tiling (as in [`Mapping`]) plus an inner
+/// L1 tiling of the same six dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping2L {
+    /// The outer (buffer-level) mapping, including loop order and PEs.
+    pub l2: Mapping,
+    /// Inner L1 tile sizes `(s, r, x, y, c, k)`.
+    pub l1: [u64; 6],
+}
+
+/// Build the 14-dimensional two-level space for a layer.
+///
+/// ```
+/// let net = archgym_models::vgg16();
+/// let space = archgym_mapping::two_level::mapping_space_two_level(
+///     net.layer("conv1_2").unwrap(),
+/// );
+/// assert_eq!(space.len(), 14);
+/// // The paper's quoted 1e24 for this layer.
+/// assert!(space.cardinality() > 1e24);
+/// ```
+pub fn mapping_space_two_level(layer: &ConvLayer) -> ParamSpace {
+    ParamSpace::builder()
+        .int("L2_Filter_X", 1, layer.s as i64, 1)
+        .int("L2_Filter_Y", 1, layer.r as i64, 1)
+        .int("L2_Input_X", 1, layer.x as i64, 1)
+        .int("L2_Input_Y", 1, layer.y as i64, 1)
+        .int("L2_Input_Channels", 1, layer.c as i64, 1)
+        .int("L2_Num_Filters", 1, layer.k as i64, 1)
+        .int("L1_Filter_X", 1, layer.s as i64, 1)
+        .int("L1_Filter_Y", 1, layer.r as i64, 1)
+        .int("L1_Input_X", 1, layer.x as i64, 1)
+        .int("L1_Input_Y", 1, layer.y as i64, 1)
+        .int("L1_Input_Channels", 1, layer.c as i64, 1)
+        .int("L1_Num_Filters", 1, layer.k as i64, 1)
+        .categorical("LoopOrder", loop_orders())
+        .int("Num_PE", 1, 1024, 2)
+        .build()
+        .expect("layer dimensions are positive")
+}
+
+/// Decode a two-level action into a [`Mapping2L`].
+///
+/// # Errors
+///
+/// Returns [`archgym_core::ArchGymError::InvalidAction`] if the action
+/// does not fit the space.
+pub fn decode_mapping_two_level(space: &ParamSpace, action: &Action) -> Result<Mapping2L> {
+    space.validate(action)?;
+    let int = |name: &str| -> u64 {
+        space
+            .decode_one(action, name)
+            .as_int()
+            .expect("numeric dimension") as u64
+    };
+    let order_name = space
+        .decode_one(action, "LoopOrder")
+        .as_cat()
+        .expect("categorical dimension")
+        .to_owned();
+    Ok(Mapping2L {
+        l2: Mapping {
+            tile_s: int("L2_Filter_X"),
+            tile_r: int("L2_Filter_Y"),
+            tile_x: int("L2_Input_X"),
+            tile_y: int("L2_Input_Y"),
+            tile_c: int("L2_Input_Channels"),
+            tile_k: int("L2_Num_Filters"),
+            order: parse_order(&order_name),
+            num_pe: int("Num_PE"),
+        },
+        l1: [
+            int("L1_Filter_X"),
+            int("L1_Filter_Y"),
+            int("L1_Input_X"),
+            int("L1_Input_Y"),
+            int("L1_Input_Channels"),
+            int("L1_Num_Filters"),
+        ],
+    })
+}
+
+/// Evaluate a two-level mapping of one layer.
+///
+/// # Errors
+///
+/// Returns a [`MappingInfeasible`] when L1 tiles exceed their L2
+/// counterparts, the L1 tile overflows the register file, or the L2 tile
+/// overflows the buffer.
+pub fn evaluate_mapping_two_level(
+    mapping: &Mapping2L,
+    layer: &ConvLayer,
+) -> std::result::Result<MappingCost, MappingInfeasible> {
+    let l2 = &mapping.l2;
+    let l2_dims = [
+        l2.tile_s, l2.tile_r, l2.tile_x, l2.tile_y, l2.tile_c, l2.tile_k,
+    ];
+    for (l1, l2d) in mapping.l1.iter().zip(&l2_dims) {
+        if *l1 == 0 || l1 > l2d {
+            return Err(MappingInfeasible::TileOutOfRange);
+        }
+    }
+    // L1 tile working set in the per-PE register file.
+    let [s1, r1, x1, y1, c1, k1] = mapping.l1;
+    let in_x1 = (x1 - 1) * layer.stride + s1;
+    let in_y1 = (y1 - 1) * layer.stride + r1;
+    let l1_bytes = k1 * c1 * r1 * s1 + c1 * in_x1 * in_y1 + k1 * x1 * y1 * 4;
+    if l1_bytes > L1_BYTES {
+        return Err(MappingInfeasible::BufferOverflow {
+            required: l1_bytes,
+            capacity: L1_BYTES,
+        });
+    }
+
+    // The outer analysis (DRAM traffic, L2 feasibility) is the
+    // single-level model over the L2 tiles.
+    let outer = crate::cost::evaluate_mapping(l2, layer)?;
+
+    // Parallelism: PEs work on distinct L1 tiles inside one L2 tile.
+    let l1_tiles_in_l2: u64 = l2_dims
+        .iter()
+        .zip(&mapping.l1)
+        .map(|(&l2d, &l1d)| l2d.div_ceil(l1d))
+        .product();
+    let pe_used = l2.num_pe.min(l1_tiles_in_l2).max(1);
+    let edge_eff = l1_tiles_in_l2 as f64 / (l1_tiles_in_l2.div_ceil(pe_used) * pe_used) as f64;
+    let macs = layer.macs();
+    let compute_cycles = macs as f64 / (pe_used as f64 * edge_eff);
+    let dram_cycles = outer.dram_mb * 1024.0 * 1024.0 / DRAM_BYTES_PER_CYCLE;
+    let latency_cycles = compute_cycles.max(dram_cycles);
+
+    // Traffic: DRAM from the outer analysis; L2→L1 pays buffer energy per
+    // L1-tile load; L1→MAC pays register energy.
+    let macs_per_l1_tile = (k1 * c1 * r1 * s1 * x1 * y1).max(1);
+    let l1_tile_loads = macs as f64 / macs_per_l1_tile as f64;
+    let l2_to_l1_bytes = l1_tile_loads * l1_bytes as f64;
+    let l1_to_mac_bytes = 2.0 * macs as f64;
+    let dram_bytes = outer.dram_mb * 1024.0 * 1024.0;
+    let energy_pj = macs as f64 * MAC_PJ
+        + l1_to_mac_bytes * L1_PJ_PER_BYTE
+        + l2_to_l1_bytes * BUF_PJ_PER_BYTE
+        + dram_bytes * DRAM_PJ_PER_BYTE;
+
+    let runtime_s = latency_cycles / (CLOCK_GHZ * 1e9);
+    Ok(MappingCost {
+        runtime_ms: runtime_s * 1e3,
+        throughput_gmacs: macs as f64 / runtime_s / 1e9,
+        energy_mj: energy_pj / 1e9,
+        area_mm2: l2.num_pe as f64 * (PE_AREA_MM2 + L1_AREA_MM2)
+            + BUFFER_BYTES as f64 * crate::cost::BUF_AREA_PER_BYTE,
+        dram_mb: outer.dram_mb,
+        compute_bound: compute_cycles >= dram_cycles,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer() -> ConvLayer {
+        archgym_models::resnet18().layer("stage2").unwrap().clone()
+    }
+
+    fn base() -> Mapping2L {
+        Mapping2L {
+            l2: Mapping {
+                tile_s: 3,
+                tile_r: 3,
+                tile_x: 14,
+                tile_y: 14,
+                tile_c: 32,
+                tile_k: 16,
+                order: parse_order("KCYXRS"),
+                num_pe: 256,
+            },
+            l1: [3, 3, 2, 2, 8, 2],
+        }
+    }
+
+    #[test]
+    fn vgg16_conv1_2_cardinality_matches_the_papers_1e24() {
+        let net = archgym_models::vgg16();
+        let space = mapping_space_two_level(net.layer("conv1_2").unwrap());
+        let single = 3.0 * 3.0 * 224.0 * 224.0 * 64.0 * 64.0;
+        let expected = single * single * 720.0 * 512.0;
+        assert_eq!(space.cardinality(), expected);
+        assert!((1.0e24..2.0e24).contains(&space.cardinality()));
+    }
+
+    #[test]
+    fn base_two_level_mapping_is_feasible() {
+        let cost = evaluate_mapping_two_level(&base(), &layer()).unwrap();
+        assert!(cost.runtime_ms > 0.0);
+        assert!(cost.energy_mj > 0.0);
+        assert!(cost.area_mm2 > 1.0);
+    }
+
+    #[test]
+    fn l1_exceeding_l2_is_infeasible() {
+        let mut m = base();
+        m.l1[4] = 64; // c tile > L2's 32
+        assert_eq!(
+            evaluate_mapping_two_level(&m, &layer()).unwrap_err(),
+            MappingInfeasible::TileOutOfRange
+        );
+    }
+
+    #[test]
+    fn oversized_l1_tile_overflows_the_register_file() {
+        let mut m = base();
+        m.l2.tile_x = 28;
+        m.l2.tile_y = 28;
+        m.l1 = [3, 3, 28, 28, 32, 16]; // ≈ register-file blowout
+        let err = evaluate_mapping_two_level(&m, &layer()).unwrap_err();
+        assert!(matches!(
+            err,
+            MappingInfeasible::BufferOverflow {
+                capacity: L1_BYTES,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn finer_l1_tiles_expose_more_parallelism() {
+        let coarse = base(); // 1×1×7×7×4×8 = a few hundred L1 tiles
+        let mut fine = base();
+        fine.l1 = [1, 1, 1, 1, 4, 1];
+        let c_coarse = evaluate_mapping_two_level(&coarse, &layer()).unwrap();
+        let c_fine = evaluate_mapping_two_level(&fine, &layer()).unwrap();
+        assert!(
+            c_fine.runtime_ms <= c_coarse.runtime_ms,
+            "fine {} vs coarse {}",
+            c_fine.runtime_ms,
+            c_coarse.runtime_ms
+        );
+        // ... but finer tiles reload the register file more often.
+        assert!(c_fine.energy_mj >= c_coarse.energy_mj * 0.9);
+    }
+
+    #[test]
+    fn decode_roundtrip_of_sampled_actions() {
+        use archgym_core::seeded_rng;
+        let l = layer();
+        let space = mapping_space_two_level(&l);
+        let mut rng = seeded_rng(8);
+        let mut feasible = 0;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let action = space.sample(&mut rng);
+            let m = decode_mapping_two_level(&space, &action).unwrap();
+            assert!(m.l2.num_pe % 2 == 1);
+            if evaluate_mapping_two_level(&m, &l).is_ok() {
+                feasible += 1;
+            }
+        }
+        // The two-level space is overwhelmingly infeasible (each L1 tile
+        // must nest inside its L2 tile, and both levels must fit their
+        // storage) — the paper's "numerous infeasible design points",
+        // magnified.
+        assert!(feasible > 0, "no feasible two-level mapping in {N} samples");
+        assert!(
+            (feasible as f64) < 0.05 * N as f64,
+            "suspiciously many feasible mappings: {feasible}/{N}"
+        );
+    }
+}

@@ -1,0 +1,328 @@
+//! # archgym-models
+//!
+//! The CNN workload zoo shared by ArchGym's DNN-accelerator
+//! (`archgym-accel`) and DNN-mapping (`archgym-mapping`) environments.
+//! The paper's stand-ins: Pytorch2Timeloop conversions for Timeloop and
+//! the model files bundled with MAESTRO.
+//!
+//! Layer shapes follow the original publications (AlexNet, VGG-16,
+//! ResNet-18/50, MobileNetV1); repeated bottlenecks carry a `repeat`
+//! count instead of being written out. Dimensions use the MAESTRO-style
+//! naming the paper's Fig. 3(d) uses: `K` output channels, `C` input
+//! channels, `R×S` filter, `X×Y` **output** feature map.
+
+use serde::{Deserialize, Serialize};
+
+/// One convolutional layer in MAESTRO-style dimensions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvLayer {
+    /// Layer name, unique within its network.
+    pub name: String,
+    /// Output channels (number of filters).
+    pub k: u64,
+    /// Input channels per filter (1 for depthwise).
+    pub c: u64,
+    /// Filter height.
+    pub r: u64,
+    /// Filter width.
+    pub s: u64,
+    /// Output feature-map width.
+    pub x: u64,
+    /// Output feature-map height.
+    pub y: u64,
+    /// Stride (same in both dimensions).
+    pub stride: u64,
+    /// How many times this exact shape repeats consecutively.
+    pub repeat: u64,
+}
+
+impl ConvLayer {
+    /// Multiply-accumulates for **one** instance of the layer.
+    pub fn macs(&self) -> u64 {
+        self.k * self.c * self.r * self.s * self.x * self.y
+    }
+
+    /// Weight footprint in elements.
+    pub fn weight_elems(&self) -> u64 {
+        self.k * self.c * self.r * self.s
+    }
+
+    /// Input feature-map footprint in elements (with filter halo).
+    pub fn input_elems(&self) -> u64 {
+        let x_in = (self.x - 1) * self.stride + self.s;
+        let y_in = (self.y - 1) * self.stride + self.r;
+        x_in * y_in * self.c
+    }
+
+    /// Output feature-map footprint in elements.
+    pub fn output_elems(&self) -> u64 {
+        self.x * self.y * self.k
+    }
+}
+
+/// A named stack of convolutional layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    name: String,
+    layers: Vec<ConvLayer>,
+}
+
+impl Network {
+    /// Create a network from its layers.
+    pub fn new(name: &str, layers: Vec<ConvLayer>) -> Self {
+        Network {
+            name: name.to_owned(),
+            layers,
+        }
+    }
+
+    /// The network's name (e.g. `"resnet50"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layers in execution order (repeats *not* expanded).
+    pub fn layers(&self) -> &[ConvLayer] {
+        &self.layers
+    }
+
+    /// Total MACs over the whole network, honoring repeats.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs() * l.repeat).sum()
+    }
+
+    /// Total weight elements over the whole network, honoring repeats.
+    pub fn total_weight_elems(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| l.weight_elems() * l.repeat)
+            .sum()
+    }
+
+    /// Look a layer up by name.
+    pub fn layer(&self, name: &str) -> Option<&ConvLayer> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+}
+
+fn conv(name: &str, k: u64, c: u64, rs: u64, xy: u64, stride: u64, repeat: u64) -> ConvLayer {
+    ConvLayer {
+        name: name.to_owned(),
+        k,
+        c,
+        r: rs,
+        s: rs,
+        x: xy,
+        y: xy,
+        stride,
+        repeat,
+    }
+}
+
+/// AlexNet's five convolutional layers (grouping flattened).
+pub fn alexnet() -> Network {
+    Network::new(
+        "alexnet",
+        vec![
+            conv("conv1", 96, 3, 11, 55, 4, 1),
+            conv("conv2", 256, 96, 5, 27, 1, 1),
+            conv("conv3", 384, 256, 3, 13, 1, 1),
+            conv("conv4", 384, 384, 3, 13, 1, 1),
+            conv("conv5", 256, 384, 3, 13, 1, 1),
+        ],
+    )
+}
+
+/// VGG-16's thirteen convolutional layers.
+pub fn vgg16() -> Network {
+    Network::new(
+        "vgg16",
+        vec![
+            conv("conv1_1", 64, 3, 3, 224, 1, 1),
+            conv("conv1_2", 64, 64, 3, 224, 1, 1),
+            conv("conv2_1", 128, 64, 3, 112, 1, 1),
+            conv("conv2_2", 128, 128, 3, 112, 1, 1),
+            conv("conv3_1", 256, 128, 3, 56, 1, 1),
+            conv("conv3_2", 256, 256, 3, 56, 1, 2),
+            conv("conv4_1", 512, 256, 3, 28, 1, 1),
+            conv("conv4_2", 512, 512, 3, 28, 1, 2),
+            conv("conv5", 512, 512, 3, 14, 1, 3),
+        ],
+    )
+}
+
+/// ResNet-18: conv1 plus four basic-block stages.
+pub fn resnet18() -> Network {
+    Network::new(
+        "resnet18",
+        vec![
+            conv("conv1", 64, 3, 7, 112, 2, 1),
+            conv("stage1", 64, 64, 3, 56, 1, 4),
+            conv("stage2_down", 128, 64, 3, 28, 2, 1),
+            conv("stage2", 128, 128, 3, 28, 1, 3),
+            conv("stage3_down", 256, 128, 3, 14, 2, 1),
+            conv("stage3", 256, 256, 3, 14, 1, 3),
+            conv("stage4_down", 512, 256, 3, 7, 2, 1),
+            conv("stage4", 512, 512, 3, 7, 1, 3),
+        ],
+    )
+}
+
+/// ResNet-50: conv1 plus four bottleneck stages (1×1 / 3×3 / 1×1).
+pub fn resnet50() -> Network {
+    let bottleneck = |stage: &str, mid: u64, inp: u64, out: u64, xy: u64, n: u64| {
+        vec![
+            conv(&format!("{stage}_a1x1"), mid, inp, 1, xy, 1, n),
+            conv(&format!("{stage}_b3x3"), mid, mid, 3, xy, 1, n),
+            conv(&format!("{stage}_c1x1"), out, mid, 1, xy, 1, n),
+        ]
+    };
+    let mut layers = vec![conv("conv1", 64, 3, 7, 112, 2, 1)];
+    layers.extend(bottleneck("stage1", 64, 64, 256, 56, 3));
+    layers.extend(bottleneck("stage2", 128, 256, 512, 28, 4));
+    layers.extend(bottleneck("stage3", 256, 512, 1024, 14, 6));
+    layers.extend(bottleneck("stage4", 512, 1024, 2048, 7, 3));
+    Network::new("resnet50", layers)
+}
+
+/// MobileNetV1: depthwise-separable stacks (depthwise layers have `c = 1`).
+pub fn mobilenet_v1() -> Network {
+    let ds = |idx: u64, ch_in: u64, ch_out: u64, xy: u64, stride: u64, n: u64| {
+        vec![
+            ConvLayer {
+                name: format!("dw{idx}"),
+                k: ch_in,
+                c: 1,
+                r: 3,
+                s: 3,
+                x: xy,
+                y: xy,
+                stride,
+                repeat: n,
+            },
+            conv(&format!("pw{idx}"), ch_out, ch_in, 1, xy, 1, n),
+        ]
+    };
+    let mut layers = vec![conv("conv1", 32, 3, 3, 112, 2, 1)];
+    layers.extend(ds(1, 32, 64, 112, 1, 1));
+    layers.extend(ds(2, 64, 128, 56, 2, 1));
+    layers.extend(ds(3, 128, 128, 56, 1, 1));
+    layers.extend(ds(4, 128, 256, 28, 2, 1));
+    layers.extend(ds(5, 256, 256, 28, 1, 1));
+    layers.extend(ds(6, 256, 512, 14, 2, 1));
+    layers.extend(ds(7, 512, 512, 14, 1, 5));
+    layers.extend(ds(8, 512, 1024, 7, 2, 1));
+    layers.extend(ds(9, 1024, 1024, 7, 1, 1));
+    Network::new("mobilenet_v1", layers)
+}
+
+/// Look a network up by name (`alexnet`, `vgg16`, `resnet18`, `resnet50`,
+/// `mobilenet_v1`).
+pub fn by_name(name: &str) -> Option<Network> {
+    match name {
+        "alexnet" => Some(alexnet()),
+        "vgg16" => Some(vgg16()),
+        "resnet18" => Some(resnet18()),
+        "resnet50" => Some(resnet50()),
+        "mobilenet_v1" => Some(mobilenet_v1()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_arithmetic() {
+        let l = conv("t", 64, 32, 3, 56, 1, 1);
+        assert_eq!(l.macs(), 64 * 32 * 9 * 56 * 56);
+        assert_eq!(l.weight_elems(), 64 * 32 * 9);
+        assert_eq!(l.output_elems(), 56 * 56 * 64);
+        assert_eq!(l.input_elems(), 58 * 58 * 32);
+    }
+
+    #[test]
+    fn strided_layer_input_footprint() {
+        let l = conv("t", 64, 3, 7, 112, 2, 1);
+        // (112-1)*2 + 7 = 229 per side.
+        assert_eq!(l.input_elems(), 229 * 229 * 3);
+    }
+
+    #[test]
+    fn alexnet_macs_match_published_ballpark() {
+        // AlexNet convs are ~0.66 GMACs (ungrouped conv2 variant ~1.07).
+        let g = alexnet().total_macs() as f64 / 1e9;
+        assert!((0.5..1.5).contains(&g), "alexnet GMACs {g}");
+    }
+
+    #[test]
+    fn vgg16_macs_match_published_ballpark() {
+        // VGG-16 is famously ~15.3 GMACs of conv work.
+        let g = vgg16().total_macs() as f64 / 1e9;
+        assert!((13.0..17.0).contains(&g), "vgg16 GMACs {g}");
+    }
+
+    #[test]
+    fn resnet50_macs_match_published_ballpark() {
+        // ResNet-50 convs ≈ 3.8 GMACs (excluding the FC layer).
+        let g = resnet50().total_macs() as f64 / 1e9;
+        assert!((3.0..4.5).contains(&g), "resnet50 GMACs {g}");
+    }
+
+    #[test]
+    fn resnet18_macs_match_published_ballpark() {
+        // ResNet-18 ≈ 1.8 GMACs.
+        let g = resnet18().total_macs() as f64 / 1e9;
+        assert!((1.4..2.2).contains(&g), "resnet18 GMACs {g}");
+    }
+
+    #[test]
+    fn mobilenet_macs_match_published_ballpark() {
+        // MobileNetV1 ≈ 0.57 GMACs.
+        let g = mobilenet_v1().total_macs() as f64 / 1e9;
+        assert!((0.4..0.8).contains(&g), "mobilenet GMACs {g}");
+    }
+
+    #[test]
+    fn depthwise_layers_have_unit_input_channels() {
+        let net = mobilenet_v1();
+        for l in net.layers() {
+            if l.name.starts_with("dw") {
+                assert_eq!(l.c, 1, "{} should be depthwise", l.name);
+            }
+        }
+    }
+
+    #[test]
+    fn by_name_roundtrip_and_unknown() {
+        for name in ["alexnet", "vgg16", "resnet18", "resnet50", "mobilenet_v1"] {
+            assert_eq!(by_name(name).unwrap().name(), name);
+        }
+        assert!(by_name("lenet").is_none());
+    }
+
+    #[test]
+    fn layer_lookup_by_name() {
+        let net = resnet50();
+        assert!(net.layer("conv1").is_some());
+        assert!(net.layer("stage3_b3x3").is_some());
+        assert!(net.layer("missing").is_none());
+    }
+
+    #[test]
+    fn layer_names_are_unique_within_networks() {
+        for net in [alexnet(), vgg16(), resnet18(), resnet50(), mobilenet_v1()] {
+            let mut names: Vec<&str> = net.layers().iter().map(|l| l.name.as_str()).collect();
+            let before = names.len();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(
+                names.len(),
+                before,
+                "duplicate layer names in {}",
+                net.name()
+            );
+        }
+    }
+}

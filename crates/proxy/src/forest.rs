@@ -1,0 +1,260 @@
+//! Bagged random forests with per-split feature subsampling.
+
+use crate::tree::{RegressionTree, TreeConfig};
+use archgym_core::error::{ArchGymError, Result};
+use archgym_core::stats::rmse;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Fraction of features examined at each split, in `(0, 1]`.
+    pub feature_frac: f64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 24,
+            max_depth: 10,
+            min_samples_leaf: 2,
+            feature_frac: 0.7,
+        }
+    }
+}
+
+/// A bagged random-forest regressor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForest {
+    /// Fit a forest: each tree trains on a bootstrap resample with
+    /// per-split feature subsampling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::Dataset`] for empty or mismatched data or
+    /// degenerate hyperparameters.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], config: &ForestConfig, seed: u64) -> Result<Self> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(ArchGymError::Dataset(format!(
+                "bad training set: {} rows, {} targets",
+                xs.len(),
+                ys.len()
+            )));
+        }
+        if config.n_trees == 0
+            || !(0.0..=1.0).contains(&config.feature_frac)
+            || config.feature_frac <= 0.0
+        {
+            return Err(ArchGymError::Dataset(
+                "forest needs n_trees >= 1 and feature_frac in (0, 1]".into(),
+            ));
+        }
+        let n_features = xs[0].len();
+        let features_per_split =
+            ((n_features as f64 * config.feature_frac).ceil() as usize).clamp(1, n_features);
+        let tree_cfg = TreeConfig {
+            max_depth: config.max_depth,
+            min_samples_leaf: config.min_samples_leaf.max(1),
+            features_per_split: Some(features_per_split),
+        };
+        // Each tree gets its own deterministic sub-seed, so training is
+        // bit-identical whether it runs on one thread or many.
+        let n = xs.len();
+        let fit_one = |tree_idx: usize| -> RegressionTree {
+            let mut rng = archgym_core::seeded_rng(
+                seed ^ (tree_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let mut bx = Vec::with_capacity(n);
+            let mut by = Vec::with_capacity(n);
+            for _ in 0..n {
+                let i = rng.gen_range(0..n);
+                bx.push(xs[i].clone());
+                by.push(ys[i]);
+            }
+            RegressionTree::fit_with(&bx, &by, &tree_cfg, &mut rng)
+        };
+        let workers = std::thread::available_parallelism()
+            .map(|w| w.get())
+            .unwrap_or(1)
+            .min(config.n_trees);
+        let trees: Vec<RegressionTree> = if workers <= 1 {
+            (0..config.n_trees).map(fit_one).collect()
+        } else {
+            let mut slots: Vec<Option<RegressionTree>> = Vec::new();
+            slots.resize_with(config.n_trees, || None);
+            let chunk = config.n_trees.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (c, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+                    let fit_one = &fit_one;
+                    scope.spawn(move || {
+                        for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                            *slot = Some(fit_one(c * chunk + off));
+                        }
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("worker filled every slot"))
+                .collect()
+        };
+        Ok(RandomForest { trees })
+    }
+
+    /// Predict: the mean over all trees.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Predict a batch.
+    pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest has zero trees (never true after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Random hyperparameter search (the paper's Section 7.2 protocol):
+    /// try `budget` random configurations, return the forest with the
+    /// lowest RMSE on the validation split along with that RMSE.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fit errors; errors if any split is empty.
+    pub fn fit_best(
+        train: (&[Vec<f64>], &[f64]),
+        valid: (&[Vec<f64>], &[f64]),
+        budget: usize,
+        seed: u64,
+    ) -> Result<(RandomForest, ForestConfig, f64)> {
+        if valid.0.is_empty() {
+            return Err(ArchGymError::Dataset("empty validation split".into()));
+        }
+        let mut rng = archgym_core::seeded_rng(seed);
+        let mut best: Option<(RandomForest, ForestConfig, f64)> = None;
+        for trial in 0..budget.max(1) {
+            let config = ForestConfig {
+                n_trees: *[8, 16, 24, 32].get(rng.gen_range(0..4)).unwrap(),
+                max_depth: rng.gen_range(6..=16),
+                min_samples_leaf: rng.gen_range(1..=4),
+                feature_frac: rng.gen_range(0.4..=1.0),
+            };
+            let forest = RandomForest::fit(train.0, train.1, &config, seed ^ trial as u64)?;
+            let err = rmse(&forest.predict_batch(valid.0), valid.1);
+            if best.as_ref().is_none_or(|(_, _, b)| err < *b) {
+                best = Some((forest, config, err));
+            }
+        }
+        Ok(best.expect("budget >= 1"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn friedman_like(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        use rand::Rng;
+        let mut rng = archgym_core::seeded_rng(seed);
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..4).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 10.0 * x[0] + 5.0 * x[1] * x[1] + 2.0 * x[2] - x[3])
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn forest_beats_a_stump_on_nonlinear_data() {
+        let (xs, ys) = friedman_like(300, 1);
+        let (tx, ty) = (&xs[..200], &ys[..200]);
+        let (vx, vy) = (&xs[200..], &ys[200..]);
+        let forest = RandomForest::fit(tx, ty, &ForestConfig::default(), 2).unwrap();
+        let forest_err = rmse(&forest.predict_batch(vx), vy);
+        let stump = RandomForest::fit(
+            tx,
+            ty,
+            &ForestConfig {
+                n_trees: 1,
+                max_depth: 1,
+                ..ForestConfig::default()
+            },
+            2,
+        )
+        .unwrap();
+        let stump_err = rmse(&stump.predict_batch(vx), vy);
+        assert!(
+            forest_err < stump_err / 2.0,
+            "forest {forest_err} vs stump {stump_err}"
+        );
+        assert!(forest_err < 1.0, "forest RMSE {forest_err}");
+    }
+
+    #[test]
+    fn more_training_data_reduces_error() {
+        // The Fig. 10 "dataset size matters" trend, in miniature.
+        let (xs, ys) = friedman_like(600, 3);
+        let (vx, vy) = (&xs[500..], &ys[500..]);
+        let small = RandomForest::fit(&xs[..50], &ys[..50], &ForestConfig::default(), 4).unwrap();
+        let large = RandomForest::fit(&xs[..500], &ys[..500], &ForestConfig::default(), 4).unwrap();
+        let small_err = rmse(&small.predict_batch(vx), vy);
+        let large_err = rmse(&large.predict_batch(vx), vy);
+        assert!(
+            large_err < small_err,
+            "large {large_err} vs small {small_err}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (xs, ys) = friedman_like(100, 5);
+        let a = RandomForest::fit(&xs, &ys, &ForestConfig::default(), 9).unwrap();
+        let b = RandomForest::fit(&xs, &ys, &ForestConfig::default(), 9).unwrap();
+        assert_eq!(a, b);
+        let c = RandomForest::fit(&xs, &ys, &ForestConfig::default(), 10).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fit_rejects_bad_inputs() {
+        assert!(RandomForest::fit(&[], &[], &ForestConfig::default(), 0).is_err());
+        let xs = vec![vec![1.0]];
+        assert!(RandomForest::fit(&xs, &[1.0, 2.0], &ForestConfig::default(), 0).is_err());
+        let bad = ForestConfig {
+            n_trees: 0,
+            ..ForestConfig::default()
+        };
+        assert!(RandomForest::fit(&xs, &[1.0], &bad, 0).is_err());
+    }
+
+    #[test]
+    fn fit_best_returns_lowest_validation_error() {
+        let (xs, ys) = friedman_like(240, 7);
+        let (forest, config, err) =
+            RandomForest::fit_best((&xs[..180], &ys[..180]), (&xs[180..], &ys[180..]), 6, 11)
+                .unwrap();
+        assert!(err < 1.5, "tuned RMSE {err}");
+        assert!(config.n_trees >= 8);
+        assert!(!forest.is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! Proxy cost models behind the standard environment interface.
+//!
+//! Section 8 of the paper: "by utilizing an accurate and high-speed proxy
+//! model, we can augment conventional slower architectural simulators
+//! *while retaining their original interfaces*". [`ProxyEnv`] does exactly
+//! that — it trains one regressor per observation metric from a logged
+//! [`Dataset`] and then serves `step()` calls thousands of times faster
+//! than the simulator, so sample-hungry agents (RL, offline methods) can
+//! explore freely.
+
+use crate::forest::ForestConfig;
+use crate::pipeline::{train_proxy_fixed, ProxyModel};
+use archgym_core::env::{Environment, Observation, StepResult};
+use archgym_core::error::{ArchGymError, Result};
+use archgym_core::reward::RewardSpec;
+use archgym_core::space::{Action, ParamSpace};
+use archgym_core::trajectory::Dataset;
+
+/// An [`Environment`] whose cost model is a set of trained proxies (one
+/// per observation metric) instead of a simulator.
+#[derive(Debug, Clone)]
+pub struct ProxyEnv {
+    name: String,
+    space: ParamSpace,
+    labels: Vec<String>,
+    proxies: Vec<ProxyModel>,
+    spec: RewardSpec,
+}
+
+impl ProxyEnv {
+    /// Assemble from already-trained proxies. `proxies[i]` must predict
+    /// observation metric `i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::InvalidConfig`] if a proxy's metric index
+    /// does not match its position or label count mismatches.
+    pub fn new(
+        name: &str,
+        space: ParamSpace,
+        labels: Vec<String>,
+        proxies: Vec<ProxyModel>,
+        spec: RewardSpec,
+    ) -> Result<Self> {
+        if labels.len() != proxies.len() {
+            return Err(ArchGymError::InvalidConfig(format!(
+                "{} labels but {} proxies",
+                labels.len(),
+                proxies.len()
+            )));
+        }
+        for (i, p) in proxies.iter().enumerate() {
+            if p.metric() != i {
+                return Err(ArchGymError::InvalidConfig(format!(
+                    "proxy at position {i} predicts metric {}",
+                    p.metric()
+                )));
+            }
+        }
+        Ok(ProxyEnv {
+            name: format!("proxy/{name}"),
+            space,
+            labels,
+            proxies,
+            spec,
+        })
+    }
+
+    /// Train a full proxy environment from a logged dataset: one forest
+    /// per observation metric.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures (e.g. a dataset that is too small).
+    pub fn train(
+        name: &str,
+        space: ParamSpace,
+        labels: Vec<String>,
+        dataset: &Dataset,
+        spec: RewardSpec,
+        config: &ForestConfig,
+        seed: u64,
+    ) -> Result<Self> {
+        let proxies = (0..labels.len())
+            .map(|metric| train_proxy_fixed(dataset, metric, config, seed ^ metric as u64))
+            .collect::<Result<Vec<ProxyModel>>>()?;
+        ProxyEnv::new(name, space, labels, proxies, spec)
+    }
+
+    /// The per-metric proxies.
+    pub fn proxies(&self) -> &[ProxyModel] {
+        &self.proxies
+    }
+}
+
+impl Environment for ProxyEnv {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn observation_labels(&self) -> Vec<String> {
+        self.labels.clone()
+    }
+
+    fn step(&mut self, action: &Action) -> StepResult {
+        let observation = Observation::new(
+            self.proxies
+                .iter()
+                .map(|p| p.predict(action.as_slice()))
+                .collect(),
+        );
+        let reward = self.spec.reward(&observation);
+        StepResult::terminal(observation, reward)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgym_core::agent::RandomWalker;
+    use archgym_core::search::{RunConfig, SearchLoop};
+    use archgym_core::seeded_rng;
+    use archgym_core::toy::PeakEnv;
+
+    /// Log a dataset from the toy peak environment.
+    fn logged_peak() -> (PeakEnv, Dataset) {
+        let mut env = PeakEnv::new(&[12, 12], vec![8, 3]);
+        let mut walker = RandomWalker::new(env.space().clone(), 7);
+        let run = SearchLoop::new(RunConfig::with_budget(400)).run(&mut walker, &mut env);
+        (env, run.dataset)
+    }
+
+    fn spec() -> RewardSpec {
+        // The peak env's observation is the L1 distance; minimize it.
+        RewardSpec::WeightedSum {
+            weights: vec![(0, 1.0)],
+        }
+    }
+
+    #[test]
+    fn trained_proxy_env_serves_the_same_interface() {
+        let (env, dataset) = logged_peak();
+        let mut proxy_env = ProxyEnv::train(
+            "peak",
+            env.space().clone(),
+            vec!["distance".into()],
+            &dataset,
+            spec(),
+            &ForestConfig::default(),
+            1,
+        )
+        .unwrap();
+        assert_eq!(proxy_env.name(), "proxy/peak");
+        assert_eq!(proxy_env.observation_labels(), ["distance"]);
+        let mut rng = seeded_rng(2);
+        let action = proxy_env.space().sample(&mut rng);
+        let result = proxy_env.step(&action);
+        assert_eq!(result.observation.len(), 1);
+        assert!(result.feasible && result.done);
+    }
+
+    #[test]
+    fn search_on_the_proxy_finds_a_design_good_on_the_simulator() {
+        // The Section 8 loop: explore cheaply on the proxy, validate the
+        // winner on the real cost model.
+        let (mut env, dataset) = logged_peak();
+        let mut proxy_env = ProxyEnv::train(
+            "peak",
+            env.space().clone(),
+            vec!["distance".into()],
+            &dataset,
+            spec(),
+            &ForestConfig::default(),
+            3,
+        )
+        .unwrap();
+        let mut walker = RandomWalker::new(proxy_env.space().clone(), 9);
+        let run = SearchLoop::new(RunConfig::with_budget(2_000)).run(&mut walker, &mut proxy_env);
+        // Validate on the ground-truth environment.
+        let truth = env.step(&run.best_action);
+        assert!(
+            truth.observation.get(0) <= 4.0,
+            "proxy-guided design is {} steps from the peak",
+            truth.observation.get(0)
+        );
+    }
+
+    #[test]
+    fn construction_validates_metric_alignment() {
+        let (env, dataset) = logged_peak();
+        let proxy = train_proxy_fixed(&dataset, 0, &ForestConfig::default(), 1).unwrap();
+        // Labels/proxies count mismatch.
+        assert!(ProxyEnv::new(
+            "peak",
+            env.space().clone(),
+            vec!["a".into(), "b".into()],
+            vec![proxy],
+            spec()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,273 @@
+//! CART regression trees with variance-reduction splits.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A binary regression-tree node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A CART regression tree.
+///
+/// Splits minimize the weighted variance of the two children (equivalent
+/// to maximizing variance reduction); growth stops at `max_depth`, at
+/// `min_samples_leaf`, or when a node is pure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    root: Node,
+    n_features: usize,
+}
+
+/// Tree growth limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TreeConfig {
+    pub max_depth: usize,
+    pub min_samples_leaf: usize,
+    /// Features examined per split (`None` = all).
+    pub features_per_split: Option<usize>,
+}
+
+impl RegressionTree {
+    /// Fit a tree on the full feature set (no subsampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty, lengths mismatch, or rows are ragged.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], max_depth: usize, min_samples_leaf: usize) -> Self {
+        let cfg = TreeConfig {
+            max_depth,
+            min_samples_leaf: min_samples_leaf.max(1),
+            features_per_split: None,
+        };
+        let mut rng = archgym_core::seeded_rng(0);
+        Self::fit_with(xs, ys, &cfg, &mut rng)
+    }
+
+    pub(crate) fn fit_with<R: Rng + ?Sized>(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        cfg: &TreeConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!xs.is_empty(), "cannot fit on an empty dataset");
+        assert_eq!(xs.len(), ys.len(), "feature/target length mismatch");
+        let n_features = xs[0].len();
+        assert!(
+            xs.iter().all(|x| x.len() == n_features),
+            "ragged feature rows"
+        );
+        let indices: Vec<usize> = (0..xs.len()).collect();
+        let root = grow(xs, ys, &indices, 0, cfg, rng);
+        RegressionTree { root, n_features }
+    }
+
+    /// Predict the target for one feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong number of features.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_features, "feature width mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves (diagnostic).
+    pub fn leaf_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Maximum depth actually grown (diagnostic).
+    pub fn depth(&self) -> usize {
+        fn depth(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + depth(left).max(depth(right)),
+            }
+        }
+        depth(&self.root)
+    }
+}
+
+fn mean_of(ys: &[f64], indices: &[usize]) -> f64 {
+    indices.iter().map(|&i| ys[i]).sum::<f64>() / indices.len() as f64
+}
+
+fn sse_of(ys: &[f64], indices: &[usize]) -> f64 {
+    let m = mean_of(ys, indices);
+    indices.iter().map(|&i| (ys[i] - m).powi(2)).sum()
+}
+
+fn grow<R: Rng + ?Sized>(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    indices: &[usize],
+    depth: usize,
+    cfg: &TreeConfig,
+    rng: &mut R,
+) -> Node {
+    let leaf = || Node::Leaf {
+        value: mean_of(ys, indices),
+    };
+    if depth >= cfg.max_depth || indices.len() < 2 * cfg.min_samples_leaf {
+        return leaf();
+    }
+    let parent_sse = sse_of(ys, indices);
+    if parent_sse <= 1e-12 {
+        return leaf(); // pure node
+    }
+
+    let n_features = xs[0].len();
+    let mut features: Vec<usize> = (0..n_features).collect();
+    if let Some(k) = cfg.features_per_split {
+        features.shuffle(rng);
+        features.truncate(k.clamp(1, n_features));
+    }
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+    for &f in &features {
+        // Candidate thresholds: midpoints between consecutive distinct
+        // sorted values.
+        let mut values: Vec<f64> = indices.iter().map(|&i| xs[i][f]).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature"));
+        values.dedup();
+        if values.len() < 2 {
+            continue;
+        }
+        for w in values.windows(2) {
+            let threshold = (w[0] + w[1]) / 2.0;
+            let (left, right): (Vec<usize>, Vec<usize>) =
+                indices.iter().partition(|&&i| xs[i][f] <= threshold);
+            if left.len() < cfg.min_samples_leaf || right.len() < cfg.min_samples_leaf {
+                continue;
+            }
+            let sse = sse_of(ys, &left) + sse_of(ys, &right);
+            if best.is_none_or(|(_, _, b)| sse < b) {
+                best = Some((f, threshold, sse));
+            }
+        }
+    }
+
+    match best {
+        Some((feature, threshold, sse)) if sse < parent_sse => {
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                indices.iter().partition(|&&i| xs[i][feature] <= threshold);
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(grow(xs, ys, &left_idx, depth + 1, cfg, rng)),
+                right: Box::new(grow(xs, ys, &right_idx, depth + 1, cfg, rng)),
+            }
+        }
+        _ => leaf(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgym_core::stats::rmse;
+
+    fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 1 if x0 > 5 else 0 — a single split suffices.
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| f64::from(i > 5)).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_a_step_function_exactly() {
+        let (xs, ys) = step_data();
+        let tree = RegressionTree::fit(&xs, &ys, 4, 1);
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(tree.predict(x), y);
+        }
+        assert!(tree.leaf_count() >= 2);
+    }
+
+    #[test]
+    fn depth_zero_tree_predicts_the_mean() {
+        let (xs, ys) = step_data();
+        let tree = RegressionTree::fit(&xs, &ys, 0, 1);
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        assert_eq!(tree.predict(&[3.0]), mean);
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.depth(), 0);
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        let (xs, ys) = step_data();
+        let tree = RegressionTree::fit(&xs, &ys, 10, 10);
+        // With min leaf 10 on 20 points, at most one split is possible.
+        assert!(tree.leaf_count() <= 2);
+    }
+
+    #[test]
+    fn fits_a_smooth_function_approximately() {
+        let xs: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 20.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0]).sin()).collect();
+        let tree = RegressionTree::fit(&xs, &ys, 8, 2);
+        let preds: Vec<f64> = xs.iter().map(|x| tree.predict(x)).collect();
+        assert!(rmse(&preds, &ys) < 0.05);
+    }
+
+    #[test]
+    fn uses_the_informative_feature() {
+        // Feature 1 is noise; feature 0 carries the signal.
+        let xs: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![(i / 10) as f64, ((i * 7919) % 13) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 10.0).collect();
+        let tree = RegressionTree::fit(&xs, &ys, 6, 1);
+        let preds: Vec<f64> = xs.iter().map(|x| tree.predict(x)).collect();
+        assert!(rmse(&preds, &ys) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_fit_panics() {
+        let _ = RegressionTree::fit(&[], &[], 3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width mismatch")]
+    fn wrong_width_predict_panics() {
+        let (xs, ys) = step_data();
+        let tree = RegressionTree::fit(&xs, &ys, 3, 1);
+        let _ = tree.predict(&[1.0, 2.0]);
+    }
+}

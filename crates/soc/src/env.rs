@@ -1,0 +1,323 @@
+//! [`SocEnv`] — the FARSIGym environment.
+//!
+//! Observations are `<power, performance, area>` (Table 3) and the reward
+//! is the negated distance-to-budget `Σ_m α·max(0, (D_m − B_m)/B_m)`; a
+//! design meeting every budget scores exactly `0`, the best possible.
+
+use crate::soc::{decode_config, evaluate};
+use crate::taskgraph::{audio_decoder, edge_detection, slam_lite, TaskGraph};
+use archgym_core::env::{Environment, Observation, StepResult};
+use archgym_core::reward::{BudgetTerm, RewardSpec};
+use archgym_core::space::{Action, ParamSpace};
+
+/// Observation metric indices for FARSIGym.
+pub mod metric {
+    /// Average power in milliwatts.
+    pub const POWER: usize = 0;
+    /// Workload latency in milliseconds.
+    pub const LATENCY: usize = 1;
+    /// SoC area in mm².
+    pub const AREA: usize = 2;
+}
+
+/// Build the 13-dimensional SoC space of Fig. 3(c).
+///
+/// ```
+/// let space = archgym_soc::soc_space();
+/// assert_eq!(space.len(), 13);
+/// assert!(space.cardinality() > 1e14);
+/// ```
+pub fn soc_space() -> ParamSpace {
+    ParamSpace::builder()
+        .categorical("PE_Type", ["GeneralPurposeProcessor", "Accelerator"])
+        .int("PE_Freq", 100, 800, 200)
+        .int("PE_Count", 0, 3, 1)
+        .int("PE_Unrolling_Type", 0, 3, 1)
+        .int("PE_Unrolling_Arithmetic", 1, 1 << 17, 2)
+        .pow2("PE_Unrolling_Geometric", 1, 1 << 17)
+        .int("NoC_Freq", 100, 800, 200)
+        .int("NoC_Count", 0, 3, 1)
+        .int("NoC_BusWidth", 4, 256, 4)
+        .categorical("Mem_Type", ["DRAM", "SRAM"])
+        .int("Mem_Freq", 100, 800, 200)
+        .int("Mem_Count", 0, 3, 1)
+        .int("Mem_BusWidth", 4, 256, 4)
+        .build()
+        .expect("static space definition is valid")
+}
+
+/// The AR/VR workloads bundled with FARSIGym, with their budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SocWorkload {
+    /// Audio decoding pipeline (small frames, mostly serial).
+    AudioDecoder,
+    /// Edge-detection pipeline (camera frames, diamond parallelism).
+    EdgeDetection,
+    /// SLAM-lite visual-inertial tracking (two converging sensor paths,
+    /// poorly-accelerable pose optimization).
+    SlamLite,
+}
+
+impl SocWorkload {
+    /// All bundled workloads (the paper's two plus SLAM-lite).
+    pub const ALL: [SocWorkload; 3] = [
+        SocWorkload::AudioDecoder,
+        SocWorkload::EdgeDetection,
+        SocWorkload::SlamLite,
+    ];
+
+    /// Short identifier.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SocWorkload::AudioDecoder => "audio-decoder",
+            SocWorkload::EdgeDetection => "edge-detection",
+            SocWorkload::SlamLite => "slam-lite",
+        }
+    }
+
+    /// The task graph.
+    pub fn graph(&self) -> TaskGraph {
+        match self {
+            SocWorkload::AudioDecoder => audio_decoder(),
+            SocWorkload::EdgeDetection => edge_detection(),
+            SocWorkload::SlamLite => slam_lite(),
+        }
+    }
+
+    /// `(latency_ms, power_mw, area_mm2)` budgets. Chosen so that a
+    /// well-tuned allocation meets all three while a random one usually
+    /// overshoots at least one.
+    pub fn budgets(&self) -> (f64, f64, f64) {
+        match self {
+            SocWorkload::AudioDecoder => (4.0, 300.0, 8.0),
+            SocWorkload::EdgeDetection => (8.0, 300.0, 10.0),
+            SocWorkload::SlamLite => (14.0, 350.0, 10.0),
+        }
+    }
+}
+
+/// The FARSIGym environment: one task graph + distance-to-budget reward.
+#[derive(Debug, Clone)]
+pub struct SocEnv {
+    space: ParamSpace,
+    workload: SocWorkload,
+    graph: TaskGraph,
+    spec: RewardSpec,
+    name: String,
+}
+
+impl SocEnv {
+    /// Create an environment with the workload's default budgets and
+    /// uniform budget weights (α = 1).
+    pub fn new(workload: SocWorkload) -> Self {
+        let (lat, pow, area) = workload.budgets();
+        Self::with_budgets(workload, lat, pow, area)
+    }
+
+    /// Create an environment with explicit budgets.
+    pub fn with_budgets(
+        workload: SocWorkload,
+        latency_ms: f64,
+        power_mw: f64,
+        area_mm2: f64,
+    ) -> Self {
+        let spec = RewardSpec::DistanceToBudget {
+            terms: vec![
+                BudgetTerm {
+                    metric: metric::POWER,
+                    budget: power_mw,
+                    alpha: 1.0,
+                },
+                BudgetTerm {
+                    metric: metric::LATENCY,
+                    budget: latency_ms,
+                    alpha: 1.0,
+                },
+                BudgetTerm {
+                    metric: metric::AREA,
+                    budget: area_mm2,
+                    alpha: 1.0,
+                },
+            ],
+        };
+        SocEnv {
+            space: soc_space(),
+            workload,
+            graph: workload.graph(),
+            spec,
+            name: format!("farsi/{}", workload.name()),
+        }
+    }
+
+    /// The workload.
+    pub fn workload(&self) -> SocWorkload {
+        self.workload
+    }
+
+    /// Distance-to-budget of a step (the paper plots this, lower is
+    /// better): simply the negated reward.
+    pub fn distance(result: &StepResult) -> f64 {
+        -result.reward
+    }
+}
+
+impl Environment for SocEnv {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn observation_labels(&self) -> Vec<String> {
+        vec!["power_mw".into(), "latency_ms".into(), "area_mm2".into()]
+    }
+
+    fn step(&mut self, action: &Action) -> StepResult {
+        let config = match decode_config(&self.space, action) {
+            Ok(cfg) => cfg,
+            Err(_) => return StepResult::infeasible(Observation::new(vec![0.0; 3]), -100.0),
+        };
+        match evaluate(&config, &self.graph) {
+            Ok(cost) => {
+                let observation =
+                    Observation::new(vec![cost.power_mw, cost.latency_ms, cost.area_mm2]);
+                let reward = self.spec.reward(&observation);
+                StepResult::terminal(observation, reward).with_info("energy_mj", cost.energy_mj)
+            }
+            // Zero-count allocations: a large fixed distance penalty.
+            Err(_) => StepResult::infeasible(Observation::new(vec![0.0; 3]), -100.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use archgym_core::agent::RandomWalker;
+    use archgym_core::search::{RunConfig, SearchLoop};
+    use archgym_core::seeded_rng;
+
+    #[test]
+    fn space_matches_fig3c() {
+        let space = soc_space();
+        assert_eq!(space.len(), 13);
+        let cards = space.cardinalities();
+        assert_eq!(cards, vec![2, 4, 4, 4, 65536, 18, 4, 4, 64, 2, 4, 4, 64]);
+        // Exact product ≈ 3.2e14 (the paper rounds its variant to 1.6e17).
+        assert!(space.cardinality() > 1e14);
+    }
+
+    #[test]
+    fn rewards_are_non_positive_distances() {
+        let mut env = SocEnv::new(SocWorkload::AudioDecoder);
+        let mut rng = seeded_rng(8);
+        for _ in 0..50 {
+            let action = env.space().sample(&mut rng);
+            let result = env.step(&action);
+            assert!(result.reward <= 0.0);
+            assert_eq!(SocEnv::distance(&result), -result.reward);
+        }
+    }
+
+    #[test]
+    fn zero_count_allocations_are_infeasible() {
+        let mut env = SocEnv::new(SocWorkload::EdgeDetection);
+        // PE_Count is dimension 2; index 0 decodes to count 0.
+        let mut rng = seeded_rng(1);
+        let mut action = env.space().sample(&mut rng);
+        action.as_mut_slice()[2] = 0;
+        let result = env.step(&action);
+        assert!(!result.feasible);
+        assert_eq!(result.reward, -100.0);
+    }
+
+    #[test]
+    fn random_search_approaches_budget_on_every_workload() {
+        for workload in SocWorkload::ALL {
+            let mut env = SocEnv::new(workload);
+            let mut agent = RandomWalker::new(env.space().clone(), 21);
+            let result = SearchLoop::new(RunConfig::with_budget(300)).run(&mut agent, &mut env);
+            let best_distance = -result.best_reward;
+            assert!(
+                best_distance < 1.0,
+                "{}: best distance {best_distance} too far from budgets",
+                workload.name()
+            );
+        }
+    }
+
+    #[test]
+    fn slam_pose_solver_limits_acceleration() {
+        // SLAM's pose solver accelerates poorly, so an all-accelerator
+        // allocation gains less over a GPP one than on edge detection.
+        use crate::soc::{evaluate, MemKind, PeKind, SocConfig};
+        let cfg = |kind: PeKind| SocConfig {
+            pe_kind: kind,
+            pe_freq_mhz: 500,
+            pe_count: 2,
+            unrolling_type: 2,
+            unroll_arith: 1,
+            unroll_geom: 16,
+            noc_freq_mhz: 500,
+            noc_count: 2,
+            noc_bus_width: 64,
+            mem_kind: MemKind::Sram,
+            mem_freq_mhz: 500,
+            mem_count: 2,
+            mem_bus_width: 64,
+        };
+        let ratio = |workload: SocWorkload| {
+            let g = workload.graph();
+            let gpp = evaluate(&cfg(PeKind::Gpp), &g).unwrap().latency_ms;
+            let accel = evaluate(&cfg(PeKind::Accelerator), &g).unwrap().latency_ms;
+            gpp / accel
+        };
+        assert!(
+            ratio(SocWorkload::EdgeDetection) > ratio(SocWorkload::SlamLite),
+            "SLAM should benefit less from acceleration"
+        );
+    }
+
+    #[test]
+    fn budget_meeting_designs_exist() {
+        // A hand-tuned allocation should meet every budget (distance 0):
+        // accelerator cluster, moderate clocks, SRAM-backed.
+        let mut env = SocEnv::new(SocWorkload::EdgeDetection);
+        let space = env.space().clone();
+        use archgym_core::space::ParamValue;
+        let action = space
+            .encode(&[
+                ("PE_Type".into(), ParamValue::Cat("Accelerator".into())),
+                ("PE_Freq".into(), ParamValue::Int(100)),
+                ("PE_Count".into(), ParamValue::Int(2)),
+                ("PE_Unrolling_Type".into(), ParamValue::Int(2)),
+                ("PE_Unrolling_Arithmetic".into(), ParamValue::Int(1)),
+                ("PE_Unrolling_Geometric".into(), ParamValue::Int(256)),
+                ("NoC_Freq".into(), ParamValue::Int(500)),
+                ("NoC_Count".into(), ParamValue::Int(2)),
+                ("NoC_BusWidth".into(), ParamValue::Int(64)),
+                ("Mem_Type".into(), ParamValue::Cat("SRAM".into())),
+                ("Mem_Freq".into(), ParamValue::Int(500)),
+                ("Mem_Count".into(), ParamValue::Int(2)),
+                ("Mem_BusWidth".into(), ParamValue::Int(64)),
+            ])
+            .unwrap();
+        let result = env.step(&action);
+        assert!(result.feasible);
+        assert!(
+            result.reward > -0.1,
+            "tuned design distance {} should be near 0 (obs {})",
+            -result.reward,
+            result.observation
+        );
+    }
+
+    #[test]
+    fn env_name_and_labels() {
+        let env = SocEnv::new(SocWorkload::AudioDecoder);
+        assert_eq!(env.name(), "farsi/audio-decoder");
+        assert_eq!(env.observation_labels().len(), 3);
+    }
+}

@@ -1,0 +1,36 @@
+//! # archgym-soc — FARSIGym
+//!
+//! An AR/VR SoC design-space-exploration environment for ArchGym,
+//! standing in for the FARSI early-stage roofline simulator used by the
+//! paper.
+//!
+//! A workload is a **task dependency graph** (audio decoding, edge
+//! detection — the AR/VR pipelines of Table 3); a design is an allocation
+//! of processing elements, NoC buses and memories with type, frequency,
+//! count, bus width and unrolling knobs — the 13 parameters of Fig. 3(c).
+//! A list scheduler maps tasks to PE instances and edge transfers to
+//! NoC/memory channels; the outputs are `<power, performance, area>` and
+//! the reward is the negated *distance to budget*
+//! `Σ_m α·max(0, (D_m − B_m)/B_m)` of Table 3.
+//!
+//! # Example
+//!
+//! ```
+//! use archgym_core::prelude::*;
+//! use archgym_soc::{SocEnv, SocWorkload};
+//!
+//! let mut env = SocEnv::new(SocWorkload::EdgeDetection);
+//! let mut rng = archgym_core::seeded_rng(5);
+//! let action = env.space().sample(&mut rng);
+//! let result = env.step(&action);
+//! assert_eq!(result.observation.len(), 3); // <power, latency, area>
+//! assert!(result.reward <= 0.0); // distance-to-budget is non-positive
+//! ```
+
+pub mod env;
+pub mod soc;
+pub mod taskgraph;
+
+pub use env::{soc_space, SocEnv, SocWorkload};
+pub use soc::{decode_config, evaluate, MemKind, PeKind, SocConfig, SocCost, SocInfeasible};
+pub use taskgraph::{Task, TaskGraph};

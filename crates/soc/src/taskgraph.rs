@@ -1,0 +1,305 @@
+//! Task dependency graphs — the FARSIGym workload representation.
+//!
+//! Each task carries a compute demand in operations and an
+//! accelerability factor (how much a domain accelerator speeds it up
+//! relative to a general-purpose core); each edge carries the bytes
+//! produced by its source for its destination. The two bundled workloads
+//! mirror the audio and image pipelines FARSI ships for AR/VR.
+
+use archgym_core::error::{ArchGymError, Result};
+use serde::{Deserialize, Serialize};
+
+/// One task of a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Task name, unique within its graph.
+    pub name: String,
+    /// Compute demand in operations.
+    pub ops: f64,
+    /// Speedup a domain accelerator achieves over a general-purpose core
+    /// for this task (1.0 = no benefit).
+    pub accel_speedup: f64,
+}
+
+/// A directed acyclic task graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskGraph {
+    name: String,
+    tasks: Vec<Task>,
+    /// `(src, dst, bytes)` edges.
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl TaskGraph {
+    /// Create a graph, validating indices and acyclicity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::InvalidConfig`] for out-of-range edge
+    /// indices or cycles.
+    pub fn new(name: &str, tasks: Vec<Task>, edges: Vec<(usize, usize, f64)>) -> Result<Self> {
+        let n = tasks.len();
+        for &(src, dst, bytes) in &edges {
+            if src >= n || dst >= n {
+                return Err(ArchGymError::InvalidConfig(format!(
+                    "edge ({src}, {dst}) out of range for {n} tasks"
+                )));
+            }
+            if bytes < 0.0 {
+                return Err(ArchGymError::InvalidConfig(
+                    "edge byte counts must be non-negative".into(),
+                ));
+            }
+        }
+        let graph = TaskGraph {
+            name: name.to_owned(),
+            tasks,
+            edges,
+        };
+        graph.topo_order()?; // validates acyclicity
+        Ok(graph)
+    }
+
+    /// The graph's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tasks, index-addressed by the edges.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// The `(src, dst, bytes)` edges.
+    pub fn edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+
+    /// Incoming edges of task `i` as `(src, bytes)` pairs.
+    pub fn predecessors(&self, i: usize) -> Vec<(usize, f64)> {
+        self.edges
+            .iter()
+            .filter(|&&(_, dst, _)| dst == i)
+            .map(|&(src, _, bytes)| (src, bytes))
+            .collect()
+    }
+
+    /// Total operations over all tasks.
+    pub fn total_ops(&self) -> f64 {
+        self.tasks.iter().map(|t| t.ops).sum()
+    }
+
+    /// Total bytes over all edges.
+    pub fn total_bytes(&self) -> f64 {
+        self.edges.iter().map(|&(_, _, b)| b).sum()
+    }
+
+    /// A topological order of task indices (Kahn's algorithm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::InvalidConfig`] if the graph has a cycle.
+    pub fn topo_order(&self) -> Result<Vec<usize>> {
+        let n = self.tasks.len();
+        let mut indegree = vec![0usize; n];
+        for &(_, dst, _) in &self.edges {
+            indegree[dst] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            order.push(i);
+            for &(src, dst, _) in &self.edges {
+                if src == i {
+                    indegree[dst] -= 1;
+                    if indegree[dst] == 0 {
+                        queue.push(dst);
+                    }
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(ArchGymError::InvalidConfig(format!(
+                "task graph `{}` contains a cycle",
+                self.name
+            )));
+        }
+        Ok(order)
+    }
+}
+
+fn task(name: &str, mops: f64, accel_speedup: f64) -> Task {
+    Task {
+        name: name.to_owned(),
+        ops: mops * 1e6,
+        accel_speedup,
+    }
+}
+
+/// The audio-decoder pipeline (FARSI's AR/VR audio workload): a mostly
+/// serial chain of decode / transform / filter stages over audio frames.
+pub fn audio_decoder() -> TaskGraph {
+    const KB: f64 = 1024.0;
+    TaskGraph::new(
+        "audio-decoder",
+        vec![
+            task("demux", 2.0, 1.2),
+            task("huffman", 12.0, 2.0),
+            task("dequant", 6.0, 4.0),
+            task("imdct", 40.0, 8.0),
+            task("filterbank", 30.0, 8.0),
+            task("spatializer", 55.0, 10.0),
+            task("limiter", 8.0, 3.0),
+            task("resample", 18.0, 6.0),
+            task("mix", 5.0, 2.0),
+        ],
+        vec![
+            (0, 1, 64.0 * KB),
+            (1, 2, 96.0 * KB),
+            (2, 3, 96.0 * KB),
+            (3, 4, 192.0 * KB),
+            (4, 5, 192.0 * KB),
+            (5, 6, 192.0 * KB),
+            (5, 7, 192.0 * KB),
+            (6, 8, 96.0 * KB),
+            (7, 8, 96.0 * KB),
+        ],
+    )
+    .expect("static graph is valid")
+}
+
+/// The edge-detection pipeline (FARSI's AR/VR image workload): a diamond
+/// of blur → Sobel-x/Sobel-y → magnitude → threshold over camera frames.
+pub fn edge_detection() -> TaskGraph {
+    const MB: f64 = 1024.0 * 1024.0;
+    TaskGraph::new(
+        "edge-detection",
+        vec![
+            task("debayer", 60.0, 6.0),
+            task("gaussian", 140.0, 12.0),
+            task("sobel_x", 90.0, 12.0),
+            task("sobel_y", 90.0, 12.0),
+            task("magnitude", 70.0, 10.0),
+            task("nms", 45.0, 5.0),
+            task("threshold", 20.0, 4.0),
+        ],
+        vec![
+            (0, 1, 2.0 * MB),
+            (1, 2, 2.0 * MB),
+            (1, 3, 2.0 * MB),
+            (2, 4, 2.0 * MB),
+            (3, 4, 2.0 * MB),
+            (4, 5, 2.0 * MB),
+            (5, 6, 1.0 * MB),
+        ],
+    )
+    .expect("static graph is valid")
+}
+
+/// A SLAM-lite visual-inertial tracking pipeline: a camera path
+/// (feature detection → description → matching) and an IMU path converge
+/// in a pose solver and map update. Unlike the image pipeline, a large
+/// fraction of the work (pose optimization) accelerates poorly, so the
+/// best SoCs mix allocation generosity with restraint.
+pub fn slam_lite() -> TaskGraph {
+    const KB: f64 = 1024.0;
+    const MB: f64 = 1024.0 * 1024.0;
+    TaskGraph::new(
+        "slam-lite",
+        vec![
+            task("camera_in", 10.0, 4.0),
+            task("feature_detect", 120.0, 10.0),
+            task("feature_describe", 80.0, 8.0),
+            task("feature_match", 60.0, 6.0),
+            task("imu_integrate", 5.0, 1.5),
+            task("pose_solve", 90.0, 2.0),
+            task("fuse", 15.0, 2.0),
+            task("map_update", 40.0, 3.0),
+        ],
+        vec![
+            (0, 1, 1.0 * MB),
+            (1, 2, 512.0 * KB),
+            (2, 3, 256.0 * KB),
+            (3, 5, 128.0 * KB),
+            (4, 6, 16.0 * KB),
+            (5, 6, 64.0 * KB),
+            (6, 7, 128.0 * KB),
+        ],
+    )
+    .expect("static graph is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundled_graphs_are_valid_dags() {
+        for g in [audio_decoder(), edge_detection(), slam_lite()] {
+            let order = g.topo_order().unwrap();
+            assert_eq!(order.len(), g.tasks().len());
+            // Every edge goes forward in the order.
+            let pos: Vec<usize> = {
+                let mut pos = vec![0; order.len()];
+                for (rank, &i) in order.iter().enumerate() {
+                    pos[i] = rank;
+                }
+                pos
+            };
+            for &(src, dst, _) in g.edges() {
+                assert!(
+                    pos[src] < pos[dst],
+                    "edge ({src},{dst}) violates topo order"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let err = TaskGraph::new(
+            "cyclic",
+            vec![task("a", 1.0, 1.0), task("b", 1.0, 1.0)],
+            vec![(0, 1, 1.0), (1, 0, 1.0)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, ArchGymError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn edge_index_validation() {
+        assert!(TaskGraph::new("bad", vec![task("a", 1.0, 1.0)], vec![(0, 5, 1.0)]).is_err());
+        assert!(TaskGraph::new("bad", vec![task("a", 1.0, 1.0)], vec![(0, 0, -1.0)]).is_err());
+    }
+
+    #[test]
+    fn predecessors_query() {
+        let g = edge_detection();
+        let magnitude = 4;
+        let preds = g.predecessors(magnitude);
+        assert_eq!(preds.len(), 2); // sobel_x and sobel_y
+        assert!(preds.iter().all(|&(src, _)| src == 2 || src == 3));
+    }
+
+    #[test]
+    fn workload_scales_are_plausible() {
+        let audio = audio_decoder();
+        let edge = edge_detection();
+        // Audio frames are small; camera frames are megabytes.
+        assert!(audio.total_bytes() < edge.total_bytes());
+        assert!(audio.total_ops() > 1e8 && audio.total_ops() < 1e9);
+        assert!(edge.total_ops() > 1e8 && edge.total_ops() < 1e9);
+    }
+
+    #[test]
+    fn accelerability_varies_across_tasks() {
+        let g = audio_decoder();
+        let speedups: Vec<f64> = g.tasks().iter().map(|t| t.accel_speedup).collect();
+        let min = speedups.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = speedups.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            max / min > 3.0,
+            "workload should mix accelerable and control tasks"
+        );
+    }
+}

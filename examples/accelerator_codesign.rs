@@ -1,0 +1,41 @@
+//! Co-design an Eyeriss-like DNN accelerator for ResNet-50 with
+//! Bayesian optimization, navigating around infeasible design points.
+//!
+//! ```sh
+//! cargo run --release --example accelerator_codesign
+//! ```
+
+use archgym::accel::{AccelEnv, Objective};
+use archgym::agents::BayesOpt;
+use archgym::core::prelude::*;
+
+fn main() {
+    let target_ms = 15.0;
+    let mut env = AccelEnv::new(archgym::models::resnet50(), Objective::latency(target_ms));
+    println!(
+        "TimeloopGym: designing an accelerator for {} (target {target_ms} ms end-to-end)\n\
+         design space: {} dimensions, {:.2e} points\n",
+        env.network().name(),
+        env.space().len(),
+        env.space().cardinality()
+    );
+
+    let mut bo = BayesOpt::with_defaults(env.space().clone(), 3);
+    let run = SearchLoop::new(RunConfig::with_budget(400).batch(4)).run(&mut bo, &mut env);
+
+    let feasible = run.dataset.filter_feasible().len();
+    println!(
+        "evaluated {} designs ({} feasible, {} infeasible)",
+        run.samples_used,
+        feasible,
+        run.samples_used as usize - feasible
+    );
+    println!(
+        "best design: latency {:.3} ms | energy {:.2} mJ | area {:.2} mm² | reward {:.2}\n",
+        run.best_observation[0], run.best_observation[1], run.best_observation[2], run.best_reward
+    );
+    println!("best accelerator configuration:");
+    for (name, value) in env.space().decode(&run.best_action).expect("valid action") {
+        println!("  {name:<34} = {value}");
+    }
+}

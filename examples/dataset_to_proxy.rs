@@ -1,0 +1,96 @@
+//! From exploration logs to a fast proxy cost model — the paper's
+//! Section 7 pipeline: run several agents, merge their standardized
+//! trajectories, train a random-forest power model, and measure its
+//! accuracy and speedup over the simulator.
+//!
+//! ```sh
+//! cargo run --release --example dataset_to_proxy
+//! ```
+
+use archgym::agents::factory::{build_agent, AgentKind};
+use archgym::core::prelude::*;
+use archgym::dram::{DramEnv, DramWorkload, Objective};
+use archgym::proxy::forest::ForestConfig;
+use archgym::proxy::pipeline::{train_proxy_fixed, DatasetTiers};
+use std::time::Instant;
+
+const POWER: usize = 1; // DRAMGym observation index
+
+fn main() {
+    // 1. Explore: every agent logs through the same interface.
+    let mut pool = Dataset::new();
+    for kind in AgentKind::ALL {
+        let mut env = DramEnv::new(DramWorkload::Random, Objective::low_power(1.0));
+        let mut agent =
+            build_agent(kind, env.space(), &HyperMap::new(), 23).expect("defaults are valid");
+        let run = SearchLoop::new(RunConfig::with_budget(600)).run(&mut agent, &mut env);
+        pool.merge(run.dataset);
+    }
+    println!("pooled dataset: {} transitions, composition:", pool.len());
+    for (agent, count) in pool.composition() {
+        println!("  {agent:<5} {count:>6}");
+    }
+
+    // 2. Build matched-size single-source vs diverse training sets.
+    let mut rng = archgym::core::seeded_rng(7);
+    let tiers = DatasetTiers::build(&pool, "aco", &[500], &mut rng).expect("aco data exists");
+    let (_, single, diverse) = &tiers.tiers[0];
+
+    // 3. Train a power proxy on each and evaluate on fresh designs.
+    let mut env = DramEnv::new(DramWorkload::Random, Objective::low_power(1.0));
+    let mut test = Dataset::new();
+    let mut walker = archgym::core::agent::RandomWalker::new(env.space().clone(), 99);
+    for action in walker.propose(300) {
+        let result = env.step(&action);
+        test.push(Transition::new(env.name(), "test", action, &result));
+    }
+    let cfg = ForestConfig::default();
+    let p_single = train_proxy_fixed(single, POWER, &cfg, 1).expect("train single");
+    let p_diverse = train_proxy_fixed(diverse, POWER, &cfg, 1).expect("train diverse");
+    let r_single = p_single.report(&test).expect("report");
+    let r_diverse = p_diverse.report(&test).expect("report");
+    println!("\npower proxy on {} held-out designs:", test.len());
+    println!(
+        "  single-source (ACO): RMSE {:.4} W ({:.2}%), correlation {:.3}",
+        r_single.rmse,
+        r_single.relative_rmse * 100.0,
+        r_single.correlation
+    );
+    println!(
+        "  diverse (all agents): RMSE {:.4} W ({:.2}%), correlation {:.3}",
+        r_diverse.rmse,
+        r_diverse.relative_rmse * 100.0,
+        r_diverse.correlation
+    );
+
+    // 4. Speedup: simulator step vs proxy prediction.
+    let mut rng = archgym::core::seeded_rng(5);
+    let actions: Vec<_> = (0..200).map(|_| env.space().sample(&mut rng)).collect();
+    let t0 = Instant::now();
+    let mut sink = 0.0;
+    for a in &actions {
+        sink += env.step(a).observation.get(POWER);
+    }
+    let sim = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    for a in &actions {
+        sink += p_diverse.predict(a.as_slice());
+    }
+    let proxy = t1.elapsed().as_secs_f64();
+    std::hint::black_box(sink);
+    println!(
+        "\nspeedup: simulator {:.1} µs/eval vs proxy {:.2} µs/eval → {:.0}×",
+        sim / 200.0 * 1e6,
+        proxy / 200.0 * 1e6,
+        sim / proxy.max(1e-12)
+    );
+
+    // 5. Persist the pooled dataset as the shareable artifact.
+    let mut bytes = Vec::new();
+    pool.write_jsonl(&mut bytes).expect("serialize");
+    println!(
+        "dataset artifact: {} transitions → {} KiB of JSON-lines",
+        pool.len(),
+        bytes.len() / 1024
+    );
+}

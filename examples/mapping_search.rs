@@ -1,0 +1,64 @@
+//! Search DNN mappings with GAMMA-style genetic operators vs a vanilla
+//! GA — the comparison behind the paper's Fig. 6.
+//!
+//! ```sh
+//! cargo run --release --example mapping_search
+//! ```
+
+use archgym::agents::ga::{GaOperators, GeneticAlgorithm};
+use archgym::core::prelude::*;
+use archgym::mapping::{MappingEnv, Objective};
+
+fn main() {
+    let net = archgym::models::resnet18();
+    let layer = "stage2";
+    let budget = 2_000;
+    println!(
+        "MaestroGym: mapping {}/{layer} for minimum runtime, {budget} samples per variant\n",
+        net.name()
+    );
+
+    let variants = [
+        ("GA-V1 (GAMMA: aging+growth+reorder)", GaOperators::all()),
+        (
+            "GA+RO (reordering only)",
+            GaOperators {
+                reordering: true,
+                ..GaOperators::none()
+            },
+        ),
+        ("GA-ArchGym (no domain operators)", GaOperators::none()),
+    ];
+
+    println!(
+        "{:<38} {:>12} {:>14} {:>12}",
+        "variant", "runtime ms", "GMACs/s", "energy mJ"
+    );
+    for (name, ops) in variants {
+        let mut env =
+            MappingEnv::for_layer(&net, layer, Objective::runtime()).expect("layer exists");
+        let mut ga = GeneticAlgorithm::new(env.space().clone(), 32, 0.1, 0.8, 3, 2, ops, 8, 17);
+        let run = SearchLoop::new(RunConfig::with_budget(budget).batch(32)).run(&mut ga, &mut env);
+        println!(
+            "{:<38} {:>12.4} {:>14.1} {:>12.3}",
+            name, run.best_observation[0], run.best_observation[1], run.best_observation[2]
+        );
+        let mapping = env.space().decode(&run.best_action).expect("valid action");
+        let order = mapping
+            .iter()
+            .find(|(n, _)| n == "LoopOrder")
+            .map(|(_, v)| v.to_string())
+            .unwrap_or_default();
+        let pes = mapping
+            .iter()
+            .find(|(n, _)| n == "Num_PE")
+            .map(|(_, v)| v.to_string())
+            .unwrap_or_default();
+        println!("    best mapping: loop order {order}, {pes} PEs");
+    }
+
+    println!(
+        "\nThe paper's Fig. 6 takeaway: once each variant's hyperparameters are tuned,\n\
+         domain-specific operators do not dominate — the vanilla ArchGym GA is competitive."
+    );
+}

@@ -1,0 +1,80 @@
+//! Proxy-in-the-loop exploration (the paper's Section 8): swap the slow
+//! simulator for a trained proxy *behind the same environment interface*,
+//! let a sample-hungry agent explore freely, then validate the winners on
+//! the real simulator. Also demonstrates the data-driven offline
+//! optimizer, which spends almost no simulator samples at all.
+//!
+//! ```sh
+//! cargo run --release --example proxy_in_the_loop
+//! ```
+
+use archgym::agents::factory::{build_agent, AgentKind};
+use archgym::agents::Reinforce;
+use archgym::core::env::Environment;
+use archgym::core::prelude::*;
+use archgym::dram::{DramEnv, DramWorkload, Objective};
+use archgym::proxy::forest::ForestConfig;
+use archgym::proxy::{OfflineOptimizer, ProxyEnv};
+
+fn main() {
+    let objective = Objective::low_power(1.0);
+    let make_sim = || DramEnv::new(DramWorkload::Cloud1, objective.clone());
+
+    // 1. Log a modest exploration budget on the true simulator.
+    let mut pool = Dataset::new();
+    for kind in AgentKind::ALL {
+        let mut env = make_sim();
+        let mut agent = build_agent(kind, env.space(), &HyperMap::new(), 13).unwrap();
+        pool.merge(
+            SearchLoop::new(RunConfig::with_budget(400))
+                .run(&mut agent, &mut env)
+                .dataset,
+        );
+    }
+    println!("logged {} simulator transitions", pool.len());
+
+    // 2. Train a proxy environment with the exact simulator interface.
+    let sim = make_sim();
+    let mut proxy_env = ProxyEnv::train(
+        "dram/cloud-1",
+        sim.space().clone(),
+        sim.observation_labels(),
+        &pool,
+        objective.spec().clone(),
+        &ForestConfig::default(),
+        3,
+    )
+    .expect("proxy training");
+
+    // 3. Let RL — sample-inefficient on the simulator — burn 50k cheap
+    //    proxy samples.
+    let mut rl = Reinforce::with_defaults(proxy_env.space().clone(), 7);
+    let proxy_run =
+        SearchLoop::new(RunConfig::with_budget(50_000).record(false)).run(&mut rl, &mut proxy_env);
+    let mut sim = make_sim();
+    let validated = sim.step(&proxy_run.best_action);
+    println!(
+        "\nRL on the proxy: 50k proxy samples in {:.2}s → validated power {:.3} W (reward {:.2})",
+        proxy_run.wall_seconds,
+        validated.observation.get(1),
+        validated.reward
+    );
+
+    // 4. The offline optimizer: proxies + hill climbing, 24 simulator
+    //    validations total.
+    let mut offline = OfflineOptimizer::new(
+        sim.space().clone(),
+        pool,
+        sim.observation_labels().len(),
+        objective.spec().clone(),
+        11,
+    )
+    .expect("offline optimizer");
+    let mut sim = make_sim();
+    let offline_run =
+        SearchLoop::new(RunConfig::with_budget(24).batch(8)).run(&mut offline, &mut sim);
+    println!(
+        "offline optimizer: {} simulator samples → power {:.3} W (reward {:.2})",
+        offline_run.samples_used, offline_run.best_observation[1], offline_run.best_reward
+    );
+}

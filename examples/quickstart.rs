@@ -1,0 +1,57 @@
+//! Quickstart: plug a search agent into an ArchGym environment.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! We design a DRAM memory controller for a streaming trace with a 1 W
+//! power target, first with pure random search, then with a genetic
+//! algorithm, and compare what each finds.
+
+use archgym::agents::GeneticAlgorithm;
+use archgym::core::agent::RandomWalker;
+use archgym::core::prelude::*;
+use archgym::dram::{DramEnv, DramWorkload, Objective};
+
+fn main() {
+    let budget = 1_000;
+
+    // An environment = cost model (DRAM controller simulator) + workload
+    // (streaming memory trace) + objective (1 W power target).
+    let make_env = || DramEnv::new(DramWorkload::Stream, Objective::low_power(1.0));
+
+    // Agent 1: the random walker baseline.
+    let mut env = make_env();
+    let mut walker = RandomWalker::new(env.space().clone(), 42);
+    let rw = SearchLoop::new(RunConfig::with_budget(budget)).run(&mut walker, &mut env);
+
+    // Agent 2: a genetic algorithm with default hyperparameters.
+    let mut env = make_env();
+    let mut ga = GeneticAlgorithm::with_defaults(env.space().clone(), 42);
+    let ga_run = SearchLoop::new(RunConfig::with_budget(budget).batch(32)).run(&mut ga, &mut env);
+
+    println!(
+        "DRAMGym, streaming trace, objective: {}",
+        env.objective().name()
+    );
+    println!(
+        "{:<8} {:>12} {:>12} {:>12}",
+        "agent", "best reward", "power (W)", "latency (ns)"
+    );
+    for run in [&rw, &ga_run] {
+        println!(
+            "{:<8} {:>12.2} {:>12.3} {:>12.2}",
+            run.agent, run.best_reward, run.best_observation[1], run.best_observation[0],
+        );
+    }
+
+    // Decode the GA's best design back into named parameters.
+    println!("\nBest GA design:");
+    for (name, value) in env
+        .space()
+        .decode(&ga_run.best_action)
+        .expect("valid action")
+    {
+        println!("  {name:<24} = {value}");
+    }
+}

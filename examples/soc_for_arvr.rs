@@ -1,0 +1,46 @@
+//! Allocate a domain-specific SoC for an AR/VR edge-detection pipeline
+//! under latency / power / area budgets — the FARSIGym workflow with the
+//! distance-to-budget objective.
+//!
+//! ```sh
+//! cargo run --release --example soc_for_arvr
+//! ```
+
+use archgym::agents::AntColony;
+use archgym::core::prelude::*;
+use archgym::soc::{SocEnv, SocWorkload};
+
+fn main() {
+    let workload = SocWorkload::EdgeDetection;
+    let (lat, pow, area) = workload.budgets();
+    let mut env = SocEnv::new(workload);
+    println!(
+        "FARSIGym: SoC for `{}` — budgets: {lat} ms, {pow} mW, {area} mm²\n",
+        workload.name()
+    );
+
+    let mut aco = AntColony::with_defaults(env.space().clone(), 19);
+    let run = SearchLoop::new(RunConfig::with_budget(3_000).batch(16)).run(&mut aco, &mut env);
+
+    let distance = -run.best_reward;
+    println!(
+        "best allocation after {} samples: distance-to-budget = {distance:.4} \
+         (0 means every budget met)",
+        run.samples_used
+    );
+    println!(
+        "  power {:.1} mW (budget {pow}) | latency {:.3} ms (budget {lat}) | area {:.2} mm² (budget {area})\n",
+        run.best_observation[0], run.best_observation[1], run.best_observation[2]
+    );
+    println!("allocation:");
+    for (name, value) in env.space().decode(&run.best_action).expect("valid action") {
+        println!("  {name:<26} = {value}");
+    }
+
+    // Show the best-so-far convergence, ten checkpoints.
+    let curve = run.best_so_far();
+    println!("\nconvergence (distance-to-budget, lower is better):");
+    for i in (0..curve.len()).step_by(curve.len() / 10) {
+        println!("  after {:>5} samples: {:.4}", i + 1, -curve[i]);
+    }
+}

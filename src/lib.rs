@@ -1,0 +1,42 @@
+//! # ArchGym
+//!
+//! An open-source gymnasium for machine-learning-assisted architecture
+//! design space exploration — a Rust reproduction of *ArchGym* (Krishnan et
+//! al., ISCA 2023).
+//!
+//! This umbrella crate re-exports the whole workspace:
+//!
+//! * [`core`] — gym abstractions: parameter spaces, environments, agents,
+//!   search loops, trajectory datasets, sweeps, statistics.
+//! * [`agents`] — the five search agents (random walker, genetic algorithm
+//!   with GAMMA-style operators, ant colony optimization, Bayesian
+//!   optimization, reinforcement learning).
+//! * [`dram`] — DRAMGym: a DRAM memory-controller simulator environment.
+//! * [`accel`] — TimeloopGym: an Eyeriss-like DNN accelerator cost model.
+//! * [`soc`] — FARSIGym: an AR/VR SoC roofline model.
+//! * [`mapping`] — MaestroGym: a data-centric DNN mapping cost model.
+//! * [`proxy`] — random-forest proxy cost models trained from ArchGym
+//!   datasets.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use archgym::core::prelude::*;
+//! use archgym::agents::GeneticAlgorithm;
+//! use archgym::dram::{DramEnv, DramWorkload, Objective as DramObjective};
+//!
+//! // Design a low-power DRAM memory controller for a streaming trace.
+//! let mut env = DramEnv::new(DramWorkload::Stream, DramObjective::low_power(1.0));
+//! let mut agent = GeneticAlgorithm::with_defaults(env.space().clone(), 42);
+//! let result = SearchLoop::new(RunConfig::with_budget(512)).run(&mut agent, &mut env);
+//! assert!(result.best_reward > 0.0);
+//! ```
+
+pub use archgym_accel as accel;
+pub use archgym_agents as agents;
+pub use archgym_core as core;
+pub use archgym_dram as dram;
+pub use archgym_mapping as mapping;
+pub use archgym_models as models;
+pub use archgym_proxy as proxy;
+pub use archgym_soc as soc;

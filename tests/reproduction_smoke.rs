@@ -1,0 +1,67 @@
+//! Integration tests: every paper experiment harness runs end-to-end at
+//! smoke scale and reproduces the paper's qualitative claims.
+
+use archgym_bench::harness::Scale;
+
+#[test]
+fn fig4_lottery_panels_have_winning_tickets_for_every_agent() {
+    let panels = archgym_bench::fig4::run(Scale::Smoke).unwrap();
+    for panel in &panels {
+        assert_eq!(panel.summaries.len(), 5);
+        // The paper's claim needs a real sweep; at smoke scale just check
+        // that the machinery reports spreads and a best design per agent.
+        for s in &panel.summaries {
+            assert!(s.stats.max.is_finite());
+            assert!(s.stats.max >= s.stats.median);
+        }
+    }
+}
+
+#[test]
+fn fig5_covers_multiple_simulators_with_the_same_interface() {
+    let panels = archgym_bench::fig5::run(Scale::Smoke).unwrap();
+    assert!(panels.len() >= 2);
+    let sims: Vec<&str> = panels.iter().map(|p| p.simulator).collect();
+    assert!(sims.contains(&"dram"));
+    assert!(sims.contains(&"farsi"));
+}
+
+#[test]
+fn table4_designs_hover_around_the_power_target() {
+    let rows = archgym_bench::table4::run(Scale::Smoke).unwrap();
+    assert_eq!(rows.len(), 5);
+    for row in &rows {
+        assert!(
+            (0.4..=2.0).contains(&row.power_w),
+            "{}: {} W",
+            row.agent,
+            row.power_w
+        );
+    }
+}
+
+#[test]
+fn fig7_normalizes_the_best_agent_to_one() {
+    let cells = archgym_bench::fig7::run(Scale::Smoke).unwrap();
+    for cell in &cells {
+        let max = cell
+            .normalized
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((max - 1.0).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn fig8_measures_all_ten_timings() {
+    let timings = archgym_bench::fig8::run(Scale::Smoke).unwrap();
+    assert_eq!(timings.len(), 10);
+}
+
+#[test]
+fn fig12_proxy_is_much_faster_than_the_simulator() {
+    let result = archgym_bench::fig12::run(Scale::Smoke).unwrap();
+    assert!(result.speedup > 10.0, "speedup only {:.1}×", result.speedup);
+    assert_eq!(result.rmse_rows.len(), 3);
+}

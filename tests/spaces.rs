@@ -1,0 +1,113 @@
+//! Integration tests: the four design spaces of the paper's Fig. 3 are
+//! exposed exactly as printed, and all agents can sample/decode them.
+
+use archgym::core::prelude::*;
+
+#[test]
+fn dram_space_matches_fig3a() {
+    let space = archgym::dram::dram_space();
+    assert_eq!(space.len(), 10);
+    assert_eq!(space.cardinality(), 1_769_472.0);
+    let names: Vec<&str> = space.params().iter().map(|p| p.name()).collect();
+    assert_eq!(
+        names,
+        [
+            "RefreshMaxPostponed",
+            "RefreshMaxPulledIn",
+            "RequestBufferSize",
+            "MaxActiveTransactions",
+            "PagePolicy",
+            "Scheduler",
+            "SchedulerBuffer",
+            "Arbiter",
+            "RespQueue",
+            "RefreshPolicy"
+        ]
+    );
+}
+
+#[test]
+fn accel_space_matches_fig3b() {
+    let space = archgym::accel::accel_space();
+    assert_eq!(space.len(), 15);
+    let expected = 24.0 * 3.0 * (84.0f64).powi(3) * 336.0;
+    assert_eq!(space.cardinality(), expected);
+}
+
+#[test]
+fn soc_space_matches_fig3c() {
+    let space = archgym::soc::soc_space();
+    assert_eq!(space.len(), 13);
+    assert!(space.cardinality() > 1e14, "got {}", space.cardinality());
+}
+
+#[test]
+fn mapping_space_matches_fig3d_for_vgg16_second_layer() {
+    let net = archgym::models::vgg16();
+    let space = archgym::mapping::mapping_space(net.layer("conv1_2").unwrap());
+    assert_eq!(space.len(), 8);
+    let expected = 3.0 * 3.0 * 224.0 * 224.0 * 64.0 * 64.0 * 720.0 * 512.0;
+    assert_eq!(space.cardinality(), expected);
+}
+
+#[test]
+fn every_space_roundtrips_sampled_actions() {
+    let net = archgym::models::resnet18();
+    let spaces = vec![
+        archgym::dram::dram_space(),
+        archgym::accel::accel_space(),
+        archgym::soc::soc_space(),
+        archgym::mapping::mapping_space(net.layer("stage1").unwrap()),
+    ];
+    let mut rng = archgym::core::seeded_rng(77);
+    for space in spaces {
+        for _ in 0..25 {
+            let action = space.sample(&mut rng);
+            space.validate(&action).unwrap();
+            let values = space.decode(&action).unwrap();
+            let back = space.encode(&values).unwrap();
+            assert_eq!(back, action);
+            let point = space.normalize(&action);
+            assert_eq!(space.denormalize(&point), action);
+        }
+    }
+}
+
+#[test]
+fn observation_layouts_match_table3() {
+    use archgym::core::env::Environment;
+    let dram = archgym::dram::DramEnv::new(
+        archgym::dram::DramWorkload::Stream,
+        archgym::dram::Objective::low_power(1.0),
+    );
+    assert_eq!(
+        dram.observation_labels(),
+        ["latency_ns", "power_w", "energy_uj"]
+    );
+    let accel = archgym::accel::AccelEnv::new(
+        archgym::models::alexnet(),
+        archgym::accel::Objective::latency(5.0),
+    );
+    assert_eq!(
+        accel.observation_labels(),
+        ["latency_ms", "energy_mj", "area_mm2"]
+    );
+    let soc = archgym::soc::SocEnv::new(archgym::soc::SocWorkload::AudioDecoder);
+    assert_eq!(
+        soc.observation_labels(),
+        ["power_mw", "latency_ms", "area_mm2"]
+    );
+    let net = archgym::models::resnet18();
+    let mapping = archgym::mapping::MappingEnv::for_layer(
+        &net,
+        "stage1",
+        archgym::mapping::Objective::runtime(),
+    )
+    .unwrap();
+    assert_eq!(
+        mapping.observation_labels(),
+        ["runtime_ms", "throughput_gmacs", "energy_mj", "area_mm2"]
+    );
+    // Silence unused-import lint for prelude items used implicitly.
+    let _ = RunConfig::default();
+}
