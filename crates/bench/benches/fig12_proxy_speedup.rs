@@ -13,7 +13,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn fig12_speedup(c: &mut Criterion) {
-    let pool = collect_pool(Scale::Smoke).expect("dataset collection");
+    let pool = collect_pool(Scale::Smoke, 0).expect("dataset collection");
     let proxy = train_proxy_fixed(&pool, POWER_METRIC, &ForestConfig::default(), 1)
         .expect("proxy training");
     let mut env = DramEnv::new(DramWorkload::Random, Objective::low_power(1.0));

@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_proxy(c: &mut Criterion) {
-    let pool = collect_pool(Scale::Smoke).expect("dataset collection");
+    let pool = collect_pool(Scale::Smoke, 0).expect("dataset collection");
     let (xs, ys) = pool.features_targets(POWER_METRIC).expect("features");
     let proxy = train_proxy_fixed(&pool, POWER_METRIC, &ForestConfig::default(), 1)
         .expect("proxy training");

@@ -1,10 +1,11 @@
-//! Regenerate the paper's fig7. Pass `--scale=smoke|default|full`.
+//! Regenerate the paper's fig7. Pass `--scale=smoke|default|full` and `--jobs=N` (0 = all cores).
 
-use archgym_bench::harness::Scale;
+use archgym_bench::harness::{jobs_from_args, Scale};
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("running fig7 at {scale:?} scale...");
-    let result = archgym_bench::fig7::run(scale).expect("experiment failed");
+    let jobs = jobs_from_args();
+    eprintln!("running fig7 at {scale:?} scale ({jobs} jobs; 0 = all cores)...");
+    let result = archgym_bench::fig7::run(scale, jobs).expect("experiment failed");
     archgym_bench::fig7::print(&result);
 }

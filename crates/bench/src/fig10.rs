@@ -22,13 +22,14 @@ pub const POWER_METRIC: usize = archgym_dram::env::metric::POWER;
 
 /// Collect the pooled exploration dataset: every agent's lottery runs on
 /// the DRAM random trace, with trajectory recording on (the Fig. 9
-/// aggregation step).
+/// aggregation step). Sweeps fan out over `jobs` worker threads
+/// (`0` = every available core).
 ///
 /// # Errors
 ///
 /// Propagates agent-construction failures.
-pub fn collect_pool(scale: Scale) -> Result<Dataset> {
-    let spec = LotterySpec::new(scale).record(true);
+pub fn collect_pool(scale: Scale, jobs: usize) -> Result<Dataset> {
+    let spec = LotterySpec::new(scale).record(true).jobs(jobs);
     let mut pool = Dataset::new();
     for kind in AgentKind::ALL {
         let sweep = lottery(kind, &spec, || {
@@ -90,13 +91,14 @@ pub struct Fig10Result {
     pub tiers: Vec<TierResult>,
 }
 
-/// Run the study.
+/// Run the study, collecting the pool over `jobs` worker threads
+/// (`0` = every available core).
 ///
 /// # Errors
 ///
 /// Propagates dataset-collection and training failures.
-pub fn run(scale: Scale) -> Result<Fig10Result> {
-    let pool = collect_pool(scale)?;
+pub fn run(scale: Scale, jobs: usize) -> Result<Fig10Result> {
+    let pool = collect_pool(scale, jobs)?;
     let sizes: Vec<usize> = match scale {
         Scale::Smoke => vec![64, 192],
         Scale::Default => vec![200, 800, 3_000],
@@ -150,7 +152,7 @@ mod tests {
 
     #[test]
     fn smoke_study_shows_dataset_trends() {
-        let result = run(Scale::Smoke).unwrap();
+        let result = run(Scale::Smoke, 0).unwrap();
         assert_eq!(result.tiers.len(), 2);
         // All five agents contributed to the pool.
         assert_eq!(result.composition.len(), 5);

@@ -28,13 +28,14 @@ pub struct Fig11Result {
     pub train_size: usize,
 }
 
-/// Run the study at one matched dataset size.
+/// Run the study at one matched dataset size, collecting the exploration
+/// pool over `jobs` worker threads (`0` = every available core).
 ///
 /// # Errors
 ///
 /// Propagates dataset-collection and training failures.
-pub fn run(scale: Scale) -> Result<Fig11Result> {
-    let pool = collect_pool(scale)?;
+pub fn run(scale: Scale, jobs: usize) -> Result<Fig11Result> {
+    let pool = collect_pool(scale, jobs)?;
     let size = match scale {
         Scale::Smoke => 192,
         Scale::Default => 1_500,
@@ -83,7 +84,7 @@ mod tests {
 
     #[test]
     fn diverse_training_correlates_at_least_as_well() {
-        let result = run(Scale::Smoke).unwrap();
+        let result = run(Scale::Smoke, 0).unwrap();
         assert!(
             result.diverse_correlation > 0.5,
             "diverse proxy decorrelated: {}",

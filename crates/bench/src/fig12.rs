@@ -94,13 +94,14 @@ pub fn measure_speedup(proxy: &ProxyModel, evals: usize) -> (f64, f64, f64) {
     (sim_s, sim_long_s, proxy_s)
 }
 
-/// Run the study.
+/// Run the study, collecting the exploration pool over `jobs` worker
+/// threads (`0` = every available core).
 ///
 /// # Errors
 ///
 /// Propagates dataset-collection and training failures.
-pub fn run(scale: Scale) -> Result<Fig12Result> {
-    let pool = collect_pool(scale)?;
+pub fn run(scale: Scale, jobs: usize) -> Result<Fig12Result> {
+    let pool = collect_pool(scale, jobs)?;
     let size = match scale {
         Scale::Smoke => 256,
         Scale::Default => 2_000,
@@ -172,7 +173,7 @@ mod tests {
 
     #[test]
     fn smoke_study_measures_speedup_and_rmse() {
-        let result = run(Scale::Smoke).unwrap();
+        let result = run(Scale::Smoke, 0).unwrap();
         assert_eq!(result.rmse_rows.len(), 3);
         for row in &result.rmse_rows {
             assert!(row.single_rmse.is_finite() && row.single_rmse >= 0.0);

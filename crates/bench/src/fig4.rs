@@ -76,13 +76,14 @@ pub fn objectives(workload: DramWorkload) -> Vec<Objective> {
 }
 
 /// Run the Fig. 4 study. At `Smoke` scale only the first workload ×
-/// objective cell runs.
+/// objective cell runs. Sweeps fan out over `jobs` worker threads
+/// (`0` = every available core) with deterministic results.
 ///
 /// # Errors
 ///
 /// Propagates agent-construction failures.
-pub fn run(scale: Scale) -> Result<Vec<Panel>> {
-    let spec = LotterySpec::new(scale);
+pub fn run(scale: Scale, jobs: usize) -> Result<Vec<Panel>> {
+    let spec = LotterySpec::new(scale).jobs(jobs);
     let workloads: &[DramWorkload] = match scale {
         Scale::Smoke => &[DramWorkload::Stream],
         _ => &DramWorkload::ALL,
@@ -136,7 +137,7 @@ mod tests {
 
     #[test]
     fn smoke_run_produces_one_panel_with_all_agents() {
-        let panels = run(Scale::Smoke).unwrap();
+        let panels = run(Scale::Smoke, 0).unwrap();
         assert_eq!(panels.len(), 1);
         let panel = &panels[0];
         assert_eq!(panel.summaries.len(), 5);

@@ -48,13 +48,14 @@ impl PanelId {
     ];
 }
 
-/// Run one panel.
+/// Run one panel, fanning sweeps out over `jobs` worker threads
+/// (`0` = every available core).
 ///
 /// # Errors
 ///
 /// Propagates agent-construction failures.
-pub fn run_panel(id: PanelId, scale: Scale) -> Result<Panel> {
-    let spec = LotterySpec::new(scale);
+pub fn run_panel(id: PanelId, scale: Scale, jobs: usize) -> Result<Panel> {
+    let spec = LotterySpec::new(scale).jobs(jobs);
     let mut summaries = Vec::new();
     for kind in AgentKind::ALL {
         let sweep = match id {
@@ -100,12 +101,15 @@ pub fn run_panel(id: PanelId, scale: Scale) -> Result<Panel> {
 /// # Errors
 ///
 /// Propagates agent-construction failures.
-pub fn run(scale: Scale) -> Result<Vec<Panel>> {
+pub fn run(scale: Scale, jobs: usize) -> Result<Vec<Panel>> {
     let panels: &[PanelId] = match scale {
         Scale::Smoke => &[PanelId::Dram, PanelId::Farsi],
         _ => &PanelId::ALL,
     };
-    panels.iter().map(|&id| run_panel(id, scale)).collect()
+    panels
+        .iter()
+        .map(|&id| run_panel(id, scale, jobs))
+        .collect()
 }
 
 /// Print the figure as tables, one per simulator panel.
@@ -124,7 +128,7 @@ mod tests {
 
     #[test]
     fn smoke_panels_cover_two_simulators() {
-        let panels = run(Scale::Smoke).unwrap();
+        let panels = run(Scale::Smoke, 0).unwrap();
         assert_eq!(panels.len(), 2);
         assert_eq!(panels[0].simulator, "dram");
         assert_eq!(panels[1].simulator, "farsi");
@@ -136,7 +140,7 @@ mod tests {
 
     #[test]
     fn maestro_panel_runs_at_smoke_scale() {
-        let panel = run_panel(PanelId::Maestro, Scale::Smoke).unwrap();
+        let panel = run_panel(PanelId::Maestro, Scale::Smoke, 0).unwrap();
         assert_eq!(panel.simulator, "maestro");
         // Runtime minimization rewards are positive (1/x) for feasible
         // mappings; at least one agent must have found one.
@@ -145,7 +149,7 @@ mod tests {
 
     #[test]
     fn timeloop_panel_runs_at_smoke_scale() {
-        let panel = run_panel(PanelId::Timeloop, Scale::Smoke).unwrap();
+        let panel = run_panel(PanelId::Timeloop, Scale::Smoke, 0).unwrap();
         assert!(panel.summaries.iter().any(|s| s.stats.max > 0.0));
     }
 }

@@ -43,12 +43,13 @@ pub fn budgets(scale: Scale) -> Vec<u64> {
     }
 }
 
-/// Run the study.
+/// Run the study, fanning sweeps out over `jobs` worker threads
+/// (`0` = every available core).
 ///
 /// # Errors
 ///
 /// Propagates agent-construction failures.
-pub fn run(scale: Scale) -> Result<Vec<BudgetCell>> {
+pub fn run(scale: Scale, jobs: usize) -> Result<Vec<BudgetCell>> {
     let mut cells = Vec::new();
     let envs: Vec<&'static str> = match scale {
         Scale::Smoke => vec!["dram"],
@@ -56,7 +57,7 @@ pub fn run(scale: Scale) -> Result<Vec<BudgetCell>> {
     };
     for env_label in envs {
         for &budget in &budgets(scale) {
-            let spec = LotterySpec::new(scale).budget(budget);
+            let spec = LotterySpec::new(scale).budget(budget).jobs(jobs);
             let mut sweeps = Vec::new();
             for kind in AgentKind::ALL {
                 let sweep = match env_label {
@@ -110,7 +111,7 @@ mod tests {
 
     #[test]
     fn smoke_run_produces_cells_for_each_budget() {
-        let cells = run(Scale::Smoke).unwrap();
+        let cells = run(Scale::Smoke, 0).unwrap();
         assert_eq!(cells.len(), 2);
         for cell in &cells {
             assert_eq!(cell.normalized.len(), 5);
@@ -130,7 +131,7 @@ mod tests {
         // The qualitative Fig. 7 claim, at smoke scale: RL's normalized
         // score at the larger budget is at least its small-budget score
         // (allowing noise slack).
-        let cells = run(Scale::Smoke).unwrap();
+        let cells = run(Scale::Smoke, 0).unwrap();
         let small = cells[0].score("rl").unwrap();
         let large = cells[1].score("rl").unwrap();
         assert!(

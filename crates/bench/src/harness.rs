@@ -4,8 +4,8 @@ use archgym_agents::factory::{build_agent, default_grid, AgentKind};
 use archgym_core::agent::HyperMap;
 use archgym_core::env::Environment;
 use archgym_core::error::Result;
-use archgym_core::search::{RunConfig, SearchLoop};
-use archgym_core::sweep::{SweepPoint, SweepResult, SweepSummary};
+use archgym_core::search::RunConfig;
+use archgym_core::sweep::{Sweep, SweepResult, SweepSummary};
 
 /// Experiment scale. The paper's studies span 21,600 experiments and
 /// ~1.5 billion simulations on a cluster; `Full` approaches that
@@ -64,6 +64,21 @@ impl Scale {
     }
 }
 
+/// Parse `--jobs=N` from `std::env::args`: the worker-thread count for
+/// lottery sweeps. `0` (the default when the flag is absent) means every
+/// available core.
+pub fn jobs_from_args() -> usize {
+    for arg in std::env::args() {
+        if let Some(value) = arg.strip_prefix("--jobs=") {
+            return value.parse().unwrap_or_else(|_| {
+                eprintln!("warning: `--jobs={value}` is not an integer; using all cores");
+                0
+            });
+        }
+    }
+    0
+}
+
 /// What a lottery sweep runs: one environment family at one scale.
 #[derive(Debug, Clone, Copy)]
 pub struct LotterySpec {
@@ -75,16 +90,19 @@ pub struct LotterySpec {
     pub batch: usize,
     /// Record trajectories (needed by the dataset experiments).
     pub record: bool,
+    /// Worker threads for the sweep (`0` = every available core).
+    pub jobs: usize,
 }
 
 impl LotterySpec {
-    /// The standard spec for a scale.
+    /// The standard spec for a scale, running on every available core.
     pub fn new(scale: Scale) -> Self {
         LotterySpec {
             scale,
             budget: scale.budget(),
             batch: 16,
             record: false,
+            jobs: 0,
         }
     }
 
@@ -99,14 +117,22 @@ impl LotterySpec {
         self.record = record;
         self
     }
+
+    /// Override the worker-thread count, builder-style (`0` = every
+    /// available core, `1` = serial).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
 }
 
 /// Run the hyperparameter lottery for one agent family against an
 /// environment factory: every (capped) grid assignment × every seed.
 ///
-/// Runs are distributed over all available cores; because every run is
-/// independently seeded, the result is bit-identical to a sequential
-/// sweep regardless of thread count.
+/// Runs are distributed over `spec.jobs` workers (all cores by default);
+/// because every run is independently seeded and results are kept in grid
+/// order, the result is bit-identical to a serial sweep regardless of
+/// thread count.
 ///
 /// # Errors
 ///
@@ -115,78 +141,24 @@ pub fn lottery<F>(kind: AgentKind, spec: &LotterySpec, make_env: F) -> Result<Sw
 where
     F: Fn() -> Box<dyn Environment> + Sync,
 {
-    let grid = default_grid(kind);
+    let assignments: Vec<HyperMap> = default_grid(kind)
+        .iter()
+        .take(spec.scale.grid_cap())
+        .collect();
+    // Probe the space once so every worker can build agents without
+    // re-deriving it from its own environment.
+    let space = make_env().space().clone();
     let run_config = RunConfig {
         sample_budget: spec.budget,
         batch: spec.batch,
         record: spec.record,
     };
-    let jobs: Vec<(HyperMap, u64)> = grid
-        .iter()
-        .take(spec.scale.grid_cap())
-        .flat_map(|hyper| {
-            spec.scale
-                .seeds()
-                .into_iter()
-                .map(move |seed| (hyper.clone(), seed))
+    Sweep::new(run_config)
+        .seeds(spec.scale.seeds())
+        .jobs(spec.jobs)
+        .run_assignments(kind.name(), &assignments, make_env, |hyper, seed| {
+            build_agent(kind, &space, hyper, seed)
         })
-        .collect();
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(jobs.len().max(1));
-
-    let run_one = |(hyper, seed): &(HyperMap, u64)| -> Result<(String, SweepPoint)> {
-        let mut env = make_env();
-        let env_name = env.name().to_owned();
-        let mut agent = build_agent(kind, env.space(), hyper, *seed)?;
-        let result = SearchLoop::new(run_config.clone()).run(&mut agent, &mut env);
-        Ok((
-            env_name,
-            SweepPoint {
-                hyper: hyper.clone(),
-                seed: *seed,
-                result,
-            },
-        ))
-    };
-
-    let outcomes: Vec<Result<(String, SweepPoint)>> = if workers <= 1 {
-        jobs.iter().map(run_one).collect()
-    } else {
-        let mut slots: Vec<Option<Result<(String, SweepPoint)>>> = Vec::new();
-        slots.resize_with(jobs.len(), || None);
-        std::thread::scope(|scope| {
-            for (job_chunk, slot_chunk) in jobs
-                .chunks(jobs.len().div_ceil(workers))
-                .zip(slots.chunks_mut(jobs.len().div_ceil(workers)))
-            {
-                let run_one = &run_one;
-                scope.spawn(move || {
-                    for (job, slot) in job_chunk.iter().zip(slot_chunk.iter_mut()) {
-                        *slot = Some(run_one(job));
-                    }
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|s| s.expect("worker filled every slot"))
-            .collect()
-    };
-
-    let mut points = Vec::with_capacity(outcomes.len());
-    let mut env_name = String::new();
-    for outcome in outcomes {
-        let (name, point) = outcome?;
-        env_name = name;
-        points.push(point);
-    }
-    Ok(SweepResult {
-        agent: kind.name().to_owned(),
-        env: env_name,
-        points,
-    })
 }
 
 /// Render sweep summaries as the box-plot-style table the paper's Fig. 4
@@ -236,6 +208,28 @@ mod tests {
         assert_eq!(result.points.len(), 2); // grid cap 2 × 1 seed
         assert_eq!(result.env, "peak");
         assert!(result.summary().stats.max > 0.1);
+    }
+
+    #[test]
+    fn lottery_is_deterministic_across_job_counts() {
+        let run_at = |jobs: usize| {
+            lottery(
+                AgentKind::Ga,
+                &LotterySpec::new(Scale::Smoke).jobs(jobs),
+                || Box::new(PeakEnv::new(&[10, 10], vec![6, 2])),
+            )
+            .unwrap()
+        };
+        let serial = run_at(1);
+        let parallel = run_at(4);
+        assert_eq!(serial.points.len(), parallel.points.len());
+        for (a, b) in serial.points.iter().zip(&parallel.points) {
+            assert_eq!(a.hyper, b.hyper);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.result.best_reward, b.result.best_reward);
+            assert_eq!(a.result.best_action, b.result.best_action);
+            assert_eq!(a.result.samples_used, b.result.samples_used);
+        }
     }
 
     #[test]

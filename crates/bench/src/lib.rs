@@ -18,7 +18,11 @@
 //! | Fig. 12 — proxy speedup & RMSE table | [`fig12::run`] | `--bin fig12` (+ criterion bench) |
 //!
 //! Every harness takes a [`Scale`]: `Smoke` for CI, `Default` for a
-//! laptop-minutes run, `Full` for a faithful (hours-long) sweep.
+//! laptop-minutes run, `Full` for a faithful (hours-long) sweep. The
+//! sweep-style harnesses also take a `jobs` worker-thread count
+//! (`--jobs=N` on the binaries; `0` = every available core) and fan
+//! their independent runs over an `archgym_core::Executor` — results
+//! are bit-identical at any thread count.
 //!
 //! Beyond the paper's artifacts, [`ablation`] isolates per-knob
 //! sensitivity (one hyperparameter at a time; `--bin ablation`) and

@@ -53,11 +53,7 @@ pub fn run(scale: Scale) -> Result<Vec<EfficiencyRow>> {
     for kind in AgentKind::ALL {
         let mut reached = Vec::new();
         let mut missed = 0usize;
-        for (i, hyper) in default_grid(kind)
-            .iter()
-            .take(scale.grid_cap())
-            .enumerate()
-        {
+        for (i, hyper) in default_grid(kind).iter().take(scale.grid_cap()).enumerate() {
             let mut env = DramEnv::new(DramWorkload::Random, Objective::low_power(1.0));
             let mut agent = build_agent(kind, env.space(), &hyper, i as u64)?;
             let result = SearchLoop::new(RunConfig::with_budget(budget)).run(&mut agent, &mut env);
@@ -110,7 +106,7 @@ mod tests {
         for row in &rows {
             assert_eq!(row.reached.len() + row.missed, 2); // smoke grid cap
             for &n in &row.reached {
-                assert!(n >= 1 && n <= 256);
+                assert!((1..=256).contains(&n));
             }
         }
         // At least one family reaches the target even at smoke budgets.

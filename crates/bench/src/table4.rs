@@ -41,8 +41,8 @@ impl DesignRow {
 /// # Errors
 ///
 /// Propagates agent-construction failures.
-pub fn run(scale: Scale) -> Result<Vec<DesignRow>> {
-    let spec = LotterySpec::new(scale);
+pub fn run(scale: Scale, jobs: usize) -> Result<Vec<DesignRow>> {
+    let spec = LotterySpec::new(scale).jobs(jobs);
     let space = dram_space();
     let mut rows = Vec::new();
     for kind in AgentKind::ALL {
@@ -98,7 +98,7 @@ mod tests {
 
     #[test]
     fn every_agent_designs_a_near_target_controller() {
-        let rows = run(Scale::Smoke).unwrap();
+        let rows = run(Scale::Smoke, 0).unwrap();
         assert_eq!(rows.len(), 5);
         for row in &rows {
             assert_eq!(row.parameters.len(), 10);
@@ -116,7 +116,7 @@ mod tests {
 
     #[test]
     fn design_rows_expose_parameters_by_name() {
-        let rows = run(Scale::Smoke).unwrap();
+        let rows = run(Scale::Smoke, 0).unwrap();
         for row in &rows {
             assert!(row.value("PagePolicy").is_some());
             assert!(row.value("MaxActiveTransactions").is_some());

@@ -43,10 +43,13 @@ USAGE:
   archgym list
   archgym search --env <spec> --agent <aco|bo|ga|rl|rw|sa> [--objective <spec>]
                  [--budget N] [--seed N] [--batch N] [--dataset out.jsonl] [--csv out.csv]
-  archgym sweep  --env <spec> --agent <kind> [--objective <spec>] [--budget N] [--seeds N] [--grid N]
-  archgym halving --env <spec> --agent <kind> [--objective <spec>] [--budget N] [--eta N]
+  archgym sweep  --env <spec> --agent <kind> [--objective <spec>] [--budget N] [--seeds N] [--grid N] [--jobs N]
+  archgym halving --env <spec> --agent <kind> [--objective <spec>] [--budget N] [--eta N] [--jobs N]
   archgym trace  --workload <stream|random|cloud-1|cloud-2> [--length N] [--seed N] [--out file] [--stats true]
   archgym proxy  --dataset in.jsonl --metric N [--search N] [--seed N]
+
+`--jobs N` fans independent runs over N worker threads (default: all
+cores; 1 = serial). Results are deterministic regardless of thread count.
 
 ENVIRONMENT SPECS:
   dram/<trace>            objectives: power:<W> latency:<ns> joint:<ns>,<W>
@@ -111,36 +114,41 @@ fn search(args: &Args) -> Result<String> {
 }
 
 fn sweep(args: &Args) -> Result<String> {
+    use archgym_core::agent::HyperMap;
+    use archgym_core::sweep::Sweep;
     let env_spec = args.require("env")?.to_owned();
     let objective = args.get("objective").map(str::to_owned);
     let kind = AgentKind::parse(args.require("agent")?)?;
     let budget = args.u64_or("budget", 500)?;
     let seeds = args.u64_or("seeds", 2)?;
     let grid_cap = args.u64_or("grid", 9)? as usize;
+    let jobs = args.u64_or("jobs", 0)? as usize;
 
-    let mut rewards = Vec::new();
-    let mut best: Option<(f64, String)> = None;
-    let mut env_name = String::new();
-    for hyper in default_grid(kind).iter().take(grid_cap) {
-        for seed in 0..seeds {
-            let mut env = make_env(&env_spec, objective.as_deref())?;
-            env_name = env.name().to_owned();
-            let mut agent = build_agent(kind, env.space(), &hyper, seed)?;
-            let result = SearchLoop::new(RunConfig::with_budget(budget).record(false))
-                .run(&mut agent, &mut env);
-            rewards.push(result.best_reward);
-            if best.as_ref().is_none_or(|(b, _)| result.best_reward > *b) {
-                best = Some((result.best_reward, hyper.summary()));
-            }
-        }
-    }
+    // Validate the spec once up front so the factories can't fail later.
+    let probe = make_env(&env_spec, objective.as_deref())?;
+    let space = probe.space().clone();
+    drop(probe);
+
+    let assignments: Vec<HyperMap> = default_grid(kind).iter().take(grid_cap).collect();
+    let result = Sweep::new(RunConfig::with_budget(budget).record(false))
+        .seeds(0..seeds)
+        .jobs(jobs)
+        .run_assignments(
+            kind.name(),
+            &assignments,
+            || make_env(&env_spec, objective.as_deref()).expect("spec validated above"),
+            |hyper, seed| build_agent(kind, &space, hyper, seed),
+        )?;
+    let rewards = result.best_rewards();
     let stats = summarize(&rewards);
-    let (best_reward, winning) = best.expect("non-empty sweep");
+    let winner = result.winner();
+    let (best_reward, winning) = (winner.result.best_reward, winner.hyper.summary());
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{} on {env_name}: {} runs × {budget} samples",
+        "{} on {}: {} runs × {budget} samples",
         kind.name(),
+        result.env,
         rewards.len()
     );
     let _ = writeln!(
@@ -164,13 +172,16 @@ fn halving(args: &Args) -> Result<String> {
     let initial_budget = args.u64_or("budget", 64)?;
     let eta = args.u64_or("eta", 2)? as usize;
     let seed = args.u64_or("seed", 0)?;
+    let jobs = args.u64_or("jobs", 0)? as usize;
 
     // Validate the spec once up front so the factories can't fail later.
     let probe = make_env(&env_spec, objective.as_deref())?;
     let space = probe.space().clone();
     drop(probe);
 
-    let tuner = SuccessiveHalving::new(initial_budget, eta).seed(seed);
+    let tuner = SuccessiveHalving::new(initial_budget, eta)
+        .seed(seed)
+        .jobs(jobs);
     let result = tuner.run(
         kind.name(),
         &default_grid(kind),

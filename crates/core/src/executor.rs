@@ -1,0 +1,172 @@
+//! A small deterministic thread-pool executor for embarrassingly
+//! parallel run fan-out.
+//!
+//! The paper's lottery studies execute tens of thousands of independent
+//! `(hyperparameter assignment, seed)` runs; this module spreads such run
+//! units across worker threads while keeping the *results* in exactly the
+//! input order, so a parallel sweep is bit-identical to a serial one.
+//!
+//! The design is deliberately dependency-free: [`std::thread::scope`]
+//! workers pull the next unclaimed index off a shared atomic cursor
+//! (self-scheduling / work stealing at item granularity — run units are
+//! heavy enough that one `fetch_add` per unit is noise), stash
+//! `(index, result)` pairs locally, and the results are stitched back
+//! into input order after the scope joins.
+//!
+//! ```
+//! use archgym_core::executor::Executor;
+//!
+//! let squares = Executor::new(4).map(&[1u64, 2, 3, 4, 5], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Fans independent work items out across worker threads, returning
+/// results in input order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    jobs: usize,
+}
+
+impl Executor {
+    /// An executor running on `jobs` worker threads. `jobs == 0` selects
+    /// [`Executor::available_parallelism`]; `jobs == 1` runs serially on
+    /// the caller's thread.
+    pub fn new(jobs: usize) -> Self {
+        let jobs = if jobs == 0 {
+            Self::available_parallelism()
+        } else {
+            jobs
+        };
+        Executor { jobs }
+    }
+
+    /// The number of hardware threads available, falling back to 1 when
+    /// the platform cannot say.
+    pub fn available_parallelism() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// The resolved worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Apply `f` to every item, in parallel across the executor's
+    /// workers, and return the results **in input order**.
+    ///
+    /// `f` must be safe to call concurrently from several threads
+    /// (`Sync`); each invocation receives a shared reference to its item.
+    /// Panics in `f` propagate to the caller once all workers stop.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.jobs.min(items.len());
+        if workers <= 1 {
+            return items.iter().map(&f).collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let index = cursor.fetch_add(1, Ordering::Relaxed);
+                            if index >= items.len() {
+                                break;
+                            }
+                            local.push((index, f(&items[index])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                tagged.extend(handle.join().expect("executor worker panicked"));
+            }
+        });
+
+        // Stitch results back into input order. Every index appears
+        // exactly once, so a by-index sort restores determinism.
+        tagged.sort_unstable_by_key(|(index, _)| *index);
+        tagged.into_iter().map(|(_, result)| result).collect()
+    }
+}
+
+impl Default for Executor {
+    /// An executor using every available hardware thread.
+    fn default() -> Self {
+        Executor::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn zero_jobs_resolves_to_available_parallelism() {
+        let executor = Executor::new(0);
+        assert_eq!(executor.jobs(), Executor::available_parallelism());
+        assert!(executor.jobs() >= 1);
+    }
+
+    #[test]
+    fn map_preserves_input_order_at_any_width() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for jobs in [1, 2, 3, 4, 16] {
+            let got = Executor::new(jobs).map(&items, |&x| x * 3 + 1);
+            assert_eq!(got, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single_item_inputs() {
+        let executor = Executor::new(8);
+        assert_eq!(executor.map(&[] as &[u64], |&x| x), Vec::<u64>::new());
+        assert_eq!(executor.map(&[7u64], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn map_visits_every_item_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        let results = Executor::new(4).map(&items, |&i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(results, items);
+    }
+
+    #[test]
+    fn map_works_with_fallible_results() {
+        let items = [1i64, -2, 3];
+        let results =
+            Executor::new(2).map(&items, |&x| if x < 0 { Err("negative") } else { Ok(x * 2) });
+        assert_eq!(results, vec![Ok(2), Err("negative"), Ok(6)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "executor worker panicked")]
+    fn worker_panics_propagate() {
+        let items = [1u64, 2, 3, 4];
+        let _ = Executor::new(2).map(&items, |&x| {
+            assert!(x < 3, "boom");
+            x
+        });
+    }
+}

@@ -25,6 +25,7 @@
 //! * [`reward`] — the reward/fitness formulations of the paper's Table 3.
 //! * [`agent`] — the [`Agent`] trait plus hyperparameter plumbing.
 //! * [`search`] — the agent↔environment driver ([`SearchLoop`]).
+//! * [`executor`] — deterministic parallel fan-out of independent runs.
 //! * [`trajectory`] — standardized exploration datasets (Section 3.4).
 //! * [`bundle`] — self-describing dataset artifacts (schema + data).
 //! * [`pareto`] — Pareto-front extraction for multi-objective datasets.
@@ -72,6 +73,7 @@ pub mod agent;
 pub mod bundle;
 pub mod env;
 pub mod error;
+pub mod executor;
 pub mod pareto;
 pub mod reward;
 pub mod search;
@@ -85,6 +87,7 @@ pub use agent::{warm_start, Agent, HyperGrid, HyperMap, HyperValue};
 pub use bundle::DatasetBundle;
 pub use env::{Environment, Observation, StepResult};
 pub use error::{ArchGymError, Result};
+pub use executor::Executor;
 pub use reward::{BudgetTerm, Objective, RewardSpec};
 pub use search::{RunConfig, RunResult, SearchLoop};
 pub use space::{Action, ParamDomain, ParamSpace, ParamValue, SpaceBuilder};
@@ -113,6 +116,7 @@ pub mod prelude {
     pub use crate::agent::{warm_start, Agent, HyperGrid, HyperMap, HyperValue};
     pub use crate::env::{Environment, Observation, StepResult};
     pub use crate::error::{ArchGymError, Result};
+    pub use crate::executor::Executor;
     pub use crate::reward::{BudgetTerm, Objective, RewardSpec};
     pub use crate::search::{RunConfig, RunResult, SearchLoop};
     pub use crate::seeded_rng;

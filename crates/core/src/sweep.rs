@@ -6,10 +6,17 @@
 //! of each run, and summarizes the distribution. The paper's headline
 //! observation — up to 90% interquartile spread, yet at least one winning
 //! ticket per agent family — falls out of [`SweepSummary`].
+//!
+//! Every `(assignment, seed)` run is independent, so both [`Sweep`] and
+//! [`SuccessiveHalving`] fan their runs out over an [`Executor`]: pass
+//! [`Sweep::jobs`] a worker count (or `0` for every core) and the grid is
+//! evaluated in parallel while the results stay in deterministic grid
+//! order — a parallel sweep is point-for-point identical to a serial one.
 
 use crate::agent::{Agent, HyperGrid, HyperMap};
 use crate::env::Environment;
 use crate::error::Result;
+use crate::executor::Executor;
 use crate::search::{RunConfig, RunResult, SearchLoop};
 use crate::stats::{summarize, Summary};
 use crate::trajectory::Dataset;
@@ -51,16 +58,7 @@ impl SweepResult {
     pub fn summary(&self) -> SweepSummary {
         let rewards = self.best_rewards();
         let stats = summarize(&rewards);
-        let winner = self
-            .points
-            .iter()
-            .max_by(|a, b| {
-                a.result
-                    .best_reward
-                    .partial_cmp(&b.result.best_reward)
-                    .expect("NaN reward")
-            })
-            .expect("empty sweep");
+        let winner = self.winner();
         SweepSummary {
             agent: self.agent.clone(),
             env: self.env.clone(),
@@ -98,7 +96,9 @@ impl SweepResult {
     }
 
     /// Export the sweep as CSV — one row per `(assignment, seed)` run —
-    /// for external plotting of the lottery distributions.
+    /// for external plotting of the lottery distributions. Embedded
+    /// double quotes in the hyperparameter summary are doubled per
+    /// RFC 4180 so the quoted field stays well-formed.
     ///
     /// # Errors
     ///
@@ -114,7 +114,7 @@ impl SweepResult {
                 "{},{},\"{}\",{},{},{},{}",
                 self.agent,
                 self.env,
-                p.hyper.summary(),
+                p.hyper.summary().replace('"', "\"\""),
                 p.seed,
                 p.result.best_reward,
                 p.result.samples_used,
@@ -145,19 +145,24 @@ pub struct SweepSummary {
 ///
 /// The caller supplies two factories: one building a fresh environment per
 /// run (environments may carry mutable simulator state) and one building
-/// the agent from a hyperparameter assignment and seed.
+/// the agent from a hyperparameter assignment and seed. Both are invoked
+/// from worker threads when [`Sweep::jobs`] enables parallelism, so they
+/// must be `Fn + Sync`; every worker builds its own environment and agent,
+/// which keeps runs fully independent.
 #[derive(Debug, Clone)]
 pub struct Sweep {
     run_config: RunConfig,
     seeds: Vec<u64>,
+    jobs: usize,
 }
 
 impl Sweep {
-    /// A sweep executing each assignment once with seed `0`.
+    /// A serial sweep executing each assignment once with seed `0`.
     pub fn new(run_config: RunConfig) -> Self {
         Sweep {
             run_config,
             seeds: vec![0],
+            jobs: 1,
         }
     }
 
@@ -167,7 +172,15 @@ impl Sweep {
         self
     }
 
-    /// Execute the sweep.
+    /// Distribute runs over `jobs` worker threads, builder-style.
+    /// `0` selects every available core; `1` (the default) runs serially.
+    /// Results are in grid order and bit-identical regardless of `jobs`.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Execute the sweep over every assignment of a grid.
     ///
     /// # Errors
     ///
@@ -177,29 +190,66 @@ impl Sweep {
         &self,
         agent_name: &str,
         grid: &HyperGrid,
-        mut make_env: FE,
-        mut make_agent: FA,
+        make_env: FE,
+        make_agent: FA,
     ) -> Result<SweepResult>
     where
         E: Environment,
         A: Agent,
-        FE: FnMut() -> E,
-        FA: FnMut(&HyperMap, u64) -> Result<A>,
+        FE: Fn() -> E + Sync,
+        FA: Fn(&HyperMap, u64) -> Result<A> + Sync,
     {
-        let mut points = Vec::new();
-        let mut env_name = String::new();
-        for hyper in grid.iter() {
-            for &seed in &self.seeds {
+        let assignments: Vec<HyperMap> = grid.iter().collect();
+        self.run_assignments(agent_name, &assignments, make_env, make_agent)
+    }
+
+    /// Execute the sweep over an explicit list of assignments (e.g. a
+    /// capped prefix of a grid).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from the agent factory.
+    pub fn run_assignments<E, FE, FA, A>(
+        &self,
+        agent_name: &str,
+        assignments: &[HyperMap],
+        make_env: FE,
+        make_agent: FA,
+    ) -> Result<SweepResult>
+    where
+        E: Environment,
+        A: Agent,
+        FE: Fn() -> E + Sync,
+        FA: Fn(&HyperMap, u64) -> Result<A> + Sync,
+    {
+        let units: Vec<(&HyperMap, u64)> = assignments
+            .iter()
+            .flat_map(|hyper| self.seeds.iter().map(move |&seed| (hyper, seed)))
+            .collect();
+        let outcomes = Executor::new(self.jobs).map(
+            &units,
+            |&(hyper, seed)| -> Result<(String, SweepPoint)> {
                 let mut env = make_env();
-                env_name = env.name().to_owned();
-                let mut agent = make_agent(&hyper, seed)?;
+                let env_name = env.name().to_owned();
+                let mut agent = make_agent(hyper, seed)?;
                 let result = SearchLoop::new(self.run_config.clone()).run(&mut agent, &mut env);
-                points.push(SweepPoint {
-                    hyper: hyper.clone(),
-                    seed,
-                    result,
-                });
-            }
+                Ok((
+                    env_name,
+                    SweepPoint {
+                        hyper: hyper.clone(),
+                        seed,
+                        result,
+                    },
+                ))
+            },
+        );
+
+        let mut points = Vec::with_capacity(outcomes.len());
+        let mut env_name = String::new();
+        for outcome in outcomes {
+            let (name, point): (String, SweepPoint) = outcome?;
+            env_name = name;
+            points.push(point);
         }
         Ok(SweepResult {
             agent: agent_name.to_owned(),
@@ -251,13 +301,16 @@ impl HalvingResult {
 /// The paper observes that finding good hyperparameters "requires a
 /// significant amount of resources" and that tuning techniques add
 /// another layer of complexity; successive halving is the standard way
-/// to spend those simulator samples sub-linearly in grid size.
+/// to spend those simulator samples sub-linearly in grid size. Each
+/// round's candidates are independent, so rounds parallelize over
+/// [`SuccessiveHalving::jobs`] workers with deterministic results.
 #[derive(Debug, Clone)]
 pub struct SuccessiveHalving {
     initial_budget: u64,
     eta: usize,
     batch: usize,
     seed: u64,
+    jobs: usize,
 }
 
 impl SuccessiveHalving {
@@ -275,6 +328,7 @@ impl SuccessiveHalving {
             eta,
             batch: 16,
             seed: 0,
+            jobs: 1,
         }
     }
 
@@ -290,6 +344,14 @@ impl SuccessiveHalving {
         self
     }
 
+    /// Evaluate each round's candidates over `jobs` worker threads,
+    /// builder-style. `0` selects every available core; `1` (the
+    /// default) runs serially.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
     /// Run the tune.
     ///
     /// # Errors
@@ -299,14 +361,14 @@ impl SuccessiveHalving {
         &self,
         agent_name: &str,
         grid: &HyperGrid,
-        mut make_env: FE,
-        mut make_agent: FA,
+        make_env: FE,
+        make_agent: FA,
     ) -> Result<HalvingResult>
     where
         E: Environment,
         A: Agent,
-        FE: FnMut() -> E,
-        FA: FnMut(&HyperMap, u64) -> Result<A>,
+        FE: Fn() -> E + Sync,
+        FA: Fn(&HyperMap, u64) -> Result<A> + Sync,
     {
         let mut candidates: Vec<HyperMap> = grid.iter().collect();
         if candidates.is_empty() {
@@ -314,26 +376,31 @@ impl SuccessiveHalving {
                 "successive halving needs a non-empty grid".into(),
             ));
         }
+        let executor = Executor::new(self.jobs);
         let grid_size = candidates.len() as u64;
         let mut budget = self.initial_budget;
         let mut rounds = Vec::new();
         let mut total_samples = 0u64;
         let mut env_name = String::new();
-        #[allow(unused_assignments)]
-        let mut last_results: Vec<RunResult> = Vec::new();
 
-        loop {
-            let mut scored: Vec<(HyperMap, RunResult)> = Vec::with_capacity(candidates.len());
-            for hyper in &candidates {
+        // Each iteration evaluates the surviving candidates at the
+        // current budget and keeps the top 1/eta; the loop exits by
+        // yielding the final round's best run directly.
+        let (winner_hyper, winner_result) = loop {
+            let round_config = RunConfig::with_budget(budget)
+                .batch(self.batch)
+                .record(false);
+            let outcomes = executor.map(&candidates, |hyper| -> Result<(String, RunResult)> {
                 let mut env = make_env();
-                env_name = env.name().to_owned();
+                let name = env.name().to_owned();
                 let mut agent = make_agent(hyper, self.seed)?;
-                let result = SearchLoop::new(
-                    RunConfig::with_budget(budget)
-                        .batch(self.batch)
-                        .record(false),
-                )
-                .run(&mut agent, &mut env);
+                let result = SearchLoop::new(round_config.clone()).run(&mut agent, &mut env);
+                Ok((name, result))
+            });
+            let mut scored: Vec<(HyperMap, RunResult)> = Vec::with_capacity(candidates.len());
+            for (hyper, outcome) in candidates.iter().zip(outcomes) {
+                let (name, result): (String, RunResult) = outcome?;
+                env_name = name;
                 total_samples += result.samples_used;
                 scored.push((hyper.clone(), result));
             }
@@ -351,16 +418,13 @@ impl SuccessiveHalving {
             });
             let keep = scored.len().div_ceil(self.eta);
             scored.truncate(keep);
-            last_results = scored.iter().map(|(_, r)| r.clone()).collect();
-            candidates = scored.into_iter().map(|(h, _)| h).collect();
-            if candidates.len() <= 1 {
-                break;
+            if scored.len() <= 1 {
+                break scored.remove(0);
             }
+            candidates = scored.into_iter().map(|(h, _)| h).collect();
             budget *= self.eta as u64;
-        }
+        };
 
-        let winner_hyper = candidates.remove(0);
-        let winner_result = last_results.remove(0);
         Ok(HalvingResult {
             agent: agent_name.to_owned(),
             env: env_name,
@@ -410,6 +474,26 @@ mod tests {
         HyperGrid::new().axis("dummy", [1i64, 2, 3])
     }
 
+    /// Everything but wall-clock must match point-for-point — the
+    /// determinism contract of parallel sweeps.
+    fn assert_points_identical(a: &SweepResult, b: &SweepResult) {
+        assert_eq!(a.agent, b.agent);
+        assert_eq!(a.env, b.env);
+        assert_eq!(a.points.len(), b.points.len());
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa.hyper, pb.hyper);
+            assert_eq!(pa.seed, pb.seed);
+            assert_eq!(pa.result.agent, pb.result.agent);
+            assert_eq!(pa.result.env, pb.result.env);
+            assert_eq!(pa.result.best_reward, pb.result.best_reward);
+            assert_eq!(pa.result.best_action, pb.result.best_action);
+            assert_eq!(pa.result.best_observation, pb.result.best_observation);
+            assert_eq!(pa.result.samples_used, pb.result.samples_used);
+            assert_eq!(pa.result.reward_history, pb.result.reward_history);
+            assert_eq!(pa.result.dataset, pb.result.dataset);
+        }
+    }
+
     #[test]
     fn sweep_runs_grid_times_seeds() {
         let sweep = Sweep::new(RunConfig::with_budget(20)).seeds([1, 2]);
@@ -430,6 +514,32 @@ mod tests {
         assert_eq!(result.agent, "rw");
         assert_eq!(result.env, "peak");
         assert!(result.points.iter().all(|p| p.result.samples_used == 20));
+    }
+
+    #[test]
+    fn parallel_sweep_is_point_identical_to_serial() {
+        let run_at = |jobs: usize| {
+            Sweep::new(RunConfig::with_budget(40))
+                .seeds([1, 2, 3])
+                .jobs(jobs)
+                .run(
+                    "rw",
+                    &peak_grid(),
+                    || PeakEnv::new(&[9, 9], vec![4, 7]),
+                    |hyper, seed| {
+                        let offset = hyper.int("dummy")? as u64;
+                        Ok(RandomWalker::new(
+                            PeakEnv::new(&[9, 9], vec![4, 7]).space().clone(),
+                            seed + offset * 100,
+                        ))
+                    },
+                )
+                .unwrap()
+        };
+        let serial = run_at(1);
+        for jobs in [2, 4, 0] {
+            assert_points_identical(&serial, &run_at(jobs));
+        }
     }
 
     #[test]
@@ -475,6 +585,33 @@ mod tests {
             )
             .unwrap();
         assert_eq!(result.merged_dataset().len(), 30);
+    }
+
+    #[test]
+    fn run_assignments_matches_full_grid_prefix() {
+        let grid = peak_grid();
+        let assignments: Vec<HyperMap> = grid.iter().take(2).collect();
+        let sweep = Sweep::new(RunConfig::with_budget(15)).seeds([4]);
+        let make_env = || PeakEnv::new(&[7], vec![3]);
+        let make_agent = |_h: &HyperMap, s: u64| {
+            Ok(RandomWalker::new(
+                PeakEnv::new(&[7], vec![3]).space().clone(),
+                s,
+            ))
+        };
+        let capped = sweep
+            .run_assignments("rw", &assignments, make_env, make_agent)
+            .unwrap();
+        let full = sweep.run("rw", &grid, make_env, make_agent).unwrap();
+        assert_eq!(capped.points.len(), 2);
+        assert_points_identical(
+            &capped,
+            &SweepResult {
+                agent: full.agent.clone(),
+                env: full.env.clone(),
+                points: full.points[..2].to_vec(),
+            },
+        );
     }
 
     #[test]
@@ -539,6 +676,42 @@ mod tests {
     }
 
     #[test]
+    fn sweep_csv_escapes_embedded_quotes() {
+        let mut sweep = Sweep::new(RunConfig::with_budget(5))
+            .run(
+                "rw",
+                &peak_grid(),
+                || PeakEnv::new(&[5], vec![2]),
+                |_h, s| {
+                    Ok(RandomWalker::new(
+                        PeakEnv::new(&[5], vec![2]).space().clone(),
+                        s,
+                    ))
+                },
+            )
+            .unwrap();
+        sweep.points[0].hyper.set("label", "say \"hi\"");
+        let mut buf = Vec::new();
+        sweep.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let row = text.lines().nth(1).unwrap();
+        // The embedded quotes are doubled, keeping the field well-formed.
+        assert!(row.contains(r#"say ""hi"""#), "{row}");
+        // An RFC 4180 parse of the row yields exactly 7 fields.
+        let mut fields = 0;
+        let mut in_quotes = false;
+        for c in row.chars() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                ',' if !in_quotes => fields += 1,
+                _ => {}
+            }
+        }
+        assert!(!in_quotes, "unbalanced quotes: {row}");
+        assert_eq!(fields + 1, 7, "{row}");
+    }
+
+    #[test]
     fn successive_halving_eliminates_down_to_one_winner() {
         // A grid where the "dummy" hyperparameter is actually the seed,
         // so assignments genuinely differ in quality.
@@ -577,6 +750,63 @@ mod tests {
     }
 
     #[test]
+    fn parallel_halving_matches_serial() {
+        let grid = HyperGrid::new().axis("dummy", [1i64, 2, 3, 4, 5, 6]);
+        let run_at = |jobs: usize| {
+            SuccessiveHalving::new(8, 2)
+                .batch(4)
+                .jobs(jobs)
+                .run(
+                    "rw",
+                    &grid,
+                    || PeakEnv::new(&[20, 20], vec![11, 6]),
+                    |hyper, _seed| {
+                        let seed = hyper.int("dummy")? as u64;
+                        Ok(RandomWalker::new(
+                            PeakEnv::new(&[20, 20], vec![11, 6]).space().clone(),
+                            seed,
+                        ))
+                    },
+                )
+                .unwrap()
+        };
+        let serial = run_at(1);
+        let parallel = run_at(4);
+        assert_eq!(serial.winner_hyper, parallel.winner_hyper);
+        assert_eq!(
+            serial.winner_result.best_reward,
+            parallel.winner_result.best_reward
+        );
+        assert_eq!(serial.rounds, parallel.rounds);
+        assert_eq!(serial.total_samples, parallel.total_samples);
+        assert_eq!(serial.flat_sweep_samples, parallel.flat_sweep_samples);
+    }
+
+    #[test]
+    fn successive_halving_single_candidate_grid_still_reports_a_winner() {
+        let grid = HyperGrid::new().axis("dummy", [7i64]);
+        let result = SuccessiveHalving::new(16, 2)
+            .run(
+                "rw",
+                &grid,
+                || PeakEnv::new(&[10], vec![4]),
+                |_h, s| {
+                    Ok(RandomWalker::new(
+                        PeakEnv::new(&[10], vec![4]).space().clone(),
+                        s,
+                    ))
+                },
+            )
+            .unwrap();
+        assert_eq!(result.rounds.len(), 1);
+        assert_eq!(result.winner_hyper.int("dummy").unwrap(), 7);
+        assert_eq!(
+            result.winner_result.best_reward,
+            result.rounds[0].survivors[0].1
+        );
+    }
+
+    #[test]
     fn successive_halving_rejects_empty_grid_and_bad_eta() {
         let grid = HyperGrid::new().axis("x", Vec::<i64>::new());
         let tuner = SuccessiveHalving::new(4, 2);
@@ -602,6 +832,24 @@ mod tests {
     #[test]
     fn agent_factory_errors_propagate() {
         let sweep = Sweep::new(RunConfig::with_budget(10));
+        let err = sweep.run(
+            "rw",
+            &peak_grid(),
+            || PeakEnv::new(&[5], vec![2]),
+            |hyper, _s| {
+                hyper.float("missing")?; // always fails
+                Ok(RandomWalker::new(
+                    PeakEnv::new(&[5], vec![2]).space().clone(),
+                    0,
+                ))
+            },
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn parallel_agent_factory_errors_propagate() {
+        let sweep = Sweep::new(RunConfig::with_budget(10)).jobs(4).seeds([1, 2]);
         let err = sweep.run(
             "rw",
             &peak_grid(),

@@ -1,0 +1,81 @@
+//! Integration tests for the parallel sweep executor on a real simulator:
+//! a parallel lottery must be point-for-point identical to a serial one
+//! (the determinism contract), and must actually scale on multicore hosts.
+
+use std::time::Instant;
+
+use archgym_agents::factory::AgentKind;
+use archgym_bench::harness::{lottery, LotterySpec, Scale};
+use archgym_core::sweep::SweepResult;
+use archgym_core::Executor;
+use archgym_dram::{DramEnv, DramWorkload, Objective};
+
+fn dram_lottery(kind: AgentKind, spec: LotterySpec, jobs: usize) -> SweepResult {
+    lottery(kind, &spec.jobs(jobs), || {
+        Box::new(DramEnv::new(
+            DramWorkload::Stream,
+            Objective::low_power(1.0),
+        ))
+    })
+    .unwrap()
+}
+
+/// Everything except wall-clock must match point-for-point.
+fn assert_points_identical(serial: &SweepResult, parallel: &SweepResult) {
+    assert_eq!(serial.agent, parallel.agent);
+    assert_eq!(serial.env, parallel.env);
+    assert_eq!(serial.points.len(), parallel.points.len());
+    for (a, b) in serial.points.iter().zip(&parallel.points) {
+        assert_eq!(a.hyper, b.hyper);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.result.best_reward, b.result.best_reward);
+        assert_eq!(a.result.best_action, b.result.best_action);
+        assert_eq!(a.result.best_observation, b.result.best_observation);
+        assert_eq!(a.result.samples_used, b.result.samples_used);
+        assert_eq!(a.result.reward_history, b.result.reward_history);
+        assert_eq!(a.result.dataset, b.result.dataset);
+    }
+}
+
+#[test]
+fn parallel_dram_lottery_is_point_identical_to_serial() {
+    for kind in [AgentKind::Ga, AgentKind::Rw] {
+        let spec = LotterySpec::new(Scale::Smoke);
+        let serial = dram_lottery(kind, spec, 1);
+        let parallel = dram_lottery(kind, spec, 4);
+        assert_points_identical(&serial, &parallel);
+        // And `0` (all cores) picks some width without changing results.
+        assert_points_identical(&serial, &dram_lottery(kind, spec, 0));
+    }
+}
+
+#[test]
+fn parallel_dram_lottery_speeds_up_on_multicore_hosts() {
+    // Default-scale grid (9 assignments × 2 seeds = 18 units) with a
+    // trimmed budget: enough work per unit for the fan-out to dominate
+    // thread setup, small enough to keep the test in seconds.
+    let spec = LotterySpec::new(Scale::Default).budget(256);
+
+    let start = Instant::now();
+    let serial = dram_lottery(AgentKind::Ga, spec, 1);
+    let serial_s = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let parallel = dram_lottery(AgentKind::Ga, spec, 4);
+    let parallel_s = start.elapsed().as_secs_f64();
+
+    let speedup = serial_s / parallel_s.max(1e-9);
+    println!(
+        "parallel lottery speedup: serial {serial_s:.3}s / jobs=4 {parallel_s:.3}s = {speedup:.2}x"
+    );
+    assert_points_identical(&serial, &parallel);
+
+    // Only hold the throughput bar on hosts that can deliver it.
+    if Executor::available_parallelism() >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "expected >=2x speedup at jobs=4 on a >=4-core host, got {speedup:.2}x \
+             (serial {serial_s:.3}s, parallel {parallel_s:.3}s)"
+        );
+    }
+}

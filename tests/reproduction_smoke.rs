@@ -5,7 +5,7 @@ use archgym_bench::harness::Scale;
 
 #[test]
 fn fig4_lottery_panels_have_winning_tickets_for_every_agent() {
-    let panels = archgym_bench::fig4::run(Scale::Smoke).unwrap();
+    let panels = archgym_bench::fig4::run(Scale::Smoke, 0).unwrap();
     for panel in &panels {
         assert_eq!(panel.summaries.len(), 5);
         // The paper's claim needs a real sweep; at smoke scale just check
@@ -19,7 +19,7 @@ fn fig4_lottery_panels_have_winning_tickets_for_every_agent() {
 
 #[test]
 fn fig5_covers_multiple_simulators_with_the_same_interface() {
-    let panels = archgym_bench::fig5::run(Scale::Smoke).unwrap();
+    let panels = archgym_bench::fig5::run(Scale::Smoke, 0).unwrap();
     assert!(panels.len() >= 2);
     let sims: Vec<&str> = panels.iter().map(|p| p.simulator).collect();
     assert!(sims.contains(&"dram"));
@@ -28,7 +28,7 @@ fn fig5_covers_multiple_simulators_with_the_same_interface() {
 
 #[test]
 fn table4_designs_hover_around_the_power_target() {
-    let rows = archgym_bench::table4::run(Scale::Smoke).unwrap();
+    let rows = archgym_bench::table4::run(Scale::Smoke, 0).unwrap();
     assert_eq!(rows.len(), 5);
     for row in &rows {
         assert!(
@@ -42,7 +42,7 @@ fn table4_designs_hover_around_the_power_target() {
 
 #[test]
 fn fig7_normalizes_the_best_agent_to_one() {
-    let cells = archgym_bench::fig7::run(Scale::Smoke).unwrap();
+    let cells = archgym_bench::fig7::run(Scale::Smoke, 0).unwrap();
     for cell in &cells {
         let max = cell
             .normalized
@@ -61,7 +61,7 @@ fn fig8_measures_all_ten_timings() {
 
 #[test]
 fn fig12_proxy_is_much_faster_than_the_simulator() {
-    let result = archgym_bench::fig12::run(Scale::Smoke).unwrap();
+    let result = archgym_bench::fig12::run(Scale::Smoke, 0).unwrap();
     assert!(result.speedup > 10.0, "speedup only {:.1}×", result.speedup);
     assert_eq!(result.rmse_rows.len(), 3);
 }
