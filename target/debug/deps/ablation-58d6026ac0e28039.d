@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-58d6026ac0e28039.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-58d6026ac0e28039: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-912fca11e5386263.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-912fca11e5386263: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agents-fb862bce0367b9b8.d: crates/bench/benches/agents.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagents-fb862bce0367b9b8.rmeta: crates/bench/benches/agents.rs Cargo.toml
+
+crates/bench/benches/agents.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/agents_on_envs-7d4187a8d0da5a61.d: tests/agents_on_envs.rs
+
+/root/repo/target/debug/deps/agents_on_envs-7d4187a8d0da5a61: tests/agents_on_envs.rs
+
+tests/agents_on_envs.rs:

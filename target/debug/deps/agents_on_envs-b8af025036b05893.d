@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/agents_on_envs-b8af025036b05893.d: tests/agents_on_envs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libagents_on_envs-b8af025036b05893.rmeta: tests/agents_on_envs.rs Cargo.toml
+
+tests/agents_on_envs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

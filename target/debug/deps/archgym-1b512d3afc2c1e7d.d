@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/archgym-1b512d3afc2c1e7d.d: src/lib.rs
+
+/root/repo/target/debug/deps/archgym-1b512d3afc2c1e7d: src/lib.rs
+
+src/lib.rs:

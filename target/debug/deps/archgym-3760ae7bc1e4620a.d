@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/archgym-3760ae7bc1e4620a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libarchgym-3760ae7bc1e4620a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libarchgym-3760ae7bc1e4620a.rmeta: src/lib.rs
+
+src/lib.rs:

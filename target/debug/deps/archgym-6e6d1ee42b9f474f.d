@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/archgym-6e6d1ee42b9f474f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarchgym-6e6d1ee42b9f474f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

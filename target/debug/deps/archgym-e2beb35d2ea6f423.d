@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/archgym-e2beb35d2ea6f423.d: src/lib.rs
+
+/root/repo/target/debug/deps/libarchgym-e2beb35d2ea6f423.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libarchgym-e2beb35d2ea6f423.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/archgym_accel-21615a5d957bb06e.d: crates/accel/src/lib.rs crates/accel/src/arch.rs crates/accel/src/cost.rs crates/accel/src/env.rs
+
+/root/repo/target/debug/deps/libarchgym_accel-21615a5d957bb06e.rlib: crates/accel/src/lib.rs crates/accel/src/arch.rs crates/accel/src/cost.rs crates/accel/src/env.rs
+
+/root/repo/target/debug/deps/libarchgym_accel-21615a5d957bb06e.rmeta: crates/accel/src/lib.rs crates/accel/src/arch.rs crates/accel/src/cost.rs crates/accel/src/env.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/arch.rs:
+crates/accel/src/cost.rs:
+crates/accel/src/env.rs:

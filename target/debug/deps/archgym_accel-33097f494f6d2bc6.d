@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/archgym_accel-33097f494f6d2bc6.d: crates/accel/src/lib.rs crates/accel/src/arch.rs crates/accel/src/cost.rs crates/accel/src/env.rs
+
+/root/repo/target/debug/deps/libarchgym_accel-33097f494f6d2bc6.rlib: crates/accel/src/lib.rs crates/accel/src/arch.rs crates/accel/src/cost.rs crates/accel/src/env.rs
+
+/root/repo/target/debug/deps/libarchgym_accel-33097f494f6d2bc6.rmeta: crates/accel/src/lib.rs crates/accel/src/arch.rs crates/accel/src/cost.rs crates/accel/src/env.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/arch.rs:
+crates/accel/src/cost.rs:
+crates/accel/src/env.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/archgym_accel-38c47050be448ae2.d: crates/accel/src/lib.rs crates/accel/src/arch.rs crates/accel/src/cost.rs crates/accel/src/env.rs
+
+/root/repo/target/debug/deps/archgym_accel-38c47050be448ae2: crates/accel/src/lib.rs crates/accel/src/arch.rs crates/accel/src/cost.rs crates/accel/src/env.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/arch.rs:
+crates/accel/src/cost.rs:
+crates/accel/src/env.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/archgym_accel-aa89f90d871f3cb3.d: crates/accel/src/lib.rs crates/accel/src/arch.rs crates/accel/src/cost.rs crates/accel/src/env.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarchgym_accel-aa89f90d871f3cb3.rmeta: crates/accel/src/lib.rs crates/accel/src/arch.rs crates/accel/src/cost.rs crates/accel/src/env.rs Cargo.toml
+
+crates/accel/src/lib.rs:
+crates/accel/src/arch.rs:
+crates/accel/src/cost.rs:
+crates/accel/src/env.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

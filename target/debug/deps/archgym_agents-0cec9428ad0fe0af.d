@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/archgym_agents-0cec9428ad0fe0af.d: crates/agents/src/lib.rs crates/agents/src/aco.rs crates/agents/src/bo.rs crates/agents/src/factory.rs crates/agents/src/ga.rs crates/agents/src/linalg.rs crates/agents/src/nn.rs crates/agents/src/ppo.rs crates/agents/src/rl.rs crates/agents/src/sa.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarchgym_agents-0cec9428ad0fe0af.rmeta: crates/agents/src/lib.rs crates/agents/src/aco.rs crates/agents/src/bo.rs crates/agents/src/factory.rs crates/agents/src/ga.rs crates/agents/src/linalg.rs crates/agents/src/nn.rs crates/agents/src/ppo.rs crates/agents/src/rl.rs crates/agents/src/sa.rs Cargo.toml
+
+crates/agents/src/lib.rs:
+crates/agents/src/aco.rs:
+crates/agents/src/bo.rs:
+crates/agents/src/factory.rs:
+crates/agents/src/ga.rs:
+crates/agents/src/linalg.rs:
+crates/agents/src/nn.rs:
+crates/agents/src/ppo.rs:
+crates/agents/src/rl.rs:
+crates/agents/src/sa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/archgym_agents-224aedb2ce42d597.d: crates/agents/src/lib.rs crates/agents/src/aco.rs crates/agents/src/bo.rs crates/agents/src/factory.rs crates/agents/src/ga.rs crates/agents/src/linalg.rs crates/agents/src/nn.rs crates/agents/src/ppo.rs crates/agents/src/rl.rs crates/agents/src/sa.rs
+
+/root/repo/target/debug/deps/archgym_agents-224aedb2ce42d597: crates/agents/src/lib.rs crates/agents/src/aco.rs crates/agents/src/bo.rs crates/agents/src/factory.rs crates/agents/src/ga.rs crates/agents/src/linalg.rs crates/agents/src/nn.rs crates/agents/src/ppo.rs crates/agents/src/rl.rs crates/agents/src/sa.rs
+
+crates/agents/src/lib.rs:
+crates/agents/src/aco.rs:
+crates/agents/src/bo.rs:
+crates/agents/src/factory.rs:
+crates/agents/src/ga.rs:
+crates/agents/src/linalg.rs:
+crates/agents/src/nn.rs:
+crates/agents/src/ppo.rs:
+crates/agents/src/rl.rs:
+crates/agents/src/sa.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/archgym_agents-9235bb0d65d92d7a.d: crates/agents/src/lib.rs crates/agents/src/aco.rs crates/agents/src/bo.rs crates/agents/src/factory.rs crates/agents/src/ga.rs crates/agents/src/linalg.rs crates/agents/src/nn.rs crates/agents/src/ppo.rs crates/agents/src/rl.rs crates/agents/src/sa.rs
+
+/root/repo/target/debug/deps/libarchgym_agents-9235bb0d65d92d7a.rlib: crates/agents/src/lib.rs crates/agents/src/aco.rs crates/agents/src/bo.rs crates/agents/src/factory.rs crates/agents/src/ga.rs crates/agents/src/linalg.rs crates/agents/src/nn.rs crates/agents/src/ppo.rs crates/agents/src/rl.rs crates/agents/src/sa.rs
+
+/root/repo/target/debug/deps/libarchgym_agents-9235bb0d65d92d7a.rmeta: crates/agents/src/lib.rs crates/agents/src/aco.rs crates/agents/src/bo.rs crates/agents/src/factory.rs crates/agents/src/ga.rs crates/agents/src/linalg.rs crates/agents/src/nn.rs crates/agents/src/ppo.rs crates/agents/src/rl.rs crates/agents/src/sa.rs
+
+crates/agents/src/lib.rs:
+crates/agents/src/aco.rs:
+crates/agents/src/bo.rs:
+crates/agents/src/factory.rs:
+crates/agents/src/ga.rs:
+crates/agents/src/linalg.rs:
+crates/agents/src/nn.rs:
+crates/agents/src/ppo.rs:
+crates/agents/src/rl.rs:
+crates/agents/src/sa.rs:

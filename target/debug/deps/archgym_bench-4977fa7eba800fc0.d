@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/archgym_bench-4977fa7eba800fc0.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/harness.rs crates/bench/src/sample_efficiency.rs crates/bench/src/table4.rs
+
+/root/repo/target/debug/deps/libarchgym_bench-4977fa7eba800fc0.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/harness.rs crates/bench/src/sample_efficiency.rs crates/bench/src/table4.rs
+
+/root/repo/target/debug/deps/libarchgym_bench-4977fa7eba800fc0.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/harness.rs crates/bench/src/sample_efficiency.rs crates/bench/src/table4.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig12.rs:
+crates/bench/src/fig4.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/sample_efficiency.rs:
+crates/bench/src/table4.rs:

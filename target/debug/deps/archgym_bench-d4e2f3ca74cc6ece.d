@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/archgym_bench-d4e2f3ca74cc6ece.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/harness.rs crates/bench/src/sample_efficiency.rs crates/bench/src/table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarchgym_bench-d4e2f3ca74cc6ece.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig10.rs crates/bench/src/fig11.rs crates/bench/src/fig12.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/harness.rs crates/bench/src/sample_efficiency.rs crates/bench/src/table4.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fig10.rs:
+crates/bench/src/fig11.rs:
+crates/bench/src/fig12.rs:
+crates/bench/src/fig4.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/sample_efficiency.rs:
+crates/bench/src/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/archgym_cli-0b87a74b793d575e.d: crates/cli/src/bin/archgym.rs
+
+/root/repo/target/debug/deps/archgym_cli-0b87a74b793d575e: crates/cli/src/bin/archgym.rs
+
+crates/cli/src/bin/archgym.rs:

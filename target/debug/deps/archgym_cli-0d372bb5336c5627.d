@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/archgym_cli-0d372bb5336c5627.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/cmd.rs crates/cli/src/spec.rs
+
+/root/repo/target/debug/deps/libarchgym_cli-0d372bb5336c5627.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/cmd.rs crates/cli/src/spec.rs
+
+/root/repo/target/debug/deps/libarchgym_cli-0d372bb5336c5627.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/cmd.rs crates/cli/src/spec.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/cmd.rs:
+crates/cli/src/spec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/archgym_cli-0ed9d3dba642007b.d: crates/cli/src/bin/archgym.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarchgym_cli-0ed9d3dba642007b.rmeta: crates/cli/src/bin/archgym.rs Cargo.toml
+
+crates/cli/src/bin/archgym.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

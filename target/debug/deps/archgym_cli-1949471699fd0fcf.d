@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/archgym_cli-1949471699fd0fcf.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/cmd.rs crates/cli/src/spec.rs
+
+/root/repo/target/debug/deps/archgym_cli-1949471699fd0fcf: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/cmd.rs crates/cli/src/spec.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/cmd.rs:
+crates/cli/src/spec.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/archgym_cli-3090ae092f80695f.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/cmd.rs crates/cli/src/spec.rs
+
+/root/repo/target/debug/deps/libarchgym_cli-3090ae092f80695f.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/cmd.rs crates/cli/src/spec.rs
+
+/root/repo/target/debug/deps/libarchgym_cli-3090ae092f80695f.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/cmd.rs crates/cli/src/spec.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/cmd.rs:
+crates/cli/src/spec.rs:

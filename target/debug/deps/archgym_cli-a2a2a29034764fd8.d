@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/archgym_cli-a2a2a29034764fd8.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/cmd.rs crates/cli/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarchgym_cli-a2a2a29034764fd8.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/cmd.rs crates/cli/src/spec.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/cmd.rs:
+crates/cli/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

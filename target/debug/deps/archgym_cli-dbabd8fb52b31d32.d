@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/archgym_cli-dbabd8fb52b31d32.d: crates/cli/src/bin/archgym.rs
+
+/root/repo/target/debug/deps/archgym_cli-dbabd8fb52b31d32: crates/cli/src/bin/archgym.rs
+
+crates/cli/src/bin/archgym.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/archgym_core-4ea3453102d4c7b7.d: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/bundle.rs crates/core/src/env.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/pareto.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/space.rs crates/core/src/stats.rs crates/core/src/sweep.rs crates/core/src/toy.rs crates/core/src/trajectory.rs
+
+/root/repo/target/debug/deps/libarchgym_core-4ea3453102d4c7b7.rlib: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/bundle.rs crates/core/src/env.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/pareto.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/space.rs crates/core/src/stats.rs crates/core/src/sweep.rs crates/core/src/toy.rs crates/core/src/trajectory.rs
+
+/root/repo/target/debug/deps/libarchgym_core-4ea3453102d4c7b7.rmeta: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/bundle.rs crates/core/src/env.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/pareto.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/space.rs crates/core/src/stats.rs crates/core/src/sweep.rs crates/core/src/toy.rs crates/core/src/trajectory.rs
+
+crates/core/src/lib.rs:
+crates/core/src/agent.rs:
+crates/core/src/bundle.rs:
+crates/core/src/env.rs:
+crates/core/src/error.rs:
+crates/core/src/executor.rs:
+crates/core/src/pareto.rs:
+crates/core/src/reward.rs:
+crates/core/src/search.rs:
+crates/core/src/space.rs:
+crates/core/src/stats.rs:
+crates/core/src/sweep.rs:
+crates/core/src/toy.rs:
+crates/core/src/trajectory.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/archgym_core-fa3d186b071baef2.d: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/bundle.rs crates/core/src/env.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/pareto.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/space.rs crates/core/src/stats.rs crates/core/src/sweep.rs crates/core/src/toy.rs crates/core/src/trajectory.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarchgym_core-fa3d186b071baef2.rmeta: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/bundle.rs crates/core/src/env.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/pareto.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/space.rs crates/core/src/stats.rs crates/core/src/sweep.rs crates/core/src/toy.rs crates/core/src/trajectory.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/agent.rs:
+crates/core/src/bundle.rs:
+crates/core/src/env.rs:
+crates/core/src/error.rs:
+crates/core/src/executor.rs:
+crates/core/src/pareto.rs:
+crates/core/src/reward.rs:
+crates/core/src/search.rs:
+crates/core/src/space.rs:
+crates/core/src/stats.rs:
+crates/core/src/sweep.rs:
+crates/core/src/toy.rs:
+crates/core/src/trajectory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/archgym_dram-053f5b80f0e20280.d: crates/dram/src/lib.rs crates/dram/src/controller.rs crates/dram/src/device.rs crates/dram/src/env.rs crates/dram/src/power.rs crates/dram/src/trace.rs
+
+/root/repo/target/debug/deps/libarchgym_dram-053f5b80f0e20280.rlib: crates/dram/src/lib.rs crates/dram/src/controller.rs crates/dram/src/device.rs crates/dram/src/env.rs crates/dram/src/power.rs crates/dram/src/trace.rs
+
+/root/repo/target/debug/deps/libarchgym_dram-053f5b80f0e20280.rmeta: crates/dram/src/lib.rs crates/dram/src/controller.rs crates/dram/src/device.rs crates/dram/src/env.rs crates/dram/src/power.rs crates/dram/src/trace.rs
+
+crates/dram/src/lib.rs:
+crates/dram/src/controller.rs:
+crates/dram/src/device.rs:
+crates/dram/src/env.rs:
+crates/dram/src/power.rs:
+crates/dram/src/trace.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/archgym_dram-39bfd05de30f2457.d: crates/dram/src/lib.rs crates/dram/src/controller.rs crates/dram/src/device.rs crates/dram/src/env.rs crates/dram/src/power.rs crates/dram/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarchgym_dram-39bfd05de30f2457.rmeta: crates/dram/src/lib.rs crates/dram/src/controller.rs crates/dram/src/device.rs crates/dram/src/env.rs crates/dram/src/power.rs crates/dram/src/trace.rs Cargo.toml
+
+crates/dram/src/lib.rs:
+crates/dram/src/controller.rs:
+crates/dram/src/device.rs:
+crates/dram/src/env.rs:
+crates/dram/src/power.rs:
+crates/dram/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/archgym_dram-f6e001bbff6706a2.d: crates/dram/src/lib.rs crates/dram/src/controller.rs crates/dram/src/device.rs crates/dram/src/env.rs crates/dram/src/power.rs crates/dram/src/trace.rs
+
+/root/repo/target/debug/deps/archgym_dram-f6e001bbff6706a2: crates/dram/src/lib.rs crates/dram/src/controller.rs crates/dram/src/device.rs crates/dram/src/env.rs crates/dram/src/power.rs crates/dram/src/trace.rs
+
+crates/dram/src/lib.rs:
+crates/dram/src/controller.rs:
+crates/dram/src/device.rs:
+crates/dram/src/env.rs:
+crates/dram/src/power.rs:
+crates/dram/src/trace.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/archgym_mapping-2ac15dac59253520.d: crates/mapping/src/lib.rs crates/mapping/src/cost.rs crates/mapping/src/env.rs crates/mapping/src/space.rs crates/mapping/src/two_level.rs
+
+/root/repo/target/debug/deps/libarchgym_mapping-2ac15dac59253520.rlib: crates/mapping/src/lib.rs crates/mapping/src/cost.rs crates/mapping/src/env.rs crates/mapping/src/space.rs crates/mapping/src/two_level.rs
+
+/root/repo/target/debug/deps/libarchgym_mapping-2ac15dac59253520.rmeta: crates/mapping/src/lib.rs crates/mapping/src/cost.rs crates/mapping/src/env.rs crates/mapping/src/space.rs crates/mapping/src/two_level.rs
+
+crates/mapping/src/lib.rs:
+crates/mapping/src/cost.rs:
+crates/mapping/src/env.rs:
+crates/mapping/src/space.rs:
+crates/mapping/src/two_level.rs:

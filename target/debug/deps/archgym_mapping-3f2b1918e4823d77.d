@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/archgym_mapping-3f2b1918e4823d77.d: crates/mapping/src/lib.rs crates/mapping/src/cost.rs crates/mapping/src/env.rs crates/mapping/src/space.rs crates/mapping/src/two_level.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarchgym_mapping-3f2b1918e4823d77.rmeta: crates/mapping/src/lib.rs crates/mapping/src/cost.rs crates/mapping/src/env.rs crates/mapping/src/space.rs crates/mapping/src/two_level.rs Cargo.toml
+
+crates/mapping/src/lib.rs:
+crates/mapping/src/cost.rs:
+crates/mapping/src/env.rs:
+crates/mapping/src/space.rs:
+crates/mapping/src/two_level.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/archgym_mapping-786f665c6de5cdc6.d: crates/mapping/src/lib.rs crates/mapping/src/cost.rs crates/mapping/src/env.rs crates/mapping/src/space.rs crates/mapping/src/two_level.rs
+
+/root/repo/target/debug/deps/archgym_mapping-786f665c6de5cdc6: crates/mapping/src/lib.rs crates/mapping/src/cost.rs crates/mapping/src/env.rs crates/mapping/src/space.rs crates/mapping/src/two_level.rs
+
+crates/mapping/src/lib.rs:
+crates/mapping/src/cost.rs:
+crates/mapping/src/env.rs:
+crates/mapping/src/space.rs:
+crates/mapping/src/two_level.rs:

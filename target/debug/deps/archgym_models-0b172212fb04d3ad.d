@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/archgym_models-0b172212fb04d3ad.d: crates/models/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarchgym_models-0b172212fb04d3ad.rmeta: crates/models/src/lib.rs Cargo.toml
+
+crates/models/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/archgym_models-8754a37190b13165.d: crates/models/src/lib.rs
+
+/root/repo/target/debug/deps/archgym_models-8754a37190b13165: crates/models/src/lib.rs
+
+crates/models/src/lib.rs:

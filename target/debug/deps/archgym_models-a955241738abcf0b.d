@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/archgym_models-a955241738abcf0b.d: crates/models/src/lib.rs
+
+/root/repo/target/debug/deps/libarchgym_models-a955241738abcf0b.rlib: crates/models/src/lib.rs
+
+/root/repo/target/debug/deps/libarchgym_models-a955241738abcf0b.rmeta: crates/models/src/lib.rs
+
+crates/models/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/archgym_models-b2e282ca05a62996.d: crates/models/src/lib.rs
+
+/root/repo/target/debug/deps/libarchgym_models-b2e282ca05a62996.rlib: crates/models/src/lib.rs
+
+/root/repo/target/debug/deps/libarchgym_models-b2e282ca05a62996.rmeta: crates/models/src/lib.rs
+
+crates/models/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/archgym_proxy-0965ca73928ff48b.d: crates/proxy/src/lib.rs crates/proxy/src/forest.rs crates/proxy/src/offline.rs crates/proxy/src/pipeline.rs crates/proxy/src/proxy_env.rs crates/proxy/src/tree.rs
+
+/root/repo/target/debug/deps/libarchgym_proxy-0965ca73928ff48b.rlib: crates/proxy/src/lib.rs crates/proxy/src/forest.rs crates/proxy/src/offline.rs crates/proxy/src/pipeline.rs crates/proxy/src/proxy_env.rs crates/proxy/src/tree.rs
+
+/root/repo/target/debug/deps/libarchgym_proxy-0965ca73928ff48b.rmeta: crates/proxy/src/lib.rs crates/proxy/src/forest.rs crates/proxy/src/offline.rs crates/proxy/src/pipeline.rs crates/proxy/src/proxy_env.rs crates/proxy/src/tree.rs
+
+crates/proxy/src/lib.rs:
+crates/proxy/src/forest.rs:
+crates/proxy/src/offline.rs:
+crates/proxy/src/pipeline.rs:
+crates/proxy/src/proxy_env.rs:
+crates/proxy/src/tree.rs:

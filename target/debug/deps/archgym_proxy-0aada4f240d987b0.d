@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/archgym_proxy-0aada4f240d987b0.d: crates/proxy/src/lib.rs crates/proxy/src/forest.rs crates/proxy/src/offline.rs crates/proxy/src/pipeline.rs crates/proxy/src/proxy_env.rs crates/proxy/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarchgym_proxy-0aada4f240d987b0.rmeta: crates/proxy/src/lib.rs crates/proxy/src/forest.rs crates/proxy/src/offline.rs crates/proxy/src/pipeline.rs crates/proxy/src/proxy_env.rs crates/proxy/src/tree.rs Cargo.toml
+
+crates/proxy/src/lib.rs:
+crates/proxy/src/forest.rs:
+crates/proxy/src/offline.rs:
+crates/proxy/src/pipeline.rs:
+crates/proxy/src/proxy_env.rs:
+crates/proxy/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/archgym_proxy-439dd7b19627495e.d: crates/proxy/src/lib.rs crates/proxy/src/forest.rs crates/proxy/src/offline.rs crates/proxy/src/pipeline.rs crates/proxy/src/proxy_env.rs crates/proxy/src/tree.rs
+
+/root/repo/target/debug/deps/archgym_proxy-439dd7b19627495e: crates/proxy/src/lib.rs crates/proxy/src/forest.rs crates/proxy/src/offline.rs crates/proxy/src/pipeline.rs crates/proxy/src/proxy_env.rs crates/proxy/src/tree.rs
+
+crates/proxy/src/lib.rs:
+crates/proxy/src/forest.rs:
+crates/proxy/src/offline.rs:
+crates/proxy/src/pipeline.rs:
+crates/proxy/src/proxy_env.rs:
+crates/proxy/src/tree.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/archgym_proxy-b752a9e0b5b5ecf8.d: crates/proxy/src/lib.rs crates/proxy/src/forest.rs crates/proxy/src/offline.rs crates/proxy/src/pipeline.rs crates/proxy/src/proxy_env.rs crates/proxy/src/tree.rs
+
+/root/repo/target/debug/deps/libarchgym_proxy-b752a9e0b5b5ecf8.rlib: crates/proxy/src/lib.rs crates/proxy/src/forest.rs crates/proxy/src/offline.rs crates/proxy/src/pipeline.rs crates/proxy/src/proxy_env.rs crates/proxy/src/tree.rs
+
+/root/repo/target/debug/deps/libarchgym_proxy-b752a9e0b5b5ecf8.rmeta: crates/proxy/src/lib.rs crates/proxy/src/forest.rs crates/proxy/src/offline.rs crates/proxy/src/pipeline.rs crates/proxy/src/proxy_env.rs crates/proxy/src/tree.rs
+
+crates/proxy/src/lib.rs:
+crates/proxy/src/forest.rs:
+crates/proxy/src/offline.rs:
+crates/proxy/src/pipeline.rs:
+crates/proxy/src/proxy_env.rs:
+crates/proxy/src/tree.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/archgym_soc-1db8de5a2545aa1a.d: crates/soc/src/lib.rs crates/soc/src/env.rs crates/soc/src/soc.rs crates/soc/src/taskgraph.rs
+
+/root/repo/target/debug/deps/libarchgym_soc-1db8de5a2545aa1a.rlib: crates/soc/src/lib.rs crates/soc/src/env.rs crates/soc/src/soc.rs crates/soc/src/taskgraph.rs
+
+/root/repo/target/debug/deps/libarchgym_soc-1db8de5a2545aa1a.rmeta: crates/soc/src/lib.rs crates/soc/src/env.rs crates/soc/src/soc.rs crates/soc/src/taskgraph.rs
+
+crates/soc/src/lib.rs:
+crates/soc/src/env.rs:
+crates/soc/src/soc.rs:
+crates/soc/src/taskgraph.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/archgym_soc-4bce7e92eb9731b7.d: crates/soc/src/lib.rs crates/soc/src/env.rs crates/soc/src/soc.rs crates/soc/src/taskgraph.rs
+
+/root/repo/target/debug/deps/libarchgym_soc-4bce7e92eb9731b7.rlib: crates/soc/src/lib.rs crates/soc/src/env.rs crates/soc/src/soc.rs crates/soc/src/taskgraph.rs
+
+/root/repo/target/debug/deps/libarchgym_soc-4bce7e92eb9731b7.rmeta: crates/soc/src/lib.rs crates/soc/src/env.rs crates/soc/src/soc.rs crates/soc/src/taskgraph.rs
+
+crates/soc/src/lib.rs:
+crates/soc/src/env.rs:
+crates/soc/src/soc.rs:
+crates/soc/src/taskgraph.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/archgym_soc-a0ca1f76191b788b.d: crates/soc/src/lib.rs crates/soc/src/env.rs crates/soc/src/soc.rs crates/soc/src/taskgraph.rs Cargo.toml
+
+/root/repo/target/debug/deps/libarchgym_soc-a0ca1f76191b788b.rmeta: crates/soc/src/lib.rs crates/soc/src/env.rs crates/soc/src/soc.rs crates/soc/src/taskgraph.rs Cargo.toml
+
+crates/soc/src/lib.rs:
+crates/soc/src/env.rs:
+crates/soc/src/soc.rs:
+crates/soc/src/taskgraph.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

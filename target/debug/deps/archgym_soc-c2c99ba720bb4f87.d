@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/archgym_soc-c2c99ba720bb4f87.d: crates/soc/src/lib.rs crates/soc/src/env.rs crates/soc/src/soc.rs crates/soc/src/taskgraph.rs
+
+/root/repo/target/debug/deps/archgym_soc-c2c99ba720bb4f87: crates/soc/src/lib.rs crates/soc/src/env.rs crates/soc/src/soc.rs crates/soc/src/taskgraph.rs
+
+crates/soc/src/lib.rs:
+crates/soc/src/env.rs:
+crates/soc/src/soc.rs:
+crates/soc/src/taskgraph.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-a1fd4e468d91d6aa.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-a1fd4e468d91d6aa.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-a1fd4e468d91d6aa.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

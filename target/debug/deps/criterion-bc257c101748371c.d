@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-bc257c101748371c.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-bc257c101748371c.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

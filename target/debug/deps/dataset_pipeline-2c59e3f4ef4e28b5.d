@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dataset_pipeline-2c59e3f4ef4e28b5.d: tests/dataset_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdataset_pipeline-2c59e3f4ef4e28b5.rmeta: tests/dataset_pipeline.rs Cargo.toml
+
+tests/dataset_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

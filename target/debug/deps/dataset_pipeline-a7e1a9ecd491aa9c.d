@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dataset_pipeline-a7e1a9ecd491aa9c.d: tests/dataset_pipeline.rs
+
+/root/repo/target/debug/deps/dataset_pipeline-a7e1a9ecd491aa9c: tests/dataset_pipeline.rs
+
+tests/dataset_pipeline.rs:

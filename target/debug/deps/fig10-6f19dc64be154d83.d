@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-6f19dc64be154d83.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-6f19dc64be154d83: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

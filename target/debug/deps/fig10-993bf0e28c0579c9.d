@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-993bf0e28c0579c9.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-993bf0e28c0579c9: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

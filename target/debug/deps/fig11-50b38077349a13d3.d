@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-50b38077349a13d3.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-50b38077349a13d3: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

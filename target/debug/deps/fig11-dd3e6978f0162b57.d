@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-dd3e6978f0162b57.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-dd3e6978f0162b57: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-7874e04b4acff3ea.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-7874e04b4acff3ea: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

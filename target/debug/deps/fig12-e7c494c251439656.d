@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-e7c494c251439656.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-e7c494c251439656: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_proxy_speedup-b390c7d23e1cdb8c.d: crates/bench/benches/fig12_proxy_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_proxy_speedup-b390c7d23e1cdb8c.rmeta: crates/bench/benches/fig12_proxy_speedup.rs Cargo.toml
+
+crates/bench/benches/fig12_proxy_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

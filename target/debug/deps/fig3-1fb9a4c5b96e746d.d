@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-1fb9a4c5b96e746d.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-1fb9a4c5b96e746d: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-30fc2c30092f3a43.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-30fc2c30092f3a43: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-7d16e5e748729849.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-7d16e5e748729849: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-b32fad7878d50d88.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-b32fad7878d50d88: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

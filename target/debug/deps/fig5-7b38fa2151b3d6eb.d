@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-7b38fa2151b3d6eb.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-7b38fa2151b3d6eb: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-b833551ca16661aa.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-b833551ca16661aa: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-2953fe4363f30311.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-2953fe4363f30311: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-48d0b399bd43c730.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-48d0b399bd43c730: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

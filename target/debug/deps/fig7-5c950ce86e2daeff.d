@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-5c950ce86e2daeff.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-5c950ce86e2daeff: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-64c2214ea69c28ab.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-64c2214ea69c28ab: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7-8d0cd8d4dfb08d3e.d: crates/bench/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-8d0cd8d4dfb08d3e.rmeta: crates/bench/src/bin/fig7.rs Cargo.toml
+
+crates/bench/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-444b7c754d55f505.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-444b7c754d55f505: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

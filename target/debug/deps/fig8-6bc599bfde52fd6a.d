@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8-6bc599bfde52fd6a.d: crates/bench/src/bin/fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8-6bc599bfde52fd6a.rmeta: crates/bench/src/bin/fig8.rs Cargo.toml
+
+crates/bench/src/bin/fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_time_to_completion-48269deaeb006b35.d: crates/bench/benches/fig8_time_to_completion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_time_to_completion-48269deaeb006b35.rmeta: crates/bench/benches/fig8_time_to_completion.rs Cargo.toml
+
+crates/bench/benches/fig8_time_to_completion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/golden-3c0ea44418e5fede.d: tests/golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden-3c0ea44418e5fede.rmeta: tests/golden.rs Cargo.toml
+
+tests/golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-987fa93e9dac8e7b.d: tests/golden.rs
+
+/root/repo/target/debug/deps/golden-987fa93e9dac8e7b: tests/golden.rs
+
+tests/golden.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_sweep-77ac368f41ab9679.d: tests/parallel_sweep.rs
+
+/root/repo/target/debug/deps/parallel_sweep-77ac368f41ab9679: tests/parallel_sweep.rs
+
+tests/parallel_sweep.rs:

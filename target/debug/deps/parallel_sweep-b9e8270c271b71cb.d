@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_sweep-b9e8270c271b71cb.d: tests/parallel_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_sweep-b9e8270c271b71cb.rmeta: tests/parallel_sweep.rs Cargo.toml
+
+tests/parallel_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

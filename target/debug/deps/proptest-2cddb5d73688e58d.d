@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-2cddb5d73688e58d.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-2cddb5d73688e58d.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

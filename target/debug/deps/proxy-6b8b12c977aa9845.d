@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proxy-6b8b12c977aa9845.d: crates/bench/benches/proxy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproxy-6b8b12c977aa9845.rmeta: crates/bench/benches/proxy.rs Cargo.toml
+
+crates/bench/benches/proxy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-cabf2d7e9302c8ce.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-cabf2d7e9302c8ce.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduction_smoke-22ed455e08707867.d: tests/reproduction_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduction_smoke-22ed455e08707867.rmeta: tests/reproduction_smoke.rs Cargo.toml
+
+tests/reproduction_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduction_smoke-c8c0c72066ccb3d0.d: tests/reproduction_smoke.rs
+
+/root/repo/target/debug/deps/reproduction_smoke-c8c0c72066ccb3d0: tests/reproduction_smoke.rs
+
+tests/reproduction_smoke.rs:

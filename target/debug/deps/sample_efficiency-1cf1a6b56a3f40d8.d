@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sample_efficiency-1cf1a6b56a3f40d8.d: crates/bench/src/bin/sample_efficiency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsample_efficiency-1cf1a6b56a3f40d8.rmeta: crates/bench/src/bin/sample_efficiency.rs Cargo.toml
+
+crates/bench/src/bin/sample_efficiency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sample_efficiency-903012109b8f7625.d: crates/bench/src/bin/sample_efficiency.rs
+
+/root/repo/target/debug/deps/sample_efficiency-903012109b8f7625: crates/bench/src/bin/sample_efficiency.rs
+
+crates/bench/src/bin/sample_efficiency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sample_efficiency-e29d29f0c423b20c.d: crates/bench/src/bin/sample_efficiency.rs
+
+/root/repo/target/debug/deps/sample_efficiency-e29d29f0c423b20c: crates/bench/src/bin/sample_efficiency.rs
+
+crates/bench/src/bin/sample_efficiency.rs:

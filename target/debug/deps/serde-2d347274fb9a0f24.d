@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-2d347274fb9a0f24.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2d347274fb9a0f24.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

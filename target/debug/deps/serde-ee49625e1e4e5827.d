@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-ee49625e1e4e5827.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-ee49625e1e4e5827.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-ee49625e1e4e5827.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

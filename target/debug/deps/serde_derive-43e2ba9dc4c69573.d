@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-43e2ba9dc4c69573.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-43e2ba9dc4c69573.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

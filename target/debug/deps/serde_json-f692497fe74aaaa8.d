@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-f692497fe74aaaa8.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-f692497fe74aaaa8.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulators-967f6c83a5287827.d: crates/bench/benches/simulators.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulators-967f6c83a5287827.rmeta: crates/bench/benches/simulators.rs Cargo.toml
+
+crates/bench/benches/simulators.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spaces-62191134edb0fe27.d: tests/spaces.rs
+
+/root/repo/target/debug/deps/spaces-62191134edb0fe27: tests/spaces.rs
+
+tests/spaces.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spaces-9bbad55ef0c493b8.d: tests/spaces.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspaces-9bbad55ef0c493b8.rmeta: tests/spaces.rs Cargo.toml
+
+tests/spaces.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

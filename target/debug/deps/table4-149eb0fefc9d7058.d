@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-149eb0fefc9d7058.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-149eb0fefc9d7058: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

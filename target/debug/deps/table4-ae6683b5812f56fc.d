@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-ae6683b5812f56fc.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-ae6683b5812f56fc: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

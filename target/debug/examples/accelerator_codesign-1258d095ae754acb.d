@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accelerator_codesign-1258d095ae754acb.d: examples/accelerator_codesign.rs
+
+/root/repo/target/debug/examples/accelerator_codesign-1258d095ae754acb: examples/accelerator_codesign.rs
+
+examples/accelerator_codesign.rs:

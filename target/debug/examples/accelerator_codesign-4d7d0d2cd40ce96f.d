@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/accelerator_codesign-4d7d0d2cd40ce96f.d: examples/accelerator_codesign.rs Cargo.toml
+
+/root/repo/target/debug/examples/libaccelerator_codesign-4d7d0d2cd40ce96f.rmeta: examples/accelerator_codesign.rs Cargo.toml
+
+examples/accelerator_codesign.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_environment-a12e34ec9d6a796b.d: examples/custom_environment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_environment-a12e34ec9d6a796b.rmeta: examples/custom_environment.rs Cargo.toml
+
+examples/custom_environment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_environment-e06332ae4c1b0a8a.d: examples/custom_environment.rs
+
+/root/repo/target/debug/examples/custom_environment-e06332ae4c1b0a8a: examples/custom_environment.rs
+
+examples/custom_environment.rs:

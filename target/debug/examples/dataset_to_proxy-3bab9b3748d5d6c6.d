@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dataset_to_proxy-3bab9b3748d5d6c6.d: examples/dataset_to_proxy.rs
+
+/root/repo/target/debug/examples/dataset_to_proxy-3bab9b3748d5d6c6: examples/dataset_to_proxy.rs
+
+examples/dataset_to_proxy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dataset_to_proxy-5aff9b796782711b.d: examples/dataset_to_proxy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdataset_to_proxy-5aff9b796782711b.rmeta: examples/dataset_to_proxy.rs Cargo.toml
+
+examples/dataset_to_proxy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dram_controller_design-2dbce8d2e248dad7.d: examples/dram_controller_design.rs
+
+/root/repo/target/debug/examples/dram_controller_design-2dbce8d2e248dad7: examples/dram_controller_design.rs
+
+examples/dram_controller_design.rs:

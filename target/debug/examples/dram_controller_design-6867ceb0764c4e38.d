@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dram_controller_design-6867ceb0764c4e38.d: examples/dram_controller_design.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdram_controller_design-6867ceb0764c4e38.rmeta: examples/dram_controller_design.rs Cargo.toml
+
+examples/dram_controller_design.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

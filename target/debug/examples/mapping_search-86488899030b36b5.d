@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mapping_search-86488899030b36b5.d: examples/mapping_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmapping_search-86488899030b36b5.rmeta: examples/mapping_search.rs Cargo.toml
+
+examples/mapping_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

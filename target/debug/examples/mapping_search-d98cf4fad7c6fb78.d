@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mapping_search-d98cf4fad7c6fb78.d: examples/mapping_search.rs
+
+/root/repo/target/debug/examples/mapping_search-d98cf4fad7c6fb78: examples/mapping_search.rs
+
+examples/mapping_search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/pareto_explorer-1aa1ad58b7f170d7.d: examples/pareto_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpareto_explorer-1aa1ad58b7f170d7.rmeta: examples/pareto_explorer.rs Cargo.toml
+
+examples/pareto_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

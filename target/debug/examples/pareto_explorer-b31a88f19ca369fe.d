@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pareto_explorer-b31a88f19ca369fe.d: examples/pareto_explorer.rs
+
+/root/repo/target/debug/examples/pareto_explorer-b31a88f19ca369fe: examples/pareto_explorer.rs
+
+examples/pareto_explorer.rs:

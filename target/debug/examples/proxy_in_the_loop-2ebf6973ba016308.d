@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/proxy_in_the_loop-2ebf6973ba016308.d: examples/proxy_in_the_loop.rs Cargo.toml
+
+/root/repo/target/debug/examples/libproxy_in_the_loop-2ebf6973ba016308.rmeta: examples/proxy_in_the_loop.rs Cargo.toml
+
+examples/proxy_in_the_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

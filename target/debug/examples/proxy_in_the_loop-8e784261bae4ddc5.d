@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/proxy_in_the_loop-8e784261bae4ddc5.d: examples/proxy_in_the_loop.rs
+
+/root/repo/target/debug/examples/proxy_in_the_loop-8e784261bae4ddc5: examples/proxy_in_the_loop.rs
+
+examples/proxy_in_the_loop.rs:

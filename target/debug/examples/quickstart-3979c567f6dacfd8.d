@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-3979c567f6dacfd8.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-3979c567f6dacfd8.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-aaac1f3e9bb8a61d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-aaac1f3e9bb8a61d: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/soc_for_arvr-61e253a354769b19.d: examples/soc_for_arvr.rs
+
+/root/repo/target/debug/examples/soc_for_arvr-61e253a354769b19: examples/soc_for_arvr.rs
+
+examples/soc_for_arvr.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/soc_for_arvr-7cba7b141e58c2b9.d: examples/soc_for_arvr.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsoc_for_arvr-7cba7b141e58c2b9.rmeta: examples/soc_for_arvr.rs Cargo.toml
+
+examples/soc_for_arvr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__dead_code__CLIPPY_HACKERY__-A__CLIPPY_HACKERY__unused_imports__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

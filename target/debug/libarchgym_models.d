@@ -1,0 +1,1 @@
+/root/repo/target/debug/libarchgym_models.rlib: /root/repo/crates/models/src/lib.rs /tmp/stubs/serde/src/lib.rs /tmp/stubs/serde_derive/src/lib.rs

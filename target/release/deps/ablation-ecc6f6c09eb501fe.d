@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-ecc6f6c09eb501fe.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-ecc6f6c09eb501fe: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

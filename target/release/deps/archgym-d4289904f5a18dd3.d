@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/archgym-d4289904f5a18dd3.d: src/lib.rs
+
+/root/repo/target/release/deps/libarchgym-d4289904f5a18dd3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libarchgym-d4289904f5a18dd3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/archgym_accel-4cc1f8f01e0f2164.d: crates/accel/src/lib.rs crates/accel/src/arch.rs crates/accel/src/cost.rs crates/accel/src/env.rs
+
+/root/repo/target/release/deps/libarchgym_accel-4cc1f8f01e0f2164.rlib: crates/accel/src/lib.rs crates/accel/src/arch.rs crates/accel/src/cost.rs crates/accel/src/env.rs
+
+/root/repo/target/release/deps/libarchgym_accel-4cc1f8f01e0f2164.rmeta: crates/accel/src/lib.rs crates/accel/src/arch.rs crates/accel/src/cost.rs crates/accel/src/env.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/arch.rs:
+crates/accel/src/cost.rs:
+crates/accel/src/env.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/archgym_agents-aa959057d96d4018.d: crates/agents/src/lib.rs crates/agents/src/aco.rs crates/agents/src/bo.rs crates/agents/src/factory.rs crates/agents/src/ga.rs crates/agents/src/linalg.rs crates/agents/src/nn.rs crates/agents/src/ppo.rs crates/agents/src/rl.rs crates/agents/src/sa.rs
+
+/root/repo/target/release/deps/libarchgym_agents-aa959057d96d4018.rlib: crates/agents/src/lib.rs crates/agents/src/aco.rs crates/agents/src/bo.rs crates/agents/src/factory.rs crates/agents/src/ga.rs crates/agents/src/linalg.rs crates/agents/src/nn.rs crates/agents/src/ppo.rs crates/agents/src/rl.rs crates/agents/src/sa.rs
+
+/root/repo/target/release/deps/libarchgym_agents-aa959057d96d4018.rmeta: crates/agents/src/lib.rs crates/agents/src/aco.rs crates/agents/src/bo.rs crates/agents/src/factory.rs crates/agents/src/ga.rs crates/agents/src/linalg.rs crates/agents/src/nn.rs crates/agents/src/ppo.rs crates/agents/src/rl.rs crates/agents/src/sa.rs
+
+crates/agents/src/lib.rs:
+crates/agents/src/aco.rs:
+crates/agents/src/bo.rs:
+crates/agents/src/factory.rs:
+crates/agents/src/ga.rs:
+crates/agents/src/linalg.rs:
+crates/agents/src/nn.rs:
+crates/agents/src/ppo.rs:
+crates/agents/src/rl.rs:
+crates/agents/src/sa.rs:

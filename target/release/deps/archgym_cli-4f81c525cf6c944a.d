@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/archgym_cli-4f81c525cf6c944a.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/cmd.rs crates/cli/src/spec.rs
+
+/root/repo/target/release/deps/libarchgym_cli-4f81c525cf6c944a.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/cmd.rs crates/cli/src/spec.rs
+
+/root/repo/target/release/deps/libarchgym_cli-4f81c525cf6c944a.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/cmd.rs crates/cli/src/spec.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/cmd.rs:
+crates/cli/src/spec.rs:

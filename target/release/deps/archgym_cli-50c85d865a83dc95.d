@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/archgym_cli-50c85d865a83dc95.d: crates/cli/src/bin/archgym.rs
+
+/root/repo/target/release/deps/archgym_cli-50c85d865a83dc95: crates/cli/src/bin/archgym.rs
+
+crates/cli/src/bin/archgym.rs:

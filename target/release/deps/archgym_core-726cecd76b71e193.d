@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/archgym_core-726cecd76b71e193.d: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/bundle.rs crates/core/src/env.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/pareto.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/space.rs crates/core/src/stats.rs crates/core/src/sweep.rs crates/core/src/toy.rs crates/core/src/trajectory.rs
+
+/root/repo/target/release/deps/libarchgym_core-726cecd76b71e193.rlib: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/bundle.rs crates/core/src/env.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/pareto.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/space.rs crates/core/src/stats.rs crates/core/src/sweep.rs crates/core/src/toy.rs crates/core/src/trajectory.rs
+
+/root/repo/target/release/deps/libarchgym_core-726cecd76b71e193.rmeta: crates/core/src/lib.rs crates/core/src/agent.rs crates/core/src/bundle.rs crates/core/src/env.rs crates/core/src/error.rs crates/core/src/executor.rs crates/core/src/pareto.rs crates/core/src/reward.rs crates/core/src/search.rs crates/core/src/space.rs crates/core/src/stats.rs crates/core/src/sweep.rs crates/core/src/toy.rs crates/core/src/trajectory.rs
+
+crates/core/src/lib.rs:
+crates/core/src/agent.rs:
+crates/core/src/bundle.rs:
+crates/core/src/env.rs:
+crates/core/src/error.rs:
+crates/core/src/executor.rs:
+crates/core/src/pareto.rs:
+crates/core/src/reward.rs:
+crates/core/src/search.rs:
+crates/core/src/space.rs:
+crates/core/src/stats.rs:
+crates/core/src/sweep.rs:
+crates/core/src/toy.rs:
+crates/core/src/trajectory.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/archgym_dram-df1cdb416f921640.d: crates/dram/src/lib.rs crates/dram/src/controller.rs crates/dram/src/device.rs crates/dram/src/env.rs crates/dram/src/power.rs crates/dram/src/trace.rs
+
+/root/repo/target/release/deps/libarchgym_dram-df1cdb416f921640.rlib: crates/dram/src/lib.rs crates/dram/src/controller.rs crates/dram/src/device.rs crates/dram/src/env.rs crates/dram/src/power.rs crates/dram/src/trace.rs
+
+/root/repo/target/release/deps/libarchgym_dram-df1cdb416f921640.rmeta: crates/dram/src/lib.rs crates/dram/src/controller.rs crates/dram/src/device.rs crates/dram/src/env.rs crates/dram/src/power.rs crates/dram/src/trace.rs
+
+crates/dram/src/lib.rs:
+crates/dram/src/controller.rs:
+crates/dram/src/device.rs:
+crates/dram/src/env.rs:
+crates/dram/src/power.rs:
+crates/dram/src/trace.rs:

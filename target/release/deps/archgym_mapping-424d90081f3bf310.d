@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/archgym_mapping-424d90081f3bf310.d: crates/mapping/src/lib.rs crates/mapping/src/cost.rs crates/mapping/src/env.rs crates/mapping/src/space.rs crates/mapping/src/two_level.rs
+
+/root/repo/target/release/deps/libarchgym_mapping-424d90081f3bf310.rlib: crates/mapping/src/lib.rs crates/mapping/src/cost.rs crates/mapping/src/env.rs crates/mapping/src/space.rs crates/mapping/src/two_level.rs
+
+/root/repo/target/release/deps/libarchgym_mapping-424d90081f3bf310.rmeta: crates/mapping/src/lib.rs crates/mapping/src/cost.rs crates/mapping/src/env.rs crates/mapping/src/space.rs crates/mapping/src/two_level.rs
+
+crates/mapping/src/lib.rs:
+crates/mapping/src/cost.rs:
+crates/mapping/src/env.rs:
+crates/mapping/src/space.rs:
+crates/mapping/src/two_level.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/archgym_models-7aacf83b73cb0d7d.d: crates/models/src/lib.rs
+
+/root/repo/target/release/deps/libarchgym_models-7aacf83b73cb0d7d.rlib: crates/models/src/lib.rs
+
+/root/repo/target/release/deps/libarchgym_models-7aacf83b73cb0d7d.rmeta: crates/models/src/lib.rs
+
+crates/models/src/lib.rs:

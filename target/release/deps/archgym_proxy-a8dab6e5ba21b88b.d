@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/archgym_proxy-a8dab6e5ba21b88b.d: crates/proxy/src/lib.rs crates/proxy/src/forest.rs crates/proxy/src/offline.rs crates/proxy/src/pipeline.rs crates/proxy/src/proxy_env.rs crates/proxy/src/tree.rs
+
+/root/repo/target/release/deps/libarchgym_proxy-a8dab6e5ba21b88b.rlib: crates/proxy/src/lib.rs crates/proxy/src/forest.rs crates/proxy/src/offline.rs crates/proxy/src/pipeline.rs crates/proxy/src/proxy_env.rs crates/proxy/src/tree.rs
+
+/root/repo/target/release/deps/libarchgym_proxy-a8dab6e5ba21b88b.rmeta: crates/proxy/src/lib.rs crates/proxy/src/forest.rs crates/proxy/src/offline.rs crates/proxy/src/pipeline.rs crates/proxy/src/proxy_env.rs crates/proxy/src/tree.rs
+
+crates/proxy/src/lib.rs:
+crates/proxy/src/forest.rs:
+crates/proxy/src/offline.rs:
+crates/proxy/src/pipeline.rs:
+crates/proxy/src/proxy_env.rs:
+crates/proxy/src/tree.rs:

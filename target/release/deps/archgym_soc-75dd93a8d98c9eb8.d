@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/archgym_soc-75dd93a8d98c9eb8.d: crates/soc/src/lib.rs crates/soc/src/env.rs crates/soc/src/soc.rs crates/soc/src/taskgraph.rs
+
+/root/repo/target/release/deps/libarchgym_soc-75dd93a8d98c9eb8.rlib: crates/soc/src/lib.rs crates/soc/src/env.rs crates/soc/src/soc.rs crates/soc/src/taskgraph.rs
+
+/root/repo/target/release/deps/libarchgym_soc-75dd93a8d98c9eb8.rmeta: crates/soc/src/lib.rs crates/soc/src/env.rs crates/soc/src/soc.rs crates/soc/src/taskgraph.rs
+
+crates/soc/src/lib.rs:
+crates/soc/src/env.rs:
+crates/soc/src/soc.rs:
+crates/soc/src/taskgraph.rs:

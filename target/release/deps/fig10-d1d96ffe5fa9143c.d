@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-d1d96ffe5fa9143c.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-d1d96ffe5fa9143c: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

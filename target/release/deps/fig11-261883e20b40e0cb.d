@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-261883e20b40e0cb.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-261883e20b40e0cb: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

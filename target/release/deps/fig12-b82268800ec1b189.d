@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-b82268800ec1b189.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-b82268800ec1b189: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

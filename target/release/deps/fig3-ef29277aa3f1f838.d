@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-ef29277aa3f1f838.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-ef29277aa3f1f838: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-aecffa0acd90b9b3.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-aecffa0acd90b9b3: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-97ee8af49fbdd323.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-97ee8af49fbdd323: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-635dd7940c18ee97.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-635dd7940c18ee97: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

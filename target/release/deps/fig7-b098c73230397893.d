@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-b098c73230397893.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-b098c73230397893: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-f478ccd88c779048.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-f478ccd88c779048: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sample_efficiency-434e6e509db015ad.d: crates/bench/src/bin/sample_efficiency.rs
+
+/root/repo/target/release/deps/sample_efficiency-434e6e509db015ad: crates/bench/src/bin/sample_efficiency.rs
+
+crates/bench/src/bin/sample_efficiency.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-63db2946e13b5826.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-63db2946e13b5826.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-63db2946e13b5826.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

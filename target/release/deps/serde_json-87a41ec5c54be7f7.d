@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-87a41ec5c54be7f7.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-87a41ec5c54be7f7.rlib: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-87a41ec5c54be7f7.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

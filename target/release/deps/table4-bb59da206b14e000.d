@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-bb59da206b14e000.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-bb59da206b14e000: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:
