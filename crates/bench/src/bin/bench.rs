@@ -1,0 +1,43 @@
+//! Workspace performance benchmarks. Usage:
+//!
+//! ```text
+//! bench perf [--quick] [--jobs=N] [--out=PATH]
+//! ```
+//!
+//! `perf` times simulate-only, sweep-serial, sweep-parallel, and
+//! cached-sweep scenarios and writes the report to `BENCH_perf.json`
+//! (override with `--out=`). `--quick` selects the CI smoke sizes;
+//! `--jobs=N` sets the parallel scenario's worker count (0 = all
+//! cores, the default).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(subcommand) = args.first() else {
+        eprintln!("usage: bench perf [--quick] [--jobs=N] [--out=PATH]");
+        return ExitCode::FAILURE;
+    };
+    if subcommand != "perf" {
+        eprintln!("unknown subcommand `{subcommand}` (expected `perf`)");
+        return ExitCode::FAILURE;
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--jobs="))
+        .map_or(0, |v| v.parse().expect("--jobs expects an integer"));
+    let out = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--out="))
+        .unwrap_or("BENCH_perf.json")
+        .to_owned();
+
+    eprintln!("running bench perf (quick={quick}, jobs={jobs}; 0 = all cores)...");
+    let report = archgym_bench::perf::run(quick, jobs).expect("bench perf failed");
+    archgym_bench::perf::print(&report);
+    std::fs::write(&out, report.to_json()).expect("failed to write report");
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}

@@ -25,9 +25,12 @@
 //! are bit-identical at any thread count.
 //!
 //! Beyond the paper's artifacts, [`ablation`] isolates per-knob
-//! sensitivity (one hyperparameter at a time; `--bin ablation`) and
+//! sensitivity (one hyperparameter at a time; `--bin ablation`),
 //! [`sample_efficiency`] reports samples-to-target directly
-//! (`--bin sample_efficiency`).
+//! (`--bin sample_efficiency`), and [`perf`] times the workspace's own
+//! hot paths — simulate-only, serial/parallel sweeps, and the
+//! memoizing `EvalCache` — writing `BENCH_perf.json`
+//! (`cargo run -p archgym-bench --release --bin bench -- perf`).
 
 pub mod ablation;
 pub mod fig10;
@@ -39,6 +42,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod harness;
+pub mod perf;
 pub mod sample_efficiency;
 pub mod table4;
 

@@ -1,0 +1,403 @@
+//! `bench perf` — the workspace's performance trajectory.
+//!
+//! Times the layers this repo's throughput rests on, bottom to top:
+//! the raw `MemoryController::simulate` inner loop (simulate-only), a
+//! serial agent sweep, the same sweep fanned over worker threads
+//! (sweep-parallel), and the same sweep memoized through an
+//! [`EvalCache`] (cached-sweep, cold then warm). The report embeds the
+//! pre-optimization baseline measured before the hot-path rewrite so
+//! every future run shows the trajectory, and is written to
+//! `BENCH_perf.json` by the `bench` binary for CI artifact upload.
+//!
+//! The cached-sweep scenarios double as an end-to-end determinism
+//! check: the run panics if cached results diverge from uncached ones.
+
+use archgym_agents::factory::{build_agent, default_grid, AgentKind};
+use archgym_core::agent::HyperMap;
+use archgym_core::cache::EvalCache;
+use archgym_core::env::Environment;
+use archgym_core::error::Result;
+use archgym_core::search::RunConfig;
+use archgym_core::seeded_rng;
+use archgym_core::sweep::{Sweep, SweepResult};
+use archgym_dram::controller::{ControllerConfig, MemoryController};
+use archgym_dram::trace::generate;
+use archgym_dram::{DramEnv, DramWorkload, Objective, TraceConfig};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Pre-optimization throughput of the simulate-only scenarios, measured
+/// on this repo immediately before the PR 2 hot-path rewrite (single
+/// core, release profile). Kept in the report so the speedup is visible
+/// without digging through git history.
+pub const BASELINE_SIMULATE_DEFAULT_PER_SEC: f64 = 13_000.0;
+/// Pre-optimization throughput of the wide simulate-only scenario.
+pub const BASELINE_SIMULATE_WIDE_PER_SEC: f64 = 670.0;
+
+/// One timed scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario identifier, e.g. `"simulate-only/default"`.
+    pub name: String,
+    /// Work units completed (simulations or sweep runs).
+    pub work_units: u64,
+    /// Wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Work units per second.
+    pub per_second: f64,
+}
+
+/// The full `bench perf` report.
+#[derive(Debug, Clone)]
+pub struct PerfReport {
+    /// Whether the quick (CI smoke) workload sizes were used.
+    pub quick: bool,
+    /// Worker threads used by the parallel scenario (`0` = all cores).
+    pub jobs: usize,
+    /// Every timed scenario, in execution order.
+    pub scenarios: Vec<ScenarioResult>,
+    /// Wall-clock speedup of the warm cached sweep over the uncached
+    /// serial sweep (the acceptance metric: must exceed 2×).
+    pub cached_sweep_speedup: f64,
+    /// Cache hit rate over the cold+warm cached sweeps.
+    pub cache_hit_rate: f64,
+    /// Distinct design points the cache ended up holding.
+    pub cache_entries: u64,
+}
+
+impl PerfReport {
+    /// Look up a scenario's throughput by name.
+    pub fn per_second(&self, name: &str) -> Option<f64> {
+        self.scenarios
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.per_second)
+    }
+
+    /// Serialize the report as JSON.
+    ///
+    /// Hand-rolled: every field is a number, bool or known-safe string,
+    /// and hand-rolling keeps the binary independent of a JSON crate.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"bench\": \"perf\",");
+        let _ = writeln!(out, "  \"quick\": {},", self.quick);
+        let _ = writeln!(out, "  \"jobs\": {},", self.jobs);
+        out.push_str("  \"baseline\": {\n");
+        let _ = writeln!(
+            out,
+            "    \"note\": \"pre-optimization throughput, measured before the hot-path rewrite\","
+        );
+        let _ = writeln!(
+            out,
+            "    \"simulate_default_per_sec\": {BASELINE_SIMULATE_DEFAULT_PER_SEC},"
+        );
+        let _ = writeln!(
+            out,
+            "    \"simulate_wide_per_sec\": {BASELINE_SIMULATE_WIDE_PER_SEC}"
+        );
+        out.push_str("  },\n");
+        out.push_str("  \"scenarios\": [\n");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            let comma = if i + 1 < self.scenarios.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"work_units\": {}, \"wall_seconds\": {:.6}, \"per_second\": {:.3}}}{comma}",
+                s.name, s.work_units, s.wall_seconds, s.per_second
+            );
+        }
+        out.push_str("  ],\n");
+        if let Some(current) = self.per_second("simulate-only/default") {
+            let _ = writeln!(
+                out,
+                "  \"simulate_default_speedup_vs_baseline\": {:.3},",
+                current / BASELINE_SIMULATE_DEFAULT_PER_SEC
+            );
+        }
+        if let Some(current) = self.per_second("simulate-only/wide") {
+            let _ = writeln!(
+                out,
+                "  \"simulate_wide_speedup_vs_baseline\": {:.3},",
+                current / BASELINE_SIMULATE_WIDE_PER_SEC
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  \"cached_sweep_speedup\": {:.3},",
+            self.cached_sweep_speedup
+        );
+        let _ = writeln!(out, "  \"cache_hit_rate\": {:.4},", self.cache_hit_rate);
+        let _ = writeln!(out, "  \"cache_entries\": {}", self.cache_entries);
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let start = Instant::now();
+    let result = f();
+    (start.elapsed().as_secs_f64().max(1e-9), result)
+}
+
+/// Results must match point-for-point whether or not the cache served
+/// them — anything else means the cache corrupted the search.
+fn assert_equivalent(reference: &SweepResult, candidate: &SweepResult, label: &str) {
+    assert_eq!(
+        reference.points.len(),
+        candidate.points.len(),
+        "{label}: run count diverged"
+    );
+    for (r, c) in reference.points.iter().zip(&candidate.points) {
+        assert!(
+            r.hyper == c.hyper
+                && r.seed == c.seed
+                && r.result.best_reward == c.result.best_reward
+                && r.result.best_action == c.result.best_action
+                && r.result.samples_used == c.result.samples_used,
+            "{label}: cached sweep diverged from uncached at hyper={} seed={}",
+            r.hyper.summary(),
+            r.seed
+        );
+    }
+}
+
+/// Run every scenario and assemble the report.
+///
+/// `quick` selects CI-smoke workload sizes; `jobs` is the worker-thread
+/// count for the parallel scenario (`0` = every available core).
+///
+/// # Errors
+///
+/// Propagates agent-construction failures.
+///
+/// # Panics
+///
+/// Panics if the cached sweep's results diverge from the uncached ones.
+pub fn run(quick: bool, jobs: usize) -> Result<PerfReport> {
+    let mut scenarios = Vec::new();
+
+    // --- simulate-only: the raw controller inner loop -----------------
+    let default_trace = generate(
+        DramWorkload::Cloud2,
+        &TraceConfig::default(),
+        &mut seeded_rng(0xD7A3),
+    );
+    let reps: u64 = if quick { 200 } else { 2_000 };
+    let cfg = ControllerConfig::default();
+    let (seconds, checksum) = timed(|| {
+        let mut sink = 0.0f64;
+        for _ in 0..reps {
+            sink += MemoryController::new(cfg.clone())
+                .simulate(&default_trace)
+                .avg_latency_ns;
+        }
+        sink
+    });
+    assert!(checksum.is_finite());
+    scenarios.push(ScenarioResult {
+        name: "simulate-only/default".into(),
+        work_units: reps,
+        wall_seconds: seconds,
+        per_second: reps as f64 / seconds,
+    });
+
+    let wide_trace = generate(
+        DramWorkload::Cloud2,
+        &TraceConfig {
+            length: 8_192,
+            ..TraceConfig::default()
+        },
+        &mut seeded_rng(0xD7A3),
+    );
+    let wide_cfg = ControllerConfig {
+        request_buffer_size: 8,
+        max_active_transactions: 64,
+        ..ControllerConfig::default()
+    };
+    let reps: u64 = if quick { 30 } else { 300 };
+    let (seconds, checksum) = timed(|| {
+        let mut sink = 0.0f64;
+        for _ in 0..reps {
+            sink += MemoryController::new(wide_cfg.clone())
+                .simulate(&wide_trace)
+                .avg_latency_ns;
+        }
+        sink
+    });
+    assert!(checksum.is_finite());
+    scenarios.push(ScenarioResult {
+        name: "simulate-only/wide".into(),
+        work_units: reps,
+        wall_seconds: seconds,
+        per_second: reps as f64 / seconds,
+    });
+
+    // --- sweeps: serial, parallel, cached ------------------------------
+    let kind = AgentKind::Ga;
+    let budget: u64 = if quick { 48 } else { 300 };
+    let assignments: Vec<HyperMap> = default_grid(kind)
+        .iter()
+        .take(if quick { 2 } else { 4 })
+        .collect();
+    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2] };
+    let make_env = || DramEnv::new(DramWorkload::Stream, Objective::low_power(1.0));
+    let space = make_env().space().clone();
+    let run_sweep = |sweep_jobs: usize, cache: Option<Arc<EvalCache>>| -> Result<SweepResult> {
+        let mut sweep = Sweep::new(RunConfig::with_budget(budget).record(false))
+            .seeds(seeds.iter().copied())
+            .jobs(sweep_jobs);
+        if let Some(cache) = cache {
+            sweep = sweep.cache(cache);
+        }
+        sweep.run_assignments(kind.name(), &assignments, make_env, |hyper, seed| {
+            build_agent(kind, &space, hyper, seed)
+        })
+    };
+    let runs = (assignments.len() * seeds.len()) as u64;
+
+    let (serial_seconds, serial) = timed(|| run_sweep(1, None));
+    let serial = serial?;
+    scenarios.push(ScenarioResult {
+        name: "sweep-serial".into(),
+        work_units: runs,
+        wall_seconds: serial_seconds,
+        per_second: runs as f64 / serial_seconds,
+    });
+
+    let (parallel_seconds, parallel) = timed(|| run_sweep(jobs, None));
+    assert_equivalent(&serial, &parallel?, "sweep-parallel");
+    scenarios.push(ScenarioResult {
+        name: "sweep-parallel".into(),
+        work_units: runs,
+        wall_seconds: parallel_seconds,
+        per_second: runs as f64 / parallel_seconds,
+    });
+
+    let cache = Arc::new(EvalCache::new());
+    let (cold_seconds, cold) = timed(|| run_sweep(1, Some(cache.clone())));
+    assert_equivalent(&serial, &cold?, "cached-sweep/cold");
+    scenarios.push(ScenarioResult {
+        name: "cached-sweep/cold".into(),
+        work_units: runs,
+        wall_seconds: cold_seconds,
+        per_second: runs as f64 / cold_seconds,
+    });
+
+    let (warm_seconds, warm) = timed(|| run_sweep(1, Some(cache.clone())));
+    assert_equivalent(&serial, &warm?, "cached-sweep/warm");
+    scenarios.push(ScenarioResult {
+        name: "cached-sweep/warm".into(),
+        work_units: runs,
+        wall_seconds: warm_seconds,
+        per_second: runs as f64 / warm_seconds,
+    });
+
+    let stats = cache.stats();
+    Ok(PerfReport {
+        quick,
+        jobs,
+        scenarios,
+        cached_sweep_speedup: serial_seconds / warm_seconds,
+        cache_hit_rate: stats.hit_rate(),
+        cache_entries: stats.entries,
+    })
+}
+
+/// Print the report as an aligned table plus the headline ratios.
+pub fn print(report: &PerfReport) {
+    println!("\n=== bench perf ===");
+    println!(
+        "{:<22} {:>12} {:>14} {:>14}",
+        "scenario", "work units", "wall seconds", "per second"
+    );
+    for s in &report.scenarios {
+        println!(
+            "{:<22} {:>12} {:>14.4} {:>14.1}",
+            s.name, s.work_units, s.wall_seconds, s.per_second
+        );
+    }
+    if let Some(current) = report.per_second("simulate-only/default") {
+        println!(
+            "simulate-only/default vs pre-optimization baseline: {:.2}x ({:.0}/s vs {:.0}/s)",
+            current / BASELINE_SIMULATE_DEFAULT_PER_SEC,
+            current,
+            BASELINE_SIMULATE_DEFAULT_PER_SEC
+        );
+    }
+    println!(
+        "cached-sweep speedup (warm vs uncached serial): {:.1}x ({:.1}% hit rate, {} entries)",
+        report.cached_sweep_speedup,
+        report.cache_hit_rate * 100.0,
+        report.cache_entries
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_covers_every_scenario_and_speeds_up() {
+        let report = run(true, 2).unwrap();
+        let names: Vec<&str> = report.scenarios.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "simulate-only/default",
+                "simulate-only/wide",
+                "sweep-serial",
+                "sweep-parallel",
+                "cached-sweep/cold",
+                "cached-sweep/warm"
+            ]
+        );
+        assert!(report.scenarios.iter().all(|s| s.per_second > 0.0));
+        // A warm cache answers every lookup without simulating; even on
+        // a loaded single-core machine that dwarfs 2x.
+        assert!(
+            report.cached_sweep_speedup >= 2.0,
+            "cached sweep only {:.2}x faster",
+            report.cached_sweep_speedup
+        );
+        assert!(report.cache_hit_rate > 0.0);
+        assert!(report.cache_entries > 0);
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let report = PerfReport {
+            quick: true,
+            jobs: 2,
+            scenarios: vec![ScenarioResult {
+                name: "simulate-only/default".into(),
+                work_units: 10,
+                wall_seconds: 0.5,
+                per_second: 20.0,
+            }],
+            cached_sweep_speedup: 5.0,
+            cache_hit_rate: 0.75,
+            cache_entries: 42,
+        };
+        let json = report.to_json();
+        for needle in [
+            "\"bench\": \"perf\"",
+            "\"baseline\"",
+            "\"simulate_default_per_sec\"",
+            "\"scenarios\"",
+            "\"cached_sweep_speedup\": 5.000",
+            "\"cache_entries\": 42",
+            "\"simulate_default_speedup_vs_baseline\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // Balanced braces/brackets — a cheap structural check that
+        // stays dependency-free under the offline stub build.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

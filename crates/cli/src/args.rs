@@ -103,6 +103,22 @@ impl Args {
         }
     }
 
+    /// An optional boolean with a default (`true`/`false`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::InvalidConfig`] on unparsable values.
+    pub fn bool_or(&self, key: &str, default: bool) -> Result<bool> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| {
+                ArchGymError::InvalidConfig(format!(
+                    "`--{key}` expects `true` or `false`, got `{v}`"
+                ))
+            }),
+        }
+    }
+
     /// Every option key, for unknown-flag diagnostics.
     pub fn keys(&self) -> impl Iterator<Item = &str> {
         self.options.keys().map(String::as_str)
@@ -138,6 +154,14 @@ mod tests {
         let args = Args::parse(["search", "--budget", "many"]).unwrap();
         assert!(args.u64_or("budget", 1).is_err());
         assert!(args.f64_or("budget", 1.0).is_err());
+        assert!(args.bool_or("budget", false).is_err());
+    }
+
+    #[test]
+    fn bool_flags_parse_and_default() {
+        let args = Args::parse(["sweep", "--cache", "true"]).unwrap();
+        assert!(args.bool_or("cache", false).unwrap());
+        assert!(!args.bool_or("other", false).unwrap());
     }
 
     #[test]

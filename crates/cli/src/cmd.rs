@@ -43,13 +43,16 @@ USAGE:
   archgym list
   archgym search --env <spec> --agent <aco|bo|ga|rl|rw|sa> [--objective <spec>]
                  [--budget N] [--seed N] [--batch N] [--dataset out.jsonl] [--csv out.csv]
-  archgym sweep  --env <spec> --agent <kind> [--objective <spec>] [--budget N] [--seeds N] [--grid N] [--jobs N]
-  archgym halving --env <spec> --agent <kind> [--objective <spec>] [--budget N] [--eta N] [--jobs N]
+  archgym sweep  --env <spec> --agent <kind> [--objective <spec>] [--budget N] [--seeds N] [--grid N] [--jobs N] [--cache true]
+  archgym halving --env <spec> --agent <kind> [--objective <spec>] [--budget N] [--eta N] [--jobs N] [--cache true]
   archgym trace  --workload <stream|random|cloud-1|cloud-2> [--length N] [--seed N] [--out file] [--stats true]
   archgym proxy  --dataset in.jsonl --metric N [--search N] [--seed N]
 
 `--jobs N` fans independent runs over N worker threads (default: all
 cores; 1 = serial). Results are deterministic regardless of thread count.
+`--cache true` memoizes design-point evaluations in a shared in-memory
+cache, so configurations revisited by any run cost a hash lookup instead
+of a simulation; results are identical with or without it.
 
 ENVIRONMENT SPECS:
   dram/<trace>            objectives: power:<W> latency:<ns> joint:<ns>,<W>
@@ -115,7 +118,9 @@ fn search(args: &Args) -> Result<String> {
 
 fn sweep(args: &Args) -> Result<String> {
     use archgym_core::agent::HyperMap;
+    use archgym_core::cache::EvalCache;
     use archgym_core::sweep::Sweep;
+    use std::sync::Arc;
     let env_spec = args.require("env")?.to_owned();
     let objective = args.get("objective").map(str::to_owned);
     let kind = AgentKind::parse(args.require("agent")?)?;
@@ -123,6 +128,7 @@ fn sweep(args: &Args) -> Result<String> {
     let seeds = args.u64_or("seeds", 2)?;
     let grid_cap = args.u64_or("grid", 9)? as usize;
     let jobs = args.u64_or("jobs", 0)? as usize;
+    let use_cache = args.bool_or("cache", false)?;
 
     // Validate the spec once up front so the factories can't fail later.
     let probe = make_env(&env_spec, objective.as_deref())?;
@@ -130,15 +136,19 @@ fn sweep(args: &Args) -> Result<String> {
     drop(probe);
 
     let assignments: Vec<HyperMap> = default_grid(kind).iter().take(grid_cap).collect();
-    let result = Sweep::new(RunConfig::with_budget(budget).record(false))
+    let mut sweep = Sweep::new(RunConfig::with_budget(budget).record(false))
         .seeds(0..seeds)
-        .jobs(jobs)
-        .run_assignments(
-            kind.name(),
-            &assignments,
-            || make_env(&env_spec, objective.as_deref()).expect("spec validated above"),
-            |hyper, seed| build_agent(kind, &space, hyper, seed),
-        )?;
+        .jobs(jobs);
+    let cache = use_cache.then(|| Arc::new(EvalCache::new()));
+    if let Some(cache) = &cache {
+        sweep = sweep.cache(cache.clone());
+    }
+    let result = sweep.run_assignments(
+        kind.name(),
+        &assignments,
+        || make_env(&env_spec, objective.as_deref()).expect("spec validated above"),
+        |hyper, seed| build_agent(kind, &space, hyper, seed),
+    )?;
     let rewards = result.best_rewards();
     let stats = summarize(&rewards);
     let winner = result.winner();
@@ -161,11 +171,24 @@ fn sweep(args: &Args) -> Result<String> {
         "IQR spread {:.1}% of max | winning ticket: {winning} (reward {best_reward:.4})",
         stats.relative_spread() * 100.0
     );
+    if let Some(cache) = &cache {
+        let s = cache.stats();
+        let _ = writeln!(
+            out,
+            "cache: {} hits / {} lookups ({:.1}% hit rate, {} distinct designs)",
+            s.hits,
+            s.hits + s.misses,
+            s.hit_rate() * 100.0,
+            s.entries
+        );
+    }
     Ok(out)
 }
 
 fn halving(args: &Args) -> Result<String> {
+    use archgym_core::cache::EvalCache;
     use archgym_core::sweep::SuccessiveHalving;
+    use std::sync::Arc;
     let env_spec = args.require("env")?.to_owned();
     let objective = args.get("objective").map(str::to_owned);
     let kind = AgentKind::parse(args.require("agent")?)?;
@@ -173,15 +196,20 @@ fn halving(args: &Args) -> Result<String> {
     let eta = args.u64_or("eta", 2)? as usize;
     let seed = args.u64_or("seed", 0)?;
     let jobs = args.u64_or("jobs", 0)? as usize;
+    let use_cache = args.bool_or("cache", false)?;
 
     // Validate the spec once up front so the factories can't fail later.
     let probe = make_env(&env_spec, objective.as_deref())?;
     let space = probe.space().clone();
     drop(probe);
 
-    let tuner = SuccessiveHalving::new(initial_budget, eta)
+    let mut tuner = SuccessiveHalving::new(initial_budget, eta)
         .seed(seed)
         .jobs(jobs);
+    let cache = use_cache.then(|| Arc::new(EvalCache::new()));
+    if let Some(cache) = &cache {
+        tuner = tuner.cache(cache.clone());
+    }
     let result = tuner.run(
         kind.name(),
         &default_grid(kind),
@@ -219,6 +247,17 @@ fn halving(args: &Args) -> Result<String> {
         result.flat_sweep_samples,
         result.savings_factor()
     );
+    if let Some(cache) = &cache {
+        let s = cache.stats();
+        let _ = writeln!(
+            out,
+            "cache: {} hits / {} lookups ({:.1}% hit rate, {} distinct designs)",
+            s.hits,
+            s.hits + s.misses,
+            s.hit_rate() * 100.0,
+            s.entries
+        );
+    }
     Ok(out)
 }
 
@@ -347,6 +386,45 @@ mod tests {
         .unwrap();
         assert!(out.contains("median"));
         assert!(out.contains("winning ticket"));
+    }
+
+    #[test]
+    fn cached_sweep_matches_uncached_and_reports_stats() {
+        let line = |cache: &str| {
+            run_line(&[
+                "sweep",
+                "--env",
+                "dram/stream",
+                "--agent",
+                "ga",
+                "--objective",
+                "power:1.0",
+                "--budget",
+                "48",
+                "--seeds",
+                "1",
+                "--grid",
+                "2",
+                "--jobs",
+                "1",
+                "--cache",
+                cache,
+            ])
+            .unwrap()
+        };
+        let plain = line("false");
+        let cached = line("true");
+        assert!(!plain.contains("cache:"), "{plain}");
+        assert!(cached.contains("cache:"), "{cached}");
+        assert!(cached.contains("hit rate"), "{cached}");
+        // Identical search outcome, cache or not.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("cache:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&plain), strip(&cached));
     }
 
     #[test]

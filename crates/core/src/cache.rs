@@ -1,0 +1,358 @@
+//! Memoized design-point evaluation — [`EvalCache`] and [`CachedEnv`].
+//!
+//! Search agents revisit configurations constantly: a GA's crossover
+//! re-produces elite genomes, ACO's pheromone trails concentrate on a
+//! few paths, SA re-proposes neighbors near its current point. ArchGym
+//! environments are *deterministic* one-shot cost models — the same
+//! action always yields the same [`StepResult`] — so a revisit can be
+//! answered from a hash map instead of a full simulation.
+//!
+//! [`EvalCache`] is a sharded, lock-striped map from the canonical
+//! action encoding (the per-dimension index vector) to the full step
+//! result (cost-vector observation, reward, feasibility and diagnostic
+//! stats). Sharding keeps lock contention negligible when a parallel
+//! [`Executor`](crate::executor::Executor) sweep shares one cache across
+//! workers. [`CachedEnv`] wraps any [`Environment`] to consult the cache
+//! on every step; built without a cache it is a zero-cost passthrough,
+//! which lets sweep infrastructure keep a single code path.
+//!
+//! Caching is only sound for environments whose `step` is a pure
+//! function of the action — true for every bundled ArchGym cost model.
+//! Do not share one cache across *different* environments or workloads;
+//! key collisions would silently return the wrong cost.
+//!
+//! ```
+//! use archgym_core::cache::{CachedEnv, EvalCache};
+//! use archgym_core::prelude::*;
+//! use archgym_core::toy::PeakEnv;
+//! use std::sync::Arc;
+//!
+//! let cache = Arc::new(EvalCache::new());
+//! let mut env = CachedEnv::new(PeakEnv::new(&[8], vec![3]), cache.clone());
+//! let action = Action::new(vec![3]);
+//! let first = env.step(&action); // simulated, inserted
+//! let second = env.step(&action); // served from the cache
+//! assert_eq!(first, second);
+//! assert_eq!(cache.stats().hits, 1);
+//! assert_eq!(cache.stats().misses, 1);
+//! ```
+
+use crate::env::{Environment, Observation, StepResult};
+use crate::space::{Action, ParamSpace};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default shard count — enough stripes that a handful of sweep workers
+/// rarely collide on a lock, small enough to stay cache-friendly.
+const DEFAULT_SHARDS: usize = 16;
+
+/// Counter snapshot of an [`EvalCache`].
+///
+/// `hits + misses` equals the number of lookups issued; `inserts` can
+/// exceed `entries` when parallel workers race to fill the same key
+/// (both simulate, both insert the identical result — the map keeps
+/// one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a simulation.
+    pub misses: u64,
+    /// Results written into the cache.
+    pub inserts: u64,
+    /// Distinct design points currently stored.
+    pub entries: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (`0.0` when none).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// A sharded, lock-striped memo table: canonical action encoding →
+/// evaluated [`StepResult`].
+///
+/// All methods take `&self`, so one cache behind an [`Arc`] can be
+/// shared freely across sweep workers.
+#[derive(Debug)]
+pub struct EvalCache {
+    shards: Vec<Mutex<HashMap<Vec<usize>, StepResult>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+}
+
+impl EvalCache {
+    /// A cache with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A cache striped over `shards` independent locks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards > 0, "cache needs at least one shard");
+        EvalCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+        }
+    }
+
+    /// FNV-1a over the index vector — deterministic across processes
+    /// (unlike `DefaultHasher`'s randomized state) and plenty uniform
+    /// for shard selection.
+    fn shard_of(&self, key: &[usize]) -> usize {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &index in key {
+            let mut value = index as u64;
+            // Hash each index one byte at a time, LSB first.
+            for _ in 0..8 {
+                hash ^= value & 0xff;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+                value >>= 8;
+            }
+        }
+        (hash % self.shards.len() as u64) as usize
+    }
+
+    /// Look up a design point, counting the outcome as a hit or miss.
+    pub fn get(&self, action: &Action) -> Option<StepResult> {
+        let shard = &self.shards[self.shard_of(action.as_slice())];
+        let found = shard
+            .lock()
+            .expect("cache shard poisoned")
+            .get(action.as_slice())
+            .cloned();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Store a design point's result.
+    pub fn insert(&self, action: &Action, result: StepResult) {
+        let shard = &self.shards[self.shard_of(action.as_slice())];
+        shard
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(action.as_slice().to_vec(), result);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of distinct design points stored.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot the hit/miss/insert counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+        }
+    }
+}
+
+impl Default for EvalCache {
+    fn default() -> Self {
+        EvalCache::new()
+    }
+}
+
+/// An [`Environment`] wrapper that answers repeated design points from
+/// an [`EvalCache`].
+///
+/// Built with [`CachedEnv::uncached`] the wrapper is a passthrough, so
+/// callers like [`Sweep`](crate::sweep::Sweep) can always wrap and let
+/// the optional cache decide whether memoization happens.
+#[derive(Debug)]
+pub struct CachedEnv<E> {
+    inner: E,
+    cache: Option<Arc<EvalCache>>,
+}
+
+impl<E: Environment> CachedEnv<E> {
+    /// Wrap `inner`, memoizing through `cache`.
+    pub fn new(inner: E, cache: Arc<EvalCache>) -> Self {
+        CachedEnv {
+            inner,
+            cache: Some(cache),
+        }
+    }
+
+    /// Wrap `inner` with no cache — every step hits the simulator.
+    pub fn uncached(inner: E) -> Self {
+        CachedEnv { inner, cache: None }
+    }
+
+    /// Wrap `inner` with an optional cache (the sweep plumbing form).
+    pub fn with_cache(inner: E, cache: Option<Arc<EvalCache>>) -> Self {
+        CachedEnv { inner, cache }
+    }
+
+    /// The wrapped environment.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// The shared cache, if memoization is enabled.
+    pub fn cache(&self) -> Option<&Arc<EvalCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Unwrap, discarding the cache handle.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+}
+
+impl<E: Environment> Environment for CachedEnv<E> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn space(&self) -> &ParamSpace {
+        self.inner.space()
+    }
+    fn observation_labels(&self) -> Vec<String> {
+        self.inner.observation_labels()
+    }
+    fn reset(&mut self) -> Observation {
+        self.inner.reset()
+    }
+    fn step(&mut self, action: &Action) -> StepResult {
+        let Some(cache) = &self.cache else {
+            return self.inner.step(action);
+        };
+        if let Some(memoized) = cache.get(action) {
+            return memoized;
+        }
+        let result = self.inner.step(action);
+        cache.insert(action, result.clone());
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::Executor;
+    use crate::toy::PeakEnv;
+
+    fn action(i: usize) -> Action {
+        Action::new(vec![i])
+    }
+
+    #[test]
+    fn hit_returns_identical_result_without_resimulating() {
+        let cache = Arc::new(EvalCache::new());
+        let mut env = CachedEnv::new(
+            crate::env::CountingEnv::new(PeakEnv::new(&[8], vec![5])),
+            cache.clone(),
+        );
+        let first = env.step(&action(5));
+        let second = env.step(&action(5));
+        assert_eq!(first, second);
+        // The inner simulator ran exactly once.
+        assert_eq!(env.inner().samples(), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn uncached_wrapper_is_a_passthrough() {
+        let mut plain = PeakEnv::new(&[8], vec![2]);
+        let mut wrapped = CachedEnv::uncached(PeakEnv::new(&[8], vec![2]));
+        for i in 0..8 {
+            assert_eq!(plain.step(&action(i)), wrapped.step(&action(i)));
+        }
+        assert!(wrapped.cache().is_none());
+        assert_eq!(wrapped.name(), "peak");
+    }
+
+    #[test]
+    fn distinct_actions_occupy_distinct_entries() {
+        let cache = EvalCache::with_shards(4);
+        for i in 0..32 {
+            assert!(cache.get(&action(i)).is_none());
+            cache.insert(
+                &action(i),
+                StepResult::terminal(Observation::new(vec![i as f64]), 0.0),
+            );
+        }
+        assert_eq!(cache.len(), 32);
+        assert!(!cache.is_empty());
+        for i in 0..32 {
+            let got = cache.get(&action(i)).expect("inserted");
+            assert_eq!(got.observation.get(0), i as f64);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 32);
+        assert_eq!(stats.misses, 32);
+        assert_eq!(stats.inserts, 32);
+    }
+
+    #[test]
+    fn counters_are_exact_under_executor_parallelism() {
+        // Pre-fill every key, then issue a known number of parallel
+        // lookups: with no fill races, hits must count exactly.
+        let cache = Arc::new(EvalCache::new());
+        for i in 0..16 {
+            cache.insert(
+                &action(i),
+                StepResult::terminal(Observation::new(vec![0.0]), 0.0),
+            );
+        }
+        let lookups: Vec<usize> = (0..400).map(|k| k % 16).collect();
+        let results = Executor::new(4).map(&lookups, |&i| cache.get(&action(i)).is_some());
+        assert!(results.into_iter().all(|hit| hit));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 400);
+        assert_eq!(stats.misses, 0); // inserts don't probe
+        assert_eq!(stats.inserts, 16);
+        assert_eq!(stats.entries, 16);
+    }
+
+    #[test]
+    fn shard_of_is_deterministic_and_in_range() {
+        let cache = EvalCache::with_shards(7);
+        for i in 0..100 {
+            let key = vec![i, i * 3, 12];
+            let a = cache.shard_of(&key);
+            let b = cache.shard_of(&key);
+            assert_eq!(a, b);
+            assert!(a < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        let _ = EvalCache::with_shards(0);
+    }
+}

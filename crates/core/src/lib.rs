@@ -22,6 +22,7 @@
 //!
 //! * [`space`] — finite, index-encoded parameter spaces ([`ParamSpace`]).
 //! * [`mod@env`] — the [`Environment`] trait and its signal types.
+//! * [`cache`] — memoized design-point evaluation ([`EvalCache`]).
 //! * [`reward`] — the reward/fitness formulations of the paper's Table 3.
 //! * [`agent`] — the [`Agent`] trait plus hyperparameter plumbing.
 //! * [`search`] — the agent↔environment driver ([`SearchLoop`]).
@@ -71,6 +72,7 @@
 
 pub mod agent;
 pub mod bundle;
+pub mod cache;
 pub mod env;
 pub mod error;
 pub mod executor;
@@ -85,6 +87,7 @@ pub mod trajectory;
 
 pub use agent::{warm_start, Agent, HyperGrid, HyperMap, HyperValue};
 pub use bundle::DatasetBundle;
+pub use cache::{CacheStats, CachedEnv, EvalCache};
 pub use env::{Environment, Observation, StepResult};
 pub use error::{ArchGymError, Result};
 pub use executor::Executor;
@@ -114,6 +117,7 @@ pub fn seeded_rng(seed: u64) -> StdRng {
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
     pub use crate::agent::{warm_start, Agent, HyperGrid, HyperMap, HyperValue};
+    pub use crate::cache::{CacheStats, CachedEnv, EvalCache};
     pub use crate::env::{Environment, Observation, StepResult};
     pub use crate::error::{ArchGymError, Result};
     pub use crate::executor::Executor;

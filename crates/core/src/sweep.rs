@@ -14,6 +14,7 @@
 //! order — a parallel sweep is point-for-point identical to a serial one.
 
 use crate::agent::{Agent, HyperGrid, HyperMap};
+use crate::cache::{CachedEnv, EvalCache};
 use crate::env::Environment;
 use crate::error::Result;
 use crate::executor::Executor;
@@ -21,6 +22,7 @@ use crate::search::{RunConfig, RunResult, SearchLoop};
 use crate::stats::{summarize, Summary};
 use crate::trajectory::Dataset;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The outcome of one `(hyperparameter assignment, seed)` run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -154,6 +156,7 @@ pub struct Sweep {
     run_config: RunConfig,
     seeds: Vec<u64>,
     jobs: usize,
+    cache: Option<Arc<EvalCache>>,
 }
 
 impl Sweep {
@@ -163,6 +166,7 @@ impl Sweep {
             run_config,
             seeds: vec![0],
             jobs: 1,
+            cache: None,
         }
     }
 
@@ -177,6 +181,17 @@ impl Sweep {
     /// Results are in grid order and bit-identical regardless of `jobs`.
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Memoize design-point evaluations through a shared [`EvalCache`],
+    /// builder-style. Every run (across assignments, seeds and worker
+    /// threads) consults the same cache, so revisited configurations
+    /// cost a hash lookup instead of a simulation. Only sound when the
+    /// environment's `step` is a pure function of the action — true for
+    /// all bundled cost models.
+    pub fn cache(mut self, cache: Arc<EvalCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -229,7 +244,7 @@ impl Sweep {
         let outcomes = Executor::new(self.jobs).map(
             &units,
             |&(hyper, seed)| -> Result<(String, SweepPoint)> {
-                let mut env = make_env();
+                let mut env = CachedEnv::with_cache(make_env(), self.cache.clone());
                 let env_name = env.name().to_owned();
                 let mut agent = make_agent(hyper, seed)?;
                 let result = SearchLoop::new(self.run_config.clone()).run(&mut agent, &mut env);
@@ -311,6 +326,7 @@ pub struct SuccessiveHalving {
     batch: usize,
     seed: u64,
     jobs: usize,
+    cache: Option<Arc<EvalCache>>,
 }
 
 impl SuccessiveHalving {
@@ -329,6 +345,7 @@ impl SuccessiveHalving {
             batch: 16,
             seed: 0,
             jobs: 1,
+            cache: None,
         }
     }
 
@@ -349,6 +366,15 @@ impl SuccessiveHalving {
     /// default) runs serially.
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Memoize design-point evaluations through a shared [`EvalCache`],
+    /// builder-style. Halving is a prime cache customer: surviving
+    /// assignments re-explore much of the previous round's territory at
+    /// the larger budget.
+    pub fn cache(mut self, cache: Arc<EvalCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -391,7 +417,7 @@ impl SuccessiveHalving {
                 .batch(self.batch)
                 .record(false);
             let outcomes = executor.map(&candidates, |hyper| -> Result<(String, RunResult)> {
-                let mut env = make_env();
+                let mut env = CachedEnv::with_cache(make_env(), self.cache.clone());
                 let name = env.name().to_owned();
                 let mut agent = make_agent(hyper, self.seed)?;
                 let result = SearchLoop::new(round_config.clone()).run(&mut agent, &mut env);
@@ -540,6 +566,121 @@ mod tests {
         for jobs in [2, 4, 0] {
             assert_points_identical(&serial, &run_at(jobs));
         }
+    }
+
+    #[test]
+    fn cached_sweep_is_point_identical_to_uncached() {
+        let run = |cache: Option<Arc<EvalCache>>, jobs: usize| {
+            let mut sweep = Sweep::new(RunConfig::with_budget(40))
+                .seeds([1, 2, 3])
+                .jobs(jobs);
+            if let Some(cache) = cache {
+                sweep = sweep.cache(cache);
+            }
+            sweep
+                .run(
+                    "rw",
+                    &peak_grid(),
+                    || PeakEnv::new(&[9, 9], vec![4, 7]),
+                    |hyper, seed| {
+                        let offset = hyper.int("dummy")? as u64;
+                        Ok(RandomWalker::new(
+                            PeakEnv::new(&[9, 9], vec![4, 7]).space().clone(),
+                            seed + offset * 100,
+                        ))
+                    },
+                )
+                .unwrap()
+        };
+        let uncached = run(None, 1);
+        // Serial and parallel cached sweeps both match the uncached run.
+        for jobs in [1, 4] {
+            let cache = Arc::new(EvalCache::new());
+            let cached = run(Some(cache.clone()), jobs);
+            assert_points_identical(&uncached, &cached);
+            let stats = cache.stats();
+            // 9 runs × 40 samples over an 81-point space: revisits are
+            // guaranteed, so the cache must have served hits.
+            assert_eq!(stats.hits + stats.misses, 9 * 40, "jobs={jobs}");
+            assert!(stats.hits > 0, "jobs={jobs}");
+            assert!(stats.entries <= 81, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn cold_and_warm_cached_sweeps_produce_identical_csv() {
+        let cache = Arc::new(EvalCache::new());
+        let run = || {
+            Sweep::new(RunConfig::with_budget(30))
+                .seeds([5, 6])
+                .cache(cache.clone())
+                .run(
+                    "rw",
+                    &peak_grid(),
+                    || PeakEnv::new(&[8, 8], vec![2, 6]),
+                    |_h, seed| {
+                        Ok(RandomWalker::new(
+                            PeakEnv::new(&[8, 8], vec![2, 6]).space().clone(),
+                            seed,
+                        ))
+                    },
+                )
+                .unwrap()
+        };
+        let csv_of = |result: &SweepResult| {
+            let mut buf = Vec::new();
+            result.write_csv(&mut buf).unwrap();
+            // Wall-clock differs run to run; the determinism contract
+            // covers everything else, so strip the last CSV column.
+            String::from_utf8(buf)
+                .unwrap()
+                .lines()
+                .map(|l| l.rsplit_once(',').unwrap().0.to_owned())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let cold = run();
+        let misses_after_cold = cache.stats().misses;
+        let warm = run();
+        assert_eq!(csv_of(&cold), csv_of(&warm));
+        // The warm pass re-asks only already-seen points.
+        assert_eq!(cache.stats().misses, misses_after_cold);
+        assert!(cache.stats().hits > 0);
+    }
+
+    #[test]
+    fn cached_halving_matches_uncached() {
+        let grid = HyperGrid::new().axis("dummy", [1i64, 2, 3, 4]);
+        let run = |cache: Option<Arc<EvalCache>>| {
+            let mut tuner = SuccessiveHalving::new(8, 2).batch(4).jobs(2);
+            if let Some(cache) = cache {
+                tuner = tuner.cache(cache);
+            }
+            tuner
+                .run(
+                    "rw",
+                    &grid,
+                    || PeakEnv::new(&[20, 20], vec![11, 6]),
+                    |hyper, _seed| {
+                        let seed = hyper.int("dummy")? as u64;
+                        Ok(RandomWalker::new(
+                            PeakEnv::new(&[20, 20], vec![11, 6]).space().clone(),
+                            seed,
+                        ))
+                    },
+                )
+                .unwrap()
+        };
+        let plain = run(None);
+        let cache = Arc::new(EvalCache::new());
+        let cached = run(Some(cache.clone()));
+        assert_eq!(plain.winner_hyper, cached.winner_hyper);
+        assert_eq!(
+            plain.winner_result.best_reward,
+            cached.winner_result.best_reward
+        );
+        assert_eq!(plain.rounds, cached.rounds);
+        assert!(cache.stats().hits + cache.stats().misses > 0);
     }
 
     #[test]

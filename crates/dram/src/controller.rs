@@ -12,6 +12,8 @@ use crate::device::{AddressMapping, DeviceTiming};
 use crate::power::{OpCounts, PowerModel};
 use crate::trace::MemoryRequest;
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Row-buffer management policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -270,7 +272,13 @@ impl MemoryController {
         let mut completion = vec![0u64; n];
         let mut banks: Vec<Bank> = (0..t.banks).map(|_| Bank::default()).collect();
         let mut buffer: Vec<Pending> = Vec::with_capacity(cfg.request_buffer_size);
-        let mut outstanding: Vec<u64> = Vec::new(); // completion times of issued reqs
+        // Completion times of issued requests, min-first so retirement pops
+        // only what is due instead of scanning every outstanding request.
+        let mut outstanding: BinaryHeap<Reverse<u64>> =
+            BinaryHeap::with_capacity(cfg.max_active_transactions);
+        // Scratch for the scheduler: indices into `buffer`, refilled in
+        // place each decision so the loop allocates nothing per request.
+        let mut sched: Vec<usize> = Vec::with_capacity(cfg.request_buffer_size);
         let mut next_admit = 0usize;
         let mut now = 0u64;
         let mut bus_free = 0u64;
@@ -285,7 +293,9 @@ impl MemoryController {
 
         loop {
             // 1. Retire issued requests whose data has returned.
-            outstanding.retain(|&c| c > now);
+            while outstanding.peek().is_some_and(|&Reverse(c)| c <= now) {
+                outstanding.pop();
+            }
 
             // 2. Admit arrivals within buffer and transaction-window limits.
             while next_admit < n
@@ -343,7 +353,7 @@ impl MemoryController {
                 // Admission may also be blocked by the transaction window.
                 let window_full = outstanding.len() >= cfg.max_active_transactions;
                 let evt = if window_full {
-                    outstanding.iter().copied().min().unwrap_or(arrival_evt)
+                    outstanding.peek().map_or(arrival_evt, |&Reverse(c)| c)
                 } else {
                     arrival_evt
                 };
@@ -351,16 +361,14 @@ impl MemoryController {
                 continue;
             }
 
-            // 5. Scheduler visibility.
-            let visible: Vec<usize> = match cfg.scheduler_buffer {
-                SchedulerBuffer::Shared => (0..buffer.len()).collect(),
+            // 5. Scheduler visibility (into the reused scratch buffer).
+            sched.clear();
+            match cfg.scheduler_buffer {
+                SchedulerBuffer::Shared => sched.extend(0..buffer.len()),
                 SchedulerBuffer::ReadWrite => {
-                    let reads: Vec<usize> =
-                        (0..buffer.len()).filter(|&i| !buffer[i].is_write).collect();
-                    if reads.is_empty() {
-                        (0..buffer.len()).collect()
-                    } else {
-                        reads
+                    sched.extend((0..buffer.len()).filter(|&i| !buffer[i].is_write));
+                    if sched.is_empty() {
+                        sched.extend(0..buffer.len());
                     }
                 }
                 SchedulerBuffer::Bankwise => {
@@ -375,9 +383,7 @@ impl MemoryController {
                     }
                     let bank = chosen.expect("buffer non-empty");
                     rr_bank = (bank + 1) % nb;
-                    (0..buffer.len())
-                        .filter(|&i| buffer[i].bank == bank)
-                        .collect()
+                    sched.extend((0..buffer.len()).filter(|&i| buffer[i].bank == bank));
                 }
             };
 
@@ -398,11 +404,8 @@ impl MemoryController {
                     }
                 }
             };
-            let best_class = visible.iter().map(|&i| class(&buffer[i])).min().unwrap();
-            let candidates: Vec<usize> = visible
-                .into_iter()
-                .filter(|&i| class(&buffer[i]) == best_class)
-                .collect();
+            let best_class = sched.iter().map(|&i| class(&buffer[i])).min().unwrap();
+            sched.retain(|&i| class(&buffer[i]) == best_class);
 
             // 7. Arbiter tie-break.
             let estimate_start = |p: &Pending| -> u64 {
@@ -416,16 +419,15 @@ impl MemoryController {
                 base + extra
             };
             let chosen_pos = match cfg.arbiter {
-                Arbiter::Simple => candidates
-                    .into_iter()
+                Arbiter::Simple => sched
+                    .iter()
+                    .copied()
                     .min_by_key(|&i| (buffer[i].bank, buffer[i].id))
                     .unwrap(),
-                Arbiter::Fifo => candidates
-                    .into_iter()
-                    .min_by_key(|&i| buffer[i].id)
-                    .unwrap(),
-                Arbiter::Reorder => candidates
-                    .into_iter()
+                Arbiter::Fifo => sched.iter().copied().min_by_key(|&i| buffer[i].id).unwrap(),
+                Arbiter::Reorder => sched
+                    .iter()
+                    .copied()
                     .min_by_key(|&i| (estimate_start(&buffer[i]), buffer[i].id))
                     .unwrap(),
             };
@@ -460,7 +462,7 @@ impl MemoryController {
             let data_end = data_start + t.t_burst;
             bus_free = data_end;
             completion[p.id] = data_end;
-            outstanding.push(data_end);
+            outstanding.push(Reverse(data_end));
             if p.is_write {
                 counts.writes += 1;
             } else {
@@ -515,7 +517,10 @@ impl MemoryController {
             final_cycle = final_cycle.max(resp);
             latencies_ns.push((resp - req.arrival) as f64 * t.clock_ns);
         }
-        latencies_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // total_cmp: no NaN panic path, and the unstable sort avoids the
+        // stable sort's temporary allocation. Latencies are non-negative
+        // finite values, so the order matches the old partial_cmp sort.
+        latencies_ns.sort_unstable_by(f64::total_cmp);
         let avg_latency_ns = latencies_ns.iter().sum::<f64>() / n as f64;
         let p95_latency_ns = latencies_ns[((n - 1) as f64 * 0.95) as usize];
 

@@ -14,6 +14,7 @@ use archgym_core::env::{Environment, Observation, StepResult};
 use archgym_core::reward::RewardSpec;
 use archgym_core::seeded_rng;
 use archgym_core::space::{Action, ParamSpace};
+use std::sync::{Arc, OnceLock};
 
 /// Observation metric indices for DRAMGym.
 pub mod metric {
@@ -130,8 +131,26 @@ pub struct DramEnv {
     space: ParamSpace,
     workload: DramWorkload,
     objective: Objective,
-    trace: Vec<MemoryRequest>,
+    /// Shared, immutable: cloning the env (one clone per `Executor`
+    /// worker in a sweep) bumps a refcount instead of deep-copying the
+    /// trace.
+    trace: Arc<[MemoryRequest]>,
     name: String,
+}
+
+/// The canonical trace of each workload (default [`TraceConfig`], fixed
+/// seed), generated once per process and shared by every env built from
+/// it — parallel sweep workers all point at the same allocation.
+fn canonical_trace(workload: DramWorkload) -> Arc<[MemoryRequest]> {
+    static CACHE: [OnceLock<Arc<[MemoryRequest]>>; DramWorkload::ALL.len()] =
+        [const { OnceLock::new() }; DramWorkload::ALL.len()];
+    let slot = DramWorkload::ALL
+        .iter()
+        .position(|w| *w == workload)
+        .expect("every workload is in ALL");
+    CACHE[slot]
+        .get_or_init(|| generate(workload, &TraceConfig::default(), &mut seeded_rng(0xD7A3)).into())
+        .clone()
 }
 
 impl DramEnv {
@@ -150,7 +169,11 @@ impl DramEnv {
     ) -> Self {
         // The trace seed is fixed: the workload is part of the problem
         // statement, not of the agent's stochasticity.
-        let trace = generate(workload, config, &mut seeded_rng(0xD7A3));
+        let trace = if *config == TraceConfig::default() {
+            canonical_trace(workload)
+        } else {
+            generate(workload, config, &mut seeded_rng(0xD7A3)).into()
+        };
         DramEnv {
             space: dram_space(),
             workload,
@@ -176,9 +199,14 @@ impl DramEnv {
             space: dram_space(),
             workload: DramWorkload::Random, // nominal; the trace is custom
             objective,
-            trace,
+            trace: trace.into(),
             name: format!("dram/{label}"),
         }
+    }
+
+    /// The memory trace this environment simulates against.
+    pub fn trace(&self) -> &[MemoryRequest] {
+        &self.trace
     }
 
     /// The workload this environment evaluates.
@@ -310,6 +338,47 @@ mod tests {
             (0.5..=1.5).contains(&power),
             "best power {power} far from target"
         );
+    }
+
+    #[test]
+    fn cached_env_is_bit_identical_across_workloads() {
+        use archgym_core::cache::{CachedEnv, EvalCache};
+
+        for workload in DramWorkload::ALL {
+            let objective = Objective::joint(30.0, 1.0);
+            let mut plain = DramEnv::new(workload, objective.clone());
+            let cache = Arc::new(EvalCache::new());
+            let mut cached =
+                CachedEnv::new(DramEnv::new(workload, objective.clone()), cache.clone());
+            let mut rng = seeded_rng(99);
+            let mut actions: Vec<Action> =
+                (0..12).map(|_| plain.space().sample(&mut rng)).collect();
+            // Replay every action a second time so the cached wrapper
+            // must serve hits — those too must be bit-identical.
+            actions.extend(actions.clone());
+            for action in &actions {
+                assert_eq!(
+                    plain.step(action),
+                    cached.step(action),
+                    "{}",
+                    workload.name()
+                );
+            }
+            let stats = cache.stats();
+            assert_eq!(stats.hits + stats.misses, 24, "{}", workload.name());
+            assert!(stats.hits >= 12, "{}", workload.name());
+        }
+    }
+
+    #[test]
+    fn canonical_traces_share_one_allocation() {
+        let a = DramEnv::new(DramWorkload::Stream, Objective::low_power(1.0));
+        let b = DramEnv::new(DramWorkload::Stream, Objective::low_latency(30.0));
+        // Same workload, default trace config: both envs point at the
+        // process-wide canonical trace, not private copies.
+        assert!(std::ptr::eq(a.trace().as_ptr(), b.trace().as_ptr()));
+        let c = a.clone();
+        assert!(std::ptr::eq(a.trace().as_ptr(), c.trace().as_ptr()));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! is the negated distance-to-budget `Σ_m α·max(0, (D_m − B_m)/B_m)`; a
 //! design meeting every budget scores exactly `0`, the best possible.
 
-use crate::soc::{decode_config, evaluate};
+use crate::soc::{decode_config, SocEvaluator};
 use crate::taskgraph::{audio_decoder, edge_detection, slam_lite, TaskGraph};
 use archgym_core::env::{Environment, Observation, StepResult};
 use archgym_core::reward::{BudgetTerm, RewardSpec};
@@ -101,7 +101,7 @@ impl SocWorkload {
 pub struct SocEnv {
     space: ParamSpace,
     workload: SocWorkload,
-    graph: TaskGraph,
+    evaluator: SocEvaluator,
     spec: RewardSpec,
     name: String,
 }
@@ -143,7 +143,7 @@ impl SocEnv {
         SocEnv {
             space: soc_space(),
             workload,
-            graph: workload.graph(),
+            evaluator: SocEvaluator::new(workload.graph()),
             spec,
             name: format!("farsi/{}", workload.name()),
         }
@@ -179,7 +179,7 @@ impl Environment for SocEnv {
             Ok(cfg) => cfg,
             Err(_) => return StepResult::infeasible(Observation::new(vec![0.0; 3]), -100.0),
         };
-        match evaluate(&config, &self.graph) {
+        match self.evaluator.evaluate(&config) {
             Ok(cost) => {
                 let observation =
                     Observation::new(vec![cost.power_mw, cost.latency_ms, cost.area_mm2]);

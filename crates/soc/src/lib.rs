@@ -32,5 +32,7 @@ pub mod soc;
 pub mod taskgraph;
 
 pub use env::{soc_space, SocEnv, SocWorkload};
-pub use soc::{decode_config, evaluate, MemKind, PeKind, SocConfig, SocCost, SocInfeasible};
+pub use soc::{
+    decode_config, evaluate, MemKind, PeKind, SocConfig, SocCost, SocEvaluator, SocInfeasible,
+};
 pub use taskgraph::{Task, TaskGraph};

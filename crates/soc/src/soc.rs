@@ -166,109 +166,174 @@ fn pe_static_mw(kind: PeKind) -> f64 {
     }
 }
 
+/// A reusable evaluator for one task graph.
+///
+/// The list schedule walks the same topological order and predecessor
+/// lists on every call, so this precomputes both at construction and
+/// keeps the per-call availability/finish vectors as scratch — a search
+/// agent issuing thousands of [`SocEvaluator::evaluate`] calls against
+/// one workload allocates nothing per call.
+#[derive(Debug, Clone)]
+pub struct SocEvaluator {
+    graph: TaskGraph,
+    order: Vec<usize>,
+    /// `preds[i]` is task `i`'s incoming `(src, bytes)` edges, in edge
+    /// declaration order (matching [`TaskGraph::predecessors`]).
+    preds: Vec<Vec<(usize, f64)>>,
+    pe_avail: Vec<f64>,
+    noc_avail: Vec<f64>,
+    mem_avail: Vec<f64>,
+    finish: Vec<f64>,
+}
+
+impl SocEvaluator {
+    /// Precompute the schedule-invariant parts of `graph`.
+    pub fn new(graph: TaskGraph) -> Self {
+        let order = graph
+            .topo_order()
+            .expect("graphs are validated at construction");
+        let preds = (0..graph.tasks().len())
+            .map(|i| graph.predecessors(i))
+            .collect();
+        let n = graph.tasks().len();
+        SocEvaluator {
+            graph,
+            order,
+            preds,
+            pe_avail: Vec::new(),
+            noc_avail: Vec::new(),
+            mem_avail: Vec::new(),
+            finish: vec![0.0; n],
+        }
+    }
+
+    /// The task graph this evaluator schedules.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// Evaluate a SoC allocation on the evaluator's task graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SocInfeasible`] when any block count is zero.
+    pub fn evaluate(&mut self, cfg: &SocConfig) -> std::result::Result<SocCost, SocInfeasible> {
+        if cfg.pe_count == 0 {
+            return Err(SocInfeasible::NoPes);
+        }
+        if cfg.noc_count == 0 {
+            return Err(SocInfeasible::NoNoc);
+        }
+        if cfg.mem_count == 0 {
+            return Err(SocInfeasible::NoMemory);
+        }
+        let graph = &self.graph;
+
+        let pe_hz = cfg.pe_freq_mhz as f64 * 1e6;
+        let base_rate = match cfg.pe_kind {
+            PeKind::Gpp => GPP_IPC,
+            PeKind::Accelerator => ACCEL_IPC,
+        } * pe_hz
+            * cfg.unroll_speedup();
+        let noc_bw = cfg.noc_bus_width as f64 * cfg.noc_freq_mhz as f64 * 1e6; // B/s per channel
+        let mem_bw = cfg.mem_bus_width as f64 * cfg.mem_freq_mhz as f64 * 1e6;
+        let mem_lat = mem_latency_s(cfg.mem_kind);
+
+        self.pe_avail.clear();
+        self.pe_avail.resize(cfg.pe_count as usize, 0.0);
+        self.noc_avail.clear();
+        self.noc_avail.resize(cfg.noc_count as usize, 0.0);
+        self.mem_avail.clear();
+        self.mem_avail.resize(cfg.mem_count as usize, 0.0);
+        self.finish.clear();
+        self.finish.resize(graph.tasks().len(), 0.0);
+        let pe_avail = &mut self.pe_avail;
+        let noc_avail = &mut self.noc_avail;
+        let mem_avail = &mut self.mem_avail;
+        let finish = &mut self.finish;
+        let mut compute_energy_pj = 0.0;
+        let mut transfer_energy_pj = 0.0;
+
+        for &i in &self.order {
+            let task = &graph.tasks()[i];
+            // Gather inputs over NoC + memory channels.
+            let mut ready = 0.0f64;
+            for &(src, bytes) in &self.preds[i] {
+                // Earliest-available NoC channel carries the transfer; the
+                // memory channel gates it as well (data is staged in memory).
+                let (noc_idx, noc_free) = argmin(noc_avail);
+                let (mem_idx, mem_free) = argmin(mem_avail);
+                let start = finish[src].max(noc_free).max(mem_free);
+                let duration = (bytes / noc_bw).max(bytes / mem_bw) + mem_lat;
+                let end = start + duration;
+                noc_avail[noc_idx] = end;
+                mem_avail[mem_idx] = end;
+                transfer_energy_pj += bytes * (NOC_PJ_PER_BYTE + mem_pj_per_byte(cfg.mem_kind));
+                ready = ready.max(end);
+            }
+            // Execute on the earliest-available PE instance.
+            let rate = base_rate
+                * match cfg.pe_kind {
+                    PeKind::Gpp => 1.0,
+                    PeKind::Accelerator => task.accel_speedup,
+                };
+            let (pe_idx, pe_free) = argmin(pe_avail);
+            let start = ready.max(pe_free);
+            let duration = task.ops / rate;
+            finish[i] = start + duration;
+            pe_avail[pe_idx] = finish[i];
+            // Energy: per-op cost rises with voltage (∝ freq^0.5 here) and
+            // mildly with unrolling depth.
+            let pj_per_op = match cfg.pe_kind {
+                PeKind::Gpp => GPP_PJ_PER_OP,
+                PeKind::Accelerator => ACCEL_PJ_PER_OP,
+            } * (cfg.pe_freq_mhz as f64 / 100.0).powf(0.5)
+                * (1.0 + 0.03 * (cfg.unroll() as f64 + 1.0).log2());
+            compute_energy_pj += task.ops * pj_per_op;
+        }
+
+        let makespan_s = finish.iter().copied().fold(0.0f64, f64::max).max(1e-12);
+        let dynamic_mw = (compute_energy_pj + transfer_energy_pj) / 1e9 / makespan_s;
+        let static_mw = pe_static_mw(cfg.pe_kind) * cfg.pe_count as f64
+            + 4.0 * cfg.noc_count as f64 * (cfg.noc_bus_width as f64 / 32.0).max(0.25)
+            + match cfg.mem_kind {
+                MemKind::Dram => 60.0,
+                MemKind::Sram => 10.0,
+            } * cfg.mem_count as f64;
+        let power_mw = dynamic_mw + static_mw;
+        let energy_mj = power_mw * makespan_s; // mW·s = mJ
+
+        // Area grows with the *exploited* unrolling (the speedup cap also
+        // caps the duplicated datapath).
+        let pe_area = match cfg.pe_kind {
+            PeKind::Gpp => 1.5 * (1.0 + 0.2 * cfg.unroll_speedup()),
+            PeKind::Accelerator => 0.4 * (1.0 + 0.15 * cfg.unroll_speedup()),
+        } * cfg.pe_count as f64;
+        let noc_area = 0.05 * cfg.noc_count as f64 * (cfg.noc_bus_width as f64 / 32.0).max(0.25);
+        let mem_area = match cfg.mem_kind {
+            MemKind::Dram => 1.2,
+            MemKind::Sram => 2.5,
+        } * cfg.mem_count as f64;
+
+        Ok(SocCost {
+            latency_ms: makespan_s * 1e3,
+            power_mw,
+            area_mm2: pe_area + noc_area + mem_area,
+            energy_mj,
+        })
+    }
+}
+
 /// Evaluate a SoC allocation on a task graph.
+///
+/// One-shot convenience over [`SocEvaluator`]; hot loops stepping one
+/// graph thousands of times should hold a `SocEvaluator` instead.
 ///
 /// # Errors
 ///
 /// Returns a [`SocInfeasible`] when any block count is zero.
 pub fn evaluate(cfg: &SocConfig, graph: &TaskGraph) -> std::result::Result<SocCost, SocInfeasible> {
-    if cfg.pe_count == 0 {
-        return Err(SocInfeasible::NoPes);
-    }
-    if cfg.noc_count == 0 {
-        return Err(SocInfeasible::NoNoc);
-    }
-    if cfg.mem_count == 0 {
-        return Err(SocInfeasible::NoMemory);
-    }
-
-    let pe_hz = cfg.pe_freq_mhz as f64 * 1e6;
-    let base_rate = match cfg.pe_kind {
-        PeKind::Gpp => GPP_IPC,
-        PeKind::Accelerator => ACCEL_IPC,
-    } * pe_hz
-        * cfg.unroll_speedup();
-    let noc_bw = cfg.noc_bus_width as f64 * cfg.noc_freq_mhz as f64 * 1e6; // B/s per channel
-    let mem_bw = cfg.mem_bus_width as f64 * cfg.mem_freq_mhz as f64 * 1e6;
-    let mem_lat = mem_latency_s(cfg.mem_kind);
-
-    let order = graph
-        .topo_order()
-        .expect("graphs are validated at construction");
-    let mut pe_avail = vec![0.0f64; cfg.pe_count as usize];
-    let mut noc_avail = vec![0.0f64; cfg.noc_count as usize];
-    let mut mem_avail = vec![0.0f64; cfg.mem_count as usize];
-    let mut finish = vec![0.0f64; graph.tasks().len()];
-    let mut compute_energy_pj = 0.0;
-    let mut transfer_energy_pj = 0.0;
-
-    for &i in &order {
-        let task = &graph.tasks()[i];
-        // Gather inputs over NoC + memory channels.
-        let mut ready = 0.0f64;
-        for (src, bytes) in graph.predecessors(i) {
-            // Earliest-available NoC channel carries the transfer; the
-            // memory channel gates it as well (data is staged in memory).
-            let (noc_idx, noc_free) = argmin(&noc_avail);
-            let (mem_idx, mem_free) = argmin(&mem_avail);
-            let start = finish[src].max(noc_free).max(mem_free);
-            let duration = (bytes / noc_bw).max(bytes / mem_bw) + mem_lat;
-            let end = start + duration;
-            noc_avail[noc_idx] = end;
-            mem_avail[mem_idx] = end;
-            transfer_energy_pj += bytes * (NOC_PJ_PER_BYTE + mem_pj_per_byte(cfg.mem_kind));
-            ready = ready.max(end);
-        }
-        // Execute on the earliest-available PE instance.
-        let rate = base_rate
-            * match cfg.pe_kind {
-                PeKind::Gpp => 1.0,
-                PeKind::Accelerator => task.accel_speedup,
-            };
-        let (pe_idx, pe_free) = argmin(&pe_avail);
-        let start = ready.max(pe_free);
-        let duration = task.ops / rate;
-        finish[i] = start + duration;
-        pe_avail[pe_idx] = finish[i];
-        // Energy: per-op cost rises with voltage (∝ freq^0.5 here) and
-        // mildly with unrolling depth.
-        let pj_per_op = match cfg.pe_kind {
-            PeKind::Gpp => GPP_PJ_PER_OP,
-            PeKind::Accelerator => ACCEL_PJ_PER_OP,
-        } * (cfg.pe_freq_mhz as f64 / 100.0).powf(0.5)
-            * (1.0 + 0.03 * (cfg.unroll() as f64 + 1.0).log2());
-        compute_energy_pj += task.ops * pj_per_op;
-    }
-
-    let makespan_s = finish.iter().copied().fold(0.0f64, f64::max).max(1e-12);
-    let dynamic_mw = (compute_energy_pj + transfer_energy_pj) / 1e9 / makespan_s;
-    let static_mw = pe_static_mw(cfg.pe_kind) * cfg.pe_count as f64
-        + 4.0 * cfg.noc_count as f64 * (cfg.noc_bus_width as f64 / 32.0).max(0.25)
-        + match cfg.mem_kind {
-            MemKind::Dram => 60.0,
-            MemKind::Sram => 10.0,
-        } * cfg.mem_count as f64;
-    let power_mw = dynamic_mw + static_mw;
-    let energy_mj = power_mw * makespan_s; // mW·s = mJ
-
-    // Area grows with the *exploited* unrolling (the speedup cap also
-    // caps the duplicated datapath).
-    let pe_area = match cfg.pe_kind {
-        PeKind::Gpp => 1.5 * (1.0 + 0.2 * cfg.unroll_speedup()),
-        PeKind::Accelerator => 0.4 * (1.0 + 0.15 * cfg.unroll_speedup()),
-    } * cfg.pe_count as f64;
-    let noc_area = 0.05 * cfg.noc_count as f64 * (cfg.noc_bus_width as f64 / 32.0).max(0.25);
-    let mem_area = match cfg.mem_kind {
-        MemKind::Dram => 1.2,
-        MemKind::Sram => 2.5,
-    } * cfg.mem_count as f64;
-
-    Ok(SocCost {
-        latency_ms: makespan_s * 1e3,
-        power_mw,
-        area_mm2: pe_area + noc_area + mem_area,
-        energy_mj,
-    })
+    SocEvaluator::new(graph.clone()).evaluate(cfg)
 }
 
 fn argmin(values: &[f64]) -> (usize, f64) {
