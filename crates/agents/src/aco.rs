@@ -146,6 +146,12 @@ impl Agent for AntColony {
         (0..n).map(|_| Action::new(self.construct())).collect()
     }
 
+    /// An ant colony's natural batch is its cohort of ants per
+    /// iteration.
+    fn batch_hint(&self) -> Option<usize> {
+        Some(self.num_ants)
+    }
+
     fn observe(&mut self, results: &[(Action, StepResult)]) {
         if results.is_empty() {
             return;

@@ -282,6 +282,13 @@ impl Agent for GeneticAlgorithm {
         self.pending.drain(..n).map(Action::new).collect()
     }
 
+    /// A GA's natural batch is its generation: proposing whole
+    /// populations lets the search loop evaluate each generation in one
+    /// (possibly pooled) sweep.
+    fn batch_hint(&self) -> Option<usize> {
+        Some(self.population_size)
+    }
+
     fn observe(&mut self, results: &[(Action, StepResult)]) {
         for (action, result) in results {
             self.current.push(Individual {

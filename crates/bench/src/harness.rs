@@ -2,7 +2,7 @@
 
 use archgym_agents::factory::{build_agent, default_grid, AgentKind};
 use archgym_core::agent::HyperMap;
-use archgym_core::env::Environment;
+use archgym_core::env::{CloneEnvironment, Environment};
 use archgym_core::error::Result;
 use archgym_core::search::RunConfig;
 use archgym_core::sweep::{Sweep, SweepResult, SweepSummary};
@@ -92,6 +92,9 @@ pub struct LotterySpec {
     pub record: bool,
     /// Worker threads for the sweep (`0` = every available core).
     pub jobs: usize,
+    /// In-run batch-evaluation threads per search run (`1` = serial;
+    /// composes with — and multiplies — the sweep-level `jobs`).
+    pub batch_jobs: usize,
 }
 
 impl LotterySpec {
@@ -103,6 +106,7 @@ impl LotterySpec {
             batch: 16,
             record: false,
             jobs: 0,
+            batch_jobs: 1,
         }
     }
 
@@ -124,6 +128,13 @@ impl LotterySpec {
         self.jobs = jobs;
         self
     }
+
+    /// Override the in-run batch-evaluation thread count, builder-style
+    /// (`1` = serial evaluation inside each run).
+    pub fn batch_jobs(mut self, batch_jobs: usize) -> Self {
+        self.batch_jobs = batch_jobs;
+        self
+    }
 }
 
 /// Run the hyperparameter lottery for one agent family against an
@@ -139,7 +150,7 @@ impl LotterySpec {
 /// Propagates agent-construction failures.
 pub fn lottery<F>(kind: AgentKind, spec: &LotterySpec, make_env: F) -> Result<SweepResult>
 where
-    F: Fn() -> Box<dyn Environment> + Sync,
+    F: Fn() -> Box<dyn CloneEnvironment> + Sync,
 {
     let assignments: Vec<HyperMap> = default_grid(kind)
         .iter()
@@ -152,6 +163,7 @@ where
         sample_budget: spec.budget,
         batch: spec.batch,
         record: spec.record,
+        jobs: spec.batch_jobs,
     };
     Sweep::new(run_config)
         .seeds(spec.scale.seeds())
@@ -229,6 +241,28 @@ mod tests {
             assert_eq!(a.result.best_reward, b.result.best_reward);
             assert_eq!(a.result.best_action, b.result.best_action);
             assert_eq!(a.result.samples_used, b.result.samples_used);
+        }
+    }
+
+    #[test]
+    fn lottery_is_deterministic_across_batch_job_counts() {
+        let run_at = |batch_jobs: usize| {
+            lottery(
+                AgentKind::Ga,
+                &LotterySpec::new(Scale::Smoke)
+                    .jobs(1)
+                    .batch_jobs(batch_jobs),
+                || Box::new(PeakEnv::new(&[10, 10], vec![6, 2])),
+            )
+            .unwrap()
+        };
+        let serial = run_at(1);
+        let pooled = run_at(4);
+        assert_eq!(serial.points.len(), pooled.points.len());
+        for (a, b) in serial.points.iter().zip(&pooled.points) {
+            assert_eq!(a.result.best_reward, b.result.best_reward);
+            assert_eq!(a.result.best_action, b.result.best_action);
+            assert_eq!(a.result.reward_history, b.result.reward_history);
         }
     }
 

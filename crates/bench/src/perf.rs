@@ -17,7 +17,8 @@ use archgym_core::agent::HyperMap;
 use archgym_core::cache::EvalCache;
 use archgym_core::env::Environment;
 use archgym_core::error::Result;
-use archgym_core::search::RunConfig;
+use archgym_core::executor::Executor;
+use archgym_core::search::{RunConfig, RunResult, SearchLoop};
 use archgym_core::seeded_rng;
 use archgym_core::sweep::{Sweep, SweepResult};
 use archgym_dram::controller::{ControllerConfig, MemoryController};
@@ -51,12 +52,27 @@ pub struct ScenarioResult {
 /// The full `bench perf` report.
 #[derive(Debug, Clone)]
 pub struct PerfReport {
+    /// Git revision this run measured (`"unknown"` unless the binary
+    /// was told via `--rev=`).
+    pub rev: String,
+    /// Date of the run (`"unknown"` unless the binary was told via
+    /// `--date=`).
+    pub date: String,
+    /// Hardware threads available on the machine that produced the
+    /// numbers — parallel speedups are meaningless without it.
+    pub cores: usize,
     /// Whether the quick (CI smoke) workload sizes were used.
     pub quick: bool,
     /// Worker threads used by the parallel scenario (`0` = all cores).
     pub jobs: usize,
     /// Every timed scenario, in execution order.
     pub scenarios: Vec<ScenarioResult>,
+    /// Throughput ratio of the per-bank indexed scheduler over the
+    /// retired linear-scan engine on the wide-buffer workload.
+    pub scheduler_index_speedup: f64,
+    /// Wall-clock speedup of the jobs=4 pooled batched run over the
+    /// same run evaluated serially (≈1 on a single-core machine).
+    pub batched_run_speedup: f64,
     /// Wall-clock speedup of the warm cached sweep over the uncached
     /// serial sweep (the acceptance metric: must exceed 2×).
     pub cached_sweep_speedup: f64,
@@ -82,6 +98,9 @@ impl PerfReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"bench\": \"perf\",");
+        let _ = writeln!(out, "  \"rev\": \"{}\",", self.rev);
+        let _ = writeln!(out, "  \"date\": \"{}\",", self.date);
+        let _ = writeln!(out, "  \"cores\": {},", self.cores);
         let _ = writeln!(out, "  \"quick\": {},", self.quick);
         let _ = writeln!(out, "  \"jobs\": {},", self.jobs);
         out.push_str("  \"baseline\": {\n");
@@ -126,6 +145,16 @@ impl PerfReport {
                 current / BASELINE_SIMULATE_WIDE_PER_SEC
             );
         }
+        let _ = writeln!(
+            out,
+            "  \"scheduler_index_speedup\": {:.3},",
+            self.scheduler_index_speedup
+        );
+        let _ = writeln!(
+            out,
+            "  \"batched_run_speedup\": {:.3},",
+            self.batched_run_speedup
+        );
         let _ = writeln!(
             out,
             "  \"cached_sweep_speedup\": {:.3},",
@@ -219,6 +248,13 @@ pub fn run(quick: bool, jobs: usize) -> Result<PerfReport> {
         max_active_transactions: 64,
         ..ControllerConfig::default()
     };
+    // Warm both engines untimed so neither pays first-touch cache and
+    // page-fault costs inside its timing window.
+    for _ in 0..if quick { 2 } else { 10 } {
+        let a = MemoryController::new(wide_cfg.clone()).simulate(&wide_trace);
+        let b = MemoryController::new(wide_cfg.clone()).simulate_linear_scan(&wide_trace);
+        assert_eq!(a, b, "engines diverged on the wide workload");
+    }
     let reps: u64 = if quick { 30 } else { 300 };
     let (seconds, checksum) = timed(|| {
         let mut sink = 0.0f64;
@@ -230,19 +266,82 @@ pub fn run(quick: bool, jobs: usize) -> Result<PerfReport> {
         sink
     });
     assert!(checksum.is_finite());
+    let wide_per_sec = reps as f64 / seconds;
     scenarios.push(ScenarioResult {
         name: "simulate-only/wide".into(),
         work_units: reps,
         wall_seconds: seconds,
-        per_second: reps as f64 / seconds,
+        per_second: wide_per_sec,
     });
+
+    // Same workload through the retired O(buffer)-per-decision linear
+    // scan, so the per-bank index's algorithmic win stays measured.
+    let reps: u64 = if quick { 10 } else { 100 };
+    let (seconds, checksum) = timed(|| {
+        let mut sink = 0.0f64;
+        for _ in 0..reps {
+            sink += MemoryController::new(wide_cfg.clone())
+                .simulate_linear_scan(&wide_trace)
+                .avg_latency_ns;
+        }
+        sink
+    });
+    assert!(checksum.is_finite());
+    let linear_per_sec = reps as f64 / seconds;
+    scenarios.push(ScenarioResult {
+        name: "simulate-only/wide-linear-scan".into(),
+        work_units: reps,
+        wall_seconds: seconds,
+        per_second: linear_per_sec,
+    });
+    let scheduler_index_speedup = wide_per_sec / linear_per_sec;
+
+    // --- batched-run: in-run parallel evaluation ----------------------
+    // One GA run with auto batch (= its population) evaluated serially,
+    // then fanned over a 4-replica EnvPool. Results must be
+    // bit-identical; the wall-clock ratio is the pool's gain (≈1 on a
+    // single-core machine — `cores` in the report says which).
+    let run_budget: u64 = if quick { 96 } else { 600 };
+    let batched_env = || DramEnv::new(DramWorkload::Stream, Objective::low_power(1.0));
+    let batched_space = batched_env().space().clone();
+    let run_batched = |batch_jobs: usize| -> Result<RunResult> {
+        let mut agent = build_agent(AgentKind::Ga, &batched_space, &HyperMap::new(), 7)?;
+        let config = RunConfig::with_budget(run_budget)
+            .batch(0)
+            .record(false)
+            .jobs(batch_jobs);
+        Ok(SearchLoop::new(config).run_pooled(&mut agent, batched_env()))
+    };
+    let (serial_run_seconds, serial_run) = timed(|| run_batched(1));
+    let serial_run = serial_run?;
+    scenarios.push(ScenarioResult {
+        name: "batched-run/serial".into(),
+        work_units: run_budget,
+        wall_seconds: serial_run_seconds,
+        per_second: run_budget as f64 / serial_run_seconds,
+    });
+    let (pooled_run_seconds, pooled_run) = timed(|| run_batched(4));
+    let pooled_run = pooled_run?;
+    assert!(
+        serial_run.best_reward == pooled_run.best_reward
+            && serial_run.best_action == pooled_run.best_action
+            && serial_run.reward_history == pooled_run.reward_history,
+        "batched-run/jobs4 diverged from the serial run"
+    );
+    scenarios.push(ScenarioResult {
+        name: "batched-run/jobs4".into(),
+        work_units: run_budget,
+        wall_seconds: pooled_run_seconds,
+        per_second: run_budget as f64 / pooled_run_seconds,
+    });
+    let batched_run_speedup = serial_run_seconds / pooled_run_seconds;
 
     // --- sweeps: serial, parallel, cached ------------------------------
     let kind = AgentKind::Ga;
     let budget: u64 = if quick { 48 } else { 300 };
     let assignments: Vec<HyperMap> = default_grid(kind)
         .iter()
-        .take(if quick { 2 } else { 4 })
+        .take(if quick { 4 } else { 8 })
         .collect();
     let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2] };
     let make_env = || DramEnv::new(DramWorkload::Stream, Objective::low_power(1.0));
@@ -299,28 +398,129 @@ pub fn run(quick: bool, jobs: usize) -> Result<PerfReport> {
 
     let stats = cache.stats();
     Ok(PerfReport {
+        rev: "unknown".into(),
+        date: "unknown".into(),
+        cores: Executor::available_parallelism(),
         quick,
         jobs,
         scenarios,
+        scheduler_index_speedup,
+        batched_run_speedup,
         cached_sweep_speedup: serial_seconds / warm_seconds,
         cache_hit_rate: stats.hit_rate(),
         cache_entries: stats.entries,
     })
 }
 
+/// Append `entry` (one run's JSON object) to a history file's contents,
+/// returning the new file body — always a JSON array of run objects.
+///
+/// Accepts three prior states: an existing history array (insert before
+/// the closing bracket), a legacy single-object report (wrap both into
+/// an array), or an empty/missing file (start a fresh array).
+pub fn append_history(existing: &str, entry: &str) -> String {
+    let old = existing.trim();
+    let entry = entry.trim();
+    if let Some(body) = old.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+        let body = body.trim().trim_end_matches(',').trim();
+        if body.is_empty() {
+            format!("[\n{entry}\n]\n")
+        } else {
+            format!("[\n{body},\n{entry}\n]\n")
+        }
+    } else if old.starts_with('{') {
+        format!("[\n{old},\n{entry}\n]\n")
+    } else {
+        format!("[\n{entry}\n]\n")
+    }
+}
+
+/// The most recent `per_second` recorded for `scenario` anywhere in a
+/// report or history file (later entries win). Dependency-free by
+/// design: the report's JSON is hand-rolled, so scanning it is safe.
+pub fn last_per_second(json: &str, scenario: &str) -> Option<f64> {
+    let needle = format!("\"name\": \"{scenario}\"");
+    let mut latest = None;
+    let mut from = 0;
+    while let Some(pos) = json[from..].find(&needle) {
+        let rest = &json[from + pos..];
+        if let Some(field) = rest.find("\"per_second\": ") {
+            let tail = &rest[field + 14..];
+            let end = tail
+                .find(|c: char| !c.is_ascii_digit() && c != '.')
+                .unwrap_or(tail.len());
+            if let Ok(v) = tail[..end].parse() {
+                latest = Some(v);
+            }
+        }
+        from += pos + needle.len();
+    }
+    latest
+}
+
+/// Compare a fresh report against a committed baseline file, returning
+/// one message per regression. A scenario regresses when its throughput
+/// falls below `1 - tolerance` of the baseline's most recent entry;
+/// sweep-parallel is additionally held to sweep-serial from the *same*
+/// run, so the chunked executor can never quietly lose to serial again.
+pub fn gate(report: &PerfReport, baseline_json: &str, tolerance: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    let floor = 1.0 - tolerance;
+    for scenario in ["simulate-only/default", "simulate-only/wide"] {
+        let (Some(base), Some(now)) = (
+            last_per_second(baseline_json, scenario),
+            report.per_second(scenario),
+        ) else {
+            continue;
+        };
+        if now < base * floor {
+            failures.push(format!(
+                "{scenario}: {now:.1}/s fell below {:.1}/s ({base:.1}/s baseline − {:.0}% tolerance)",
+                base * floor,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if let (Some(serial), Some(parallel)) = (
+        report.per_second("sweep-serial"),
+        report.per_second("sweep-parallel"),
+    ) {
+        if parallel < serial * floor {
+            failures.push(format!(
+                "sweep-parallel: {parallel:.1}/s fell below {:.1}/s (sweep-serial {serial:.1}/s − {:.0}% tolerance)",
+                serial * floor,
+                tolerance * 100.0
+            ));
+        }
+    }
+    failures
+}
+
 /// Print the report as an aligned table plus the headline ratios.
 pub fn print(report: &PerfReport) {
     println!("\n=== bench perf ===");
     println!(
-        "{:<22} {:>12} {:>14} {:>14}",
+        "rev {} | date {} | {} core(s)",
+        report.rev, report.date, report.cores
+    );
+    println!(
+        "{:<30} {:>12} {:>14} {:>14}",
         "scenario", "work units", "wall seconds", "per second"
     );
     for s in &report.scenarios {
         println!(
-            "{:<22} {:>12} {:>14.4} {:>14.1}",
+            "{:<30} {:>12} {:>14.4} {:>14.1}",
             s.name, s.work_units, s.wall_seconds, s.per_second
         );
     }
+    println!(
+        "per-bank indexed scheduler vs linear scan (wide): {:.2}x",
+        report.scheduler_index_speedup
+    );
+    println!(
+        "batched run jobs=4 vs serial: {:.2}x on {} core(s)",
+        report.batched_run_speedup, report.cores
+    );
     if let Some(current) = report.per_second("simulate-only/default") {
         println!(
             "simulate-only/default vs pre-optimization baseline: {:.2}x ({:.0}/s vs {:.0}/s)",
@@ -350,6 +550,9 @@ mod tests {
             [
                 "simulate-only/default",
                 "simulate-only/wide",
+                "simulate-only/wide-linear-scan",
+                "batched-run/serial",
+                "batched-run/jobs4",
                 "sweep-serial",
                 "sweep-parallel",
                 "cached-sweep/cold",
@@ -357,6 +560,15 @@ mod tests {
             ]
         );
         assert!(report.scenarios.iter().all(|s| s.per_second > 0.0));
+        assert!(report.cores >= 1);
+        // The indexed scheduler must not lose to the linear scan it
+        // replaced (timer noise allowance only).
+        assert!(
+            report.scheduler_index_speedup > 0.9,
+            "indexed scheduler only {:.2}x of linear scan",
+            report.scheduler_index_speedup
+        );
+        assert!(report.batched_run_speedup > 0.0);
         // A warm cache answers every lookup without simulating; even on
         // a loaded single-core machine that dwarfs 2x.
         assert!(
@@ -368,9 +580,11 @@ mod tests {
         assert!(report.cache_entries > 0);
     }
 
-    #[test]
-    fn json_report_is_well_formed() {
-        let report = PerfReport {
+    fn sample_report() -> PerfReport {
+        PerfReport {
+            rev: "abc1234".into(),
+            date: "2026-08-07".into(),
+            cores: 1,
             quick: true,
             jobs: 2,
             scenarios: vec![ScenarioResult {
@@ -379,16 +593,27 @@ mod tests {
                 wall_seconds: 0.5,
                 per_second: 20.0,
             }],
+            scheduler_index_speedup: 3.5,
+            batched_run_speedup: 1.0,
             cached_sweep_speedup: 5.0,
             cache_hit_rate: 0.75,
             cache_entries: 42,
-        };
-        let json = report.to_json();
+        }
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let json = sample_report().to_json();
         for needle in [
             "\"bench\": \"perf\"",
+            "\"rev\": \"abc1234\"",
+            "\"date\": \"2026-08-07\"",
+            "\"cores\": 1",
             "\"baseline\"",
             "\"simulate_default_per_sec\"",
             "\"scenarios\"",
+            "\"scheduler_index_speedup\": 3.500",
+            "\"batched_run_speedup\": 1.000",
             "\"cached_sweep_speedup\": 5.000",
             "\"cache_entries\": 42",
             "\"simulate_default_speedup_vs_baseline\"",
@@ -399,5 +624,78 @@ mod tests {
         // stays dependency-free under the offline stub build.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn history_grows_through_every_prior_state() {
+        let entry = sample_report().to_json();
+        // Empty file → fresh single-entry array.
+        let first = append_history("", &entry);
+        assert!(first.trim_start().starts_with('['));
+        assert_eq!(first.matches("\"bench\": \"perf\"").count(), 1);
+        // Legacy single-object report → wrapped two-entry array.
+        let wrapped = append_history(&entry, &entry);
+        assert!(wrapped.trim_start().starts_with('['));
+        assert_eq!(wrapped.matches("\"bench\": \"perf\"").count(), 2);
+        // Existing array → appended.
+        let third = append_history(&wrapped, &entry);
+        assert_eq!(third.matches("\"bench\": \"perf\"").count(), 3);
+        assert_eq!(third.matches('[').count(), third.matches(']').count());
+        assert_eq!(third.matches('{').count(), third.matches('}').count());
+    }
+
+    #[test]
+    fn last_per_second_takes_the_newest_entry() {
+        let history = r#"[
+          {"scenarios": [{"name": "simulate-only/default", "work_units": 1, "wall_seconds": 1.0, "per_second": 100.0}]},
+          {"scenarios": [{"name": "simulate-only/default", "work_units": 1, "wall_seconds": 1.0, "per_second": 250.5}]}
+        ]"#;
+        assert_eq!(
+            last_per_second(history, "simulate-only/default"),
+            Some(250.5)
+        );
+        assert_eq!(last_per_second(history, "simulate-only/wide"), None);
+    }
+
+    #[test]
+    fn gate_flags_only_real_regressions() {
+        let mut report = sample_report();
+        report.scenarios = vec![
+            ScenarioResult {
+                name: "simulate-only/default".into(),
+                work_units: 1,
+                wall_seconds: 1.0,
+                per_second: 100.0,
+            },
+            ScenarioResult {
+                name: "sweep-serial".into(),
+                work_units: 1,
+                wall_seconds: 1.0,
+                per_second: 50.0,
+            },
+            ScenarioResult {
+                name: "sweep-parallel".into(),
+                work_units: 1,
+                wall_seconds: 1.0,
+                per_second: 48.0,
+            },
+        ];
+        let baseline = |per_sec: f64| {
+            format!(
+                "[{{\"scenarios\": [{{\"name\": \"simulate-only/default\", \"per_second\": {per_sec}}}]}}]"
+            )
+        };
+        // Within 30% tolerance: no failures (100 vs 120 baseline).
+        assert!(gate(&report, &baseline(120.0), 0.3).is_empty());
+        // Far below baseline: flagged.
+        let failures = gate(&report, &baseline(200.0), 0.3);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("simulate-only/default"));
+        // Parallel sweep collapsing against its own serial run: flagged
+        // even when the baseline file never saw the scenario.
+        report.scenarios[2].per_second = 10.0;
+        let failures = gate(&report, &baseline(120.0), 0.3);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("sweep-parallel"));
     }
 }

@@ -23,6 +23,7 @@ pub fn run(args: &Args) -> Result<String> {
     match args.command() {
         "list" => Ok(list()),
         "search" => search(args),
+        "compare" => compare(args),
         "sweep" => sweep(args),
         "halving" => halving(args),
         "trace" => trace(args),
@@ -42,14 +43,20 @@ pub fn usage() -> String {
 USAGE:
   archgym list
   archgym search --env <spec> --agent <aco|bo|ga|rl|rw|sa> [--objective <spec>]
-                 [--budget N] [--seed N] [--batch N] [--dataset out.jsonl] [--csv out.csv]
+                 [--budget N] [--seed N] [--batch N] [--jobs N] [--dataset out.jsonl] [--csv out.csv]
+  archgym compare --env <spec> [--agents aco,ga,sa,...] [--objective <spec>]
+                 [--budget N] [--seed N] [--batch N] [--jobs N]
   archgym sweep  --env <spec> --agent <kind> [--objective <spec>] [--budget N] [--seeds N] [--grid N] [--jobs N] [--cache true]
   archgym halving --env <spec> --agent <kind> [--objective <spec>] [--budget N] [--eta N] [--jobs N] [--cache true]
   archgym trace  --workload <stream|random|cloud-1|cloud-2> [--length N] [--seed N] [--out file] [--stats true]
   archgym proxy  --dataset in.jsonl --metric N [--search N] [--seed N]
 
-`--jobs N` fans independent runs over N worker threads (default: all
-cores; 1 = serial). Results are deterministic regardless of thread count.
+For `sweep`/`halving`, `--jobs N` fans independent runs over N worker
+threads (default: all cores; 1 = serial). For `search`/`compare`,
+`--jobs N` fans each proposed batch across N environment replicas
+inside a single run, and `--batch 0` lets the agent pick its natural
+batch (GA population, ACO ant cohort). Results are deterministic and
+bit-identical regardless of thread count.
 `--cache true` memoizes design-point evaluations in a shared in-memory
 cache, so configurations revisited by any run cost a hash lookup instead
 of a simulation; results are identical with or without it.
@@ -81,14 +88,15 @@ fn list() -> String {
 }
 
 fn search(args: &Args) -> Result<String> {
-    let mut env = make_env(args.require("env")?, args.get("objective"))?;
+    let env = make_env(args.require("env")?, args.get("objective"))?;
     let kind = AgentKind::parse(args.require("agent")?)?;
     let budget = args.u64_or("budget", 1_000)?;
     let seed = args.u64_or("seed", 0)?;
     let batch = args.u64_or("batch", 16)? as usize;
+    let jobs = args.u64_or("jobs", 1)? as usize;
     let mut agent = build_agent(kind, env.space(), &Default::default(), seed)?;
-    let result =
-        SearchLoop::new(RunConfig::with_budget(budget).batch(batch)).run(&mut agent, &mut env);
+    let config = RunConfig::with_budget(budget).batch(batch).jobs(jobs);
+    let result = SearchLoop::new(config).run_pooled(&mut agent, env.clone());
 
     let mut out = String::new();
     let _ = writeln!(
@@ -112,6 +120,61 @@ fn search(args: &Args) -> Result<String> {
     if let Some(path) = args.get("csv") {
         result.dataset.write_csv(File::create(path)?)?;
         let _ = writeln!(out, "wrote {} transitions to {path}", result.dataset.len());
+    }
+    Ok(out)
+}
+
+/// Race several agents on one environment under a shared sample budget
+/// and report a leaderboard (paper §6: no single agent dominates).
+fn compare(args: &Args) -> Result<String> {
+    let env = make_env(args.require("env")?, args.get("objective"))?;
+    let budget = args.u64_or("budget", 500)?;
+    let seed = args.u64_or("seed", 0)?;
+    let batch = args.u64_or("batch", 0)? as usize;
+    let jobs = args.u64_or("jobs", 1)? as usize;
+    let kinds: Vec<AgentKind> = match args.get("agents") {
+        None => AgentKind::EXTENDED.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|name| AgentKind::parse(name.trim()))
+            .collect::<Result<_>>()?,
+    };
+    let config = RunConfig::with_budget(budget)
+        .batch(batch)
+        .record(false)
+        .jobs(jobs);
+    let batch_label = if batch == 0 {
+        "auto".to_owned()
+    } else {
+        batch.to_string()
+    };
+    let mut rows = Vec::new();
+    for kind in &kinds {
+        let mut agent = build_agent(*kind, env.space(), &Default::default(), seed)?;
+        let result = SearchLoop::new(config.clone()).run_pooled(&mut agent, env.clone());
+        rows.push((kind.name().to_owned(), result));
+    }
+    rows.sort_by(|a, b| {
+        b.1.best_reward
+            .partial_cmp(&a.1.best_reward)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} agents on {} ({budget} samples each, batch {batch_label}, jobs {jobs}):",
+        rows.len(),
+        env.name(),
+    );
+    for (rank, (name, result)) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {:>2}. {name:<4} best {:.6} | {:>6} samples | {:.2}s",
+            rank + 1,
+            result.best_reward,
+            result.samples_used,
+            result.wall_seconds
+        );
     }
     Ok(out)
 }
@@ -366,6 +429,82 @@ mod tests {
         assert!(out.contains("best reward"));
         assert!(out.contains("PagePolicy"));
         assert!(out.contains("power_w"));
+    }
+
+    #[test]
+    fn search_with_jobs_matches_serial_bit_for_bit() {
+        let line = |jobs: &str| {
+            run_line(&[
+                "search",
+                "--env",
+                "dram/stream",
+                "--agent",
+                "ga",
+                "--objective",
+                "power:1.0",
+                "--budget",
+                "48",
+                "--jobs",
+                jobs,
+            ])
+            .unwrap()
+        };
+        let serial = line("1");
+        let pooled = line("4");
+        // Everything but the wall-clock line must match exactly.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("samples in"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&serial), strip(&pooled));
+    }
+
+    #[test]
+    fn compare_ranks_the_requested_agents() {
+        let out = run_line(&[
+            "compare",
+            "--env",
+            "dram/stream",
+            "--agents",
+            "rw,sa,ga",
+            "--objective",
+            "power:1.0",
+            "--budget",
+            "48",
+            "--jobs",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("3 agents on dram"), "{out}");
+        for agent in ["rw", "sa", "ga"] {
+            assert!(out.contains(agent), "missing {agent} in:\n{out}");
+        }
+        assert!(out.contains(" 1. "), "{out}");
+        // Leaderboard is sorted: first listed reward >= last listed.
+        let rewards: Vec<f64> = out
+            .lines()
+            .filter_map(|l| l.split("best ").nth(1))
+            .filter_map(|rest| rest.split_whitespace().next())
+            .map(|v| v.parse().unwrap())
+            .collect();
+        assert_eq!(rewards.len(), 3, "{out}");
+        assert!(rewards[0] >= rewards[2], "{out}");
+    }
+
+    #[test]
+    fn compare_defaults_to_the_extended_roster() {
+        let out = run_line(&[
+            "compare",
+            "--env",
+            "maestro/resnet18/stage2",
+            "--budget",
+            "24",
+        ])
+        .unwrap();
+        assert!(out.contains("7 agents on maestro"), "{out}");
+        assert!(run_line(&["compare", "--env", "dram/stream", "--agents", "dqn"]).is_err());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! * FARSI — `budgets:<lat_ms>,<pow_mw>,<area_mm2>` (default: workload budgets)
 //! * MAESTRO — `runtime`, `energy`
 
-use archgym_core::env::Environment;
+use archgym_core::env::CloneEnvironment;
 use archgym_core::error::{ArchGymError, Result};
 use archgym_dram::DramWorkload;
 use archgym_soc::SocWorkload;
@@ -64,10 +64,14 @@ fn soc_workload(name: &str) -> Result<SocWorkload> {
 
 /// Build an environment from `spec` with an optional objective string.
 ///
+/// Returns a [`CloneEnvironment`] trait object so callers can replicate
+/// the environment into an [`EnvPool`](archgym_core::pool::EnvPool) for
+/// in-run batch parallelism.
+///
 /// # Errors
 ///
 /// Returns [`ArchGymError::InvalidConfig`] for unknown specs.
-pub fn make_env(spec: &str, objective: Option<&str>) -> Result<Box<dyn Environment>> {
+pub fn make_env(spec: &str, objective: Option<&str>) -> Result<Box<dyn CloneEnvironment>> {
     let mut parts = spec.splitn(3, '/');
     let family = parts.next().unwrap_or_default();
     match family {
@@ -178,6 +182,7 @@ pub fn known_envs() -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use archgym_core::env::Environment;
 
     #[test]
     fn builds_every_family() {

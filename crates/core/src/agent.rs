@@ -35,6 +35,16 @@ pub trait Agent {
     /// Digest the evaluated batch and refine the policy (Q2). `results` is
     /// parallel to the batch returned by the preceding `propose` call.
     fn observe(&mut self, results: &[(Action, StepResult)]);
+
+    /// The agent's natural batch size, if it has one — a GA's population,
+    /// an ACO's ant cohort. The search loop uses this when
+    /// [`RunConfig::batch`](crate::search::RunConfig) is set to `0`
+    /// (auto), so population agents evaluate whole generations at once
+    /// (and an [`EnvPool`](crate::pool::EnvPool) can fan them out).
+    /// Sequential agents return `None` and get the loop's default.
+    fn batch_hint(&self) -> Option<usize> {
+        None
+    }
 }
 
 impl<A: Agent + ?Sized> Agent for Box<A> {
@@ -46,6 +56,9 @@ impl<A: Agent + ?Sized> Agent for Box<A> {
     }
     fn observe(&mut self, results: &[(Action, StepResult)]) {
         (**self).observe(results)
+    }
+    fn batch_hint(&self) -> Option<usize> {
+        (**self).batch_hint()
     }
 }
 

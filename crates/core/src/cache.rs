@@ -190,7 +190,7 @@ impl Default for EvalCache {
 /// Built with [`CachedEnv::uncached`] the wrapper is a passthrough, so
 /// callers like [`Sweep`](crate::sweep::Sweep) can always wrap and let
 /// the optional cache decide whether memoization happens.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CachedEnv<E> {
     inner: E,
     cache: Option<Arc<EvalCache>>,

@@ -191,10 +191,35 @@ impl<E: Environment + ?Sized> Environment for &mut E {
     }
 }
 
+/// An [`Environment`] that can be duplicated behind a trait object.
+///
+/// Every bundled cost model is `Clone + Send` (cloning is cheap — e.g.
+/// `DramEnv` shares its trace through an `Arc`), so the blanket impl
+/// covers them all. The point of the trait is `Box<dyn
+/// CloneEnvironment>`: boxed environments built from CLI/bench specs
+/// stay cloneable, which is what lets them fan out across the
+/// per-worker replicas of an [`EnvPool`](crate::pool::EnvPool).
+pub trait CloneEnvironment: Environment + Send {
+    /// Clone into a fresh boxed replica.
+    fn clone_env(&self) -> Box<dyn CloneEnvironment>;
+}
+
+impl<E: Environment + Clone + Send + 'static> CloneEnvironment for E {
+    fn clone_env(&self) -> Box<dyn CloneEnvironment> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn CloneEnvironment> {
+    fn clone(&self) -> Self {
+        (**self).clone_env()
+    }
+}
+
 /// A counting wrapper that tracks how many simulator queries have been
 /// issued — the paper's *sample efficiency* axis (Section 6.2) normalizes
 /// all agent comparisons by this number.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CountingEnv<E> {
     inner: E,
     samples: u64,

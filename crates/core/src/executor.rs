@@ -7,11 +7,11 @@
 //! input order, so a parallel sweep is bit-identical to a serial one.
 //!
 //! The design is deliberately dependency-free: [`std::thread::scope`]
-//! workers pull the next unclaimed index off a shared atomic cursor
-//! (self-scheduling / work stealing at item granularity — run units are
-//! heavy enough that one `fetch_add` per unit is noise), stash
-//! `(index, result)` pairs locally, and the results are stitched back
-//! into input order after the scope joins.
+//! workers pull the next unclaimed *chunk* of indices off a shared
+//! atomic cursor (self-scheduling: chunks amortize coordination on
+//! fine-grained items while staying small enough to load-balance uneven
+//! ones), stash `(index, result)` pairs locally, and the results are
+//! stitched back into input order after the scope joins.
 //!
 //! ```
 //! use archgym_core::executor::Executor;
@@ -55,6 +55,13 @@ impl Executor {
         self.jobs
     }
 
+    /// How many indices a worker claims per cursor bump: roughly four
+    /// claims per worker, so coordination is amortized on fine-grained
+    /// items without starving stragglers on uneven ones.
+    fn chunk(items: usize, workers: usize) -> usize {
+        (items / (workers * 4)).max(1)
+    }
+
     /// Apply `f` to every item, in parallel across the executor's
     /// workers, and return the results **in input order**.
     ///
@@ -72,6 +79,7 @@ impl Executor {
             return items.iter().map(&f).collect();
         }
 
+        let chunk = Self::chunk(items.len(), workers);
         let cursor = AtomicUsize::new(0);
         let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
         std::thread::scope(|scope| {
@@ -82,11 +90,14 @@ impl Executor {
                     scope.spawn(move || {
                         let mut local: Vec<(usize, R)> = Vec::new();
                         loop {
-                            let index = cursor.fetch_add(1, Ordering::Relaxed);
-                            if index >= items.len() {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= items.len() {
                                 break;
                             }
-                            local.push((index, f(&items[index])));
+                            let end = (start + chunk).min(items.len());
+                            for (index, item) in items.iter().enumerate().take(end).skip(start) {
+                                local.push((index, f(item)));
+                            }
                         }
                         local
                     })
@@ -99,6 +110,71 @@ impl Executor {
 
         // Stitch results back into input order. Every index appears
         // exactly once, so a by-index sort restores determinism.
+        tagged.sort_unstable_by_key(|(index, _)| *index);
+        tagged.into_iter().map(|(_, result)| result).collect()
+    }
+
+    /// Like [`Executor::map`], but each worker thread owns one mutable
+    /// state from `states` (at most one thread per state, never shared) —
+    /// the fan-out primitive behind
+    /// [`EnvPool`](crate::pool::EnvPool)'s per-worker environment
+    /// replicas. Results come back **in input order**.
+    ///
+    /// Runs on `min(jobs, states.len(), items.len())` workers; with one
+    /// worker (or one state) everything runs serially on the caller's
+    /// thread against `states[0]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty while `items` is not, and propagates
+    /// worker panics.
+    pub fn map_with<W, T, R, F>(&self, states: &mut [W], items: &[T], f: F) -> Vec<R>
+    where
+        W: Send,
+        T: Sync,
+        R: Send,
+        F: Fn(&mut W, &T) -> R + Sync,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        assert!(!states.is_empty(), "map_with needs at least one state");
+        let workers = self.jobs.min(states.len()).min(items.len());
+        if workers <= 1 {
+            let state = &mut states[0];
+            return items.iter().map(|item| f(state, item)).collect();
+        }
+
+        let chunk = Self::chunk(items.len(), workers);
+        let cursor = AtomicUsize::new(0);
+        let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = states[..workers]
+                .iter_mut()
+                .map(|state| {
+                    let cursor = &cursor;
+                    let f = &f;
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= items.len() {
+                                break;
+                            }
+                            let end = (start + chunk).min(items.len());
+                            for (index, item) in items.iter().enumerate().take(end).skip(start) {
+                                local.push((index, f(state, item)));
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                tagged.extend(handle.join().expect("executor worker panicked"));
+            }
+        });
+
         tagged.sort_unstable_by_key(|(index, _)| *index);
         tagged.into_iter().map(|(_, result)| result).collect()
     }
@@ -158,6 +234,42 @@ mod tests {
         let results =
             Executor::new(2).map(&items, |&x| if x < 0 { Err("negative") } else { Ok(x * 2) });
         assert_eq!(results, vec![Ok(2), Err("negative"), Ok(6)]);
+    }
+
+    #[test]
+    fn chunk_sizes_amortize_without_starving() {
+        assert_eq!(Executor::chunk(8, 8), 1); // small sweeps: per-item
+        assert_eq!(Executor::chunk(1000, 4), 62); // big inputs: coarse
+        assert_eq!(Executor::chunk(1, 16), 1);
+    }
+
+    #[test]
+    fn map_with_preserves_order_and_confines_states_to_workers() {
+        let items: Vec<u64> = (0..100).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 7).collect();
+        for jobs in [1, 2, 4, 16] {
+            // Each worker state counts how many items it handled; the
+            // counts must sum to the item count (every item exactly once).
+            let mut states = vec![0u64; 4];
+            let got = Executor::new(jobs).map_with(&mut states, &items, |count, &x| {
+                *count += 1;
+                x * 7
+            });
+            assert_eq!(got, expected, "jobs={jobs}");
+            assert_eq!(states.iter().sum::<u64>(), 100, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn map_with_handles_empty_input_without_states() {
+        let got = Executor::new(4).map_with(&mut [] as &mut [u8], &[] as &[u64], |_, &x| x);
+        assert_eq!(got, Vec::<u64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn map_with_rejects_missing_states() {
+        let _ = Executor::new(4).map_with(&mut [] as &mut [u8], &[1u64], |_, &x| x);
     }
 
     #[test]

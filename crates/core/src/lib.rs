@@ -27,6 +27,7 @@
 //! * [`agent`] — the [`Agent`] trait plus hyperparameter plumbing.
 //! * [`search`] — the agent↔environment driver ([`SearchLoop`]).
 //! * [`executor`] — deterministic parallel fan-out of independent runs.
+//! * [`pool`] — in-run parallel batch evaluation ([`EnvPool`]).
 //! * [`trajectory`] — standardized exploration datasets (Section 3.4).
 //! * [`bundle`] — self-describing dataset artifacts (schema + data).
 //! * [`pareto`] — Pareto-front extraction for multi-objective datasets.
@@ -77,6 +78,7 @@ pub mod env;
 pub mod error;
 pub mod executor;
 pub mod pareto;
+pub mod pool;
 pub mod reward;
 pub mod search;
 pub mod space;
@@ -88,9 +90,10 @@ pub mod trajectory;
 pub use agent::{warm_start, Agent, HyperGrid, HyperMap, HyperValue};
 pub use bundle::DatasetBundle;
 pub use cache::{CacheStats, CachedEnv, EvalCache};
-pub use env::{Environment, Observation, StepResult};
+pub use env::{CloneEnvironment, Environment, Observation, StepResult};
 pub use error::{ArchGymError, Result};
 pub use executor::Executor;
+pub use pool::{BatchEvaluator, EnvPool};
 pub use reward::{BudgetTerm, Objective, RewardSpec};
 pub use search::{RunConfig, RunResult, SearchLoop};
 pub use space::{Action, ParamDomain, ParamSpace, ParamValue, SpaceBuilder};
@@ -118,9 +121,10 @@ pub fn seeded_rng(seed: u64) -> StdRng {
 pub mod prelude {
     pub use crate::agent::{warm_start, Agent, HyperGrid, HyperMap, HyperValue};
     pub use crate::cache::{CacheStats, CachedEnv, EvalCache};
-    pub use crate::env::{Environment, Observation, StepResult};
+    pub use crate::env::{CloneEnvironment, Environment, Observation, StepResult};
     pub use crate::error::{ArchGymError, Result};
     pub use crate::executor::Executor;
+    pub use crate::pool::{BatchEvaluator, EnvPool};
     pub use crate::reward::{BudgetTerm, Objective, RewardSpec};
     pub use crate::search::{RunConfig, RunResult, SearchLoop};
     pub use crate::seeded_rng;

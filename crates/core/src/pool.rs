@@ -1,0 +1,211 @@
+//! In-run batch evaluation — [`BatchEvaluator`] and [`EnvPool`].
+//!
+//! The ArchGym loop (paper §3, Fig. 2) is agent-proposes-batch →
+//! simulator-evaluates → agent-observes. Population agents (GA
+//! generations, ACO ant cohorts, SA neighbor batches) propose whole
+//! batches whose members are independent by construction, so the
+//! evaluate stage can fan out across threads *within one run* — a
+//! different axis from the across-runs parallelism of
+//! [`Executor::map`](crate::executor::Executor::map)-driven sweeps.
+//!
+//! [`BatchEvaluator`] is the seam: the
+//! [`SearchLoop`](crate::search::SearchLoop) evaluates through it
+//! instead of calling [`Environment::step`] directly. A blanket impl
+//! makes every `Environment` a serial evaluator, so existing call
+//! sites keep working unchanged. [`EnvPool`] is the parallel
+//! implementation: it holds one cloned environment replica per worker
+//! (cloning is cheap — e.g. `DramEnv` shares its trace through an
+//! `Arc`) and fans each batch out via
+//! [`Executor::map_with`](crate::executor::Executor::map_with).
+//!
+//! Results always come back **in proposal order**, and every bundled
+//! environment is a deterministic pure function of the action, so a
+//! pooled run is bit-identical to a serial one — same rewards, same
+//! history, same dataset. The search loop's tests enforce this.
+//!
+//! ```
+//! use archgym_core::pool::{BatchEvaluator, EnvPool};
+//! use archgym_core::prelude::*;
+//! use archgym_core::toy::PeakEnv;
+//!
+//! let mut pool = EnvPool::new(PeakEnv::new(&[8], vec![3]), 4);
+//! let batch: Vec<Action> = (0..8).map(|i| Action::new(vec![i])).collect();
+//! let results = pool.eval_batch(&batch);
+//! assert_eq!(results.len(), 8);
+//! assert_eq!(results[3].reward, 1.0); // order preserved: index 3 is the peak
+//! ```
+
+use crate::env::{Environment, Observation, StepResult};
+use crate::executor::Executor;
+use crate::space::Action;
+
+/// Evaluates batches of proposed design points.
+///
+/// The [`SearchLoop`](crate::search::SearchLoop) is generic over this
+/// trait rather than over [`Environment`] directly. The blanket impl
+/// below turns any environment into a serial evaluator; [`EnvPool`]
+/// evaluates in parallel across replicas. Implementations must return
+/// exactly one result per action, in the same order.
+pub trait BatchEvaluator {
+    /// The wrapped environment's name (for dataset/trajectory records).
+    /// Deliberately not called `name` so the blanket impl never makes
+    /// [`Environment`] method calls ambiguous.
+    fn env_name(&self) -> &str;
+
+    /// Reset episode state, returning the initial observation.
+    fn reset_env(&mut self) -> Observation;
+
+    /// Evaluate `actions`, returning results in proposal order.
+    fn eval_batch(&mut self, actions: &[Action]) -> Vec<StepResult>;
+}
+
+/// Every environment is a serial batch evaluator: step each action in
+/// order on the caller's thread.
+impl<E: Environment + ?Sized> BatchEvaluator for E {
+    fn env_name(&self) -> &str {
+        self.name()
+    }
+    fn reset_env(&mut self) -> Observation {
+        self.reset()
+    }
+    fn eval_batch(&mut self, actions: &[Action]) -> Vec<StepResult> {
+        actions.iter().map(|action| self.step(action)).collect()
+    }
+}
+
+/// A pool of cloned environment replicas that evaluates batches in
+/// parallel, one replica per worker thread.
+///
+/// Wrapping a [`CachedEnv`](crate::cache::CachedEnv) composes with the
+/// shared [`EvalCache`](crate::cache::EvalCache): replicas clone the
+/// `Arc` handle, so all workers fill and probe one memo table.
+#[derive(Debug)]
+pub struct EnvPool<E> {
+    replicas: Vec<E>,
+    executor: Executor,
+}
+
+impl<E: Environment + Clone + Send> EnvPool<E> {
+    /// A pool of `jobs` replicas of `env` (`jobs == 0` means one per
+    /// available hardware thread; `jobs == 1` degenerates to serial).
+    pub fn new(env: E, jobs: usize) -> Self {
+        let executor = Executor::new(jobs);
+        let replicas = vec![env; executor.jobs()];
+        EnvPool { replicas, executor }
+    }
+
+    /// The number of environment replicas (== worker threads).
+    pub fn jobs(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The first replica (they are interchangeable — bundled
+    /// environments are stateless between designs).
+    pub fn env(&self) -> &E {
+        &self.replicas[0]
+    }
+
+    /// Unwrap, returning the first replica and dropping the rest.
+    pub fn into_env(mut self) -> E {
+        self.replicas.swap_remove(0)
+    }
+}
+
+impl<E: Environment + Clone + Send> BatchEvaluator for EnvPool<E> {
+    fn env_name(&self) -> &str {
+        self.replicas[0].name()
+    }
+    fn reset_env(&mut self) -> Observation {
+        // Reset every replica so all workers observe the same episode
+        // state; return the first observation (they are identical).
+        let mut first = None;
+        for replica in &mut self.replicas {
+            let obs = replica.reset();
+            first.get_or_insert(obs);
+        }
+        first.expect("pool holds at least one replica")
+    }
+    fn eval_batch(&mut self, actions: &[Action]) -> Vec<StepResult> {
+        self.executor
+            .map_with(&mut self.replicas, actions, |env, action| env.step(action))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::{CachedEnv, EvalCache};
+    use crate::env::CountingEnv;
+    use crate::toy::PeakEnv;
+    use std::sync::Arc;
+
+    fn batch(n: usize) -> Vec<Action> {
+        (0..n).map(|i| Action::new(vec![i % 8])).collect()
+    }
+
+    #[test]
+    fn pool_matches_serial_evaluation_in_order() {
+        let mut serial = PeakEnv::new(&[8], vec![3]);
+        let expected = serial.eval_batch(&batch(100));
+        for jobs in [1, 2, 4, 16] {
+            let mut pool = EnvPool::new(PeakEnv::new(&[8], vec![3]), jobs);
+            assert_eq!(pool.eval_batch(&batch(100)), expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn pool_reports_wrapped_env_metadata() {
+        let mut pool = EnvPool::new(PeakEnv::new(&[8, 8], vec![1, 2]), 4);
+        assert_eq!(pool.env_name(), "peak");
+        assert_eq!(pool.env().space().len(), 2);
+        assert_eq!(
+            pool.reset_env().len(),
+            pool.env().observation_labels().len()
+        );
+        assert_eq!(pool.jobs(), 4);
+        assert_eq!(pool.into_env().name(), "peak");
+    }
+
+    #[test]
+    fn zero_jobs_sizes_pool_to_available_parallelism() {
+        let pool = EnvPool::new(PeakEnv::new(&[4], vec![0]), 0);
+        assert_eq!(pool.jobs(), Executor::available_parallelism());
+    }
+
+    #[test]
+    fn pool_composes_with_shared_eval_cache() {
+        // All replicas share one cache: 32 distinct points evaluated
+        // across a pool leave exactly 32 entries, and a repeat batch is
+        // answered entirely from the cache.
+        let cache = Arc::new(EvalCache::new());
+        let env = CachedEnv::new(
+            CountingEnv::new(PeakEnv::new(&[32], vec![7])),
+            cache.clone(),
+        );
+        let mut pool = EnvPool::new(env, 4);
+        let points: Vec<Action> = (0..32).map(|i| Action::new(vec![i])).collect();
+        let first = pool.eval_batch(&points);
+        assert_eq!(cache.stats().entries, 32);
+        let second = pool.eval_batch(&points);
+        assert_eq!(first, second);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 32);
+        assert_eq!(stats.misses, 32);
+    }
+
+    #[test]
+    fn boxed_clone_environment_can_be_pooled() {
+        use crate::env::CloneEnvironment;
+        let boxed: Box<dyn CloneEnvironment> = Box::new(PeakEnv::new(&[8], vec![5]));
+        let mut serial = boxed.clone();
+        let expected = serial.eval_batch(&batch(24));
+        let mut pool = EnvPool::new(boxed, 3);
+        assert_eq!(pool.eval_batch(&batch(24)), expected);
+    }
+
+    #[test]
+    fn empty_batch_returns_empty_results() {
+        let mut pool = EnvPool::new(PeakEnv::new(&[4], vec![0]), 4);
+        assert!(pool.eval_batch(&[]).is_empty());
+    }
+}

@@ -6,10 +6,15 @@
 
 use crate::agent::Agent;
 use crate::env::{Environment, StepResult};
+use crate::pool::{BatchEvaluator, EnvPool};
 use crate::space::Action;
 use crate::trajectory::{Dataset, Transition};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+/// Fallback proposal batch size when neither the config nor the agent
+/// pins one down.
+const DEFAULT_BATCH: usize = 16;
 
 /// Configuration of one search run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -18,24 +23,34 @@ pub struct RunConfig {
     /// paper compares agents at budgets of 100 / 1k / 10k / 100k samples.
     pub sample_budget: u64,
     /// Upper bound on the batch size requested from [`Agent::propose`].
-    /// Population-based agents use it as their generation size.
+    /// Population-based agents use it as their generation size. `0`
+    /// means *auto*: use the agent's [`Agent::batch_hint`] (its whole
+    /// generation) when it has one, else 16.
     pub batch: usize,
     /// Record every transition into the run's dataset. Disable for very
     /// long runs where only the best design matters.
     pub record: bool,
+    /// Worker threads for in-run batch evaluation via
+    /// [`SearchLoop::run_pooled`]: `1` (default) evaluates serially on
+    /// the caller's thread, `0` uses every available hardware thread,
+    /// `n > 1` fans batches across `n` environment replicas. Results
+    /// are bit-identical at any setting.
+    pub jobs: usize,
 }
 
 impl RunConfig {
-    /// A run with the given sample budget and a batch size of 16.
+    /// A run with the given sample budget, a batch size of 16, and
+    /// serial evaluation.
     pub fn with_budget(sample_budget: u64) -> Self {
         RunConfig {
             sample_budget,
             batch: 16,
             record: true,
+            jobs: 1,
         }
     }
 
-    /// Override the proposal batch size, builder-style.
+    /// Override the proposal batch size, builder-style (`0` = auto).
     pub fn batch(mut self, batch: usize) -> Self {
         self.batch = batch;
         self
@@ -44,6 +59,12 @@ impl RunConfig {
     /// Toggle transition recording, builder-style.
     pub fn record(mut self, record: bool) -> Self {
         self.record = record;
+        self
+    }
+
+    /// Set in-run evaluation workers, builder-style (`0` = all cores).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
         self
     }
 }
@@ -146,12 +167,16 @@ impl SearchLoop {
         &self.config
     }
 
-    /// Run `agent` against `env` until the sample budget is exhausted or
-    /// the agent stops proposing. Returns the run report.
-    pub fn run<A, E>(&self, agent: &mut A, env: &mut E) -> RunResult
+    /// Run `agent` against `eval` until the sample budget is exhausted
+    /// or the agent stops proposing. Returns the run report.
+    ///
+    /// `eval` is any [`BatchEvaluator`] — a plain [`Environment`]
+    /// (evaluated serially, via the blanket impl) or an [`EnvPool`]
+    /// (evaluated in parallel). Both yield bit-identical reports.
+    pub fn run<A, E>(&self, agent: &mut A, eval: &mut E) -> RunResult
     where
         A: Agent + ?Sized,
-        E: Environment + ?Sized,
+        E: BatchEvaluator + ?Sized,
     {
         let start = Instant::now();
         let mut samples_used = 0u64;
@@ -160,20 +185,25 @@ impl SearchLoop {
         let mut best_observation = Vec::new();
         let mut reward_history = Vec::new();
         let mut dataset = Dataset::new();
-        env.reset();
+        eval.reset_env();
+        let batch_cap = match self.config.batch {
+            0 => agent.batch_hint().unwrap_or(DEFAULT_BATCH),
+            n => n,
+        }
+        .max(1);
 
         while samples_used < self.config.sample_budget {
             let remaining = (self.config.sample_budget - samples_used) as usize;
-            let batch = agent.propose(self.config.batch.min(remaining).max(1));
-            if batch.is_empty() {
+            let mut actions = agent.propose(batch_cap.min(remaining));
+            if actions.is_empty() {
                 break; // agent converged
             }
-            let mut results: Vec<(Action, StepResult)> = Vec::with_capacity(batch.len());
-            for action in batch {
-                if samples_used >= self.config.sample_budget {
-                    break;
-                }
-                let result = env.step(&action);
+            // A misbehaving agent may ignore max_batch; never evaluate
+            // past the budget.
+            actions.truncate(remaining);
+            let step_results = eval.eval_batch(&actions);
+            let mut results: Vec<(Action, StepResult)> = Vec::with_capacity(actions.len());
+            for (action, result) in actions.into_iter().zip(step_results) {
                 samples_used += 1;
                 if result.reward > best_reward {
                     best_reward = result.reward;
@@ -183,7 +213,7 @@ impl SearchLoop {
                 if self.config.record {
                     reward_history.push(result.reward);
                     dataset.push(Transition::new(
-                        env.name(),
+                        eval.env_name(),
                         agent.name(),
                         action.clone(),
                         &result,
@@ -196,7 +226,7 @@ impl SearchLoop {
 
         RunResult {
             agent: agent.name().to_owned(),
-            env: env.name().to_owned(),
+            env: eval.env_name().to_owned(),
             best_reward,
             best_action: best_action.unwrap_or_else(|| Action::new(Vec::new())),
             best_observation,
@@ -204,6 +234,25 @@ impl SearchLoop {
             wall_seconds: start.elapsed().as_secs_f64(),
             reward_history,
             dataset,
+        }
+    }
+
+    /// Run `agent` against `env`, honoring the config's
+    /// [`jobs`](RunConfig::jobs) knob: `jobs == 1` evaluates serially,
+    /// anything else fans batches across an [`EnvPool`] of cloned
+    /// replicas. Takes the environment by value (the pool needs to own
+    /// its replicas); the report is bit-identical at any job count.
+    pub fn run_pooled<A, E>(&self, agent: &mut A, env: E) -> RunResult
+    where
+        A: Agent + ?Sized,
+        E: Environment + Clone + Send,
+    {
+        if self.config.jobs == 1 {
+            let mut env = env;
+            self.run(agent, &mut env)
+        } else {
+            let mut pool = EnvPool::new(env, self.config.jobs);
+            self.run(agent, &mut pool)
         }
     }
 }
@@ -324,5 +373,58 @@ mod tests {
         let result = SearchLoop::new(RunConfig::with_budget(42)).run(&mut agent, &mut env);
         assert_eq!(result.samples_used, 42);
         assert_eq!(env.samples(), 42);
+    }
+
+    #[test]
+    fn auto_batch_follows_the_agent_hint() {
+        struct Hinted {
+            asked: Vec<usize>,
+        }
+        impl Agent for Hinted {
+            fn name(&self) -> &str {
+                "hinted"
+            }
+            fn propose(&mut self, max_batch: usize) -> Vec<Action> {
+                self.asked.push(max_batch);
+                (0..max_batch).map(|i| Action::new(vec![i % 5])).collect()
+            }
+            fn observe(&mut self, _results: &[(Action, StepResult)]) {}
+            fn batch_hint(&self) -> Option<usize> {
+                Some(7)
+            }
+        }
+        let mut env = PeakEnv::new(&[5], vec![0]);
+        let mut agent = Hinted { asked: Vec::new() };
+        // batch == 0 → auto: the agent's hint of 7 drives proposals.
+        let result = SearchLoop::new(RunConfig::with_budget(20).batch(0)).run(&mut agent, &mut env);
+        assert_eq!(result.samples_used, 20);
+        assert_eq!(agent.asked, vec![7, 7, 6]); // last capped by budget
+    }
+
+    #[test]
+    fn auto_batch_without_hint_falls_back_to_default() {
+        let mut env = PeakEnv::new(&[5], vec![0]);
+        let mut agent = RandomWalker::new(env.space().clone(), 1);
+        let result = SearchLoop::new(RunConfig::with_budget(40).batch(0)).run(&mut agent, &mut env);
+        assert_eq!(result.samples_used, 40);
+    }
+
+    #[test]
+    fn pooled_run_is_bit_identical_to_serial() {
+        let serial = {
+            let mut env = PeakEnv::new(&[16, 16], vec![5, 9]);
+            let mut agent = RandomWalker::new(env.space().clone(), 12);
+            SearchLoop::new(RunConfig::with_budget(128)).run(&mut agent, &mut env)
+        };
+        for jobs in [1, 2, 4] {
+            let env = PeakEnv::new(&[16, 16], vec![5, 9]);
+            let mut agent = RandomWalker::new(env.space().clone(), 12);
+            let pooled =
+                SearchLoop::new(RunConfig::with_budget(128).jobs(jobs)).run_pooled(&mut agent, env);
+            assert_eq!(pooled.best_reward, serial.best_reward, "jobs={jobs}");
+            assert_eq!(pooled.best_action, serial.best_action, "jobs={jobs}");
+            assert_eq!(pooled.reward_history, serial.reward_history, "jobs={jobs}");
+            assert_eq!(pooled.dataset.len(), serial.dataset.len(), "jobs={jobs}");
+        }
     }
 }

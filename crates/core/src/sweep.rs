@@ -209,7 +209,7 @@ impl Sweep {
         make_agent: FA,
     ) -> Result<SweepResult>
     where
-        E: Environment,
+        E: Environment + Clone + Send,
         A: Agent,
         FE: Fn() -> E + Sync,
         FA: Fn(&HyperMap, u64) -> Result<A> + Sync,
@@ -232,7 +232,7 @@ impl Sweep {
         make_agent: FA,
     ) -> Result<SweepResult>
     where
-        E: Environment,
+        E: Environment + Clone + Send,
         A: Agent,
         FE: Fn() -> E + Sync,
         FA: Fn(&HyperMap, u64) -> Result<A> + Sync,
@@ -244,10 +244,10 @@ impl Sweep {
         let outcomes = Executor::new(self.jobs).map(
             &units,
             |&(hyper, seed)| -> Result<(String, SweepPoint)> {
-                let mut env = CachedEnv::with_cache(make_env(), self.cache.clone());
+                let env = CachedEnv::with_cache(make_env(), self.cache.clone());
                 let env_name = env.name().to_owned();
                 let mut agent = make_agent(hyper, seed)?;
-                let result = SearchLoop::new(self.run_config.clone()).run(&mut agent, &mut env);
+                let result = SearchLoop::new(self.run_config.clone()).run_pooled(&mut agent, env);
                 Ok((
                     env_name,
                     SweepPoint {
@@ -326,6 +326,7 @@ pub struct SuccessiveHalving {
     batch: usize,
     seed: u64,
     jobs: usize,
+    batch_jobs: usize,
     cache: Option<Arc<EvalCache>>,
 }
 
@@ -345,6 +346,7 @@ impl SuccessiveHalving {
             batch: 16,
             seed: 0,
             jobs: 1,
+            batch_jobs: 1,
             cache: None,
         }
     }
@@ -366,6 +368,15 @@ impl SuccessiveHalving {
     /// default) runs serially.
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Evaluate each *run's* proposal batches over `batch_jobs` workers
+    /// (the [`RunConfig::jobs`] knob of the per-round runs),
+    /// builder-style. Useful in the late rounds, where few candidates
+    /// remain and across-candidate parallelism alone leaves cores idle.
+    pub fn batch_jobs(mut self, batch_jobs: usize) -> Self {
+        self.batch_jobs = batch_jobs;
         self
     }
 
@@ -391,7 +402,7 @@ impl SuccessiveHalving {
         make_agent: FA,
     ) -> Result<HalvingResult>
     where
-        E: Environment,
+        E: Environment + Clone + Send,
         A: Agent,
         FE: Fn() -> E + Sync,
         FA: Fn(&HyperMap, u64) -> Result<A> + Sync,
@@ -415,12 +426,13 @@ impl SuccessiveHalving {
         let (winner_hyper, winner_result) = loop {
             let round_config = RunConfig::with_budget(budget)
                 .batch(self.batch)
-                .record(false);
+                .record(false)
+                .jobs(self.batch_jobs);
             let outcomes = executor.map(&candidates, |hyper| -> Result<(String, RunResult)> {
-                let mut env = CachedEnv::with_cache(make_env(), self.cache.clone());
+                let env = CachedEnv::with_cache(make_env(), self.cache.clone());
                 let name = env.name().to_owned();
                 let mut agent = make_agent(hyper, self.seed)?;
-                let result = SearchLoop::new(round_config.clone()).run(&mut agent, &mut env);
+                let result = SearchLoop::new(round_config.clone()).run_pooled(&mut agent, env);
                 Ok((name, result))
             });
             let mut scored: Vec<(HyperMap, RunResult)> = Vec::with_capacity(candidates.len());
