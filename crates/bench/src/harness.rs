@@ -4,7 +4,7 @@ use archgym_agents::factory::{build_agent, default_grid, AgentKind};
 use archgym_core::agent::HyperMap;
 use archgym_core::env::{CloneEnvironment, Environment};
 use archgym_core::error::Result;
-use archgym_core::search::RunConfig;
+use archgym_core::search::{RetryPolicy, RunConfig};
 use archgym_core::sweep::{Sweep, SweepResult, SweepSummary};
 
 /// Experiment scale. The paper's studies span 21,600 experiments and
@@ -164,6 +164,7 @@ where
         batch: spec.batch,
         record: spec.record,
         jobs: spec.batch_jobs,
+        retry: RetryPolicy::default(),
     };
     Sweep::new(run_config)
         .seeds(spec.scale.seeds())

@@ -6,7 +6,8 @@ use crate::spec::{known_envs, make_env};
 use archgym_agents::factory::{build_agent, default_grid, AgentKind};
 use archgym_core::env::Environment;
 use archgym_core::error::{ArchGymError, Result};
-use archgym_core::search::{RunConfig, SearchLoop};
+use archgym_core::fault::{FaultPlan, FaultStats, FaultyEnv};
+use archgym_core::search::{RetryPolicy, RunConfig, RunResult, SearchLoop};
 use archgym_core::seeded_rng;
 use archgym_core::stats::summarize;
 use archgym_core::trajectory::Dataset;
@@ -44,8 +45,11 @@ USAGE:
   archgym list
   archgym search --env <spec> --agent <aco|bo|ga|rl|rw|sa> [--objective <spec>]
                  [--budget N] [--seed N] [--batch N] [--jobs N] [--dataset out.jsonl] [--csv out.csv]
+                 [--journal run.jsonl] [--resume true] [--retries N] [--backoff-ms N]
+                 [--fault-seed N] [--fault-transient P] [--fault-latched P]
+                 [--fault-corrupt P] [--fault-stall P]
   archgym compare --env <spec> [--agents aco,ga,sa,...] [--objective <spec>]
-                 [--budget N] [--seed N] [--batch N] [--jobs N]
+                 [--budget N] [--seed N] [--batch N] [--jobs N] [--retries N] [--backoff-ms N]
   archgym sweep  --env <spec> --agent <kind> [--objective <spec>] [--budget N] [--seeds N] [--grid N] [--jobs N] [--cache true]
   archgym halving --env <spec> --agent <kind> [--objective <spec>] [--budget N] [--eta N] [--jobs N] [--cache true]
   archgym trace  --workload <stream|random|cloud-1|cloud-2> [--length N] [--seed N] [--out file] [--stats true]
@@ -60,6 +64,18 @@ bit-identical regardless of thread count.
 `--cache true` memoizes design-point evaluations in a shared in-memory
 cache, so configurations revisited by any run cost a hash lookup instead
 of a simulation; results are identical with or without it.
+
+FAILURE SEMANTICS:
+Failed evaluations are retried up to `--retries N` times (default 2)
+with exponential backoff starting at `--backoff-ms N` (default 0, i.e.
+immediate); a design that keeps failing degrades to an infeasible
+penalty instead of aborting the run. `search --journal run.jsonl`
+write-ahead-logs every proposed batch and settled result; after a crash
+or SIGKILL, rerunning the same command with `--resume true` replays the
+journal and continues from the last completed evaluation, bit-identical
+to an uninterrupted run. The `--fault-*` knobs inject seeded,
+deterministic faults (transient errors, latched crashes needing reset,
+NaN corruption, timeouts) for testing resilience.
 
 ENVIRONMENT SPECS:
   dram/<trace>            objectives: power:<W> latency:<ns> joint:<ns>,<W>
@@ -87,6 +103,79 @@ fn list() -> String {
     out
 }
 
+/// The `--retries`/`--backoff-ms` knobs shared by `search` and `compare`.
+fn retry_policy(args: &Args) -> Result<RetryPolicy> {
+    Ok(RetryPolicy::new(args.u64_or("retries", 2)? as u32)
+        .backoff_ms(args.u64_or("backoff-ms", 0)?))
+}
+
+/// The `--fault-*` injection knobs: `None` when every rate is zero.
+fn fault_plan(args: &Args, default_seed: u64) -> Result<Option<FaultPlan>> {
+    let rates = [
+        ("fault-transient", args.f64_or("fault-transient", 0.0)?),
+        ("fault-latched", args.f64_or("fault-latched", 0.0)?),
+        ("fault-corrupt", args.f64_or("fault-corrupt", 0.0)?),
+        ("fault-stall", args.f64_or("fault-stall", 0.0)?),
+    ];
+    for (name, rate) in rates {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(ArchGymError::InvalidConfig(format!(
+                "`--{name}` expects a probability in [0, 1], got `{rate}`"
+            )));
+        }
+    }
+    if rates.iter().all(|&(_, rate)| rate == 0.0) {
+        return Ok(None);
+    }
+    let seed = args.u64_or("fault-seed", default_seed)?;
+    Ok(Some(
+        FaultPlan::new(seed)
+            .transient(rates[0].1)
+            .latched(rates[1].1)
+            .corrupt(rates[2].1)
+            .stall(rates[3].1),
+    ))
+}
+
+/// The `--journal`/`--resume` knobs. Refuses to silently extend an
+/// existing journal unless resuming was requested explicitly.
+fn journal_path(args: &Args) -> Result<Option<String>> {
+    let resume = args.bool_or("resume", false)?;
+    match args.get("journal") {
+        Some(path) => {
+            if !resume && std::path::Path::new(path).exists() {
+                return Err(ArchGymError::InvalidConfig(format!(
+                    "journal `{path}` already exists; pass `--resume true` to \
+                     continue it or remove the file to start fresh"
+                )));
+            }
+            Ok(Some(path.to_owned()))
+        }
+        None if resume => Err(ArchGymError::InvalidConfig(
+            "`--resume true` needs `--journal <path>`".into(),
+        )),
+        None => Ok(None),
+    }
+}
+
+/// Append the run's fault-recovery counters to a report, if any fired.
+fn write_fault_lines(out: &mut String, result: &RunResult, injected: Option<&FaultStats>) {
+    if result.eval_failures > 0 || result.eval_retries > 0 || result.degraded_samples > 0 {
+        let _ = writeln!(
+            out,
+            "fault recovery: {} failures observed | {} retries | {} samples degraded",
+            result.eval_failures, result.eval_retries, result.degraded_samples
+        );
+    }
+    if let Some(stats) = injected {
+        let _ = writeln!(
+            out,
+            "injected faults: {} transient | {} latched | {} corrupt | {} stall | {} crashed rejections",
+            stats.transient, stats.latched, stats.corrupt, stats.stall, stats.crashed_rejections
+        );
+    }
+}
+
 fn search(args: &Args) -> Result<String> {
     let env = make_env(args.require("env")?, args.get("objective"))?;
     let kind = AgentKind::parse(args.require("agent")?)?;
@@ -94,9 +183,33 @@ fn search(args: &Args) -> Result<String> {
     let seed = args.u64_or("seed", 0)?;
     let batch = args.u64_or("batch", 16)? as usize;
     let jobs = args.u64_or("jobs", 1)? as usize;
+    let plan = fault_plan(args, seed)?;
+    let journal = journal_path(args)?;
     let mut agent = build_agent(kind, env.space(), &Default::default(), seed)?;
-    let config = RunConfig::with_budget(budget).batch(batch).jobs(jobs);
-    let result = SearchLoop::new(config).run_pooled(&mut agent, env.clone());
+    let config = RunConfig::with_budget(budget)
+        .batch(batch)
+        .jobs(jobs)
+        .retry(retry_policy(args)?);
+    let driver = SearchLoop::new(config);
+    let (result, injected) = match plan {
+        Some(plan) => {
+            let faulty = FaultyEnv::new(env.clone(), plan);
+            // Clones share fault counters, so this handle sees the run's.
+            let stats_handle = faulty.clone();
+            let result = match &journal {
+                Some(path) => driver.run_resumable_pooled(&mut agent, faulty, path)?,
+                None => driver.run_pooled(&mut agent, faulty),
+            };
+            (result, Some(stats_handle.stats()))
+        }
+        None => {
+            let result = match &journal {
+                Some(path) => driver.run_resumable_pooled(&mut agent, env.clone(), path)?,
+                None => driver.run_pooled(&mut agent, env.clone()),
+            };
+            (result, None)
+        }
+    };
 
     let mut out = String::new();
     let _ = writeln!(
@@ -112,6 +225,10 @@ fn search(args: &Args) -> Result<String> {
     let _ = writeln!(out, "best design:");
     for (name, value) in env.space().decode(&result.best_action)? {
         let _ = writeln!(out, "  {name:<34} = {value}");
+    }
+    write_fault_lines(&mut out, &result, injected.as_ref());
+    if let Some(path) = &journal {
+        let _ = writeln!(out, "journal: {path}");
     }
     if let Some(path) = args.get("dataset") {
         result.dataset.write_jsonl(File::create(path)?)?;
@@ -142,7 +259,8 @@ fn compare(args: &Args) -> Result<String> {
     let config = RunConfig::with_budget(budget)
         .batch(batch)
         .record(false)
-        .jobs(jobs);
+        .jobs(jobs)
+        .retry(retry_policy(args)?);
     let batch_label = if batch == 0 {
         "auto".to_owned()
     } else {
@@ -167,9 +285,16 @@ fn compare(args: &Args) -> Result<String> {
         env.name(),
     );
     for (rank, (name, result)) in rows.iter().enumerate() {
+        let mut recovery = String::new();
+        if result.eval_failures > 0 || result.degraded_samples > 0 {
+            recovery = format!(
+                " | {} failures / {} retries / {} degraded",
+                result.eval_failures, result.eval_retries, result.degraded_samples
+            );
+        }
         let _ = writeln!(
             out,
-            "  {:>2}. {name:<4} best {:.6} | {:>6} samples | {:.2}s",
+            "  {:>2}. {name:<4} best {:.6} | {:>6} samples | {:.2}s{recovery}",
             rank + 1,
             result.best_reward,
             result.samples_used,
@@ -193,10 +318,10 @@ fn sweep(args: &Args) -> Result<String> {
     let jobs = args.u64_or("jobs", 0)? as usize;
     let use_cache = args.bool_or("cache", false)?;
 
-    // Validate the spec once up front so the factories can't fail later.
-    let probe = make_env(&env_spec, objective.as_deref())?;
-    let space = probe.space().clone();
-    drop(probe);
+    // Build the environment once; the factory clones it per run, so a
+    // bad spec fails here with an error instead of panicking mid-sweep.
+    let proto = make_env(&env_spec, objective.as_deref())?;
+    let space = proto.space().clone();
 
     let assignments: Vec<HyperMap> = default_grid(kind).iter().take(grid_cap).collect();
     let mut sweep = Sweep::new(RunConfig::with_budget(budget).record(false))
@@ -209,7 +334,7 @@ fn sweep(args: &Args) -> Result<String> {
     let result = sweep.run_assignments(
         kind.name(),
         &assignments,
-        || make_env(&env_spec, objective.as_deref()).expect("spec validated above"),
+        || proto.clone(),
         |hyper, seed| build_agent(kind, &space, hyper, seed),
     )?;
     let rewards = result.best_rewards();
@@ -261,10 +386,10 @@ fn halving(args: &Args) -> Result<String> {
     let jobs = args.u64_or("jobs", 0)? as usize;
     let use_cache = args.bool_or("cache", false)?;
 
-    // Validate the spec once up front so the factories can't fail later.
-    let probe = make_env(&env_spec, objective.as_deref())?;
-    let space = probe.space().clone();
-    drop(probe);
+    // Build the environment once; the factory clones it per run, so a
+    // bad spec fails here with an error instead of panicking mid-tune.
+    let proto = make_env(&env_spec, objective.as_deref())?;
+    let space = proto.space().clone();
 
     let mut tuner = SuccessiveHalving::new(initial_budget, eta)
         .seed(seed)
@@ -276,7 +401,7 @@ fn halving(args: &Args) -> Result<String> {
     let result = tuner.run(
         kind.name(),
         &default_grid(kind),
-        || make_env(&env_spec, objective.as_deref()).expect("spec validated above"),
+        || proto.clone(),
         |hyper, seed| build_agent(kind, &space, hyper, seed),
     )?;
 
@@ -356,7 +481,11 @@ fn trace(args: &Args) -> Result<String> {
         None => {
             let mut bytes = Vec::new();
             archgym_dram::write_trace(&trace, &mut bytes)?;
-            out.push_str(&String::from_utf8(bytes).expect("trace text is UTF-8"));
+            out.push_str(
+                &String::from_utf8(bytes).map_err(|_| {
+                    ArchGymError::Io("trace renderer produced non-UTF-8 text".into())
+                })?,
+            );
         }
     }
     Ok(out)
@@ -639,5 +768,130 @@ mod tests {
         assert!(run_line(&["trace", "--workload", "spec2017"]).is_err());
         let help = run_line(&["help"]).unwrap();
         assert!(help.contains("USAGE"));
+    }
+
+    #[test]
+    fn bad_inputs_are_errors_not_panics() {
+        // Unknown environment name.
+        let err = run_line(&["search", "--env", "gem5/spec2006", "--agent", "ga"]).unwrap_err();
+        assert!(
+            err.to_string().contains("unknown environment family"),
+            "{err}"
+        );
+        // Malformed option values.
+        let base = ["search", "--env", "dram/stream", "--agent", "ga"];
+        let with = |extra: &[&str]| {
+            let mut line = base.to_vec();
+            line.extend_from_slice(extra);
+            run_line(&line)
+        };
+        assert!(with(&["--budget", "many"]).is_err());
+        assert!(with(&["--fault-transient", "1.5"]).is_err());
+        assert!(with(&["--fault-latched", "-0.1"]).is_err());
+        assert!(with(&["--fault-corrupt", "lots"]).is_err());
+        assert!(with(&["--resume", "maybe"]).is_err());
+        // --resume without a journal path is a usage error.
+        assert!(with(&["--resume", "true"]).is_err());
+        // Unreadable input file.
+        let err = run_line(&["proxy", "--dataset", "/no/such/dir/run.jsonl"]).unwrap_err();
+        assert!(matches!(err, ArchGymError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn search_survives_injected_faults_and_reports_them() {
+        let out = run_line(&[
+            "search",
+            "--env",
+            "dram/stream",
+            "--agent",
+            "ga",
+            "--objective",
+            "power:1.0",
+            "--budget",
+            "48",
+            "--fault-transient",
+            "0.2",
+            "--fault-seed",
+            "7",
+            "--retries",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("best reward"), "{out}");
+        assert!(out.contains("fault recovery:"), "{out}");
+        assert!(out.contains("injected faults:"), "{out}");
+    }
+
+    #[test]
+    fn faultless_search_output_is_unchanged_by_fault_flags_at_zero() {
+        let line = |extra: &[&str]| {
+            let mut cmd = vec![
+                "search",
+                "--env",
+                "dram/stream",
+                "--agent",
+                "sa",
+                "--objective",
+                "power:1.0",
+                "--budget",
+                "32",
+            ];
+            cmd.extend_from_slice(extra);
+            run_line(&cmd).unwrap()
+        };
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("samples in"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let plain = line(&[]);
+        let zeroed = line(&["--fault-transient", "0.0", "--retries", "5"]);
+        assert_eq!(strip(&plain), strip(&zeroed));
+        assert!(!plain.contains("fault recovery:"), "{plain}");
+    }
+
+    #[test]
+    fn journaled_search_matches_plain_and_refuses_stale_journals() {
+        let dir = std::env::temp_dir().join("archgym-cli-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(dir.join("run.jsonl.snap"));
+        let path = path.to_str().unwrap();
+        let line = |extra: &[&str]| {
+            let mut cmd = vec![
+                "search",
+                "--env",
+                "dram/stream",
+                "--agent",
+                "ga",
+                "--objective",
+                "power:1.0",
+                "--budget",
+                "48",
+            ];
+            cmd.extend_from_slice(extra);
+            run_line(&cmd)
+        };
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("samples in") && !l.starts_with("journal:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let plain = line(&[]).unwrap();
+        let journaled = line(&["--journal", path]).unwrap();
+        assert!(journaled.contains("journal: "), "{journaled}");
+        assert_eq!(strip(&plain), strip(&journaled));
+        // A second run against the finished journal must not silently
+        // extend it...
+        let err = line(&["--journal", path]).unwrap_err();
+        assert!(err.to_string().contains("--resume"), "{err}");
+        // ...but an explicit resume replays it to the same report.
+        let resumed = line(&["--journal", path, "--resume", "true"]).unwrap();
+        assert_eq!(strip(&plain), strip(&resumed));
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(dir.join("run.jsonl.snap"));
     }
 }

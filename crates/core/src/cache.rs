@@ -252,9 +252,40 @@ impl<E: Environment> Environment for CachedEnv<E> {
             return memoized;
         }
         let result = self.inner.step(action);
-        cache.insert(action, result.clone());
+        if cacheable(&result) {
+            cache.insert(action, result.clone());
+        }
         result
     }
+    fn try_step(&mut self, action: &Action) -> crate::error::Result<StepResult> {
+        let Some(cache) = &self.cache else {
+            return self.inner.try_step(action);
+        };
+        if let Some(memoized) = cache.get(action) {
+            return Ok(memoized);
+        }
+        // A failed attempt must never poison the memo: errors propagate
+        // uncached (the retry machinery will probe again), and corrupted
+        // non-finite results are likewise not worth remembering.
+        let result = self.inner.try_step(action)?;
+        if cacheable(&result) {
+            cache.insert(action, result.clone());
+        }
+        Ok(result)
+    }
+}
+
+/// Only clean evaluations belong in the memo: a NaN/Inf reward or
+/// metric is a corrupted report (a transient simulator fault), and a
+/// degraded penalty placeholder (marked by the retry machinery via the
+/// `degraded`/`eval_degraded` info keys) is a verdict about this run's
+/// retry budget, not about the design point. Caching either would
+/// replay the fault on every future visit.
+fn cacheable(result: &StepResult) -> bool {
+    result.reward.is_finite()
+        && result.observation.as_slice().iter().all(|v| v.is_finite())
+        && !result.info.contains_key("degraded")
+        && !result.info.contains_key("eval_degraded")
 }
 
 #[cfg(test)]
@@ -354,5 +385,76 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         let _ = EvalCache::with_shards(0);
+    }
+
+    #[test]
+    fn failed_evaluations_are_never_cached() {
+        use crate::fault::{FaultPlan, FaultyEnv};
+        // Find an action that fails on attempt 0 and succeeds on attempt 1.
+        let plan = FaultPlan::new(5).transient(0.5);
+        let probe = (0..64)
+            .find(|&i| {
+                use crate::fault::FaultKind;
+                plan.decide(&action(i), 0) == FaultKind::Transient
+                    && plan.decide(&action(i), 1) == FaultKind::None
+            })
+            .expect("some action faults once then clears");
+        let cache = Arc::new(EvalCache::new());
+        let mut env = CachedEnv::new(
+            FaultyEnv::new(
+                crate::env::CountingEnv::new(PeakEnv::new(&[64], vec![3])),
+                plan,
+            ),
+            cache.clone(),
+        );
+        // Attempt 0 fails: the miss is counted, nothing is inserted.
+        assert!(env.try_step(&action(probe)).is_err());
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.inserts, stats.entries),
+            (0, 1, 0, 0),
+            "a transient EvalFailed must not poison the memo"
+        );
+        // The retry (attempt 1) succeeds and fills the cache...
+        let settled = env.try_step(&action(probe)).unwrap();
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.inserts, stats.entries),
+            (0, 2, 1, 1)
+        );
+        // ...and the next visit is a pure hit: no simulation, no fault
+        // roll (the FaultyEnv is never consulted again).
+        let revisit = env.try_step(&action(probe)).unwrap();
+        assert_eq!(revisit, settled);
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.inserts, stats.entries),
+            (1, 2, 1, 1)
+        );
+        assert_eq!(env.inner().inner().samples(), 1, "simulated exactly once");
+    }
+
+    #[test]
+    fn corrupted_results_are_never_cached() {
+        use crate::fault::{FaultPlan, FaultyEnv};
+        let plan = FaultPlan::new(3).corrupt(1.0);
+        let cache = Arc::new(EvalCache::new());
+        let mut env = CachedEnv::new(
+            FaultyEnv::new(PeakEnv::new(&[8], vec![3]), plan),
+            cache.clone(),
+        );
+        // Corrupt evaluations are Ok(..) but non-finite: the fallible
+        // path must not memoize them. The infallible path degrades the
+        // corruption to a *finite* penalty — equally uncacheable (it
+        // reflects this run's retry budget, not the design point).
+        let corrupt = env.try_step(&action(2)).unwrap();
+        assert!(!corrupt.reward.is_finite());
+        let degraded = env.step(&action(4));
+        assert!(degraded.reward.is_finite());
+        assert!(degraded.info.contains_key("eval_degraded"));
+        let stats = cache.stats();
+        assert_eq!((stats.inserts, stats.entries), (0, 0));
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 0);
     }
 }

@@ -5,6 +5,7 @@
 //! through the three standardized signals of Section 3.3 — action,
 //! observation and reward — via the OpenAI-gym-style [`Environment::step`].
 
+use crate::error::Result;
 use crate::space::{Action, ParamSpace};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -153,6 +154,27 @@ pub trait Environment {
 
     /// Evaluate one design point.
     fn step(&mut self, action: &Action) -> StepResult;
+
+    /// Evaluate one design point, reporting evaluation failures instead
+    /// of panicking or silently emitting garbage — the fallible seam the
+    /// retry/degrade machinery of
+    /// [`SearchLoop`](crate::search::SearchLoop) drives.
+    ///
+    /// The default delegates to [`Environment::step`] and always
+    /// succeeds, so existing environments are untouched. Wrappers that
+    /// model flaky cost models (e.g.
+    /// [`FaultyEnv`](crate::fault::FaultyEnv)) override this to surface
+    /// [`EvalFailed`](crate::error::ArchGymError::EvalFailed),
+    /// [`Timeout`](crate::error::ArchGymError::Timeout) or
+    /// [`EnvCrashed`](crate::error::ArchGymError::EnvCrashed).
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific evaluation failures; the default never
+    /// fails.
+    fn try_step(&mut self, action: &Action) -> Result<StepResult> {
+        Ok(self.step(action))
+    }
 }
 
 impl<E: Environment + ?Sized> Environment for Box<E> {
@@ -170,6 +192,9 @@ impl<E: Environment + ?Sized> Environment for Box<E> {
     }
     fn step(&mut self, action: &Action) -> StepResult {
         (**self).step(action)
+    }
+    fn try_step(&mut self, action: &Action) -> Result<StepResult> {
+        (**self).try_step(action)
     }
 }
 
@@ -189,22 +214,27 @@ impl<E: Environment + ?Sized> Environment for &mut E {
     fn step(&mut self, action: &Action) -> StepResult {
         (**self).step(action)
     }
+    fn try_step(&mut self, action: &Action) -> Result<StepResult> {
+        (**self).try_step(action)
+    }
 }
 
 /// An [`Environment`] that can be duplicated behind a trait object.
 ///
-/// Every bundled cost model is `Clone + Send` (cloning is cheap — e.g.
-/// `DramEnv` shares its trace through an `Arc`), so the blanket impl
-/// covers them all. The point of the trait is `Box<dyn
+/// Every bundled cost model is `Clone + Send + Sync` (cloning is cheap
+/// — e.g. `DramEnv` shares its trace through an `Arc`), so the blanket
+/// impl covers them all. The point of the trait is `Box<dyn
 /// CloneEnvironment>`: boxed environments built from CLI/bench specs
 /// stay cloneable, which is what lets them fan out across the
-/// per-worker replicas of an [`EnvPool`](crate::pool::EnvPool).
-pub trait CloneEnvironment: Environment + Send {
+/// per-worker replicas of an [`EnvPool`](crate::pool::EnvPool). The
+/// `Sync` bound lets a boxed prototype serve as a shared `Fn() -> E`
+/// sweep factory (cloned from worker threads) without an `unwrap`.
+pub trait CloneEnvironment: Environment + Send + Sync {
     /// Clone into a fresh boxed replica.
     fn clone_env(&self) -> Box<dyn CloneEnvironment>;
 }
 
-impl<E: Environment + Clone + Send + 'static> CloneEnvironment for E {
+impl<E: Environment + Clone + Send + Sync + 'static> CloneEnvironment for E {
     fn clone_env(&self) -> Box<dyn CloneEnvironment> {
         Box::new(self.clone())
     }
@@ -264,6 +294,11 @@ impl<E: Environment> Environment for CountingEnv<E> {
         self.samples += 1;
         self.inner.step(action)
     }
+    fn try_step(&mut self, action: &Action) -> Result<StepResult> {
+        // A failed attempt still consumed a simulator query.
+        self.samples += 1;
+        self.inner.try_step(action)
+    }
 }
 
 #[cfg(test)]
@@ -319,5 +354,26 @@ mod tests {
         let dyn_env: &mut dyn Environment = &mut env;
         let r = dyn_env.step(&Action::new(vec![1]));
         assert_eq!(r.reward, 1.0);
+    }
+
+    #[test]
+    fn default_try_step_matches_step_and_forwards_through_wrappers() {
+        let action = Action::new(vec![2]);
+        let mut plain = PeakEnv::new(&[4], vec![2]);
+        let expected = plain.step(&action);
+        assert_eq!(plain.try_step(&action).unwrap(), expected);
+
+        // Box / &mut / CountingEnv all forward try_step (not just step).
+        let mut boxed: Box<dyn Environment> = Box::new(PeakEnv::new(&[4], vec![2]));
+        assert_eq!(boxed.try_step(&action).unwrap(), expected);
+        let mut counting = CountingEnv::new(PeakEnv::new(&[4], vec![2]));
+        assert_eq!(counting.try_step(&action).unwrap(), expected);
+        assert_eq!(counting.samples(), 1);
+        let mut by_ref = &mut counting;
+        assert_eq!(
+            <&mut CountingEnv<PeakEnv> as Environment>::try_step(&mut by_ref, &action).unwrap(),
+            expected
+        );
+        assert_eq!(counting.samples(), 2);
     }
 }

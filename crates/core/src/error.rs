@@ -23,6 +23,22 @@ pub enum ArchGymError {
     Dataset(String),
     /// An I/O error, stringified to keep the error type `Clone + PartialEq`.
     Io(String),
+    /// A single design-point evaluation failed (a simulator crash, a
+    /// worker panic, a corrupted cost report). Transient by default —
+    /// the search runtime retries these before degrading the point to an
+    /// infeasible penalty.
+    EvalFailed(String),
+    /// An evaluation exceeded its step/time budget (a stalled simulator).
+    /// Treated like [`ArchGymError::EvalFailed`] by the retry machinery.
+    Timeout(String),
+    /// The environment is in a crashed (latched) state and rejects all
+    /// evaluations until `reset`. Unlike `EvalFailed`, this is a knock-on
+    /// symptom rather than a genuine evaluation outcome, so the retry
+    /// machinery recovers (resets) without charging the action a retry.
+    EnvCrashed(String),
+    /// A run journal could not be written, parsed, or replayed (e.g. the
+    /// journal diverges from the agent's deterministic replay).
+    Journal(String),
 }
 
 impl fmt::Display for ArchGymError {
@@ -34,6 +50,10 @@ impl fmt::Display for ArchGymError {
             ArchGymError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             ArchGymError::Dataset(msg) => write!(f, "dataset error: {msg}"),
             ArchGymError::Io(msg) => write!(f, "i/o error: {msg}"),
+            ArchGymError::EvalFailed(msg) => write!(f, "evaluation failed: {msg}"),
+            ArchGymError::Timeout(msg) => write!(f, "evaluation timed out: {msg}"),
+            ArchGymError::EnvCrashed(msg) => write!(f, "environment crashed: {msg}"),
+            ArchGymError::Journal(msg) => write!(f, "journal error: {msg}"),
         }
     }
 }
@@ -63,6 +83,26 @@ mod tests {
         let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
         let err: ArchGymError = io.into();
         assert!(matches!(err, ArchGymError::Io(_)));
+    }
+
+    #[test]
+    fn fault_variants_display_their_payload() {
+        for (err, prefix) in [
+            (ArchGymError::EvalFailed("boom".into()), "evaluation failed"),
+            (
+                ArchGymError::Timeout("stalled".into()),
+                "evaluation timed out",
+            ),
+            (
+                ArchGymError::EnvCrashed("latched".into()),
+                "environment crashed",
+            ),
+            (ArchGymError::Journal("diverged".into()), "journal error"),
+        ] {
+            let text = err.to_string();
+            assert!(text.starts_with(prefix), "{text}");
+            assert!(text.contains(':'), "{text}");
+        }
     }
 
     #[test]

@@ -13,6 +13,13 @@
 //! ones), stash `(index, result)` pairs locally, and the results are
 //! stitched back into input order after the scope joins.
 //!
+//! Work items are *panic-isolated*: every invocation runs under
+//! [`std::panic::catch_unwind`], so a panicking item surfaces as an
+//! error result in its own slot ([`Executor::map_with_catch`]) while
+//! the surviving workers keep draining the cursor. The infallible
+//! [`Executor::map`]/[`Executor::map_with`] wrappers re-raise the first
+//! caught panic after the full fan-out completes.
+//!
 //! ```
 //! use archgym_core::executor::Executor;
 //!
@@ -20,7 +27,20 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
 //! ```
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Render a caught panic payload as text (panics carry `&str` or
+/// `String` in practice; anything else gets a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
 
 /// Fans independent work items out across worker threads, returning
 /// results in input order.
@@ -74,44 +94,14 @@ impl Executor {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
-        let workers = self.jobs.min(items.len());
-        if workers <= 1 {
-            return items.iter().map(&f).collect();
+        if items.is_empty() {
+            return Vec::new();
         }
-
-        let chunk = Self::chunk(items.len(), workers);
-        let cursor = AtomicUsize::new(0);
-        let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let cursor = &cursor;
-                    let f = &f;
-                    scope.spawn(move || {
-                        let mut local: Vec<(usize, R)> = Vec::new();
-                        loop {
-                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                            if start >= items.len() {
-                                break;
-                            }
-                            let end = (start + chunk).min(items.len());
-                            for (index, item) in items.iter().enumerate().take(end).skip(start) {
-                                local.push((index, f(item)));
-                            }
-                        }
-                        local
-                    })
-                })
-                .collect();
-            for handle in handles {
-                tagged.extend(handle.join().expect("executor worker panicked"));
-            }
-        });
-
-        // Stitch results back into input order. Every index appears
-        // exactly once, so a by-index sort restores determinism.
-        tagged.sort_unstable_by_key(|(index, _)| *index);
-        tagged.into_iter().map(|(_, result)| result).collect()
+        let mut units = vec![(); self.jobs];
+        self.map_with_catch(&mut units, items, |_, item| f(item))
+            .into_iter()
+            .map(|result| result.unwrap_or_else(|msg| panic!("executor worker panicked: {msg}")))
+            .collect()
     }
 
     /// Like [`Executor::map`], but each worker thread owns one mutable
@@ -139,23 +129,73 @@ impl Executor {
             return Vec::new();
         }
         assert!(!states.is_empty(), "map_with needs at least one state");
+        self.map_with_catch(states, items, f)
+            .into_iter()
+            .map(|result| result.unwrap_or_else(|msg| panic!("executor worker panicked: {msg}")))
+            .collect()
+    }
+
+    /// The panic-isolating primitive [`Executor::map`] and
+    /// [`Executor::map_with`] are built on: apply `f` to every item as
+    /// `map_with` does, but run each invocation under
+    /// [`catch_unwind`], so a panicking work item becomes
+    /// `Err(panic message)` in its slot while **every other item —
+    /// including later items claimed by the same worker — still runs**.
+    /// Results come back in input order.
+    ///
+    /// This is what keeps one exploding design-point evaluation from
+    /// sinking a whole parallel batch: the search runtime maps the `Err`
+    /// to [`ArchGymError::EvalFailed`](crate::error::ArchGymError) and
+    /// lets the retry/degrade machinery handle it like any other fault.
+    ///
+    /// The worker's state is handed back to `f` for subsequent items
+    /// even after a catch; states must therefore tolerate an unwound
+    /// invocation (environment replicas do — `reset` restores them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty while `items` is not.
+    pub fn map_with_catch<W, T, R, F>(
+        &self,
+        states: &mut [W],
+        items: &[T],
+        f: F,
+    ) -> Vec<std::result::Result<R, String>>
+    where
+        W: Send,
+        T: Sync,
+        R: Send,
+        F: Fn(&mut W, &T) -> R + Sync,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        assert!(
+            !states.is_empty(),
+            "map_with_catch needs at least one state"
+        );
+        let run_one = |state: &mut W, item: &T| -> std::result::Result<R, String> {
+            catch_unwind(AssertUnwindSafe(|| f(state, item))).map_err(panic_message)
+        };
+
         let workers = self.jobs.min(states.len()).min(items.len());
         if workers <= 1 {
             let state = &mut states[0];
-            return items.iter().map(|item| f(state, item)).collect();
+            return items.iter().map(|item| run_one(state, item)).collect();
         }
 
         let chunk = Self::chunk(items.len(), workers);
         let cursor = AtomicUsize::new(0);
-        let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+        let mut tagged: Vec<(usize, std::result::Result<R, String>)> =
+            Vec::with_capacity(items.len());
         std::thread::scope(|scope| {
             let handles: Vec<_> = states[..workers]
                 .iter_mut()
                 .map(|state| {
                     let cursor = &cursor;
-                    let f = &f;
+                    let run_one = &run_one;
                     scope.spawn(move || {
-                        let mut local: Vec<(usize, R)> = Vec::new();
+                        let mut local: Vec<(usize, std::result::Result<R, String>)> = Vec::new();
                         loop {
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                             if start >= items.len() {
@@ -163,7 +203,7 @@ impl Executor {
                             }
                             let end = (start + chunk).min(items.len());
                             for (index, item) in items.iter().enumerate().take(end).skip(start) {
-                                local.push((index, f(state, item)));
+                                local.push((index, run_one(state, item)));
                             }
                         }
                         local
@@ -175,6 +215,8 @@ impl Executor {
             }
         });
 
+        // Stitch results back into input order. Every index appears
+        // exactly once, so a by-index sort restores determinism.
         tagged.sort_unstable_by_key(|(index, _)| *index);
         tagged.into_iter().map(|(_, result)| result).collect()
     }
@@ -280,5 +322,49 @@ mod tests {
             assert!(x < 3, "boom");
             x
         });
+    }
+
+    #[test]
+    fn catch_isolates_a_panicking_item_from_the_rest() {
+        let items: Vec<u64> = (0..100).collect();
+        for jobs in [1, 4] {
+            let mut states = vec![(); 4];
+            let results = Executor::new(jobs).map_with_catch(&mut states, &items, |_, &x| {
+                if x == 13 {
+                    panic!("boom on {x}");
+                }
+                x * 2
+            });
+            assert_eq!(results.len(), 100, "jobs={jobs}");
+            for (i, result) in results.iter().enumerate() {
+                if i == 13 {
+                    let msg = result.as_ref().unwrap_err();
+                    assert!(msg.contains("boom on 13"), "jobs={jobs}: {msg}");
+                } else {
+                    assert_eq!(result.as_ref().unwrap(), &(i as u64 * 2), "jobs={jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workers_keep_draining_after_a_caught_panic() {
+        // Panic on several items spread across chunks; every remaining
+        // item must still be visited exactly once (no worker dies, no
+        // chunk is abandoned).
+        let items: Vec<u64> = (0..64).collect();
+        let visited = AtomicU64::new(0);
+        let mut states = vec![0u64; 4];
+        let results = Executor::new(4).map_with_catch(&mut states, &items, |count, &x| {
+            visited.fetch_add(1, Ordering::Relaxed);
+            *count += 1;
+            assert!(x % 10 != 7, "unlucky item");
+            x
+        });
+        assert_eq!(visited.load(Ordering::Relaxed), 64);
+        assert_eq!(states.iter().sum::<u64>(), 64);
+        let failures = results.iter().filter(|r| r.is_err()).count();
+        assert_eq!(failures, 6); // 7, 17, 27, 37, 47, 57
+        assert!(results[7].as_ref().unwrap_err().contains("unlucky item"));
     }
 }

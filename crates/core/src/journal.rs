@@ -1,0 +1,1010 @@
+//! Crash-safe run journal — write-ahead logging for [`SearchLoop`]
+//! (see [`crate::search::SearchLoop::run_resumable`]).
+//!
+//! A journal is an append-only JSONL file: a header record naming the
+//! run configuration, then for each evaluated batch a `batch` record
+//! (the proposed actions, written *before* evaluation — write-ahead)
+//! followed by one `step` record per settled evaluation. Alongside the
+//! log, a compact snapshot (`<journal>.snap`) is refreshed after every
+//! batch via the atomic tmp+rename idiom, so a reader can always find a
+//! consistent best-so-far without replaying the log.
+//!
+//! Crash tolerance is asymmetric by design: a process killed mid-write
+//! leaves at most one damaged line at the *tail* of the log, so
+//! [`RunJournal::open`] silently drops an unterminated or unparsable
+//! final line (truncating the file back to the last good record), while
+//! damage anywhere else is real corruption and surfaces as
+//! [`ArchGymError::Journal`].
+//!
+//! The records are encoded with a small hand-rolled JSON codec rather
+//! than serde: the journal must keep working in offline verification
+//! builds where the serde facade is stubbed out, and it needs bit-exact
+//! `f64` round-trips (Rust's `{:?}` shortest representation) for the
+//! resume-bit-identity guarantee. Non-finite rewards — a corrupted
+//! evaluation is journaled too — are encoded as the quoted strings
+//! `"NaN"`, `"inf"` and `"-inf"`.
+
+use crate::error::{ArchGymError, Result};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Journal format version; bumped on incompatible record changes.
+pub const JOURNAL_VERSION: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON codec (offline-safe, bit-exact f64 round-trips)
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers keep their raw text so integers and
+/// floats can each be re-parsed losslessly.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+fn bad(msg: impl Into<String>) -> ArchGymError {
+    ArchGymError::Journal(msg.into())
+}
+
+/// Append `value` to `out` as a JSON string literal.
+fn push_json_str(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `value` to `out` — finite floats use Rust's shortest
+/// round-trip `{:?}` form; non-finite values become quoted strings.
+fn push_json_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        let _ = write!(out, "{value:?}");
+    } else if value.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if value > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(bad(format!(
+                "expected '{}' at byte {} of journal line",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(bad(format!(
+                "unexpected byte at {} in journal line",
+                self.pos
+            ))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(bad("unterminated object in journal line")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(bad("unterminated array in journal line")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(bad("unterminated string in journal line")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| bad("bad \\u escape in journal line"))?;
+                            out.push(
+                                char::from_u32(hex)
+                                    .ok_or_else(|| bad("bad \\u escape in journal line"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(bad("bad escape in journal line")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (journal text is valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| bad("non-UTF-8 journal"))?;
+                    let c = s.chars().next().expect("non-empty remainder");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ASCII number slice")
+            .to_owned();
+        if raw.is_empty() || raw == "-" {
+            return Err(bad("bad number in journal line"));
+        }
+        Ok(Json::Num(raw))
+    }
+}
+
+fn parse_json(line: &str) -> Result<Json> {
+    let mut parser = Parser::new(line);
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(bad("trailing bytes after journal record"));
+    }
+    Ok(value)
+}
+
+// --- typed accessors -------------------------------------------------------
+
+impl Json {
+    fn field<'a>(&'a self, key: &str) -> Result<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| bad(format!("journal record missing field `{key}`"))),
+            _ => Err(bad("journal record is not an object")),
+        }
+    }
+
+    fn as_str(&self) -> Result<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(bad("expected a string in journal record")),
+        }
+    }
+
+    fn as_bool(&self) -> Result<bool> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(bad("expected a bool in journal record")),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64> {
+        match self {
+            Json::Num(raw) => raw
+                .parse::<u64>()
+                .map_err(|_| bad(format!("expected an unsigned integer, got `{raw}`"))),
+            _ => Err(bad("expected a number in journal record")),
+        }
+    }
+
+    fn as_usize(&self) -> Result<usize> {
+        Ok(self.as_u64()? as usize)
+    }
+
+    fn as_f64(&self) -> Result<f64> {
+        match self {
+            Json::Num(raw) => raw
+                .parse::<f64>()
+                .map_err(|_| bad(format!("expected a float, got `{raw}`"))),
+            Json::Str(s) => match s.as_str() {
+                "NaN" => Ok(f64::NAN),
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                other => Err(bad(format!("expected a float, got string `{other}`"))),
+            },
+            _ => Err(bad("expected a float in journal record")),
+        }
+    }
+
+    fn as_arr(&self) -> Result<&[Json]> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err(bad("expected an array in journal record")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Records
+// ---------------------------------------------------------------------------
+
+/// The run identity a journal belongs to; resume refuses to replay a
+/// journal whose header does not match the live configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// Format version ([`JOURNAL_VERSION`]).
+    pub version: u64,
+    /// Environment name.
+    pub env: String,
+    /// Agent name.
+    pub agent: String,
+    /// Total sample budget of the run.
+    pub budget: u64,
+    /// Requested batch size.
+    pub batch: u64,
+}
+
+/// One settled evaluation within a journaled batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalStep {
+    /// Position of this action within its batch.
+    pub index: usize,
+    /// Settled reward (may be the degrade penalty).
+    pub reward: f64,
+    /// Settled observation vector.
+    pub observation: Vec<f64>,
+    /// Terminal flag from the settled result.
+    pub done: bool,
+    /// Feasibility flag from the settled result.
+    pub feasible: bool,
+    /// Auxiliary metrics from the settled result.
+    pub info: BTreeMap<String, f64>,
+    /// Retry rounds this action consumed while settling.
+    pub retries: u64,
+    /// Failed evaluation outcomes observed while settling.
+    pub faults: u64,
+    /// Whether the action exhausted its retries and was degraded to the
+    /// infeasible penalty.
+    pub degraded: bool,
+}
+
+/// One line of the append-only journal log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalRecord {
+    /// Run identity; always the first record.
+    Header(JournalHeader),
+    /// A proposed batch of actions, written before evaluation.
+    Batch(Vec<Vec<usize>>),
+    /// A settled evaluation within the most recent batch.
+    Step(JournalStep),
+}
+
+impl JournalRecord {
+    /// Encode as a single JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut out = String::new();
+        match self {
+            JournalRecord::Header(h) => {
+                out.push_str("{\"type\":\"header\",\"version\":");
+                let _ = write!(out, "{}", h.version);
+                out.push_str(",\"env\":");
+                push_json_str(&mut out, &h.env);
+                out.push_str(",\"agent\":");
+                push_json_str(&mut out, &h.agent);
+                let _ = write!(out, ",\"budget\":{},\"batch\":{}}}", h.budget, h.batch);
+            }
+            JournalRecord::Batch(actions) => {
+                out.push_str("{\"type\":\"batch\",\"actions\":[");
+                for (i, action) in actions.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('[');
+                    for (j, index) in action.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{index}");
+                    }
+                    out.push(']');
+                }
+                out.push_str("]}");
+            }
+            JournalRecord::Step(s) => {
+                let _ = write!(out, "{{\"type\":\"step\",\"index\":{},\"reward\":", s.index);
+                push_json_f64(&mut out, s.reward);
+                out.push_str(",\"obs\":[");
+                for (i, v) in s.observation.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_json_f64(&mut out, *v);
+                }
+                let _ = write!(
+                    out,
+                    "],\"done\":{},\"feasible\":{},\"info\":{{",
+                    s.done, s.feasible
+                );
+                for (i, (key, value)) in s.info.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_json_str(&mut out, key);
+                    out.push(':');
+                    push_json_f64(&mut out, *value);
+                }
+                let _ = write!(
+                    out,
+                    "}},\"retries\":{},\"faults\":{},\"degraded\":{}}}",
+                    s.retries, s.faults, s.degraded
+                );
+            }
+        }
+        out
+    }
+
+    /// Decode one JSONL line.
+    pub fn from_line(line: &str) -> Result<Self> {
+        let value = parse_json(line)?;
+        match value.field("type")?.as_str()? {
+            "header" => Ok(JournalRecord::Header(JournalHeader {
+                version: value.field("version")?.as_u64()?,
+                env: value.field("env")?.as_str()?.to_owned(),
+                agent: value.field("agent")?.as_str()?.to_owned(),
+                budget: value.field("budget")?.as_u64()?,
+                batch: value.field("batch")?.as_u64()?,
+            })),
+            "batch" => {
+                let mut actions = Vec::new();
+                for item in value.field("actions")?.as_arr()? {
+                    let indices = item
+                        .as_arr()?
+                        .iter()
+                        .map(Json::as_usize)
+                        .collect::<Result<Vec<_>>>()?;
+                    actions.push(indices);
+                }
+                Ok(JournalRecord::Batch(actions))
+            }
+            "step" => {
+                let mut info = BTreeMap::new();
+                match value.field("info")? {
+                    Json::Obj(fields) => {
+                        for (key, v) in fields {
+                            info.insert(key.clone(), v.as_f64()?);
+                        }
+                    }
+                    _ => return Err(bad("step `info` is not an object")),
+                }
+                Ok(JournalRecord::Step(JournalStep {
+                    index: value.field("index")?.as_usize()?,
+                    reward: value.field("reward")?.as_f64()?,
+                    observation: value
+                        .field("obs")?
+                        .as_arr()?
+                        .iter()
+                        .map(Json::as_f64)
+                        .collect::<Result<Vec<_>>>()?,
+                    done: value.field("done")?.as_bool()?,
+                    feasible: value.field("feasible")?.as_bool()?,
+                    info,
+                    retries: value.field("retries")?.as_u64()?,
+                    faults: value.field("faults")?.as_u64()?,
+                    degraded: value.field("degraded")?.as_bool()?,
+                }))
+            }
+            other => Err(bad(format!("unknown journal record type `{other}`"))),
+        }
+    }
+}
+
+/// The periodic best-so-far snapshot written next to the log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Samples settled so far.
+    pub samples: u64,
+    /// Best reward seen so far.
+    pub best_reward: f64,
+    /// Action achieving the best reward.
+    pub best_action: Vec<usize>,
+    /// Observation of the best action.
+    pub best_observation: Vec<f64>,
+    /// Retry rounds consumed so far.
+    pub eval_retries: u64,
+    /// Failed evaluation outcomes so far.
+    pub eval_failures: u64,
+    /// Samples degraded to the penalty so far.
+    pub degraded_samples: u64,
+}
+
+impl Snapshot {
+    fn to_line(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"samples\":{},\"best_reward\":", self.samples);
+        push_json_f64(&mut out, self.best_reward);
+        out.push_str(",\"best_action\":[");
+        for (i, v) in self.best_action.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v}");
+        }
+        out.push_str("],\"best_observation\":[");
+        for (i, v) in self.best_observation.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_f64(&mut out, *v);
+        }
+        let _ = write!(
+            out,
+            "],\"eval_retries\":{},\"eval_failures\":{},\"degraded_samples\":{}}}",
+            self.eval_retries, self.eval_failures, self.degraded_samples
+        );
+        out
+    }
+
+    fn from_line(line: &str) -> Result<Self> {
+        let value = parse_json(line)?;
+        Ok(Snapshot {
+            samples: value.field("samples")?.as_u64()?,
+            best_reward: value.field("best_reward")?.as_f64()?,
+            best_action: value
+                .field("best_action")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_usize)
+                .collect::<Result<Vec<_>>>()?,
+            best_observation: value
+                .field("best_observation")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_f64)
+                .collect::<Result<Vec<_>>>()?,
+            eval_retries: value.field("eval_retries")?.as_u64()?,
+            eval_failures: value.field("eval_failures")?.as_u64()?,
+            degraded_samples: value.field("degraded_samples")?.as_u64()?,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RunJournal
+// ---------------------------------------------------------------------------
+
+/// An open write-ahead run journal: the records recovered from disk
+/// plus an append handle flushing each new record before evaluation
+/// proceeds.
+#[derive(Debug)]
+pub struct RunJournal {
+    path: PathBuf,
+    file: File,
+    records: Vec<JournalRecord>,
+    recovered_partial_tail: bool,
+}
+
+impl RunJournal {
+    /// Open (or create) the journal at `path`, recovering any existing
+    /// records. An unterminated or unparsable *final* line — the
+    /// artifact of a crash mid-write — is dropped and the file is
+    /// truncated back to the last good record; damage anywhere else is
+    /// an error.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut records = Vec::new();
+        let mut recovered_partial_tail = false;
+
+        if path.exists() {
+            let text = fs::read_to_string(&path)
+                .map_err(|e| bad(format!("cannot read journal {}: {e}", path.display())))?;
+
+            // (trimmed line, start offset, complete?) for non-blank lines.
+            let mut entries: Vec<(&str, usize, bool)> = Vec::new();
+            let mut offset = 0;
+            for chunk in text.split_inclusive('\n') {
+                let complete = chunk.ends_with('\n');
+                let line = chunk.trim_end_matches(['\n', '\r']);
+                if !line.trim().is_empty() {
+                    entries.push((line, offset, complete));
+                }
+                offset += chunk.len();
+            }
+
+            let mut good_end = 0usize;
+            for (i, (line, start, complete)) in entries.iter().enumerate() {
+                let last = i + 1 == entries.len();
+                if !complete {
+                    // Unterminated tail: can't trust it even if it parses.
+                    if last {
+                        recovered_partial_tail = true;
+                        break;
+                    }
+                    return Err(bad("unterminated journal line before end of file"));
+                }
+                match JournalRecord::from_line(line) {
+                    Ok(record) => {
+                        records.push(record);
+                        good_end = start
+                            + line.len()
+                            + (text.as_bytes()[start + line.len()..]
+                                .iter()
+                                .take_while(|&&b| b == b'\r' || b == b'\n')
+                                .count());
+                    }
+                    Err(err) if last => {
+                        recovered_partial_tail = true;
+                        let _ = err;
+                        break;
+                    }
+                    Err(err) => {
+                        return Err(bad(format!(
+                            "corrupt journal record at line {}: {err}",
+                            i + 1
+                        )))
+                    }
+                }
+            }
+
+            if recovered_partial_tail {
+                let file = OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| bad(format!("cannot repair journal: {e}")))?;
+                file.set_len(good_end as u64)
+                    .map_err(|e| bad(format!("cannot truncate damaged journal tail: {e}")))?;
+            }
+        }
+
+        if let Some(first) = records.first() {
+            match first {
+                JournalRecord::Header(h) if h.version == JOURNAL_VERSION => {}
+                JournalRecord::Header(h) => {
+                    return Err(bad(format!(
+                        "journal version {} unsupported (expected {JOURNAL_VERSION})",
+                        h.version
+                    )))
+                }
+                _ => return Err(bad("journal does not start with a header record")),
+            }
+        }
+
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| bad(format!("cannot open journal {}: {e}", path.display())))?;
+
+        Ok(RunJournal {
+            path,
+            file,
+            records,
+            recovered_partial_tail,
+        })
+    }
+
+    /// The journal's on-disk path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records recovered when the journal was opened (resume replays
+    /// these; records appended later are not reflected here).
+    pub fn records(&self) -> &[JournalRecord] {
+        &self.records
+    }
+
+    /// Whether the journal held no recovered records when opened.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The recovered header, if any.
+    pub fn header(&self) -> Option<&JournalHeader> {
+        match self.records.first() {
+            Some(JournalRecord::Header(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Whether a damaged tail line was dropped during recovery.
+    pub fn recovered_partial_tail(&self) -> bool {
+        self.recovered_partial_tail
+    }
+
+    /// Append one record and flush it to the OS before returning —
+    /// write-ahead semantics for batch records.
+    pub fn append(&mut self, record: &JournalRecord) -> Result<()> {
+        let mut line = record.to_line();
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|_| self.file.flush())
+            .map_err(|e| bad(format!("cannot append to journal: {e}")))
+    }
+
+    /// The snapshot path paired with a journal path.
+    pub fn snapshot_path(path: &Path) -> PathBuf {
+        let mut name = path.file_name().unwrap_or_default().to_os_string();
+        name.push(".snap");
+        path.with_file_name(name)
+    }
+
+    /// Atomically replace the best-so-far snapshot (tmp + rename).
+    pub fn write_snapshot(&self, snapshot: &Snapshot) -> Result<()> {
+        let snap_path = Self::snapshot_path(&self.path);
+        let mut tmp_name = snap_path.file_name().unwrap_or_default().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp_path = snap_path.with_file_name(tmp_name);
+        let mut line = snapshot.to_line();
+        line.push('\n');
+        fs::write(&tmp_path, line).map_err(|e| bad(format!("cannot write snapshot: {e}")))?;
+        fs::rename(&tmp_path, &snap_path).map_err(|e| bad(format!("cannot publish snapshot: {e}")))
+    }
+
+    /// Read the snapshot paired with `path`, if one exists.
+    pub fn read_snapshot(path: impl AsRef<Path>) -> Result<Option<Snapshot>> {
+        let snap_path = Self::snapshot_path(path.as_ref());
+        if !snap_path.exists() {
+            return Ok(None);
+        }
+        let text = fs::read_to_string(&snap_path)
+            .map_err(|e| bad(format!("cannot read snapshot: {e}")))?;
+        Snapshot::from_line(text.trim()).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "archgym-journal-{tag}-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(RunJournal::snapshot_path(&path));
+        path
+    }
+
+    fn header() -> JournalRecord {
+        JournalRecord::Header(JournalHeader {
+            version: JOURNAL_VERSION,
+            env: "dram/stream".into(),
+            agent: "ga".into(),
+            budget: 64,
+            batch: 8,
+        })
+    }
+
+    fn step(index: usize, reward: f64) -> JournalRecord {
+        let mut info = BTreeMap::new();
+        info.insert("power".into(), 0.125);
+        info.insert("weird \"key\"\n".into(), -0.5);
+        JournalRecord::Step(JournalStep {
+            index,
+            reward,
+            observation: vec![1.0, -2.5e-3, 0.1 + 0.2],
+            done: false,
+            feasible: true,
+            info,
+            retries: 2,
+            faults: 3,
+            degraded: false,
+        })
+    }
+
+    #[test]
+    fn records_round_trip_bit_exactly() {
+        for record in [
+            header(),
+            JournalRecord::Batch(vec![vec![0, 7, 3], vec![], vec![usize::MAX >> 12]]),
+            step(0, 0.1 + 0.2),
+            step(5, f64::NEG_INFINITY),
+            step(9, -1.0e-308),
+        ] {
+            let line = record.to_line();
+            let back = JournalRecord::from_line(&line).unwrap();
+            assert_eq!(back, record, "line: {line}");
+            // Encoding is canonical: a second round trip is identical text.
+            assert_eq!(back.to_line(), line);
+        }
+    }
+
+    #[test]
+    fn nan_rewards_survive_the_round_trip() {
+        let line = step(1, f64::NAN).to_line();
+        match JournalRecord::from_line(&line).unwrap() {
+            JournalRecord::Step(s) => assert!(s.reward.is_nan()),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_append_reopen_recovers_everything() {
+        let path = temp_path("roundtrip");
+        {
+            let mut journal = RunJournal::open(&path).unwrap();
+            assert!(journal.is_empty());
+            journal.append(&header()).unwrap();
+            journal
+                .append(&JournalRecord::Batch(vec![vec![1, 2], vec![3, 4]]))
+                .unwrap();
+            journal.append(&step(0, 1.5)).unwrap();
+        }
+        let journal = RunJournal::open(&path).unwrap();
+        assert_eq!(journal.records().len(), 3);
+        assert_eq!(journal.header().unwrap().agent, "ga");
+        assert!(!journal.recovered_partial_tail());
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_and_file_repaired() {
+        let path = temp_path("tail");
+        {
+            let mut journal = RunJournal::open(&path).unwrap();
+            journal.append(&header()).unwrap();
+            journal
+                .append(&JournalRecord::Batch(vec![vec![1]]))
+                .unwrap();
+            journal.append(&step(0, 2.0)).unwrap();
+        }
+        // Simulate a crash mid-write: chop bytes off the final line.
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 7]).unwrap();
+
+        let mut journal = RunJournal::open(&path).unwrap();
+        assert!(journal.recovered_partial_tail());
+        assert_eq!(journal.records().len(), 2, "damaged step dropped");
+        // The file was truncated back to a clean record boundary, so
+        // appending resumes a valid log.
+        journal.append(&step(0, 2.0)).unwrap();
+        drop(journal);
+        let journal = RunJournal::open(&path).unwrap();
+        assert!(!journal.recovered_partial_tail());
+        assert_eq!(journal.records().len(), 3);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_middle_line_is_an_error() {
+        let path = temp_path("middle");
+        fs::write(
+            &path,
+            format!(
+                "{}\nnot json at all\n{}\n",
+                header().to_line(),
+                step(0, 1.0).to_line()
+            ),
+        )
+        .unwrap();
+        let err = RunJournal::open(&path).unwrap_err();
+        assert!(matches!(err, ArchGymError::Journal(_)), "{err}");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn journal_must_start_with_a_header() {
+        let path = temp_path("noheader");
+        fs::write(&path, format!("{}\n", step(0, 1.0).to_line())).unwrap();
+        let err = RunJournal::open(&path).unwrap_err();
+        assert!(err.to_string().contains("header"), "{err}");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snapshots_are_atomic_and_round_trip() {
+        let path = temp_path("snap");
+        let mut journal = RunJournal::open(&path).unwrap();
+        journal.append(&header()).unwrap();
+        let snapshot = Snapshot {
+            samples: 40,
+            best_reward: 0.1 + 0.2,
+            best_action: vec![3, 1, 4],
+            best_observation: vec![1.5, f64::INFINITY],
+            eval_retries: 7,
+            eval_failures: 9,
+            degraded_samples: 1,
+        };
+        journal.write_snapshot(&snapshot).unwrap();
+        // No tmp file left behind; the published snapshot round-trips.
+        let snap_path = RunJournal::snapshot_path(&path);
+        let mut tmp_name = snap_path.file_name().unwrap().to_os_string();
+        tmp_name.push(".tmp");
+        assert!(!snap_path.with_file_name(tmp_name).exists());
+        let back = RunJournal::read_snapshot(&path).unwrap().unwrap();
+        assert_eq!(back.samples, snapshot.samples);
+        assert_eq!(back.best_reward, snapshot.best_reward);
+        assert_eq!(back.best_action, snapshot.best_action);
+        assert_eq!(back.best_observation, snapshot.best_observation);
+        fs::remove_file(&path).unwrap();
+        fs::remove_file(snap_path).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_reads_as_none() {
+        let path = temp_path("nosnap");
+        assert_eq!(RunJournal::read_snapshot(&path).unwrap(), None);
+    }
+
+    /// Imports are only referenced inside `proptest!`, which stubbed-out
+    /// proptest builds compile away.
+    #[allow(unused_imports, dead_code)]
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// Every step record round-trips through its JSONL line,
+            /// with bit-exact floats (NaN compared by is_nan).
+            #[test]
+            fn prop_step_records_round_trip(
+                index in 0usize..1024,
+                reward in proptest::num::f64::ANY,
+                obs in proptest::collection::vec(proptest::num::f64::ANY, 0..6),
+                done in any::<bool>(),
+                feasible in any::<bool>(),
+                info in proptest::collection::btree_map(
+                    "[a-z_\"\\\\]{1,8}", proptest::num::f64::ANY, 0..4),
+                retries in any::<u64>(),
+                faults in any::<u64>(),
+                degraded in any::<bool>(),
+            ) {
+                let record = JournalRecord::Step(JournalStep {
+                    index, reward, observation: obs, done, feasible,
+                    info, retries, faults, degraded,
+                });
+                let back = JournalRecord::from_line(&record.to_line()).unwrap();
+                let (JournalRecord::Step(a), JournalRecord::Step(b)) = (&record, &back)
+                    else { panic!("variant changed") };
+                // NaN payload bits collapse to the canonical NaN; every
+                // other value must round-trip bit-exactly.
+                fn same(x: f64, y: f64) -> bool {
+                    (x.is_nan() && y.is_nan()) || x.to_bits() == y.to_bits()
+                }
+                prop_assert_eq!(a.index, b.index);
+                prop_assert!(same(a.reward, b.reward));
+                prop_assert_eq!(a.observation.len(), b.observation.len());
+                for (x, y) in a.observation.iter().zip(&b.observation) {
+                    prop_assert!(same(*x, *y));
+                }
+                prop_assert_eq!(a.info.len(), b.info.len());
+                for ((ka, va), (kb, vb)) in a.info.iter().zip(&b.info) {
+                    prop_assert_eq!(ka, kb);
+                    prop_assert!(same(*va, *vb));
+                }
+            }
+
+            /// Batch records round-trip for arbitrary index matrices.
+            #[test]
+            fn prop_batch_records_round_trip(
+                actions in proptest::collection::vec(
+                    proptest::collection::vec(0usize..1_000_000, 0..5), 0..5),
+            ) {
+                let record = JournalRecord::Batch(actions);
+                prop_assert_eq!(
+                    JournalRecord::from_line(&record.to_line()).unwrap(),
+                    record
+                );
+            }
+        }
+    }
+}

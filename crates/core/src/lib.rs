@@ -28,6 +28,8 @@
 //! * [`search`] — the agent↔environment driver ([`SearchLoop`]).
 //! * [`executor`] — deterministic parallel fan-out of independent runs.
 //! * [`pool`] — in-run parallel batch evaluation ([`EnvPool`]).
+//! * [`fault`] — deterministic fault injection ([`FaultyEnv`]).
+//! * [`journal`] — crash-safe write-ahead run journaling ([`RunJournal`]).
 //! * [`trajectory`] — standardized exploration datasets (Section 3.4).
 //! * [`bundle`] — self-describing dataset artifacts (schema + data).
 //! * [`pareto`] — Pareto-front extraction for multi-objective datasets.
@@ -77,6 +79,8 @@ pub mod cache;
 pub mod env;
 pub mod error;
 pub mod executor;
+pub mod fault;
+pub mod journal;
 pub mod pareto;
 pub mod pool;
 pub mod reward;
@@ -93,9 +97,11 @@ pub use cache::{CacheStats, CachedEnv, EvalCache};
 pub use env::{CloneEnvironment, Environment, Observation, StepResult};
 pub use error::{ArchGymError, Result};
 pub use executor::Executor;
+pub use fault::{FaultKind, FaultPlan, FaultStats, FaultyEnv};
+pub use journal::{JournalHeader, JournalRecord, JournalStep, RunJournal, Snapshot};
 pub use pool::{BatchEvaluator, EnvPool};
 pub use reward::{BudgetTerm, Objective, RewardSpec};
-pub use search::{RunConfig, RunResult, SearchLoop};
+pub use search::{RetryPolicy, RunConfig, RunResult, SearchLoop};
 pub use space::{Action, ParamDomain, ParamSpace, ParamValue, SpaceBuilder};
 pub use trajectory::{Dataset, Transition};
 
@@ -124,9 +130,11 @@ pub mod prelude {
     pub use crate::env::{CloneEnvironment, Environment, Observation, StepResult};
     pub use crate::error::{ArchGymError, Result};
     pub use crate::executor::Executor;
+    pub use crate::fault::{FaultPlan, FaultStats, FaultyEnv};
+    pub use crate::journal::RunJournal;
     pub use crate::pool::{BatchEvaluator, EnvPool};
     pub use crate::reward::{BudgetTerm, Objective, RewardSpec};
-    pub use crate::search::{RunConfig, RunResult, SearchLoop};
+    pub use crate::search::{RetryPolicy, RunConfig, RunResult, SearchLoop};
     pub use crate::seeded_rng;
     pub use crate::space::{Action, ParamDomain, ParamSpace, ParamValue};
     pub use crate::trajectory::{Dataset, Transition};

@@ -36,6 +36,7 @@
 //! ```
 
 use crate::env::{Environment, Observation, StepResult};
+use crate::error::{ArchGymError, Result};
 use crate::executor::Executor;
 use crate::space::Action;
 
@@ -57,6 +58,21 @@ pub trait BatchEvaluator {
 
     /// Evaluate `actions`, returning results in proposal order.
     fn eval_batch(&mut self, actions: &[Action]) -> Vec<StepResult>;
+
+    /// The width of the observation vector this evaluator produces —
+    /// what the retry machinery sizes degraded placeholder results to.
+    fn observation_width(&self) -> usize;
+
+    /// Fallibly evaluate `actions`, returning one outcome per action in
+    /// proposal order. The default delegates to the infallible
+    /// [`BatchEvaluator::eval_batch`]; fault-aware implementations
+    /// (environments with a real [`Environment::try_step`], pools with
+    /// panic isolation) surface per-action failures instead, which the
+    /// [`SearchLoop`](crate::search::SearchLoop) retries and degrades
+    /// per its [`RetryPolicy`](crate::search::RetryPolicy).
+    fn try_eval_batch(&mut self, actions: &[Action]) -> Vec<Result<StepResult>> {
+        self.eval_batch(actions).into_iter().map(Ok).collect()
+    }
 }
 
 /// Every environment is a serial batch evaluator: step each action in
@@ -70,6 +86,12 @@ impl<E: Environment + ?Sized> BatchEvaluator for E {
     }
     fn eval_batch(&mut self, actions: &[Action]) -> Vec<StepResult> {
         actions.iter().map(|action| self.step(action)).collect()
+    }
+    fn observation_width(&self) -> usize {
+        self.observation_labels().len()
+    }
+    fn try_eval_batch(&mut self, actions: &[Action]) -> Vec<Result<StepResult>> {
+        actions.iter().map(|action| self.try_step(action)).collect()
     }
 }
 
@@ -128,6 +150,24 @@ impl<E: Environment + Clone + Send> BatchEvaluator for EnvPool<E> {
     fn eval_batch(&mut self, actions: &[Action]) -> Vec<StepResult> {
         self.executor
             .map_with(&mut self.replicas, actions, |env, action| env.step(action))
+    }
+    fn observation_width(&self) -> usize {
+        self.replicas[0].observation_labels().len()
+    }
+    fn try_eval_batch(&mut self, actions: &[Action]) -> Vec<Result<StepResult>> {
+        // Fan out through the panic-isolating primitive: a panicking
+        // evaluation loses only its own slot (surfacing as EvalFailed),
+        // while the surviving workers keep draining the batch.
+        self.executor
+            .map_with_catch(&mut self.replicas, actions, |env, action| {
+                env.try_step(action)
+            })
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(outcome) => outcome,
+                Err(msg) => Err(ArchGymError::EvalFailed(format!("worker panicked: {msg}"))),
+            })
+            .collect()
     }
 }
 
@@ -207,5 +247,81 @@ mod tests {
     fn empty_batch_returns_empty_results() {
         let mut pool = EnvPool::new(PeakEnv::new(&[4], vec![0]), 4);
         assert!(pool.eval_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn default_try_eval_batch_wraps_the_infallible_path() {
+        let mut env = PeakEnv::new(&[8], vec![3]);
+        let expected = env.eval_batch(&batch(8));
+        let outcomes = env.try_eval_batch(&batch(8));
+        assert_eq!(env.observation_width(), env.observation_labels().len());
+        for (outcome, want) in outcomes.into_iter().zip(expected) {
+            assert_eq!(outcome.unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn pooled_faults_match_serial_faults_in_order() {
+        use crate::fault::{FaultPlan, FaultyEnv};
+        // Distinct actions: duplicates would race the shared attempt
+        // counters under pooling and legitimately settle differently.
+        let plan = FaultPlan::new(11).transient(0.4);
+        let actions: Vec<Action> = (0..40).map(|i| Action::new(vec![i])).collect();
+        let mut serial = FaultyEnv::new(PeakEnv::new(&[64], vec![3]), plan);
+        let expected: Vec<bool> = serial
+            .try_eval_batch(&actions)
+            .iter()
+            .map(|o| o.is_ok())
+            .collect();
+        let mut pool = EnvPool::new(FaultyEnv::new(PeakEnv::new(&[64], vec![3]), plan), 4);
+        let got: Vec<bool> = pool
+            .try_eval_batch(&actions)
+            .iter()
+            .map(|o| o.is_ok())
+            .collect();
+        assert_eq!(got, expected);
+        assert!(expected.iter().any(|ok| !ok), "fault rate 0.4 fired");
+    }
+
+    /// An environment whose evaluation panics on one specific action.
+    #[derive(Clone)]
+    struct Exploding(PeakEnv);
+    impl Environment for Exploding {
+        fn name(&self) -> &str {
+            "exploding"
+        }
+        fn space(&self) -> &crate::space::ParamSpace {
+            self.0.space()
+        }
+        fn observation_labels(&self) -> Vec<String> {
+            self.0.observation_labels()
+        }
+        fn reset(&mut self) -> Observation {
+            self.0.reset()
+        }
+        fn step(&mut self, action: &Action) -> StepResult {
+            assert!(action.index(0) != 5, "simulator segfault");
+            self.0.step(action)
+        }
+    }
+
+    #[test]
+    fn pooled_panic_loses_only_its_own_work_item() {
+        let actions: Vec<Action> = (0..16).map(|i| Action::new(vec![i % 8])).collect();
+        let mut pool = EnvPool::new(Exploding(PeakEnv::new(&[8], vec![3])), 4);
+        let outcomes = pool.try_eval_batch(&actions);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if i % 8 == 5 {
+                match outcome {
+                    Err(ArchGymError::EvalFailed(msg)) => {
+                        assert!(msg.contains("worker panicked"), "{msg}");
+                        assert!(msg.contains("simulator segfault"), "{msg}");
+                    }
+                    other => panic!("slot {i}: expected panic error, got {other:?}"),
+                }
+            } else {
+                assert!(outcome.is_ok(), "slot {i} survived");
+            }
+        }
     }
 }

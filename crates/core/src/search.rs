@@ -3,18 +3,82 @@
 //! [`SearchLoop`] runs an [`Agent`] against an [`Environment`] under a
 //! sample budget (the paper's normalization axis, Section 6.2), recording
 //! every interaction into a [`Dataset`] and tracking the best design found.
+//!
+//! The loop is *fault-tolerant*: evaluations flow through the fallible
+//! [`BatchEvaluator::try_eval_batch`] path, failed outcomes (transient
+//! errors, timeouts, NaN/Inf-corrupted results, worker panics) are
+//! retried per the run's [`RetryPolicy`], and a design point that
+//! exhausts its retries degrades to the paper's infeasible-penalty
+//! semantics instead of aborting the run. [`SearchLoop::run_resumable`]
+//! additionally journals every transition to disk
+//! ([`RunJournal`](crate::journal::RunJournal)) so a killed run resumes
+//! bit-identically from where it stopped.
 
 use crate::agent::Agent;
-use crate::env::{Environment, StepResult};
+use crate::env::{Environment, Observation, StepResult};
+use crate::error::{ArchGymError, Result};
+use crate::journal::{
+    JournalHeader, JournalRecord, JournalStep, RunJournal, Snapshot, JOURNAL_VERSION,
+};
 use crate::pool::{BatchEvaluator, EnvPool};
 use crate::space::Action;
 use crate::trajectory::{Dataset, Transition};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::path::Path;
 use std::time::Instant;
 
 /// Fallback proposal batch size when neither the config nor the agent
 /// pins one down.
 const DEFAULT_BATCH: usize = 16;
+
+/// How the search loop handles failed evaluations: how often to retry a
+/// failed design point, how long to back off between retry rounds, and
+/// the penalty reward a point degrades to once its retries are spent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Retry rounds granted to a failing design point beyond its first
+    /// attempt. `0` degrades on the first failure.
+    pub max_retries: u32,
+    /// Base backoff between retry rounds in milliseconds, doubled each
+    /// round (capped). `0` (the default) retries immediately — injected
+    /// faults need no cool-down, real crashed simulators might.
+    pub backoff_ms: u64,
+    /// Penalty reward assigned to a degraded design point, mirroring
+    /// the infeasible-point penalty of the paper's reward formulation.
+    pub penalty: f64,
+}
+
+impl RetryPolicy {
+    /// A policy granting `max_retries` retries with no backoff and the
+    /// default `-1.0` penalty.
+    pub fn new(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            backoff_ms: 0,
+            penalty: -1.0,
+        }
+    }
+
+    /// Set the base backoff, builder-style.
+    pub fn backoff_ms(mut self, backoff_ms: u64) -> Self {
+        self.backoff_ms = backoff_ms;
+        self
+    }
+
+    /// Set the degrade penalty, builder-style.
+    pub fn penalty(mut self, penalty: f64) -> Self {
+        self.penalty = penalty;
+        self
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Two immediate retries, penalty `-1.0`.
+    fn default() -> Self {
+        RetryPolicy::new(2)
+    }
+}
 
 /// Configuration of one search run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -36,17 +100,20 @@ pub struct RunConfig {
     /// `n > 1` fans batches across `n` environment replicas. Results
     /// are bit-identical at any setting.
     pub jobs: usize,
+    /// Retry/degrade policy for failed evaluations.
+    pub retry: RetryPolicy,
 }
 
 impl RunConfig {
-    /// A run with the given sample budget, a batch size of 16, and
-    /// serial evaluation.
+    /// A run with the given sample budget, a batch size of 16, serial
+    /// evaluation, and the default retry policy.
     pub fn with_budget(sample_budget: u64) -> Self {
         RunConfig {
             sample_budget,
             batch: 16,
             record: true,
             jobs: 1,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -65,6 +132,12 @@ impl RunConfig {
     /// Set in-run evaluation workers, builder-style (`0` = all cores).
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Set the retry/degrade policy, builder-style.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -98,6 +171,15 @@ pub struct RunResult {
     pub reward_history: Vec<f64>,
     /// Every recorded transition (empty when recording was disabled).
     pub dataset: Dataset,
+    /// Retry rounds consumed by failing evaluations.
+    pub eval_retries: u64,
+    /// Failed evaluation outcomes observed (errors, timeouts, corrupted
+    /// results, crashed-state rejections, worker panics) — every one of
+    /// them retried or degraded, never fatal.
+    pub eval_failures: u64,
+    /// Samples that exhausted their retries and degraded to the
+    /// [`RetryPolicy::penalty`] infeasible result.
+    pub degraded_samples: u64,
 }
 
 impl RunResult {
@@ -124,6 +206,52 @@ impl RunResult {
             .position(|&r| r >= threshold)
             .map(|i| i as u64 + 1)
     }
+}
+
+/// A fully settled evaluation: the final result of one proposed action
+/// after any retries and degradation.
+struct Settled {
+    result: StepResult,
+    retries: u64,
+    faults: u64,
+    degraded: bool,
+}
+
+impl Settled {
+    fn from_journal(step: JournalStep) -> Self {
+        Settled {
+            result: StepResult {
+                observation: Observation::new(step.observation),
+                reward: step.reward,
+                done: step.done,
+                feasible: step.feasible,
+                info: step.info,
+            },
+            retries: step.retries,
+            faults: step.faults,
+            degraded: step.degraded,
+        }
+    }
+
+    fn to_journal(&self, index: usize) -> JournalStep {
+        JournalStep {
+            index,
+            reward: self.result.reward,
+            observation: self.result.observation.as_slice().to_vec(),
+            done: self.result.done,
+            feasible: self.result.feasible,
+            info: self.result.info.clone(),
+            retries: self.retries,
+            faults: self.faults,
+            degraded: self.degraded,
+        }
+    }
+}
+
+/// One journaled batch awaiting replay.
+struct ReplayBatch {
+    actions: Vec<Vec<usize>>,
+    steps: Vec<Option<JournalStep>>,
 }
 
 /// Drives one agent against one environment.
@@ -173,68 +301,15 @@ impl SearchLoop {
     /// `eval` is any [`BatchEvaluator`] — a plain [`Environment`]
     /// (evaluated serially, via the blanket impl) or an [`EnvPool`]
     /// (evaluated in parallel). Both yield bit-identical reports.
+    /// Failed evaluations are retried and degraded per the config's
+    /// [`RetryPolicy`]; this entry point never fails.
     pub fn run<A, E>(&self, agent: &mut A, eval: &mut E) -> RunResult
     where
         A: Agent + ?Sized,
         E: BatchEvaluator + ?Sized,
     {
-        let start = Instant::now();
-        let mut samples_used = 0u64;
-        let mut best_reward = f64::NEG_INFINITY;
-        let mut best_action: Option<Action> = None;
-        let mut best_observation = Vec::new();
-        let mut reward_history = Vec::new();
-        let mut dataset = Dataset::new();
-        eval.reset_env();
-        let batch_cap = match self.config.batch {
-            0 => agent.batch_hint().unwrap_or(DEFAULT_BATCH),
-            n => n,
-        }
-        .max(1);
-
-        while samples_used < self.config.sample_budget {
-            let remaining = (self.config.sample_budget - samples_used) as usize;
-            let mut actions = agent.propose(batch_cap.min(remaining));
-            if actions.is_empty() {
-                break; // agent converged
-            }
-            // A misbehaving agent may ignore max_batch; never evaluate
-            // past the budget.
-            actions.truncate(remaining);
-            let step_results = eval.eval_batch(&actions);
-            let mut results: Vec<(Action, StepResult)> = Vec::with_capacity(actions.len());
-            for (action, result) in actions.into_iter().zip(step_results) {
-                samples_used += 1;
-                if result.reward > best_reward {
-                    best_reward = result.reward;
-                    best_action = Some(action.clone());
-                    best_observation = result.observation.as_slice().to_vec();
-                }
-                if self.config.record {
-                    reward_history.push(result.reward);
-                    dataset.push(Transition::new(
-                        eval.env_name(),
-                        agent.name(),
-                        action.clone(),
-                        &result,
-                    ));
-                }
-                results.push((action, result));
-            }
-            agent.observe(&results);
-        }
-
-        RunResult {
-            agent: agent.name().to_owned(),
-            env: eval.env_name().to_owned(),
-            best_reward,
-            best_action: best_action.unwrap_or_else(|| Action::new(Vec::new())),
-            best_observation,
-            samples_used,
-            wall_seconds: start.elapsed().as_secs_f64(),
-            reward_history,
-            dataset,
-        }
+        self.drive(agent, eval, None)
+            .expect("journal-less runs cannot fail")
     }
 
     /// Run `agent` against `env`, honoring the config's
@@ -255,6 +330,380 @@ impl SearchLoop {
             self.run(agent, &mut pool)
         }
     }
+
+    /// Like [`SearchLoop::run`], but journaled to `path` and resumable:
+    /// every proposed batch is logged *before* evaluation and every
+    /// settled result after it, so a crashed or killed run restarts
+    /// from its last completed evaluation instead of from scratch.
+    ///
+    /// If `path` holds a journal from an earlier (interrupted) run of
+    /// the *same* configuration, that prefix is replayed — the agent
+    /// re-proposes deterministically, journaled results are fed back to
+    /// it without touching the simulator, and only the un-journaled
+    /// tail is evaluated live. The final report is bit-identical (best
+    /// action, trajectory, dataset) to an uninterrupted run. A journal
+    /// written by a different env/agent/budget/batch errors rather than
+    /// silently mixing runs.
+    pub fn run_resumable<A, E>(
+        &self,
+        agent: &mut A,
+        eval: &mut E,
+        path: impl AsRef<Path>,
+    ) -> Result<RunResult>
+    where
+        A: Agent + ?Sized,
+        E: BatchEvaluator + ?Sized,
+    {
+        let mut journal = RunJournal::open(path)?;
+        self.drive(agent, eval, Some(&mut journal))
+    }
+
+    /// [`SearchLoop::run_resumable`] with the config's
+    /// [`jobs`](RunConfig::jobs) knob, mirroring
+    /// [`SearchLoop::run_pooled`].
+    pub fn run_resumable_pooled<A, E>(
+        &self,
+        agent: &mut A,
+        env: E,
+        path: impl AsRef<Path>,
+    ) -> Result<RunResult>
+    where
+        A: Agent + ?Sized,
+        E: Environment + Clone + Send,
+    {
+        if self.config.jobs == 1 {
+            let mut env = env;
+            self.run_resumable(agent, &mut env, path)
+        } else {
+            let mut pool = EnvPool::new(env, self.config.jobs);
+            self.run_resumable(agent, &mut pool, path)
+        }
+    }
+
+    /// Evaluate one proposed batch to completion: evaluate all pending
+    /// positions, retry failures (resetting the environment between
+    /// rounds, which recovers latched crashes), and degrade positions
+    /// that exhaust [`RetryPolicy::max_retries`] charged failures to
+    /// the infeasible penalty. Knock-on
+    /// [`ArchGymError::EnvCrashed`] rejections count as observed faults
+    /// but are *not* charged against a position's retries — they are
+    /// symptoms of a neighbor's crash, not verdicts on the position.
+    fn settle_batch<E>(eval: &mut E, actions: &[Action], policy: &RetryPolicy) -> Vec<Settled>
+    where
+        E: BatchEvaluator + ?Sized,
+    {
+        let n = actions.len();
+        let width = eval.observation_width();
+        let degraded_result = || {
+            StepResult::infeasible(Observation::new(vec![0.0; width]), policy.penalty)
+                .with_info("degraded", 1.0)
+        };
+        let mut slots: Vec<Option<StepResult>> = (0..n).map(|_| None).collect();
+        let mut charges = vec![0u32; n];
+        let mut retries = vec![0u64; n];
+        let mut faults = vec![0u64; n];
+        let mut degraded = vec![false; n];
+        // Each round settles or charges at least one position (only
+        // uncharged EnvCrashed rejections stall, and the post-reset
+        // leading position always gets a genuine outcome), so this cap
+        // is never reached in practice — it is a hard backstop against
+        // a pathological evaluator that crashes without recovery.
+        let max_rounds = (u64::from(policy.max_retries) + 2) * n as u64 + 4;
+
+        let mut round = 0u64;
+        loop {
+            let pending: Vec<usize> = (0..n).filter(|&i| slots[i].is_none()).collect();
+            if pending.is_empty() {
+                break;
+            }
+            if round > max_rounds {
+                for &i in &pending {
+                    slots[i] = Some(degraded_result());
+                    degraded[i] = true;
+                }
+                break;
+            }
+            if round > 0 {
+                if policy.backoff_ms > 0 {
+                    let exp = (round - 1).min(6) as u32;
+                    let delay = policy.backoff_ms.saturating_mul(1 << exp).min(10_000);
+                    std::thread::sleep(std::time::Duration::from_millis(delay));
+                }
+                // Recover latched crashes before re-attempting; bundled
+                // environments are stateless between designs, so this
+                // is a no-op for them.
+                eval.reset_env();
+                for &i in &pending {
+                    retries[i] += 1;
+                }
+            }
+            let subset: Vec<Action> = pending.iter().map(|&i| actions[i].clone()).collect();
+            let outcomes = eval.try_eval_batch(&subset);
+            debug_assert_eq!(outcomes.len(), pending.len());
+            for (&i, outcome) in pending.iter().zip(outcomes) {
+                match outcome {
+                    Ok(result)
+                        if result.reward.is_finite()
+                            && result.observation.as_slice().iter().all(|v| v.is_finite()) =>
+                    {
+                        slots[i] = Some(result);
+                    }
+                    // A non-finite reward/metric is a corrupted report:
+                    // treat it exactly like an evaluation error.
+                    Ok(_) | Err(ArchGymError::EvalFailed(_)) | Err(ArchGymError::Timeout(_)) => {
+                        faults[i] += 1;
+                        charges[i] += 1;
+                    }
+                    // Knock-on rejection from a latched crash: observed
+                    // but uncharged (the reset before the next round
+                    // clears the latch).
+                    Err(ArchGymError::EnvCrashed(_)) => {
+                        faults[i] += 1;
+                    }
+                    Err(_) => {
+                        faults[i] += 1;
+                        charges[i] += 1;
+                    }
+                }
+            }
+            for &i in &pending {
+                if slots[i].is_none() && charges[i] > policy.max_retries {
+                    slots[i] = Some(degraded_result());
+                    degraded[i] = true;
+                }
+            }
+            round += 1;
+        }
+
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, result)| Settled {
+                result: result.expect("every slot settled"),
+                retries: retries[i],
+                faults: faults[i],
+                degraded: degraded[i],
+            })
+            .collect()
+    }
+
+    /// The unified driver behind [`SearchLoop::run`] and
+    /// [`SearchLoop::run_resumable`]: with a journal, previously logged
+    /// batches are replayed (verifying the agent's deterministic
+    /// re-proposals against the log) before live evaluation continues.
+    fn drive<A, E>(
+        &self,
+        agent: &mut A,
+        eval: &mut E,
+        mut journal: Option<&mut RunJournal>,
+    ) -> Result<RunResult>
+    where
+        A: Agent + ?Sized,
+        E: BatchEvaluator + ?Sized,
+    {
+        let start = Instant::now();
+        let policy = self.config.retry;
+
+        // Validate or create the journal header, then stage the
+        // recovered records for replay.
+        let mut replay: VecDeque<ReplayBatch> = VecDeque::new();
+        if let Some(j) = journal.as_deref_mut() {
+            match j.header() {
+                Some(h) => {
+                    let live = (
+                        eval.env_name(),
+                        agent.name(),
+                        self.config.sample_budget,
+                        self.config.batch as u64,
+                    );
+                    if (h.env.as_str(), h.agent.as_str(), h.budget, h.batch) != live {
+                        return Err(ArchGymError::Journal(format!(
+                            "journal belongs to a different run \
+                             (journal: env {} agent {} budget {} batch {}; \
+                             live: env {} agent {} budget {} batch {})",
+                            h.env, h.agent, h.budget, h.batch, live.0, live.1, live.2, live.3
+                        )));
+                    }
+                }
+                None => {
+                    j.append(&JournalRecord::Header(JournalHeader {
+                        version: JOURNAL_VERSION,
+                        env: eval.env_name().to_owned(),
+                        agent: agent.name().to_owned(),
+                        budget: self.config.sample_budget,
+                        batch: self.config.batch as u64,
+                    }))?;
+                }
+            }
+            for record in j.records() {
+                match record {
+                    JournalRecord::Header(_) => {} // open() pinned it to index 0
+                    JournalRecord::Batch(actions) => replay.push_back(ReplayBatch {
+                        steps: (0..actions.len()).map(|_| None).collect(),
+                        actions: actions.clone(),
+                    }),
+                    JournalRecord::Step(step) => {
+                        let batch = replay.back_mut().ok_or_else(|| {
+                            ArchGymError::Journal("step record before any batch record".into())
+                        })?;
+                        let slot = batch.steps.get_mut(step.index).ok_or_else(|| {
+                            ArchGymError::Journal(format!(
+                                "step index {} outside its batch of {}",
+                                step.index,
+                                batch.actions.len()
+                            ))
+                        })?;
+                        *slot = Some(step.clone());
+                    }
+                }
+            }
+        }
+
+        let mut samples_used = 0u64;
+        let mut best_reward = f64::NEG_INFINITY;
+        let mut best_action: Option<Action> = None;
+        let mut best_observation = Vec::new();
+        let mut reward_history = Vec::new();
+        let mut dataset = Dataset::new();
+        let mut eval_retries = 0u64;
+        let mut eval_failures = 0u64;
+        let mut degraded_samples = 0u64;
+        eval.reset_env();
+        let batch_cap = match self.config.batch {
+            0 => agent.batch_hint().unwrap_or(DEFAULT_BATCH),
+            n => n,
+        }
+        .max(1);
+
+        while samples_used < self.config.sample_budget {
+            let remaining = (self.config.sample_budget - samples_used) as usize;
+            let mut actions = agent.propose(batch_cap.min(remaining));
+            if actions.is_empty() {
+                break; // agent converged
+            }
+            // A misbehaving agent may ignore max_batch; never evaluate
+            // past the budget.
+            actions.truncate(remaining);
+
+            let settled: Vec<Settled> = if let Some(mut batch) = replay.pop_front() {
+                // Replay: the agent must re-propose exactly what the
+                // journal recorded (it is deterministic in its seed).
+                let diverged = batch.actions.len() != actions.len()
+                    || batch
+                        .actions
+                        .iter()
+                        .zip(&actions)
+                        .any(|(logged, live)| logged.as_slice() != live.as_slice());
+                if diverged {
+                    return Err(ArchGymError::Journal(
+                        "agent replay diverged from the journal — was the seed, agent, \
+                         or environment configuration changed since the journal was written?"
+                            .into(),
+                    ));
+                }
+                // Journaled positions are absorbed without touching the
+                // simulator; the un-journaled tail settles live.
+                let missing: Vec<usize> = (0..actions.len())
+                    .filter(|&i| batch.steps[i].is_none())
+                    .collect();
+                let mut slots: Vec<Option<Settled>> = batch
+                    .steps
+                    .drain(..)
+                    .map(|step| step.map(Settled::from_journal))
+                    .collect();
+                if !missing.is_empty() {
+                    let subset: Vec<Action> = missing.iter().map(|&i| actions[i].clone()).collect();
+                    let live = Self::settle_batch(eval, &subset, &policy);
+                    for (&i, settled) in missing.iter().zip(live) {
+                        if let Some(j) = journal.as_deref_mut() {
+                            j.append(&JournalRecord::Step(settled.to_journal(i)))?;
+                        }
+                        slots[i] = Some(settled);
+                    }
+                }
+                slots
+                    .into_iter()
+                    .map(|slot| slot.expect("every replay slot settled"))
+                    .collect()
+            } else {
+                // Live: log the proposal before evaluating (write-ahead),
+                // then the settled results.
+                if let Some(j) = journal.as_deref_mut() {
+                    j.append(&JournalRecord::Batch(
+                        actions.iter().map(|a| a.as_slice().to_vec()).collect(),
+                    ))?;
+                }
+                let settled = Self::settle_batch(eval, &actions, &policy);
+                if let Some(j) = journal.as_deref_mut() {
+                    for (i, s) in settled.iter().enumerate() {
+                        j.append(&JournalRecord::Step(s.to_journal(i)))?;
+                    }
+                }
+                settled
+            };
+
+            let mut results: Vec<(Action, StepResult)> = Vec::with_capacity(actions.len());
+            for (action, settled) in actions.into_iter().zip(settled) {
+                samples_used += 1;
+                eval_retries += settled.retries;
+                eval_failures += settled.faults;
+                degraded_samples += u64::from(settled.degraded);
+                let result = settled.result;
+                if result.reward > best_reward {
+                    best_reward = result.reward;
+                    best_action = Some(action.clone());
+                    best_observation = result.observation.as_slice().to_vec();
+                }
+                if self.config.record {
+                    reward_history.push(result.reward);
+                    dataset.push(Transition::new(
+                        eval.env_name(),
+                        agent.name(),
+                        action.clone(),
+                        &result,
+                    ));
+                }
+                results.push((action, result));
+            }
+            agent.observe(&results);
+
+            if let Some(j) = journal.as_deref_mut() {
+                j.write_snapshot(&Snapshot {
+                    samples: samples_used,
+                    best_reward,
+                    best_action: best_action
+                        .as_ref()
+                        .map(|a| a.as_slice().to_vec())
+                        .unwrap_or_default(),
+                    best_observation: best_observation.clone(),
+                    eval_retries,
+                    eval_failures,
+                    degraded_samples,
+                })?;
+            }
+        }
+
+        if !replay.is_empty() {
+            return Err(ArchGymError::Journal(
+                "journal holds batches the agent never re-proposed — replay diverged".into(),
+            ));
+        }
+
+        Ok(RunResult {
+            agent: agent.name().to_owned(),
+            env: eval.env_name().to_owned(),
+            best_reward,
+            best_action: best_action.unwrap_or_else(|| Action::new(Vec::new())),
+            best_observation,
+            samples_used,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            reward_history,
+            dataset,
+            eval_retries,
+            eval_failures,
+            degraded_samples,
+        })
+    }
 }
 
 impl Default for SearchLoop {
@@ -268,6 +717,7 @@ mod tests {
     use super::*;
     use crate::agent::RandomWalker;
     use crate::env::{CountingEnv, Observation};
+    use crate::fault::{FaultPlan, FaultyEnv};
     use crate::toy::PeakEnv;
 
     #[test]
@@ -293,6 +743,9 @@ mod tests {
         assert_eq!(result.best_observation, vec![0.0]);
         assert_eq!(result.agent, "rw");
         assert_eq!(result.env, "peak");
+        assert_eq!(result.eval_failures, 0);
+        assert_eq!(result.eval_retries, 0);
+        assert_eq!(result.degraded_samples, 0);
     }
 
     #[test]
@@ -426,5 +879,291 @@ mod tests {
             assert_eq!(pooled.reward_history, serial.reward_history, "jobs={jobs}");
             assert_eq!(pooled.dataset.len(), serial.dataset.len(), "jobs={jobs}");
         }
+    }
+
+    // --- fault tolerance ---------------------------------------------------
+
+    #[test]
+    fn retry_policy_builders_compose() {
+        let policy = RetryPolicy::new(5).backoff_ms(20).penalty(-3.0);
+        assert_eq!(policy.max_retries, 5);
+        assert_eq!(policy.backoff_ms, 20);
+        assert_eq!(policy.penalty, -3.0);
+        assert_eq!(RetryPolicy::default().max_retries, 2);
+        assert_eq!(RetryPolicy::default().backoff_ms, 0);
+        assert_eq!(RetryPolicy::default().penalty, -1.0);
+    }
+
+    #[test]
+    fn zero_fault_wrapper_is_bit_identical_to_plain_run() {
+        let plain = {
+            let mut env = PeakEnv::new(&[16, 16], vec![5, 9]);
+            let mut agent = RandomWalker::new(env.space().clone(), 12);
+            SearchLoop::new(RunConfig::with_budget(96)).run(&mut agent, &mut env)
+        };
+        let mut env = FaultyEnv::new(PeakEnv::new(&[16, 16], vec![5, 9]), FaultPlan::new(7));
+        let mut agent = RandomWalker::new(env.space().clone(), 12);
+        let faulty = SearchLoop::new(RunConfig::with_budget(96)).run(&mut agent, &mut env);
+        assert_eq!(faulty.best_reward, plain.best_reward);
+        assert_eq!(faulty.best_action, plain.best_action);
+        assert_eq!(faulty.reward_history, plain.reward_history);
+        assert_eq!(faulty.dataset, plain.dataset);
+        assert_eq!(faulty.eval_failures, 0);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_without_losing_budget() {
+        let plan = FaultPlan::new(21).transient(0.3);
+        let mut env = FaultyEnv::new(PeakEnv::new(&[16, 16], vec![5, 9]), plan);
+        let mut agent = RandomWalker::new(env.space().clone(), 4);
+        let result = SearchLoop::new(RunConfig::with_budget(80)).run(&mut agent, &mut env);
+        assert_eq!(result.samples_used, 80);
+        assert_eq!(result.reward_history.len(), 80);
+        assert!(result.eval_failures > 0, "30% transients must fire");
+        assert!(result.eval_retries > 0);
+        // The wrapper's own counters corroborate the loop's.
+        assert_eq!(result.eval_failures, env.stats().total());
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_to_the_penalty() {
+        let plan = FaultPlan::new(3).transient(1.0); // every attempt fails
+        let mut env = FaultyEnv::new(PeakEnv::new(&[8], vec![3]), plan);
+        let mut agent = RandomWalker::new(env.space().clone(), 2);
+        let config = RunConfig::with_budget(12).retry(RetryPolicy::new(1).penalty(-9.0));
+        let result = SearchLoop::new(config).run(&mut agent, &mut env);
+        assert_eq!(
+            result.samples_used, 12,
+            "degraded samples still consume budget"
+        );
+        assert_eq!(result.degraded_samples, 12);
+        assert!(result.reward_history.iter().all(|&r| r == -9.0));
+        assert_eq!(result.best_reward, -9.0);
+        // Every sample: 1 initial failure + 1 retry failure, all charged.
+        assert_eq!(result.eval_retries, 12);
+        assert!(result.dataset.transitions().iter().all(|t| !t.feasible));
+    }
+
+    #[test]
+    fn latched_crashes_recover_through_reset_and_complete_the_budget() {
+        let plan = FaultPlan::new(17).transient(0.1).latched(0.08);
+        let mut env = FaultyEnv::new(PeakEnv::new(&[16, 16], vec![5, 9]), plan);
+        let mut agent = RandomWalker::new(env.space().clone(), 6);
+        let result = SearchLoop::new(RunConfig::with_budget(64)).run(&mut agent, &mut env);
+        assert_eq!(
+            result.samples_used, 64,
+            "latched crashes must not abort the run"
+        );
+        let stats = env.stats();
+        assert!(stats.latched > 0, "8% latch rate over 64+ evals must fire");
+        assert_eq!(result.eval_failures, stats.total());
+        assert!(!env.is_crashed() || stats.latched > 0);
+    }
+
+    #[test]
+    fn corrupt_metrics_are_retried_like_failures() {
+        let plan = FaultPlan::new(29).corrupt(0.4);
+        let mut env = FaultyEnv::new(PeakEnv::new(&[16, 16], vec![5, 9]), plan);
+        let mut agent = RandomWalker::new(env.space().clone(), 8);
+        let result = SearchLoop::new(RunConfig::with_budget(48)).run(&mut agent, &mut env);
+        assert_eq!(result.samples_used, 48);
+        assert!(env.stats().corrupt > 0);
+        // No NaN/Inf ever reaches the report.
+        assert!(result.reward_history.iter().all(|r| r.is_finite()));
+        assert!(result.best_reward.is_finite());
+        assert_eq!(result.eval_failures, env.stats().total());
+    }
+
+    #[test]
+    fn faulty_pooled_run_completes_and_counts_consistently() {
+        let plan = FaultPlan::new(41).transient(0.2).latched(0.02);
+        for jobs in [1, 4] {
+            let env = FaultyEnv::new(PeakEnv::new(&[16, 16], vec![5, 9]), plan);
+            let handle = env.clone();
+            let mut agent = RandomWalker::new(env.space().clone(), 13);
+            let result =
+                SearchLoop::new(RunConfig::with_budget(72).jobs(jobs)).run_pooled(&mut agent, env);
+            assert_eq!(result.samples_used, 72, "jobs={jobs}");
+            // Replicas share the stats cells, so the wrapper's total
+            // matches the loop's counter at any worker count.
+            assert_eq!(result.eval_failures, handle.stats().total(), "jobs={jobs}");
+        }
+    }
+
+    // --- journal / resume --------------------------------------------------
+
+    fn temp_journal(tag: &str) -> std::path::PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("archgym-search-{tag}-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(RunJournal::snapshot_path(&path));
+        path
+    }
+
+    fn cleanup_journal(path: &std::path::Path) {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(RunJournal::snapshot_path(path));
+    }
+
+    /// Strip wall-clock (the only nondeterministic field) for equality.
+    fn dewalled(mut result: RunResult) -> RunResult {
+        result.wall_seconds = 0.0;
+        result
+    }
+
+    #[test]
+    fn fresh_resumable_run_matches_plain_run() {
+        let plain = {
+            let mut env = PeakEnv::new(&[12, 12], vec![4, 9]);
+            let mut agent = RandomWalker::new(env.space().clone(), 5);
+            SearchLoop::new(RunConfig::with_budget(50)).run(&mut agent, &mut env)
+        };
+        let path = temp_journal("fresh");
+        let mut env = PeakEnv::new(&[12, 12], vec![4, 9]);
+        let mut agent = RandomWalker::new(env.space().clone(), 5);
+        let journaled = SearchLoop::new(RunConfig::with_budget(50))
+            .run_resumable(&mut agent, &mut env, &path)
+            .unwrap();
+        assert_eq!(dewalled(journaled), dewalled(plain));
+        cleanup_journal(&path);
+    }
+
+    #[test]
+    fn completed_journal_replays_without_touching_the_simulator() {
+        let path = temp_journal("replay");
+        let config = RunConfig::with_budget(40);
+        let first = {
+            let mut env = CountingEnv::new(PeakEnv::new(&[12, 12], vec![4, 9]));
+            let mut agent = RandomWalker::new(env.space().clone(), 5);
+            SearchLoop::new(config.clone())
+                .run_resumable(&mut agent, &mut env, &path)
+                .unwrap()
+        };
+        let mut env = CountingEnv::new(PeakEnv::new(&[12, 12], vec![4, 9]));
+        let mut agent = RandomWalker::new(env.space().clone(), 5);
+        let replayed = SearchLoop::new(config)
+            .run_resumable(&mut agent, &mut env, &path)
+            .unwrap();
+        assert_eq!(env.samples(), 0, "full replay must not re-evaluate");
+        assert_eq!(dewalled(replayed), dewalled(first));
+        cleanup_journal(&path);
+    }
+
+    #[test]
+    fn interrupted_journal_resumes_bit_identically() {
+        let reference = {
+            let mut env = PeakEnv::new(&[12, 12], vec![4, 9]);
+            let mut agent = RandomWalker::new(env.space().clone(), 5);
+            SearchLoop::new(RunConfig::with_budget(48)).run(&mut agent, &mut env)
+        };
+        let path = temp_journal("interrupt");
+        {
+            let mut env = PeakEnv::new(&[12, 12], vec![4, 9]);
+            let mut agent = RandomWalker::new(env.space().clone(), 5);
+            SearchLoop::new(RunConfig::with_budget(48))
+                .run_resumable(&mut agent, &mut env, &path)
+                .unwrap();
+        }
+        // Simulate a crash: keep only a prefix of the journal, cutting
+        // mid-batch (header + batch + a few steps + a partial line).
+        let full = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = full.lines().collect();
+        let keep = 5.min(lines.len() - 1);
+        let mut prefix = lines[..keep].join("\n");
+        prefix.push('\n');
+        prefix.push_str(&lines[keep][..lines[keep].len() / 2]); // torn write
+        std::fs::write(&path, prefix).unwrap();
+
+        let mut env = PeakEnv::new(&[12, 12], vec![4, 9]);
+        let mut agent = RandomWalker::new(env.space().clone(), 5);
+        let resumed = SearchLoop::new(RunConfig::with_budget(48))
+            .run_resumable(&mut agent, &mut env, &path)
+            .unwrap();
+        assert_eq!(dewalled(resumed), dewalled(reference));
+        cleanup_journal(&path);
+    }
+
+    #[test]
+    fn journal_from_a_different_run_is_rejected() {
+        let path = temp_journal("mismatch");
+        {
+            let mut env = PeakEnv::new(&[12, 12], vec![4, 9]);
+            let mut agent = RandomWalker::new(env.space().clone(), 5);
+            SearchLoop::new(RunConfig::with_budget(32))
+                .run_resumable(&mut agent, &mut env, &path)
+                .unwrap();
+        }
+        let mut env = PeakEnv::new(&[12, 12], vec![4, 9]);
+        let mut agent = RandomWalker::new(env.space().clone(), 5);
+        let err = SearchLoop::new(RunConfig::with_budget(64))
+            .run_resumable(&mut agent, &mut env, &path)
+            .unwrap_err();
+        assert!(matches!(err, ArchGymError::Journal(_)));
+        assert!(err.to_string().contains("different run"), "{err}");
+        cleanup_journal(&path);
+    }
+
+    #[test]
+    fn diverging_replay_is_detected() {
+        let path = temp_journal("diverge");
+        {
+            let mut env = PeakEnv::new(&[12, 12], vec![4, 9]);
+            let mut agent = RandomWalker::new(env.space().clone(), 5);
+            SearchLoop::new(RunConfig::with_budget(32))
+                .run_resumable(&mut agent, &mut env, &path)
+                .unwrap();
+        }
+        // Same configuration, different agent seed → different proposals.
+        let mut env = PeakEnv::new(&[12, 12], vec![4, 9]);
+        let mut agent = RandomWalker::new(env.space().clone(), 6);
+        let err = SearchLoop::new(RunConfig::with_budget(32))
+            .run_resumable(&mut agent, &mut env, &path)
+            .unwrap_err();
+        assert!(err.to_string().contains("diverged"), "{err}");
+        cleanup_journal(&path);
+    }
+
+    #[test]
+    fn resumable_run_with_faults_is_bit_identical_to_uninterrupted() {
+        // Transient-only faults with generous retries: nothing degrades,
+        // so no cross-process attempt-counter residue can perturb the
+        // resumed half (see fault.rs docs).
+        let plan = FaultPlan::new(33).transient(0.25);
+        let config = RunConfig::with_budget(40).retry(RetryPolicy::new(8));
+        let reference = {
+            let mut env = FaultyEnv::new(PeakEnv::new(&[12, 12], vec![4, 9]), plan);
+            let mut agent = RandomWalker::new(env.space().clone(), 5);
+            SearchLoop::new(config.clone()).run(&mut agent, &mut env)
+        };
+        assert_eq!(
+            reference.degraded_samples, 0,
+            "test needs degrade-free faults"
+        );
+        assert!(reference.eval_failures > 0);
+
+        let path = temp_journal("fault-resume");
+        {
+            let mut env = FaultyEnv::new(PeakEnv::new(&[12, 12], vec![4, 9]), plan);
+            let mut agent = RandomWalker::new(env.space().clone(), 5);
+            SearchLoop::new(config.clone())
+                .run_resumable(&mut agent, &mut env, &path)
+                .unwrap();
+        }
+        let full = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = full.lines().collect();
+        let mut prefix = lines[..lines.len() / 2].join("\n");
+        prefix.push('\n');
+        std::fs::write(&path, prefix).unwrap();
+
+        let mut env = FaultyEnv::new(PeakEnv::new(&[12, 12], vec![4, 9]), plan);
+        let mut agent = RandomWalker::new(env.space().clone(), 5);
+        let resumed = SearchLoop::new(config)
+            .run_resumable(&mut agent, &mut env, &path)
+            .unwrap();
+        assert_eq!(resumed.best_reward, reference.best_reward);
+        assert_eq!(resumed.best_action, reference.best_action);
+        assert_eq!(resumed.reward_history, reference.reward_history);
+        assert_eq!(resumed.dataset, reference.dataset);
+        cleanup_journal(&path);
     }
 }

