@@ -5,14 +5,16 @@
 //! ```
 //!
 //! `perf` times simulate-only (indexed and linear-scan schedulers),
-//! batched-run (serial vs pooled), sweep-serial, sweep-parallel, and
-//! cached-sweep scenarios, then **appends** the report to the history
-//! array in `BENCH_perf.json` (override with `--out=`). `--quick`
-//! selects the CI smoke sizes; `--jobs=N` sets the parallel scenario's
-//! worker count (0 = all cores, the default). `--rev=`/`--date=` stamp
-//! the entry so the history reads as a trajectory. `--gate=PATH`
-//! compares the fresh numbers against the most recent entry in PATH
-//! with 30% tolerance and exits nonzero on a regression.
+//! batched-run (serial vs pooled), telemetry (recorder off vs on),
+//! sweep-serial, sweep-parallel, and cached-sweep scenarios, then
+//! **appends** the report to the history array in `BENCH_perf.json`
+//! (override with `--out=`). `--quick` selects the CI smoke sizes;
+//! `--jobs=N` sets the parallel scenario's worker count (0 = all
+//! cores, the default). `--rev=`/`--date=` stamp the entry so the
+//! history reads as a trajectory. `--gate=PATH` compares the fresh
+//! numbers against the most recent entry in PATH with 30% tolerance —
+//! and holds the live recorder to at most 5% overhead over the no-op
+//! path — exiting nonzero on a regression.
 
 use std::process::ExitCode;
 

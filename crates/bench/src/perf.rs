@@ -21,6 +21,7 @@ use archgym_core::executor::Executor;
 use archgym_core::search::{RunConfig, RunResult, SearchLoop};
 use archgym_core::seeded_rng;
 use archgym_core::sweep::{Sweep, SweepResult};
+use archgym_core::telemetry::{PhaseSummary, Recorder};
 use archgym_dram::controller::{ControllerConfig, MemoryController};
 use archgym_dram::trace::generate;
 use archgym_dram::{DramEnv, DramWorkload, Objective, TraceConfig};
@@ -35,6 +36,11 @@ use std::time::Instant;
 pub const BASELINE_SIMULATE_DEFAULT_PER_SEC: f64 = 13_000.0;
 /// Pre-optimization throughput of the wide simulate-only scenario.
 pub const BASELINE_SIMULATE_WIDE_PER_SEC: f64 = 670.0;
+
+/// Ceiling on the live recorder's cost: a run with telemetry enabled
+/// may take at most 5% longer than the identical run with the no-op
+/// recorder. Enforced by [`gate`] in CI.
+pub const TELEMETRY_OVERHEAD_LIMIT: f64 = 1.05;
 
 /// One timed scenario.
 #[derive(Debug, Clone)]
@@ -80,6 +86,13 @@ pub struct PerfReport {
     pub cache_hit_rate: f64,
     /// Distinct design points the cache ended up holding.
     pub cache_entries: u64,
+    /// Wall-clock ratio of the telemetry-on run over the telemetry-off
+    /// run (best of several interleaved reps each). Gated at
+    /// [`TELEMETRY_OVERHEAD_LIMIT`].
+    pub telemetry_overhead: f64,
+    /// Per-phase latency summaries from the telemetry-on run, straight
+    /// from the run recorder rather than ad-hoc `Instant` bookkeeping.
+    pub phases: Vec<(String, PhaseSummary)>,
 }
 
 impl PerfReport {
@@ -131,6 +144,21 @@ impl PerfReport {
             );
         }
         out.push_str("  ],\n");
+        out.push_str("  \"phases\": [\n");
+        for (i, (name, p)) in self.phases.iter().enumerate() {
+            let comma = if i + 1 < self.phases.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{name}\", \"count\": {}, \"total_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}{comma}",
+                p.count, p.total_ns, p.p50_ns, p.p95_ns, p.p99_ns, p.max_ns
+            );
+        }
+        out.push_str("  ],\n");
+        let _ = writeln!(
+            out,
+            "  \"telemetry_overhead\": {:.4},",
+            self.telemetry_overhead
+        );
         if let Some(current) = self.per_second("simulate-only/default") {
             let _ = writeln!(
                 out,
@@ -336,6 +364,49 @@ pub fn run(quick: bool, jobs: usize) -> Result<PerfReport> {
     });
     let batched_run_speedup = serial_run_seconds / pooled_run_seconds;
 
+    // --- telemetry overhead: the recorder must be (nearly) free -------
+    // The same GA run with the default no-op recorder and with a live
+    // one. Reps are interleaved and the best of each side is kept, so a
+    // transient load spike cannot charge one side only; phase timings
+    // come from the recorder itself instead of ad-hoc `Instant` math.
+    let overhead_budget: u64 = if quick { 96 } else { 400 };
+    let run_observed = |rec: Option<Recorder>| -> Result<f64> {
+        let mut agent = build_agent(AgentKind::Ga, &batched_space, &HyperMap::new(), 11)?;
+        let mut driver = SearchLoop::new(
+            RunConfig::with_budget(overhead_budget)
+                .batch(0)
+                .record(false),
+        );
+        if let Some(rec) = rec {
+            driver = driver.with_telemetry(rec);
+        }
+        let (seconds, _) = timed(|| driver.run_pooled(&mut agent, batched_env()));
+        Ok(seconds)
+    };
+    let live = Recorder::new();
+    let (mut off_seconds, mut on_seconds) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..if quick { 3 } else { 5 } {
+        off_seconds = off_seconds.min(run_observed(None)?);
+        on_seconds = on_seconds.min(run_observed(Some(live.clone()))?);
+    }
+    scenarios.push(ScenarioResult {
+        name: "telemetry/off".into(),
+        work_units: overhead_budget,
+        wall_seconds: off_seconds,
+        per_second: overhead_budget as f64 / off_seconds,
+    });
+    scenarios.push(ScenarioResult {
+        name: "telemetry/on".into(),
+        work_units: overhead_budget,
+        wall_seconds: on_seconds,
+        per_second: overhead_budget as f64 / on_seconds,
+    });
+    let telemetry_overhead = on_seconds / off_seconds;
+    let phases: Vec<(String, PhaseSummary)> = live
+        .report()
+        .map(|r| r.phases.into_iter().collect())
+        .unwrap_or_default();
+
     // --- sweeps: serial, parallel, cached ------------------------------
     let kind = AgentKind::Ga;
     let budget: u64 = if quick { 48 } else { 300 };
@@ -409,6 +480,8 @@ pub fn run(quick: bool, jobs: usize) -> Result<PerfReport> {
         cached_sweep_speedup: serial_seconds / warm_seconds,
         cache_hit_rate: stats.hit_rate(),
         cache_entries: stats.entries,
+        telemetry_overhead,
+        phases,
     })
 }
 
@@ -493,6 +566,13 @@ pub fn gate(report: &PerfReport, baseline_json: &str, tolerance: f64) -> Vec<Str
             ));
         }
     }
+    if report.telemetry_overhead > TELEMETRY_OVERHEAD_LIMIT {
+        failures.push(format!(
+            "telemetry: enabled recorder costs {:.1}% over the no-op path (limit {:.0}%)",
+            (report.telemetry_overhead - 1.0) * 100.0,
+            (TELEMETRY_OVERHEAD_LIMIT - 1.0) * 100.0
+        ));
+    }
     failures
 }
 
@@ -535,6 +615,27 @@ pub fn print(report: &PerfReport) {
         report.cache_hit_rate * 100.0,
         report.cache_entries
     );
+    println!(
+        "telemetry overhead (recorder on vs off): {:+.2}% (limit {:+.0}%)",
+        (report.telemetry_overhead - 1.0) * 100.0,
+        (TELEMETRY_OVERHEAD_LIMIT - 1.0) * 100.0
+    );
+    if !report.phases.is_empty() {
+        println!(
+            "{:<16} {:>10} {:>14} {:>12} {:>12}",
+            "phase", "count", "total ms", "p50 us", "p95 us"
+        );
+        for (name, p) in &report.phases {
+            println!(
+                "{:<16} {:>10} {:>14.3} {:>12.1} {:>12.1}",
+                name,
+                p.count,
+                p.total_ns as f64 / 1e6,
+                p.p50_ns as f64 / 1e3,
+                p.p95_ns as f64 / 1e3
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -553,6 +654,8 @@ mod tests {
                 "simulate-only/wide-linear-scan",
                 "batched-run/serial",
                 "batched-run/jobs4",
+                "telemetry/off",
+                "telemetry/on",
                 "sweep-serial",
                 "sweep-parallel",
                 "cached-sweep/cold",
@@ -578,6 +681,22 @@ mod tests {
         );
         assert!(report.cache_hit_rate > 0.0);
         assert!(report.cache_entries > 0);
+        // The recorder's accounting must cover the run it watched: the
+        // evaluate phase fired once per batch, and simulate-level spans
+        // once per sample.
+        assert!(report.telemetry_overhead > 0.0);
+        let phase = |name: &str| {
+            report
+                .phases
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, p)| *p)
+        };
+        assert!(phase("evaluate").is_some_and(|p| p.count > 0), "{report:?}");
+        assert!(
+            phase("simulate").is_some_and(|p| p.count > 0 && p.total_ns > 0),
+            "{report:?}"
+        );
     }
 
     fn sample_report() -> PerfReport {
@@ -598,6 +717,18 @@ mod tests {
             cached_sweep_speedup: 5.0,
             cache_hit_rate: 0.75,
             cache_entries: 42,
+            telemetry_overhead: 1.01,
+            phases: vec![(
+                "simulate".into(),
+                PhaseSummary {
+                    count: 10,
+                    total_ns: 1_000,
+                    p50_ns: 127,
+                    p95_ns: 255,
+                    p99_ns: 255,
+                    max_ns: 200,
+                },
+            )],
         }
     }
 
@@ -616,6 +747,9 @@ mod tests {
             "\"batched_run_speedup\": 1.000",
             "\"cached_sweep_speedup\": 5.000",
             "\"cache_entries\": 42",
+            "\"telemetry_overhead\": 1.0100",
+            "\"phases\"",
+            "\"name\": \"simulate\", \"count\": 10",
             "\"simulate_default_speedup_vs_baseline\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
@@ -697,5 +831,16 @@ mod tests {
         let failures = gate(&report, &baseline(120.0), 0.3);
         assert_eq!(failures.len(), 1, "{failures:?}");
         assert!(failures[0].contains("sweep-parallel"));
+    }
+
+    #[test]
+    fn gate_flags_expensive_telemetry() {
+        let mut report = sample_report();
+        report.scenarios.clear();
+        assert!(gate(&report, "[]", 0.3).is_empty(), "1% overhead passes");
+        report.telemetry_overhead = 1.2;
+        let failures = gate(&report, "[]", 0.3);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("telemetry"), "{failures:?}");
     }
 }

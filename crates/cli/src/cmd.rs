@@ -10,9 +10,11 @@ use archgym_core::fault::{FaultPlan, FaultStats, FaultyEnv};
 use archgym_core::search::{RetryPolicy, RunConfig, RunResult, SearchLoop};
 use archgym_core::seeded_rng;
 use archgym_core::stats::summarize;
+use archgym_core::telemetry::Recorder;
 use archgym_core::trajectory::Dataset;
 use std::fmt::Write as _;
 use std::fs::File;
+use std::sync::{Arc, Mutex};
 
 /// Dispatch a parsed command line.
 ///
@@ -48,9 +50,12 @@ USAGE:
                  [--journal run.jsonl] [--resume true] [--retries N] [--backoff-ms N]
                  [--fault-seed N] [--fault-transient P] [--fault-latched P]
                  [--fault-corrupt P] [--fault-stall P]
+                 [--metrics out.json] [--trace out.jsonl]
   archgym compare --env <spec> [--agents aco,ga,sa,...] [--objective <spec>]
                  [--budget N] [--seed N] [--batch N] [--jobs N] [--retries N] [--backoff-ms N]
+                 [--metrics out.json] [--trace out.jsonl]
   archgym sweep  --env <spec> --agent <kind> [--objective <spec>] [--budget N] [--seeds N] [--grid N] [--jobs N] [--cache true]
+                 [--metrics out.json] [--trace out.jsonl]
   archgym halving --env <spec> --agent <kind> [--objective <spec>] [--budget N] [--eta N] [--jobs N] [--cache true]
   archgym trace  --workload <stream|random|cloud-1|cloud-2> [--length N] [--seed N] [--out file] [--stats true]
   archgym proxy  --dataset in.jsonl --metric N [--search N] [--seed N]
@@ -64,6 +69,15 @@ bit-identical regardless of thread count.
 `--cache true` memoizes design-point evaluations in a shared in-memory
 cache, so configurations revisited by any run cost a hash lookup instead
 of a simulation; results are identical with or without it.
+
+TELEMETRY:
+`--metrics FILE` enables the run recorder and writes a JSON snapshot of
+every counter (samples, retries, cache traffic, DRAM row outcomes) and
+per-phase latency histogram (p50/p95/p99) to FILE; the same data is
+printed as a table. For `compare`, FILE holds per-agent stable counters
+that are byte-identical across reruns and `--jobs` settings. `--trace
+FILE` streams one JSON object per settled batch to FILE as the run
+executes. Without either flag the recorder is a no-op and costs nothing.
 
 FAILURE SEMANTICS:
 Failed evaluations are retried up to `--retries N` times (default 2)
@@ -101,6 +115,56 @@ fn list() -> String {
         );
     }
     out
+}
+
+/// A clonable trace sink: several recorders (one per `compare` roster
+/// entry) append whole lines to the same `--trace` file.
+#[derive(Clone)]
+struct SharedSink(Arc<Mutex<File>>);
+
+impl SharedSink {
+    fn create(path: &str) -> Result<Self> {
+        Ok(SharedSink(Arc::new(Mutex::new(File::create(path)?))))
+    }
+}
+
+impl std::io::Write for SharedSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("trace sink poisoned").write(buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.lock().expect("trace sink poisoned").flush()
+    }
+}
+
+/// The `--metrics`/`--trace` observability knobs: a live recorder when
+/// either flag is present (with the JSONL event sink already attached),
+/// `None` — i.e. free no-op telemetry — otherwise.
+fn telemetry_sink(args: &Args) -> Result<Option<Recorder>> {
+    if args.get("metrics").is_none() && args.get("trace").is_none() {
+        return Ok(None);
+    }
+    let rec = Recorder::new();
+    if let Some(path) = args.get("trace") {
+        rec.set_trace(SharedSink::create(path)?);
+    }
+    Ok(Some(rec))
+}
+
+/// Write the recorder's snapshot to `--metrics FILE` (canonical JSON) and
+/// append the human-readable table plus file pointers to the report.
+fn write_metrics(out: &mut String, args: &Args, rec: &Recorder) -> Result<()> {
+    if let Some(report) = rec.report() {
+        if let Some(path) = args.get("metrics") {
+            std::fs::write(path, report.encode() + "\n")?;
+            let _ = writeln!(out, "telemetry:\n{}", report.human_table());
+            let _ = writeln!(out, "metrics: {path}");
+        }
+    }
+    if let Some(path) = args.get("trace") {
+        let _ = writeln!(out, "trace: {path}");
+    }
+    Ok(())
 }
 
 /// The `--retries`/`--backoff-ms` knobs shared by `search` and `compare`.
@@ -185,12 +249,16 @@ fn search(args: &Args) -> Result<String> {
     let jobs = args.u64_or("jobs", 1)? as usize;
     let plan = fault_plan(args, seed)?;
     let journal = journal_path(args)?;
+    let telemetry = telemetry_sink(args)?;
     let mut agent = build_agent(kind, env.space(), &Default::default(), seed)?;
     let config = RunConfig::with_budget(budget)
         .batch(batch)
         .jobs(jobs)
         .retry(retry_policy(args)?);
-    let driver = SearchLoop::new(config);
+    let mut driver = SearchLoop::new(config);
+    if let Some(rec) = &telemetry {
+        driver = driver.with_telemetry(rec.clone());
+    }
     let (result, injected) = match plan {
         Some(plan) => {
             let faulty = FaultyEnv::new(env.clone(), plan);
@@ -238,6 +306,9 @@ fn search(args: &Args) -> Result<String> {
         result.dataset.write_csv(File::create(path)?)?;
         let _ = writeln!(out, "wrote {} transitions to {path}", result.dataset.len());
     }
+    if let Some(rec) = &telemetry {
+        write_metrics(&mut out, args, rec)?;
+    }
     Ok(out)
 }
 
@@ -266,10 +337,29 @@ fn compare(args: &Args) -> Result<String> {
     } else {
         batch.to_string()
     };
+    let observe = args.get("metrics").is_some() || args.get("trace").is_some();
+    let trace_sink = match args.get("trace") {
+        Some(path) => Some(SharedSink::create(path)?),
+        None => None,
+    };
     let mut rows = Vec::new();
+    let mut reports = Vec::new();
     for kind in &kinds {
         let mut agent = build_agent(*kind, env.space(), &Default::default(), seed)?;
-        let result = SearchLoop::new(config.clone()).run_pooled(&mut agent, env.clone());
+        let mut driver = SearchLoop::new(config.clone());
+        // Each roster entry gets its own recorder so the metrics file
+        // breaks counters down per agent; the trace sink is shared.
+        let rec = observe.then(Recorder::new);
+        if let Some(rec) = &rec {
+            if let Some(sink) = &trace_sink {
+                rec.set_trace(sink.clone());
+            }
+            driver = driver.with_telemetry(rec.clone());
+        }
+        let result = driver.run_pooled(&mut agent, env.clone());
+        if let Some(report) = rec.as_ref().and_then(Recorder::report) {
+            reports.push((kind.name().to_owned(), report));
+        }
         rows.push((kind.name().to_owned(), result));
     }
     rows.sort_by(|a, b| {
@@ -301,6 +391,27 @@ fn compare(args: &Args) -> Result<String> {
             result.wall_seconds
         );
     }
+    if let Some(path) = args.get("metrics") {
+        // Per-agent *stable* counters only (no timings, no job-dependent
+        // cache traffic), keyed in roster-name order: the file is
+        // byte-identical across reruns and `--jobs` settings.
+        reports.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut body = String::from("{\"agents\":{");
+        for (i, (name, report)) in reports.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            archgym_core::codec::push_json_str(&mut body, name);
+            body.push(':');
+            body.push_str(&report.stable_json());
+        }
+        body.push_str("}}\n");
+        std::fs::write(path, body)?;
+        let _ = writeln!(out, "metrics: {path}");
+    }
+    if let Some(path) = args.get("trace") {
+        let _ = writeln!(out, "trace: {path}");
+    }
     Ok(out)
 }
 
@@ -323,10 +434,14 @@ fn sweep(args: &Args) -> Result<String> {
     let proto = make_env(&env_spec, objective.as_deref())?;
     let space = proto.space().clone();
 
+    let telemetry = telemetry_sink(args)?;
     let assignments: Vec<HyperMap> = default_grid(kind).iter().take(grid_cap).collect();
     let mut sweep = Sweep::new(RunConfig::with_budget(budget).record(false))
         .seeds(0..seeds)
         .jobs(jobs);
+    if let Some(rec) = &telemetry {
+        sweep = sweep.telemetry(rec);
+    }
     let cache = use_cache.then(|| Arc::new(EvalCache::new()));
     if let Some(cache) = &cache {
         sweep = sweep.cache(cache.clone());
@@ -369,6 +484,9 @@ fn sweep(args: &Args) -> Result<String> {
             s.hit_rate() * 100.0,
             s.entries
         );
+    }
+    if let Some(rec) = &telemetry {
+        write_metrics(&mut out, args, rec)?;
     }
     Ok(out)
 }
@@ -849,6 +967,111 @@ mod tests {
         let zeroed = line(&["--fault-transient", "0.0", "--retries", "5"]);
         assert_eq!(strip(&plain), strip(&zeroed));
         assert!(!plain.contains("fault recovery:"), "{plain}");
+    }
+
+    #[test]
+    fn search_metrics_and_trace_files_hold_the_run_accounting() {
+        let dir = std::env::temp_dir().join("archgym-cli-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("run-metrics.json");
+        let trace = dir.join("run-trace.jsonl");
+        let out = run_line(&[
+            "search",
+            "--env",
+            "dram/stream",
+            "--agent",
+            "ga",
+            "--objective",
+            "power:1.0",
+            "--budget",
+            "48",
+            "--metrics",
+            metrics.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("telemetry:"), "{out}");
+        assert!(out.contains("metrics: "), "{out}");
+        assert!(out.contains("trace: "), "{out}");
+        let report =
+            archgym_core::telemetry::RunReport::parse(&std::fs::read_to_string(&metrics).unwrap())
+                .unwrap();
+        assert_eq!(report.counters["samples_settled"], 48);
+        assert_eq!(report.counters["dram_decisions"] % 48, 0);
+        assert!(report.phases.contains_key("simulate"), "{report:?}");
+        let trace_lines = std::fs::read_to_string(&trace).unwrap();
+        let batches: Vec<_> = trace_lines.lines().collect();
+        assert_eq!(batches.len() as u64, report.counters["batches"]);
+        assert!(batches[0].contains("\"event\":\"batch\""), "{trace_lines}");
+        let _ = std::fs::remove_file(&metrics);
+        let _ = std::fs::remove_file(&trace);
+    }
+
+    #[test]
+    fn compare_metrics_are_stable_across_job_counts() {
+        let dir = std::env::temp_dir().join("archgym-cli-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = |jobs: &str, file: &str| {
+            let path = dir.join(file);
+            run_line(&[
+                "compare",
+                "--env",
+                "dram/stream",
+                "--agents",
+                "rw,sa",
+                "--objective",
+                "power:1.0",
+                "--budget",
+                "32",
+                "--jobs",
+                jobs,
+                "--metrics",
+                path.to_str().unwrap(),
+            ])
+            .unwrap();
+            let body = std::fs::read_to_string(&path).unwrap();
+            let _ = std::fs::remove_file(&path);
+            body
+        };
+        let serial = run("1", "cmp-serial.json");
+        let pooled = run("4", "cmp-pooled.json");
+        assert_eq!(serial, pooled);
+        assert!(serial.contains("\"rw\""), "{serial}");
+        assert!(serial.contains("\"samples_settled\":32"), "{serial}");
+    }
+
+    #[test]
+    fn sweep_metrics_aggregate_every_run() {
+        let dir = std::env::temp_dir().join("archgym-cli-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep-metrics.json");
+        run_line(&[
+            "sweep",
+            "--env",
+            "dram/stream",
+            "--agent",
+            "ga",
+            "--objective",
+            "power:1.0",
+            "--budget",
+            "24",
+            "--seeds",
+            "2",
+            "--grid",
+            "2",
+            "--jobs",
+            "1",
+            "--metrics",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let report =
+            archgym_core::telemetry::RunReport::parse(&std::fs::read_to_string(&path).unwrap())
+                .unwrap();
+        // 2 assignments × 2 seeds × 24 samples, summed into one recorder.
+        assert_eq!(report.counters["samples_settled"], 2 * 2 * 24);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -7,10 +7,11 @@
 //! provenance so a stranger (or a future session) can interpret — and
 //! validate — every row without the environment's source code.
 
+use crate::codec::{parse_json, Json};
 use crate::env::Environment;
 use crate::error::{ArchGymError, Result};
 use crate::space::ParamSpace;
-use crate::trajectory::Dataset;
+use crate::trajectory::{Dataset, Transition};
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
@@ -62,15 +63,55 @@ impl DatasetBundle {
         Ok(())
     }
 
-    /// Serialize the whole bundle as pretty JSON.
+    /// Encode as an offline-safe JSON value (see [`crate::codec`]).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("env".into(), Json::Str(self.env.clone())),
+            ("space".into(), self.space.to_json()),
+            (
+                "observation_labels".into(),
+                Json::Arr(
+                    self.observation_labels
+                        .iter()
+                        .map(|l| Json::Str(l.clone()))
+                        .collect(),
+                ),
+            ),
+            ("note".into(), Json::Str(self.note.clone())),
+            (
+                "dataset".into(),
+                Json::Arr(self.dataset.iter().map(Transition::to_json).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(value: &Json) -> std::result::Result<Self, String> {
+        Ok(DatasetBundle {
+            env: value.field("env")?.as_str()?.to_owned(),
+            space: ParamSpace::from_json(value.field("space")?)?,
+            observation_labels: value
+                .field("observation_labels")?
+                .as_arr()?
+                .iter()
+                .map(|l| l.as_str().map(str::to_owned))
+                .collect::<std::result::Result<Vec<_>, String>>()?,
+            note: value.field("note")?.as_str()?.to_owned(),
+            dataset: value
+                .field("dataset")?
+                .as_arr()?
+                .iter()
+                .map(Transition::from_json)
+                .collect::<std::result::Result<Dataset, String>>()?,
+        })
+    }
+
+    /// Serialize the whole bundle as JSON via the offline-safe codec.
     ///
     /// # Errors
     ///
-    /// Propagates serialization and I/O failures.
+    /// Propagates I/O failures.
     pub fn write_json<W: Write>(&self, mut writer: W) -> Result<()> {
-        let json =
-            serde_json::to_string_pretty(self).map_err(|e| ArchGymError::Dataset(e.to_string()))?;
-        writer.write_all(json.as_bytes())?;
+        writer.write_all(self.to_json().encode().as_bytes())?;
         Ok(())
     }
 
@@ -83,7 +124,8 @@ impl DatasetBundle {
     pub fn read_json<R: Read>(mut reader: R) -> Result<DatasetBundle> {
         let mut text = String::new();
         reader.read_to_string(&mut text)?;
-        let bundle: DatasetBundle = serde_json::from_str(&text)
+        let bundle = parse_json(&text)
+            .and_then(|v| Self::from_json(&v))
             .map_err(|e| ArchGymError::Dataset(format!("bad bundle: {e}")))?;
         bundle.validate()?;
         Ok(bundle)

@@ -39,6 +39,7 @@
 
 use crate::env::{Environment, Observation, StepResult};
 use crate::space::{Action, ParamSpace};
+use crate::telemetry::{Counter, Phase, Recorder};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -194,25 +195,50 @@ impl Default for EvalCache {
 pub struct CachedEnv<E> {
     inner: E,
     cache: Option<Arc<EvalCache>>,
+    telemetry: Recorder,
 }
 
 impl<E: Environment> CachedEnv<E> {
     /// Wrap `inner`, memoizing through `cache`.
     pub fn new(inner: E, cache: Arc<EvalCache>) -> Self {
-        CachedEnv {
-            inner,
-            cache: Some(cache),
-        }
+        Self::with_cache(inner, Some(cache))
     }
 
     /// Wrap `inner` with no cache — every step hits the simulator.
     pub fn uncached(inner: E) -> Self {
-        CachedEnv { inner, cache: None }
+        Self::with_cache(inner, None)
     }
 
     /// Wrap `inner` with an optional cache (the sweep plumbing form).
     pub fn with_cache(inner: E, cache: Option<Arc<EvalCache>>) -> Self {
-        CachedEnv { inner, cache }
+        CachedEnv {
+            inner,
+            cache,
+            telemetry: Recorder::default(),
+        }
+    }
+
+    /// Probe the cache for `action`, mirroring the outcome into the
+    /// telemetry recorder (`lookups == hits + misses` holds exactly
+    /// because each probe counts one lookup and exactly one of the
+    /// two outcomes).
+    fn probe(&self, cache: &EvalCache, action: &Action) -> Option<StepResult> {
+        let _span = self.telemetry.span(Phase::CacheLookup);
+        let found = cache.get(action);
+        self.telemetry.incr(Counter::CacheLookups);
+        self.telemetry.incr(match found {
+            Some(_) => Counter::CacheHits,
+            None => Counter::CacheMisses,
+        });
+        found
+    }
+
+    /// Insert a settled result, mirroring the write into telemetry.
+    fn remember(&self, cache: &EvalCache, action: &Action, result: &StepResult) {
+        if cacheable(result) {
+            cache.insert(action, result.clone());
+            self.telemetry.incr(Counter::CacheInserts);
+        }
     }
 
     /// The wrapped environment.
@@ -245,33 +271,33 @@ impl<E: Environment> Environment for CachedEnv<E> {
         self.inner.reset()
     }
     fn step(&mut self, action: &Action) -> StepResult {
-        let Some(cache) = &self.cache else {
+        let Some(cache) = self.cache.clone() else {
             return self.inner.step(action);
         };
-        if let Some(memoized) = cache.get(action) {
+        if let Some(memoized) = self.probe(&cache, action) {
             return memoized;
         }
         let result = self.inner.step(action);
-        if cacheable(&result) {
-            cache.insert(action, result.clone());
-        }
+        self.remember(&cache, action, &result);
         result
     }
     fn try_step(&mut self, action: &Action) -> crate::error::Result<StepResult> {
-        let Some(cache) = &self.cache else {
+        let Some(cache) = self.cache.clone() else {
             return self.inner.try_step(action);
         };
-        if let Some(memoized) = cache.get(action) {
+        if let Some(memoized) = self.probe(&cache, action) {
             return Ok(memoized);
         }
         // A failed attempt must never poison the memo: errors propagate
         // uncached (the retry machinery will probe again), and corrupted
         // non-finite results are likewise not worth remembering.
         let result = self.inner.try_step(action)?;
-        if cacheable(&result) {
-            cache.insert(action, result.clone());
-        }
+        self.remember(&cache, action, &result);
         Ok(result)
+    }
+    fn set_telemetry(&mut self, recorder: &Recorder) {
+        self.telemetry = recorder.clone();
+        self.inner.set_telemetry(recorder);
     }
 }
 

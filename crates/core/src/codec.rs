@@ -1,0 +1,529 @@
+//! Minimal hand-rolled JSON codec shared by the journal, dataset and
+//! telemetry layers.
+//!
+//! The workspace must keep working in offline verification builds where
+//! the serde facade is stubbed out, and the journal's resume-bit-identity
+//! guarantee needs bit-exact `f64` round-trips, so all JSON that actually
+//! reaches disk goes through this codec instead of `serde_json`:
+//!
+//! * finite floats are encoded with Rust's shortest round-trip `{:?}`
+//!   form and decoded with `str::parse`, which inverts it exactly;
+//! * non-finite floats become the quoted strings `"NaN"`, `"inf"` and
+//!   `"-inf"` (JSON has no literal for them);
+//! * numbers keep their raw text when parsed, so integers and floats can
+//!   each be re-parsed losslessly and re-encoding a decoded value yields
+//!   byte-identical text (canonical encoding).
+//!
+//! Errors are plain `String`s; each consumer wraps them into its own
+//! [`ArchGymError`](crate::error::ArchGymError) variant at its public
+//! boundary (`Journal` for the run journal, `Dataset` for trajectory
+//! files, ...).
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Numbers keep their raw text so integers and
+/// floats can each be re-parsed losslessly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw source text.
+    Num(String),
+    /// A string literal (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; field order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Append `value` to `out` as a JSON string literal.
+pub fn push_json_str(out: &mut String, value: &str) {
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append `value` to `out` — finite floats use Rust's shortest
+/// round-trip `{:?}` form; non-finite values become quoted strings.
+pub fn push_json_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        let _ = write!(out, "{value:?}");
+    } else if value.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if value > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+type ParseResult<T> = std::result::Result<T, String>;
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> ParseResult<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> ParseResult<Json> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> ParseResult<Json> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err("unterminated object".into()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> ParseResult<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err("unterminated array".into()),
+            }
+        }
+    }
+
+    fn string(&mut self) -> ParseResult<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            out.push(char::from_u32(hex).ok_or("bad \\u escape")?);
+                            self.pos += 4;
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input text is valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "non-UTF-8 input")?;
+                    let c = s.chars().next().expect("non-empty remainder");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> ParseResult<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ASCII number slice")
+            .to_owned();
+        if raw.is_empty() || raw == "-" {
+            return Err("bad number".into());
+        }
+        Ok(Json::Num(raw))
+    }
+}
+
+/// Parse one complete JSON value; trailing non-whitespace is an error.
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed input.
+pub fn parse_json(line: &str) -> ParseResult<Json> {
+    let mut parser = Parser::new(line);
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err("trailing bytes after JSON value".into());
+    }
+    Ok(value)
+}
+
+// --- constructors ----------------------------------------------------------
+
+impl Json {
+    /// An unsigned-integer number node.
+    pub fn num_u64(value: u64) -> Json {
+        Json::Num(value.to_string())
+    }
+
+    /// A signed-integer number node.
+    pub fn num_i64(value: i64) -> Json {
+        Json::Num(value.to_string())
+    }
+
+    /// A float node in canonical form: shortest round-trip `{:?}` text
+    /// for finite values, quoted `"NaN"`/`"inf"`/`"-inf"` otherwise.
+    pub fn num_f64(value: f64) -> Json {
+        if value.is_finite() {
+            Json::Num(format!("{value:?}"))
+        } else if value.is_nan() {
+            Json::Str("NaN".into())
+        } else if value > 0.0 {
+            Json::Str("inf".into())
+        } else {
+            Json::Str("-inf".into())
+        }
+    }
+}
+
+// --- typed accessors -------------------------------------------------------
+
+impl Json {
+    /// Look up `key` in an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not an object or lacks the field.
+    pub fn field<'a>(&'a self, key: &str) -> ParseResult<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field `{key}`")),
+            _ => Err("value is not an object".into()),
+        }
+    }
+
+    /// The string payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not a string.
+    pub fn as_str(&self) -> ParseResult<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err("expected a string".into()),
+        }
+    }
+
+    /// The bool payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not a bool.
+    pub fn as_bool(&self) -> ParseResult<bool> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            _ => Err("expected a bool".into()),
+        }
+    }
+
+    /// The number as `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not an unsigned-integer number.
+    pub fn as_u64(&self) -> ParseResult<u64> {
+        match self {
+            Json::Num(raw) => raw
+                .parse::<u64>()
+                .map_err(|_| format!("expected an unsigned integer, got `{raw}`")),
+            _ => Err("expected a number".into()),
+        }
+    }
+
+    /// The number as `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not an unsigned-integer number.
+    pub fn as_usize(&self) -> ParseResult<usize> {
+        Ok(self.as_u64()? as usize)
+    }
+
+    /// The number as `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not an integer number.
+    pub fn as_i64(&self) -> ParseResult<i64> {
+        match self {
+            Json::Num(raw) => raw
+                .parse::<i64>()
+                .map_err(|_| format!("expected an integer, got `{raw}`")),
+            _ => Err("expected a number".into()),
+        }
+    }
+
+    /// The number as `f64`; the quoted strings `"NaN"`, `"inf"` and
+    /// `"-inf"` decode to the corresponding non-finite values.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is neither a number nor one of the
+    /// non-finite marker strings.
+    pub fn as_f64(&self) -> ParseResult<f64> {
+        match self {
+            Json::Num(raw) => raw
+                .parse::<f64>()
+                .map_err(|_| format!("expected a float, got `{raw}`")),
+            Json::Str(s) => match s.as_str() {
+                "NaN" => Ok(f64::NAN),
+                "inf" => Ok(f64::INFINITY),
+                "-inf" => Ok(f64::NEG_INFINITY),
+                other => Err(format!("expected a float, got string `{other}`")),
+            },
+            _ => Err("expected a float".into()),
+        }
+    }
+
+    /// The array items.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `self` is not an array.
+    pub fn as_arr(&self) -> ParseResult<&[Json]> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            _ => Err("expected an array".into()),
+        }
+    }
+
+    /// Encode this value back to JSON text. Encoding is canonical with
+    /// respect to [`parse_json`]: re-encoding a decoded value yields the
+    /// original text (numbers keep their raw form, object order is
+    /// preserved).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(raw) => out.push_str(raw),
+            Json::Str(s) => push_json_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    push_json_str(out, key);
+                    out.push(':');
+                    value.encode_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_with_escapes_round_trip() {
+        for s in [
+            "",
+            "plain",
+            "quote \" slash \\ nl \n tab \t",
+            "\u{1}\u{7f}é日",
+        ] {
+            let mut line = String::new();
+            push_json_str(&mut line, s);
+            assert_eq!(parse_json(&line).unwrap().as_str().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            0.1 + 0.2,
+            -1.0e-308,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            let mut line = String::new();
+            push_json_f64(&mut line, v);
+            let back = parse_json(&line).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "line: {line}");
+        }
+        let mut line = String::new();
+        push_json_f64(&mut line, f64::NAN);
+        assert!(parse_json(&line).unwrap().as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn encode_is_canonical() {
+        for text in [
+            "{\"a\":1,\"b\":[true,null,\"x\"],\"c\":{\"d\":-2.5e-3}}",
+            "[]",
+            "{}",
+            "[1,2,3]",
+            "\"hi\"",
+            "-17",
+        ] {
+            let value = parse_json(text).unwrap();
+            assert_eq!(value.encode(), text);
+            assert_eq!(parse_json(&value.encode()).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for text in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "\"unterminated",
+            "nul",
+            "-",
+            "1 2",
+            "{\"a\":1}x",
+        ] {
+            assert!(parse_json(text).is_err(), "accepted {text:?}");
+        }
+    }
+
+    #[test]
+    fn numbers_keep_raw_text() {
+        let value = parse_json("[1.50, 2e3, -0]").unwrap();
+        let items = value.as_arr().unwrap();
+        assert_eq!(items[0], Json::Num("1.50".into()));
+        assert_eq!(items[0].as_f64().unwrap(), 1.5);
+        assert_eq!(items[1].as_f64().unwrap(), 2000.0);
+        assert_eq!(
+            items[2].as_u64().unwrap_err(),
+            "expected an unsigned integer, got `-0`"
+        );
+    }
+}

@@ -175,6 +175,16 @@ pub trait Environment {
     fn try_step(&mut self, action: &Action) -> Result<StepResult> {
         Ok(self.step(action))
     }
+
+    /// Install a telemetry recorder. Instrumented wrappers
+    /// ([`CachedEnv`](crate::cache::CachedEnv),
+    /// [`FaultyEnv`](crate::fault::FaultyEnv), the DRAM controller env)
+    /// store a clone of the handle and count into it; the default is a
+    /// no-op, so plain environments need no changes. The
+    /// [`SearchLoop`](crate::search::SearchLoop) calls this at run
+    /// start, which is how `--metrics` reaches every layer without
+    /// construction-site plumbing.
+    fn set_telemetry(&mut self, _recorder: &crate::telemetry::Recorder) {}
 }
 
 impl<E: Environment + ?Sized> Environment for Box<E> {
@@ -196,6 +206,9 @@ impl<E: Environment + ?Sized> Environment for Box<E> {
     fn try_step(&mut self, action: &Action) -> Result<StepResult> {
         (**self).try_step(action)
     }
+    fn set_telemetry(&mut self, recorder: &crate::telemetry::Recorder) {
+        (**self).set_telemetry(recorder);
+    }
 }
 
 impl<E: Environment + ?Sized> Environment for &mut E {
@@ -216,6 +229,9 @@ impl<E: Environment + ?Sized> Environment for &mut E {
     }
     fn try_step(&mut self, action: &Action) -> Result<StepResult> {
         (**self).try_step(action)
+    }
+    fn set_telemetry(&mut self, recorder: &crate::telemetry::Recorder) {
+        (**self).set_telemetry(recorder);
     }
 }
 
@@ -298,6 +314,9 @@ impl<E: Environment> Environment for CountingEnv<E> {
         // A failed attempt still consumed a simulator query.
         self.samples += 1;
         self.inner.try_step(action)
+    }
+    fn set_telemetry(&mut self, recorder: &crate::telemetry::Recorder) {
+        self.inner.set_telemetry(recorder);
     }
 }
 

@@ -27,6 +27,7 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
 //! ```
 
+use crate::telemetry::{Phase, Recorder};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -44,10 +45,21 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// Fans independent work items out across worker threads, returning
 /// results in input order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Executor {
     jobs: usize,
+    recorder: Recorder,
 }
+
+/// Equality is configuration equality (worker count); the telemetry
+/// handle is observability plumbing, not configuration.
+impl PartialEq for Executor {
+    fn eq(&self, other: &Self) -> bool {
+        self.jobs == other.jobs
+    }
+}
+
+impl Eq for Executor {}
 
 impl Executor {
     /// An executor running on `jobs` worker threads. `jobs == 0` selects
@@ -59,7 +71,18 @@ impl Executor {
         } else {
             jobs
         };
-        Executor { jobs }
+        Executor {
+            jobs,
+            recorder: Recorder::default(),
+        }
+    }
+
+    /// Install a telemetry recorder: every fan-out
+    /// ([`Executor::map_with_catch`] and the wrappers built on it)
+    /// records one [`Phase::ExecutorBatch`] span covering worker
+    /// scheduling plus the work itself.
+    pub fn set_telemetry(&mut self, recorder: &Recorder) {
+        self.recorder = recorder.clone();
     }
 
     /// The number of hardware threads available, falling back to 1 when
@@ -174,6 +197,7 @@ impl Executor {
             !states.is_empty(),
             "map_with_catch needs at least one state"
         );
+        let _span = self.recorder.span(Phase::ExecutorBatch);
         let run_one = |state: &mut W, item: &T| -> std::result::Result<R, String> {
             catch_unwind(AssertUnwindSafe(|| f(state, item))).map_err(panic_message)
         };

@@ -49,6 +49,7 @@
 use crate::env::{Environment, Observation, StepResult};
 use crate::error::{ArchGymError, Result};
 use crate::space::{Action, ParamSpace};
+use crate::telemetry::{Counter, Recorder};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -257,6 +258,7 @@ pub struct FaultyEnv<E> {
     attempts: Arc<Mutex<HashMap<Vec<usize>, u32>>>,
     latch: Arc<AtomicBool>,
     stats: Arc<StatsCells>,
+    telemetry: Recorder,
 }
 
 impl<E: Environment> FaultyEnv<E> {
@@ -269,6 +271,7 @@ impl<E: Environment> FaultyEnv<E> {
             attempts: Arc::new(Mutex::new(HashMap::new())),
             latch: Arc::new(AtomicBool::new(false)),
             stats: Arc::new(StatsCells::default()),
+            telemetry: Recorder::default(),
         }
     }
 
@@ -363,6 +366,7 @@ impl<E: Environment> Environment for FaultyEnv<E> {
             self.stats
                 .crashed_rejections
                 .fetch_add(1, Ordering::Relaxed);
+            self.telemetry.incr(Counter::FaultCrashedRejections);
             return Err(ArchGymError::EnvCrashed(
                 "simulator is down (latched crash); reset required".into(),
             ));
@@ -376,18 +380,21 @@ impl<E: Environment> Environment for FaultyEnv<E> {
             }
             FaultKind::Transient => {
                 self.stats.transient.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.incr(Counter::FaultTransient);
                 Err(ArchGymError::EvalFailed(format!(
                     "injected transient fault (attempt {attempt})"
                 )))
             }
             FaultKind::Stall => {
                 self.stats.stall.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.incr(Counter::FaultStall);
                 Err(ArchGymError::Timeout(format!(
                     "injected stall: step budget exceeded (attempt {attempt})"
                 )))
             }
             FaultKind::Corrupt => {
                 self.stats.corrupt.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.incr(Counter::FaultCorrupt);
                 let mut result = self.inner.try_step(action)?;
                 result.reward = f64::NAN;
                 if let Some(first) = result.observation.as_slice().first().copied() {
@@ -403,12 +410,17 @@ impl<E: Environment> Environment for FaultyEnv<E> {
             }
             FaultKind::Latched => {
                 self.stats.latched.fetch_add(1, Ordering::Relaxed);
+                self.telemetry.incr(Counter::FaultLatched);
                 self.latch.store(true, Ordering::Relaxed);
                 Err(ArchGymError::EvalFailed(format!(
                     "injected latched crash (attempt {attempt}); reset required"
                 )))
             }
         }
+    }
+    fn set_telemetry(&mut self, recorder: &Recorder) {
+        self.telemetry = recorder.clone();
+        self.inner.set_telemetry(recorder);
     }
 }
 

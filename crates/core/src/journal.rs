@@ -16,14 +16,15 @@
 //! damage anywhere else is real corruption and surfaces as
 //! [`ArchGymError::Journal`].
 //!
-//! The records are encoded with a small hand-rolled JSON codec rather
-//! than serde: the journal must keep working in offline verification
-//! builds where the serde facade is stubbed out, and it needs bit-exact
-//! `f64` round-trips (Rust's `{:?}` shortest representation) for the
-//! resume-bit-identity guarantee. Non-finite rewards — a corrupted
-//! evaluation is journaled too — are encoded as the quoted strings
-//! `"NaN"`, `"inf"` and `"-inf"`.
+//! The records are encoded with the hand-rolled JSON codec in
+//! [`crate::codec`] rather than serde: the journal must keep working in
+//! offline verification builds where the serde facade is stubbed out,
+//! and it needs bit-exact `f64` round-trips (Rust's `{:?}` shortest
+//! representation) for the resume-bit-identity guarantee. Non-finite
+//! rewards — a corrupted evaluation is journaled too — are encoded as
+//! the quoted strings `"NaN"`, `"inf"` and `"-inf"`.
 
+use crate::codec::{parse_json, push_json_f64, push_json_str, Json};
 use crate::error::{ArchGymError, Result};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -34,308 +35,8 @@ use std::path::{Path, PathBuf};
 /// Journal format version; bumped on incompatible record changes.
 pub const JOURNAL_VERSION: u64 = 1;
 
-// ---------------------------------------------------------------------------
-// Minimal JSON codec (offline-safe, bit-exact f64 round-trips)
-// ---------------------------------------------------------------------------
-
-/// A parsed JSON value. Numbers keep their raw text so integers and
-/// floats can each be re-parsed losslessly.
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(String),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
 fn bad(msg: impl Into<String>) -> ArchGymError {
     ArchGymError::Journal(msg.into())
-}
-
-/// Append `value` to `out` as a JSON string literal.
-fn push_json_str(out: &mut String, value: &str) {
-    out.push('"');
-    for c in value.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Append `value` to `out` — finite floats use Rust's shortest
-/// round-trip `{:?}` form; non-finite values become quoted strings.
-fn push_json_f64(out: &mut String, value: f64) {
-    if value.is_finite() {
-        let _ = write!(out, "{value:?}");
-    } else if value.is_nan() {
-        out.push_str("\"NaN\"");
-    } else if value > 0.0 {
-        out.push_str("\"inf\"");
-    } else {
-        out.push_str("\"-inf\"");
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, byte: u8) -> Result<()> {
-        if self.peek() == Some(byte) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(bad(format!(
-                "expected '{}' at byte {} of journal line",
-                byte as char, self.pos
-            )))
-        }
-    }
-
-    fn eat_literal(&mut self, literal: &str) -> bool {
-        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
-            self.pos += literal.len();
-            true
-        } else {
-            false
-        }
-    }
-
-    fn value(&mut self) -> Result<Json> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
-            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
-            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(bad(format!(
-                "unexpected byte at {} in journal line",
-                self.pos
-            ))),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(bad("unterminated object in journal line")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(bad("unterminated array in journal line")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(bad("unterminated string in journal line")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| bad("bad \\u escape in journal line"))?;
-                            out.push(
-                                char::from_u32(hex)
-                                    .ok_or_else(|| bad("bad \\u escape in journal line"))?,
-                            );
-                            self.pos += 4;
-                        }
-                        _ => return Err(bad("bad escape in journal line")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (journal text is valid UTF-8).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| bad("non-UTF-8 journal"))?;
-                    let c = s.chars().next().expect("non-empty remainder");
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
-        {
-            self.pos += 1;
-        }
-        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("ASCII number slice")
-            .to_owned();
-        if raw.is_empty() || raw == "-" {
-            return Err(bad("bad number in journal line"));
-        }
-        Ok(Json::Num(raw))
-    }
-}
-
-fn parse_json(line: &str) -> Result<Json> {
-    let mut parser = Parser::new(line);
-    let value = parser.value()?;
-    parser.skip_ws();
-    if parser.pos != parser.bytes.len() {
-        return Err(bad("trailing bytes after journal record"));
-    }
-    Ok(value)
-}
-
-// --- typed accessors -------------------------------------------------------
-
-impl Json {
-    fn field<'a>(&'a self, key: &str) -> Result<&'a Json> {
-        match self {
-            Json::Obj(fields) => fields
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v)
-                .ok_or_else(|| bad(format!("journal record missing field `{key}`"))),
-            _ => Err(bad("journal record is not an object")),
-        }
-    }
-
-    fn as_str(&self) -> Result<&str> {
-        match self {
-            Json::Str(s) => Ok(s),
-            _ => Err(bad("expected a string in journal record")),
-        }
-    }
-
-    fn as_bool(&self) -> Result<bool> {
-        match self {
-            Json::Bool(b) => Ok(*b),
-            _ => Err(bad("expected a bool in journal record")),
-        }
-    }
-
-    fn as_u64(&self) -> Result<u64> {
-        match self {
-            Json::Num(raw) => raw
-                .parse::<u64>()
-                .map_err(|_| bad(format!("expected an unsigned integer, got `{raw}`"))),
-            _ => Err(bad("expected a number in journal record")),
-        }
-    }
-
-    fn as_usize(&self) -> Result<usize> {
-        Ok(self.as_u64()? as usize)
-    }
-
-    fn as_f64(&self) -> Result<f64> {
-        match self {
-            Json::Num(raw) => raw
-                .parse::<f64>()
-                .map_err(|_| bad(format!("expected a float, got `{raw}`"))),
-            Json::Str(s) => match s.as_str() {
-                "NaN" => Ok(f64::NAN),
-                "inf" => Ok(f64::INFINITY),
-                "-inf" => Ok(f64::NEG_INFINITY),
-                other => Err(bad(format!("expected a float, got string `{other}`"))),
-            },
-            _ => Err(bad("expected a float in journal record")),
-        }
-    }
-
-    fn as_arr(&self) -> Result<&[Json]> {
-        match self {
-            Json::Arr(items) => Ok(items),
-            _ => Err(bad("expected an array in journal record")),
-        }
-    }
 }
 
 // ---------------------------------------------------------------------------
@@ -458,7 +159,15 @@ impl JournalRecord {
     }
 
     /// Decode one JSONL line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::Journal`] on malformed lines.
     pub fn from_line(line: &str) -> Result<Self> {
+        Self::decode(line).map_err(bad)
+    }
+
+    fn decode(line: &str) -> std::result::Result<Self, String> {
         let value = parse_json(line)?;
         match value.field("type")?.as_str()? {
             "header" => Ok(JournalRecord::Header(JournalHeader {
@@ -475,7 +184,7 @@ impl JournalRecord {
                         .as_arr()?
                         .iter()
                         .map(Json::as_usize)
-                        .collect::<Result<Vec<_>>>()?;
+                        .collect::<std::result::Result<Vec<_>, String>>()?;
                     actions.push(indices);
                 }
                 Ok(JournalRecord::Batch(actions))
@@ -488,7 +197,7 @@ impl JournalRecord {
                             info.insert(key.clone(), v.as_f64()?);
                         }
                     }
-                    _ => return Err(bad("step `info` is not an object")),
+                    _ => return Err("step `info` is not an object".into()),
                 }
                 Ok(JournalRecord::Step(JournalStep {
                     index: value.field("index")?.as_usize()?,
@@ -498,7 +207,7 @@ impl JournalRecord {
                         .as_arr()?
                         .iter()
                         .map(Json::as_f64)
-                        .collect::<Result<Vec<_>>>()?,
+                        .collect::<std::result::Result<Vec<_>, String>>()?,
                     done: value.field("done")?.as_bool()?,
                     feasible: value.field("feasible")?.as_bool()?,
                     info,
@@ -507,7 +216,7 @@ impl JournalRecord {
                     degraded: value.field("degraded")?.as_bool()?,
                 }))
             }
-            other => Err(bad(format!("unknown journal record type `{other}`"))),
+            other => Err(format!("unknown journal record type `{other}`")),
         }
     }
 }
@@ -559,6 +268,10 @@ impl Snapshot {
     }
 
     fn from_line(line: &str) -> Result<Self> {
+        Self::decode(line).map_err(bad)
+    }
+
+    fn decode(line: &str) -> std::result::Result<Self, String> {
         let value = parse_json(line)?;
         Ok(Snapshot {
             samples: value.field("samples")?.as_u64()?,
@@ -568,13 +281,13 @@ impl Snapshot {
                 .as_arr()?
                 .iter()
                 .map(Json::as_usize)
-                .collect::<Result<Vec<_>>>()?,
+                .collect::<std::result::Result<Vec<_>, String>>()?,
             best_observation: value
                 .field("best_observation")?
                 .as_arr()?
                 .iter()
                 .map(Json::as_f64)
-                .collect::<Result<Vec<_>>>()?,
+                .collect::<std::result::Result<Vec<_>, String>>()?,
             eval_retries: value.field("eval_retries")?.as_u64()?,
             eval_failures: value.field("eval_failures")?.as_u64()?,
             degraded_samples: value.field("degraded_samples")?.as_u64()?,
@@ -595,6 +308,7 @@ pub struct RunJournal {
     file: File,
     records: Vec<JournalRecord>,
     recovered_partial_tail: bool,
+    telemetry: crate::telemetry::Recorder,
 }
 
 impl RunJournal {
@@ -693,7 +407,14 @@ impl RunJournal {
             file,
             records,
             recovered_partial_tail,
+            telemetry: crate::telemetry::Recorder::default(),
         })
+    }
+
+    /// Install a telemetry recorder: each [`RunJournal::append`] counts
+    /// one journal-append and times its write+flush.
+    pub fn set_telemetry(&mut self, recorder: &crate::telemetry::Recorder) {
+        self.telemetry = recorder.clone();
     }
 
     /// The journal's on-disk path.
@@ -728,6 +449,9 @@ impl RunJournal {
     /// Append one record and flush it to the OS before returning —
     /// write-ahead semantics for batch records.
     pub fn append(&mut self, record: &JournalRecord) -> Result<()> {
+        let _span = self.telemetry.span(crate::telemetry::Phase::JournalAppend);
+        self.telemetry
+            .incr(crate::telemetry::Counter::JournalAppends);
         let mut line = record.to_line();
         line.push('\n');
         self.file

@@ -23,6 +23,7 @@
 //! * [`space`] — finite, index-encoded parameter spaces ([`ParamSpace`]).
 //! * [`mod@env`] — the [`Environment`] trait and its signal types.
 //! * [`cache`] — memoized design-point evaluation ([`EvalCache`]).
+//! * [`codec`] — offline-safe JSON with bit-exact `f64` round-trips.
 //! * [`reward`] — the reward/fitness formulations of the paper's Table 3.
 //! * [`agent`] — the [`Agent`] trait plus hyperparameter plumbing.
 //! * [`search`] — the agent↔environment driver ([`SearchLoop`]).
@@ -35,6 +36,7 @@
 //! * [`pareto`] — Pareto-front extraction for multi-objective datasets.
 //! * [`sweep`] — hyperparameter sweeps for "lottery" studies (Section 6.1).
 //! * [`stats`] — the summary statistics the paper reports (IQR, RMSE, ...).
+//! * [`telemetry`] — run tracing and metrics ([`Recorder`]/[`RunReport`]).
 //!
 //! # Example
 //!
@@ -76,6 +78,7 @@
 pub mod agent;
 pub mod bundle;
 pub mod cache;
+pub mod codec;
 pub mod env;
 pub mod error;
 pub mod executor;
@@ -88,6 +91,7 @@ pub mod search;
 pub mod space;
 pub mod stats;
 pub mod sweep;
+pub mod telemetry;
 pub mod toy;
 pub mod trajectory;
 
@@ -103,6 +107,7 @@ pub use pool::{BatchEvaluator, EnvPool};
 pub use reward::{BudgetTerm, Objective, RewardSpec};
 pub use search::{RetryPolicy, RunConfig, RunResult, SearchLoop};
 pub use space::{Action, ParamDomain, ParamSpace, ParamValue, SpaceBuilder};
+pub use telemetry::{Counter, Phase, PhaseSummary, Recorder, RunReport};
 pub use trajectory::{Dataset, Transition};
 
 use rand::rngs::StdRng;
@@ -137,5 +142,6 @@ pub mod prelude {
     pub use crate::search::{RetryPolicy, RunConfig, RunResult, SearchLoop};
     pub use crate::seeded_rng;
     pub use crate::space::{Action, ParamDomain, ParamSpace, ParamValue};
+    pub use crate::telemetry::{Counter, Phase, Recorder, RunReport};
     pub use crate::trajectory::{Dataset, Transition};
 }

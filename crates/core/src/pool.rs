@@ -39,6 +39,7 @@ use crate::env::{Environment, Observation, StepResult};
 use crate::error::{ArchGymError, Result};
 use crate::executor::Executor;
 use crate::space::Action;
+use crate::telemetry::Recorder;
 
 /// Evaluates batches of proposed design points.
 ///
@@ -73,6 +74,11 @@ pub trait BatchEvaluator {
     fn try_eval_batch(&mut self, actions: &[Action]) -> Vec<Result<StepResult>> {
         self.eval_batch(actions).into_iter().map(Ok).collect()
     }
+
+    /// Install a telemetry recorder on the evaluator and everything it
+    /// wraps (see [`Environment::set_telemetry`]). The default is a
+    /// no-op.
+    fn set_telemetry(&mut self, _recorder: &Recorder) {}
 }
 
 /// Every environment is a serial batch evaluator: step each action in
@@ -92,6 +98,9 @@ impl<E: Environment + ?Sized> BatchEvaluator for E {
     }
     fn try_eval_batch(&mut self, actions: &[Action]) -> Vec<Result<StepResult>> {
         actions.iter().map(|action| self.try_step(action)).collect()
+    }
+    fn set_telemetry(&mut self, recorder: &Recorder) {
+        Environment::set_telemetry(self, recorder);
     }
 }
 
@@ -168,6 +177,14 @@ impl<E: Environment + Clone + Send> BatchEvaluator for EnvPool<E> {
                 Err(msg) => Err(ArchGymError::EvalFailed(format!("worker panicked: {msg}"))),
             })
             .collect()
+    }
+    fn set_telemetry(&mut self, recorder: &Recorder) {
+        // Replicas share Arc-backed recorder cells, so the pooled
+        // counters land in the same report as the serial ones would.
+        for replica in &mut self.replicas {
+            replica.set_telemetry(recorder);
+        }
+        self.executor.set_telemetry(recorder);
     }
 }
 

@@ -15,6 +15,7 @@
 //! bit-identically from where it stopped.
 
 use crate::agent::Agent;
+use crate::codec::Json;
 use crate::env::{Environment, Observation, StepResult};
 use crate::error::{ArchGymError, Result};
 use crate::journal::{
@@ -22,6 +23,7 @@ use crate::journal::{
 };
 use crate::pool::{BatchEvaluator, EnvPool};
 use crate::space::Action;
+use crate::telemetry::{Counter, Phase, Recorder, RunReport};
 use crate::trajectory::{Dataset, Transition};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -180,6 +182,10 @@ pub struct RunResult {
     /// Samples that exhausted their retries and degraded to the
     /// [`RetryPolicy::penalty`] infeasible result.
     pub degraded_samples: u64,
+    /// Telemetry snapshot of the run — `None` unless the driver was
+    /// built with [`SearchLoop::with_telemetry`] and an enabled
+    /// [`Recorder`].
+    pub telemetry: Option<RunReport>,
 }
 
 impl RunResult {
@@ -282,17 +288,38 @@ struct ReplayBatch {
 #[derive(Debug, Clone)]
 pub struct SearchLoop {
     config: RunConfig,
+    telemetry: Recorder,
 }
 
 impl SearchLoop {
-    /// Create a driver with the given configuration.
+    /// Create a driver with the given configuration and telemetry
+    /// disabled.
     pub fn new(config: RunConfig) -> Self {
-        SearchLoop { config }
+        SearchLoop {
+            config,
+            telemetry: Recorder::default(),
+        }
+    }
+
+    /// Attach a telemetry recorder, builder-style. The driver installs
+    /// the handle on the evaluator stack (environment wrappers, pool
+    /// replicas, executor) and the journal at run start, times the
+    /// propose/evaluate/settle/journal phases, and snapshots everything
+    /// into [`RunResult::telemetry`].
+    pub fn with_telemetry(mut self, recorder: Recorder) -> Self {
+        self.telemetry = recorder;
+        self
     }
 
     /// The driver's configuration.
     pub fn config(&self) -> &RunConfig {
         &self.config
+    }
+
+    /// The driver's telemetry handle (disabled unless
+    /// [`SearchLoop::with_telemetry`] installed one).
+    pub fn telemetry(&self) -> &Recorder {
+        &self.telemetry
     }
 
     /// Run `agent` against `eval` until the sample budget is exhausted
@@ -388,10 +415,16 @@ impl SearchLoop {
     /// [`ArchGymError::EnvCrashed`] rejections count as observed faults
     /// but are *not* charged against a position's retries — they are
     /// symptoms of a neighbor's crash, not verdicts on the position.
-    fn settle_batch<E>(eval: &mut E, actions: &[Action], policy: &RetryPolicy) -> Vec<Settled>
+    fn settle_batch<E>(
+        eval: &mut E,
+        actions: &[Action],
+        policy: &RetryPolicy,
+        rec: &Recorder,
+    ) -> Vec<Settled>
     where
         E: BatchEvaluator + ?Sized,
     {
+        let _settle_span = rec.span(Phase::Settle);
         let n = actions.len();
         let width = eval.observation_width();
         let degraded_result = || {
@@ -425,6 +458,7 @@ impl SearchLoop {
             }
             if round > 0 {
                 if policy.backoff_ms > 0 {
+                    let _backoff_span = rec.span(Phase::RetryBackoff);
                     let exp = (round - 1).min(6) as u32;
                     let delay = policy.backoff_ms.saturating_mul(1 << exp).min(10_000);
                     std::thread::sleep(std::time::Duration::from_millis(delay));
@@ -438,7 +472,10 @@ impl SearchLoop {
                 }
             }
             let subset: Vec<Action> = pending.iter().map(|&i| actions[i].clone()).collect();
-            let outcomes = eval.try_eval_batch(&subset);
+            let outcomes = {
+                let _eval_span = rec.span(Phase::Evaluate);
+                eval.try_eval_batch(&subset)
+            };
             debug_assert_eq!(outcomes.len(), pending.len());
             for (&i, outcome) in pending.iter().zip(outcomes) {
                 match outcome {
@@ -503,6 +540,15 @@ impl SearchLoop {
     {
         let start = Instant::now();
         let policy = self.config.retry;
+        // Install the telemetry handle on every layer reachable from
+        // here: the evaluator stack (wrappers, pool replicas, executor)
+        // and the journal writer. A disabled recorder makes all of this
+        // free (one branch per site).
+        let rec = self.telemetry.clone();
+        eval.set_telemetry(&rec);
+        if let Some(j) = journal.as_deref_mut() {
+            j.set_telemetry(&rec);
+        }
 
         // Validate or create the journal header, then stage the
         // recovered records for replay.
@@ -577,10 +623,14 @@ impl SearchLoop {
 
         while samples_used < self.config.sample_budget {
             let remaining = (self.config.sample_budget - samples_used) as usize;
-            let mut actions = agent.propose(batch_cap.min(remaining));
+            let mut actions = {
+                let _propose_span = rec.span(Phase::Propose);
+                agent.propose(batch_cap.min(remaining))
+            };
             if actions.is_empty() {
                 break; // agent converged
             }
+            rec.incr(Counter::Batches);
             // A misbehaving agent may ignore max_batch; never evaluate
             // past the budget.
             actions.truncate(remaining);
@@ -606,6 +656,14 @@ impl SearchLoop {
                 let missing: Vec<usize> = (0..actions.len())
                     .filter(|&i| batch.steps[i].is_none())
                     .collect();
+                // Absorbed journal steps are *replayed*, not settled:
+                // the split is what keeps a resume from double-counting
+                // work the original run already did.
+                rec.add(
+                    Counter::SamplesReplayed,
+                    (actions.len() - missing.len()) as u64,
+                );
+                rec.add(Counter::SamplesSettled, missing.len() as u64);
                 let mut slots: Vec<Option<Settled>> = batch
                     .steps
                     .drain(..)
@@ -613,7 +671,7 @@ impl SearchLoop {
                     .collect();
                 if !missing.is_empty() {
                     let subset: Vec<Action> = missing.iter().map(|&i| actions[i].clone()).collect();
-                    let live = Self::settle_batch(eval, &subset, &policy);
+                    let live = Self::settle_batch(eval, &subset, &policy, &rec);
                     for (&i, settled) in missing.iter().zip(live) {
                         if let Some(j) = journal.as_deref_mut() {
                             j.append(&JournalRecord::Step(settled.to_journal(i)))?;
@@ -633,7 +691,8 @@ impl SearchLoop {
                         actions.iter().map(|a| a.as_slice().to_vec()).collect(),
                     ))?;
                 }
-                let settled = Self::settle_batch(eval, &actions, &policy);
+                let settled = Self::settle_batch(eval, &actions, &policy, &rec);
+                rec.add(Counter::SamplesSettled, settled.len() as u64);
                 if let Some(j) = journal.as_deref_mut() {
                     for (i, s) in settled.iter().enumerate() {
                         j.append(&JournalRecord::Step(s.to_journal(i)))?;
@@ -643,11 +702,15 @@ impl SearchLoop {
             };
 
             let mut results: Vec<(Action, StepResult)> = Vec::with_capacity(actions.len());
+            let (mut batch_retries, mut batch_faults, mut batch_degraded) = (0u64, 0u64, 0u64);
             for (action, settled) in actions.into_iter().zip(settled) {
                 samples_used += 1;
                 eval_retries += settled.retries;
                 eval_failures += settled.faults;
                 degraded_samples += u64::from(settled.degraded);
+                batch_retries += settled.retries;
+                batch_faults += settled.faults;
+                batch_degraded += u64::from(settled.degraded);
                 let result = settled.result;
                 if result.reward > best_reward {
                     best_reward = result.reward;
@@ -664,6 +727,21 @@ impl SearchLoop {
                     ));
                 }
                 results.push((action, result));
+            }
+            rec.add(Counter::EvalRetries, batch_retries);
+            rec.add(Counter::EvalFailures, batch_faults);
+            rec.add(Counter::DegradedSamples, batch_degraded);
+            if rec.is_enabled() {
+                rec.trace_event(&Json::Obj(vec![
+                    ("event".into(), Json::Str("batch".into())),
+                    ("batch".into(), Json::num_u64(rec.get(Counter::Batches))),
+                    ("settled".into(), Json::num_u64(results.len() as u64)),
+                    ("samples_used".into(), Json::num_u64(samples_used)),
+                    ("failures".into(), Json::num_u64(batch_faults)),
+                    ("retries".into(), Json::num_u64(batch_retries)),
+                    ("degraded".into(), Json::num_u64(batch_degraded)),
+                    ("best_reward".into(), Json::num_f64(best_reward)),
+                ]));
             }
             agent.observe(&results);
 
@@ -689,6 +767,9 @@ impl SearchLoop {
             ));
         }
 
+        let wall_seconds = start.elapsed().as_secs_f64();
+        rec.gauge("wall_seconds", wall_seconds);
+        rec.gauge("best_reward", best_reward);
         Ok(RunResult {
             agent: agent.name().to_owned(),
             env: eval.env_name().to_owned(),
@@ -696,12 +777,13 @@ impl SearchLoop {
             best_action: best_action.unwrap_or_else(|| Action::new(Vec::new())),
             best_observation,
             samples_used,
-            wall_seconds: start.elapsed().as_secs_f64(),
+            wall_seconds,
             reward_history,
             dataset,
             eval_retries,
             eval_failures,
             degraded_samples,
+            telemetry: rec.report(),
         })
     }
 }

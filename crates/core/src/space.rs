@@ -8,6 +8,7 @@
 //! every agent — RL, BO, GA, ACO, random walker — operate on every
 //! environment without bespoke glue.
 
+use crate::codec::Json;
 use crate::error::{ArchGymError, Result};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -89,6 +90,58 @@ impl ParamDomain {
                 choices.iter().position(|c| c == name)
             }
             _ => None,
+        }
+    }
+
+    /// Encode as an offline-safe JSON value (see [`crate::codec`]).
+    pub fn to_json(&self) -> Json {
+        match self {
+            ParamDomain::Int { min, max, step } => Json::Obj(vec![
+                ("kind".into(), Json::Str("int".into())),
+                ("min".into(), Json::num_i64(*min)),
+                ("max".into(), Json::num_i64(*max)),
+                ("step".into(), Json::num_i64(*step)),
+            ]),
+            ParamDomain::Pow2 { min, max } => Json::Obj(vec![
+                ("kind".into(), Json::Str("pow2".into())),
+                ("min".into(), Json::num_u64(*min)),
+                ("max".into(), Json::num_u64(*max)),
+            ]),
+            ParamDomain::Categorical { choices } => Json::Obj(vec![
+                ("kind".into(), Json::Str("categorical".into())),
+                (
+                    "choices".into(),
+                    Json::Arr(choices.iter().map(|c| Json::Str(c.clone())).collect()),
+                ),
+            ]),
+        }
+    }
+
+    /// Decode a value produced by [`ParamDomain::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on schema mismatches.
+    pub fn from_json(value: &Json) -> std::result::Result<Self, String> {
+        match value.field("kind")?.as_str()? {
+            "int" => Ok(ParamDomain::Int {
+                min: value.field("min")?.as_i64()?,
+                max: value.field("max")?.as_i64()?,
+                step: value.field("step")?.as_i64()?,
+            }),
+            "pow2" => Ok(ParamDomain::Pow2 {
+                min: value.field("min")?.as_u64()?,
+                max: value.field("max")?.as_u64()?,
+            }),
+            "categorical" => Ok(ParamDomain::Categorical {
+                choices: value
+                    .field("choices")?
+                    .as_arr()?
+                    .iter()
+                    .map(|c| c.as_str().map(str::to_owned))
+                    .collect::<std::result::Result<Vec<_>, String>>()?,
+            }),
+            other => Err(format!("unknown domain kind `{other}`")),
         }
     }
 
@@ -303,6 +356,42 @@ impl ParamSpace {
             .iter()
             .map(|p| p.domain.cardinality() as f64)
             .product()
+    }
+
+    /// Encode as an offline-safe JSON value (see [`crate::codec`]).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![(
+            "params".into(),
+            Json::Arr(
+                self.params
+                    .iter()
+                    .map(|p| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(p.name.clone())),
+                            ("domain".into(), p.domain.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+
+    /// Decode a value produced by [`ParamSpace::to_json`], re-validating
+    /// every domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on schema mismatches or invalid
+    /// domains.
+    pub fn from_json(value: &Json) -> std::result::Result<Self, String> {
+        let mut params = Vec::new();
+        for item in value.field("params")?.as_arr()? {
+            let name = item.field("name")?.as_str()?.to_owned();
+            let domain = ParamDomain::from_json(item.field("domain")?)?;
+            domain.validate(&name).map_err(|e| e.to_string())?;
+            params.push(ParamDef { name, domain });
+        }
+        Ok(ParamSpace { params })
     }
 
     /// Check that an action matches this space.
@@ -697,11 +786,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let space = small_space();
-        let json = serde_json::to_string(&space).unwrap();
-        let back: ParamSpace = serde_json::from_str(&json).unwrap();
+        let json = space.to_json().encode();
+        let back = ParamSpace::from_json(&crate::codec::parse_json(&json).unwrap()).unwrap();
         assert_eq!(space, back);
+        // Canonical: re-encoding the decoded space yields identical text.
+        assert_eq!(back.to_json().encode(), json);
     }
 
     proptest! {

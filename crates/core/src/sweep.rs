@@ -157,6 +157,7 @@ pub struct Sweep {
     seeds: Vec<u64>,
     jobs: usize,
     cache: Option<Arc<EvalCache>>,
+    telemetry: crate::telemetry::Recorder,
 }
 
 impl Sweep {
@@ -167,6 +168,7 @@ impl Sweep {
             seeds: vec![0],
             jobs: 1,
             cache: None,
+            telemetry: crate::telemetry::Recorder::default(),
         }
     }
 
@@ -192,6 +194,14 @@ impl Sweep {
     /// all bundled cost models.
     pub fn cache(mut self, cache: Arc<EvalCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Aggregate run telemetry into `recorder`, builder-style. Every run
+    /// (across assignments, seeds and worker threads) records into the
+    /// same shared cells, so the recorder ends up with sweep-wide totals.
+    pub fn telemetry(mut self, recorder: &crate::telemetry::Recorder) -> Self {
+        self.telemetry = recorder.clone();
         self
     }
 
@@ -247,7 +257,9 @@ impl Sweep {
                 let env = CachedEnv::with_cache(make_env(), self.cache.clone());
                 let env_name = env.name().to_owned();
                 let mut agent = make_agent(hyper, seed)?;
-                let result = SearchLoop::new(self.run_config.clone()).run_pooled(&mut agent, env);
+                let result = SearchLoop::new(self.run_config.clone())
+                    .with_telemetry(self.telemetry.clone())
+                    .run_pooled(&mut agent, env);
                 Ok((
                     env_name,
                     SweepPoint {

@@ -8,6 +8,7 @@
 //! the paper's TFDS/RLDS artifacts. Section 7 trains random-forest proxy
 //! cost models directly from these datasets.
 
+use crate::codec::{parse_json, Json};
 use crate::env::StepResult;
 use crate::error::{ArchGymError, Result};
 use crate::space::Action;
@@ -46,6 +47,75 @@ impl Transition {
             reward: result.reward,
             feasible: result.feasible,
         }
+    }
+
+    /// Encode as an offline-safe JSON value — bit-exact `f64`
+    /// round-trips, quoted `"NaN"`/`"inf"`/`"-inf"` for non-finite
+    /// values.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("env".into(), Json::Str(self.env.clone())),
+            ("agent".into(), Json::Str(self.agent.clone())),
+            (
+                "action".into(),
+                Json::Arr(
+                    self.action
+                        .iter()
+                        .map(|&i| Json::num_u64(i as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "observation".into(),
+                Json::Arr(self.observation.iter().map(|&v| Json::num_f64(v)).collect()),
+            ),
+            ("reward".into(), Json::num_f64(self.reward)),
+            ("feasible".into(), Json::Bool(self.feasible)),
+        ])
+    }
+
+    /// Decode a value produced by [`Transition::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on schema mismatches.
+    pub fn from_json(value: &Json) -> std::result::Result<Self, String> {
+        Ok(Transition {
+            env: value.field("env")?.as_str()?.to_owned(),
+            agent: value.field("agent")?.as_str()?.to_owned(),
+            action: Action::new(
+                value
+                    .field("action")?
+                    .as_arr()?
+                    .iter()
+                    .map(Json::as_usize)
+                    .collect::<std::result::Result<Vec<_>, String>>()?,
+            ),
+            observation: value
+                .field("observation")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_f64)
+                .collect::<std::result::Result<Vec<_>, String>>()?,
+            reward: value.field("reward")?.as_f64()?,
+            feasible: value.field("feasible")?.as_bool()?,
+        })
+    }
+
+    /// Encode as a single JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_json().encode()
+    }
+
+    /// Decode one JSONL line produced by [`Transition::to_line`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::Dataset`] on malformed lines.
+    pub fn from_line(line: &str) -> Result<Self> {
+        parse_json(line)
+            .and_then(|v| Self::from_json(&v))
+            .map_err(|e| ArchGymError::Dataset(format!("bad line: {e}")))
     }
 }
 
@@ -162,16 +232,15 @@ impl Dataset {
         )
     }
 
-    /// Serialize as JSON-lines (one transition per line) to a writer.
+    /// Serialize as JSON-lines (one transition per line) to a writer
+    /// via the offline-safe codec with bit-exact float round-trips.
     ///
     /// # Errors
     ///
-    /// Propagates serialization and I/O failures.
+    /// Propagates I/O failures.
     pub fn write_jsonl<W: Write>(&self, mut writer: W) -> Result<()> {
         for t in &self.transitions {
-            let line =
-                serde_json::to_string(t).map_err(|e| ArchGymError::Dataset(e.to_string()))?;
-            writeln!(writer, "{line}")?;
+            writeln!(writer, "{}", t.to_line())?;
         }
         Ok(())
     }
@@ -217,12 +286,10 @@ impl Dataset {
             if line.trim().is_empty() {
                 continue;
             }
-            match serde_json::from_str::<Transition>(line) {
+            match Transition::from_line(line) {
                 Ok(t) => dataset.push(t),
                 Err(_) if !complete_tail && i + 1 == lines.len() => skipped += 1,
-                Err(e) => {
-                    return Err(ArchGymError::Dataset(format!("bad line: {e}")));
-                }
+                Err(e) => return Err(e),
             }
         }
         Ok((dataset, skipped))
@@ -394,11 +461,19 @@ impl Dataset {
         Ok((xs, ys))
     }
 
-    /// The transition with the highest reward, if any.
+    /// The transition with the highest reward, if any. Ties keep the
+    /// earliest transition and NaN rewards are skipped — the same rule
+    /// [`SearchLoop`](crate::search::SearchLoop) applies when tracking
+    /// its best sample, so on a dataset recorded by a run the two agree
+    /// on the winning action, not just the winning reward.
     pub fn best(&self) -> Option<&Transition> {
-        self.transitions
-            .iter()
-            .max_by(|a, b| a.reward.partial_cmp(&b.reward).expect("NaN reward"))
+        let mut best: Option<&Transition> = None;
+        for t in &self.transitions {
+            if best.map_or(!t.reward.is_nan(), |b| t.reward > b.reward) {
+                best = Some(t);
+            }
+        }
+        best
     }
 }
 
@@ -522,12 +597,7 @@ mod tests {
     fn jsonl_reader_skips_truncated_final_line() {
         let d = sample_dataset();
         let mut buf = Vec::new();
-        if d.write_jsonl(&mut buf).is_err() {
-            // serde_json stub build: serialization is unavailable, so the
-            // fixture cannot be produced. The CSV twin of this test covers
-            // the truncation logic offline.
-            return;
-        }
+        d.write_jsonl(&mut buf).unwrap();
         // Chop into the last record, as a crash mid-write would.
         let cut = buf.len() - 7;
         let (back, skipped) = Dataset::read_jsonl_counting(&buf[..cut]).unwrap();

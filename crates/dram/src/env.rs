@@ -14,6 +14,7 @@ use archgym_core::env::{Environment, Observation, StepResult};
 use archgym_core::reward::RewardSpec;
 use archgym_core::seeded_rng;
 use archgym_core::space::{Action, ParamSpace};
+use archgym_core::telemetry::{Counter, Phase, Recorder};
 use std::sync::{Arc, OnceLock};
 
 /// Observation metric indices for DRAMGym.
@@ -136,6 +137,9 @@ pub struct DramEnv {
     /// trace.
     trace: Arc<[MemoryRequest]>,
     name: String,
+    /// Run telemetry sink; a disabled no-op recorder until the search
+    /// loop installs a live one via [`Environment::set_telemetry`].
+    telemetry: Recorder,
 }
 
 /// The canonical trace of each workload (default [`TraceConfig`], fixed
@@ -180,6 +184,7 @@ impl DramEnv {
             objective,
             trace,
             name: format!("dram/{}", workload.name()),
+            telemetry: Recorder::default(),
         }
     }
 
@@ -201,6 +206,7 @@ impl DramEnv {
             objective,
             trace: trace.into(),
             name: format!("dram/{label}"),
+            telemetry: Recorder::default(),
         }
     }
 
@@ -240,7 +246,18 @@ impl Environment for DramEnv {
 
     fn step(&mut self, action: &Action) -> StepResult {
         let config = decode_config(&self.space, action);
-        let stats = MemoryController::new(config).simulate(&self.trace);
+        let stats = {
+            let _span = self.telemetry.span(Phase::Simulate);
+            MemoryController::new(config).simulate(&self.trace)
+        };
+        self.telemetry.add(Counter::DramRowHits, stats.row_hits);
+        self.telemetry.add(Counter::DramRowMisses, stats.row_misses);
+        self.telemetry
+            .add(Counter::DramRowConflicts, stats.row_conflicts);
+        self.telemetry.add(
+            Counter::DramDecisions,
+            stats.row_hits + stats.row_misses + stats.row_conflicts,
+        );
         let observation =
             Observation::new(vec![stats.avg_latency_ns, stats.power_w, stats.energy_uj]);
         let reward = self.objective.spec.reward(&observation);
@@ -248,6 +265,10 @@ impl Environment for DramEnv {
             .with_info("row_hit_rate", stats.hit_rate())
             .with_info("total_cycles", stats.total_cycles as f64)
             .with_info("p95_latency_ns", stats.p95_latency_ns)
+    }
+
+    fn set_telemetry(&mut self, recorder: &Recorder) {
+        self.telemetry = recorder.clone();
     }
 }
 

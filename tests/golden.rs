@@ -24,10 +24,10 @@ fn dram_golden() {
     );
     let action = Action::new(vec![3, 4, 5, 3, 1, 2, 2, 1, 0, 1]);
     let r = env.step(&action);
-    assert_close(r.observation.get(0), 15064.4580078125, "dram latency_ns");
-    assert_close(r.observation.get(1), 1.0998150353814893, "dram power_w");
-    assert_close(r.observation.get(2), 39.24415, "dram energy_uj");
-    assert_close(r.reward, 10.018530737158365, "dram reward");
+    assert_close(r.observation.get(0), 14745.524088541666, "dram latency_ns");
+    assert_close(r.observation.get(1), 1.107271951349621, "dram power_w");
+    assert_close(r.observation.get(2), 38.919225, "dram energy_uj");
+    assert_close(r.reward, 9.322101326755936, "dram reward");
     assert!(r.feasible);
 }
 
@@ -103,7 +103,47 @@ fn trace_generation_golden() {
         .map(|r| r.arrival ^ r.addr ^ u64::from(r.is_write))
         .fold(0, |acc, x| acc.wrapping_mul(31).wrapping_add(x));
     assert_eq!(
-        fingerprint, 11631849473555630812,
+        fingerprint, 11962747199329276272,
         "cloud-1 trace fingerprint drifted"
     );
+}
+
+#[test]
+fn compare_metrics_golden() {
+    // `compare --metrics` keeps only order-independent counters, so the
+    // file must be byte-identical to the committed golden regardless of
+    // how many worker threads settle the batches — and across reruns.
+    let golden = include_str!("golden/compare_metrics.json");
+    for jobs in ["1", "4"] {
+        let dir = std::env::temp_dir().join("archgym-golden-metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("compare-jobs{jobs}.json"));
+        let args = archgym_cli::Args::parse(
+            [
+                "compare",
+                "--env",
+                "dram/stream",
+                "--agents",
+                "rw,ga,sa",
+                "--objective",
+                "power:1.0",
+                "--budget",
+                "32",
+                "--seed",
+                "0",
+                "--jobs",
+                jobs,
+                "--metrics",
+                path.to_str().unwrap(),
+            ],
+        )
+        .unwrap();
+        archgym_cli::run(&args).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            body, golden,
+            "compare --metrics drifted from the golden at jobs={jobs}"
+        );
+    }
 }
