@@ -1,0 +1,92 @@
+//! The `archgymd` binary: parse flags, bind, serve until shutdown.
+
+use archgymd::server::{DaemonConfig, Server};
+use std::process::ExitCode;
+
+const USAGE: &str = "archgymd — multi-tenant ArchGym search daemon
+
+USAGE:
+    archgymd [--addr HOST:PORT] [--state-dir DIR] [--workers N]
+             [--port-file PATH] [--max-running N] [--max-queued N]
+             [--queue-capacity N] [--retry-after-ms MS]
+
+FLAGS:
+    --addr            listen address (default 127.0.0.1:7170; port 0 picks a free port)
+    --state-dir       job store directory (default ./archgymd-state)
+    --workers         concurrent job slots (default 2)
+    --port-file       after binding, write the actual `host:port` here
+    --max-running     per-tenant running-job quota (default 2)
+    --max-queued      per-tenant queued-job quota (default 16)
+    --queue-capacity  global queue bound (default 64)
+    --retry-after-ms  back-off hint on admission reject (default 500)
+
+Clients: `archgym-cli submit|status|watch|cancel --addr HOST:PORT ...`.";
+
+fn parse_flags(args: &[String]) -> Result<(DaemonConfig, Option<String>), String> {
+    let mut config = DaemonConfig::new("127.0.0.1:7170", "archgymd-state");
+    let mut port_file = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            return Err(USAGE.to_owned());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value\n\n{USAGE}"))?;
+        let number = || {
+            value
+                .parse::<u64>()
+                .map_err(|_| format!("flag {flag} needs a number, got '{value}'"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value.clone(),
+            "--state-dir" => config.state_dir = value.into(),
+            "--workers" => config.workers = number()? as usize,
+            "--port-file" => port_file = Some(value.clone()),
+            "--max-running" => config.quota.max_running_per_tenant = number()? as usize,
+            "--max-queued" => config.quota.max_queued_per_tenant = number()? as usize,
+            "--queue-capacity" => config.quota.queue_capacity = number()? as usize,
+            "--retry-after-ms" => config.quota.retry_after_ms = number()?,
+            other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
+        }
+    }
+    Ok((config, port_file))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (config, port_file) = match parse_flags(&args) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("archgymd: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    if let Some(path) = port_file {
+        // Write-then-rename so pollers never observe a half-written file.
+        let tmp = format!("{path}.tmp");
+        if std::fs::write(&tmp, format!("{addr}\n"))
+            .and_then(|()| std::fs::rename(&tmp, &path))
+            .is_err()
+        {
+            eprintln!("archgymd: cannot write port file {path}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("archgymd listening on {addr}");
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("archgymd: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! A minimal blocking client for the `archgymd` wire protocol, shared
+//! by the CLI subcommands, the bench harness, and the integration
+//! tests.
+
+use crate::protocol::{Request, Response, MAX_LINE_BYTES};
+use archgym_core::error::{ArchGymError, Result};
+use std::io::{BufRead, BufReader, Read as _, Write as _};
+use std::net::TcpStream;
+
+fn bad(msg: String) -> ArchGymError {
+    ArchGymError::InvalidConfig(msg)
+}
+
+/// One open connection to a daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `127.0.0.1:7170`).
+    pub fn connect(addr: &str) -> Result<Client> {
+        let writer = TcpStream::connect(addr)
+            .map_err(|e| bad(format!("cannot reach archgymd at {addr}: {e}")))?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Send one request frame.
+    pub fn send(&mut self, request: &Request) -> Result<()> {
+        writeln!(self.writer, "{}", request.to_line())?;
+        Ok(())
+    }
+
+    /// Read the next response frame. `Ok(None)` means the daemon closed
+    /// the connection (end of a watch stream).
+    pub fn recv(&mut self) -> Result<Option<Response>> {
+        let mut buf = Vec::new();
+        let n = (&mut self.reader)
+            .take(MAX_LINE_BYTES as u64 + 1)
+            .read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        let text =
+            std::str::from_utf8(&buf).map_err(|_| bad("daemon sent a non-UTF-8 frame".into()))?;
+        Ok(Some(Response::from_line(text.trim())?))
+    }
+
+    /// Send `request` and read one reply.
+    pub fn round_trip(&mut self, request: &Request) -> Result<Response> {
+        self.send(request)?;
+        self.recv()?
+            .ok_or_else(|| bad("daemon closed the connection before replying".into()))
+    }
+}
+
+/// Open a fresh connection, perform one request/response, close.
+pub fn request_one(addr: &str, request: &Request) -> Result<Response> {
+    Client::connect(addr)?.round_trip(request)
+}

@@ -1,0 +1,32 @@
+//! `archgymd` — a multi-tenant search service for ArchGym.
+//!
+//! The daemon exposes the gym's search/compare/sweep drivers over a
+//! line-delimited JSON protocol on plain TCP (no external
+//! dependencies; framing reuses the in-repo codec). Submitted jobs
+//! pass quota-based admission control ([`archgym_core::jobs`]), run on
+//! a fixed worker fleet, stream per-batch telemetry to watchers, and
+//! are journaled so a killed daemon resumes in-flight jobs
+//! bit-identically on restart.
+//!
+//! Layers:
+//!
+//! * [`protocol`] — the wire frames and their canonical encoding.
+//! * [`store`] — the state directory (specs, journals, outcomes).
+//! * [`server`] — listener, scheduler, worker fleet, event streaming.
+//! * [`client`] — a small blocking client used by the CLI and tests.
+//! * [`spec`] — environment-spec parsing (`dram/stream`, ...), shared
+//!   with `archgym-cli`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod spec;
+pub mod store;
+
+pub use client::{request_one, Client};
+pub use protocol::{ErrorCode, JobStatus, Request, Response, MAX_LINE_BYTES, PROTOCOL_VERSION};
+pub use server::{DaemonConfig, Server};
+pub use store::{JobOutcome, JobStore, PersistedJob};

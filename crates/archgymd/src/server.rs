@@ -1,0 +1,778 @@
+//! The `archgymd` daemon: a multi-tenant search service over TCP.
+//!
+//! One [`Server`] owns a [`JobStore`] state directory, a
+//! [`Scheduler`] for quota-based admission control, and a fixed fleet
+//! of worker threads. Clients speak the line-delimited JSON protocol
+//! from [`protocol`](crate::protocol); accepted jobs are persisted
+//! *before* they are admitted, and every search runs through
+//! [`SearchLoop::run_resumable_pooled`] with its journal inside the
+//! state directory — so a daemon killed mid-job (even with SIGKILL)
+//! re-admits the job on restart and the journal replay finishes it
+//! bit-identically to an uninterrupted run.
+//!
+//! Threading model: one accept loop, one thread per client connection,
+//! `workers` job threads parked on a condvar over the scheduler. Lock
+//! order inside a job handle is events → progress → watchers; the
+//! scheduler lock is never held while a job runs.
+
+use crate::protocol::{ErrorCode, JobStatus, Request, Response, MAX_LINE_BYTES, PROTOCOL_VERSION};
+use crate::spec::make_env;
+use crate::store::{JobOutcome, JobStore, PersistedJob};
+use archgym_agents::factory::{build_agent, default_grid, AgentKind};
+use archgym_core::agent::HyperMap;
+use archgym_core::codec::{parse_json, Json};
+use archgym_core::error::Result;
+use archgym_core::jobs::{Admission, JobId, JobKind, JobSpec, JobState, QuotaPolicy, Scheduler};
+use archgym_core::search::{RunConfig, RunResult, SearchLoop};
+use archgym_core::sweep::Sweep;
+use archgym_core::telemetry::Recorder;
+use archgym_core::{Action, Agent, StepResult};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Listen address, e.g. `127.0.0.1:7170` (`:0` picks a free port).
+    pub addr: String,
+    /// State directory for job specs, journals, and outcomes.
+    pub state_dir: PathBuf,
+    /// Worker threads — the maximum number of concurrently running jobs.
+    pub workers: usize,
+    /// Admission-control knobs.
+    pub quota: QuotaPolicy,
+}
+
+impl DaemonConfig {
+    /// A config with default workers (2) and quotas.
+    pub fn new(addr: impl Into<String>, state_dir: impl Into<PathBuf>) -> DaemonConfig {
+        DaemonConfig {
+            addr: addr.into(),
+            state_dir: state_dir.into(),
+            workers: 2,
+            quota: QuotaPolicy::default(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct JobProgress {
+    state: JobState,
+    best_reward: Option<f64>,
+    samples: u64,
+    error: Option<String>,
+}
+
+/// In-memory state for one job: live progress, the event backlog every
+/// new watcher replays, and the subscribed watcher sockets.
+struct JobHandle {
+    id: JobId,
+    tenant: String,
+    spec: JobSpec,
+    // Lock order: events → progress → watchers. `events` doubles as the
+    // barrier that makes watch registration race-free against finish().
+    events: Mutex<Vec<String>>,
+    progress: Mutex<JobProgress>,
+    watchers: Mutex<Vec<TcpStream>>,
+    cancel: AtomicBool,
+}
+
+impl JobHandle {
+    fn new(job: &PersistedJob, state: JobState) -> JobHandle {
+        JobHandle {
+            id: job.id,
+            tenant: job.tenant.clone(),
+            spec: job.spec.clone(),
+            events: Mutex::new(Vec::new()),
+            progress: Mutex::new(JobProgress {
+                state,
+                best_reward: None,
+                samples: 0,
+                error: None,
+            }),
+            watchers: Mutex::new(Vec::new()),
+            cancel: AtomicBool::new(false),
+        }
+    }
+
+    fn from_outcome(job: &PersistedJob, outcome: &JobOutcome) -> JobHandle {
+        let handle = JobHandle::new(job, outcome.state);
+        {
+            let mut progress = handle.progress.lock().expect("progress lock");
+            progress.best_reward = outcome.best_reward;
+            progress.samples = outcome.samples;
+            progress.error = outcome.error.clone();
+        }
+        handle
+    }
+
+    fn status(&self) -> JobStatus {
+        let progress = self.progress.lock().expect("progress lock").clone();
+        JobStatus {
+            job: self.id,
+            tenant: self.tenant.clone(),
+            state: progress.state,
+            best_reward: progress.best_reward,
+            samples: progress.samples,
+            budget: self.spec.budget,
+            error: progress.error,
+        }
+    }
+
+    fn set_state(&self, state: JobState) {
+        self.progress.lock().expect("progress lock").state = state;
+    }
+
+    /// Ingest one line from a run's telemetry trace: update live
+    /// progress from per-batch records and fan the event out to every
+    /// watcher (dead watchers are dropped).
+    fn ingest_trace_line(&self, line: &str) {
+        let Ok(data) = parse_json(line) else {
+            return;
+        };
+        let frame = Response::Event {
+            job: self.id,
+            data: data.clone(),
+        }
+        .to_line();
+        let mut events = self.events.lock().expect("events lock");
+        events.push(frame.clone());
+        {
+            let mut progress = self.progress.lock().expect("progress lock");
+            if let Ok(samples) = data.field("samples_used").and_then(Json::as_u64) {
+                progress.samples = samples;
+            }
+            if let Ok(best) = data.field("best_reward").and_then(Json::as_f64) {
+                progress.best_reward = Some(best);
+            }
+        }
+        let mut watchers = self.watchers.lock().expect("watchers lock");
+        watchers.retain_mut(|w| writeln!(w, "{frame}").is_ok());
+    }
+
+    /// Record a terminal outcome and close every watch stream with a
+    /// `done` frame. Holding the events lock makes this atomic against
+    /// concurrent watch registration.
+    fn finish(&self, outcome: &JobOutcome) {
+        let _events = self.events.lock().expect("events lock");
+        {
+            let mut progress = self.progress.lock().expect("progress lock");
+            progress.state = outcome.state;
+            progress.best_reward = outcome.best_reward;
+            progress.samples = outcome.samples;
+            progress.error = outcome.error.clone();
+        }
+        let frame = Response::Done {
+            job: self.id,
+            state: outcome.state,
+            best_reward: outcome.best_reward,
+            samples: outcome.samples,
+        }
+        .to_line();
+        let mut watchers = self.watchers.lock().expect("watchers lock");
+        for mut w in watchers.drain(..) {
+            let _ = writeln!(w, "{frame}");
+        }
+    }
+}
+
+/// A `Write` sink for [`Recorder::set_trace`] that forwards each
+/// completed trace line to the job handle.
+struct EventSink {
+    handle: Arc<JobHandle>,
+    buf: Vec<u8>,
+}
+
+impl std::io::Write for EventSink {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        while let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.buf.drain(..=pos).collect();
+            if let Ok(text) = std::str::from_utf8(&line) {
+                let text = text.trim();
+                if !text.is_empty() {
+                    self.handle.ingest_trace_line(text);
+                }
+            }
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Wraps an agent so a raised cancel flag reads as convergence: the
+/// next `propose` returns no candidates and the search loop settles
+/// what it has and stops — no samples are torn mid-batch.
+struct Cancellable {
+    inner: Box<dyn Agent>,
+    flag: Arc<JobHandle>,
+}
+
+impl Agent for Cancellable {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn propose(&mut self, max_batch: usize) -> Vec<Action> {
+        if self.flag.cancel.load(Ordering::SeqCst) {
+            return Vec::new();
+        }
+        self.inner.propose(max_batch)
+    }
+
+    fn observe(&mut self, results: &[(Action, StepResult)]) {
+        self.inner.observe(results);
+    }
+
+    fn batch_hint(&self) -> Option<usize> {
+        self.inner.batch_hint()
+    }
+}
+
+struct Inner {
+    config: DaemonConfig,
+    store: JobStore,
+    sched: Mutex<Scheduler>,
+    work_cv: Condvar,
+    jobs: Mutex<HashMap<u64, Arc<JobHandle>>>,
+    names: Mutex<HashMap<String, JobId>>,
+    next_id: Mutex<u64>,
+    shutdown: AtomicBool,
+}
+
+/// A bound daemon, ready to [`run`](Server::run).
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Bind the listen socket, open the state directory, and re-admit
+    /// every persisted job that never reached a terminal state (in
+    /// original submit order — their journals make the reruns resume
+    /// rather than restart).
+    pub fn bind(config: DaemonConfig) -> Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let store = JobStore::open(&config.state_dir)?;
+        let next_id = store.next_id()?;
+        let mut sched = Scheduler::new(config.quota);
+        let mut jobs = HashMap::new();
+        let mut names = HashMap::new();
+        for (job, outcome) in store.load()? {
+            let handle = match &outcome {
+                Some(outcome) => JobHandle::from_outcome(&job, outcome),
+                None => JobHandle::new(&job, JobState::Queued),
+            };
+            let handle = Arc::new(handle);
+            if let Some(name) = &job.name {
+                names.insert(name.clone(), job.id);
+            }
+            if outcome.is_none() {
+                match sched.submit(job.id, &job.tenant) {
+                    Admission::Enqueued { .. } => {}
+                    Admission::Rejected { reason, .. } => {
+                        // Quotas shrank across the restart; surface the
+                        // job as failed rather than dropping it silently.
+                        let failed = JobOutcome {
+                            state: JobState::Failed,
+                            best_reward: None,
+                            samples: 0,
+                            error: Some(format!("not re-admitted after restart: {reason}")),
+                        };
+                        store.record_outcome(job.id, &failed)?;
+                        handle.finish(&failed);
+                    }
+                }
+            }
+            jobs.insert(job.id.0, handle);
+        }
+        Ok(Server {
+            listener,
+            local_addr,
+            inner: Arc::new(Inner {
+                config,
+                store,
+                sched: Mutex::new(sched),
+                work_cv: Condvar::new(),
+                jobs: Mutex::new(jobs),
+                names: Mutex::new(names),
+                next_id: Mutex::new(next_id),
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serve until a `shutdown` request arrives. Workers finish their
+    /// in-flight jobs before this returns; queued jobs stay persisted
+    /// for the next start.
+    pub fn run(self) -> Result<()> {
+        let mut workers = Vec::new();
+        for _ in 0..self.inner.config.workers.max(1) {
+            let inner = Arc::clone(&self.inner);
+            workers.push(thread::spawn(move || worker_loop(&inner)));
+        }
+        for stream in self.listener.incoming() {
+            if self.inner.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let inner = Arc::clone(&self.inner);
+            let addr = self.local_addr;
+            thread::spawn(move || handle_conn(&inner, addr, stream));
+        }
+        self.inner.work_cv.notify_all();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let id = {
+            let mut sched = inner.sched.lock().expect("scheduler lock");
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(id) = sched.next_runnable() {
+                    break id;
+                }
+                sched = inner.work_cv.wait(sched).expect("scheduler lock");
+            }
+        };
+        let handle = inner
+            .jobs
+            .lock()
+            .expect("jobs lock")
+            .get(&id.0)
+            .cloned()
+            .expect("runnable job has a handle");
+        handle.set_state(JobState::Running);
+        let outcome = run_job(inner, &handle);
+        let record = inner.store.record_outcome(id, &outcome);
+        handle.finish(&outcome);
+        {
+            let mut sched = inner.sched.lock().expect("scheduler lock");
+            sched.finish(id);
+        }
+        inner.work_cv.notify_all();
+        if let Err(err) = record {
+            eprintln!("archgymd: failed to persist outcome for {id}: {err}");
+        }
+    }
+}
+
+/// Execute one job to a terminal outcome. Panics inside the run are
+/// caught and reported as a failed job; the daemon itself never dies.
+fn run_job(inner: &Arc<Inner>, handle: &Arc<JobHandle>) -> JobOutcome {
+    let result =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match handle.spec.kind {
+            JobKind::Search => run_search(inner, handle),
+            JobKind::Compare => run_compare(inner, handle),
+            JobKind::Sweep => run_sweep(inner, handle),
+        }));
+    let cancelled = handle.cancel.load(Ordering::SeqCst);
+    match result {
+        Ok(Ok((best_reward, samples))) => JobOutcome {
+            state: if cancelled {
+                JobState::Cancelled
+            } else {
+                JobState::Done
+            },
+            best_reward,
+            samples,
+            error: None,
+        },
+        Ok(Err(err)) => JobOutcome {
+            state: JobState::Failed,
+            best_reward: None,
+            samples: 0,
+            error: Some(err.to_string()),
+        },
+        Err(_) => JobOutcome {
+            state: JobState::Failed,
+            best_reward: None,
+            samples: 0,
+            error: Some("job panicked".into()),
+        },
+    }
+}
+
+fn run_config(spec: &JobSpec) -> RunConfig {
+    RunConfig::with_budget(spec.budget)
+        .batch(spec.batch)
+        .record(false)
+        .jobs(spec.eval_jobs.max(1))
+}
+
+fn streaming_driver(spec: &JobSpec, handle: &Arc<JobHandle>) -> SearchLoop {
+    let recorder = Recorder::new();
+    recorder.set_trace(EventSink {
+        handle: Arc::clone(handle),
+        buf: Vec::new(),
+    });
+    SearchLoop::new(run_config(spec)).with_telemetry(recorder)
+}
+
+fn run_one(
+    inner: &Arc<Inner>,
+    handle: &Arc<JobHandle>,
+    agent_name: &str,
+    journal: PathBuf,
+) -> Result<RunResult> {
+    let spec = &handle.spec;
+    let env = make_env(&spec.env, Some(&spec.objective))?;
+    let kind = AgentKind::parse(agent_name)?;
+    let mut agent = Cancellable {
+        inner: build_agent(kind, env.space(), &Default::default(), spec.seed)?,
+        flag: Arc::clone(handle),
+    };
+    let _ = inner; // journal path already resolved by the caller
+    streaming_driver(spec, handle).run_resumable_pooled(&mut agent, env, journal)
+}
+
+fn run_search(inner: &Arc<Inner>, handle: &Arc<JobHandle>) -> Result<(Option<f64>, u64)> {
+    let journal = inner.store.journal_path(handle.id);
+    let result = run_one(inner, handle, &handle.spec.agent.clone(), journal)?;
+    Ok((Some(result.best_reward), result.samples_used))
+}
+
+fn run_compare(inner: &Arc<Inner>, handle: &Arc<JobHandle>) -> Result<(Option<f64>, u64)> {
+    let mut best: Option<f64> = None;
+    let mut samples = 0;
+    for agent in &handle.spec.agents.clone() {
+        if handle.cancel.load(Ordering::SeqCst) {
+            break;
+        }
+        let journal = inner.store.agent_journal_path(handle.id, agent);
+        let result = run_one(inner, handle, agent, journal)?;
+        samples += result.samples_used;
+        if best.is_none_or(|b| result.best_reward > b) {
+            best = Some(result.best_reward);
+        }
+    }
+    Ok((best, samples))
+}
+
+/// Sweeps are deterministic in the spec, so a restarted daemon reruns
+/// them from scratch instead of journaling every grid cell.
+fn run_sweep(inner: &Arc<Inner>, handle: &Arc<JobHandle>) -> Result<(Option<f64>, u64)> {
+    let _ = inner;
+    let spec = &handle.spec;
+    let proto = make_env(&spec.env, Some(&spec.objective))?;
+    let space = proto.space().clone();
+    let kind = AgentKind::parse(&spec.agent)?;
+    // Same default cap as `archgym-cli sweep --grid`.
+    let assignments: Vec<HyperMap> = default_grid(kind).iter().take(9).collect();
+    let recorder = Recorder::new();
+    recorder.set_trace(EventSink {
+        handle: Arc::clone(handle),
+        buf: Vec::new(),
+    });
+    let cancel = Arc::clone(handle);
+    let result = Sweep::new(RunConfig::with_budget(spec.budget).record(false))
+        .seeds(0..spec.sweep_seeds)
+        .jobs(spec.eval_jobs.max(1))
+        .telemetry(&recorder)
+        .run_assignments(
+            kind.name(),
+            &assignments,
+            || proto.clone(),
+            move |hyper, seed| {
+                Ok(Box::new(Cancellable {
+                    inner: build_agent(kind, &space, hyper, seed)?,
+                    flag: Arc::clone(&cancel),
+                }) as Box<dyn Agent>)
+            },
+        )?;
+    let winner = result.winner();
+    let samples = result
+        .best_rewards()
+        .len()
+        .checked_mul(spec.budget as usize)
+        .unwrap_or(0) as u64;
+    Ok((Some(winner.result.best_reward), samples))
+}
+
+fn error(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+fn validate_spec(spec: &JobSpec) -> Result<()> {
+    spec.validate()?;
+    // Dry-run the factories so a bad env/agent is a typed reject at
+    // submit time, not a failed job later.
+    make_env(&spec.env, Some(&spec.objective))?;
+    match spec.kind {
+        JobKind::Compare => {
+            for agent in &spec.agents {
+                AgentKind::parse(agent)?;
+            }
+        }
+        JobKind::Search | JobKind::Sweep => {
+            AgentKind::parse(&spec.agent)?;
+        }
+    }
+    Ok(())
+}
+
+fn submit(inner: &Arc<Inner>, tenant: String, name: Option<String>, spec: JobSpec) -> Response {
+    if inner.shutdown.load(Ordering::SeqCst) {
+        return Response::Rejected {
+            reason: "daemon is shutting down".into(),
+            retry_after_ms: inner.config.quota.retry_after_ms,
+        };
+    }
+    if let Err(err) = validate_spec(&spec) {
+        return error(ErrorCode::BadSpec, err.to_string());
+    }
+    let id = {
+        let mut next = inner.next_id.lock().expect("id lock");
+        let id = JobId(*next);
+        *next += 1;
+        id
+    };
+    if let Some(name) = &name {
+        let mut names = inner.names.lock().expect("names lock");
+        if let Some(existing) = names.get(name) {
+            return error(
+                ErrorCode::DuplicateJob,
+                format!("job name '{name}' is already taken by {existing}"),
+            );
+        }
+        names.insert(name.clone(), id);
+    }
+    let job = PersistedJob {
+        id,
+        tenant: tenant.clone(),
+        name: name.clone(),
+        spec,
+    };
+    if let Err(err) = inner.store.record_submitted(&job) {
+        if let Some(name) = &name {
+            inner.names.lock().expect("names lock").remove(name);
+        }
+        return error(ErrorCode::Internal, format!("could not persist job: {err}"));
+    }
+    let handle = Arc::new(JobHandle::new(&job, JobState::Queued));
+    inner
+        .jobs
+        .lock()
+        .expect("jobs lock")
+        .insert(id.0, Arc::clone(&handle));
+    let admission = inner
+        .sched
+        .lock()
+        .expect("scheduler lock")
+        .submit(id, &tenant);
+    match admission {
+        Admission::Enqueued { position } => {
+            inner.work_cv.notify_all();
+            Response::Accepted {
+                job: id,
+                position: position as u64,
+            }
+        }
+        Admission::Rejected {
+            reason,
+            retry_after_ms,
+        } => {
+            inner.jobs.lock().expect("jobs lock").remove(&id.0);
+            if let Some(name) = &name {
+                inner.names.lock().expect("names lock").remove(name);
+            }
+            inner.store.discard(id);
+            Response::Rejected {
+                reason,
+                retry_after_ms,
+            }
+        }
+    }
+}
+
+fn lookup(inner: &Arc<Inner>, job: JobId) -> Option<Arc<JobHandle>> {
+    inner.jobs.lock().expect("jobs lock").get(&job.0).cloned()
+}
+
+fn cancel(inner: &Arc<Inner>, job: JobId) -> Response {
+    let Some(handle) = lookup(inner, job) else {
+        return error(ErrorCode::UnknownJob, format!("no job {job}"));
+    };
+    let state = handle.progress.lock().expect("progress lock").state;
+    if state.is_terminal() {
+        return error(
+            ErrorCode::BadState,
+            format!("{job} already finished as {}", state.name()),
+        );
+    }
+    let was_queued = inner
+        .sched
+        .lock()
+        .expect("scheduler lock")
+        .cancel_queued(job);
+    if was_queued {
+        let outcome = JobOutcome {
+            state: JobState::Cancelled,
+            best_reward: None,
+            samples: 0,
+            error: None,
+        };
+        if let Err(err) = inner.store.record_outcome(job, &outcome) {
+            eprintln!("archgymd: failed to persist cancel for {job}: {err}");
+        }
+        handle.finish(&outcome);
+    } else {
+        // Running (or about to be claimed): the cancel flag makes the
+        // agent stop proposing and the worker records the outcome.
+        handle.cancel.store(true, Ordering::SeqCst);
+    }
+    Response::Status(handle.status())
+}
+
+fn list_jobs(inner: &Arc<Inner>) -> Response {
+    let jobs = inner.jobs.lock().expect("jobs lock");
+    let mut statuses: Vec<JobStatus> = jobs.values().map(|handle| handle.status()).collect();
+    statuses.sort_by_key(|status| status.job);
+    Response::Jobs(statuses)
+}
+
+fn send(out: &mut TcpStream, response: &Response) -> bool {
+    writeln!(out, "{}", response.to_line()).is_ok()
+}
+
+/// Attach `out` to the job's event stream: replay the backlog, then
+/// either close with a `done` frame (terminal job) or register as a
+/// live watcher. Returns `true` when the socket was handed over.
+fn watch(handle: &Arc<JobHandle>, mut out: TcpStream) -> bool {
+    let _events_guard = {
+        let events = handle.events.lock().expect("events lock");
+        for line in events.iter() {
+            if writeln!(out, "{line}").is_err() {
+                return true; // client went away; nothing to keep
+            }
+        }
+        events
+    };
+    let progress = handle.progress.lock().expect("progress lock").clone();
+    if progress.state.is_terminal() {
+        let frame = Response::Done {
+            job: handle.id,
+            state: progress.state,
+            best_reward: progress.best_reward,
+            samples: progress.samples,
+        };
+        let _ = writeln!(out, "{}", frame.to_line());
+        return false;
+    }
+    handle.watchers.lock().expect("watchers lock").push(out);
+    true
+}
+
+fn handle_conn(inner: &Arc<Inner>, local: SocketAddr, stream: TcpStream) {
+    let Ok(reader_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(reader_half);
+    let mut out = stream;
+    loop {
+        let mut buf = Vec::new();
+        let n = match (&mut reader)
+            .take(MAX_LINE_BYTES as u64 + 1)
+            .read_until(b'\n', &mut buf)
+        {
+            Ok(n) => n,
+            Err(_) => return,
+        };
+        if n == 0 {
+            return; // clean EOF
+        }
+        if buf.last() == Some(&b'\n') {
+            buf.pop();
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+        }
+        if buf.len() > MAX_LINE_BYTES {
+            let _ = send(
+                &mut out,
+                &error(
+                    ErrorCode::OversizedFrame,
+                    format!("frame exceeds {MAX_LINE_BYTES} bytes"),
+                ),
+            );
+            return;
+        }
+        let Ok(text) = std::str::from_utf8(&buf) else {
+            if !send(&mut out, &error(ErrorCode::NonUtf8, "frame is not UTF-8")) {
+                return;
+            }
+            continue;
+        };
+        if text.trim().is_empty() {
+            continue;
+        }
+        let request = match Request::from_line(text.trim()) {
+            Ok(request) => request,
+            Err(err) => {
+                if !send(&mut out, &error(ErrorCode::BadFrame, err.to_string())) {
+                    return;
+                }
+                continue;
+            }
+        };
+        let reply = match request {
+            Request::Submit { tenant, name, spec } => submit(inner, tenant, name, spec),
+            Request::Status { job } => match lookup(inner, job) {
+                Some(handle) => Response::Status(handle.status()),
+                None => error(ErrorCode::UnknownJob, format!("no job {job}")),
+            },
+            Request::List => list_jobs(inner),
+            Request::Cancel { job } => cancel(inner, job),
+            Request::Ping => Response::Pong {
+                version: PROTOCOL_VERSION,
+            },
+            Request::Watch { job } => match lookup(inner, job) {
+                Some(handle) => {
+                    if watch(&handle, out) {
+                        // The write half now belongs to the watcher
+                        // list; this connection is stream-only.
+                        return;
+                    }
+                    return;
+                }
+                None => error(ErrorCode::UnknownJob, format!("no job {job}")),
+            },
+            Request::Shutdown => {
+                let _ = send(&mut out, &Response::Stopping);
+                inner.shutdown.store(true, Ordering::SeqCst);
+                inner.work_cv.notify_all();
+                // Poke the accept loop so it observes the flag.
+                let _ = TcpStream::connect(local);
+                return;
+            }
+        };
+        if !send(&mut out, &reply) {
+            return;
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! The daemon's results store: one state directory owning every job's
+//! spec, run journal, and final outcome.
+//!
+//! Layout, keyed by job ID:
+//!
+//! ```text
+//! <state_dir>/job-3.job        accepted submission (tenant, name, spec)
+//! <state_dir>/job-3.jsonl      write-ahead run journal (search jobs)
+//! <state_dir>/job-3.jsonl.snap latest journal snapshot
+//! <state_dir>/job-3-<agent>.jsonl   per-agent journals (compare jobs)
+//! <state_dir>/job-3.done       terminal outcome (state, best reward)
+//! ```
+//!
+//! A `.job` file without a matching `.done` is an in-flight job: on
+//! startup the daemon re-admits it and the run journal replays it
+//! bit-identically to an uninterrupted run. Both files are written via
+//! temp-file + rename so a crash never leaves a torn record.
+
+use crate::protocol::JobStatus;
+use archgym_core::codec::{parse_json, push_json_str, Json};
+use archgym_core::error::{ArchGymError, Result};
+use archgym_core::jobs::{JobId, JobSpec, JobState};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn bad(msg: String) -> ArchGymError {
+    ArchGymError::InvalidConfig(msg)
+}
+
+/// An accepted submission as persisted in a `.job` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistedJob {
+    /// The assigned job ID.
+    pub id: JobId,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Optional unique job name.
+    pub name: Option<String>,
+    /// What to run.
+    pub spec: JobSpec,
+}
+
+/// A terminal outcome as persisted in a `.done` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Terminal state (`done`, `failed`, or `cancelled`).
+    pub state: JobState,
+    /// Final best reward, if any batch settled.
+    pub best_reward: Option<f64>,
+    /// Total simulator samples consumed.
+    pub samples: u64,
+    /// Failure message for `failed` jobs.
+    pub error: Option<String>,
+}
+
+impl JobOutcome {
+    /// Combine with the identity half into a wire-ready status.
+    pub fn status(&self, job: &PersistedJob) -> JobStatus {
+        JobStatus {
+            job: job.id,
+            tenant: job.tenant.clone(),
+            state: self.state,
+            best_reward: self.best_reward,
+            samples: self.samples,
+            budget: job.spec.budget,
+            error: self.error.clone(),
+        }
+    }
+}
+
+/// Filesystem-backed job store rooted at one state directory.
+#[derive(Debug)]
+pub struct JobStore {
+    dir: PathBuf,
+}
+
+fn write_atomic(path: &Path, body: &str) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, body)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+impl JobStore {
+    /// Open (creating if needed) the store at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<JobStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(JobStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The run-journal path for a search job.
+    pub fn journal_path(&self, id: JobId) -> PathBuf {
+        self.dir.join(format!("{id}.jsonl"))
+    }
+
+    /// The run-journal path for one roster entry of a compare job.
+    pub fn agent_journal_path(&self, id: JobId, agent: &str) -> PathBuf {
+        self.dir.join(format!("{id}-{agent}.jsonl"))
+    }
+
+    fn job_path(&self, id: JobId) -> PathBuf {
+        self.dir.join(format!("{id}.job"))
+    }
+
+    fn done_path(&self, id: JobId) -> PathBuf {
+        self.dir.join(format!("{id}.done"))
+    }
+
+    /// Persist an accepted submission (atomic).
+    pub fn record_submitted(&self, job: &PersistedJob) -> Result<()> {
+        let mut body = String::from("{\"id\":");
+        push_json_str(&mut body, &job.id.to_string());
+        body.push_str(",\"tenant\":");
+        push_json_str(&mut body, &job.tenant);
+        body.push_str(",\"name\":");
+        match &job.name {
+            Some(name) => push_json_str(&mut body, name),
+            None => body.push_str("null"),
+        }
+        body.push_str(",\"spec\":");
+        body.push_str(&job.spec.encode());
+        body.push_str("}\n");
+        write_atomic(&self.job_path(job.id), &body)
+    }
+
+    /// Persist a terminal outcome (atomic).
+    pub fn record_outcome(&self, id: JobId, outcome: &JobOutcome) -> Result<()> {
+        let mut body = String::from("{\"state\":");
+        push_json_str(&mut body, outcome.state.name());
+        body.push_str(",\"best_reward\":");
+        match outcome.best_reward {
+            Some(v) => archgym_core::codec::push_json_f64(&mut body, v),
+            None => body.push_str("null"),
+        }
+        let _ = write!(body, ",\"samples\":{}", outcome.samples);
+        body.push_str(",\"error\":");
+        match &outcome.error {
+            Some(msg) => push_json_str(&mut body, msg),
+            None => body.push_str("null"),
+        }
+        body.push_str("}\n");
+        write_atomic(&self.done_path(id), &body)
+    }
+
+    /// Remove every trace of a job that failed admission after its spec
+    /// was persisted (best effort).
+    pub fn discard(&self, id: JobId) {
+        let _ = fs::remove_file(self.job_path(id));
+        let _ = fs::remove_file(self.done_path(id));
+    }
+
+    fn parse_job(text: &str) -> Result<PersistedJob> {
+        let json = parse_json(text.trim()).map_err(bad)?;
+        let id_text = json.field("id").and_then(Json::as_str).map_err(bad)?;
+        let id = JobId::parse(id_text)
+            .ok_or_else(|| bad(format!("malformed job id '{id_text}' in store")))?;
+        let name = match json.field("name") {
+            Ok(Json::Null) | Err(_) => None,
+            Ok(value) => Some(value.as_str().map_err(bad)?.to_owned()),
+        };
+        Ok(PersistedJob {
+            id,
+            tenant: json
+                .field("tenant")
+                .and_then(Json::as_str)
+                .map_err(bad)?
+                .to_owned(),
+            name,
+            spec: JobSpec::from_json(json.field("spec").map_err(bad)?)?,
+        })
+    }
+
+    fn parse_outcome(text: &str) -> Result<JobOutcome> {
+        let json = parse_json(text.trim()).map_err(bad)?;
+        let best_reward = match json.field("best_reward") {
+            Ok(Json::Null) | Err(_) => None,
+            Ok(value) => Some(value.as_f64().map_err(bad)?),
+        };
+        let error = match json.field("error") {
+            Ok(Json::Null) | Err(_) => None,
+            Ok(value) => Some(value.as_str().map_err(bad)?.to_owned()),
+        };
+        Ok(JobOutcome {
+            state: JobState::parse(json.field("state").and_then(Json::as_str).map_err(bad)?)?,
+            best_reward,
+            samples: json.field("samples").and_then(Json::as_u64).map_err(bad)?,
+            error,
+        })
+    }
+
+    /// Load every persisted job with its outcome (if terminal), sorted
+    /// by job ID so recovery re-admits in-flight jobs in submit order.
+    pub fn load(&self) -> Result<Vec<(PersistedJob, Option<JobOutcome>)>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("job") {
+                continue;
+            }
+            let job = Self::parse_job(&fs::read_to_string(&path)?)
+                .map_err(|e| bad(format!("corrupt store record {}: {e}", path.display())))?;
+            let done_path = self.done_path(job.id);
+            let outcome = if done_path.exists() {
+                Some(
+                    Self::parse_outcome(&fs::read_to_string(&done_path)?).map_err(|e| {
+                        bad(format!("corrupt outcome {}: {e}", done_path.display()))
+                    })?,
+                )
+            } else {
+                None
+            };
+            out.push((job, outcome));
+        }
+        out.sort_by_key(|(job, _)| job.id);
+        Ok(out)
+    }
+
+    /// The next unused job number (max persisted + 1), so restarted
+    /// daemons never reuse an ID.
+    pub fn next_id(&self) -> Result<u64> {
+        Ok(self
+            .load()?
+            .iter()
+            .map(|(job, _)| job.id.0 + 1)
+            .max()
+            .unwrap_or(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("archgymd-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn jobs_and_outcomes_round_trip_through_disk() {
+        let dir = tmp_dir("roundtrip");
+        let store = JobStore::open(&dir).unwrap();
+        let job = PersistedJob {
+            id: JobId(4),
+            tenant: "ci".into(),
+            name: Some("nightly".into()),
+            spec: JobSpec::search("dram/stream", "ga", 500, 9),
+        };
+        store.record_submitted(&job).unwrap();
+        assert_eq!(store.next_id().unwrap(), 5);
+        let loaded = store.load().unwrap();
+        assert_eq!(loaded, vec![(job.clone(), None)]);
+
+        let outcome = JobOutcome {
+            state: JobState::Done,
+            best_reward: Some(0.25),
+            samples: 500,
+            error: None,
+        };
+        store.record_outcome(job.id, &outcome).unwrap();
+        let loaded = store.load().unwrap();
+        assert_eq!(loaded, vec![(job, Some(outcome))]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_sorts_by_id_and_discard_removes() {
+        let dir = tmp_dir("sorted");
+        let store = JobStore::open(&dir).unwrap();
+        for id in [7, 2, 5] {
+            store
+                .record_submitted(&PersistedJob {
+                    id: JobId(id),
+                    tenant: "t".into(),
+                    name: None,
+                    spec: JobSpec::search("dram/stream", "rw", 100, id),
+                })
+                .unwrap();
+        }
+        let ids: Vec<u64> = store.load().unwrap().iter().map(|(j, _)| j.id.0).collect();
+        assert_eq!(ids, vec![2, 5, 7]);
+        store.discard(JobId(5));
+        let ids: Vec<u64> = store.load().unwrap().iter().map(|(j, _)| j.id.0).collect();
+        assert_eq!(ids, vec![2, 7]);
+        assert_eq!(store.next_id().unwrap(), 8);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,395 @@
+//! End-to-end tests for the `archgymd` daemon over real TCP sockets.
+//!
+//! Every test boots an in-process [`Server`] on an ephemeral port with
+//! its own temp state directory. Determinism notes:
+//!
+//! * Admission tests pin `max_running_per_tenant` to 0, so submitted
+//!   jobs stay queued forever — queue occupancy is exact, no sleeps.
+//! * Lifecycle tests synchronize on protocol frames (`watch` blocks
+//!   until the `done` frame), never on timing.
+//! * The resume test replays a crash by truncating the on-disk journal
+//!   of a finished job and deleting its outcome record — exactly the
+//!   state a SIGKILL'd daemon leaves behind.
+
+use archgym_core::jobs::{JobId, JobKind, JobSpec, JobState, QuotaPolicy};
+use archgymd::client::{request_one, Client};
+use archgymd::protocol::{ErrorCode, Request, Response, MAX_LINE_BYTES, PROTOCOL_VERSION};
+use archgymd::server::{DaemonConfig, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+
+struct Daemon {
+    addr: String,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Boot a daemon on an ephemeral port over `state_dir`.
+    fn boot(state_dir: &Path, workers: usize, quota: QuotaPolicy) -> Daemon {
+        let mut config = DaemonConfig::new("127.0.0.1:0", state_dir);
+        config.workers = workers;
+        config.quota = quota;
+        let server = Server::bind(config).expect("bind daemon");
+        let addr = server.local_addr().to_string();
+        let thread = std::thread::spawn(move || {
+            server.run().expect("daemon run");
+        });
+        Daemon {
+            addr,
+            thread: Some(thread),
+        }
+    }
+
+    fn stop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            let _ = request_one(&self.addr, &Request::Shutdown);
+            thread.join().expect("daemon thread");
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A per-test scratch state directory, pre-cleaned so reruns start
+/// fresh (the resume test restarts a second daemon over the same dir,
+/// so teardown must not delete it mid-test).
+fn state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("archgymd-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_spec(budget: u64, seed: u64) -> JobSpec {
+    let mut spec = JobSpec::search("dram/stream", "ga", budget, seed);
+    spec.objective = "power:1.0".into();
+    spec
+}
+
+fn submit(addr: &str, tenant: &str, name: Option<&str>, spec: JobSpec) -> Response {
+    request_one(
+        addr,
+        &Request::Submit {
+            tenant: tenant.into(),
+            name: name.map(str::to_owned),
+            spec,
+        },
+    )
+    .expect("submit round-trip")
+}
+
+/// Watch `job` until its `done` frame; returns (state, best, samples, events).
+fn watch_to_done(addr: &str, job: JobId) -> (JobState, Option<f64>, u64, usize) {
+    let mut client = Client::connect(addr).expect("connect");
+    client.send(&Request::Watch { job }).expect("send watch");
+    let mut events = 0;
+    loop {
+        match client.recv().expect("watch stream") {
+            Some(Response::Event { .. }) => events += 1,
+            Some(Response::Done {
+                state,
+                best_reward,
+                samples,
+                ..
+            }) => return (state, best_reward, samples, events),
+            Some(other) => panic!("unexpected frame in watch stream: {other:?}"),
+            None => panic!("watch stream closed without a done frame"),
+        }
+    }
+}
+
+#[test]
+fn job_runs_to_completion_with_streamed_events() {
+    let mut daemon = Daemon::boot(&state_dir("lifecycle"), 2, QuotaPolicy::default());
+    let Response::Accepted { job, position } =
+        submit(&daemon.addr, "ci", Some("smoke"), small_spec(300, 3))
+    else {
+        panic!("submit not accepted")
+    };
+    assert_eq!(position, 0);
+
+    let (state, best, samples, events) = watch_to_done(&daemon.addr, job);
+    assert_eq!(state, JobState::Done);
+    assert_eq!(samples, 300);
+    assert!(events > 0, "watch must stream per-batch events");
+    let best = best.expect("finished search has a best reward");
+
+    // Status agrees with the stream, and a late watcher replays the
+    // backlog then closes with the same terminal frame.
+    let Response::Status(status) = request_one(&daemon.addr, &Request::Status { job }).unwrap()
+    else {
+        panic!("expected status frame")
+    };
+    assert_eq!(status.state, JobState::Done);
+    assert_eq!(status.samples, 300);
+    assert_eq!(status.best_reward, Some(best));
+    let (state, late_best, _, late_events) = watch_to_done(&daemon.addr, job);
+    assert_eq!(state, JobState::Done);
+    assert_eq!(late_best, Some(best));
+    assert_eq!(late_events, events, "backlog replay covers every event");
+
+    let Response::Jobs(jobs) = request_one(&daemon.addr, &Request::List).unwrap() else {
+        panic!("expected jobs frame")
+    };
+    assert_eq!(jobs.len(), 1);
+    assert_eq!(jobs[0].job, job);
+    daemon.stop();
+}
+
+#[test]
+fn identical_specs_give_bit_identical_rewards_across_jobs() {
+    let mut daemon = Daemon::boot(&state_dir("deterministic"), 2, QuotaPolicy::default());
+    let mut rewards = Vec::new();
+    for _ in 0..2 {
+        let Response::Accepted { job, .. } = submit(&daemon.addr, "ci", None, small_spec(256, 9))
+        else {
+            panic!("submit not accepted")
+        };
+        let (state, best, _, _) = watch_to_done(&daemon.addr, job);
+        assert_eq!(state, JobState::Done);
+        rewards.push(best.expect("best reward").to_bits());
+    }
+    assert_eq!(rewards[0], rewards[1], "same spec must be bit-identical");
+    daemon.stop();
+}
+
+#[test]
+fn malformed_input_gets_typed_errors_and_daemon_survives() {
+    let mut daemon = Daemon::boot(&state_dir("malformed"), 1, QuotaPolicy::default());
+
+    // Truncated / non-JSON / unknown-type frames → bad-frame, same
+    // connection keeps working.
+    let mut client = Client::connect(&daemon.addr).expect("connect");
+    let stream = TcpStream::connect(&daemon.addr).expect("raw connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut raw = stream;
+    for line in [
+        "not json",
+        "{\"type\":\"submit\"",
+        "{\"type\":\"nope\"}",
+        "[]",
+    ] {
+        writeln!(raw, "{line}").unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        match Response::from_line(reply.trim()).expect("typed reply") {
+            Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadFrame, "{line}"),
+            other => panic!("expected bad-frame error for {line}, got {other:?}"),
+        }
+    }
+
+    // Non-UTF-8 bytes → non-utf8.
+    raw.write_all(&[0xff, 0xfe, 0x80, b'\n']).unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    match Response::from_line(reply.trim()).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::NonUtf8),
+        other => panic!("expected non-utf8 error, got {other:?}"),
+    }
+
+    // Oversized line → oversized-frame, then the daemon closes the
+    // connection without reading the rest.
+    let mut big = vec![b'x'; MAX_LINE_BYTES + 16];
+    big.push(b'\n');
+    raw.write_all(&big).unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    match Response::from_line(reply.trim()).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::OversizedFrame),
+        other => panic!("expected oversized-frame error, got {other:?}"),
+    }
+
+    // Unknown job → unknown-job; bad spec → bad-spec (validated at
+    // submit, before admission).
+    match client
+        .round_trip(&Request::Status { job: JobId(999) })
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownJob),
+        other => panic!("expected unknown-job, got {other:?}"),
+    }
+    match client
+        .round_trip(&Request::Cancel { job: JobId(999) })
+        .unwrap()
+    {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownJob),
+        other => panic!("expected unknown-job, got {other:?}"),
+    }
+    let bad_env = JobSpec::search("not-a-family/xyz", "ga", 100, 0);
+    match submit(&daemon.addr, "ci", None, bad_env) {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadSpec),
+        other => panic!("expected bad-spec, got {other:?}"),
+    }
+    let bad_agent = JobSpec::search("dram/stream", "zzz", 100, 0);
+    match submit(&daemon.addr, "ci", None, bad_agent) {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadSpec),
+        other => panic!("expected bad-spec, got {other:?}"),
+    }
+
+    // The daemon is still healthy after all of the above.
+    match client.round_trip(&Request::Ping).unwrap() {
+        Response::Pong { version } => assert_eq!(version, PROTOCOL_VERSION),
+        other => panic!("expected pong, got {other:?}"),
+    }
+    daemon.stop();
+}
+
+/// Admission control, observed through the wire. `max_running = 0`
+/// keeps every job queued, so occupancy is exact without sleeps.
+#[test]
+fn quotas_queue_reject_and_isolate_tenants() {
+    let quota = QuotaPolicy {
+        max_running_per_tenant: 0,
+        max_queued_per_tenant: 2,
+        queue_capacity: 3,
+        retry_after_ms: 250,
+    };
+    let mut daemon = Daemon::boot(&state_dir("quota"), 1, quota);
+
+    // Tenant A fills its per-tenant queue allowance...
+    for expect_pos in 0..2 {
+        match submit(&daemon.addr, "tenant-a", None, small_spec(100, 1)) {
+            Response::Accepted { position, .. } => assert_eq!(position, expect_pos),
+            other => panic!("expected accept, got {other:?}"),
+        }
+    }
+    // ...then gets a clean per-tenant reject with the back-off hint.
+    match submit(&daemon.addr, "tenant-a", None, small_spec(100, 1)) {
+        Response::Rejected {
+            reason,
+            retry_after_ms,
+        } => {
+            assert!(
+                reason.contains("tenant-a"),
+                "reason names the tenant: {reason}"
+            );
+            assert_eq!(retry_after_ms, 250);
+        }
+        other => panic!("expected rejected, got {other:?}"),
+    }
+
+    // The flood cannot starve tenant B: one global slot remains and B
+    // gets it.
+    match submit(&daemon.addr, "tenant-b", None, small_spec(100, 2)) {
+        Response::Accepted { position, .. } => assert_eq!(position, 2),
+        other => panic!("expected accept for tenant-b, got {other:?}"),
+    }
+    // Now the global queue is full — even a fresh tenant is rejected.
+    match submit(&daemon.addr, "tenant-c", None, small_spec(100, 3)) {
+        Response::Rejected { reason, .. } => {
+            assert!(reason.contains("queue full"), "global reject: {reason}")
+        }
+        other => panic!("expected rejected, got {other:?}"),
+    }
+
+    // Cancelling a queued job frees its slot.
+    let Response::Jobs(jobs) = request_one(&daemon.addr, &Request::List).unwrap() else {
+        panic!("expected jobs frame")
+    };
+    let queued = jobs
+        .iter()
+        .find(|status| status.tenant == "tenant-a")
+        .expect("tenant-a job listed");
+    match request_one(&daemon.addr, &Request::Cancel { job: queued.job }).unwrap() {
+        Response::Status(status) => assert_eq!(status.state, JobState::Cancelled),
+        other => panic!("expected status, got {other:?}"),
+    }
+    match submit(&daemon.addr, "tenant-c", None, small_spec(100, 3)) {
+        Response::Accepted { .. } => {}
+        other => panic!("cancel must free a queue slot, got {other:?}"),
+    }
+    daemon.stop();
+}
+
+#[test]
+fn duplicate_names_rejected_and_cancel_of_done_job_is_bad_state() {
+    let mut daemon = Daemon::boot(&state_dir("names"), 1, QuotaPolicy::default());
+    let Response::Accepted { job, .. } =
+        submit(&daemon.addr, "ci", Some("unique"), small_spec(200, 4))
+    else {
+        panic!("submit not accepted")
+    };
+    match submit(&daemon.addr, "ci", Some("unique"), small_spec(200, 5)) {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::DuplicateJob),
+        other => panic!("expected duplicate-job, got {other:?}"),
+    }
+    let (state, _, _, _) = watch_to_done(&daemon.addr, job);
+    assert_eq!(state, JobState::Done);
+    match request_one(&daemon.addr, &Request::Cancel { job }).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadState),
+        other => panic!("expected bad-state, got {other:?}"),
+    }
+    daemon.stop();
+}
+
+/// The crash-recovery guarantee: a daemon restarted over a state dir
+/// holding an interrupted job (its `.job` record and a truncated run
+/// journal — what SIGKILL leaves behind) re-admits the job, resumes
+/// from the journal, and lands on a best reward bit-identical to the
+/// uninterrupted reference run.
+#[test]
+fn restart_resumes_interrupted_jobs_bit_identically() {
+    let dir = state_dir("resume");
+
+    // Reference: run the job to completion and remember its outcome.
+    let mut daemon = Daemon::boot(&dir, 1, QuotaPolicy::default());
+    let Response::Accepted { job, .. } = submit(&daemon.addr, "ci", None, small_spec(400, 11))
+    else {
+        panic!("submit not accepted")
+    };
+    let (state, reference, samples, _) = watch_to_done(&daemon.addr, job);
+    assert_eq!(state, JobState::Done);
+    assert_eq!(samples, 400);
+    let reference = reference.expect("reference best reward");
+    daemon.stop();
+
+    // Forge the crash: drop the outcome record and truncate the journal
+    // mid-run (keep the header and roughly half the entries), exactly
+    // the torn state an abrupt kill leaves.
+    std::fs::remove_file(dir.join(format!("{job}.done"))).expect("remove outcome");
+    let journal_path = dir.join(format!("{job}.jsonl"));
+    let journal = std::fs::read_to_string(&journal_path).expect("read journal");
+    let lines: Vec<&str> = journal.lines().collect();
+    assert!(lines.len() > 4, "journal should hold several records");
+    let keep = lines.len() / 2;
+    let mut truncated = lines[..keep].join("\n");
+    truncated.push('\n');
+    // Torn tail: half a record, as if the write was cut mid-line.
+    truncated.push_str(&lines[keep][..lines[keep].len() / 2]);
+    std::fs::write(&journal_path, truncated).expect("truncate journal");
+    let _ = std::fs::remove_file(dir.join(format!("{job}.jsonl.snap")));
+
+    // Restart over the same state dir: the job comes back queued, runs,
+    // and finishes with the exact same reward.
+    let mut daemon = Daemon::boot(&dir, 1, QuotaPolicy::default());
+    let (state, resumed, samples, _) = watch_to_done(&daemon.addr, job);
+    assert_eq!(state, JobState::Done);
+    assert_eq!(samples, 400);
+    assert_eq!(
+        resumed.expect("resumed best reward").to_bits(),
+        reference.to_bits(),
+        "journal resume must be bit-identical to the uninterrupted run"
+    );
+    daemon.stop();
+}
+
+/// Compare jobs run the whole roster and report the roster-wide best.
+#[test]
+fn compare_jobs_report_the_roster_best() {
+    let mut daemon = Daemon::boot(&state_dir("compare"), 1, QuotaPolicy::default());
+    let mut spec = small_spec(200, 6);
+    spec.kind = JobKind::Compare;
+    spec.agents = vec!["rw".into(), "ga".into()];
+    let Response::Accepted { job, .. } = submit(&daemon.addr, "ci", None, spec) else {
+        panic!("submit not accepted")
+    };
+    let (state, best, samples, _) = watch_to_done(&daemon.addr, job);
+    assert_eq!(state, JobState::Done);
+    assert_eq!(samples, 400, "both roster entries consume their budget");
+    assert!(best.is_some());
+    daemon.stop();
+}

@@ -467,6 +467,97 @@ pub fn run(quick: bool, jobs: usize) -> Result<PerfReport> {
         per_second: runs as f64 / warm_seconds,
     });
 
+    // --- daemon load: the archgymd service under concurrent tenants ---
+    // Boot an in-process daemon on an ephemeral port, then have several
+    // client threads (one tenant each) submit small search jobs over
+    // TCP and block on the watch stream until each job's `done` frame.
+    // Reported two ways: end-to-end job throughput, and tail latency as
+    // `daemon/p99` (per_second = 1 / p99 seconds, so the regression
+    // gate's "lower per_second = worse" convention applies unchanged).
+    let daemon_clients: usize = if quick { 3 } else { 6 };
+    let jobs_per_client: usize = if quick { 2 } else { 4 };
+    let daemon_budget: u64 = if quick { 48 } else { 200 };
+    let daemon_state =
+        std::env::temp_dir().join(format!("archgym-bench-daemon-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&daemon_state);
+    let mut daemon_config = archgymd::server::DaemonConfig::new("127.0.0.1:0", &daemon_state);
+    daemon_config.workers = 2; // pinned so numbers are comparable across machines
+    daemon_config.quota.max_running_per_tenant = 2;
+    daemon_config.quota.max_queued_per_tenant = 64;
+    daemon_config.quota.queue_capacity = 256;
+    let server = archgymd::server::Server::bind(daemon_config)?;
+    let daemon_addr = server.local_addr().to_string();
+    let daemon_thread = std::thread::spawn(move || server.run());
+    let (daemon_seconds, latencies) = timed(|| -> Result<Vec<f64>> {
+        let mut handles = Vec::new();
+        for client_idx in 0..daemon_clients {
+            let addr = daemon_addr.clone();
+            handles.push(std::thread::spawn(move || -> Result<Vec<f64>> {
+                let mut latencies = Vec::new();
+                for job_idx in 0..jobs_per_client {
+                    let start = Instant::now();
+                    let mut spec = archgym_core::jobs::JobSpec::search(
+                        "dram/stream",
+                        "ga",
+                        daemon_budget,
+                        (client_idx * 31 + job_idx) as u64,
+                    );
+                    spec.objective = "power:1.0".into();
+                    let submitted = archgymd::client::request_one(
+                        &addr,
+                        &archgymd::protocol::Request::Submit {
+                            tenant: format!("tenant-{client_idx}"),
+                            name: None,
+                            spec,
+                        },
+                    )?;
+                    let archgymd::protocol::Response::Accepted { job, .. } = submitted else {
+                        return Err(archgym_core::error::ArchGymError::InvalidConfig(format!(
+                            "daemon bench submit not accepted: {}",
+                            submitted.to_line()
+                        )));
+                    };
+                    let mut watcher = archgymd::client::Client::connect(&addr)?;
+                    watcher.send(&archgymd::protocol::Request::Watch { job })?;
+                    loop {
+                        match watcher.recv()? {
+                            Some(archgymd::protocol::Response::Done { .. }) | None => break,
+                            Some(_) => {}
+                        }
+                    }
+                    latencies.push(start.elapsed().as_secs_f64());
+                }
+                Ok(latencies)
+            }));
+        }
+        let mut all = Vec::new();
+        for handle in handles {
+            all.extend(handle.join().expect("daemon bench client thread")?);
+        }
+        Ok(all)
+    });
+    let latencies = latencies?;
+    let _ = archgymd::client::request_one(&daemon_addr, &archgymd::protocol::Request::Shutdown);
+    let _ = daemon_thread.join();
+    let _ = std::fs::remove_dir_all(&daemon_state);
+    let daemon_jobs = (daemon_clients * jobs_per_client) as u64;
+    let mut sorted = latencies.clone();
+    sorted.sort_by(f64::total_cmp);
+    let p99_index = ((sorted.len() as f64 * 0.99).ceil() as usize).saturating_sub(1);
+    let daemon_p99 = sorted[p99_index.min(sorted.len() - 1)].max(1e-9);
+    scenarios.push(ScenarioResult {
+        name: "daemon/throughput".into(),
+        work_units: daemon_jobs,
+        wall_seconds: daemon_seconds,
+        per_second: daemon_jobs as f64 / daemon_seconds,
+    });
+    scenarios.push(ScenarioResult {
+        name: "daemon/p99".into(),
+        work_units: daemon_jobs,
+        wall_seconds: daemon_p99,
+        per_second: 1.0 / daemon_p99,
+    });
+
     let stats = cache.stats();
     Ok(PerfReport {
         rev: "unknown".into(),
@@ -539,7 +630,12 @@ pub fn last_per_second(json: &str, scenario: &str) -> Option<f64> {
 pub fn gate(report: &PerfReport, baseline_json: &str, tolerance: f64) -> Vec<String> {
     let mut failures = Vec::new();
     let floor = 1.0 - tolerance;
-    for scenario in ["simulate-only/default", "simulate-only/wide"] {
+    for scenario in [
+        "simulate-only/default",
+        "simulate-only/wide",
+        "daemon/throughput",
+        "daemon/p99",
+    ] {
         let (Some(base), Some(now)) = (
             last_per_second(baseline_json, scenario),
             report.per_second(scenario),
@@ -574,6 +670,56 @@ pub fn gate(report: &PerfReport, baseline_json: &str, tolerance: f64) -> Vec<Str
         ));
     }
     failures
+}
+
+/// Every scenario name appearing in a report or history file, in first
+/// appearance order. Scenario records are the lines carrying a
+/// `work_units` field (phase records carry `count` instead).
+pub fn scenario_names(json: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    for line in json.lines() {
+        if !line.contains("\"work_units\"") {
+            continue;
+        }
+        let Some(rest) = line.split("\"name\": \"").nth(1) else {
+            continue;
+        };
+        let Some(name) = rest.split('"').next() else {
+            continue;
+        };
+        if !names.iter().any(|n| n == name) {
+            names.push(name.to_owned());
+        }
+    }
+    names
+}
+
+/// A GitHub-flavored-markdown table comparing the most recent entry of
+/// `baseline` against the most recent entry of `current`, one row per
+/// scenario. Written into `$GITHUB_STEP_SUMMARY` by the CI perf gate.
+pub fn delta_table(baseline: &str, current: &str) -> String {
+    let mut out = String::from("| scenario | baseline /s | current /s | delta |\n");
+    out.push_str("|---|---:|---:|---:|\n");
+    let mut names = scenario_names(current);
+    for name in scenario_names(baseline) {
+        if !names.contains(&name) {
+            names.push(name);
+        }
+    }
+    for name in names {
+        let base = last_per_second(baseline, &name);
+        let now = last_per_second(current, &name);
+        let cell = |v: Option<f64>| v.map_or("—".to_owned(), |v| format!("{v:.1}"));
+        let delta = match (base, now) {
+            (Some(base), Some(now)) if base > 0.0 => {
+                format!("{:+.1}%", (now / base - 1.0) * 100.0)
+            }
+            (None, Some(_)) => "new".to_owned(),
+            _ => "—".to_owned(),
+        };
+        let _ = writeln!(out, "| {name} | {} | {} | {delta} |", cell(base), cell(now));
+    }
+    out
 }
 
 /// Print the report as an aligned table plus the headline ratios.
@@ -659,7 +805,9 @@ mod tests {
                 "sweep-serial",
                 "sweep-parallel",
                 "cached-sweep/cold",
-                "cached-sweep/warm"
+                "cached-sweep/warm",
+                "daemon/throughput",
+                "daemon/p99"
             ]
         );
         assert!(report.scenarios.iter().all(|s| s.per_second > 0.0));
@@ -789,6 +937,38 @@ mod tests {
             Some(250.5)
         );
         assert_eq!(last_per_second(history, "simulate-only/wide"), None);
+    }
+
+    #[test]
+    fn delta_table_compares_latest_entries() {
+        let baseline = r#"[
+          {"scenarios": [
+            {"name": "simulate-only/default", "work_units": 1, "wall_seconds": 1.0, "per_second": 100.0},
+            {"name": "daemon/p99", "work_units": 1, "wall_seconds": 0.5, "per_second": 2.0}
+          ]}
+        ]"#;
+        let current = r#"[
+          {"scenarios": [
+            {"name": "simulate-only/default", "work_units": 1, "wall_seconds": 1.0, "per_second": 120.0},
+            {"name": "daemon/throughput", "work_units": 6, "wall_seconds": 1.0, "per_second": 6.0}
+          ]}
+        ]"#;
+        assert_eq!(
+            scenario_names(current),
+            vec!["simulate-only/default", "daemon/throughput"]
+        );
+        let table = delta_table(baseline, current);
+        assert!(table.starts_with("| scenario |"), "{table}");
+        assert!(
+            table.contains("| simulate-only/default | 100.0 | 120.0 | +20.0% |"),
+            "{table}"
+        );
+        assert!(
+            table.contains("| daemon/throughput | — | 6.0 | new |"),
+            "{table}"
+        );
+        // In the baseline but missing from the current run: no delta.
+        assert!(table.contains("| daemon/p99 | 2.0 | — | — |"), "{table}");
     }
 
     #[test]

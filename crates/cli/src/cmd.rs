@@ -31,6 +31,13 @@ pub fn run(args: &Args) -> Result<String> {
         "halving" => halving(args),
         "trace" => trace(args),
         "proxy" => proxy(args),
+        "serve" => serve(args),
+        "submit" => submit(args),
+        "status" => status(args),
+        "watch" => watch(args),
+        "cancel" => cancel(args),
+        "ping" => ping(args),
+        "shutdown" => shutdown(args),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(ArchGymError::InvalidConfig(format!(
             "unknown subcommand `{other}`\n\n{}",
@@ -59,6 +66,16 @@ USAGE:
   archgym halving --env <spec> --agent <kind> [--objective <spec>] [--budget N] [--eta N] [--jobs N] [--cache true]
   archgym trace  --workload <stream|random|cloud-1|cloud-2> [--length N] [--seed N] [--out file] [--stats true]
   archgym proxy  --dataset in.jsonl --metric N [--search N] [--seed N]
+  archgym serve  [--addr HOST:PORT] [--state-dir DIR] [--workers N] [--port-file PATH]
+                 [--max-running N] [--max-queued N] [--queue-capacity N] [--retry-after-ms MS]
+  archgym submit --addr HOST:PORT --env <spec> [--kind search|sweep|compare] [--tenant NAME]
+                 [--name JOB] [--agent <kind>] [--agents a,b,...] [--objective <spec>]
+                 [--budget N] [--seed N] [--batch N] [--jobs N] [--seeds N]
+  archgym status --addr HOST:PORT --job job-N
+  archgym watch  --addr HOST:PORT --job job-N
+  archgym cancel --addr HOST:PORT --job job-N
+  archgym ping   --addr HOST:PORT
+  archgym shutdown --addr HOST:PORT
 
 For `sweep`/`halving`, `--jobs N` fans independent runs over N worker
 threads (default: all cores; 1 = serial). For `search`/`compare`,
@@ -635,6 +652,206 @@ fn proxy(args: &Args) -> Result<String> {
         report.correlation
     );
     Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// archgymd daemon subcommands: `serve` hosts the service in-process;
+// `submit`/`status`/`watch`/`cancel`/`ping` are thin protocol clients.
+
+/// Shared `--addr` flag for the client subcommands.
+fn daemon_addr(args: &Args) -> Result<&str> {
+    args.require("addr")
+}
+
+/// Map a daemon `error` frame (or an unexpected frame) to a CLI error.
+fn unexpected(response: archgymd::protocol::Response) -> ArchGymError {
+    use archgymd::protocol::Response;
+    match response {
+        Response::Error { code, message } => {
+            ArchGymError::InvalidConfig(format!("daemon error [{}]: {message}", code.name()))
+        }
+        other => {
+            ArchGymError::InvalidConfig(format!("unexpected daemon reply: {}", other.to_line()))
+        }
+    }
+}
+
+fn parse_job_id(args: &Args) -> Result<archgym_core::jobs::JobId> {
+    let text = args.require("job")?;
+    archgym_core::jobs::JobId::parse(text).ok_or_else(|| {
+        ArchGymError::InvalidConfig(format!("`--job` expects `job-N`, got `{text}`"))
+    })
+}
+
+/// Render a status frame the same way `search` reports a finished run,
+/// so scripts can diff the two (`best reward: ...` lines match).
+fn render_status(status: &archgymd::protocol::JobStatus) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} ({}): {} | {} / {} samples",
+        status.job,
+        status.tenant,
+        status.state.name(),
+        status.samples,
+        status.budget
+    );
+    if let Some(best) = status.best_reward {
+        let _ = writeln!(out, "best reward: {best:.6}");
+    }
+    if let Some(error) = &status.error {
+        let _ = writeln!(out, "error: {error}");
+    }
+    out
+}
+
+/// Run the daemon in the foreground until a `shutdown` request.
+fn serve(args: &Args) -> Result<String> {
+    use archgymd::server::{DaemonConfig, Server};
+    let mut config = DaemonConfig::new(
+        args.get("addr").unwrap_or("127.0.0.1:7170"),
+        args.get("state-dir").unwrap_or("archgymd-state"),
+    );
+    config.workers = args.u64_or("workers", 2)? as usize;
+    config.quota.max_running_per_tenant =
+        args.u64_or("max-running", config.quota.max_running_per_tenant as u64)? as usize;
+    config.quota.max_queued_per_tenant =
+        args.u64_or("max-queued", config.quota.max_queued_per_tenant as u64)? as usize;
+    config.quota.queue_capacity =
+        args.u64_or("queue-capacity", config.quota.queue_capacity as u64)? as usize;
+    config.quota.retry_after_ms = args.u64_or("retry-after-ms", config.quota.retry_after_ms)?;
+    let server = Server::bind(config)?;
+    let addr = server.local_addr();
+    if let Some(path) = args.get("port-file") {
+        // Write-then-rename so pollers never observe a half-written file.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, format!("{addr}\n"))?;
+        std::fs::rename(&tmp, path)?;
+    }
+    // Print eagerly: the report string below is only shown on shutdown.
+    println!("archgymd listening on {addr}");
+    server.run()?;
+    Ok(format!("archgymd on {addr} stopped\n"))
+}
+
+fn submit(args: &Args) -> Result<String> {
+    use archgym_core::jobs::{JobKind, JobSpec};
+    use archgymd::protocol::{Request, Response};
+    let addr = daemon_addr(args)?;
+    let kind = match args.get("kind").unwrap_or("search") {
+        "search" => JobKind::Search,
+        "sweep" => JobKind::Sweep,
+        "compare" => JobKind::Compare,
+        other => {
+            return Err(ArchGymError::InvalidConfig(format!(
+                "`--kind` expects search|sweep|compare, got `{other}`"
+            )))
+        }
+    };
+    let mut spec = JobSpec::search(
+        args.require("env")?,
+        args.get("agent").unwrap_or("ga"),
+        args.u64_or("budget", 1_000)?,
+        args.u64_or("seed", 0)?,
+    );
+    spec.kind = kind;
+    if let Some(objective) = args.get("objective") {
+        spec.objective = objective.to_owned();
+    }
+    spec.batch = args.u64_or("batch", 0)? as usize;
+    spec.eval_jobs = args.u64_or("jobs", 1)? as usize;
+    spec.sweep_seeds = args.u64_or("seeds", spec.sweep_seeds)?;
+    if let Some(list) = args.get("agents") {
+        spec.agents = list.split(',').map(|name| name.trim().to_owned()).collect();
+    }
+    let request = Request::Submit {
+        tenant: args.get("tenant").unwrap_or("default").to_owned(),
+        name: args.get("name").map(str::to_owned),
+        spec,
+    };
+    match archgymd::client::request_one(addr, &request)? {
+        Response::Accepted { job, position } => {
+            Ok(format!("accepted {job} at queue position {position}\n"))
+        }
+        Response::Rejected {
+            reason,
+            retry_after_ms,
+        } => Err(ArchGymError::InvalidConfig(format!(
+            "rejected: {reason} (retry after {retry_after_ms}ms)"
+        ))),
+        other => Err(unexpected(other)),
+    }
+}
+
+fn status(args: &Args) -> Result<String> {
+    use archgymd::protocol::{Request, Response};
+    let request = Request::Status {
+        job: parse_job_id(args)?,
+    };
+    match archgymd::client::request_one(daemon_addr(args)?, &request)? {
+        Response::Status(status) => Ok(render_status(&status)),
+        other => Err(unexpected(other)),
+    }
+}
+
+/// Stream a job's events to stdout as they arrive; returns once the job
+/// reaches a terminal state (or the daemon closes the stream).
+fn watch(args: &Args) -> Result<String> {
+    use archgymd::client::Client;
+    use archgymd::protocol::{Request, Response};
+    let job = parse_job_id(args)?;
+    let mut client = Client::connect(daemon_addr(args)?)?;
+    client.send(&Request::Watch { job })?;
+    loop {
+        match client.recv()? {
+            None => return Ok(format!("{job}: stream closed by daemon\n")),
+            Some(Response::Event { data, .. }) => {
+                println!("{}", data.encode());
+            }
+            Some(Response::Done {
+                job,
+                state,
+                best_reward,
+                samples,
+            }) => {
+                let mut out = format!("{job} {}: {samples} samples\n", state.name());
+                if let Some(best) = best_reward {
+                    let _ = writeln!(out, "best reward: {best:.6}");
+                }
+                return Ok(out);
+            }
+            Some(other) => return Err(unexpected(other)),
+        }
+    }
+}
+
+fn cancel(args: &Args) -> Result<String> {
+    use archgymd::protocol::{Request, Response};
+    let request = Request::Cancel {
+        job: parse_job_id(args)?,
+    };
+    match archgymd::client::request_one(daemon_addr(args)?, &request)? {
+        Response::Status(status) => Ok(format!("cancelling:\n{}", render_status(&status))),
+        other => Err(unexpected(other)),
+    }
+}
+
+fn ping(args: &Args) -> Result<String> {
+    use archgymd::protocol::{Request, Response};
+    match archgymd::client::request_one(daemon_addr(args)?, &Request::Ping)? {
+        Response::Pong { version } => Ok(format!("pong (protocol v{version})\n")),
+        other => Err(unexpected(other)),
+    }
+}
+
+/// Ask the daemon to stop accepting work and exit. Running jobs finish
+/// first; queued jobs stay persisted for the next start.
+fn shutdown(args: &Args) -> Result<String> {
+    use archgymd::protocol::{Request, Response};
+    match archgymd::client::request_one(daemon_addr(args)?, &Request::Shutdown)? {
+        Response::Stopping => Ok("daemon stopping\n".to_owned()),
+        other => Err(unexpected(other)),
+    }
 }
 
 #[cfg(test)]

@@ -12,13 +12,17 @@
 //! ```
 //!
 //! The crate splits into [`args`] (a tiny `--key value` parser), [`spec`]
-//! (string specs for environments, objectives and agents), and [`cmd`]
-//! (one function per subcommand, all returning their report as a string
-//! so they are unit-testable without a terminal).
+//! (string specs for environments, objectives and agents — shared with
+//! the `archgymd` daemon, which owns the module), and [`cmd`] (one
+//! function per subcommand, all returning their report as a string so
+//! they are unit-testable without a terminal).
+//!
+//! Daemon client subcommands (`serve`, `submit`, `status`, `watch`,
+//! `cancel`) live in [`cmd`] too and speak the [`archgymd`] protocol.
 
 pub mod args;
 pub mod cmd;
-pub mod spec;
+pub use archgymd::spec;
 
 pub use args::Args;
 pub use cmd::run;

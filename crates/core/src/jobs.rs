@@ -1,0 +1,558 @@
+//! Multi-tenant job scheduling primitives for the `archgymd` service.
+//!
+//! The daemon separates three concerns (see `DESIGN.md`, "Service layer"):
+//! the **scheduler** (this module) decides *which* accepted job runs next,
+//! the **worker fleet** (in `archgymd`) decides *where* it runs, and the
+//! **results store** persists specs, journals, and outcomes. Keeping the
+//! scheduler a pure in-memory state machine — no threads, no clocks, no
+//! I/O — makes admission control and quota behaviour testable
+//! deterministically, with no sleeps.
+//!
+//! Admission control is two-layered: a global bounded queue protects the
+//! daemon, and per-tenant quotas (max queued, max running) stop one
+//! tenant's flood from starving another's single job. A rejected submit
+//! carries an explicit `retry_after_ms` hint so clients can back off.
+
+use crate::codec::{parse_json, push_json_str, Json};
+use crate::error::{ArchGymError, Result};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a submitted job. Rendered as `job-<n>`; the counter is
+/// monotonic within a daemon's state directory, surviving restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+impl JobId {
+    /// Parse the `job-<n>` form produced by [`Display`](fmt::Display).
+    pub fn parse(text: &str) -> Option<JobId> {
+        let digits = text.strip_prefix("job-")?;
+        digits.parse::<u64>().ok().map(JobId)
+    }
+}
+
+/// The kind of work a job runs, mirroring the CLI's offline subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// A single agent searching one environment ([`SearchLoop`](crate::search::SearchLoop)).
+    Search,
+    /// One agent across several seeds ([`Sweep`](crate::sweep::Sweep)).
+    Sweep,
+    /// Several agents raced on one environment, one journaled run each.
+    Compare,
+}
+
+impl JobKind {
+    /// The wire name of this kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobKind::Search => "search",
+            JobKind::Sweep => "sweep",
+            JobKind::Compare => "compare",
+        }
+    }
+
+    /// Parse a wire name back into a kind.
+    pub fn parse(name: &str) -> Result<JobKind> {
+        match name {
+            "search" => Ok(JobKind::Search),
+            "sweep" => Ok(JobKind::Sweep),
+            "compare" => Ok(JobKind::Compare),
+            other => Err(ArchGymError::InvalidConfig(format!(
+                "unknown job kind '{other}' (expected search|sweep|compare)"
+            ))),
+        }
+    }
+}
+
+/// Lifecycle of a job inside the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted and waiting for a worker (admission passed).
+    Queued,
+    /// Claimed by a worker; a journal is being written.
+    Running,
+    /// Finished successfully; final result persisted.
+    Done,
+    /// The run itself errored; the message is kept in the results store.
+    Failed,
+    /// Cancelled by a client before or during execution.
+    Cancelled,
+}
+
+impl JobState {
+    /// The wire name of this state.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parse a wire name back into a state.
+    pub fn parse(name: &str) -> Result<JobState> {
+        match name {
+            "queued" => Ok(JobState::Queued),
+            "running" => Ok(JobState::Running),
+            "done" => Ok(JobState::Done),
+            "failed" => Ok(JobState::Failed),
+            "cancelled" => Ok(JobState::Cancelled),
+            other => Err(ArchGymError::InvalidConfig(format!(
+                "unknown job state '{other}'"
+            ))),
+        }
+    }
+
+    /// Whether the job can make no further progress.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// A job submission: what to run and with what budget. This is the unit
+/// the daemon journals per job ID, so a restarted daemon can rebuild and
+/// resume every accepted job bit-identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// What kind of work to run.
+    pub kind: JobKind,
+    /// Environment spec, e.g. `dram/stream` or `timeloop/resnet`.
+    pub env: String,
+    /// Objective override, e.g. `power:1.0`; empty = environment default.
+    pub objective: String,
+    /// Agent for `search`/`sweep` jobs, e.g. `ga`.
+    pub agent: String,
+    /// Agent roster for `compare` jobs; empty = the extended default set.
+    pub agents: Vec<String>,
+    /// Sample budget per run.
+    pub budget: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Evaluation batch size; `0` lets the agent's hint decide.
+    pub batch: usize,
+    /// `EnvPool` replicas evaluating one job's batches in parallel.
+    pub eval_jobs: usize,
+    /// Number of seeds for `sweep` jobs (seed, seed+1, ...).
+    pub sweep_seeds: u64,
+}
+
+impl JobSpec {
+    /// A search-job spec with the daemon's defaults for the rest.
+    pub fn search(env: &str, agent: &str, budget: u64, seed: u64) -> JobSpec {
+        JobSpec {
+            kind: JobKind::Search,
+            env: env.to_owned(),
+            objective: String::new(),
+            agent: agent.to_owned(),
+            agents: Vec::new(),
+            budget,
+            seed,
+            batch: 0,
+            eval_jobs: 1,
+            sweep_seeds: 3,
+        }
+    }
+
+    /// Cheap structural validation, applied at admission time so malformed
+    /// submissions are rejected with a typed error instead of a failed job.
+    pub fn validate(&self) -> Result<()> {
+        if self.env.is_empty() {
+            return Err(ArchGymError::InvalidConfig("job env is empty".into()));
+        }
+        if self.budget == 0 {
+            return Err(ArchGymError::InvalidConfig("job budget is zero".into()));
+        }
+        if self.kind != JobKind::Compare && self.agent.is_empty() {
+            return Err(ArchGymError::InvalidConfig("job agent is empty".into()));
+        }
+        if self.kind == JobKind::Sweep && self.sweep_seeds == 0 {
+            return Err(ArchGymError::InvalidConfig(
+                "sweep job needs at least one seed".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Canonical JSON encoding (codec-framed, bit-exact round-trip).
+    pub fn encode(&self) -> String {
+        let mut out = String::from("{\"kind\":");
+        push_json_str(&mut out, self.kind.name());
+        out.push_str(",\"env\":");
+        push_json_str(&mut out, &self.env);
+        out.push_str(",\"objective\":");
+        push_json_str(&mut out, &self.objective);
+        out.push_str(",\"agent\":");
+        push_json_str(&mut out, &self.agent);
+        out.push_str(",\"agents\":[");
+        for (i, a) in self.agents.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, a);
+        }
+        out.push_str("],");
+        let _ = fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "\"budget\":{},\"seed\":{},\"batch\":{},\"eval_jobs\":{},\"sweep_seeds\":{}}}",
+                self.budget, self.seed, self.batch, self.eval_jobs, self.sweep_seeds
+            ),
+        );
+        out
+    }
+
+    /// Decode a spec from a parsed [`Json`] object.
+    pub fn from_json(json: &Json) -> Result<JobSpec> {
+        let bad = |msg: String| ArchGymError::InvalidConfig(msg);
+        let kind = JobKind::parse(json.field("kind").and_then(Json::as_str).map_err(bad)?)?;
+        let mut agents = Vec::new();
+        for entry in json.field("agents").and_then(Json::as_arr).map_err(bad)? {
+            agents.push(entry.as_str().map_err(bad)?.to_owned());
+        }
+        Ok(JobSpec {
+            kind,
+            env: json
+                .field("env")
+                .and_then(Json::as_str)
+                .map_err(bad)?
+                .to_owned(),
+            objective: json
+                .field("objective")
+                .and_then(Json::as_str)
+                .map_err(bad)?
+                .to_owned(),
+            agent: json
+                .field("agent")
+                .and_then(Json::as_str)
+                .map_err(bad)?
+                .to_owned(),
+            agents,
+            budget: json.field("budget").and_then(Json::as_u64).map_err(bad)?,
+            seed: json.field("seed").and_then(Json::as_u64).map_err(bad)?,
+            batch: json.field("batch").and_then(Json::as_usize).map_err(bad)?,
+            eval_jobs: json
+                .field("eval_jobs")
+                .and_then(Json::as_usize)
+                .map_err(bad)?,
+            sweep_seeds: json
+                .field("sweep_seeds")
+                .and_then(Json::as_u64)
+                .map_err(bad)?,
+        })
+    }
+
+    /// Decode a spec from its canonical text encoding.
+    pub fn decode(text: &str) -> Result<JobSpec> {
+        let json = parse_json(text).map_err(ArchGymError::InvalidConfig)?;
+        JobSpec::from_json(&json)
+    }
+}
+
+/// Admission-control limits, per tenant and globally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuotaPolicy {
+    /// Jobs a single tenant may have running at once.
+    pub max_running_per_tenant: usize,
+    /// Jobs a single tenant may have queued at once.
+    pub max_queued_per_tenant: usize,
+    /// Total queued jobs across all tenants (bounded queue).
+    pub queue_capacity: usize,
+    /// Back-off hint returned with every rejection.
+    pub retry_after_ms: u64,
+}
+
+impl Default for QuotaPolicy {
+    fn default() -> Self {
+        QuotaPolicy {
+            max_running_per_tenant: 2,
+            max_queued_per_tenant: 16,
+            queue_capacity: 64,
+            retry_after_ms: 500,
+        }
+    }
+}
+
+/// Outcome of admission control on a submit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Admission {
+    /// Accepted; `position` is the 0-based place in the global queue.
+    Enqueued {
+        /// 0-based position in the global queue at admission time.
+        position: usize,
+    },
+    /// Turned away with a reason and an explicit back-off hint.
+    Rejected {
+        /// Human-readable reason (`queue full`, `tenant queue full`).
+        reason: String,
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
+/// A pure, deterministic multi-tenant scheduler.
+///
+/// Workers pull with [`next_runnable`](Scheduler::next_runnable): the
+/// *oldest* queued job whose tenant is under its running quota. A tenant at
+/// quota is skipped — not blocked — so later jobs from other tenants
+/// overtake it and a flood cannot starve a singleton.
+#[derive(Debug)]
+pub struct Scheduler {
+    policy: QuotaPolicy,
+    queue: VecDeque<(JobId, String)>,
+    running: Vec<(JobId, String)>,
+}
+
+impl Scheduler {
+    /// A scheduler enforcing `policy`.
+    pub fn new(policy: QuotaPolicy) -> Scheduler {
+        Scheduler {
+            policy,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+        }
+    }
+
+    /// The policy this scheduler enforces.
+    pub fn policy(&self) -> &QuotaPolicy {
+        &self.policy
+    }
+
+    /// Jobs currently queued, across all tenants.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Jobs currently running, across all tenants.
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Jobs `tenant` has queued.
+    pub fn queued_for(&self, tenant: &str) -> usize {
+        self.queue.iter().filter(|(_, t)| t == tenant).count()
+    }
+
+    /// Jobs `tenant` has running.
+    pub fn running_for(&self, tenant: &str) -> usize {
+        self.running.iter().filter(|(_, t)| t == tenant).count()
+    }
+
+    /// Apply admission control to a new job from `tenant`.
+    pub fn submit(&mut self, id: JobId, tenant: &str) -> Admission {
+        if self.queue.len() >= self.policy.queue_capacity {
+            return Admission::Rejected {
+                reason: format!("queue full ({} jobs)", self.queue.len()),
+                retry_after_ms: self.policy.retry_after_ms,
+            };
+        }
+        if self.queued_for(tenant) >= self.policy.max_queued_per_tenant {
+            return Admission::Rejected {
+                reason: format!(
+                    "tenant '{tenant}' queue full ({} jobs)",
+                    self.queued_for(tenant)
+                ),
+                retry_after_ms: self.policy.retry_after_ms,
+            };
+        }
+        self.queue.push_back((id, tenant.to_owned()));
+        Admission::Enqueued {
+            position: self.queue.len() - 1,
+        }
+    }
+
+    /// Claim the oldest queued job whose tenant is under its running
+    /// quota, marking it running. `None` means no job is eligible (queue
+    /// empty, or every queued tenant is at quota).
+    pub fn next_runnable(&mut self) -> Option<JobId> {
+        let slot = self.queue.iter().position(|(_, tenant)| {
+            self.running_for(tenant) < self.policy.max_running_per_tenant
+        })?;
+        let (id, tenant) = self.queue.remove(slot).expect("position within queue");
+        self.running.push((id, tenant));
+        Some(id)
+    }
+
+    /// Release a running job's quota slot (done, failed, or cancelled).
+    pub fn finish(&mut self, id: JobId) {
+        self.running.retain(|(running, _)| *running != id);
+    }
+
+    /// Remove a still-queued job. Returns `false` if it is not queued
+    /// (already claimed by a worker, or never admitted).
+    pub fn cancel_queued(&mut self, id: JobId) -> bool {
+        let before = self.queue.len();
+        self.queue.retain(|(queued, _)| *queued != id);
+        self.queue.len() < before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(running: usize, queued: usize, capacity: usize) -> QuotaPolicy {
+        QuotaPolicy {
+            max_running_per_tenant: running,
+            max_queued_per_tenant: queued,
+            queue_capacity: capacity,
+            retry_after_ms: 250,
+        }
+    }
+
+    #[test]
+    fn job_id_round_trips_through_display() {
+        let id = JobId(42);
+        assert_eq!(id.to_string(), "job-42");
+        assert_eq!(JobId::parse("job-42"), Some(id));
+        assert_eq!(JobId::parse("job-"), None);
+        assert_eq!(JobId::parse("run-42"), None);
+    }
+
+    #[test]
+    fn job_spec_encodes_and_decodes_bit_identically() {
+        let mut spec = JobSpec::search("dram/stream", "ga", 5000, 7);
+        spec.objective = "power:1.0".into();
+        spec.agents = vec!["ga".into(), "aco\u{1F600}".into()];
+        spec.batch = 8;
+        spec.eval_jobs = 4;
+        let text = spec.encode();
+        let back = JobSpec::decode(&text).expect("decode");
+        assert_eq!(back, spec);
+        assert_eq!(back.encode(), text);
+    }
+
+    #[test]
+    fn job_spec_validation_catches_structural_errors() {
+        let mut spec = JobSpec::search("dram/stream", "ga", 100, 1);
+        spec.validate().expect("valid");
+        spec.budget = 0;
+        assert!(spec.validate().is_err());
+        spec.budget = 100;
+        spec.agent.clear();
+        assert!(spec.validate().is_err());
+        spec.kind = JobKind::Compare;
+        spec.validate().expect("compare uses roster, not agent");
+        spec.env.clear();
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn tenant_over_running_quota_is_queued_not_run() {
+        let mut sched = Scheduler::new(policy(1, 8, 32));
+        for n in 0..3 {
+            assert_eq!(
+                sched.submit(JobId(n), "acme"),
+                Admission::Enqueued {
+                    position: n as usize
+                }
+            );
+        }
+        assert_eq!(sched.next_runnable(), Some(JobId(0)));
+        // Tenant at quota: the other two stay queued even with idle workers.
+        assert_eq!(sched.next_runnable(), None);
+        assert_eq!(sched.queue_len(), 2);
+        sched.finish(JobId(0));
+        assert_eq!(sched.next_runnable(), Some(JobId(1)));
+        assert_eq!(sched.next_runnable(), None);
+    }
+
+    #[test]
+    fn full_global_queue_gets_a_clean_reject_with_retry_after() {
+        let mut sched = Scheduler::new(policy(2, 8, 2));
+        assert!(matches!(
+            sched.submit(JobId(0), "a"),
+            Admission::Enqueued { .. }
+        ));
+        assert!(matches!(
+            sched.submit(JobId(1), "b"),
+            Admission::Enqueued { .. }
+        ));
+        match sched.submit(JobId(2), "c") {
+            Admission::Rejected {
+                reason,
+                retry_after_ms,
+            } => {
+                assert!(reason.contains("queue full"), "reason: {reason}");
+                assert_eq!(retry_after_ms, 250);
+            }
+            other => panic!("expected reject, got {other:?}"),
+        }
+        // State is untouched by the reject.
+        assert_eq!(sched.queue_len(), 2);
+    }
+
+    #[test]
+    fn full_tenant_queue_gets_a_clean_reject() {
+        let mut sched = Scheduler::new(policy(2, 2, 32));
+        assert!(matches!(
+            sched.submit(JobId(0), "acme"),
+            Admission::Enqueued { .. }
+        ));
+        assert!(matches!(
+            sched.submit(JobId(1), "acme"),
+            Admission::Enqueued { .. }
+        ));
+        match sched.submit(JobId(2), "acme") {
+            Admission::Rejected { reason, .. } => {
+                assert!(reason.contains("tenant 'acme'"), "reason: {reason}")
+            }
+            other => panic!("expected reject, got {other:?}"),
+        }
+        // Another tenant is unaffected by acme's full queue.
+        assert!(matches!(
+            sched.submit(JobId(3), "zeta"),
+            Admission::Enqueued { .. }
+        ));
+    }
+
+    #[test]
+    fn one_tenants_flood_cannot_starve_anothers_single_job() {
+        let mut sched = Scheduler::new(policy(2, 16, 64));
+        // "flood" submits ten jobs before "solo" submits one.
+        for n in 0..10 {
+            assert!(matches!(
+                sched.submit(JobId(n), "flood"),
+                Admission::Enqueued { .. }
+            ));
+        }
+        assert!(matches!(
+            sched.submit(JobId(100), "solo"),
+            Admission::Enqueued { .. }
+        ));
+        // Three idle workers pull: flood caps at its running quota of two,
+        // so the third claim skips ahead to solo's job.
+        assert_eq!(sched.next_runnable(), Some(JobId(0)));
+        assert_eq!(sched.next_runnable(), Some(JobId(1)));
+        assert_eq!(sched.next_runnable(), Some(JobId(100)));
+        assert_eq!(sched.next_runnable(), None);
+        assert_eq!(sched.running_for("flood"), 2);
+        assert_eq!(sched.running_for("solo"), 1);
+        // As flood's jobs finish, its backlog drains in FIFO order.
+        sched.finish(JobId(0));
+        assert_eq!(sched.next_runnable(), Some(JobId(2)));
+    }
+
+    #[test]
+    fn cancel_removes_queued_jobs_only() {
+        let mut sched = Scheduler::new(policy(2, 8, 32));
+        sched.submit(JobId(0), "a");
+        sched.submit(JobId(1), "a");
+        assert_eq!(sched.next_runnable(), Some(JobId(0)));
+        assert!(!sched.cancel_queued(JobId(0)), "running, not queued");
+        assert!(sched.cancel_queued(JobId(1)));
+        assert!(!sched.cancel_queued(JobId(1)), "already gone");
+        assert_eq!(sched.queue_len(), 0);
+    }
+}

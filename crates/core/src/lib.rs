@@ -31,6 +31,7 @@
 //! * [`pool`] — in-run parallel batch evaluation ([`EnvPool`]).
 //! * [`fault`] — deterministic fault injection ([`FaultyEnv`]).
 //! * [`journal`] — crash-safe write-ahead run journaling ([`RunJournal`]).
+//! * [`jobs`] — multi-tenant job scheduling for `archgymd` ([`Scheduler`]).
 //! * [`trajectory`] — standardized exploration datasets (Section 3.4).
 //! * [`bundle`] — self-describing dataset artifacts (schema + data).
 //! * [`pareto`] — Pareto-front extraction for multi-objective datasets.
@@ -83,6 +84,7 @@ pub mod env;
 pub mod error;
 pub mod executor;
 pub mod fault;
+pub mod jobs;
 pub mod journal;
 pub mod pareto;
 pub mod pool;
@@ -102,6 +104,7 @@ pub use env::{CloneEnvironment, Environment, Observation, StepResult};
 pub use error::{ArchGymError, Result};
 pub use executor::Executor;
 pub use fault::{FaultKind, FaultPlan, FaultStats, FaultyEnv};
+pub use jobs::{Admission, JobId, JobKind, JobSpec, JobState, QuotaPolicy, Scheduler};
 pub use journal::{JournalHeader, JournalRecord, JournalStep, RunJournal, Snapshot};
 pub use pool::{BatchEvaluator, EnvPool};
 pub use reward::{BudgetTerm, Objective, RewardSpec};

@@ -1286,13 +1286,13 @@ mod tests {
             refresh_max_postponed: rng.gen_range(1..=8),
             refresh_max_pulled_in: rng.gen_range(1..=8),
             request_buffer_size: rng.gen_range(1..=8),
-            max_active_transactions: 1 << rng.gen_range(0..=7),
-            page_policy: PagePolicy::ALL[rng.gen_range(0..4)],
-            scheduler: Scheduler::ALL[rng.gen_range(0..3)],
-            scheduler_buffer: SchedulerBuffer::ALL[rng.gen_range(0..3)],
-            arbiter: Arbiter::ALL[rng.gen_range(0..3)],
-            resp_queue: RespQueue::ALL[rng.gen_range(0..2)],
-            refresh_policy: RefreshPolicy::ALL[rng.gen_range(0..2)],
+            max_active_transactions: 1usize << rng.gen_range(0..=7u32),
+            page_policy: PagePolicy::ALL[rng.gen_range(0..4usize)],
+            scheduler: Scheduler::ALL[rng.gen_range(0..3usize)],
+            scheduler_buffer: SchedulerBuffer::ALL[rng.gen_range(0..3usize)],
+            arbiter: Arbiter::ALL[rng.gen_range(0..3usize)],
+            resp_queue: RespQueue::ALL[rng.gen_range(0..2usize)],
+            refresh_policy: RefreshPolicy::ALL[rng.gen_range(0..2usize)],
         }
     }
 

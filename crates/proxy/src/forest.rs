@@ -152,7 +152,7 @@ impl RandomForest {
         let mut best: Option<(RandomForest, ForestConfig, f64)> = None;
         for trial in 0..budget.max(1) {
             let config = ForestConfig {
-                n_trees: *[8, 16, 24, 32].get(rng.gen_range(0..4)).unwrap(),
+                n_trees: [8, 16, 24, 32][rng.gen_range(0..4usize)],
                 max_depth: rng.gen_range(6..=16),
                 min_samples_leaf: rng.gen_range(1..=4),
                 feature_frac: rng.gen_range(0.4..=1.0),

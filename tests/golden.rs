@@ -118,25 +118,23 @@ fn compare_metrics_golden() {
         let dir = std::env::temp_dir().join("archgym-golden-metrics");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(format!("compare-jobs{jobs}.json"));
-        let args = archgym_cli::Args::parse(
-            [
-                "compare",
-                "--env",
-                "dram/stream",
-                "--agents",
-                "rw,ga,sa",
-                "--objective",
-                "power:1.0",
-                "--budget",
-                "32",
-                "--seed",
-                "0",
-                "--jobs",
-                jobs,
-                "--metrics",
-                path.to_str().unwrap(),
-            ],
-        )
+        let args = archgym_cli::Args::parse([
+            "compare",
+            "--env",
+            "dram/stream",
+            "--agents",
+            "rw,ga,sa",
+            "--objective",
+            "power:1.0",
+            "--budget",
+            "32",
+            "--seed",
+            "0",
+            "--jobs",
+            jobs,
+            "--metrics",
+            path.to_str().unwrap(),
+        ])
         .unwrap();
         archgym_cli::run(&args).unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
