@@ -228,9 +228,6 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
-    // Only referenced inside `proptest!`, which stubbed-out proptest
-    // builds compile away.
-    #[allow(dead_code)]
     fn spd(n: usize, seed: u64) -> Matrix {
         // A·Aᵀ + n·I is SPD for any A.
         use rand::Rng;

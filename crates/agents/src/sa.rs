@@ -205,15 +205,19 @@ mod tests {
         // Q3 in action: a hot schedule explores past the broad decoy
         // ridge toward the sharp global peak more reliably than a frozen
         // one started cold.
+        // Budget must be long enough for the hot schedule to cool back
+        // into exploitation after its exploration phase, and the seed
+        // pool wide enough to average out per-seed luck; every seed is
+        // fixed, so the comparison is fully deterministic.
         let score = |t0: f64, seed: u64| {
             let mut env = DecoyEnv::new(&[24, 24], vec![20, 20], vec![3, 3], 0.55);
-            let mut sa = SimulatedAnnealing::new(env.space().clone(), t0, 0.995, seed);
-            SearchLoop::new(RunConfig::with_budget(400).batch(8))
+            let mut sa = SimulatedAnnealing::new(env.space().clone(), t0, 0.99, seed);
+            SearchLoop::new(RunConfig::with_budget(800).batch(8))
                 .run(&mut sa, &mut env)
                 .best_reward
         };
-        let hot: f64 = (0..8).map(|s| score(2.0, s)).sum::<f64>() / 8.0;
-        let cold: f64 = (0..8).map(|s| score(1e-3, s)).sum::<f64>() / 8.0;
+        let hot: f64 = (0..16).map(|s| score(2.0, s)).sum::<f64>() / 16.0;
+        let cold: f64 = (0..16).map(|s| score(1e-3, s)).sum::<f64>() / 16.0;
         assert!(
             hot >= cold * 0.95,
             "hot schedule ({hot}) should not lose to frozen ({cold})"

@@ -583,9 +583,6 @@ mod tests {
         let _ = FaultPlan::new(0).transient(1.5);
     }
 
-    /// Imports are only referenced inside `proptest!`, which stubbed-out
-    /// proptest builds compile away.
-    #[allow(unused_imports, dead_code)]
     mod properties {
         use super::*;
         use proptest::prelude::*;

@@ -667,9 +667,6 @@ mod tests {
         assert_eq!(RunJournal::read_snapshot(&path).unwrap(), None);
     }
 
-    /// Imports are only referenced inside `proptest!`, which stubbed-out
-    /// proptest builds compile away.
-    #[allow(unused_imports, dead_code)]
     mod properties {
         use super::*;
         use proptest::prelude::*;

@@ -892,9 +892,6 @@ mod tests {
         }
     }
 
-    /// Imports are only referenced inside `proptest!`, which stubbed-out
-    /// proptest builds compile away.
-    #[allow(unused_imports, dead_code)]
     mod properties {
         use super::*;
         use proptest::prelude::*;

@@ -1276,9 +1276,6 @@ mod tests {
         );
     }
 
-    // Only referenced inside `proptest!`, which stubbed-out proptest
-    // builds compile away.
-    #[allow(dead_code)]
     fn arbitrary_config(seed: u64) -> ControllerConfig {
         use rand::Rng;
         let mut rng = seeded_rng(seed);

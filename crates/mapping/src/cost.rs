@@ -387,9 +387,6 @@ mod tests {
         assert!(err.to_string().contains("2048"));
     }
 
-    // Imports are only referenced inside `proptest!`, which stubbed-out
-    // proptest builds compile away.
-    #[allow(unused_imports)]
     mod properties {
         use super::*;
         use crate::space::{decode_mapping, mapping_space};

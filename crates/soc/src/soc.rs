@@ -539,9 +539,6 @@ mod tests {
         assert!(SocInfeasible::NoPes.to_string().contains("zero processing"));
     }
 
-    // Imports are only referenced inside `proptest!`, which stubbed-out
-    // proptest builds compile away.
-    #[allow(unused_imports)]
     mod properties {
         use super::*;
         use crate::env::soc_space;

@@ -1,0 +1,652 @@
+//! Offline stand-in for `proptest` that actually RUNS properties.
+//!
+//! Unlike a body-swallowing stub, this crate implements the exact
+//! strategy subset archgym uses — integer/float ranges, `[class]{m,n}`
+//! regex strings, `option::of`, `collection::{vec, btree_map}`,
+//! `num::{f64, u64}::ANY`, `any::<T>()`, `prop_oneof!` — and a
+//! deterministic seeded runner, so `proptest!` blocks execute their
+//! bodies under plain `cargo test` with no network access.
+//!
+//! Differences from real proptest (documented, intentional):
+//! - no shrinking: a failing case reports its generated inputs and
+//!   replays deterministically (the seed is a hash of the test path),
+//!   but is not minimized;
+//! - `PROPTEST_CASES` overrides the per-block case count.
+
+use std::fmt::Write as _;
+
+/// Deterministic test RNG (splitmix64), seeded from the test path so
+/// every run of a given test replays the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the fully qualified test name.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// 53 random bits in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) as f64))
+    }
+
+    /// Uniform in [0, bound); bias is irrelevant at test scale.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// A value generator. The `x in EXPR` bindings inside `proptest!`
+/// require `EXPR` to implement this trait.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = u128::from(rng.next_u64()) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = u128::from(rng.next_u64()) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+/// String strategies are written as regex literals. This parses the
+/// subset archgym uses: a sequence of `[class]` atoms (char ranges,
+/// literals, `\` escapes; a trailing or leading `-` is literal), each
+/// with an optional `{m}`, `{m,}` or `{m,n}` quantifier.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.min + rng.below(atom.max - atom.min as u64 + 1) as usize;
+            for _ in 0..n {
+                let pick = rng.below(atom.chars.len() as u64) as usize;
+                out.push(atom.chars[pick]);
+            }
+        }
+        out
+    }
+}
+
+struct PatternAtom {
+    chars: Vec<char>,
+    min: usize,
+    /// Inclusive upper repetition bound.
+    max: u64,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let mut atoms = Vec::new();
+    let mut it = pattern.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = it
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                    match c {
+                        ']' => break,
+                        '\\' => {
+                            let esc = it
+                                .next()
+                                .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                            set.push(esc);
+                            prev = Some(esc);
+                        }
+                        '-' => {
+                            // `a-z` range when between two chars, else literal.
+                            match (prev, it.peek()) {
+                                (Some(lo), Some(&hi)) if hi != ']' => {
+                                    it.next();
+                                    let hi = if hi == '\\' {
+                                        it.next().unwrap_or_else(|| {
+                                            panic!("dangling escape in {pattern:?}")
+                                        })
+                                    } else {
+                                        hi
+                                    };
+                                    assert!(lo <= hi, "inverted range in {pattern:?}");
+                                    // `lo` is already in the set; add the rest.
+                                    for code in (lo as u32 + 1)..=(hi as u32) {
+                                        set.push(char::from_u32(code).unwrap());
+                                    }
+                                    prev = None;
+                                }
+                                _ => {
+                                    set.push('-');
+                                    prev = Some('-');
+                                }
+                            }
+                        }
+                        other => {
+                            set.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in {pattern:?}");
+                set
+            }
+            '\\' => {
+                let esc = it
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                vec![esc]
+            }
+            other => vec![other],
+        };
+        // Optional quantifier.
+        let (min, max) = if it.peek() == Some(&'{') {
+            it.next();
+            let mut spec = String::new();
+            loop {
+                let c = it
+                    .next()
+                    .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"));
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                None => {
+                    let n: usize = spec.parse().expect("bad quantifier");
+                    (n, n as u64)
+                }
+                Some((m, "")) => {
+                    let m: usize = m.parse().expect("bad quantifier");
+                    (m, m as u64 + 8)
+                }
+                Some((m, n)) => (
+                    m.parse().expect("bad quantifier"),
+                    n.parse().expect("bad quantifier"),
+                ),
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(PatternAtom { chars, min, max });
+    }
+    atoms
+}
+
+/// `any::<T>()` — full-domain strategies for primitives.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Strategy::generate(&num::f64::ANY, rng)
+    }
+}
+
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    pub struct OptionOf<S>(S);
+
+    impl<S: Strategy> Strategy for OptionOf<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            // 1 in 4 None, close to real proptest's default weighting.
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    pub fn of<S: Strategy>(strategy: S) -> OptionOf<S> {
+        OptionOf(strategy)
+    }
+}
+
+/// Collection size specs: `vec(elem, 1..100)`, `vec(elem, 3)`, ...
+pub trait SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for core::ops::Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SizeRange for core::ops::RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+    }
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::BTreeMap;
+
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    pub struct BTreeMapStrategy<K, V, R> {
+        key: K,
+        value: V,
+        size: R,
+    }
+
+    impl<K, V, R> Strategy for BTreeMapStrategy<K, V, R>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        R: SizeRange,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut map = BTreeMap::new();
+            // Duplicate keys shrink the map; bounded retries keep the
+            // generator total even for tiny key domains.
+            for _ in 0..target.saturating_mul(8) {
+                if map.len() >= target {
+                    break;
+                }
+                map.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            map
+        }
+    }
+
+    pub fn btree_map<K, V, R>(key: K, value: V, size: R) -> BTreeMapStrategy<K, V, R>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        R: SizeRange,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+}
+
+pub mod num {
+    pub mod f64 {
+        use crate::{Strategy, TestRng};
+
+        pub struct Any;
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = f64;
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                // 1 in 8 cases draw from the special-value corpus so
+                // NaN/±inf/±0/subnormal paths are exercised every run.
+                if rng.below(8) == 0 {
+                    const SPECIAL: [f64; 9] = [
+                        0.0,
+                        -0.0,
+                        f64::NAN,
+                        f64::INFINITY,
+                        f64::NEG_INFINITY,
+                        f64::MIN,
+                        f64::MAX,
+                        f64::MIN_POSITIVE,
+                        5e-324, // smallest subnormal
+                    ];
+                    SPECIAL[rng.below(SPECIAL.len() as u64) as usize]
+                } else {
+                    f64::from_bits(rng.next_u64())
+                }
+            }
+        }
+    }
+
+    pub mod u64 {
+        use crate::{Strategy, TestRng};
+
+        pub struct Any;
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = u64;
+            fn generate(&self, rng: &mut TestRng) -> u64 {
+                rng.next_u64()
+            }
+        }
+    }
+}
+
+/// Runner configuration; `prelude::*` exposes it for
+/// `#![proptest_config(ProptestConfig::with_cases(N))]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+#[doc(hidden)]
+pub mod test_runner {
+    pub use super::{ProptestConfig, TestRng};
+
+    /// `PROPTEST_CASES` overrides the per-block config.
+    pub fn resolve_cases(config: &ProptestConfig) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(config.cases),
+            Err(_) => config.cases,
+        }
+    }
+
+    pub fn describe(args: &[(&str, String)]) -> String {
+        let mut out = String::new();
+        for (name, value) in args {
+            let _ = super::write_arg(&mut out, name, value);
+        }
+        out
+    }
+}
+
+fn write_arg(out: &mut String, name: &str, value: &str) -> std::fmt::Result {
+    writeln!(out, "    {name} = {value}")
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (@fns ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cases = $crate::test_runner::resolve_cases(&$cfg);
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__cases {
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                let __desc = $crate::test_runner::describe(&[
+                    $((stringify!($arg), format!("{:?}", $arg))),+
+                ]);
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| { $body }),
+                );
+                if let Err(panic) = __outcome {
+                    eprintln!(
+                        "proptest {}::{} failed at case {}/{} with inputs:\n{}",
+                        module_path!(),
+                        stringify!($name),
+                        __case + 1,
+                        __cases,
+                        __desc,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (@fns ($cfg:expr)) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf(vec![
+            $(Box::new({
+                let s = $strategy;
+                move |rng: &mut $crate::TestRng| $crate::Strategy::generate(&s, rng)
+            }) as Box<dyn Fn(&mut $crate::TestRng) -> _>),+
+        ])
+    };
+}
+
+/// Uniformly picks one of several same-typed generators (`prop_oneof!`).
+pub struct OneOf<T>(pub Vec<Box<dyn Fn(&mut TestRng) -> T>>);
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.0.len() as u64) as usize;
+        (self.0[pick])(rng)
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod self_tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::generate(&(-2.0f64..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let i = Strategy::generate(&(-50i64..50), &mut rng);
+            assert!((-50..50).contains(&i));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::for_test("regex");
+        for _ in 0..500 {
+            let s = Strategy::generate(&"[a-zA-Z0-9 _/.\"-]{0,24}", &mut rng);
+            assert!(s.chars().count() <= 24);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " _/.\"-".contains(c)));
+            let t = Strategy::generate(&"[ -~]{0,40}", &mut rng);
+            assert!(t.chars().count() <= 40);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+            let u = Strategy::generate(&"[a-z_\"\\\\]{1,8}", &mut rng);
+            assert!((1..=8).contains(&u.chars().count()));
+            assert!(u
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_' || c == '"' || c == '\\'));
+        }
+    }
+
+    #[test]
+    fn f64_any_hits_special_values() {
+        let mut rng = TestRng::for_test("f64-any");
+        let mut saw_nan = false;
+        let mut saw_inf = false;
+        for _ in 0..2000 {
+            let v = Strategy::generate(&num::f64::ANY, &mut rng);
+            saw_nan |= v.is_nan();
+            saw_inf |= v.is_infinite();
+        }
+        assert!(saw_nan && saw_inf);
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("same-name");
+        let mut b = TestRng::for_test("same-name");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself must bind args, run bodies, and honor config.
+        #[test]
+        fn macro_executes_bodies(x in 0u64..100, v in collection::vec(0usize..10, 0..5)) {
+            prop_assert!(x < 100);
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`: derive macros expand to nothing; the
+//! traits exist only so `use serde::{Deserialize, Serialize}` resolves.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+pub trait Deserialize<'de>: Sized {}

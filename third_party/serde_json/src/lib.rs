@@ -1,0 +1,7 @@
+//! Offline stand-in for `serde_json`; archgym's hand-rolled codec replaced
+//! every runtime use, so only the crate name needs to resolve.
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+}
