@@ -1,7 +1,8 @@
 //! String specs for environments and objectives.
 //!
-//! Environments: `dram/<trace>`, `timeloop/<model>`, `farsi/<workload>`,
-//! `maestro/<model>/<layer>`.
+//! Environments: `dram/<trace>`, `dramx/<trace>` (the widened space
+//! with channel/rank topology axes), `timeloop/<model>`,
+//! `farsi/<workload>`, `maestro/<model>/<layer>`.
 //!
 //! Objectives (environment-family specific):
 //!
@@ -75,7 +76,7 @@ pub fn make_env(spec: &str, objective: Option<&str>) -> Result<Box<dyn CloneEnvi
     let mut parts = spec.splitn(3, '/');
     let family = parts.next().unwrap_or_default();
     match family {
-        "dram" => {
+        "dram" | "dramx" => {
             let workload = dram_workload(parts.next().unwrap_or("stream"))?;
             let objective = match objective.unwrap_or("power:1.0").split_once(':') {
                 Some(("power", v)) => archgym_dram::Objective::low_power(parse_one(v)?),
@@ -91,7 +92,13 @@ pub fn make_env(spec: &str, objective: Option<&str>) -> Result<Box<dyn CloneEnvi
                     )))
                 }
             };
-            Ok(Box::new(archgym_dram::DramEnv::new(workload, objective)))
+            // `dramx` is the widened Fig. 3(a) space: the ten controller
+            // parameters plus channel/rank topology axes.
+            Ok(if family == "dramx" {
+                Box::new(archgym_dram::DramEnv::extended(workload, objective))
+            } else {
+                Box::new(archgym_dram::DramEnv::new(workload, objective))
+            })
         }
         "timeloop" => {
             let model = parts.next().unwrap_or("resnet50");
@@ -158,7 +165,7 @@ pub fn make_env(spec: &str, objective: Option<&str>) -> Result<Box<dyn CloneEnvi
             )?))
         }
         other => Err(bad(format!(
-            "unknown environment family `{other}` (dram|timeloop|farsi|maestro)"
+            "unknown environment family `{other}` (dram|dramx|timeloop|farsi|maestro)"
         ))),
     }
 }
@@ -168,6 +175,9 @@ pub fn known_envs() -> Vec<String> {
     let mut out = Vec::new();
     for w in DramWorkload::ALL {
         out.push(format!("dram/{}", w.name()));
+    }
+    for w in DramWorkload::ALL {
+        out.push(format!("dramx/{}", w.name()));
     }
     for m in ["alexnet", "vgg16", "resnet18", "resnet50", "mobilenet_v1"] {
         out.push(format!("timeloop/{m}"));
@@ -189,6 +199,8 @@ mod tests {
         for (spec, objective) in [
             ("dram/stream", Some("power:1.0")),
             ("dram/cloud-2", Some("joint:30,1.0")),
+            ("dramx/stream", Some("power:1.0")),
+            ("dramx/cloud-2", Some("joint:30,1.0")),
             ("timeloop/resnet50", Some("latency:15")),
             ("timeloop/alexnet", None),
             ("farsi/audio-decoder", None),
@@ -203,9 +215,20 @@ mod tests {
     }
 
     #[test]
+    fn dramx_widens_the_design_space_over_dram() {
+        let plain = make_env("dram/stream", None).unwrap();
+        let extended = make_env("dramx/stream", None).unwrap();
+        assert_eq!(extended.space().len(), plain.space().len() + 2);
+        assert_eq!(extended.name(), "dramx/stream");
+        assert!(extended.space().dim_of("Channels").is_some());
+        assert!(extended.space().dim_of("Ranks").is_some());
+    }
+
+    #[test]
     fn rejects_unknown_specs() {
         assert!(make_env("gem5/spec2006", None).is_err());
         assert!(make_env("dram/spec2006", None).is_err());
+        assert!(make_env("dramx/spec2006", None).is_err());
         assert!(make_env("dram/stream", Some("area:3")).is_err());
         assert!(make_env("timeloop/lenet", None).is_err());
         assert!(make_env("maestro/resnet18", None).is_err());

@@ -179,11 +179,15 @@ mod tests {
             assert!(row.single_rmse.is_finite() && row.single_rmse >= 0.0);
             assert!(row.diverse_rmse.is_finite() && row.diverse_rmse >= 0.0);
         }
-        // The proxy must be at least 10× faster than even this
+        // The proxy must be several times faster than even this
         // transaction-level simulator (the paper quotes ~2000× against
-        // cycle-accurate DRAMSys).
+        // cycle-accurate DRAMSys). The floor was 10× before the
+        // structure-of-arrays engine made the simulator ~2× faster;
+        // it now measures 11–16× on a quiet host, so 5× leaves
+        // headroom for shared-host noise without masking a real
+        // proxy regression.
         assert!(
-            result.speedup > 10.0,
+            result.speedup > 5.0,
             "proxy speedup only {:.1}×",
             result.speedup
         );

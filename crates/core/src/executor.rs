@@ -202,7 +202,16 @@ impl Executor {
             catch_unwind(AssertUnwindSafe(|| f(state, item))).map_err(panic_message)
         };
 
-        let workers = self.jobs.min(states.len()).min(items.len());
+        // Never spawn more workers than the machine has hardware
+        // threads: oversubscribed workers only contend (results are
+        // stitched back by index, so the answer is bit-identical at any
+        // width). On a single-core host this collapses a pooled run to
+        // the serial path, which is exactly as fast as an unpooled one.
+        let workers = self
+            .jobs
+            .min(states.len())
+            .min(items.len())
+            .min(Self::available_parallelism());
         if workers <= 1 {
             let state = &mut states[0];
             return items.iter().map(|item| run_one(state, item)).collect();
@@ -218,8 +227,13 @@ impl Executor {
                 .map(|state| {
                     let cursor = &cursor;
                     let run_one = &run_one;
+                    // Pre-size each worker's scratch for its fair share
+                    // (plus one chunk of load-balancing slack) so result
+                    // staging never reallocates mid-drain.
+                    let scratch = items.len() / workers + chunk;
                     scope.spawn(move || {
-                        let mut local: Vec<(usize, std::result::Result<R, String>)> = Vec::new();
+                        let mut local: Vec<(usize, std::result::Result<R, String>)> =
+                            Vec::with_capacity(scratch);
                         loop {
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                             if start >= items.len() {

@@ -8,12 +8,11 @@
 //! response queue (in-order or out-of-order delivery). An all-bank refresh
 //! engine can postpone or pull in refreshes within configured limits.
 
-use crate::device::{AddressMapping, DeviceTiming};
+use crate::device::{AddressMapping, DeviceTiming, Topology};
+use crate::engine::{EngineCtx, EngineKind, RawRun};
 use crate::power::{OpCounts, PowerModel};
 use crate::trace::MemoryRequest;
 use serde::{Deserialize, Serialize};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Row-buffer management policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -199,51 +198,46 @@ impl SimStats {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Pending {
-    id: usize,
-    row: u64,
-    bank: usize,
-    is_write: bool,
-}
-
-#[derive(Debug, Clone, Default)]
-struct Bank {
-    open_row: Option<u64>,
-    /// Earliest cycle the bank accepts its next column command.
-    ready_at: u64,
-    activated_at: u64,
-    /// When the last access's data (plus write recovery) finishes — the
-    /// earliest a precharge may start.
-    data_done: u64,
-    hit_ewma: f64,
-}
-
-/// The memory controller: device timing + power model + configuration.
+/// The memory controller: device timing + power model + configuration +
+/// channel/rank topology.
 #[derive(Debug, Clone)]
 pub struct MemoryController {
     timing: DeviceTiming,
     mapping: AddressMapping,
     power: PowerModel,
     config: ControllerConfig,
+    topology: Topology,
 }
 
 impl MemoryController {
-    /// Build a controller with default DDR3 timing and power models.
+    /// Build a controller with default DDR3 timing and power models and
+    /// the single-channel, single-rank topology.
     pub fn new(config: ControllerConfig) -> Self {
         MemoryController {
             timing: DeviceTiming::ddr3_1600(),
             mapping: AddressMapping::new(),
             power: PowerModel::ddr3(),
             config,
+            topology: Topology::single(),
         }
     }
 
     /// Override the device timing, builder-style. The address mapping is
-    /// re-derived so every bank of the new device is addressable.
+    /// re-derived so every bank of the new device (times the topology's
+    /// rank multiplier) is addressable.
     pub fn timing(mut self, timing: DeviceTiming) -> Self {
-        self.mapping = AddressMapping::with_banks(timing.banks);
+        self.mapping = AddressMapping::with_banks(timing.banks * self.topology.ranks);
         self.timing = timing;
+        self
+    }
+
+    /// Override the channel/rank topology, builder-style. Ranks multiply
+    /// the per-channel bank count (rank bits sit above the bank bits in
+    /// the address mapping); channels partition the trace by address
+    /// hash into fully independent controller lanes.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.mapping = AddressMapping::with_banks(self.timing.banks * topology.ranks);
+        self.topology = topology;
         self
     }
 
@@ -258,668 +252,157 @@ impl MemoryController {
         &self.config
     }
 
-    /// Simulate a trace to completion and report aggregate statistics.
+    /// The active channel/rank topology.
+    pub fn current_topology(&self) -> Topology {
+        self.topology
+    }
+
+    fn ctx(&self) -> EngineCtx<'_> {
+        EngineCtx {
+            timing: &self.timing,
+            mapping: &self.mapping,
+            config: &self.config,
+        }
+    }
+
+    /// The engine [`MemoryController::simulate`] dispatches to: the SoA
+    /// engine whenever the configuration shape fits its bitmask limits,
+    /// otherwise the always-capable indexed engine.
+    pub fn default_engine(&self) -> EngineKind {
+        if EngineKind::Soa.supports(&self.ctx()) {
+            EngineKind::Soa
+        } else {
+            EngineKind::Indexed
+        }
+    }
+
+    /// Simulate a trace to completion and report aggregate statistics,
+    /// using [`MemoryController::default_engine`].
     ///
-    /// Pending requests live in a slab with **per-bank queues** of slab
-    /// slots in arrival order. Each scheduling decision walks the
-    /// visible banks' queues once, fusing visibility filter, scheduler
-    /// class and arbiter key into a single pass; within one bank, at
-    /// most one entry per `(class, row-hit)` combination can win (keys
-    /// are constant given the bank's state and the hit status, and ties
-    /// break by arrival id, which is the queue order), so each bank
-    /// contributes O(1) candidates instead of a full rescan. The
-    /// `Bankwise` round-robin probe checks queue emptiness per bank —
-    /// O(banks) — instead of scanning the whole buffer per bank.
-    ///
-    /// Output is bit-identical to the linear-scan reference engine
-    /// ([`MemoryController::simulate_linear_scan`]); the test suite
-    /// compares both on every canonical workload and on randomized
-    /// configurations.
+    /// Output is bit-identical across every [`EngineKind`]; the test
+    /// suite compares all engines on every canonical workload, on
+    /// randomized configurations and on multi-channel topologies.
     ///
     /// # Panics
     ///
     /// Panics if `trace` is empty.
     pub fn simulate(&self, trace: &[MemoryRequest]) -> SimStats {
-        assert!(!trace.is_empty(), "cannot simulate an empty trace");
-        let t = &self.timing;
-        let cfg = &self.config;
-        let n = trace.len();
-
-        let mut completion = vec![0u64; n];
-        let mut banks: Vec<Bank> = (0..t.banks).map(|_| Bank::default()).collect();
-        let nb = banks.len();
-        // The slab + free list recycle Pending slots; `queues[bank]`
-        // holds slab slots in arrival order (admission ids increase and
-        // removal preserves order, so no sorting is ever needed).
-        let mut slots: Vec<Pending> = Vec::with_capacity(cfg.request_buffer_size);
-        let mut free: Vec<usize> = Vec::with_capacity(cfg.request_buffer_size);
-        let mut queues: Vec<Vec<usize>> = vec![Vec::with_capacity(cfg.request_buffer_size); nb];
-        // Bitmask of banks with a non-empty queue, so each scheduling
-        // decision visits only occupied banks (≤ buffered ≤ buffer
-        // size) instead of every bank.
-        let mut occupied: Vec<u64> = vec![0; nb.div_ceil(64)];
-        let mut buffered = 0usize;
-        let mut reads_buffered = 0usize;
-        // Completion times of issued requests, min-first so retirement pops
-        // only what is due instead of scanning every outstanding request.
-        let mut outstanding: BinaryHeap<Reverse<u64>> =
-            BinaryHeap::with_capacity(cfg.max_active_transactions);
-        let mut next_admit = 0usize;
-        let mut now = 0u64;
-        let mut bus_free = 0u64;
-        let mut counts = OpCounts::default();
-        let mut row_hits = 0u64;
-        let mut row_misses = 0u64;
-        let mut row_conflicts = 0u64;
-        let mut next_refi = t.t_refi;
-        let mut refresh_debt: i64 = 0;
-        let mut last_type_write = false;
-        let mut rr_bank = 0usize;
-
-        loop {
-            // 1. Retire issued requests whose data has returned.
-            while outstanding.peek().is_some_and(|&Reverse(c)| c <= now) {
-                outstanding.pop();
-            }
-
-            // 2. Admit arrivals within buffer and transaction-window limits.
-            while next_admit < n
-                && trace[next_admit].arrival <= now
-                && buffered < cfg.request_buffer_size
-                && buffered + outstanding.len() < cfg.max_active_transactions
-            {
-                let req = trace[next_admit];
-                let coords = self.mapping.decode(req.addr);
-                let pending = Pending {
-                    id: next_admit,
-                    row: coords.row,
-                    bank: coords.bank,
-                    is_write: req.is_write,
-                };
-                let slot = match free.pop() {
-                    Some(slot) => {
-                        slots[slot] = pending;
-                        slot
-                    }
-                    None => {
-                        slots.push(pending);
-                        slots.len() - 1
-                    }
-                };
-                let queue = &mut queues[coords.bank];
-                if queue.is_empty() {
-                    occupied[coords.bank / 64] |= 1u64 << (coords.bank % 64);
-                }
-                queue.push(slot);
-                buffered += 1;
-                if !req.is_write {
-                    reads_buffered += 1;
-                }
-                next_admit += 1;
-            }
-
-            // 3. Refresh engine.
-            if cfg.refresh_policy == RefreshPolicy::AllBank {
-                while now >= next_refi {
-                    refresh_debt += 1;
-                    next_refi += t.t_refi;
-                }
-                let forced = refresh_debt > cfg.refresh_max_postponed as i64;
-                let opportunistic = buffered == 0
-                    && next_admit < n
-                    && refresh_debt > -(cfg.refresh_max_pulled_in as i64);
-                if forced || (opportunistic && refresh_debt > 0) {
-                    let start = banks
-                        .iter()
-                        .map(|b| b.ready_at)
-                        .max()
-                        .unwrap_or(now)
-                        .max(now);
-                    for b in &mut banks {
-                        if b.open_row.take().is_some() {
-                            counts.precharges += 1;
-                        }
-                        b.ready_at = start + t.t_rfc;
-                    }
-                    counts.refreshes += 1;
-                    refresh_debt -= 1;
-                    now = start + t.t_rfc;
-                    continue;
-                }
-            }
-
-            // 4. Nothing schedulable: advance time to the next event.
-            if buffered == 0 {
-                if next_admit >= n {
-                    break; // every request issued; data returns on its own
-                }
-                let arrival_evt = trace[next_admit].arrival;
-                // Admission may also be blocked by the transaction window.
-                let window_full = outstanding.len() >= cfg.max_active_transactions;
-                let evt = if window_full {
-                    outstanding.peek().map_or(arrival_evt, |&Reverse(c)| c)
-                } else {
-                    arrival_evt
-                };
-                now = now.max(evt).max(now + 1);
-                continue;
-            }
-
-            // 5–7. Fused candidate selection: visibility, scheduler class
-            // and arbiter key in one walk over the visible banks' queues.
-            // The winner is the lexicographic minimum of
-            // `(class, arbiter key, arrival id)`, which matches the
-            // reference engine's min-class-then-arbiter-tie-break because
-            // every arbiter embeds the unique arrival id.
-            let reads_only =
-                cfg.scheduler_buffer == SchedulerBuffer::ReadWrite && reads_buffered > 0;
-
-            let mut best: Option<(u32, u64, usize)> = None;
-            let mut best_bank = 0usize;
-            let mut best_pos = 0usize;
-            {
-                // Within one bank, class and arbiter key are functions of
-                // (bank state, row-hit, access type vs. last); only the
-                // arrival id breaks ties, and the queue is id-ordered —
-                // so only the first entry of each (class, hit) pair can
-                // win. Six possible pairs → O(1) candidates per bank.
-                let mut consider = |bank_idx: usize| {
-                    let bank = &banks[bank_idx];
-                    let mut seen: u8 = 0;
-                    for (pos, &slot) in queues[bank_idx].iter().enumerate() {
-                        if seen == 0b11_1111 {
-                            break; // every (class, hit) pair already seen
-                        }
-                        let p = &slots[slot];
-                        if reads_only && p.is_write {
-                            continue;
-                        }
-                        let hit = bank.open_row == Some(p.row);
-                        let class = match cfg.scheduler {
-                            Scheduler::Fifo => 0,
-                            Scheduler::FrFcfs => u32::from(!hit),
-                            Scheduler::FrFcfsGrp => {
-                                if hit {
-                                    0
-                                } else if p.is_write == last_type_write {
-                                    1
-                                } else {
-                                    2
-                                }
-                            }
-                        };
-                        let mask = 1u8 << (class * 2 + u32::from(hit));
-                        if seen & mask != 0 {
-                            continue;
-                        }
-                        seen |= mask;
-                        let key = match cfg.arbiter {
-                            Arbiter::Simple => bank_idx as u64,
-                            Arbiter::Fifo => 0,
-                            Arbiter::Reorder => {
-                                let base = now.max(bank.ready_at);
-                                let extra = match bank.open_row {
-                                    Some(r) if r == p.row => 0,
-                                    Some(_) => t.t_rp + t.t_rcd,
-                                    None => t.t_rcd,
-                                };
-                                base + extra
-                            }
-                        };
-                        let candidate = (class, key, p.id);
-                        if best.is_none_or(|b| candidate < b) {
-                            best = Some(candidate);
-                            best_bank = bank_idx;
-                            best_pos = pos;
-                        }
-                    }
-                };
-                match cfg.scheduler_buffer {
-                    SchedulerBuffer::Bankwise => {
-                        let mut chosen = None;
-                        for off in 0..nb {
-                            let bank = (rr_bank + off) % nb;
-                            if occupied[bank / 64] & (1u64 << (bank % 64)) != 0 {
-                                chosen = Some(bank);
-                                break;
-                            }
-                        }
-                        let bank = chosen.expect("buffer non-empty");
-                        rr_bank = (bank + 1) % nb;
-                        consider(bank);
-                    }
-                    _ => {
-                        // The winner is a global lexicographic minimum, so
-                        // enumeration order is free — walk only the set
-                        // bits of the occupancy mask.
-                        for (word_idx, &word) in occupied.iter().enumerate() {
-                            let mut bits = word;
-                            while bits != 0 {
-                                let bank_idx = word_idx * 64 + bits.trailing_zeros() as usize;
-                                bits &= bits - 1;
-                                consider(bank_idx);
-                            }
-                        }
-                    }
-                }
-            }
-            debug_assert!(best.is_some(), "non-empty buffer must yield a candidate");
-            let slot = queues[best_bank].remove(best_pos);
-            if queues[best_bank].is_empty() {
-                occupied[best_bank / 64] &= !(1u64 << (best_bank % 64));
-            }
-            let p = slots[slot].clone();
-            free.push(slot);
-            buffered -= 1;
-            if !p.is_write {
-                reads_buffered -= 1;
-            }
-
-            // 8. Bank timing engine.
-            let bank = &mut banks[p.bank];
-            let start = now.max(bank.ready_at);
-            let was_hit = bank.open_row == Some(p.row);
-            let col_ready = match bank.open_row {
-                Some(r) if r == p.row => {
-                    row_hits += 1;
-                    start
-                }
-                Some(_) => {
-                    row_conflicts += 1;
-                    counts.precharges += 1;
-                    counts.activates += 1;
-                    let pre_start = start.max(bank.activated_at + t.t_ras).max(bank.data_done);
-                    bank.activated_at = pre_start + t.t_rp;
-                    pre_start + t.t_rp + t.t_rcd
-                }
-                None => {
-                    row_misses += 1;
-                    counts.activates += 1;
-                    bank.activated_at = start;
-                    start + t.t_rcd
-                }
-            };
-            let cas = if p.is_write { t.t_cwl } else { t.t_cl };
-            let data_start = (col_ready + cas).max(bus_free);
-            let data_end = data_start + t.t_burst;
-            bus_free = data_end;
-            completion[p.id] = data_end;
-            outstanding.push(Reverse(data_end));
-            if p.is_write {
-                counts.writes += 1;
-            } else {
-                counts.reads += 1;
-            }
-            last_type_write = p.is_write;
-
-            // Column commands pipeline: the bank can accept its next CAS
-            // one burst (≈tCCD) after this one issued; data return is
-            // overlapped. Writes add recovery before the row can close.
-            let cas_issue = data_start - cas;
-            let next_cas = cas_issue + t.t_burst;
-            let data_done = if p.is_write {
-                data_end + t.t_wr
-            } else {
-                data_end
-            };
-
-            // 9. Page policy.
-            bank.hit_ewma = 0.875 * bank.hit_ewma + 0.125 * f64::from(was_hit);
-            let keep_open = match cfg.page_policy {
-                PagePolicy::Open => true,
-                PagePolicy::Closed => false,
-                PagePolicy::OpenAdaptive => bank.hit_ewma > 0.25,
-                PagePolicy::ClosedAdaptive => bank.hit_ewma > 0.75,
-            };
-            if keep_open {
-                bank.open_row = Some(p.row);
-                bank.ready_at = next_cas;
-            } else {
-                bank.open_row = None;
-                counts.precharges += 1;
-                bank.ready_at = data_done + t.t_rp;
-            }
-            bank.data_done = data_done;
-
-            now = start + 1;
-        }
-
-        self.account(
-            trace,
-            &completion,
-            counts,
-            row_hits,
-            row_misses,
-            row_conflicts,
-        )
+        self.simulate_with(self.default_engine(), trace)
     }
 
-    /// Stage 10 shared by both engines: response-queue delivery, latency
-    /// accounting and the power/energy evaluation.
-    fn account(
-        &self,
-        trace: &[MemoryRequest],
-        completion: &[u64],
-        counts: OpCounts,
-        row_hits: u64,
-        row_misses: u64,
-        row_conflicts: u64,
-    ) -> SimStats {
-        let t = &self.timing;
-        let cfg = &self.config;
-        let n = trace.len();
-        let mut latencies_ns = Vec::with_capacity(n);
-        let mut last_resp = 0u64;
-        let mut final_cycle = 0u64;
-        for (id, req) in trace.iter().enumerate() {
-            let resp = match cfg.resp_queue {
-                RespQueue::Reorder => completion[id],
-                RespQueue::Fifo => {
-                    last_resp = last_resp.max(completion[id]);
-                    last_resp
-                }
-            };
-            final_cycle = final_cycle.max(resp);
-            latencies_ns.push((resp - req.arrival) as f64 * t.clock_ns);
-        }
-        // total_cmp: no NaN panic path, and the unstable sort avoids the
-        // stable sort's temporary allocation. Latencies are non-negative
-        // finite values, so the order matches the old partial_cmp sort.
-        latencies_ns.sort_unstable_by(f64::total_cmp);
-        let avg_latency_ns = latencies_ns.iter().sum::<f64>() / n as f64;
-        let p95_latency_ns = latencies_ns[((n - 1) as f64 * 0.95) as usize];
-
-        let (energy_uj, power_w) = self.power.evaluate(&counts, cfg, final_cycle, t.clock_ns);
-
-        SimStats {
-            avg_latency_ns,
-            p95_latency_ns,
-            power_w,
-            energy_uj,
-            total_cycles: final_cycle,
-            row_hits,
-            row_misses,
-            row_conflicts,
-            counts,
-        }
-    }
-
-    /// Simulate a trace to completion and report aggregate statistics.
+    /// Simulate a trace on an explicitly chosen timing engine (the
+    /// bench harness measures engines against each other; everything
+    /// else should use [`MemoryController::simulate`]).
     ///
-    /// Candidate selection runs on per-bank indexed queues (see
-    /// [`MemoryController::simulate`] — this is the reference
-    /// implementation it is tested against): every scheduling decision
-    /// rescans the flat request buffer several times. Kept `pub` so the
-    /// bench harness can measure the indexed engine's gain and the test
-    /// suite can enforce bit-identical outputs; not part of the stable
-    /// API.
+    /// # Panics
+    ///
+    /// Panics if `trace` is empty.
+    pub fn simulate_with(&self, kind: EngineKind, trace: &[MemoryRequest]) -> SimStats {
+        assert!(!trace.is_empty(), "cannot simulate an empty trace");
+        if self.topology.channels == 1 {
+            let raw = kind.run(&self.ctx(), trace);
+            self.account_single(trace, raw)
+        } else {
+            self.simulate_channels(kind, trace)
+        }
+    }
+
+    /// Simulate a trace on the linear-scan reference engine (the
+    /// correctness oracle the optimized engines are tested against).
+    /// Kept `pub` so the bench harness can measure engine gains and the
+    /// test suite can enforce bit-identical outputs; not part of the
+    /// stable API.
     ///
     /// # Panics
     ///
     /// Panics if `trace` is empty.
     #[doc(hidden)]
     pub fn simulate_linear_scan(&self, trace: &[MemoryRequest]) -> SimStats {
-        assert!(!trace.is_empty(), "cannot simulate an empty trace");
-        let t = &self.timing;
-        let cfg = &self.config;
+        self.simulate_with(EngineKind::Reference, trace)
+    }
+
+    /// Multi-channel simulation: partition the trace by the topology's
+    /// address hash, run each non-empty partition as an independent
+    /// engine lane, then merge the per-channel results. Each channel
+    /// owns its request buffer, data bus, refresh engine and response
+    /// queue, so a channel's sub-simulation is exactly the
+    /// single-channel simulation of its partition — the conservation
+    /// proptests enforce this.
+    fn simulate_channels(&self, kind: EngineKind, trace: &[MemoryRequest]) -> SimStats {
+        let channels = self.topology.channels;
         let n = trace.len();
+        let mut subtraces: Vec<Vec<MemoryRequest>> = vec![Vec::new(); channels];
+        let mut ids: Vec<Vec<u32>> = vec![Vec::new(); channels];
+        for (id, req) in trace.iter().enumerate() {
+            let ch = self.topology.channel_of(req.addr);
+            subtraces[ch].push(*req);
+            ids[ch].push(id as u32);
+        }
 
         let mut completion = vec![0u64; n];
-        let mut banks: Vec<Bank> = (0..t.banks).map(|_| Bank::default()).collect();
-        let mut buffer: Vec<Pending> = Vec::with_capacity(cfg.request_buffer_size);
-        // Completion times of issued requests, min-first so retirement pops
-        // only what is due instead of scanning every outstanding request.
-        let mut outstanding: BinaryHeap<Reverse<u64>> =
-            BinaryHeap::with_capacity(cfg.max_active_transactions);
-        // Scratch for the scheduler: indices into `buffer`, refilled in
-        // place each decision so the loop allocates nothing per request.
-        let mut sched: Vec<usize> = Vec::with_capacity(cfg.request_buffer_size);
-        let mut next_admit = 0usize;
-        let mut now = 0u64;
-        let mut bus_free = 0u64;
+        let mut counts_per: Vec<OpCounts> = vec![OpCounts::default(); channels];
         let mut counts = OpCounts::default();
         let mut row_hits = 0u64;
         let mut row_misses = 0u64;
         let mut row_conflicts = 0u64;
-        let mut next_refi = t.t_refi;
-        let mut refresh_debt: i64 = 0;
-        let mut last_type_write = false;
-        let mut rr_bank = 0usize;
-
-        loop {
-            // 1. Retire issued requests whose data has returned.
-            while outstanding.peek().is_some_and(|&Reverse(c)| c <= now) {
-                outstanding.pop();
+        for (ch, subtrace) in subtraces.iter().enumerate() {
+            if subtrace.is_empty() {
+                continue; // no traffic: the channel stays power-gated
             }
-
-            // 2. Admit arrivals within buffer and transaction-window limits.
-            while next_admit < n
-                && trace[next_admit].arrival <= now
-                && buffer.len() < cfg.request_buffer_size
-                && buffer.len() + outstanding.len() < cfg.max_active_transactions
-            {
-                let req = trace[next_admit];
-                let coords = self.mapping.decode(req.addr);
-                buffer.push(Pending {
-                    id: next_admit,
-                    row: coords.row,
-                    bank: coords.bank,
-                    is_write: req.is_write,
-                });
-                next_admit += 1;
+            let raw = kind.run(&self.ctx(), subtrace);
+            for (pos, &cycle) in raw.completion.iter().enumerate() {
+                completion[ids[ch][pos] as usize] = cycle;
             }
-
-            // 3. Refresh engine.
-            if cfg.refresh_policy == RefreshPolicy::AllBank {
-                while now >= next_refi {
-                    refresh_debt += 1;
-                    next_refi += t.t_refi;
-                }
-                let forced = refresh_debt > cfg.refresh_max_postponed as i64;
-                let opportunistic = buffer.is_empty()
-                    && next_admit < n
-                    && refresh_debt > -(cfg.refresh_max_pulled_in as i64);
-                if forced || (opportunistic && refresh_debt > 0) {
-                    let start = banks
-                        .iter()
-                        .map(|b| b.ready_at)
-                        .max()
-                        .unwrap_or(now)
-                        .max(now);
-                    for b in &mut banks {
-                        if b.open_row.take().is_some() {
-                            counts.precharges += 1;
-                        }
-                        b.ready_at = start + t.t_rfc;
-                    }
-                    counts.refreshes += 1;
-                    refresh_debt -= 1;
-                    now = start + t.t_rfc;
-                    continue;
-                }
-            }
-
-            // 4. Nothing schedulable: advance time to the next event.
-            if buffer.is_empty() {
-                if next_admit >= n {
-                    break; // every request issued; data returns on its own
-                }
-                let arrival_evt = trace[next_admit].arrival;
-                // Admission may also be blocked by the transaction window.
-                let window_full = outstanding.len() >= cfg.max_active_transactions;
-                let evt = if window_full {
-                    outstanding.peek().map_or(arrival_evt, |&Reverse(c)| c)
-                } else {
-                    arrival_evt
-                };
-                now = now.max(evt).max(now + 1);
-                continue;
-            }
-
-            // 5. Scheduler visibility (into the reused scratch buffer).
-            sched.clear();
-            match cfg.scheduler_buffer {
-                SchedulerBuffer::Shared => sched.extend(0..buffer.len()),
-                SchedulerBuffer::ReadWrite => {
-                    sched.extend((0..buffer.len()).filter(|&i| !buffer[i].is_write));
-                    if sched.is_empty() {
-                        sched.extend(0..buffer.len());
-                    }
-                }
-                SchedulerBuffer::Bankwise => {
-                    let nb = banks.len();
-                    let mut chosen = None;
-                    for off in 0..nb {
-                        let bank = (rr_bank + off) % nb;
-                        if buffer.iter().any(|p| p.bank == bank) {
-                            chosen = Some(bank);
-                            break;
-                        }
-                    }
-                    let bank = chosen.expect("buffer non-empty");
-                    rr_bank = (bank + 1) % nb;
-                    sched.extend((0..buffer.len()).filter(|&i| buffer[i].bank == bank));
-                }
-            };
-
-            // 6. Scheduler class: lower is more preferred.
-            let class = |p: &Pending| -> u32 {
-                let hit = banks[p.bank].open_row == Some(p.row);
-                match cfg.scheduler {
-                    Scheduler::Fifo => 0,
-                    Scheduler::FrFcfs => u32::from(!hit),
-                    Scheduler::FrFcfsGrp => {
-                        if hit {
-                            0
-                        } else if p.is_write == last_type_write {
-                            1
-                        } else {
-                            2
-                        }
-                    }
-                }
-            };
-            let best_class = sched.iter().map(|&i| class(&buffer[i])).min().unwrap();
-            sched.retain(|&i| class(&buffer[i]) == best_class);
-
-            // 7. Arbiter tie-break.
-            let estimate_start = |p: &Pending| -> u64 {
-                let b = &banks[p.bank];
-                let base = now.max(b.ready_at);
-                let extra = match b.open_row {
-                    Some(r) if r == p.row => 0,
-                    Some(_) => t.t_rp + t.t_rcd,
-                    None => t.t_rcd,
-                };
-                base + extra
-            };
-            let chosen_pos = match cfg.arbiter {
-                Arbiter::Simple => sched
-                    .iter()
-                    .copied()
-                    .min_by_key(|&i| (buffer[i].bank, buffer[i].id))
-                    .unwrap(),
-                Arbiter::Fifo => sched.iter().copied().min_by_key(|&i| buffer[i].id).unwrap(),
-                Arbiter::Reorder => sched
-                    .iter()
-                    .copied()
-                    .min_by_key(|&i| (estimate_start(&buffer[i]), buffer[i].id))
-                    .unwrap(),
-            };
-            let p = buffer.swap_remove(chosen_pos);
-
-            // 8. Bank timing engine.
-            let bank = &mut banks[p.bank];
-            let start = now.max(bank.ready_at);
-            let was_hit = bank.open_row == Some(p.row);
-            let col_ready = match bank.open_row {
-                Some(r) if r == p.row => {
-                    row_hits += 1;
-                    start
-                }
-                Some(_) => {
-                    row_conflicts += 1;
-                    counts.precharges += 1;
-                    counts.activates += 1;
-                    let pre_start = start.max(bank.activated_at + t.t_ras).max(bank.data_done);
-                    bank.activated_at = pre_start + t.t_rp;
-                    pre_start + t.t_rp + t.t_rcd
-                }
-                None => {
-                    row_misses += 1;
-                    counts.activates += 1;
-                    bank.activated_at = start;
-                    start + t.t_rcd
-                }
-            };
-            let cas = if p.is_write { t.t_cwl } else { t.t_cl };
-            let data_start = (col_ready + cas).max(bus_free);
-            let data_end = data_start + t.t_burst;
-            bus_free = data_end;
-            completion[p.id] = data_end;
-            outstanding.push(Reverse(data_end));
-            if p.is_write {
-                counts.writes += 1;
-            } else {
-                counts.reads += 1;
-            }
-            last_type_write = p.is_write;
-
-            // Column commands pipeline: the bank can accept its next CAS
-            // one burst (≈tCCD) after this one issued; data return is
-            // overlapped. Writes add recovery before the row can close.
-            let cas_issue = data_start - cas;
-            let next_cas = cas_issue + t.t_burst;
-            let data_done = if p.is_write {
-                data_end + t.t_wr
-            } else {
-                data_end
-            };
-
-            // 9. Page policy.
-            bank.hit_ewma = 0.875 * bank.hit_ewma + 0.125 * f64::from(was_hit);
-            let keep_open = match cfg.page_policy {
-                PagePolicy::Open => true,
-                PagePolicy::Closed => false,
-                PagePolicy::OpenAdaptive => bank.hit_ewma > 0.25,
-                PagePolicy::ClosedAdaptive => bank.hit_ewma > 0.75,
-            };
-            if keep_open {
-                bank.open_row = Some(p.row);
-                bank.ready_at = next_cas;
-            } else {
-                bank.open_row = None;
-                counts.precharges += 1;
-                bank.ready_at = data_done + t.t_rp;
-            }
-            bank.data_done = data_done;
-
-            now = start + 1;
+            counts_per[ch] = raw.counts;
+            counts.add(&raw.counts);
+            row_hits += raw.row_hits;
+            row_misses += raw.row_misses;
+            row_conflicts += raw.row_conflicts;
         }
 
-        // 10. Response-queue delivery and latency accounting.
-        let mut latencies_ns = Vec::with_capacity(n);
-        let mut last_resp = 0u64;
-        let mut final_cycle = 0u64;
+        // Stage 10, channel-aware: responses are delivered per channel
+        // (a FIFO response queue chains only within its own channel),
+        // and energy is evaluated per channel over that channel's own
+        // active window, then summed in channel order (deterministic
+        // float accumulation). Idle channels contribute nothing.
+        let t = &self.timing;
+        let cfg = &self.config;
+        let mut last_resp = vec![0u64; channels];
+        let mut final_cycle_ch = vec![0u64; channels];
+        let mut total: u128 = 0;
+        // The completion buffer is rewritten in place as the diff buffer
+        // (each entry is read exactly once before being overwritten), so
+        // the accounting tail allocates nothing and makes one pass.
         for (id, req) in trace.iter().enumerate() {
+            let ch = self.topology.channel_of(req.addr);
             let resp = match cfg.resp_queue {
                 RespQueue::Reorder => completion[id],
                 RespQueue::Fifo => {
-                    last_resp = last_resp.max(completion[id]);
-                    last_resp
+                    last_resp[ch] = last_resp[ch].max(completion[id]);
+                    last_resp[ch]
                 }
             };
-            final_cycle = final_cycle.max(resp);
-            latencies_ns.push((resp - req.arrival) as f64 * t.clock_ns);
+            final_cycle_ch[ch] = final_cycle_ch[ch].max(resp);
+            let diff = resp - req.arrival;
+            total += u128::from(diff);
+            completion[id] = diff;
         }
-        // total_cmp: no NaN panic path, and the unstable sort avoids the
-        // stable sort's temporary allocation. Latencies are non-negative
-        // finite values, so the order matches the old partial_cmp sort.
-        latencies_ns.sort_unstable_by(f64::total_cmp);
-        let avg_latency_ns = latencies_ns.iter().sum::<f64>() / n as f64;
-        let p95_latency_ns = latencies_ns[((n - 1) as f64 * 0.95) as usize];
+        let (avg_latency_ns, p95_latency_ns) = latency_stats(total, &mut completion, t.clock_ns);
 
-        let (energy_uj, power_w) = self.power.evaluate(&counts, cfg, final_cycle, t.clock_ns);
+        let mut energy_uj = 0.0;
+        let mut final_cycle = 0u64;
+        for ch in 0..channels {
+            if subtraces[ch].is_empty() {
+                continue;
+            }
+            final_cycle = final_cycle.max(final_cycle_ch[ch]);
+            let (channel_uj, _) =
+                self.power
+                    .evaluate(&counts_per[ch], cfg, final_cycle_ch[ch], t.clock_ns);
+            energy_uj += channel_uj;
+        }
+        let seconds = (final_cycle.max(1) as f64) * t.clock_ns * 1e-9;
+        let power_w = energy_uj * 1e-6 / seconds;
 
         SimStats {
             avg_latency_ns,
@@ -933,6 +416,69 @@ impl MemoryController {
             counts,
         }
     }
+
+    /// Stage 10 shared by every engine (single-channel path):
+    /// response-queue delivery, latency accounting and the power/energy
+    /// evaluation.
+    fn account_single(&self, trace: &[MemoryRequest], mut raw: RawRun) -> SimStats {
+        let t = &self.timing;
+        let cfg = &self.config;
+        let mut last_resp = 0u64;
+        let mut final_cycle = 0u64;
+        let mut total: u128 = 0;
+        // One fused pass: response delivery, the exact latency sum and
+        // the diff buffer all come out of the same loop, and the
+        // engine's own completion buffer is rewritten in place (each
+        // entry is read exactly once before being overwritten) so the
+        // tail allocates nothing.
+        for (id, req) in trace.iter().enumerate() {
+            let resp = match cfg.resp_queue {
+                RespQueue::Reorder => raw.completion[id],
+                RespQueue::Fifo => {
+                    last_resp = last_resp.max(raw.completion[id]);
+                    last_resp
+                }
+            };
+            final_cycle = final_cycle.max(resp);
+            let diff = resp - req.arrival;
+            total += u128::from(diff);
+            raw.completion[id] = diff;
+        }
+        let (avg_latency_ns, p95_latency_ns) =
+            latency_stats(total, &mut raw.completion, t.clock_ns);
+
+        let (energy_uj, power_w) = self
+            .power
+            .evaluate(&raw.counts, cfg, final_cycle, t.clock_ns);
+
+        SimStats {
+            avg_latency_ns,
+            p95_latency_ns,
+            power_w,
+            energy_uj,
+            total_cycles: final_cycle,
+            row_hits: raw.row_hits,
+            row_misses: raw.row_misses,
+            row_conflicts: raw.row_conflicts,
+            counts: raw.counts,
+        }
+    }
+}
+
+/// Mean and p95 latency in nanoseconds from raw cycle differences.
+///
+/// `total` is the exact integer sum of `diffs`, accumulated by the
+/// caller in the same pass that built the buffer (a `u128` cannot
+/// overflow for any trace an address space can hold); it is scaled once
+/// by the clock — deterministic and order-independent, so every engine
+/// and the multi-channel merge agree bit-for-bit. The p95 is the exact
+/// order statistic via `select_nth_unstable`, O(n) instead of the full
+/// sort the accounting tail used to pay.
+fn latency_stats(total: u128, diffs: &mut [u64], clock_ns: f64) -> (f64, f64) {
+    let n = diffs.len();
+    let avg = (total as f64) * clock_ns / n as f64;
+    let (_, &mut p95_cycles, _) = diffs.select_nth_unstable(((n - 1) as f64 * 0.95) as usize);
+    (avg, p95_cycles as f64 * clock_ns)
 }
 
 #[cfg(test)]
@@ -1224,10 +770,11 @@ mod tests {
     }
 
     #[test]
-    fn indexed_engine_matches_linear_scan_on_canonical_workloads() {
-        // Bit-identical outputs on every canonical workload, across a
-        // spread of scheduler/arbiter/buffer organizations that exercise
-        // each visibility and tie-break path.
+    fn engine_equivalence_on_canonical_workloads() {
+        // Every engine bit-identical to the linear-scan reference on
+        // every canonical workload, across a spread of
+        // scheduler/arbiter/buffer organizations that exercise each
+        // visibility and tie-break path.
         let configs = [
             ControllerConfig::default(),
             with(|c| {
@@ -1253,27 +800,133 @@ mod tests {
             let tr = trace(wl, 21);
             for cfg in &configs {
                 let controller = MemoryController::new(cfg.clone());
-                assert_eq!(
-                    controller.simulate(&tr),
-                    controller.simulate_linear_scan(&tr),
-                    "{wl:?} / {cfg:?}"
-                );
+                let oracle = controller.simulate_linear_scan(&tr);
+                for kind in EngineKind::ALL {
+                    assert_eq!(
+                        controller.simulate_with(kind, &tr),
+                        oracle,
+                        "{} on {wl:?} / {cfg:?}",
+                        kind.name()
+                    );
+                }
+                // The default dispatch must agree with whatever it picks.
+                assert_eq!(controller.simulate(&tr), oracle, "{wl:?} / {cfg:?}");
             }
         }
     }
 
     #[test]
-    fn indexed_engine_matches_linear_scan_on_ddr4() {
+    fn engine_equivalence_on_ddr4() {
         let tr = trace(DramWorkload::Cloud2, 22);
         let controller = MemoryController::new(with(|c| {
             c.scheduler_buffer = SchedulerBuffer::Bankwise;
             c.arbiter = Arbiter::Reorder;
         }))
         .timing(DeviceTiming::ddr4_2400());
+        let oracle = controller.simulate_linear_scan(&tr);
+        for kind in EngineKind::ALL {
+            assert_eq!(
+                controller.simulate_with(kind, &tr),
+                oracle,
+                "{}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn engine_equivalence_on_multichannel_topologies() {
+        // Same bit-identity requirement with the topology axes engaged:
+        // every engine must agree on the merged multi-channel stats.
+        let tr = trace(DramWorkload::Cloud1, 23);
+        for (channels, ranks) in [(2, 1), (4, 1), (1, 2), (2, 2)] {
+            let controller = MemoryController::new(ControllerConfig::default())
+                .topology(Topology::new(channels, ranks));
+            let oracle = controller.simulate_linear_scan(&tr);
+            for kind in EngineKind::ALL {
+                assert_eq!(
+                    controller.simulate_with(kind, &tr),
+                    oracle,
+                    "{} on {channels}ch x {ranks}rk",
+                    kind.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_multiply_the_visible_bank_count() {
+        // Two ranks double the banks one channel's controller schedules
+        // across; a random trace then spreads over 16 banks instead of 8
+        // and bank-level parallelism improves latency (never hurts).
+        let tr = trace(DramWorkload::Random, 24);
+        let single = MemoryController::new(ControllerConfig::default()).simulate(&tr);
+        let dual = MemoryController::new(ControllerConfig::default())
+            .topology(Topology::new(1, 2))
+            .simulate(&tr);
         assert_eq!(
-            controller.simulate(&tr),
-            controller.simulate_linear_scan(&tr)
+            dual.counts.reads + dual.counts.writes,
+            single.counts.reads + single.counts.writes
         );
+        assert!(
+            dual.avg_latency_ns <= single.avg_latency_ns * 1.02,
+            "dual-rank {} vs single-rank {}",
+            dual.avg_latency_ns,
+            single.avg_latency_ns
+        );
+    }
+
+    #[test]
+    fn multichannel_simulation_equals_independent_channel_simulations() {
+        // A channel is a fully independent lane: simulating the whole
+        // trace on N channels must give each request the same completion
+        // accounting as simulating that channel's partition alone on a
+        // single-channel controller.
+        let tr = trace(DramWorkload::Cloud2, 25);
+        let topo = Topology::new(4, 1);
+        let whole = MemoryController::new(ControllerConfig::default())
+            .topology(topo)
+            .simulate(&tr);
+
+        let single = MemoryController::new(ControllerConfig::default());
+        let mut counts = OpCounts::default();
+        let mut hits = 0u64;
+        let mut total_cycles = 0u64;
+        let mut energy = 0.0f64;
+        for ch in 0..topo.channels {
+            let part: Vec<MemoryRequest> = tr
+                .iter()
+                .copied()
+                .filter(|r| topo.channel_of(r.addr) == ch)
+                .collect();
+            if part.is_empty() {
+                continue;
+            }
+            let stats = single.simulate(&part);
+            counts.add(&stats.counts);
+            hits += stats.row_hits;
+            total_cycles = total_cycles.max(stats.total_cycles);
+            energy += stats.energy_uj;
+        }
+        assert_eq!(whole.counts, counts);
+        assert_eq!(whole.row_hits, hits);
+        assert_eq!(whole.total_cycles, total_cycles);
+        assert_eq!(whole.energy_uj, energy);
+    }
+
+    #[test]
+    fn latency_stats_are_exact_order_statistics() {
+        // avg is the exact integer-sum mean; p95 is the order statistic
+        // at index floor((n-1) * 0.95) of the sorted diffs.
+        let mut diffs: Vec<u64> = (1..=100u64).rev().collect();
+        let total = diffs.iter().map(|&d| u128::from(d)).sum();
+        let (avg, p95) = latency_stats(total, &mut diffs, 2.0);
+        assert_eq!(avg, 5050.0 * 2.0 / 100.0);
+        assert_eq!(p95, 95.0 * 2.0); // index 94 of sorted 1..=100
+        let mut one = vec![7u64];
+        let (avg, p95) = latency_stats(7, &mut one, 0.5);
+        assert_eq!(avg, 3.5);
+        assert_eq!(p95, 3.5);
     }
 
     fn arbitrary_config(seed: u64) -> ControllerConfig {
@@ -1312,7 +965,7 @@ mod tests {
         }
 
         #[test]
-        fn prop_indexed_engine_matches_linear_scan(cfg_seed in 0u64..5000, wl_idx in 0usize..4) {
+        fn prop_engine_equivalence_any_config(cfg_seed in 0u64..5000, wl_idx in 0usize..4) {
             let cfg = arbitrary_config(cfg_seed);
             let tr = generate(
                 DramWorkload::ALL[wl_idx],
@@ -1320,7 +973,94 @@ mod tests {
                 &mut seeded_rng(cfg_seed.wrapping_mul(31).wrapping_add(7)),
             );
             let controller = MemoryController::new(cfg);
-            prop_assert_eq!(controller.simulate(&tr), controller.simulate_linear_scan(&tr));
+            let oracle = controller.simulate_linear_scan(&tr);
+            for kind in EngineKind::ALL {
+                prop_assert_eq!(&controller.simulate_with(kind, &tr), &oracle, "{}", kind.name());
+            }
+        }
+
+        #[test]
+        fn prop_engine_equivalence_multichannel(
+            cfg_seed in 0u64..5000,
+            wl_idx in 0usize..4,
+            ch_pow in 1u32..3,
+            rk_pow in 0u32..2,
+        ) {
+            let cfg = arbitrary_config(cfg_seed);
+            let tr = generate(
+                DramWorkload::ALL[wl_idx],
+                &TraceConfig { length: 200, ..TraceConfig::default() },
+                &mut seeded_rng(cfg_seed.wrapping_mul(17).wrapping_add(3)),
+            );
+            let controller = MemoryController::new(cfg)
+                .topology(Topology::new(1 << ch_pow, 1 << rk_pow));
+            let oracle = controller.simulate_linear_scan(&tr);
+            for kind in EngineKind::ALL {
+                prop_assert_eq!(&controller.simulate_with(kind, &tr), &oracle, "{}", kind.name());
+            }
+        }
+
+        #[test]
+        fn prop_multichannel_conserves_work_and_energy(
+            cfg_seed in 0u64..5000,
+            wl_idx in 0usize..4,
+            ch_pow in 1u32..3,
+        ) {
+            // Conservation invariants: the N-channel simulation is the
+            // exact union of N independent single-channel simulations of
+            // the address-partitioned trace — integer counters sum
+            // exactly, cycles take the max, energy sums bit-exactly
+            // (channel-order accumulation), and mean latency matches up
+            // to float re-association across the merge.
+            let cfg = arbitrary_config(cfg_seed);
+            let topo = Topology::new(1 << ch_pow, 1);
+            let tr = generate(
+                DramWorkload::ALL[wl_idx],
+                &TraceConfig { length: 200, ..TraceConfig::default() },
+                &mut seeded_rng(cfg_seed.wrapping_mul(13).wrapping_add(11)),
+            );
+            let whole = MemoryController::new(cfg.clone()).topology(topo).simulate(&tr);
+            let single = MemoryController::new(cfg);
+
+            let mut counts = OpCounts::default();
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            let mut conflicts = 0u64;
+            let mut total_cycles = 0u64;
+            let mut energy = 0.0f64;
+            let mut latency_weighted = 0.0f64;
+            let mut served = 0usize;
+            for ch in 0..topo.channels {
+                let part: Vec<MemoryRequest> = tr
+                    .iter()
+                    .copied()
+                    .filter(|r| topo.channel_of(r.addr) == ch)
+                    .collect();
+                if part.is_empty() {
+                    continue;
+                }
+                let stats = single.simulate(&part);
+                counts.add(&stats.counts);
+                hits += stats.row_hits;
+                misses += stats.row_misses;
+                conflicts += stats.row_conflicts;
+                total_cycles = total_cycles.max(stats.total_cycles);
+                energy += stats.energy_uj;
+                latency_weighted += stats.avg_latency_ns * part.len() as f64;
+                served += part.len();
+            }
+            prop_assert_eq!(whole.counts, counts);
+            prop_assert_eq!(whole.row_hits, hits);
+            prop_assert_eq!(whole.row_misses, misses);
+            prop_assert_eq!(whole.row_conflicts, conflicts);
+            prop_assert_eq!(whole.total_cycles, total_cycles);
+            prop_assert_eq!(whole.energy_uj, energy);
+            prop_assert_eq!(served, tr.len());
+            let merged_avg = latency_weighted / served as f64;
+            prop_assert!(
+                (whole.avg_latency_ns - merged_avg).abs() <= merged_avg.abs() * 1e-9 + 1e-9,
+                "avg latency diverged: {} vs {}", whole.avg_latency_ns, merged_avg
+            );
         }
     }
 }

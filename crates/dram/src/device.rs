@@ -151,6 +151,70 @@ impl Default for AddressMapping {
     }
 }
 
+/// Channel/rank topology of the memory subsystem.
+///
+/// Channels are fully independent controller lanes (own request buffer,
+/// scheduler, data bus, refresh engine and power accounting), with
+/// requests interleaved across them by an address hash. Ranks multiply
+/// the bank count visible to one channel's controller — more bank-level
+/// parallelism at the cost of more state to refresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Topology {
+    /// Independent channels (power of two, ≥ 1).
+    pub channels: usize,
+    /// Ranks per channel (power of two, ≥ 1); scales the bank count.
+    pub ranks: usize,
+}
+
+impl Topology {
+    /// A `channels × ranks` topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both values are powers of two, `channels ≤ 64` and
+    /// `ranks ≤ 8`.
+    pub fn new(channels: usize, ranks: usize) -> Self {
+        assert!(
+            channels.is_power_of_two() && channels <= 64,
+            "channels must be a power of two ≤ 64"
+        );
+        assert!(
+            ranks.is_power_of_two() && ranks <= 8,
+            "ranks must be a power of two ≤ 8"
+        );
+        Topology { channels, ranks }
+    }
+
+    /// The single-channel, single-rank topology (the paper's Fig. 3(a)
+    /// baseline — exactly the pre-topology controller).
+    pub fn single() -> Self {
+        Topology {
+            channels: 1,
+            ranks: 1,
+        }
+    }
+
+    /// Which channel serves `addr`: an XOR-fold of the column, bank and
+    /// row bits above the burst offset. Folding several bit ranges keeps
+    /// both sequential streams (low bits advance) and large-stride
+    /// patterns (high bits advance) spread across channels instead of
+    /// camping on one.
+    #[inline]
+    pub fn channel_of(&self, addr: u64) -> usize {
+        if self.channels == 1 {
+            return 0;
+        }
+        let x = addr >> 6;
+        ((x ^ (x >> 7) ^ (x >> 13)) & (self.channels as u64 - 1)) as usize
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::single()
+    }
+}
+
 /// `(row, bank, column)` coordinates of a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Coordinates {
@@ -248,7 +312,39 @@ mod tests {
         assert!(!b.is_hit(6));
     }
 
+    #[test]
+    fn topology_defaults_to_single_lane() {
+        let t = Topology::default();
+        assert_eq!(t, Topology::single());
+        assert_eq!(t.channel_of(0xDEAD_BEEF), 0);
+    }
+
+    #[test]
+    fn channel_hash_spreads_a_sequential_stream() {
+        let t = Topology::new(4, 1);
+        // 64-byte sequential bursts must not camp on one channel.
+        let mut seen = [0usize; 4];
+        for i in 0..64u64 {
+            seen[t.channel_of(i * 64)] += 1;
+        }
+        for (ch, &count) in seen.iter().enumerate() {
+            assert!(count >= 8, "channel {ch} starved: {seen:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn topology_rejects_non_pow2_channels() {
+        let _ = Topology::new(3, 1);
+    }
+
     proptest! {
+        #[test]
+        fn prop_channel_in_range(addr in 0u64..u64::MAX / 2, ch_pow in 0u32..4, rk_pow in 0u32..2) {
+            let t = Topology::new(1 << ch_pow, 1 << rk_pow);
+            prop_assert!(t.channel_of(addr) < t.channels);
+        }
+
         #[test]
         fn prop_decode_is_injective_on_aligned_addresses(x in 0u64..1_000_000) {
             let m = AddressMapping::new();

@@ -1,0 +1,331 @@
+//! The per-bank indexed engine (PR 3), now on the monotone event wheel.
+//!
+//! Pending requests live in a slab with per-bank queues of slab slots in
+//! arrival order. Each scheduling decision walks the visible banks'
+//! queues once, fusing visibility filter, scheduler class and arbiter
+//! key into a single pass; within one bank, at most one entry per
+//! `(class, row-hit)` combination can win (keys are constant given the
+//! bank's state and the hit status, and ties break by arrival id, which
+//! is the queue order), so each bank contributes O(1) candidates instead
+//! of a full rescan. The `Bankwise` round-robin probe checks queue
+//! emptiness per bank — O(banks) — instead of scanning the whole buffer
+//! per bank.
+//!
+//! This engine handles every configuration shape (any bank count, any
+//! buffer depth); the faster SoA engine delegates to it outside its
+//! bitmask limits.
+
+use super::{Bank, EngineCtx, EventWheel, Pending, RawRun};
+use crate::controller::{Arbiter, PagePolicy, RefreshPolicy, Scheduler, SchedulerBuffer};
+use crate::power::OpCounts;
+use crate::trace::MemoryRequest;
+
+pub(super) fn run(ctx: &EngineCtx<'_>, trace: &[MemoryRequest]) -> RawRun {
+    let t = ctx.timing;
+    let cfg = ctx.config;
+    let n = trace.len();
+
+    let mut completion = vec![0u64; n];
+    let mut banks: Vec<Bank> = (0..ctx.mapping.banks()).map(|_| Bank::default()).collect();
+    let nb = banks.len();
+    // The slab + free list recycle Pending slots; `queues[bank]`
+    // holds slab slots in arrival order (admission ids increase and
+    // removal preserves order, so no sorting is ever needed).
+    let mut slots: Vec<Pending> = Vec::with_capacity(cfg.request_buffer_size);
+    let mut free: Vec<usize> = Vec::with_capacity(cfg.request_buffer_size);
+    let mut queues: Vec<Vec<usize>> = vec![Vec::with_capacity(cfg.request_buffer_size); nb];
+    // Bitmask of banks with a non-empty queue, so each scheduling
+    // decision visits only occupied banks (≤ buffered ≤ buffer
+    // size) instead of every bank.
+    let mut occupied: Vec<u64> = vec![0; nb.div_ceil(64)];
+    let mut buffered = 0usize;
+    let mut reads_buffered = 0usize;
+    // Completion times of issued requests: pushed in nondecreasing order
+    // (bus serialization), so the monotone wheel replaces the old
+    // `BinaryHeap<Reverse<u64>>` with O(1) push/front/retire.
+    let mut outstanding = EventWheel::with_capacity(cfg.max_active_transactions);
+    let mut next_admit = 0usize;
+    let mut now = 0u64;
+    let mut bus_free = 0u64;
+    let mut counts = OpCounts::default();
+    let mut row_hits = 0u64;
+    let mut row_misses = 0u64;
+    let mut row_conflicts = 0u64;
+    let mut next_refi = t.t_refi;
+    let mut refresh_debt: i64 = 0;
+    let mut last_type_write = false;
+    let mut rr_bank = 0usize;
+
+    loop {
+        // 1. Retire issued requests whose data has returned.
+        outstanding.retire_until(now);
+
+        // 2. Admit arrivals within buffer and transaction-window limits.
+        while next_admit < n
+            && trace[next_admit].arrival <= now
+            && buffered < cfg.request_buffer_size
+            && buffered + outstanding.len() < cfg.max_active_transactions
+        {
+            let req = trace[next_admit];
+            let coords = ctx.mapping.decode(req.addr);
+            let pending = Pending {
+                id: next_admit,
+                row: coords.row,
+                bank: coords.bank,
+                is_write: req.is_write,
+            };
+            let slot = match free.pop() {
+                Some(slot) => {
+                    slots[slot] = pending;
+                    slot
+                }
+                None => {
+                    slots.push(pending);
+                    slots.len() - 1
+                }
+            };
+            let queue = &mut queues[coords.bank];
+            if queue.is_empty() {
+                occupied[coords.bank / 64] |= 1u64 << (coords.bank % 64);
+            }
+            queue.push(slot);
+            buffered += 1;
+            if !req.is_write {
+                reads_buffered += 1;
+            }
+            next_admit += 1;
+        }
+
+        // 3. Refresh engine.
+        if cfg.refresh_policy == RefreshPolicy::AllBank {
+            while now >= next_refi {
+                refresh_debt += 1;
+                next_refi += t.t_refi;
+            }
+            let forced = refresh_debt > cfg.refresh_max_postponed as i64;
+            let opportunistic = buffered == 0
+                && next_admit < n
+                && refresh_debt > -(cfg.refresh_max_pulled_in as i64);
+            if forced || (opportunistic && refresh_debt > 0) {
+                let start = banks
+                    .iter()
+                    .map(|b| b.ready_at)
+                    .max()
+                    .unwrap_or(now)
+                    .max(now);
+                for b in &mut banks {
+                    if b.open_row.take().is_some() {
+                        counts.precharges += 1;
+                    }
+                    b.ready_at = start + t.t_rfc;
+                }
+                counts.refreshes += 1;
+                refresh_debt -= 1;
+                now = start + t.t_rfc;
+                continue;
+            }
+        }
+
+        // 4. Nothing schedulable: advance time to the next event.
+        if buffered == 0 {
+            if next_admit >= n {
+                break; // every request issued; data returns on its own
+            }
+            let arrival_evt = trace[next_admit].arrival;
+            // Admission may also be blocked by the transaction window.
+            let window_full = outstanding.len() >= cfg.max_active_transactions;
+            let evt = if window_full {
+                outstanding.front().unwrap_or(arrival_evt)
+            } else {
+                arrival_evt
+            };
+            now = now.max(evt).max(now + 1);
+            continue;
+        }
+
+        // 5–7. Fused candidate selection: visibility, scheduler class
+        // and arbiter key in one walk over the visible banks' queues.
+        // The winner is the lexicographic minimum of
+        // `(class, arbiter key, arrival id)`, which matches the
+        // reference engine's min-class-then-arbiter-tie-break because
+        // every arbiter embeds the unique arrival id.
+        let reads_only = cfg.scheduler_buffer == SchedulerBuffer::ReadWrite && reads_buffered > 0;
+
+        let mut best: Option<(u32, u64, usize)> = None;
+        let mut best_bank = 0usize;
+        let mut best_pos = 0usize;
+        {
+            // Within one bank, class and arbiter key are functions of
+            // (bank state, row-hit, access type vs. last); only the
+            // arrival id breaks ties, and the queue is id-ordered —
+            // so only the first entry of each (class, hit) pair can
+            // win. Six possible pairs → O(1) candidates per bank.
+            let mut consider = |bank_idx: usize| {
+                let bank = &banks[bank_idx];
+                let mut seen: u8 = 0;
+                for (pos, &slot) in queues[bank_idx].iter().enumerate() {
+                    if seen == 0b11_1111 {
+                        break; // every (class, hit) pair already seen
+                    }
+                    let p = &slots[slot];
+                    if reads_only && p.is_write {
+                        continue;
+                    }
+                    let hit = bank.open_row == Some(p.row);
+                    let class = match cfg.scheduler {
+                        Scheduler::Fifo => 0,
+                        Scheduler::FrFcfs => u32::from(!hit),
+                        Scheduler::FrFcfsGrp => {
+                            if hit {
+                                0
+                            } else if p.is_write == last_type_write {
+                                1
+                            } else {
+                                2
+                            }
+                        }
+                    };
+                    let mask = 1u8 << (class * 2 + u32::from(hit));
+                    if seen & mask != 0 {
+                        continue;
+                    }
+                    seen |= mask;
+                    let key = match cfg.arbiter {
+                        Arbiter::Simple => bank_idx as u64,
+                        Arbiter::Fifo => 0,
+                        Arbiter::Reorder => {
+                            let base = now.max(bank.ready_at);
+                            let extra = match bank.open_row {
+                                Some(r) if r == p.row => 0,
+                                Some(_) => t.t_rp + t.t_rcd,
+                                None => t.t_rcd,
+                            };
+                            base + extra
+                        }
+                    };
+                    let candidate = (class, key, p.id);
+                    if best.is_none_or(|b| candidate < b) {
+                        best = Some(candidate);
+                        best_bank = bank_idx;
+                        best_pos = pos;
+                    }
+                }
+            };
+            match cfg.scheduler_buffer {
+                SchedulerBuffer::Bankwise => {
+                    let mut chosen = None;
+                    for off in 0..nb {
+                        let bank = (rr_bank + off) % nb;
+                        if occupied[bank / 64] & (1u64 << (bank % 64)) != 0 {
+                            chosen = Some(bank);
+                            break;
+                        }
+                    }
+                    let bank = chosen.expect("buffer non-empty");
+                    rr_bank = (bank + 1) % nb;
+                    consider(bank);
+                }
+                _ => {
+                    // The winner is a global lexicographic minimum, so
+                    // enumeration order is free — walk only the set
+                    // bits of the occupancy mask.
+                    for (word_idx, &word) in occupied.iter().enumerate() {
+                        let mut bits = word;
+                        while bits != 0 {
+                            let bank_idx = word_idx * 64 + bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            consider(bank_idx);
+                        }
+                    }
+                }
+            }
+        }
+        debug_assert!(best.is_some(), "non-empty buffer must yield a candidate");
+        let slot = queues[best_bank].remove(best_pos);
+        if queues[best_bank].is_empty() {
+            occupied[best_bank / 64] &= !(1u64 << (best_bank % 64));
+        }
+        let p = slots[slot].clone();
+        free.push(slot);
+        buffered -= 1;
+        if !p.is_write {
+            reads_buffered -= 1;
+        }
+
+        // 8. Bank timing engine.
+        let bank = &mut banks[p.bank];
+        let start = now.max(bank.ready_at);
+        let was_hit = bank.open_row == Some(p.row);
+        let col_ready = match bank.open_row {
+            Some(r) if r == p.row => {
+                row_hits += 1;
+                start
+            }
+            Some(_) => {
+                row_conflicts += 1;
+                counts.precharges += 1;
+                counts.activates += 1;
+                let pre_start = start.max(bank.activated_at + t.t_ras).max(bank.data_done);
+                bank.activated_at = pre_start + t.t_rp;
+                pre_start + t.t_rp + t.t_rcd
+            }
+            None => {
+                row_misses += 1;
+                counts.activates += 1;
+                bank.activated_at = start;
+                start + t.t_rcd
+            }
+        };
+        let cas = if p.is_write { t.t_cwl } else { t.t_cl };
+        let data_start = (col_ready + cas).max(bus_free);
+        let data_end = data_start + t.t_burst;
+        bus_free = data_end;
+        completion[p.id] = data_end;
+        outstanding.push(data_end);
+        if p.is_write {
+            counts.writes += 1;
+        } else {
+            counts.reads += 1;
+        }
+        last_type_write = p.is_write;
+
+        // Column commands pipeline: the bank can accept its next CAS
+        // one burst (≈tCCD) after this one issued; data return is
+        // overlapped. Writes add recovery before the row can close.
+        let cas_issue = data_start - cas;
+        let next_cas = cas_issue + t.t_burst;
+        let data_done = if p.is_write {
+            data_end + t.t_wr
+        } else {
+            data_end
+        };
+
+        // 9. Page policy.
+        bank.hit_ewma = 0.875 * bank.hit_ewma + 0.125 * f64::from(was_hit);
+        let keep_open = match cfg.page_policy {
+            PagePolicy::Open => true,
+            PagePolicy::Closed => false,
+            PagePolicy::OpenAdaptive => bank.hit_ewma > 0.25,
+            PagePolicy::ClosedAdaptive => bank.hit_ewma > 0.75,
+        };
+        if keep_open {
+            bank.open_row = Some(p.row);
+            bank.ready_at = next_cas;
+        } else {
+            bank.open_row = None;
+            counts.precharges += 1;
+            bank.ready_at = data_done + t.t_rp;
+        }
+        bank.data_done = data_done;
+
+        now = start + 1;
+    }
+
+    RawRun {
+        completion,
+        counts,
+        row_hits,
+        row_misses,
+        row_conflicts,
+    }
+}

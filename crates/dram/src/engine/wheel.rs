@@ -1,0 +1,175 @@
+//! A monotone event wheel for outstanding-completion events.
+//!
+//! The engines previously tracked issued-but-unreturned requests in a
+//! `BinaryHeap<Reverse<u64>>`: O(log n) sift per push/pop plus a pointer
+//! chase per comparison. But completion events are **provably pushed in
+//! nondecreasing order**: every issue serializes on the shared data bus
+//! (`data_start = max(col_ready + cas, bus_free)`,
+//! `data_end = data_start + t_burst > bus_free`, and `bus_free` becomes
+//! `data_end`), so each pushed completion strictly exceeds the previous
+//! one. Under a monotone insert stream, a calendar queue's bucket
+//! hierarchy collapses to a single lane — the correct degenerate form is
+//! a plain ring buffer with O(1) push/front/pop and no comparisons at
+//! all. `debug_assert`s enforce the monotonicity contract, and the
+//! engine-equivalence suite (which compares against the heap-based
+//! reference engine) proves retirement order is unchanged.
+
+/// A FIFO ring of event times that must be pushed in nondecreasing
+/// order; the front is always the earliest outstanding event.
+#[derive(Debug, Clone)]
+pub struct EventWheel {
+    ring: Vec<u64>,
+    mask: usize,
+    /// Monotonically increasing push/pop counters; `tail - head` is the
+    /// live length and `counter & mask` the ring index.
+    head: usize,
+    tail: usize,
+    #[cfg(debug_assertions)]
+    last: u64,
+}
+
+impl EventWheel {
+    /// A wheel that holds at least `capacity` events without growing.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        EventWheel {
+            ring: vec![0; cap],
+            mask: cap - 1,
+            head: 0,
+            tail: 0,
+            #[cfg(debug_assertions)]
+            last: 0,
+        }
+    }
+
+    /// Number of outstanding events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tail - self.head
+    }
+
+    /// Whether no events are outstanding.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// The earliest outstanding event time, if any.
+    #[inline]
+    pub fn front(&self) -> Option<u64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.ring[self.head & self.mask])
+        }
+    }
+
+    /// Append an event time. Must be ≥ every previously pushed time.
+    #[inline]
+    pub fn push(&mut self, at: u64) {
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(at >= self.last, "event wheel pushes must be monotone");
+            self.last = at;
+        }
+        if self.len() == self.ring.len() {
+            self.grow();
+        }
+        self.ring[self.tail & self.mask] = at;
+        self.tail += 1;
+    }
+
+    /// Remove and return the earliest event time.
+    #[inline]
+    pub fn pop_front(&mut self) -> Option<u64> {
+        if self.is_empty() {
+            return None;
+        }
+        let at = self.ring[self.head & self.mask];
+        self.head += 1;
+        Some(at)
+    }
+
+    /// Drop every event at or before `now`, returning how many retired.
+    #[inline]
+    pub fn retire_until(&mut self, now: u64) -> usize {
+        let before = self.len();
+        while self.front().is_some_and(|at| at <= now) {
+            self.head += 1;
+        }
+        before - self.len()
+    }
+
+    /// Double the ring, relinearizing live events (cold path: sized to
+    /// the transaction window up front, this only runs on misuse-scale
+    /// windows).
+    fn grow(&mut self) {
+        let mut bigger = vec![0; self.ring.len() * 2];
+        let len = self.len();
+        for (i, slot) in bigger.iter_mut().enumerate().take(len) {
+            *slot = self.ring[(self.head + i) & self.mask];
+        }
+        self.ring = bigger;
+        self.mask = self.ring.len() - 1;
+        self.head = 0;
+        self.tail = len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_front_tracking() {
+        let mut w = EventWheel::with_capacity(4);
+        assert!(w.is_empty());
+        assert_eq!(w.front(), None);
+        for at in [3u64, 3, 5, 9] {
+            w.push(at);
+        }
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.front(), Some(3));
+        assert_eq!(w.pop_front(), Some(3));
+        assert_eq!(w.pop_front(), Some(3));
+        assert_eq!(w.front(), Some(5));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn retire_until_drops_due_events_only() {
+        let mut w = EventWheel::with_capacity(8);
+        for at in [1u64, 4, 4, 7, 10] {
+            w.push(at);
+        }
+        assert_eq!(w.retire_until(4), 3);
+        assert_eq!(w.front(), Some(7));
+        assert_eq!(w.retire_until(4), 0);
+        assert_eq!(w.retire_until(100), 2);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn grows_past_initial_capacity_preserving_order() {
+        let mut w = EventWheel::with_capacity(2);
+        // Interleave pops so head is offset when growth happens.
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop_front(), Some(1));
+        for at in 3..20u64 {
+            w.push(at);
+        }
+        let drained: Vec<u64> = std::iter::from_fn(|| w.pop_front()).collect();
+        let expected: Vec<u64> = (2..20).collect();
+        assert_eq!(drained, expected);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_push_is_a_contract_violation() {
+        let mut w = EventWheel::with_capacity(4);
+        w.push(5);
+        w.push(4);
+    }
+}

@@ -9,6 +9,7 @@ use crate::controller::{
     Arbiter, ControllerConfig, MemoryController, PagePolicy, RefreshPolicy, RespQueue, Scheduler,
     SchedulerBuffer,
 };
+use crate::device::Topology;
 use crate::trace::{generate, DramWorkload, MemoryRequest, TraceConfig};
 use archgym_core::env::{Environment, Observation, StepResult};
 use archgym_core::reward::RewardSpec;
@@ -51,6 +52,47 @@ pub fn dram_space() -> ParamSpace {
         .categorical("RefreshPolicy", ["NoRefresh", "AllBank"])
         .build()
         .expect("static space definition is valid")
+}
+
+/// Build the widened twelve-dimensional space: Fig. 3(a)'s ten controller
+/// parameters plus the channel/rank topology axes of the multi-channel
+/// engine.
+///
+/// ```
+/// let space = archgym_dram::dram_space_extended();
+/// assert_eq!(space.len(), 12);
+/// assert_eq!(space.cardinality(), 10_616_832.0);
+/// ```
+pub fn dram_space_extended() -> ParamSpace {
+    ParamSpace::builder()
+        .int("RefreshMaxPostponed", 1, 8, 1)
+        .int("RefreshMaxPulledIn", 1, 8, 1)
+        .int("RequestBufferSize", 1, 8, 1)
+        .pow2("MaxActiveTransactions", 1, 128)
+        .categorical(
+            "PagePolicy",
+            ["Open", "OpenAdaptive", "Closed", "ClosedAdaptive"],
+        )
+        .categorical("Scheduler", ["Fifo", "FrFcfsGrp", "FrFcfs"])
+        .categorical("SchedulerBuffer", ["Bankwise", "ReadWrite", "Shared"])
+        .categorical("Arbiter", ["Simple", "Fifo", "Reorder"])
+        .categorical("RespQueue", ["Fifo", "Reorder"])
+        .categorical("RefreshPolicy", ["NoRefresh", "AllBank"])
+        .pow2("Channels", 1, 4)
+        .pow2("Ranks", 1, 2)
+        .build()
+        .expect("static space definition is valid")
+}
+
+/// Decode the channel/rank topology from an action, if the space carries
+/// the extended axes; the plain Fig. 3(a) space maps to the
+/// single-channel, single-rank baseline.
+pub fn decode_topology(space: &ParamSpace, action: &Action) -> Topology {
+    if space.dim_of("Channels").is_none() {
+        return Topology::single();
+    }
+    let int = |name: &str| space.decode_one(action, name).as_int().unwrap();
+    Topology::new(int("Channels") as usize, int("Ranks") as usize)
 }
 
 /// Decode a DRAMGym action into a [`ControllerConfig`].
@@ -188,6 +230,17 @@ impl DramEnv {
         }
     }
 
+    /// Create an environment over the widened [`dram_space_extended`]
+    /// design space (Fig. 3(a) plus channel/rank topology axes). The
+    /// environment is named `dramx/<workload>` to keep result histories
+    /// from the two spaces separate.
+    pub fn extended(workload: DramWorkload, objective: Objective) -> Self {
+        let mut env = Self::new(workload, objective);
+        env.space = dram_space_extended();
+        env.name = format!("dramx/{}", workload.name());
+        env
+    }
+
     /// Create an environment around an explicit trace (e.g. one loaded
     /// with [`crate::trace::read_trace`] from a real application's memory
     /// trace file).
@@ -246,9 +299,12 @@ impl Environment for DramEnv {
 
     fn step(&mut self, action: &Action) -> StepResult {
         let config = decode_config(&self.space, action);
+        let topology = decode_topology(&self.space, action);
         let stats = {
             let _span = self.telemetry.span(Phase::Simulate);
-            MemoryController::new(config).simulate(&self.trace)
+            MemoryController::new(config)
+                .topology(topology)
+                .simulate(&self.trace)
         };
         self.telemetry.add(Counter::DramRowHits, stats.row_hits);
         self.telemetry.add(Counter::DramRowMisses, stats.row_misses);
@@ -288,6 +344,57 @@ mod tests {
         // "1.9e7", which corresponds to counting MaxActiveTransactions
         // linearly; we implement the printed (1, 128, 2^x) domain.
         assert_eq!(space.cardinality(), 1_769_472.0);
+    }
+
+    #[test]
+    fn extended_space_widens_fig3a_with_topology_axes() {
+        let space = dram_space_extended();
+        assert_eq!(space.len(), 12);
+        let cards = space.cardinalities();
+        assert_eq!(cards, vec![8, 8, 8, 8, 4, 3, 3, 3, 2, 2, 3, 2]);
+        // Fig. 3(a)'s 1,769,472 designs × 3 channel options × 2 rank
+        // options.
+        assert_eq!(space.cardinality(), 10_616_832.0);
+        // The original space is untouched.
+        assert_eq!(dram_space().cardinality(), 1_769_472.0);
+    }
+
+    #[test]
+    fn decode_topology_defaults_to_single_on_plain_space() {
+        let space = dram_space();
+        let action = Action::new(vec![0; 10]);
+        assert_eq!(decode_topology(&space, &action), Topology::single());
+    }
+
+    #[test]
+    fn extended_env_baseline_action_matches_plain_env() {
+        // Appending the topology axes at their baseline (1 channel,
+        // 1 rank) must not change any observation: the extended space
+        // strictly contains Fig. 3(a).
+        let objective = Objective::joint(30.0, 1.0);
+        let mut plain = DramEnv::new(DramWorkload::Cloud1, objective.clone());
+        let mut extended = DramEnv::extended(DramWorkload::Cloud1, objective);
+        assert_eq!(extended.name(), "dramx/cloud-1");
+        let mut rng = seeded_rng(41);
+        for _ in 0..8 {
+            let base = plain.space().sample(&mut rng);
+            let mut widened = base.clone().into_inner();
+            widened.extend([0, 0]); // Channels = 1, Ranks = 1
+            assert_eq!(plain.step(&base), extended.step(&Action::new(widened)));
+        }
+    }
+
+    #[test]
+    fn extended_env_steps_multichannel_points() {
+        let mut env = DramEnv::extended(DramWorkload::Stream, Objective::low_power(1.0));
+        let mut rng = seeded_rng(42);
+        for _ in 0..8 {
+            let action = env.space().sample(&mut rng);
+            let topo = decode_topology(env.space(), &action);
+            let result = env.step(&action);
+            assert_eq!(result.observation.len(), 3);
+            assert!(result.reward > 0.0, "{topo:?}");
+        }
     }
 
     #[test]

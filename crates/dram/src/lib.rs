@@ -11,7 +11,11 @@
 //!   (streaming, random/pointer-chase, cloud-1, cloud-2).
 //! * [`controller`] — the configurable memory controller: request buffer,
 //!   schedulers, page policies, arbiter, response queue, refresh policies —
-//!   exactly the ten parameters of the paper's Fig. 3(a).
+//!   exactly the ten parameters of the paper's Fig. 3(a) — plus the
+//!   channel/rank [`Topology`] axes of the extended space.
+//! * [`engine`] — the pluggable timing engines behind the controller:
+//!   a linear-scan reference oracle, the per-bank indexed engine and the
+//!   data-oriented structure-of-arrays engine, all bit-identical.
 //! * [`power`] — activate/read/write/refresh energy and background power
 //!   accounting.
 //! * [`mod@env`] — [`DramEnv`], the ArchGym [`Environment`] exposing
@@ -35,6 +39,7 @@
 
 pub mod controller;
 pub mod device;
+pub mod engine;
 pub mod env;
 pub mod power;
 pub mod trace;
@@ -43,8 +48,9 @@ pub use controller::{
     Arbiter, ControllerConfig, MemoryController, PagePolicy, RefreshPolicy, RespQueue, Scheduler,
     SchedulerBuffer, SimStats,
 };
-pub use device::{AddressMapping, BankState, DeviceTiming};
-pub use env::{dram_space, DramEnv, Objective};
+pub use device::{AddressMapping, BankState, DeviceTiming, Topology};
+pub use engine::{EngineKind, EventWheel, TimingEngine};
+pub use env::{decode_topology, dram_space, dram_space_extended, DramEnv, Objective};
 pub use trace::{
     characterize, read_trace, write_trace, DramWorkload, MemoryRequest, TraceConfig, TraceStats,
 };

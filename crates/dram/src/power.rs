@@ -26,6 +26,17 @@ pub struct OpCounts {
     pub refreshes: u64,
 }
 
+impl OpCounts {
+    /// Accumulate another channel's counters into this one.
+    pub fn add(&mut self, other: &OpCounts) {
+        self.activates += other.activates;
+        self.precharges += other.precharges;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.refreshes += other.refreshes;
+    }
+}
+
 /// Per-operation energies (nanojoules) and static power terms (watts).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PowerModel {
