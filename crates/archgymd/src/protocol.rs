@@ -172,6 +172,10 @@ impl JobStatus {
 }
 
 /// A client → daemon frame.
+// `Submit` carries a full inline `JobSpec` (now including the optional
+// screening policy) and dwarfs the query variants; frames are transient
+// per-connection values, so the size skew costs nothing worth boxing for.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Submit a job under a tenant; `name`, when given, must be unique
@@ -476,6 +480,14 @@ mod tests {
                 spec: JobSpec {
                     kind: JobKind::Compare,
                     agents: vec!["ga".into(), "aco".into()],
+                    ..spec()
+                },
+            },
+            Request::Submit {
+                tenant: "ci".into(),
+                name: Some("screened".into()),
+                spec: JobSpec {
+                    proxy: Some(archgym_core::screen::ScreenPolicy::default().top_k(6)),
                     ..spec()
                 },
             },

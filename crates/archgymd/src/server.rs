@@ -445,7 +445,21 @@ fn run_one(
         flag: Arc::clone(handle),
     };
     let _ = inner; // journal path already resolved by the caller
-    streaming_driver(spec, handle).run_resumable_pooled(&mut agent, env, journal)
+    match &spec.proxy {
+        // Screened jobs run through the proxy layer; the screener's
+        // decisions are journaled, so daemon restarts resume them
+        // bit-identically like plain jobs.
+        Some(policy) => {
+            let mut screener = archgym_proxy::OnlineProxy::with_defaults(*policy, spec.seed)?;
+            streaming_driver(spec, handle).run_screened_resumable_pooled(
+                &mut agent,
+                env,
+                &mut screener,
+                journal,
+            )
+        }
+        None => streaming_driver(spec, handle).run_resumable_pooled(&mut agent, env, journal),
+    }
 }
 
 fn run_search(inner: &Arc<Inner>, handle: &Arc<JobHandle>) -> Result<(Option<f64>, u64)> {

@@ -377,6 +377,92 @@ fn restart_resumes_interrupted_jobs_bit_identically() {
     daemon.stop();
 }
 
+/// Proxy-screened jobs: the optional `proxy` spec field survives the
+/// protocol, the job completes under its true-sample budget, identical
+/// screened specs are bit-identical, and a degenerate policy is a
+/// `bad-spec` rejection at submit time (not a failed job).
+#[test]
+fn screened_jobs_run_deterministically_and_bad_policies_are_rejected() {
+    use archgym_core::screen::ScreenPolicy;
+    let mut daemon = Daemon::boot(&state_dir("proxy"), 2, QuotaPolicy::default());
+    let screened = || {
+        let mut spec = small_spec(200, 21);
+        spec.proxy = Some(ScreenPolicy::default().warmup(48));
+        spec
+    };
+    let mut rewards = Vec::new();
+    for _ in 0..2 {
+        let Response::Accepted { job, .. } = submit(&daemon.addr, "ci", None, screened()) else {
+            panic!("submit not accepted")
+        };
+        let (state, best, samples, events) = watch_to_done(&daemon.addr, job);
+        assert_eq!(state, JobState::Done);
+        assert_eq!(samples, 200, "budget counts true simulations only");
+        assert!(events > 0);
+        rewards.push(best.expect("best reward").to_bits());
+    }
+    assert_eq!(rewards[0], rewards[1], "screened runs are deterministic");
+
+    let mut bad = small_spec(100, 1);
+    bad.proxy = Some(ScreenPolicy::default().oversample(1));
+    match submit(&daemon.addr, "ci", None, bad) {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadSpec),
+        other => panic!("expected bad-spec for degenerate proxy, got {other:?}"),
+    }
+    daemon.stop();
+}
+
+/// The screened flavor of the crash-recovery guarantee: a SIGKILL'd
+/// screened job (torn journal, missing outcome record) resumes through
+/// its journaled `screen` records to a bit-identical best reward.
+#[test]
+fn restart_resumes_screened_jobs_bit_identically() {
+    use archgym_core::screen::ScreenPolicy;
+    let dir = state_dir("proxy-resume");
+
+    let mut spec = small_spec(300, 33);
+    spec.proxy = Some(ScreenPolicy::default().warmup(64).revalidate_every(4));
+
+    let mut daemon = Daemon::boot(&dir, 1, QuotaPolicy::default());
+    let Response::Accepted { job, .. } = submit(&daemon.addr, "ci", None, spec) else {
+        panic!("submit not accepted")
+    };
+    let (state, reference, samples, _) = watch_to_done(&daemon.addr, job);
+    assert_eq!(state, JobState::Done);
+    assert_eq!(samples, 300);
+    let reference = reference.expect("reference best reward");
+    daemon.stop();
+
+    // Forge the crash exactly like the unscreened resume test: drop the
+    // outcome, keep half the journal plus a torn tail, drop the snapshot.
+    std::fs::remove_file(dir.join(format!("{job}.done"))).expect("remove outcome");
+    let journal_path = dir.join(format!("{job}.jsonl"));
+    let journal = std::fs::read_to_string(&journal_path).expect("read journal");
+    assert!(
+        journal.contains("\"type\":\"screen\""),
+        "screened journals must pin admission decisions"
+    );
+    let lines: Vec<&str> = journal.lines().collect();
+    assert!(lines.len() > 4, "journal should hold several records");
+    let keep = lines.len() / 2;
+    let mut truncated = lines[..keep].join("\n");
+    truncated.push('\n');
+    truncated.push_str(&lines[keep][..lines[keep].len() / 2]);
+    std::fs::write(&journal_path, truncated).expect("truncate journal");
+    let _ = std::fs::remove_file(dir.join(format!("{job}.jsonl.snap")));
+
+    let mut daemon = Daemon::boot(&dir, 1, QuotaPolicy::default());
+    let (state, resumed, samples, _) = watch_to_done(&daemon.addr, job);
+    assert_eq!(state, JobState::Done);
+    assert_eq!(samples, 300);
+    assert_eq!(
+        resumed.expect("resumed best reward").to_bits(),
+        reference.to_bits(),
+        "screened journal resume must be bit-identical"
+    );
+    daemon.stop();
+}
+
 /// Compare jobs run the whole roster and report the roster-wide best.
 #[test]
 fn compare_jobs_report_the_roster_best() {

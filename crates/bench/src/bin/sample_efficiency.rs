@@ -1,10 +1,16 @@
-//! Samples-to-target study. Pass `--scale=smoke|default|full`.
+//! Samples-to-target study. Pass `--scale=smoke|default|full`;
+//! `--proxy-only` skips straight to the proxy screening study.
 
 use archgym_bench::harness::Scale;
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("running sample_efficiency at {scale:?} scale...");
-    let result = archgym_bench::sample_efficiency::run(scale).expect("experiment failed");
-    archgym_bench::sample_efficiency::print(&result);
+    if !std::env::args().any(|a| a == "--proxy-only") {
+        eprintln!("running sample_efficiency at {scale:?} scale...");
+        let result = archgym_bench::sample_efficiency::run(scale).expect("experiment failed");
+        archgym_bench::sample_efficiency::print(&result);
+    }
+    eprintln!("running the proxy screening study at {scale:?} scale...");
+    let proxy = archgym_bench::sample_efficiency::run_proxy_study(scale).expect("study failed");
+    archgym_bench::sample_efficiency::print_proxy_study(&proxy);
 }

@@ -3,8 +3,10 @@
 //! Times the layers this repo's throughput rests on, bottom to top:
 //! the raw `MemoryController::simulate` inner loop (simulate-only), a
 //! serial agent sweep, the same sweep fanned over worker threads
-//! (sweep-parallel), and the same sweep memoized through an
-//! [`EvalCache`] (cached-sweep, cold then warm). The report embeds the
+//! (sweep-parallel), the same sweep memoized through an
+//! [`EvalCache`] (cached-sweep, cold then warm), and the online proxy
+//! screening layer (`proxy/fit`, `proxy/predict`,
+//! `proxy/screened-search`). The report embeds the
 //! pre-optimization baseline measured before the hot-path rewrite so
 //! every future run shows the trajectory, and is written to
 //! `BENCH_perf.json` by the `bench` binary for CI artifact upload.
@@ -18,8 +20,10 @@ use archgym_core::cache::EvalCache;
 use archgym_core::env::Environment;
 use archgym_core::error::Result;
 use archgym_core::executor::Executor;
+use archgym_core::screen::ScreenPolicy;
 use archgym_core::search::{RunConfig, RunResult, SearchLoop};
 use archgym_core::seeded_rng;
+use archgym_core::space::Action;
 use archgym_core::sweep::{Sweep, SweepResult};
 use archgym_core::telemetry::{PhaseSummary, Recorder};
 use archgym_dram::controller::{ControllerConfig, MemoryController};
@@ -632,6 +636,91 @@ pub fn run(quick: bool, jobs: usize) -> Result<PerfReport> {
         per_second: 1.0 / daemon_p99,
     });
 
+    // --- proxy: the online surrogate screening layer ------------------
+    // Its three costs, isolated then end-to-end: fitting the screening
+    // forest from run-sized training data, flat-forest batch prediction
+    // over an oversampled candidate set (the per-batch screening cost),
+    // and a whole screened search. New names self-bootstrap under the
+    // gate: the first recorded run becomes the baseline.
+    let train_n: usize = if quick { 256 } else { 1_024 };
+    let mut proxy_rng = seeded_rng(0x9F17);
+    let mut xs: Vec<Vec<f64>> = Vec::with_capacity(train_n);
+    let mut ys: Vec<f64> = Vec::with_capacity(train_n);
+    for _ in 0..train_n {
+        let action = batched_space.sample(&mut proxy_rng);
+        let row: Vec<f64> = action.as_slice().iter().map(|&v| v as f64).collect();
+        let y = row
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v * (i as f64 + 1.0))
+            .sum::<f64>();
+        xs.push(row);
+        ys.push(y);
+    }
+    let fit_config = archgym_proxy::online_forest_config();
+    let fit_reps: u64 = if quick { 6 } else { 30 };
+    let (per_rep, checksum) = timed_batches(3, fit_reps / 3, || {
+        archgym_proxy::RandomForest::fit(&xs, &ys, &fit_config, 42)
+            .expect("proxy/fit: forest fit failed")
+            .predict(&xs[0])
+    });
+    assert!(checksum.is_finite());
+    scenarios.push(ScenarioResult {
+        name: "proxy/fit".into(),
+        work_units: fit_reps,
+        wall_seconds: per_rep * fit_reps as f64,
+        per_second: 1.0 / per_rep,
+    });
+
+    let forest = archgym_proxy::RandomForest::fit(&xs, &ys, &fit_config, 42)?;
+    let flat = archgym_proxy::FlatForest::from_forest(&forest);
+    let candidate_n: usize = if quick { 128 } else { 256 };
+    let candidates: Vec<Action> = (0..candidate_n)
+        .map(|_| batched_space.sample(&mut proxy_rng))
+        .collect();
+    let (mut means, mut vars, mut scratch) = (Vec::new(), Vec::new(), Vec::new());
+    let predict_reps: u64 = if quick { 100 } else { 1_000 };
+    let (per_rep, checksum) = timed_batches(10, predict_reps / 10, || {
+        flat.predict_action_stats(&candidates, &mut means, &mut vars, &mut scratch);
+        means[0]
+    });
+    assert!(checksum.is_finite());
+    let predictions = predict_reps * candidate_n as u64;
+    let predict_seconds = per_rep * predict_reps as f64;
+    scenarios.push(ScenarioResult {
+        name: "proxy/predict".into(),
+        work_units: predictions,
+        wall_seconds: predict_seconds,
+        per_second: predictions as f64 / predict_seconds,
+    });
+
+    let screened_budget: u64 = if quick { 96 } else { 400 };
+    let screen_policy = ScreenPolicy::default()
+        .warmup(32)
+        .oversample(4)
+        .top_k(8)
+        .refit_every(32)
+        .revalidate_every(8);
+    let (screened_seconds, screened) = timed(|| -> Result<RunResult> {
+        let mut agent = build_agent(AgentKind::Ga, &batched_space, &HyperMap::new(), 13)?;
+        let mut screener = archgym_proxy::OnlineProxy::with_defaults(screen_policy, 13)?;
+        let config = RunConfig::with_budget(screened_budget)
+            .batch(0)
+            .record(false);
+        Ok(SearchLoop::new(config).run_screened_pooled(&mut agent, batched_env(), &mut screener))
+    });
+    let screened = screened?;
+    assert_eq!(
+        screened.samples_used, screened_budget,
+        "proxy/screened-search consumed the wrong true-sample budget"
+    );
+    scenarios.push(ScenarioResult {
+        name: "proxy/screened-search".into(),
+        work_units: screened_budget,
+        wall_seconds: screened_seconds,
+        per_second: screened_budget as f64 / screened_seconds,
+    });
+
     let stats = cache.stats();
     Ok(PerfReport {
         rev: "unknown".into(),
@@ -713,6 +802,9 @@ pub fn gate(report: &PerfReport, baseline_json: &str, tolerance: f64) -> Vec<Str
         "dram-engine/conflict",
         "daemon/throughput",
         "daemon/p99",
+        "proxy/fit",
+        "proxy/predict",
+        "proxy/screened-search",
     ] {
         let (Some(base), Some(now)) = (
             last_per_second(baseline_json, scenario),
@@ -889,7 +981,10 @@ mod tests {
                 "cached-sweep/cold",
                 "cached-sweep/warm",
                 "daemon/throughput",
-                "daemon/p99"
+                "daemon/p99",
+                "proxy/fit",
+                "proxy/predict",
+                "proxy/screened-search"
             ]
         );
         assert!(report.scenarios.iter().all(|s| s.per_second > 0.0));

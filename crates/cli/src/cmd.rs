@@ -7,6 +7,7 @@ use archgym_agents::factory::{build_agent, default_grid, AgentKind};
 use archgym_core::env::Environment;
 use archgym_core::error::{ArchGymError, Result};
 use archgym_core::fault::{FaultPlan, FaultStats, FaultyEnv};
+use archgym_core::screen::ScreenPolicy;
 use archgym_core::search::{RetryPolicy, RunConfig, RunResult, SearchLoop};
 use archgym_core::seeded_rng;
 use archgym_core::stats::summarize;
@@ -57,9 +58,12 @@ USAGE:
                  [--journal run.jsonl] [--resume true] [--retries N] [--backoff-ms N]
                  [--fault-seed N] [--fault-transient P] [--fault-latched P]
                  [--fault-corrupt P] [--fault-stall P]
+                 [--proxy true] [--proxy-topk N] [--proxy-explore F] [--proxy-oversample N]
+                 [--proxy-warmup N] [--proxy-refit N] [--proxy-revalidate N]
                  [--metrics out.json] [--trace out.jsonl]
   archgym compare --env <spec> [--agents aco,ga,sa,...] [--objective <spec>]
                  [--budget N] [--seed N] [--batch N] [--jobs N] [--retries N] [--backoff-ms N]
+                 [--proxy true] [--proxy-topk N] [--proxy-explore F]
                  [--metrics out.json] [--trace out.jsonl]
   archgym sweep  --env <spec> --agent <kind> [--objective <spec>] [--budget N] [--seeds N] [--grid N] [--jobs N] [--cache true]
                  [--metrics out.json] [--trace out.jsonl]
@@ -71,6 +75,7 @@ USAGE:
   archgym submit --addr HOST:PORT --env <spec> [--kind search|sweep|compare] [--tenant NAME]
                  [--name JOB] [--agent <kind>] [--agents a,b,...] [--objective <spec>]
                  [--budget N] [--seed N] [--batch N] [--jobs N] [--seeds N]
+                 [--proxy true] [--proxy-topk N] [--proxy-explore F]
   archgym status --addr HOST:PORT --job job-N
   archgym watch  --addr HOST:PORT --job job-N
   archgym cancel --addr HOST:PORT --job job-N
@@ -95,6 +100,21 @@ printed as a table. For `compare`, FILE holds per-agent stable counters
 that are byte-identical across reruns and `--jobs` settings. `--trace
 FILE` streams one JSON object per settled batch to FILE as the run
 executes. Without either flag the recorder is a no-op and costs nothing.
+
+PROXY SCREENING:
+`--proxy true` puts a random-forest surrogate in the loop: after
+`--proxy-warmup N` true samples (default 64) the proxy trains on the
+run's own results, each proposal batch is over-sampled by
+`--proxy-oversample N` (default 4), and only the `--proxy-topk N`
+(default 4) candidates with the best predicted reward — plus an
+exploration slice of `ceil(--proxy-explore F × topk)` high-uncertainty
+picks (default 0.25) — are admitted to the true simulator. The model
+refits every `--proxy-refit N` new samples (default 32); every
+`--proxy-revalidate N`-th screened batch (default 8) bypasses the
+screen to measure drift, which triggers refits and, if persistent,
+disables screening. Screened runs are deterministic per seed and
+journal/resume-safe; runs without `--proxy` are bit-identical to
+builds without the feature.
 
 FAILURE SEMANTICS:
 Failed evaluations are retried up to `--retries N` times (default 2)
@@ -218,6 +238,48 @@ fn fault_plan(args: &Args, default_seed: u64) -> Result<Option<FaultPlan>> {
     ))
 }
 
+/// The `--proxy*` screening knobs: `Some(policy)` when `--proxy true`.
+/// Knob flags without `--proxy true` are an error, not silently inert.
+fn screen_policy(args: &Args) -> Result<Option<ScreenPolicy>> {
+    let knobs = [
+        "proxy-topk",
+        "proxy-explore",
+        "proxy-oversample",
+        "proxy-warmup",
+        "proxy-refit",
+        "proxy-revalidate",
+    ];
+    if !args.bool_or("proxy", false)? {
+        if let Some(name) = knobs.iter().find(|name| args.get(name).is_some()) {
+            return Err(ArchGymError::InvalidConfig(format!(
+                "`--{name}` needs `--proxy true`"
+            )));
+        }
+        return Ok(None);
+    }
+    let defaults = ScreenPolicy::default();
+    let policy = ScreenPolicy::default()
+        .top_k(args.u64_or("proxy-topk", defaults.top_k as u64)? as usize)
+        .explore_frac(args.f64_or("proxy-explore", defaults.explore_frac)?)
+        .oversample(args.u64_or("proxy-oversample", defaults.oversample as u64)? as usize)
+        .warmup(args.u64_or("proxy-warmup", defaults.warmup)?)
+        .refit_every(args.u64_or("proxy-refit", defaults.refit_every)?)
+        .revalidate_every(args.u64_or("proxy-revalidate", defaults.revalidate_every)?);
+    policy.validate().map_err(ArchGymError::InvalidConfig)?;
+    Ok(Some(policy))
+}
+
+/// Append the proxy layer's accounting to a report when it screened.
+fn write_proxy_line(out: &mut String, result: &RunResult) {
+    if result.proxy_screened > 0 {
+        let _ = writeln!(
+            out,
+            "proxy: {} candidates screened | {} admitted to simulation | {} model fits",
+            result.proxy_screened, result.proxy_admitted, result.proxy_refits
+        );
+    }
+}
+
 /// The `--journal`/`--resume` knobs. Refuses to silently extend an
 /// existing journal unless resuming was requested explicitly.
 fn journal_path(args: &Args) -> Result<Option<String>> {
@@ -267,6 +329,10 @@ fn search(args: &Args) -> Result<String> {
     let plan = fault_plan(args, seed)?;
     let journal = journal_path(args)?;
     let telemetry = telemetry_sink(args)?;
+    let mut screener = match screen_policy(args)? {
+        Some(policy) => Some(archgym_proxy::OnlineProxy::with_defaults(policy, seed)?),
+        None => None,
+    };
     let mut agent = build_agent(kind, env.space(), &Default::default(), seed)?;
     let config = RunConfig::with_budget(budget)
         .batch(batch)
@@ -281,16 +347,24 @@ fn search(args: &Args) -> Result<String> {
             let faulty = FaultyEnv::new(env.clone(), plan);
             // Clones share fault counters, so this handle sees the run's.
             let stats_handle = faulty.clone();
-            let result = match &journal {
-                Some(path) => driver.run_resumable_pooled(&mut agent, faulty, path)?,
-                None => driver.run_pooled(&mut agent, faulty),
+            let result = match (&journal, screener.as_mut()) {
+                (Some(path), Some(s)) => {
+                    driver.run_screened_resumable_pooled(&mut agent, faulty, s, path)?
+                }
+                (Some(path), None) => driver.run_resumable_pooled(&mut agent, faulty, path)?,
+                (None, Some(s)) => driver.run_screened_pooled(&mut agent, faulty, s),
+                (None, None) => driver.run_pooled(&mut agent, faulty),
             };
             (result, Some(stats_handle.stats()))
         }
         None => {
-            let result = match &journal {
-                Some(path) => driver.run_resumable_pooled(&mut agent, env.clone(), path)?,
-                None => driver.run_pooled(&mut agent, env.clone()),
+            let result = match (&journal, screener.as_mut()) {
+                (Some(path), Some(s)) => {
+                    driver.run_screened_resumable_pooled(&mut agent, env.clone(), s, path)?
+                }
+                (Some(path), None) => driver.run_resumable_pooled(&mut agent, env.clone(), path)?,
+                (None, Some(s)) => driver.run_screened_pooled(&mut agent, env.clone(), s),
+                (None, None) => driver.run_pooled(&mut agent, env.clone()),
             };
             (result, None)
         }
@@ -312,6 +386,7 @@ fn search(args: &Args) -> Result<String> {
         let _ = writeln!(out, "  {name:<34} = {value}");
     }
     write_fault_lines(&mut out, &result, injected.as_ref());
+    write_proxy_line(&mut out, &result);
     if let Some(path) = &journal {
         let _ = writeln!(out, "journal: {path}");
     }
@@ -359,6 +434,7 @@ fn compare(args: &Args) -> Result<String> {
         Some(path) => Some(SharedSink::create(path)?),
         None => None,
     };
+    let policy = screen_policy(args)?;
     let mut rows = Vec::new();
     let mut reports = Vec::new();
     for kind in &kinds {
@@ -373,7 +449,15 @@ fn compare(args: &Args) -> Result<String> {
             }
             driver = driver.with_telemetry(rec.clone());
         }
-        let result = driver.run_pooled(&mut agent, env.clone());
+        // Under `--proxy` every roster entry gets its own fresh screener
+        // (same policy, same seed) so the race stays apples-to-apples.
+        let result = match policy {
+            Some(policy) => {
+                let mut screener = archgym_proxy::OnlineProxy::with_defaults(policy, seed)?;
+                driver.run_screened_pooled(&mut agent, env.clone(), &mut screener)
+            }
+            None => driver.run_pooled(&mut agent, env.clone()),
+        };
         if let Some(report) = rec.as_ref().and_then(Recorder::report) {
             reports.push((kind.name().to_owned(), report));
         }
@@ -397,6 +481,13 @@ fn compare(args: &Args) -> Result<String> {
             recovery = format!(
                 " | {} failures / {} retries / {} degraded",
                 result.eval_failures, result.eval_retries, result.degraded_samples
+            );
+        }
+        if result.proxy_screened > 0 {
+            let _ = write!(
+                recovery,
+                " | proxy {}→{}",
+                result.proxy_screened, result.proxy_admitted
             );
         }
         let _ = writeln!(
@@ -764,6 +855,7 @@ fn submit(args: &Args) -> Result<String> {
     if let Some(list) = args.get("agents") {
         spec.agents = list.split(',').map(|name| name.trim().to_owned()).collect();
     }
+    spec.proxy = screen_policy(args)?;
     let request = Request::Submit {
         tenant: args.get("tenant").unwrap_or("default").to_owned(),
         name: args.get("name").map(str::to_owned),
@@ -1130,6 +1222,134 @@ mod tests {
         // Unreadable input file.
         let err = run_line(&["proxy", "--dataset", "/no/such/dir/run.jsonl"]).unwrap_err();
         assert!(matches!(err, ArchGymError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn screened_search_reports_proxy_accounting() {
+        let out = run_line(&[
+            "search",
+            "--env",
+            "dram/stream",
+            "--agent",
+            "ga",
+            "--objective",
+            "power:1.0",
+            "--budget",
+            "96",
+            "--proxy",
+            "true",
+            "--proxy-warmup",
+            "32",
+        ])
+        .unwrap();
+        assert!(out.contains("best reward"), "{out}");
+        assert!(out.contains("proxy: "), "{out}");
+        assert!(out.contains("candidates screened"), "{out}");
+        let grab = |tag: &str| -> u64 {
+            out.lines()
+                .find(|l| l.starts_with("proxy: "))
+                .and_then(|l| l.split(" | ").find(|part| part.contains(tag)))
+                .and_then(|part| part.split_whitespace().find_map(|w| w.parse().ok()))
+                .unwrap_or_else(|| panic!("no `{tag}` in:\n{out}"))
+        };
+        let screened = grab("screened");
+        let admitted = grab("admitted");
+        assert!(screened > 0, "{out}");
+        assert!(admitted < screened, "{out}");
+    }
+
+    #[test]
+    fn screened_search_is_deterministic_across_job_counts() {
+        let line = |jobs: &str| {
+            run_line(&[
+                "search",
+                "--env",
+                "dram/stream",
+                "--agent",
+                "ga",
+                "--objective",
+                "power:1.0",
+                "--budget",
+                "80",
+                "--proxy",
+                "true",
+                "--proxy-warmup",
+                "32",
+                "--jobs",
+                jobs,
+            ])
+            .unwrap()
+        };
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("samples in"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&line("1")), strip(&line("4")));
+    }
+
+    #[test]
+    fn unscreened_search_output_has_no_proxy_line() {
+        let out = run_line(&[
+            "search",
+            "--env",
+            "dram/stream",
+            "--agent",
+            "sa",
+            "--objective",
+            "power:1.0",
+            "--budget",
+            "32",
+        ])
+        .unwrap();
+        assert!(!out.contains("proxy:"), "{out}");
+    }
+
+    #[test]
+    fn proxy_knobs_require_the_proxy_flag_and_sane_values() {
+        let base = [
+            "search",
+            "--env",
+            "dram/stream",
+            "--agent",
+            "ga",
+            "--budget",
+            "32",
+        ];
+        let with = |extra: &[&str]| {
+            let mut line = base.to_vec();
+            line.extend_from_slice(extra);
+            run_line(&line)
+        };
+        let err = with(&["--proxy-topk", "8"]).unwrap_err();
+        assert!(err.to_string().contains("--proxy true"), "{err}");
+        let err = with(&["--proxy", "true", "--proxy-explore", "1.5"]).unwrap_err();
+        assert!(err.to_string().contains("explore_frac"), "{err}");
+        assert!(with(&["--proxy", "true", "--proxy-oversample", "1"]).is_err());
+    }
+
+    #[test]
+    fn screened_compare_marks_every_row() {
+        let out = run_line(&[
+            "compare",
+            "--env",
+            "dram/stream",
+            "--agents",
+            "rw,ga",
+            "--objective",
+            "power:1.0",
+            "--budget",
+            "80",
+            "--proxy",
+            "true",
+            "--proxy-warmup",
+            "32",
+        ])
+        .unwrap();
+        assert!(out.contains("2 agents on dram"), "{out}");
+        let marked = out.lines().filter(|l| l.contains("| proxy ")).count();
+        assert_eq!(marked, 2, "{out}");
     }
 
     #[test]

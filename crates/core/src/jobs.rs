@@ -146,6 +146,9 @@ pub struct JobSpec {
     pub eval_jobs: usize,
     /// Number of seeds for `sweep` jobs (seed, seed+1, ...).
     pub sweep_seeds: u64,
+    /// Online proxy screening policy; `None` runs unscreened. Encoded
+    /// only when present, so specs from older clients decode unchanged.
+    pub proxy: Option<crate::screen::ScreenPolicy>,
 }
 
 impl JobSpec {
@@ -162,6 +165,7 @@ impl JobSpec {
             batch: 0,
             eval_jobs: 1,
             sweep_seeds: 3,
+            proxy: None,
         }
     }
 
@@ -181,6 +185,9 @@ impl JobSpec {
             return Err(ArchGymError::InvalidConfig(
                 "sweep job needs at least one seed".into(),
             ));
+        }
+        if let Some(policy) = &self.proxy {
+            policy.validate().map_err(ArchGymError::InvalidConfig)?;
         }
         Ok(())
     }
@@ -206,10 +213,17 @@ impl JobSpec {
         let _ = fmt::Write::write_fmt(
             &mut out,
             format_args!(
-                "\"budget\":{},\"seed\":{},\"batch\":{},\"eval_jobs\":{},\"sweep_seeds\":{}}}",
+                "\"budget\":{},\"seed\":{},\"batch\":{},\"eval_jobs\":{},\"sweep_seeds\":{}",
                 self.budget, self.seed, self.batch, self.eval_jobs, self.sweep_seeds
             ),
         );
+        // Optional trailing field: absent for unscreened jobs, keeping
+        // the encoding byte-identical to pre-proxy daemons and clients.
+        if let Some(policy) = &self.proxy {
+            out.push_str(",\"proxy\":");
+            out.push_str(&policy.encode());
+        }
+        out.push('}');
         out
     }
 
@@ -250,6 +264,11 @@ impl JobSpec {
                 .field("sweep_seeds")
                 .and_then(Json::as_u64)
                 .map_err(bad)?,
+            // Tolerant decode: specs from pre-proxy clients lack the field.
+            proxy: match json.field("proxy") {
+                Ok(value) => Some(crate::screen::ScreenPolicy::from_json(value).map_err(bad)?),
+                Err(_) => None,
+            },
         })
     }
 
@@ -431,6 +450,32 @@ mod tests {
         let back = JobSpec::decode(&text).expect("decode");
         assert_eq!(back, spec);
         assert_eq!(back.encode(), text);
+    }
+
+    #[test]
+    fn job_spec_proxy_field_round_trips_and_stays_optional() {
+        use crate::screen::ScreenPolicy;
+        // With a proxy policy: bit-exact round trip including the field.
+        let mut spec = JobSpec::search("dram/stream", "ga", 5000, 7);
+        spec.proxy = Some(ScreenPolicy::default().top_k(6).warmup(48));
+        let text = spec.encode();
+        assert!(text.contains("\"proxy\":{"), "{text}");
+        let back = JobSpec::decode(&text).expect("decode");
+        assert_eq!(back, spec);
+        assert_eq!(back.encode(), text);
+        // Without: the encoding is byte-identical to the pre-proxy shape,
+        // and a pre-proxy line (no field) decodes to proxy = None.
+        let plain = JobSpec::search("dram/stream", "ga", 5000, 7);
+        assert!(!plain.encode().contains("proxy"), "{}", plain.encode());
+        let legacy = "{\"kind\":\"search\",\"env\":\"dram/stream\",\"objective\":\"\",\
+                      \"agent\":\"ga\",\"agents\":[],\"budget\":5000,\"seed\":7,\
+                      \"batch\":0,\"eval_jobs\":1,\"sweep_seeds\":3}";
+        let decoded = JobSpec::decode(legacy).expect("legacy decode");
+        assert_eq!(decoded, plain);
+        // A degenerate policy is caught at admission, not at run time.
+        let mut bad = JobSpec::search("dram/stream", "ga", 100, 1);
+        bad.proxy = Some(ScreenPolicy::default().oversample(1));
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -90,6 +90,12 @@ pub enum JournalRecord {
     Header(JournalHeader),
     /// A proposed batch of actions, written before evaluation.
     Batch(Vec<Vec<usize>>),
+    /// The proxy screen's admission decision for the most recent batch:
+    /// the candidate indices forwarded to true evaluation, sorted
+    /// ascending. Written between the batch record and its steps, so a
+    /// resumed run replays the exact screened decision instead of
+    /// re-deriving it from a possibly-drifted model state.
+    Screen(Vec<usize>),
     /// A settled evaluation within the most recent batch.
     Step(JournalStep),
 }
@@ -122,6 +128,16 @@ impl JournalRecord {
                         let _ = write!(out, "{index}");
                     }
                     out.push(']');
+                }
+                out.push_str("]}");
+            }
+            JournalRecord::Screen(admitted) => {
+                out.push_str("{\"type\":\"screen\",\"admitted\":[");
+                for (i, index) in admitted.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{index}");
                 }
                 out.push_str("]}");
             }
@@ -188,6 +204,15 @@ impl JournalRecord {
                     actions.push(indices);
                 }
                 Ok(JournalRecord::Batch(actions))
+            }
+            "screen" => {
+                let admitted = value
+                    .field("admitted")?
+                    .as_arr()?
+                    .iter()
+                    .map(Json::as_usize)
+                    .collect::<std::result::Result<Vec<_>, String>>()?;
+                Ok(JournalRecord::Screen(admitted))
             }
             "step" => {
                 let mut info = BTreeMap::new();
@@ -538,6 +563,8 @@ mod tests {
         for record in [
             header(),
             JournalRecord::Batch(vec![vec![0, 7, 3], vec![], vec![usize::MAX >> 12]]),
+            JournalRecord::Screen(vec![0, 3, 17]),
+            JournalRecord::Screen(Vec::new()),
             step(0, 0.1 + 0.2),
             step(5, f64::NEG_INFINITY),
             step(9, -1.0e-308),

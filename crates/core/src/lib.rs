@@ -27,6 +27,8 @@
 //! * [`reward`] — the reward/fitness formulations of the paper's Table 3.
 //! * [`agent`] — the [`Agent`] trait plus hyperparameter plumbing.
 //! * [`search`] — the agent↔environment driver ([`SearchLoop`]).
+//! * [`screen`] — online proxy screening policy and interface
+//!   ([`ScreenPolicy`]/[`Screener`]).
 //! * [`executor`] — deterministic parallel fan-out of independent runs.
 //! * [`pool`] — in-run parallel batch evaluation ([`EnvPool`]).
 //! * [`fault`] — deterministic fault injection ([`FaultyEnv`]).
@@ -89,6 +91,7 @@ pub mod journal;
 pub mod pareto;
 pub mod pool;
 pub mod reward;
+pub mod screen;
 pub mod search;
 pub mod space;
 pub mod stats;
@@ -108,6 +111,7 @@ pub use jobs::{Admission, JobId, JobKind, JobSpec, JobState, QuotaPolicy, Schedu
 pub use journal::{JournalHeader, JournalRecord, JournalStep, RunJournal, Snapshot};
 pub use pool::{BatchEvaluator, EnvPool};
 pub use reward::{BudgetTerm, Objective, RewardSpec};
+pub use screen::{select_admitted, ScreenPolicy, Screener};
 pub use search::{RetryPolicy, RunConfig, RunResult, SearchLoop};
 pub use space::{Action, ParamDomain, ParamSpace, ParamValue, SpaceBuilder};
 pub use telemetry::{Counter, Phase, PhaseSummary, Recorder, RunReport};
@@ -142,6 +146,7 @@ pub mod prelude {
     pub use crate::journal::RunJournal;
     pub use crate::pool::{BatchEvaluator, EnvPool};
     pub use crate::reward::{BudgetTerm, Objective, RewardSpec};
+    pub use crate::screen::{ScreenPolicy, Screener};
     pub use crate::search::{RetryPolicy, RunConfig, RunResult, SearchLoop};
     pub use crate::seeded_rng;
     pub use crate::space::{Action, ParamDomain, ParamSpace, ParamValue};

@@ -1,0 +1,361 @@
+//! Online proxy screening — the policy and interface through which
+//! [`SearchLoop`](crate::search::SearchLoop) consults a cheap surrogate
+//! model before spending true simulator evaluations.
+//!
+//! The paper's Part 3 shows a random-forest proxy predicting simulator
+//! metrics orders of magnitude faster than the cycle-accurate model.
+//! This module closes that loop *online*: the driver over-samples each
+//! agent proposal batch, ranks the candidates through a [`Screener`]
+//! trained on the run's own settled samples, and forwards only the
+//! top-k by predicted reward plus an uncertainty-sampled exploration
+//! slice to the real evaluator.
+//!
+//! The concrete forest-backed screener lives in `archgym-proxy`
+//! (`archgym_proxy::online::OnlineProxy`); this module holds only what
+//! the core driver needs — the [`ScreenPolicy`] knobs, the [`Screener`]
+//! trait, and the deterministic admission rule [`select_admitted`] —
+//! so `archgym-core` stays free of any model dependency.
+//!
+//! Determinism contract: a screener must be a pure function of its
+//! seed and the sample stream fed through [`Screener::observe`] /
+//! [`Screener::revalidate`]. The driver relies on this to replay
+//! journaled screened runs bit-identically (the journal additionally
+//! pins every admission decision in a `screen` record, so divergence
+//! is detected rather than silently absorbed).
+
+use crate::codec::{push_json_f64, Json};
+use crate::space::Action;
+use crate::telemetry::Recorder;
+use std::fmt::Write as _;
+
+/// Knobs of the online screening layer.
+///
+/// With the default policy the driver proposes `oversample ×` the
+/// configured batch size once the proxy has `warmup` true samples,
+/// admits the `top_k` candidates by predicted reward plus
+/// `ceil(explore_frac · top_k)` high-variance exploration picks, and
+/// every `revalidate_every`-th screened batch bypasses the screen
+/// entirely (all candidates truly evaluated) to measure drift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScreenPolicy {
+    /// Candidates admitted per batch by predicted reward.
+    pub top_k: usize,
+    /// Exploration slice as a fraction of `top_k`: the driver admits an
+    /// extra `ceil(explore_frac * top_k)` candidates with the highest
+    /// per-tree prediction variance among the non-top-k rest.
+    pub explore_frac: f64,
+    /// Every n-th screened batch is fully evaluated (no screening) and
+    /// the proxy's predictions are checked against the true rewards —
+    /// drift triggers a refit, persistent drift disables the screen.
+    /// `0` disables re-validation.
+    pub revalidate_every: u64,
+    /// Proposal over-sampling factor: the agent is asked for
+    /// `oversample ×` the batch size once screening is active.
+    pub oversample: usize,
+    /// True samples required before the first fit; screening is
+    /// inactive (plain batches) until then.
+    pub warmup: u64,
+    /// New training samples between refits after warm-up.
+    pub refit_every: u64,
+}
+
+impl Default for ScreenPolicy {
+    fn default() -> Self {
+        ScreenPolicy {
+            top_k: 4,
+            explore_frac: 0.25,
+            revalidate_every: 8,
+            oversample: 4,
+            warmup: 64,
+            refit_every: 32,
+        }
+    }
+}
+
+impl ScreenPolicy {
+    /// Set `top_k`, builder-style.
+    pub fn top_k(mut self, top_k: usize) -> Self {
+        self.top_k = top_k;
+        self
+    }
+
+    /// Set `explore_frac`, builder-style.
+    pub fn explore_frac(mut self, explore_frac: f64) -> Self {
+        self.explore_frac = explore_frac;
+        self
+    }
+
+    /// Set `revalidate_every`, builder-style.
+    pub fn revalidate_every(mut self, revalidate_every: u64) -> Self {
+        self.revalidate_every = revalidate_every;
+        self
+    }
+
+    /// Set `oversample`, builder-style.
+    pub fn oversample(mut self, oversample: usize) -> Self {
+        self.oversample = oversample;
+        self
+    }
+
+    /// Set `warmup`, builder-style.
+    pub fn warmup(mut self, warmup: u64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Set `refit_every`, builder-style.
+    pub fn refit_every(mut self, refit_every: u64) -> Self {
+        self.refit_every = refit_every;
+        self
+    }
+
+    /// Check the policy for degenerate values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first bad knob.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.top_k == 0 {
+            return Err("proxy top_k must be >= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.explore_frac) {
+            return Err(format!(
+                "proxy explore_frac {} outside [0, 1]",
+                self.explore_frac
+            ));
+        }
+        if self.oversample < 2 {
+            return Err("proxy oversample must be >= 2 (1 would screen nothing)".into());
+        }
+        if self.warmup == 0 {
+            return Err("proxy warmup must be >= 1".into());
+        }
+        if self.refit_every == 0 {
+            return Err("proxy refit_every must be >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// Encode as a canonical JSON object (offline-safe codec).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"top_k\":{},\"explore_frac\":", self.top_k);
+        push_json_f64(&mut out, self.explore_frac);
+        let _ = write!(
+            out,
+            ",\"revalidate_every\":{},\"oversample\":{},\"warmup\":{},\"refit_every\":{}}}",
+            self.revalidate_every, self.oversample, self.warmup, self.refit_every
+        );
+        out
+    }
+
+    /// Decode a policy encoded by [`ScreenPolicy::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Describes the first missing or mistyped field.
+    pub fn from_json(value: &Json) -> std::result::Result<Self, String> {
+        Ok(ScreenPolicy {
+            top_k: value.field("top_k")?.as_usize()?,
+            explore_frac: value.field("explore_frac")?.as_f64()?,
+            revalidate_every: value.field("revalidate_every")?.as_u64()?,
+            oversample: value.field("oversample")?.as_usize()?,
+            warmup: value.field("warmup")?.as_u64()?,
+            refit_every: value.field("refit_every")?.as_u64()?,
+        })
+    }
+}
+
+/// An online surrogate the driver can screen proposal batches through.
+///
+/// Implementations must be deterministic: state may depend only on the
+/// construction seed and the exact sequence of [`Screener::observe`]
+/// and [`Screener::revalidate`] calls. The driver guarantees that
+/// sequence is identical across serial/pooled execution and across
+/// journal resume, which is what makes screened runs reproducible.
+pub trait Screener {
+    /// The screening policy in force.
+    fn policy(&self) -> ScreenPolicy;
+
+    /// Install the run's telemetry recorder (refit counters / spans).
+    fn set_telemetry(&mut self, recorder: &Recorder);
+
+    /// Feed settled training samples — one reward per action. The
+    /// driver excludes degraded samples (their penalty reward is a
+    /// retry-policy artifact, not a simulator measurement).
+    fn observe(&mut self, actions: &[Action], rewards: &[f64]);
+
+    /// Whether screening is active: warmed up, fitted, and not
+    /// disabled by drift.
+    fn is_ready(&self) -> bool;
+
+    /// Predict the reward of each candidate. `means` and `vars` are
+    /// cleared and filled with one prediction mean and one per-tree
+    /// prediction variance per candidate.
+    fn predict(&mut self, candidates: &[Action], means: &mut Vec<f64>, vars: &mut Vec<f64>);
+
+    /// Report a full-batch re-validation: `predicted` vs the settled
+    /// `actual` rewards (degraded samples excluded from both). The
+    /// screener refits on drift and disables itself when drift
+    /// persists.
+    fn revalidate(&mut self, predicted: &[f64], actual: &[f64]);
+
+    /// Model (re)fits performed so far.
+    fn refits(&self) -> u64;
+}
+
+/// The deterministic admission rule: given per-candidate prediction
+/// `means` and `vars`, admit the top `top_k` candidates by predicted
+/// reward (ties broken by lower index) plus up to
+/// `ceil(explore_frac * top_k)` of the remaining candidates by highest
+/// variance (same tie-break), capped at `cap` total. Returns indices
+/// sorted ascending; at least one candidate is admitted whenever
+/// `cap >= 1` and there are candidates, so a screened run always makes
+/// progress.
+pub fn select_admitted(
+    means: &[f64],
+    vars: &[f64],
+    top_k: usize,
+    explore_frac: f64,
+    cap: usize,
+) -> Vec<usize> {
+    debug_assert_eq!(means.len(), vars.len());
+    let n = means.len();
+    if n == 0 || cap == 0 {
+        return Vec::new();
+    }
+    let mut by_mean: Vec<usize> = (0..n).collect();
+    by_mean.sort_by(|&a, &b| means[b].total_cmp(&means[a]).then(a.cmp(&b)));
+
+    let exploit = top_k.max(1).min(cap).min(n);
+    let mut admitted: Vec<usize> = by_mean[..exploit].to_vec();
+
+    let explore_quota = (explore_frac * top_k as f64).ceil() as usize;
+    let explore = explore_quota.min(cap - exploit).min(n - exploit);
+    if explore > 0 {
+        let mut rest: Vec<usize> = by_mean[exploit..].to_vec();
+        rest.sort_by(|&a, &b| vars[b].total_cmp(&vars[a]).then(a.cmp(&b)));
+        admitted.extend_from_slice(&rest[..explore]);
+    }
+    admitted.sort_unstable();
+    admitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::parse_json;
+
+    #[test]
+    fn default_policy_is_valid() {
+        ScreenPolicy::default().validate().unwrap();
+    }
+
+    #[test]
+    fn builders_compose_and_validation_rejects_degenerate_knobs() {
+        let policy = ScreenPolicy::default()
+            .top_k(8)
+            .explore_frac(0.5)
+            .revalidate_every(4)
+            .oversample(6)
+            .warmup(100)
+            .refit_every(10);
+        assert_eq!(policy.top_k, 8);
+        assert_eq!(policy.oversample, 6);
+        policy.validate().unwrap();
+
+        assert!(ScreenPolicy::default().top_k(0).validate().is_err());
+        assert!(ScreenPolicy::default()
+            .explore_frac(1.5)
+            .validate()
+            .is_err());
+        assert!(ScreenPolicy::default()
+            .explore_frac(-0.1)
+            .validate()
+            .is_err());
+        assert!(ScreenPolicy::default().oversample(1).validate().is_err());
+        assert!(ScreenPolicy::default().warmup(0).validate().is_err());
+        assert!(ScreenPolicy::default().refit_every(0).validate().is_err());
+        // revalidate_every 0 is legal: it just disables re-validation.
+        ScreenPolicy::default()
+            .revalidate_every(0)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn policy_round_trips_through_the_codec() {
+        for policy in [
+            ScreenPolicy::default(),
+            ScreenPolicy::default()
+                .top_k(2)
+                .explore_frac(1.0 / 3.0)
+                .revalidate_every(0)
+                .oversample(8)
+                .warmup(17)
+                .refit_every(5),
+        ] {
+            let line = policy.encode();
+            let back = ScreenPolicy::from_json(&parse_json(&line).unwrap()).unwrap();
+            assert_eq!(back, policy, "line: {line}");
+            assert_eq!(back.encode(), line, "canonical encoding");
+        }
+    }
+
+    #[test]
+    fn select_admitted_takes_top_k_by_mean() {
+        let means = [1.0, 5.0, 3.0, 4.0, 2.0];
+        let vars = [0.0; 5];
+        // top_k 2, no exploration: picks indices of the two largest means.
+        assert_eq!(select_admitted(&means, &vars, 2, 0.0, 10), vec![1, 3]);
+    }
+
+    #[test]
+    fn select_admitted_adds_high_variance_exploration() {
+        let means = [10.0, 9.0, 1.0, 2.0, 3.0];
+        let vars = [0.0, 0.0, 7.0, 0.5, 0.1];
+        // top_k 2 exploit {0, 1}; explore_frac 0.5 → 1 pick by variance: 2.
+        assert_eq!(select_admitted(&means, &vars, 2, 0.5, 10), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn select_admitted_breaks_ties_by_lower_index() {
+        let means = [2.0, 2.0, 2.0, 2.0];
+        let vars = [1.0, 1.0, 1.0, 1.0];
+        assert_eq!(select_admitted(&means, &vars, 2, 0.5, 10), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn select_admitted_respects_the_cap() {
+        let means = [1.0, 2.0, 3.0, 4.0];
+        let vars = [1.0, 1.0, 1.0, 1.0];
+        assert_eq!(select_admitted(&means, &vars, 3, 1.0, 2).len(), 2);
+        assert_eq!(
+            select_admitted(&means, &vars, 3, 1.0, 0),
+            Vec::<usize>::new()
+        );
+        // Cap larger than the candidate set admits everything asked for.
+        assert_eq!(
+            select_admitted(&means, &vars, 4, 1.0, 100),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn select_admitted_always_makes_progress() {
+        // Even a degenerate top_k of 0 admits one candidate.
+        let means = [1.0, 2.0];
+        let vars = [0.0, 0.0];
+        assert_eq!(select_admitted(&means, &vars, 0, 0.0, 5), vec![1]);
+        assert_eq!(select_admitted(&[], &[], 4, 0.5, 5), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn select_admitted_is_sorted_and_duplicate_free() {
+        let means: Vec<f64> = (0..32).map(|i| ((i * 17) % 13) as f64).collect();
+        let vars: Vec<f64> = (0..32).map(|i| ((i * 7) % 11) as f64).collect();
+        let admitted = select_admitted(&means, &vars, 6, 0.5, 20);
+        assert!(admitted.windows(2).all(|w| w[0] < w[1]), "{admitted:?}");
+        assert_eq!(admitted.len(), 6 + 3);
+    }
+}

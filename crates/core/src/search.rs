@@ -22,6 +22,7 @@ use crate::journal::{
     JournalHeader, JournalRecord, JournalStep, RunJournal, Snapshot, JOURNAL_VERSION,
 };
 use crate::pool::{BatchEvaluator, EnvPool};
+use crate::screen::{select_admitted, Screener};
 use crate::space::Action;
 use crate::telemetry::{Counter, Phase, Recorder, RunReport};
 use crate::trajectory::{Dataset, Transition};
@@ -182,6 +183,13 @@ pub struct RunResult {
     /// Samples that exhausted their retries and degraded to the
     /// [`RetryPolicy::penalty`] infeasible result.
     pub degraded_samples: u64,
+    /// Candidate proposals ranked by the online proxy screen (zero in
+    /// proxy-off runs).
+    pub proxy_screened: u64,
+    /// Screened candidates admitted to true evaluation.
+    pub proxy_admitted: u64,
+    /// Online proxy model (re)fits performed during the run.
+    pub proxy_refits: u64,
     /// Telemetry snapshot of the run — `None` unless the driver was
     /// built with [`SearchLoop::with_telemetry`] and an enabled
     /// [`Recorder`].
@@ -257,6 +265,10 @@ impl Settled {
 /// One journaled batch awaiting replay.
 struct ReplayBatch {
     actions: Vec<Vec<usize>>,
+    /// The journaled proxy admission decision, if the batch was
+    /// screened (`None` for plain batches and for batches whose run
+    /// crashed between the batch and screen records).
+    screen: Option<Vec<usize>>,
     steps: Vec<Option<JournalStep>>,
 }
 
@@ -335,7 +347,7 @@ impl SearchLoop {
         A: Agent + ?Sized,
         E: BatchEvaluator + ?Sized,
     {
-        self.drive(agent, eval, None)
+        self.drive(agent, eval, None, None)
             .expect("journal-less runs cannot fail")
     }
 
@@ -382,7 +394,7 @@ impl SearchLoop {
         E: BatchEvaluator + ?Sized,
     {
         let mut journal = RunJournal::open(path)?;
-        self.drive(agent, eval, Some(&mut journal))
+        self.drive(agent, eval, Some(&mut journal), None)
     }
 
     /// [`SearchLoop::run_resumable`] with the config's
@@ -404,6 +416,100 @@ impl SearchLoop {
         } else {
             let mut pool = EnvPool::new(env, self.config.jobs);
             self.run_resumable(agent, &mut pool, path)
+        }
+    }
+
+    /// Like [`SearchLoop::run`], but with an online proxy screen: once
+    /// `screener` has warmed up on the run's own settled samples, each
+    /// proposal batch is over-sampled, ranked through the proxy, and
+    /// only the admitted slice (top-k by predicted reward plus an
+    /// uncertainty exploration slice) reaches the true evaluator. The
+    /// screened run is deterministic per seed and bit-identical across
+    /// serial/pooled evaluation, like every other entry point.
+    pub fn run_screened<A, E>(
+        &self,
+        agent: &mut A,
+        eval: &mut E,
+        screener: &mut dyn Screener,
+    ) -> RunResult
+    where
+        A: Agent + ?Sized,
+        E: BatchEvaluator + ?Sized,
+    {
+        self.drive(agent, eval, None, Some(screener))
+            .expect("journal-less runs cannot fail")
+    }
+
+    /// [`SearchLoop::run_screened`] with the config's
+    /// [`jobs`](RunConfig::jobs) knob, mirroring
+    /// [`SearchLoop::run_pooled`].
+    pub fn run_screened_pooled<A, E>(
+        &self,
+        agent: &mut A,
+        env: E,
+        screener: &mut dyn Screener,
+    ) -> RunResult
+    where
+        A: Agent + ?Sized,
+        E: Environment + Clone + Send,
+    {
+        if self.config.jobs == 1 {
+            let mut env = env;
+            self.run_screened(agent, &mut env, screener)
+        } else {
+            let mut pool = EnvPool::new(env, self.config.jobs);
+            self.run_screened(agent, &mut pool, screener)
+        }
+    }
+
+    /// [`SearchLoop::run_screened`] journaled to `path` and resumable:
+    /// admission decisions are journaled as `screen` records alongside
+    /// the batches they govern, so a killed screened run resumes
+    /// bit-identically at every crash prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchGymError::Journal`] on journal I/O failures or
+    /// when the journal belongs to a different run (including a
+    /// different screening decision trace).
+    pub fn run_screened_resumable<A, E>(
+        &self,
+        agent: &mut A,
+        eval: &mut E,
+        screener: &mut dyn Screener,
+        path: impl AsRef<Path>,
+    ) -> Result<RunResult>
+    where
+        A: Agent + ?Sized,
+        E: BatchEvaluator + ?Sized,
+    {
+        let mut journal = RunJournal::open(path)?;
+        self.drive(agent, eval, Some(&mut journal), Some(screener))
+    }
+
+    /// [`SearchLoop::run_screened_resumable`] with the config's
+    /// [`jobs`](RunConfig::jobs) knob.
+    ///
+    /// # Errors
+    ///
+    /// See [`SearchLoop::run_screened_resumable`].
+    pub fn run_screened_resumable_pooled<A, E>(
+        &self,
+        agent: &mut A,
+        env: E,
+        screener: &mut dyn Screener,
+        path: impl AsRef<Path>,
+    ) -> Result<RunResult>
+    where
+        A: Agent + ?Sized,
+        E: Environment + Clone + Send,
+    {
+        if self.config.jobs == 1 {
+            let mut env = env;
+            self.run_screened_resumable(agent, &mut env, screener, path)
+        } else {
+            let mut pool = EnvPool::new(env, self.config.jobs);
+            self.run_screened_resumable(agent, &mut pool, screener, path)
         }
     }
 
@@ -524,15 +630,18 @@ impl SearchLoop {
             .collect()
     }
 
-    /// The unified driver behind [`SearchLoop::run`] and
-    /// [`SearchLoop::run_resumable`]: with a journal, previously logged
-    /// batches are replayed (verifying the agent's deterministic
-    /// re-proposals against the log) before live evaluation continues.
+    /// The unified driver behind every entry point: with a journal,
+    /// previously logged batches are replayed (verifying the agent's
+    /// deterministic re-proposals — and any proxy admission decisions —
+    /// against the log) before live evaluation continues; with a
+    /// screener, warmed-up batches are over-sampled and only the
+    /// admitted candidate slice reaches the true evaluator.
     fn drive<A, E>(
         &self,
         agent: &mut A,
         eval: &mut E,
         mut journal: Option<&mut RunJournal>,
+        mut screener: Option<&mut dyn Screener>,
     ) -> Result<RunResult>
     where
         A: Agent + ?Sized,
@@ -541,13 +650,16 @@ impl SearchLoop {
         let start = Instant::now();
         let policy = self.config.retry;
         // Install the telemetry handle on every layer reachable from
-        // here: the evaluator stack (wrappers, pool replicas, executor)
-        // and the journal writer. A disabled recorder makes all of this
-        // free (one branch per site).
+        // here: the evaluator stack (wrappers, pool replicas, executor),
+        // the journal writer, and the proxy screener. A disabled
+        // recorder makes all of this free (one branch per site).
         let rec = self.telemetry.clone();
         eval.set_telemetry(&rec);
         if let Some(j) = journal.as_deref_mut() {
             j.set_telemetry(&rec);
+        }
+        if let Some(s) = screener.as_deref_mut() {
+            s.set_telemetry(&rec);
         }
 
         // Validate or create the journal header, then stage the
@@ -586,8 +698,21 @@ impl SearchLoop {
                     JournalRecord::Header(_) => {} // open() pinned it to index 0
                     JournalRecord::Batch(actions) => replay.push_back(ReplayBatch {
                         steps: (0..actions.len()).map(|_| None).collect(),
+                        screen: None,
                         actions: actions.clone(),
                     }),
+                    JournalRecord::Screen(admitted) => {
+                        let batch = replay.back_mut().ok_or_else(|| {
+                            ArchGymError::Journal("screen record before any batch record".into())
+                        })?;
+                        if admitted.iter().any(|&i| i >= batch.actions.len()) {
+                            return Err(ArchGymError::Journal(format!(
+                                "screen record admits an index outside its batch of {}",
+                                batch.actions.len()
+                            )));
+                        }
+                        batch.screen = Some(admitted.clone());
+                    }
                     JournalRecord::Step(step) => {
                         let batch = replay.back_mut().ok_or_else(|| {
                             ArchGymError::Journal("step record before any batch record".into())
@@ -621,21 +746,80 @@ impl SearchLoop {
         }
         .max(1);
 
+        let mut screened_batches = 0u64;
+        let mut proxy_screened = 0u64;
+        let mut proxy_admitted = 0u64;
+        let mut pred_means: Vec<f64> = Vec::new();
+        let mut pred_vars: Vec<f64> = Vec::new();
+
         while samples_used < self.config.sample_budget {
             let remaining = (self.config.sample_budget - samples_used) as usize;
+            // Screening is active once the screener has warmed up on
+            // the run's own samples and has not disabled itself on
+            // drift; until then batches behave exactly like a
+            // proxy-off run.
+            let screening = screener.as_deref().is_some_and(|s| s.is_ready());
+            let propose_cap = if screening {
+                let oversample = screener
+                    .as_deref()
+                    .map_or(1, |s| s.policy().oversample.max(1));
+                batch_cap.saturating_mul(oversample)
+            } else {
+                batch_cap.min(remaining)
+            };
             let mut actions = {
                 let _propose_span = rec.span(Phase::Propose);
-                agent.propose(batch_cap.min(remaining))
+                agent.propose(propose_cap)
             };
             if actions.is_empty() {
                 break; // agent converged
             }
             rec.incr(Counter::Batches);
             // A misbehaving agent may ignore max_batch; never evaluate
-            // past the budget.
-            actions.truncate(remaining);
+            // past the budget (plain mode) or rank past the
+            // over-sampled candidate window (screened mode — admission
+            // is capped to the remaining budget below).
+            actions.truncate(if screening { propose_cap } else { remaining });
 
-            let settled: Vec<Settled> = if let Some(mut batch) = replay.pop_front() {
+            // The screen's admission decision: which candidate indices
+            // reach the true evaluator. Plain batches admit everything.
+            let mut revalidating = false;
+            let admitted: Vec<usize> = if screening {
+                let s = screener
+                    .as_deref_mut()
+                    .expect("screening implies a screener");
+                let pol = s.policy();
+                screened_batches += 1;
+                {
+                    let _proxy_span = rec.span(Phase::Proxy);
+                    s.predict(&actions, &mut pred_means, &mut pred_vars);
+                }
+                revalidating = pol.revalidate_every > 0
+                    && screened_batches.is_multiple_of(pol.revalidate_every);
+                let admitted = if revalidating {
+                    // Drift check: the whole candidate batch is truly
+                    // evaluated and predictions are graded against it.
+                    rec.incr(Counter::ProxyRevalidations);
+                    (0..actions.len().min(remaining)).collect()
+                } else {
+                    select_admitted(
+                        &pred_means,
+                        &pred_vars,
+                        pol.top_k,
+                        pol.explore_frac,
+                        remaining,
+                    )
+                };
+                proxy_screened += actions.len() as u64;
+                proxy_admitted += admitted.len() as u64;
+                rec.add(Counter::ProxyScreened, actions.len() as u64);
+                rec.add(Counter::ProxyAdmitted, admitted.len() as u64);
+                admitted
+            } else {
+                (0..actions.len()).collect()
+            };
+
+            let settled: Vec<(usize, Settled)> = if let Some(mut batch) = replay.pop_front() {
                 // Replay: the agent must re-propose exactly what the
                 // journal recorded (it is deterministic in its seed).
                 let diverged = batch.actions.len() != actions.len()
@@ -651,9 +835,42 @@ impl SearchLoop {
                             .into(),
                     ));
                 }
+                // The screening decision must replay identically too:
+                // the screener is deterministic in its seed and sample
+                // stream, so a recomputed decision that differs from
+                // the journaled one means the configuration changed.
+                match (&batch.screen, screening) {
+                    (None, false) => {}
+                    (Some(logged), true) => {
+                        if logged != &admitted {
+                            return Err(ArchGymError::Journal(
+                                "proxy screen replay diverged from the journal — was the \
+                                 proxy policy or seed changed since the journal was written?"
+                                    .into(),
+                            ));
+                        }
+                    }
+                    (None, true) => {
+                        // The original run crashed between the batch
+                        // and screen records; journal the recomputed
+                        // (identical) decision and settle live below.
+                        if let Some(j) = journal.as_deref_mut() {
+                            j.append(&JournalRecord::Screen(admitted.clone()))?;
+                        }
+                    }
+                    (Some(_), false) => {
+                        return Err(ArchGymError::Journal(
+                            "journal holds proxy screen records but the live run is not \
+                             screening — was the proxy configuration removed?"
+                                .into(),
+                        ));
+                    }
+                }
                 // Journaled positions are absorbed without touching the
                 // simulator; the un-journaled tail settles live.
-                let missing: Vec<usize> = (0..actions.len())
+                let missing: Vec<usize> = admitted
+                    .iter()
+                    .copied()
                     .filter(|&i| batch.steps[i].is_none())
                     .collect();
                 // Absorbed journal steps are *replayed*, not settled:
@@ -661,7 +878,7 @@ impl SearchLoop {
                 // work the original run already did.
                 rec.add(
                     Counter::SamplesReplayed,
-                    (actions.len() - missing.len()) as u64,
+                    (admitted.len() - missing.len()) as u64,
                 );
                 rec.add(Counter::SamplesSettled, missing.len() as u64);
                 let mut slots: Vec<Option<Settled>> = batch
@@ -679,31 +896,52 @@ impl SearchLoop {
                         slots[i] = Some(settled);
                     }
                 }
-                slots
-                    .into_iter()
-                    .map(|slot| slot.expect("every replay slot settled"))
+                admitted
+                    .iter()
+                    .map(|&i| {
+                        (
+                            i,
+                            slots[i].take().expect("every admitted replay slot settled"),
+                        )
+                    })
                     .collect()
             } else {
                 // Live: log the proposal before evaluating (write-ahead),
-                // then the settled results.
+                // then the admission decision, then the settled results.
                 if let Some(j) = journal.as_deref_mut() {
                     j.append(&JournalRecord::Batch(
                         actions.iter().map(|a| a.as_slice().to_vec()).collect(),
                     ))?;
+                    if screening {
+                        j.append(&JournalRecord::Screen(admitted.clone()))?;
+                    }
                 }
-                let settled = Self::settle_batch(eval, &actions, &policy, &rec);
+                let settled = if screening {
+                    let subset: Vec<Action> =
+                        admitted.iter().map(|&i| actions[i].clone()).collect();
+                    Self::settle_batch(eval, &subset, &policy, &rec)
+                } else {
+                    Self::settle_batch(eval, &actions, &policy, &rec)
+                };
                 rec.add(Counter::SamplesSettled, settled.len() as u64);
                 if let Some(j) = journal.as_deref_mut() {
-                    for (i, s) in settled.iter().enumerate() {
+                    for (&i, s) in admitted.iter().zip(settled.iter()) {
                         j.append(&JournalRecord::Step(s.to_journal(i)))?;
                     }
                 }
-                settled
+                admitted.iter().copied().zip(settled).collect()
             };
 
-            let mut results: Vec<(Action, StepResult)> = Vec::with_capacity(actions.len());
+            let mut results: Vec<(Action, StepResult)> = Vec::with_capacity(settled.len());
+            let mut train_actions: Vec<Action> = Vec::new();
+            let mut train_rewards: Vec<f64> = Vec::new();
+            let mut reval_pred: Vec<f64> = Vec::new();
+            let mut reval_actual: Vec<f64> = Vec::new();
             let (mut batch_retries, mut batch_faults, mut batch_degraded) = (0u64, 0u64, 0u64);
-            for (action, settled) in actions.into_iter().zip(settled) {
+            for (index, settled) in settled {
+                // Each admitted index is visited exactly once, so the
+                // action can be moved out of the candidate list.
+                let action = std::mem::replace(&mut actions[index], Action::new(Vec::new()));
                 samples_used += 1;
                 eval_retries += settled.retries;
                 eval_failures += settled.faults;
@@ -711,6 +949,7 @@ impl SearchLoop {
                 batch_retries += settled.retries;
                 batch_faults += settled.faults;
                 batch_degraded += u64::from(settled.degraded);
+                let degraded = settled.degraded;
                 let result = settled.result;
                 if result.reward > best_reward {
                     best_reward = result.reward;
@@ -726,13 +965,24 @@ impl SearchLoop {
                         &result,
                     ));
                 }
+                // Degraded samples never enter the proxy training set:
+                // their penalty reward is a retry-policy artifact, not
+                // a simulator measurement.
+                if screener.is_some() && !degraded {
+                    train_actions.push(action.clone());
+                    train_rewards.push(result.reward);
+                    if revalidating {
+                        reval_pred.push(pred_means[index]);
+                        reval_actual.push(result.reward);
+                    }
+                }
                 results.push((action, result));
             }
             rec.add(Counter::EvalRetries, batch_retries);
             rec.add(Counter::EvalFailures, batch_faults);
             rec.add(Counter::DegradedSamples, batch_degraded);
             if rec.is_enabled() {
-                rec.trace_event(&Json::Obj(vec![
+                let mut event = vec![
                     ("event".into(), Json::Str("batch".into())),
                     ("batch".into(), Json::num_u64(rec.get(Counter::Batches))),
                     ("settled".into(), Json::num_u64(results.len() as u64)),
@@ -741,7 +991,21 @@ impl SearchLoop {
                     ("retries".into(), Json::num_u64(batch_retries)),
                     ("degraded".into(), Json::num_u64(batch_degraded)),
                     ("best_reward".into(), Json::num_f64(best_reward)),
-                ]));
+                ];
+                if screening {
+                    event.push(("proxy_screened".into(), Json::num_u64(proxy_screened)));
+                    event.push(("proxy_admitted".into(), Json::num_u64(proxy_admitted)));
+                }
+                rec.trace_event(&Json::Obj(event));
+            }
+            if let Some(s) = screener.as_deref_mut() {
+                if revalidating && !reval_actual.is_empty() {
+                    let _proxy_span = rec.span(Phase::Proxy);
+                    s.revalidate(&reval_pred, &reval_actual);
+                }
+                if !train_actions.is_empty() {
+                    s.observe(&train_actions, &train_rewards);
+                }
             }
             agent.observe(&results);
 
@@ -783,6 +1047,9 @@ impl SearchLoop {
             eval_retries,
             eval_failures,
             degraded_samples,
+            proxy_screened,
+            proxy_admitted,
+            proxy_refits: screener.as_deref().map_or(0, |s| s.refits()),
             telemetry: rec.report(),
         })
     }
@@ -961,6 +1228,204 @@ mod tests {
             assert_eq!(pooled.reward_history, serial.reward_history, "jobs={jobs}");
             assert_eq!(pooled.dataset.len(), serial.dataset.len(), "jobs={jobs}");
         }
+    }
+
+    // --- proxy screening ---------------------------------------------------
+
+    use crate::screen::ScreenPolicy;
+
+    /// A deterministic model-free screener: predicts from a fixed hash
+    /// of the action indices, warms up on the observed sample count.
+    /// Exercises every driver-side screening path without a forest.
+    struct MockScreen {
+        policy: ScreenPolicy,
+        seen: u64,
+        refits: u64,
+        revalidations: u64,
+    }
+
+    impl MockScreen {
+        fn new(policy: ScreenPolicy) -> Self {
+            MockScreen {
+                policy,
+                seen: 0,
+                refits: 0,
+                revalidations: 0,
+            }
+        }
+
+        fn score(action: &Action) -> f64 {
+            action
+                .as_slice()
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| ((v * 31 + i * 7) % 97) as f64)
+                .sum()
+        }
+    }
+
+    impl Screener for MockScreen {
+        fn policy(&self) -> ScreenPolicy {
+            self.policy
+        }
+        fn set_telemetry(&mut self, _recorder: &crate::telemetry::Recorder) {}
+        fn observe(&mut self, actions: &[Action], rewards: &[f64]) {
+            assert_eq!(actions.len(), rewards.len());
+            let before = self.seen / self.policy.refit_every;
+            self.seen += actions.len() as u64;
+            if self.seen >= self.policy.warmup && self.seen / self.policy.refit_every > before {
+                self.refits += 1;
+            }
+        }
+        fn is_ready(&self) -> bool {
+            self.seen >= self.policy.warmup
+        }
+        fn predict(&mut self, candidates: &[Action], means: &mut Vec<f64>, vars: &mut Vec<f64>) {
+            means.clear();
+            vars.clear();
+            for c in candidates {
+                means.push(Self::score(c));
+                vars.push(Self::score(c) % 13.0);
+            }
+        }
+        fn revalidate(&mut self, predicted: &[f64], actual: &[f64]) {
+            assert_eq!(predicted.len(), actual.len());
+            self.revalidations += 1;
+        }
+        fn refits(&self) -> u64 {
+            self.refits
+        }
+    }
+
+    #[test]
+    fn screened_run_respects_budget_and_admits_a_subset() {
+        let mut env = CountingEnv::new(PeakEnv::new(&[16, 16], vec![5, 9]));
+        let mut agent = RandomWalker::new(env.space().clone(), 12);
+        let mut screen = MockScreen::new(ScreenPolicy::default().warmup(32).revalidate_every(0));
+        let result = SearchLoop::new(RunConfig::with_budget(96).batch(16)).run_screened(
+            &mut agent,
+            &mut env,
+            &mut screen,
+        );
+        assert_eq!(result.samples_used, 96, "budget is exact under screening");
+        assert_eq!(env.samples(), 96, "only admitted samples hit the simulator");
+        assert_eq!(result.reward_history.len(), 96);
+        assert!(result.proxy_screened > 0, "screening engaged after warmup");
+        assert!(
+            result.proxy_admitted < result.proxy_screened,
+            "admitted {} of {} proposed",
+            result.proxy_admitted,
+            result.proxy_screened
+        );
+        // Warm-up samples (32) plus top-k+explore admissions per batch.
+        assert_eq!(result.proxy_admitted, 96 - 32);
+    }
+
+    #[test]
+    fn screened_run_is_bit_identical_serial_vs_pooled() {
+        let reference = {
+            let mut env = PeakEnv::new(&[16, 16], vec![5, 9]);
+            let mut agent = RandomWalker::new(env.space().clone(), 3);
+            let mut screen = MockScreen::new(ScreenPolicy::default().warmup(32));
+            SearchLoop::new(RunConfig::with_budget(80)).run_screened(
+                &mut agent,
+                &mut env,
+                &mut screen,
+            )
+        };
+        for jobs in [1, 2, 4] {
+            let env = PeakEnv::new(&[16, 16], vec![5, 9]);
+            let mut agent = RandomWalker::new(env.space().clone(), 3);
+            let mut screen = MockScreen::new(ScreenPolicy::default().warmup(32));
+            let pooled = SearchLoop::new(RunConfig::with_budget(80).jobs(jobs))
+                .run_screened_pooled(&mut agent, env, &mut screen);
+            assert_eq!(dewalled(pooled), dewalled(reference.clone()), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn revalidation_batches_bypass_the_screen_on_schedule() {
+        let mut env = PeakEnv::new(&[16, 16], vec![5, 9]);
+        let mut agent = RandomWalker::new(env.space().clone(), 7);
+        let mut screen = MockScreen::new(ScreenPolicy::default().warmup(16).revalidate_every(2));
+        let result = SearchLoop::new(RunConfig::with_budget(200).batch(16)).run_screened(
+            &mut agent,
+            &mut env,
+            &mut screen,
+        );
+        assert_eq!(result.samples_used, 200);
+        assert!(screen.revalidations > 0, "revalidation cadence must fire");
+        // Every second screened batch admits all candidates, so the
+        // admitted total exceeds the pure top-k+explore rate.
+        assert!(result.proxy_admitted > 0);
+    }
+
+    #[test]
+    fn screened_resumable_run_resumes_bit_identically() {
+        let config = RunConfig::with_budget(120).batch(16);
+        let policy = ScreenPolicy::default().warmup(32).revalidate_every(3);
+        let reference = {
+            let mut env = PeakEnv::new(&[16, 16], vec![5, 9]);
+            let mut agent = RandomWalker::new(env.space().clone(), 21);
+            let mut screen = MockScreen::new(policy);
+            SearchLoop::new(config.clone()).run_screened(&mut agent, &mut env, &mut screen)
+        };
+        assert!(reference.proxy_screened > 0);
+
+        let path = temp_journal("screened-resume");
+        {
+            let mut env = PeakEnv::new(&[16, 16], vec![5, 9]);
+            let mut agent = RandomWalker::new(env.space().clone(), 21);
+            let mut screen = MockScreen::new(policy);
+            SearchLoop::new(config.clone())
+                .run_screened_resumable(&mut agent, &mut env, &mut screen, &path)
+                .unwrap();
+        }
+        let full = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = full.lines().collect();
+        // Cut at several prefixes, including ones that land between a
+        // batch record and its screen record.
+        for keep in [3, lines.len() / 2, lines.len() - 2] {
+            let mut prefix = lines[..keep].join("\n");
+            prefix.push('\n');
+            std::fs::write(&path, prefix).unwrap();
+            let mut env = PeakEnv::new(&[16, 16], vec![5, 9]);
+            let mut agent = RandomWalker::new(env.space().clone(), 21);
+            let mut screen = MockScreen::new(policy);
+            let resumed = SearchLoop::new(config.clone())
+                .run_screened_resumable(&mut agent, &mut env, &mut screen, &path)
+                .unwrap();
+            assert_eq!(
+                dewalled(resumed),
+                dewalled(reference.clone()),
+                "cut at {keep} of {}",
+                lines.len()
+            );
+        }
+        cleanup_journal(&path);
+    }
+
+    #[test]
+    fn screened_journal_rejects_a_proxy_off_resume() {
+        let config = RunConfig::with_budget(96).batch(16);
+        let path = temp_journal("screened-mismatch");
+        {
+            let mut env = PeakEnv::new(&[16, 16], vec![5, 9]);
+            let mut agent = RandomWalker::new(env.space().clone(), 21);
+            let mut screen = MockScreen::new(ScreenPolicy::default().warmup(16));
+            SearchLoop::new(config.clone())
+                .run_screened_resumable(&mut agent, &mut env, &mut screen, &path)
+                .unwrap();
+        }
+        let mut env = PeakEnv::new(&[16, 16], vec![5, 9]);
+        let mut agent = RandomWalker::new(env.space().clone(), 21);
+        // The oversampled proposals cannot replay under a plain run, so
+        // the resume fails loudly instead of silently diverging.
+        let err = SearchLoop::new(config)
+            .run_resumable(&mut agent, &mut env, &path)
+            .unwrap_err();
+        assert!(err.to_string().contains("diverged"), "{err}");
+        cleanup_journal(&path);
     }
 
     // --- fault tolerance ---------------------------------------------------

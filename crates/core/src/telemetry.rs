@@ -109,11 +109,20 @@ pub enum Counter {
     DramRowMisses,
     /// DRAM row-buffer conflicts (precharge + activate).
     DramRowConflicts,
+    /// Candidate proposals ranked by the online proxy screen.
+    ProxyScreened,
+    /// Screened candidates admitted to true evaluation (top-k by
+    /// predicted reward plus the uncertainty exploration slice).
+    ProxyAdmitted,
+    /// Online proxy model (re)fits.
+    ProxyRefits,
+    /// Full-batch drift re-validations driven through the screen.
+    ProxyRevalidations,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 24] = [
         Counter::SamplesSettled,
         Counter::SamplesReplayed,
         Counter::Batches,
@@ -134,6 +143,10 @@ impl Counter {
         Counter::DramRowHits,
         Counter::DramRowMisses,
         Counter::DramRowConflicts,
+        Counter::ProxyScreened,
+        Counter::ProxyAdmitted,
+        Counter::ProxyRefits,
+        Counter::ProxyRevalidations,
     ];
 
     /// The counter's stable report key.
@@ -159,6 +172,10 @@ impl Counter {
             Counter::DramRowHits => "dram_row_hits",
             Counter::DramRowMisses => "dram_row_misses",
             Counter::DramRowConflicts => "dram_row_conflicts",
+            Counter::ProxyScreened => "proxy_screened",
+            Counter::ProxyAdmitted => "proxy_admitted",
+            Counter::ProxyRefits => "proxy_refits",
+            Counter::ProxyRevalidations => "proxy_revalidations",
         }
     }
 }
@@ -184,11 +201,13 @@ pub enum Phase {
     ExecutorBatch,
     /// One DRAM controller simulation of a full trace.
     Simulate,
+    /// One proxy screen pass: batch prediction + admission ranking.
+    Proxy,
 }
 
 impl Phase {
     /// Every phase, in report order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 9] = [
         Phase::Propose,
         Phase::Evaluate,
         Phase::Settle,
@@ -197,6 +216,7 @@ impl Phase {
         Phase::RetryBackoff,
         Phase::ExecutorBatch,
         Phase::Simulate,
+        Phase::Proxy,
     ];
 
     /// The phase's stable report key.
@@ -210,6 +230,7 @@ impl Phase {
             Phase::RetryBackoff => "retry_backoff",
             Phase::ExecutorBatch => "executor_batch",
             Phase::Simulate => "simulate",
+            Phase::Proxy => "proxy",
         }
     }
 }

@@ -1,0 +1,208 @@
+//! Flattened forest inference: contiguous node lanes, zero-alloc batches.
+//!
+//! A fitted [`RandomForest`] stores each tree as boxed recursive nodes —
+//! fine for training, cache-hostile for the screening hot path where a
+//! search loop predicts thousands of candidates per batch. [`FlatForest`]
+//! re-lays every tree into shared structure-of-arrays lanes (feature
+//! index, threshold, child offsets) in depth-first order, so a traversal
+//! walks mostly-forward through two parallel arrays instead of chasing
+//! heap pointers. Leaves reuse the threshold lane for their value and
+//! mark the feature lane with a sentinel, keeping the per-node footprint
+//! at 20 bytes.
+//!
+//! Flattening changes the memory layout only: predictions are
+//! bit-identical to the recursive walk (same comparisons, same
+//! accumulation order), which the tests pin down.
+
+use crate::forest::RandomForest;
+use crate::tree::FlatLanes;
+use archgym_core::space::Action;
+
+/// A [`RandomForest`] compiled to contiguous node arrays for inference.
+///
+/// Built once per (re)fit via [`FlatForest::from_forest`]; prediction
+/// never allocates when the caller reuses its output buffers.
+#[derive(Debug, Clone)]
+pub struct FlatForest {
+    lanes: FlatLanes,
+    /// Root node offset of each tree.
+    roots: Vec<u32>,
+    n_features: usize,
+}
+
+impl FlatForest {
+    /// Flatten a fitted forest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forest is empty or holds more than `u32::MAX` nodes
+    /// (far beyond any configuration this crate can fit).
+    pub fn from_forest(forest: &RandomForest) -> Self {
+        let trees = forest.trees();
+        assert!(!trees.is_empty(), "cannot flatten an empty forest");
+        let mut lanes = FlatLanes::default();
+        let roots: Vec<u32> = trees.iter().map(|t| t.flatten_into(&mut lanes)).collect();
+        FlatForest {
+            lanes,
+            roots,
+            n_features: trees[0].n_features(),
+        }
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Whether the forest has zero trees (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Total flattened nodes across all trees.
+    pub fn node_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Feature width each prediction expects.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Predict one row: the mean over all trees. Bit-identical to
+    /// [`RandomForest::predict`] on the source forest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong number of features.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_features, "feature width mismatch");
+        let sum: f64 = self.roots.iter().map(|&r| self.lanes.eval(r, x)).sum();
+        sum / self.roots.len() as f64
+    }
+
+    /// Predict one row with ensemble mean and per-tree population
+    /// variance. Bit-identical to [`RandomForest::predict_stats`].
+    pub fn predict_stats(&self, x: &[f64]) -> (f64, f64) {
+        assert_eq!(x.len(), self.n_features, "feature width mismatch");
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for &root in &self.roots {
+            let p = self.lanes.eval(root, x);
+            sum += p;
+            sum_sq += p * p;
+        }
+        let n = self.roots.len() as f64;
+        let mean = sum / n;
+        (mean, (sum_sq / n - mean * mean).max(0.0))
+    }
+
+    /// Batch mean/variance over [`Action`]s into caller-owned buffers,
+    /// using `scratch` to hold the feature row — zero allocation once
+    /// all three buffers have warmed to size.
+    ///
+    /// Each action's indices become the feature row (`index as f64`),
+    /// matching how the online proxy trains.
+    pub fn predict_action_stats(
+        &self,
+        candidates: &[Action],
+        means: &mut Vec<f64>,
+        vars: &mut Vec<f64>,
+        scratch: &mut Vec<f64>,
+    ) {
+        means.clear();
+        vars.clear();
+        means.reserve(candidates.len());
+        vars.reserve(candidates.len());
+        for action in candidates {
+            scratch.clear();
+            scratch.extend(action.as_slice().iter().map(|&i| i as f64));
+            let (mean, var) = self.predict_stats(scratch);
+            means.push(mean);
+            vars.push(var);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::ForestConfig;
+    use rand::Rng;
+
+    fn friedman_like(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = archgym_core::seeded_rng(seed);
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..4).map(|_| rng.gen_range(0.0..8.0)).collect())
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 10.0 * x[0] + 5.0 * x[1] * x[1] + 2.0 * x[2] - x[3])
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn flat_predict_is_bitwise_equal_to_recursive() {
+        let (xs, ys) = friedman_like(200, 21);
+        let forest = RandomForest::fit(&xs, &ys, &ForestConfig::default(), 7).unwrap();
+        let flat = FlatForest::from_forest(&forest);
+        assert_eq!(flat.len(), forest.len());
+        for x in &xs {
+            assert_eq!(
+                flat.predict(x).to_bits(),
+                forest.predict(x).to_bits(),
+                "flat and recursive walks must agree bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_stats_are_bitwise_equal_to_recursive() {
+        let (xs, ys) = friedman_like(150, 23);
+        let forest = RandomForest::fit(&xs, &ys, &ForestConfig::default(), 9).unwrap();
+        let flat = FlatForest::from_forest(&forest);
+        for x in &xs {
+            let (fm, fv) = forest.predict_stats(x);
+            let (gm, gv) = flat.predict_stats(x);
+            assert_eq!(fm.to_bits(), gm.to_bits());
+            assert_eq!(fv.to_bits(), gv.to_bits());
+        }
+    }
+
+    #[test]
+    fn node_count_matches_leaf_and_split_totals() {
+        let (xs, ys) = friedman_like(100, 25);
+        let forest = RandomForest::fit(&xs, &ys, &ForestConfig::default(), 11).unwrap();
+        let flat = FlatForest::from_forest(&forest);
+        // A binary tree with L leaves has 2L-1 nodes.
+        let expected: usize = forest.trees().iter().map(|t| 2 * t.leaf_count() - 1).sum();
+        assert_eq!(flat.node_count(), expected);
+        assert!(flat.n_features() == 4);
+    }
+
+    #[test]
+    fn action_stats_reuse_buffers_without_allocating_per_sample() {
+        let (xs, ys) = friedman_like(120, 27);
+        let forest = RandomForest::fit(&xs, &ys, &ForestConfig::default(), 13).unwrap();
+        let flat = FlatForest::from_forest(&forest);
+        let candidates: Vec<Action> = (0..32)
+            .map(|i| Action::new(vec![i % 8, (i * 3) % 8, (i * 5) % 8, (i * 7) % 8]))
+            .collect();
+        let mut means = Vec::new();
+        let mut vars = Vec::new();
+        let mut scratch = Vec::new();
+        flat.predict_action_stats(&candidates, &mut means, &mut vars, &mut scratch);
+        assert_eq!(means.len(), 32);
+        assert_eq!(vars.len(), 32);
+        let cap = (means.capacity(), vars.capacity(), scratch.capacity());
+        // Second pass with warmed buffers: capacities must not grow.
+        flat.predict_action_stats(&candidates, &mut means, &mut vars, &mut scratch);
+        assert_eq!(cap, (means.capacity(), vars.capacity(), scratch.capacity()));
+        // And the rows must match a hand-built feature evaluation.
+        for (action, &mean) in candidates.iter().zip(&means) {
+            let row: Vec<f64> = action.as_slice().iter().map(|&i| i as f64).collect();
+            assert_eq!(mean.to_bits(), flat.predict(&row).to_bits());
+        }
+    }
+}

@@ -119,7 +119,53 @@ impl RandomForest {
 
     /// Predict a batch.
     pub fn predict_batch(&self, xs: &[Vec<f64>]) -> Vec<f64> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        let mut out = Vec::new();
+        self.predict_batch_into(xs, &mut out);
+        out
+    }
+
+    /// Predict a batch into a caller-owned buffer. The buffer is cleared
+    /// and refilled, so a caller in a hot loop pays zero allocation once
+    /// the buffer has reached the batch size.
+    pub fn predict_batch_into(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(xs.len());
+        out.extend(xs.iter().map(|x| self.predict(x)));
+    }
+
+    /// Predict one row with its ensemble disagreement: the mean over
+    /// trees and the population variance of the per-tree predictions.
+    /// High variance marks regions the forest has not learned — the
+    /// screening layer samples them for exploration.
+    pub fn predict_stats(&self, x: &[f64]) -> (f64, f64) {
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for tree in &self.trees {
+            let p = tree.predict(x);
+            sum += p;
+            sum_sq += p * p;
+        }
+        let n = self.trees.len() as f64;
+        let mean = sum / n;
+        (mean, (sum_sq / n - mean * mean).max(0.0))
+    }
+
+    /// Batch [`predict_stats`](Self::predict_stats) into caller-owned
+    /// buffers (cleared and refilled; zero steady-state allocation).
+    pub fn predict_stats_into(&self, xs: &[Vec<f64>], means: &mut Vec<f64>, vars: &mut Vec<f64>) {
+        means.clear();
+        vars.clear();
+        means.reserve(xs.len());
+        vars.reserve(xs.len());
+        for x in xs {
+            let (mean, var) = self.predict_stats(x);
+            means.push(mean);
+            vars.push(var);
+        }
+    }
+
+    pub(crate) fn trees(&self) -> &[RegressionTree] {
+        &self.trees
     }
 
     /// Number of trees.
@@ -245,6 +291,39 @@ mod tests {
             ..ForestConfig::default()
         };
         assert!(RandomForest::fit(&xs, &[1.0], &bad, 0).is_err());
+    }
+
+    #[test]
+    fn batch_into_matches_the_allocating_batch() {
+        let (xs, ys) = friedman_like(120, 13);
+        let forest =
+            RandomForest::fit(&xs[..100], &ys[..100], &ForestConfig::default(), 3).unwrap();
+        let allocated = forest.predict_batch(&xs[100..]);
+        let mut reused = vec![f64::NAN; 3]; // dirty, wrong-sized scratch
+        forest.predict_batch_into(&xs[100..], &mut reused);
+        assert_eq!(allocated, reused);
+    }
+
+    #[test]
+    fn stats_mean_matches_predict_and_variance_is_sane() {
+        let (xs, ys) = friedman_like(150, 17);
+        let forest =
+            RandomForest::fit(&xs[..120], &ys[..120], &ForestConfig::default(), 5).unwrap();
+        let mut means = Vec::new();
+        let mut vars = Vec::new();
+        forest.predict_stats_into(&xs[120..], &mut means, &mut vars);
+        for (x, (&mean, &var)) in xs[120..].iter().zip(means.iter().zip(&vars)) {
+            let (m, v) = forest.predict_stats(x);
+            assert_eq!(mean, m);
+            assert_eq!(var, v);
+            assert!(var >= 0.0);
+            // Same accumulation order as predict(): bit-identical mean.
+            assert_eq!(mean, forest.predict(x));
+        }
+        // Far outside the training hull the trees disagree more than at
+        // the training centroid — the exploration signal.
+        let (_, var_out) = forest.predict_stats(&[50.0, -50.0, 50.0, -50.0]);
+        assert!(var_out > 0.0, "out-of-hull variance {var_out}");
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! * [`forest`] — bagged forests with per-split feature subsampling and a
 //!   random hyperparameter search (the paper tunes its forests the same
 //!   way).
+//! * [`flat`] — forests compiled to contiguous node lanes for
+//!   allocation-free batch inference.
+//! * [`online`] — the in-loop screener ([`OnlineProxy`]) that trains from
+//!   a run's own settled samples and prunes proposal batches.
 //! * [`pipeline`] — dataset → proxy training/evaluation utilities.
 //!
 //! # Example
@@ -30,14 +34,18 @@
 //! assert!((pred - 30.0).abs() < 6.0);
 //! ```
 
+pub mod flat;
 pub mod forest;
 pub mod offline;
+pub mod online;
 pub mod pipeline;
 pub mod proxy_env;
 pub mod tree;
 
+pub use flat::FlatForest;
 pub use forest::{ForestConfig, RandomForest};
 pub use offline::OfflineOptimizer;
+pub use online::{online_forest_config, OnlineProxy};
 pub use pipeline::{train_proxy, DatasetTiers, ProxyModel, ProxyReport};
 pub use proxy_env::ProxyEnv;
 pub use tree::RegressionTree;

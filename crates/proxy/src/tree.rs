@@ -120,6 +120,89 @@ impl RegressionTree {
         }
         depth(&self.root)
     }
+
+    /// Append this tree's nodes to the flat SoA lanes and return the
+    /// root's offset. Leaves store [`FLAT_LEAF`] in the feature lane and
+    /// reuse the threshold lane for the leaf value, so traversal touches
+    /// only two cache lines per level.
+    pub(crate) fn flatten_into(&self, lanes: &mut FlatLanes) -> u32 {
+        flatten(&self.root, lanes)
+    }
+
+    pub(crate) fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+/// Feature-lane sentinel marking a leaf node in flattened storage.
+pub(crate) const FLAT_LEAF: u32 = u32::MAX;
+
+/// Parallel node lanes shared by all trees of a flattened forest.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FlatLanes {
+    /// Split feature index, or [`FLAT_LEAF`] for leaves.
+    pub feature: Vec<u32>,
+    /// Split threshold; doubles as the leaf value for leaves.
+    pub threshold: Vec<f64>,
+    /// Offset of the `<=` child (unused for leaves).
+    pub left: Vec<u32>,
+    /// Offset of the `>` child (unused for leaves).
+    pub right: Vec<u32>,
+}
+
+impl FlatLanes {
+    pub(crate) fn len(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Walk one tree from `root` for feature row `x`.
+    #[inline]
+    pub(crate) fn eval(&self, root: u32, x: &[f64]) -> f64 {
+        let mut at = root as usize;
+        loop {
+            let feature = self.feature[at];
+            if feature == FLAT_LEAF {
+                return self.threshold[at];
+            }
+            at = if x[feature as usize] <= self.threshold[at] {
+                self.left[at] as usize
+            } else {
+                self.right[at] as usize
+            };
+        }
+    }
+}
+
+fn flatten(node: &Node, lanes: &mut FlatLanes) -> u32 {
+    let at = u32::try_from(lanes.len()).expect("flat forest exceeds u32 node offsets");
+    match node {
+        Node::Leaf { value } => {
+            lanes.feature.push(FLAT_LEAF);
+            lanes.threshold.push(*value);
+            lanes.left.push(0);
+            lanes.right.push(0);
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            lanes
+                .feature
+                .push(u32::try_from(*feature).expect("feature index exceeds u32"));
+            lanes.threshold.push(*threshold);
+            // Reserve the child slots, then patch them once the
+            // subtrees have claimed their offsets.
+            lanes.left.push(0);
+            lanes.right.push(0);
+            let left_at = flatten(left, lanes);
+            let right_at = flatten(right, lanes);
+            lanes.left[at as usize] = left_at;
+            lanes.right[at as usize] = right_at;
+        }
+    }
+    at
 }
 
 fn mean_of(ys: &[f64], indices: &[usize]) -> f64 {
