@@ -9,6 +9,8 @@ USAGE:
     archgymd [--addr HOST:PORT] [--state-dir DIR] [--workers N]
              [--port-file PATH] [--max-running N] [--max-queued N]
              [--queue-capacity N] [--retry-after-ms MS]
+             [--durability none|batch|always] [--max-connections N]
+             [--stall-after-ms MS]
 
 FLAGS:
     --addr            listen address (default 127.0.0.1:7170; port 0 picks a free port)
@@ -19,8 +21,15 @@ FLAGS:
     --max-queued      per-tenant queued-job quota (default 16)
     --queue-capacity  global queue bound (default 64)
     --retry-after-ms  back-off hint on admission reject (default 500)
+    --durability      fsync policy for journals and store records
+                      (default batch: fsync at batch boundaries and
+                      before every atomic rename)
+    --max-connections live client connection cap; excess get a typed
+                      `busy` error (default 128)
+    --stall-after-ms  retire a worker silent this long and fail its job
+                      (default 30000; 0 disables the watchdog)
 
-Clients: `archgym-cli submit|status|watch|cancel --addr HOST:PORT ...`.";
+Clients: `archgym-cli submit|status|watch|cancel|shutdown --addr HOST:PORT ...`.";
 
 fn parse_flags(args: &[String]) -> Result<(DaemonConfig, Option<String>), String> {
     let mut config = DaemonConfig::new("127.0.0.1:7170", "archgymd-state");
@@ -47,6 +56,14 @@ fn parse_flags(args: &[String]) -> Result<(DaemonConfig, Option<String>), String
             "--max-queued" => config.quota.max_queued_per_tenant = number()? as usize,
             "--queue-capacity" => config.quota.queue_capacity = number()? as usize,
             "--retry-after-ms" => config.quota.retry_after_ms = number()?,
+            "--durability" => {
+                config.durability =
+                    archgym_core::storeio::Durability::parse(value).ok_or_else(|| {
+                        format!("flag --durability needs none|batch|always, got '{value}'")
+                    })?
+            }
+            "--max-connections" => config.max_connections = number()? as usize,
+            "--stall-after-ms" => config.stall_after_ms = number()?,
             other => return Err(format!("unknown flag {other}\n\n{USAGE}")),
         }
     }

@@ -11,9 +11,15 @@
 //! Layers:
 //!
 //! * [`protocol`] — the wire frames and their canonical encoding.
-//! * [`store`] — the state directory (specs, journals, outcomes).
-//! * [`server`] — listener, scheduler, worker fleet, event streaming.
-//! * [`client`] — a small blocking client used by the CLI and tests.
+//! * [`store`] — the state directory (specs, journals, outcomes),
+//!   checksummed and quarantine-on-corruption, behind the
+//!   [`archgym_core::storeio`] fault-injectable I/O seam.
+//! * [`server`] — listener (connection-capped), scheduler, supervised
+//!   worker fleet (deadlines, stall watchdog), event streaming, and
+//!   drain/interrupt shutdown.
+//! * [`client`] — a small blocking client used by the CLI and tests,
+//!   with connect/read timeouts and a reconnecting, deduplicating
+//!   [`client::WatchStream`].
 //! * [`spec`] — environment-spec parsing (`dram/stream`, ...), shared
 //!   with `archgym-cli`.
 
@@ -26,7 +32,7 @@ pub mod server;
 pub mod spec;
 pub mod store;
 
-pub use client::{request_one, Client};
+pub use client::{request_one, Client, ConnectOptions, WatchItem, WatchStream};
 pub use protocol::{ErrorCode, JobStatus, Request, Response, MAX_LINE_BYTES, PROTOCOL_VERSION};
 pub use server::{DaemonConfig, Server};
 pub use store::{JobOutcome, JobStore, PersistedJob};

@@ -48,6 +48,9 @@ pub enum ErrorCode {
     BadState,
     /// The daemon failed internally (e.g. could not persist the job).
     Internal,
+    /// The daemon is at its concurrent-connection cap (or draining);
+    /// the error carries a `retry_after_ms` back-off hint.
+    Busy,
 }
 
 impl ErrorCode {
@@ -62,6 +65,7 @@ impl ErrorCode {
             ErrorCode::BadSpec => "bad-spec",
             ErrorCode::BadState => "bad-state",
             ErrorCode::Internal => "internal",
+            ErrorCode::Busy => "busy",
         }
     }
 
@@ -76,6 +80,7 @@ impl ErrorCode {
             "bad-spec" => ErrorCode::BadSpec,
             "bad-state" => ErrorCode::BadState,
             "internal" => ErrorCode::Internal,
+            "busy" => ErrorCode::Busy,
             other => return Err(bad(format!("unknown error code '{other}'"))),
         })
     }
@@ -208,7 +213,15 @@ pub enum Request {
     /// Liveness probe.
     Ping,
     /// Stop accepting work and shut the daemon down cleanly.
-    Shutdown,
+    Shutdown {
+        /// Drain mode: stop admitting, let in-flight and queued jobs
+        /// finish before exiting. Without drain, in-flight jobs are
+        /// interrupted at the next batch boundary and left resumable.
+        drain: bool,
+        /// Upper bound on the drain wait in milliseconds; `0` uses the
+        /// daemon's default. Ignored unless `drain` is set.
+        deadline_ms: u64,
+    },
 }
 
 impl Request {
@@ -238,7 +251,14 @@ impl Request {
                 push_json_str(&mut out, &job.to_string());
             }
             Request::Ping => out.push_str("\"ping\""),
-            Request::Shutdown => out.push_str("\"shutdown\""),
+            Request::Shutdown { drain, deadline_ms } => {
+                out.push_str("\"shutdown\"");
+                // Optional trailing fields: a plain shutdown encodes
+                // byte-identically to the pre-drain frame.
+                if *drain {
+                    let _ = write!(out, ",\"drain\":true,\"deadline_ms\":{deadline_ms}");
+                }
+            }
         }
         out.push('}');
         out
@@ -270,7 +290,14 @@ impl Request {
                 job: job_id(&json, "job")?,
             },
             "ping" => Request::Ping,
-            "shutdown" => Request::Shutdown,
+            // Tolerant decode: pre-drain clients send a bare frame.
+            "shutdown" => Request::Shutdown {
+                drain: json.field("drain").and_then(Json::as_bool).unwrap_or(false),
+                deadline_ms: json
+                    .field("deadline_ms")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+            },
             other => return Err(bad(format!("unknown request type '{other}'"))),
         })
     }
@@ -322,6 +349,10 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// Suggested client back-off before retrying, in milliseconds.
+        /// Carried by retryable errors (`busy`); absent otherwise, so
+        /// the encoding of non-retryable errors is unchanged.
+        retry_after_ms: Option<u64>,
     },
     /// Liveness reply.
     Pong {
@@ -386,11 +417,18 @@ impl Response {
                 push_opt_f64(&mut out, *best_reward);
                 let _ = write!(out, ",\"samples\":{samples}");
             }
-            Response::Error { code, message } => {
+            Response::Error {
+                code,
+                message,
+                retry_after_ms,
+            } => {
                 out.push_str("\"error\",\"code\":");
                 push_json_str(&mut out, code.name());
                 out.push_str(",\"message\":");
                 push_json_str(&mut out, message);
+                if let Some(ms) = retry_after_ms {
+                    let _ = write!(out, ",\"retry_after_ms\":{ms}");
+                }
             }
             Response::Pong { version } => {
                 let _ = write!(out, "\"pong\",\"version\":{version}");
@@ -446,6 +484,10 @@ impl Response {
                     .and_then(Json::as_str)
                     .map_err(bad)?
                     .to_owned(),
+                retry_after_ms: match json.field("retry_after_ms") {
+                    Ok(value) => Some(value.as_u64().map_err(bad)?),
+                    Err(_) => None,
+                },
             },
             "pong" => Response::Pong {
                 version: json.field("version").and_then(Json::as_u64).map_err(bad)?,
@@ -498,7 +540,22 @@ mod tests {
                 job: JobId(u64::MAX),
             },
             Request::Ping,
-            Request::Shutdown,
+            Request::Shutdown {
+                drain: false,
+                deadline_ms: 0,
+            },
+            Request::Shutdown {
+                drain: true,
+                deadline_ms: 30_000,
+            },
+            Request::Submit {
+                tenant: "ci".into(),
+                name: Some("deadlined".into()),
+                spec: JobSpec {
+                    deadline_ms: 2_500,
+                    ..spec()
+                },
+            },
         ]
     }
 
@@ -545,6 +602,18 @@ mod tests {
             Response::Error {
                 code: ErrorCode::UnknownJob,
                 message: "no job 'job-99'".into(),
+                retry_after_ms: None,
+            },
+            Response::Error {
+                code: ErrorCode::Busy,
+                message: "too many connections (128)".into(),
+                retry_after_ms: Some(500),
+            },
+            Response::Done {
+                job: JobId(4),
+                state: JobState::TimedOut,
+                best_reward: Some(-0.25),
+                samples: 512,
             },
             Response::Pong {
                 version: PROTOCOL_VERSION,
@@ -586,9 +655,42 @@ mod tests {
             ErrorCode::BadSpec,
             ErrorCode::BadState,
             ErrorCode::Internal,
+            ErrorCode::Busy,
         ] {
             assert_eq!(ErrorCode::parse(code.name()).unwrap(), code);
         }
+    }
+
+    #[test]
+    fn shutdown_and_error_frames_stay_wire_compatible() {
+        // A plain shutdown encodes byte-identically to the pre-drain
+        // frame, and the bare legacy frame decodes as a plain shutdown.
+        let plain = Request::Shutdown {
+            drain: false,
+            deadline_ms: 0,
+        };
+        assert_eq!(plain.to_line(), "{\"type\":\"shutdown\"}");
+        assert_eq!(
+            Request::from_line("{\"type\":\"shutdown\"}").unwrap(),
+            plain
+        );
+        // Errors without a back-off hint encode without the field, and
+        // a legacy error frame decodes with retry_after_ms = None.
+        let err = Response::Error {
+            code: ErrorCode::BadFrame,
+            message: "nope".into(),
+            retry_after_ms: None,
+        };
+        assert!(
+            !err.to_line().contains("retry_after_ms"),
+            "{}",
+            err.to_line()
+        );
+        assert_eq!(
+            Response::from_line("{\"type\":\"error\",\"code\":\"bad-frame\",\"message\":\"nope\"}")
+                .unwrap(),
+            err
+        );
     }
 
     proptest::proptest! {
@@ -599,7 +701,7 @@ mod tests {
             reward in proptest::option::of(-1e12f64..1e12),
             samples in 0u64..1_000_000_000,
             budget in 0u64..1_000_000_000,
-            state_idx in 0usize..5,
+            state_idx in 0usize..6,
             error in proptest::option::of("[ -~]{0,40}"),
         ) {
             let states = [
@@ -608,6 +710,7 @@ mod tests {
                 JobState::Done,
                 JobState::Failed,
                 JobState::Cancelled,
+                JobState::TimedOut,
             ];
             let resp = Response::Status(JobStatus {
                 job: JobId(id),

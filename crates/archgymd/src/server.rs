@@ -1,19 +1,38 @@
 //! The `archgymd` daemon: a multi-tenant search service over TCP.
 //!
 //! One [`Server`] owns a [`JobStore`] state directory, a
-//! [`Scheduler`] for quota-based admission control, and a fixed fleet
-//! of worker threads. Clients speak the line-delimited JSON protocol
-//! from [`protocol`](crate::protocol); accepted jobs are persisted
-//! *before* they are admitted, and every search runs through
+//! [`Scheduler`] for quota-based admission control, and a supervised
+//! fleet of worker threads. Clients speak the line-delimited JSON
+//! protocol from [`protocol`](crate::protocol); accepted jobs are
+//! persisted *before* they are admitted, and every search runs through
 //! [`SearchLoop::run_resumable_pooled`] with its journal inside the
 //! state directory — so a daemon killed mid-job (even with SIGKILL)
 //! re-admits the job on restart and the journal replay finishes it
 //! bit-identically to an uninterrupted run.
 //!
-//! Threading model: one accept loop, one thread per client connection,
-//! `workers` job threads parked on a condvar over the scheduler. Lock
-//! order inside a job handle is events → progress → watchers; the
-//! scheduler lock is never held while a job runs.
+//! Robustness machinery on top of that base:
+//!
+//! * **Deadlines** — a job with `deadline_ms` set is stopped at the
+//!   first batch boundary past its deadline and lands in the terminal
+//!   [`JobState::TimedOut`] with its best-so-far result persisted.
+//! * **Watchdog** — workers heartbeat a per-batch epoch; a supervisor
+//!   thread retires any worker silent past `stall_after_ms`, fails its
+//!   job, and spawns a replacement so one wedged cost model cannot eat
+//!   the fleet.
+//! * **Drain** — `shutdown {drain:true}` stops admission, lets
+//!   admitted jobs finish (bounded by a drain deadline), then stops;
+//!   plain `shutdown` interrupts in-flight jobs at a batch boundary and
+//!   leaves them journaled for the next start to resume.
+//! * **Connection cap** — the accept loop holds at most
+//!   `max_connections` live client threads; excess connections get an
+//!   inline typed `busy` error with a retry hint.
+//!
+//! Threading model: one accept loop, one thread per client connection
+//! (capped), `workers` job threads parked on a condvar over the
+//! scheduler, one supervisor. Lock order inside a job handle is
+//! events → progress → watchers; the scheduler lock is never held
+//! while a job runs. All mutexes recover from poisoning (a panicking
+//! peer thread must not wedge the daemon).
 
 use crate::protocol::{ErrorCode, JobStatus, Request, Response, MAX_LINE_BYTES, PROTOCOL_VERSION};
 use crate::spec::make_env;
@@ -22,8 +41,11 @@ use archgym_agents::factory::{build_agent, default_grid, AgentKind};
 use archgym_core::agent::HyperMap;
 use archgym_core::codec::{parse_json, Json};
 use archgym_core::error::Result;
-use archgym_core::jobs::{Admission, JobId, JobKind, JobSpec, JobState, QuotaPolicy, Scheduler};
+use archgym_core::jobs::{
+    Admission, JobId, JobKind, JobSpec, JobState, QuotaPolicy, Scheduler, Watchdog,
+};
 use archgym_core::search::{RunConfig, RunResult, SearchLoop};
+use archgym_core::storeio::{real_io, Durability, StoreIo};
 use archgym_core::sweep::Sweep;
 use archgym_core::telemetry::Recorder;
 use archgym_core::{Action, Agent, StepResult};
@@ -31,9 +53,17 @@ use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
+use std::time::{Duration, Instant};
+
+/// Lock a mutex, recovering from poisoning: a worker that panicked
+/// while holding a lock already reported a failed job; the shared
+/// state it guarded is still structurally valid.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -46,16 +76,28 @@ pub struct DaemonConfig {
     pub workers: usize,
     /// Admission-control knobs.
     pub quota: QuotaPolicy,
+    /// Fsync policy for journals and store records (default `batch`).
+    pub durability: Durability,
+    /// Maximum live client connections; excess get a typed `busy`
+    /// error with a retry hint (default 128).
+    pub max_connections: usize,
+    /// Retire a worker silent for longer than this many milliseconds
+    /// (`0` disables the watchdog; default 30 000).
+    pub stall_after_ms: u64,
 }
 
 impl DaemonConfig {
-    /// A config with default workers (2) and quotas.
+    /// A config with default workers (2), quotas, `batch` durability,
+    /// a 128-connection cap, and a 30 s worker stall threshold.
     pub fn new(addr: impl Into<String>, state_dir: impl Into<PathBuf>) -> DaemonConfig {
         DaemonConfig {
             addr: addr.into(),
             state_dir: state_dir.into(),
             workers: 2,
             quota: QuotaPolicy::default(),
+            durability: Durability::Batch,
+            max_connections: 128,
+            stall_after_ms: 30_000,
         }
     }
 }
@@ -80,6 +122,16 @@ struct JobHandle {
     progress: Mutex<JobProgress>,
     watchers: Mutex<Vec<TcpStream>>,
     cancel: AtomicBool,
+    /// Set when the job's deadline passed at a batch boundary.
+    timed_out: AtomicBool,
+    /// Heartbeat epoch: bumped every proposed batch and every trace
+    /// line; the supervisor feeds it to the [`Watchdog`].
+    beat: AtomicU64,
+    /// Exactly-once guard over the terminal outcome: the worker and the
+    /// supervisor race to record it, whoever wins the CAS writes it.
+    claimed: AtomicBool,
+    /// Absolute deadline for the current execution attempt.
+    deadline: Mutex<Option<Instant>>,
 }
 
 impl JobHandle {
@@ -97,22 +149,35 @@ impl JobHandle {
             }),
             watchers: Mutex::new(Vec::new()),
             cancel: AtomicBool::new(false),
+            timed_out: AtomicBool::new(false),
+            beat: AtomicU64::new(0),
+            claimed: AtomicBool::new(false),
+            deadline: Mutex::new(None),
         }
     }
 
     fn from_outcome(job: &PersistedJob, outcome: &JobOutcome) -> JobHandle {
         let handle = JobHandle::new(job, outcome.state);
         {
-            let mut progress = handle.progress.lock().expect("progress lock");
+            let mut progress = lock(&handle.progress);
             progress.best_reward = outcome.best_reward;
             progress.samples = outcome.samples;
             progress.error = outcome.error.clone();
         }
+        handle.claimed.store(true, Ordering::SeqCst);
         handle
     }
 
+    /// Win the right to record this job's terminal outcome. The worker
+    /// and the supervisor both call this; exactly one succeeds.
+    fn claim_outcome(&self) -> bool {
+        self.claimed
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
     fn status(&self) -> JobStatus {
-        let progress = self.progress.lock().expect("progress lock").clone();
+        let progress = lock(&self.progress).clone();
         JobStatus {
             job: self.id,
             tenant: self.tenant.clone(),
@@ -125,13 +190,14 @@ impl JobHandle {
     }
 
     fn set_state(&self, state: JobState) {
-        self.progress.lock().expect("progress lock").state = state;
+        lock(&self.progress).state = state;
     }
 
     /// Ingest one line from a run's telemetry trace: update live
     /// progress from per-batch records and fan the event out to every
-    /// watcher (dead watchers are dropped).
+    /// watcher (dead watchers are dropped). Doubles as a heartbeat.
     fn ingest_trace_line(&self, line: &str) {
+        self.beat.fetch_add(1, Ordering::Relaxed);
         let Ok(data) = parse_json(line) else {
             return;
         };
@@ -140,10 +206,10 @@ impl JobHandle {
             data: data.clone(),
         }
         .to_line();
-        let mut events = self.events.lock().expect("events lock");
+        let mut events = lock(&self.events);
         events.push(frame.clone());
         {
-            let mut progress = self.progress.lock().expect("progress lock");
+            let mut progress = lock(&self.progress);
             if let Ok(samples) = data.field("samples_used").and_then(Json::as_u64) {
                 progress.samples = samples;
             }
@@ -151,7 +217,7 @@ impl JobHandle {
                 progress.best_reward = Some(best);
             }
         }
-        let mut watchers = self.watchers.lock().expect("watchers lock");
+        let mut watchers = lock(&self.watchers);
         watchers.retain_mut(|w| writeln!(w, "{frame}").is_ok());
     }
 
@@ -159,9 +225,9 @@ impl JobHandle {
     /// `done` frame. Holding the events lock makes this atomic against
     /// concurrent watch registration.
     fn finish(&self, outcome: &JobOutcome) {
-        let _events = self.events.lock().expect("events lock");
+        let _events = lock(&self.events);
         {
-            let mut progress = self.progress.lock().expect("progress lock");
+            let mut progress = lock(&self.progress);
             progress.state = outcome.state;
             progress.best_reward = outcome.best_reward;
             progress.samples = outcome.samples;
@@ -174,7 +240,7 @@ impl JobHandle {
             samples: outcome.samples,
         }
         .to_line();
-        let mut watchers = self.watchers.lock().expect("watchers lock");
+        let mut watchers = lock(&self.watchers);
         for mut w in watchers.drain(..) {
             let _ = writeln!(w, "{frame}");
         }
@@ -208,12 +274,16 @@ impl std::io::Write for EventSink {
     }
 }
 
-/// Wraps an agent so a raised cancel flag reads as convergence: the
-/// next `propose` returns no candidates and the search loop settles
-/// what it has and stops — no samples are torn mid-batch.
+/// Wraps an agent so every stop signal reads as convergence: a raised
+/// cancel/interrupt flag or an expired deadline makes the next
+/// `propose` return no candidates, and the search loop settles what it
+/// has and stops — no samples are torn mid-batch. Each `propose` also
+/// bumps the job's heartbeat epoch for the watchdog.
 struct Cancellable {
     inner: Box<dyn Agent>,
     flag: Arc<JobHandle>,
+    interrupt: Arc<AtomicBool>,
+    deadline: Option<Instant>,
 }
 
 impl Agent for Cancellable {
@@ -222,8 +292,15 @@ impl Agent for Cancellable {
     }
 
     fn propose(&mut self, max_batch: usize) -> Vec<Action> {
-        if self.flag.cancel.load(Ordering::SeqCst) {
+        self.flag.beat.fetch_add(1, Ordering::Relaxed);
+        if self.flag.cancel.load(Ordering::SeqCst) || self.interrupt.load(Ordering::SeqCst) {
             return Vec::new();
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.flag.timed_out.store(true, Ordering::SeqCst);
+                return Vec::new();
+            }
         }
         self.inner.propose(max_batch)
     }
@@ -246,6 +323,24 @@ struct Inner {
     names: Mutex<HashMap<String, JobId>>,
     next_id: Mutex<u64>,
     shutdown: AtomicBool,
+    /// Admission is closed (drain in progress) but workers keep going.
+    draining: AtomicBool,
+    /// Batch-boundary stop signal for every in-flight job; interrupted
+    /// jobs stay journaled and resume on the next start.
+    interrupt: Arc<AtomicBool>,
+    conns: AtomicUsize,
+    watchdog: Mutex<Watchdog>,
+    /// slot → the handle its worker is currently running, for the
+    /// supervisor's heartbeat observations.
+    running: Mutex<HashMap<usize, Arc<JobHandle>>>,
+    /// slot → worker thread handle. A retired (stalled) worker's handle
+    /// is removed and dropped — joining it would hang forever.
+    worker_handles: Mutex<HashMap<usize, thread::JoinHandle<()>>>,
+    started: Instant,
+}
+
+fn now_ms(inner: &Inner) -> u64 {
+    inner.started.elapsed().as_millis() as u64
 }
 
 /// A bound daemon, ready to [`run`](Server::run).
@@ -261,9 +356,15 @@ impl Server {
     /// original submit order — their journals make the reruns resume
     /// rather than restart).
     pub fn bind(config: DaemonConfig) -> Result<Server> {
+        Self::bind_with_io(config, real_io())
+    }
+
+    /// Like [`Server::bind`] but with an explicit store I/O seam, so
+    /// chaos tests can run a whole daemon against injected faults.
+    pub fn bind_with_io(config: DaemonConfig, io: Arc<dyn StoreIo>) -> Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        let store = JobStore::open(&config.state_dir)?;
+        let store = JobStore::open_with(&config.state_dir, io, config.durability)?;
         let next_id = store.next_id()?;
         let mut sched = Scheduler::new(config.quota);
         let mut jobs = HashMap::new();
@@ -290,12 +391,14 @@ impl Server {
                             error: Some(format!("not re-admitted after restart: {reason}")),
                         };
                         store.record_outcome(job.id, &failed)?;
+                        handle.claimed.store(true, Ordering::SeqCst);
                         handle.finish(&failed);
                     }
                 }
             }
             jobs.insert(job.id.0, handle);
         }
+        let stall_after_ms = config.stall_after_ms;
         Ok(Server {
             listener,
             local_addr,
@@ -308,6 +411,13 @@ impl Server {
                 names: Mutex::new(names),
                 next_id: Mutex::new(next_id),
                 shutdown: AtomicBool::new(false),
+                draining: AtomicBool::new(false),
+                interrupt: Arc::new(AtomicBool::new(false)),
+                conns: AtomicUsize::new(0),
+                watchdog: Mutex::new(Watchdog::new(stall_after_ms)),
+                running: Mutex::new(HashMap::new()),
+                worker_handles: Mutex::new(HashMap::new()),
+                started: Instant::now(),
             }),
         })
     }
@@ -317,36 +427,133 @@ impl Server {
         self.local_addr
     }
 
-    /// Serve until a `shutdown` request arrives. Workers finish their
-    /// in-flight jobs before this returns; queued jobs stay persisted
-    /// for the next start.
+    /// Serve until a `shutdown` request arrives. A drain shutdown lets
+    /// admitted jobs finish first; a plain shutdown interrupts them at
+    /// a batch boundary (they stay journaled and resume on the next
+    /// start). Stalled workers are detached, never joined.
     pub fn run(self) -> Result<()> {
-        let mut workers = Vec::new();
         for _ in 0..self.inner.config.workers.max(1) {
-            let inner = Arc::clone(&self.inner);
-            workers.push(thread::spawn(move || worker_loop(&inner)));
+            spawn_worker(&self.inner);
         }
+        let supervisor = {
+            let inner = Arc::clone(&self.inner);
+            thread::spawn(move || supervise(&inner))
+        };
+        let max_conns = self.inner.config.max_connections.max(1);
         for stream in self.listener.incoming() {
             if self.inner.shutdown.load(Ordering::SeqCst) {
                 break;
             }
             let Ok(stream) = stream else { continue };
+            let admitted = self
+                .inner
+                .conns
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                    (n < max_conns).then_some(n + 1)
+                })
+                .is_ok();
+            if !admitted {
+                // Refuse inline on the accept thread: spawning a thread
+                // per refused client would defeat the cap.
+                let mut out = stream;
+                let busy = Response::Error {
+                    code: ErrorCode::Busy,
+                    message: format!("too many connections ({max_conns})"),
+                    retry_after_ms: Some(self.inner.config.quota.retry_after_ms),
+                };
+                let _ = writeln!(out, "{}", busy.to_line());
+                continue;
+            }
             let inner = Arc::clone(&self.inner);
             let addr = self.local_addr;
-            thread::spawn(move || handle_conn(&inner, addr, stream));
+            thread::spawn(move || {
+                let _slot = ConnGuard(Arc::clone(&inner));
+                handle_conn(&inner, addr, stream);
+            });
         }
         self.inner.work_cv.notify_all();
-        for worker in workers {
+        let _ = supervisor.join();
+        let workers: Vec<_> = lock(&self.inner.worker_handles).drain().collect();
+        for (_slot, worker) in workers {
             let _ = worker.join();
         }
         Ok(())
     }
 }
 
-fn worker_loop(inner: &Arc<Inner>) {
+/// Frees a connection slot when its handler thread exits. A `watch`
+/// that hands its socket to the watcher list still frees the slot —
+/// parked watcher sockets are fan-out targets, not live threads.
+struct ConnGuard(Arc<Inner>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.conns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Register a watchdog slot and start a worker thread on it.
+fn spawn_worker(inner: &Arc<Inner>) {
+    let slot = lock(&inner.watchdog).register();
+    let worker_inner = Arc::clone(inner);
+    let handle = thread::spawn(move || worker_loop(&worker_inner, slot));
+    lock(&inner.worker_handles).insert(slot, handle);
+}
+
+/// Supervisor loop: observe every running job's heartbeat epoch, retire
+/// workers that stalled past the threshold, fail their jobs, and spawn
+/// replacements. The stalled thread itself is left detached — it may be
+/// blocked inside a wedged cost model forever.
+fn supervise(inner: &Arc<Inner>) {
+    let stall = inner.config.stall_after_ms;
+    let poll = Duration::from_millis(if stall == 0 {
+        200
+    } else {
+        (stall / 4).clamp(10, 1000)
+    });
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        thread::sleep(poll);
+        let now = now_ms(inner);
+        let stalled = {
+            let running = lock(&inner.running);
+            let mut watchdog = lock(&inner.watchdog);
+            for (&slot, handle) in running.iter() {
+                watchdog.observe(slot, handle.beat.load(Ordering::Relaxed), now);
+            }
+            watchdog.scan(now)
+        };
+        for (slot, id) in stalled {
+            let handle = lock(&inner.running).remove(&slot);
+            // Detach the stalled thread: joining it could hang forever.
+            drop(lock(&inner.worker_handles).remove(&slot));
+            eprintln!("archgymd: worker {slot} stalled on {id}; failing the job and respawning");
+            if let Some(handle) = handle {
+                if handle.claim_outcome() {
+                    let outcome = JobOutcome {
+                        state: JobState::Failed,
+                        best_reward: None,
+                        samples: 0,
+                        error: Some(format!(
+                            "worker stalled (no heartbeat for more than {stall} ms)"
+                        )),
+                    };
+                    if let Err(err) = inner.store.record_outcome(id, &outcome) {
+                        eprintln!("archgymd: failed to persist stall outcome for {id}: {err}");
+                    }
+                    handle.finish(&outcome);
+                    lock(&inner.sched).finish(id);
+                    inner.work_cv.notify_all();
+                }
+            }
+            spawn_worker(inner);
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>, slot: usize) {
     loop {
         let id = {
-            let mut sched = inner.sched.lock().expect("scheduler lock");
+            let mut sched = lock(&inner.sched);
             loop {
                 if inner.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -354,34 +561,63 @@ fn worker_loop(inner: &Arc<Inner>) {
                 if let Some(id) = sched.next_runnable() {
                     break id;
                 }
-                sched = inner.work_cv.wait(sched).expect("scheduler lock");
+                sched = inner.work_cv.wait(sched).unwrap_or_else(|e| e.into_inner());
             }
         };
-        let handle = inner
-            .jobs
-            .lock()
-            .expect("jobs lock")
+        let handle = lock(&inner.jobs)
             .get(&id.0)
             .cloned()
             .expect("runnable job has a handle");
         handle.set_state(JobState::Running);
-        let outcome = run_job(inner, &handle);
-        let record = inner.store.record_outcome(id, &outcome);
-        handle.finish(&outcome);
+        *lock(&handle.deadline) = (handle.spec.deadline_ms > 0)
+            .then(|| Instant::now() + Duration::from_millis(handle.spec.deadline_ms));
         {
-            let mut sched = inner.sched.lock().expect("scheduler lock");
-            sched.finish(id);
+            let now = now_ms(inner);
+            lock(&inner.watchdog).start(slot, id, now);
+            lock(&inner.running).insert(slot, Arc::clone(&handle));
         }
-        inner.work_cv.notify_all();
-        if let Err(err) = record {
-            eprintln!("archgymd: failed to persist outcome for {id}: {err}");
+        let outcome = run_job(inner, &handle);
+        lock(&inner.running).remove(&slot);
+        lock(&inner.watchdog).end(slot);
+        match outcome {
+            Some(outcome) => {
+                if handle.claim_outcome() {
+                    let record = inner.store.record_outcome(id, &outcome);
+                    handle.finish(&outcome);
+                    lock(&inner.sched).finish(id);
+                    inner.work_cv.notify_all();
+                    if let Err(err) = record {
+                        eprintln!("archgymd: failed to persist outcome for {id}: {err}");
+                    }
+                }
+                // else: the supervisor already recorded a stall outcome
+                // for this job; this (slow, now-retired) worker's result
+                // is discarded.
+            }
+            None => {
+                // Interrupted by shutdown: no outcome is recorded, so
+                // the persisted spec + journal re-admit and resume the
+                // job on the next start.
+                if handle.claim_outcome() {
+                    handle.claimed.store(false, Ordering::SeqCst);
+                    handle.set_state(JobState::Queued);
+                    lock(&inner.sched).finish(id);
+                    inner.work_cv.notify_all();
+                }
+            }
+        }
+        if !lock(&inner.watchdog).is_alive(slot) {
+            return; // retired by the supervisor while running
         }
     }
 }
 
-/// Execute one job to a terminal outcome. Panics inside the run are
-/// caught and reported as a failed job; the daemon itself never dies.
-fn run_job(inner: &Arc<Inner>, handle: &Arc<JobHandle>) -> JobOutcome {
+/// Execute one job to a terminal outcome, or to `None` when a shutdown
+/// interrupt stopped it early (the job stays in-flight and resumable).
+/// Panics inside the run are caught and reported as a failed job; the
+/// daemon itself never dies. Signal priority: cancel > deadline >
+/// interrupt > normal completion.
+fn run_job(inner: &Arc<Inner>, handle: &Arc<JobHandle>) -> Option<JobOutcome> {
     let result =
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match handle.spec.kind {
             JobKind::Search => run_search(inner, handle),
@@ -389,29 +625,38 @@ fn run_job(inner: &Arc<Inner>, handle: &Arc<JobHandle>) -> JobOutcome {
             JobKind::Sweep => run_sweep(inner, handle),
         }));
     let cancelled = handle.cancel.load(Ordering::SeqCst);
+    let timed_out = handle.timed_out.load(Ordering::SeqCst);
+    let interrupted = inner.interrupt.load(Ordering::SeqCst);
     match result {
-        Ok(Ok((best_reward, samples))) => JobOutcome {
-            state: if cancelled {
+        Ok(Ok((best_reward, samples))) => {
+            let state = if cancelled {
                 JobState::Cancelled
+            } else if timed_out {
+                JobState::TimedOut
+            } else if interrupted {
+                return None;
             } else {
                 JobState::Done
-            },
-            best_reward,
-            samples,
-            error: None,
-        },
-        Ok(Err(err)) => JobOutcome {
+            };
+            Some(JobOutcome {
+                state,
+                best_reward,
+                samples,
+                error: None,
+            })
+        }
+        Ok(Err(err)) => Some(JobOutcome {
             state: JobState::Failed,
             best_reward: None,
             samples: 0,
             error: Some(err.to_string()),
-        },
-        Err(_) => JobOutcome {
+        }),
+        Err(_) => Some(JobOutcome {
             state: JobState::Failed,
             best_reward: None,
             samples: 0,
             error: Some("job panicked".into()),
-        },
+        }),
     }
 }
 
@@ -422,13 +667,25 @@ fn run_config(spec: &JobSpec) -> RunConfig {
         .jobs(spec.eval_jobs.max(1))
 }
 
-fn streaming_driver(spec: &JobSpec, handle: &Arc<JobHandle>) -> SearchLoop {
+fn streaming_driver(inner: &Arc<Inner>, spec: &JobSpec, handle: &Arc<JobHandle>) -> SearchLoop {
     let recorder = Recorder::new();
     recorder.set_trace(EventSink {
         handle: Arc::clone(handle),
         buf: Vec::new(),
     });
-    SearchLoop::new(run_config(spec)).with_telemetry(recorder)
+    SearchLoop::new(run_config(spec))
+        .with_telemetry(recorder)
+        .with_journal_io(Arc::clone(inner.store.io()))
+        .with_durability(inner.store.durability())
+}
+
+fn cancellable(inner: &Arc<Inner>, handle: &Arc<JobHandle>, agent: Box<dyn Agent>) -> Cancellable {
+    Cancellable {
+        inner: agent,
+        flag: Arc::clone(handle),
+        interrupt: Arc::clone(&inner.interrupt),
+        deadline: *lock(&handle.deadline),
+    }
 }
 
 fn run_one(
@@ -440,25 +697,27 @@ fn run_one(
     let spec = &handle.spec;
     let env = make_env(&spec.env, Some(&spec.objective))?;
     let kind = AgentKind::parse(agent_name)?;
-    let mut agent = Cancellable {
-        inner: build_agent(kind, env.space(), &Default::default(), spec.seed)?,
-        flag: Arc::clone(handle),
-    };
-    let _ = inner; // journal path already resolved by the caller
+    let mut agent = cancellable(
+        inner,
+        handle,
+        build_agent(kind, env.space(), &Default::default(), spec.seed)?,
+    );
     match &spec.proxy {
         // Screened jobs run through the proxy layer; the screener's
         // decisions are journaled, so daemon restarts resume them
         // bit-identically like plain jobs.
         Some(policy) => {
             let mut screener = archgym_proxy::OnlineProxy::with_defaults(*policy, spec.seed)?;
-            streaming_driver(spec, handle).run_screened_resumable_pooled(
+            streaming_driver(inner, spec, handle).run_screened_resumable_pooled(
                 &mut agent,
                 env,
                 &mut screener,
                 journal,
             )
         }
-        None => streaming_driver(spec, handle).run_resumable_pooled(&mut agent, env, journal),
+        None => {
+            streaming_driver(inner, spec, handle).run_resumable_pooled(&mut agent, env, journal)
+        }
     }
 }
 
@@ -472,7 +731,10 @@ fn run_compare(inner: &Arc<Inner>, handle: &Arc<JobHandle>) -> Result<(Option<f6
     let mut best: Option<f64> = None;
     let mut samples = 0;
     for agent in &handle.spec.agents.clone() {
-        if handle.cancel.load(Ordering::SeqCst) {
+        if handle.cancel.load(Ordering::SeqCst)
+            || handle.timed_out.load(Ordering::SeqCst)
+            || inner.interrupt.load(Ordering::SeqCst)
+        {
             break;
         }
         let journal = inner.store.agent_journal_path(handle.id, agent);
@@ -488,7 +750,6 @@ fn run_compare(inner: &Arc<Inner>, handle: &Arc<JobHandle>) -> Result<(Option<f6
 /// Sweeps are deterministic in the spec, so a restarted daemon reruns
 /// them from scratch instead of journaling every grid cell.
 fn run_sweep(inner: &Arc<Inner>, handle: &Arc<JobHandle>) -> Result<(Option<f64>, u64)> {
-    let _ = inner;
     let spec = &handle.spec;
     let proto = make_env(&spec.env, Some(&spec.objective))?;
     let space = proto.space().clone();
@@ -501,6 +762,8 @@ fn run_sweep(inner: &Arc<Inner>, handle: &Arc<JobHandle>) -> Result<(Option<f64>
         buf: Vec::new(),
     });
     let cancel = Arc::clone(handle);
+    let interrupt = Arc::clone(&inner.interrupt);
+    let deadline = *lock(&handle.deadline);
     let result = Sweep::new(RunConfig::with_budget(spec.budget).record(false))
         .seeds(0..spec.sweep_seeds)
         .jobs(spec.eval_jobs.max(1))
@@ -513,6 +776,8 @@ fn run_sweep(inner: &Arc<Inner>, handle: &Arc<JobHandle>) -> Result<(Option<f64>
                 Ok(Box::new(Cancellable {
                     inner: build_agent(kind, &space, hyper, seed)?,
                     flag: Arc::clone(&cancel),
+                    interrupt: Arc::clone(&interrupt),
+                    deadline,
                 }) as Box<dyn Agent>)
             },
         )?;
@@ -529,6 +794,7 @@ fn error(code: ErrorCode, message: impl Into<String>) -> Response {
     Response::Error {
         code,
         message: message.into(),
+        retry_after_ms: None,
     }
 }
 
@@ -551,7 +817,7 @@ fn validate_spec(spec: &JobSpec) -> Result<()> {
 }
 
 fn submit(inner: &Arc<Inner>, tenant: String, name: Option<String>, spec: JobSpec) -> Response {
-    if inner.shutdown.load(Ordering::SeqCst) {
+    if inner.shutdown.load(Ordering::SeqCst) || inner.draining.load(Ordering::SeqCst) {
         return Response::Rejected {
             reason: "daemon is shutting down".into(),
             retry_after_ms: inner.config.quota.retry_after_ms,
@@ -561,13 +827,13 @@ fn submit(inner: &Arc<Inner>, tenant: String, name: Option<String>, spec: JobSpe
         return error(ErrorCode::BadSpec, err.to_string());
     }
     let id = {
-        let mut next = inner.next_id.lock().expect("id lock");
+        let mut next = lock(&inner.next_id);
         let id = JobId(*next);
         *next += 1;
         id
     };
     if let Some(name) = &name {
-        let mut names = inner.names.lock().expect("names lock");
+        let mut names = lock(&inner.names);
         if let Some(existing) = names.get(name) {
             return error(
                 ErrorCode::DuplicateJob,
@@ -584,21 +850,13 @@ fn submit(inner: &Arc<Inner>, tenant: String, name: Option<String>, spec: JobSpe
     };
     if let Err(err) = inner.store.record_submitted(&job) {
         if let Some(name) = &name {
-            inner.names.lock().expect("names lock").remove(name);
+            lock(&inner.names).remove(name);
         }
         return error(ErrorCode::Internal, format!("could not persist job: {err}"));
     }
     let handle = Arc::new(JobHandle::new(&job, JobState::Queued));
-    inner
-        .jobs
-        .lock()
-        .expect("jobs lock")
-        .insert(id.0, Arc::clone(&handle));
-    let admission = inner
-        .sched
-        .lock()
-        .expect("scheduler lock")
-        .submit(id, &tenant);
+    lock(&inner.jobs).insert(id.0, Arc::clone(&handle));
+    let admission = lock(&inner.sched).submit(id, &tenant);
     match admission {
         Admission::Enqueued { position } => {
             inner.work_cv.notify_all();
@@ -611,9 +869,9 @@ fn submit(inner: &Arc<Inner>, tenant: String, name: Option<String>, spec: JobSpe
             reason,
             retry_after_ms,
         } => {
-            inner.jobs.lock().expect("jobs lock").remove(&id.0);
+            lock(&inner.jobs).remove(&id.0);
             if let Some(name) = &name {
-                inner.names.lock().expect("names lock").remove(name);
+                lock(&inner.names).remove(name);
             }
             inner.store.discard(id);
             Response::Rejected {
@@ -625,25 +883,21 @@ fn submit(inner: &Arc<Inner>, tenant: String, name: Option<String>, spec: JobSpe
 }
 
 fn lookup(inner: &Arc<Inner>, job: JobId) -> Option<Arc<JobHandle>> {
-    inner.jobs.lock().expect("jobs lock").get(&job.0).cloned()
+    lock(&inner.jobs).get(&job.0).cloned()
 }
 
 fn cancel(inner: &Arc<Inner>, job: JobId) -> Response {
     let Some(handle) = lookup(inner, job) else {
         return error(ErrorCode::UnknownJob, format!("no job {job}"));
     };
-    let state = handle.progress.lock().expect("progress lock").state;
+    let state = lock(&handle.progress).state;
     if state.is_terminal() {
         return error(
             ErrorCode::BadState,
             format!("{job} already finished as {}", state.name()),
         );
     }
-    let was_queued = inner
-        .sched
-        .lock()
-        .expect("scheduler lock")
-        .cancel_queued(job);
+    let was_queued = lock(&inner.sched).cancel_queued(job);
     if was_queued {
         let outcome = JobOutcome {
             state: JobState::Cancelled,
@@ -651,10 +905,12 @@ fn cancel(inner: &Arc<Inner>, job: JobId) -> Response {
             samples: 0,
             error: None,
         };
-        if let Err(err) = inner.store.record_outcome(job, &outcome) {
-            eprintln!("archgymd: failed to persist cancel for {job}: {err}");
+        if handle.claim_outcome() {
+            if let Err(err) = inner.store.record_outcome(job, &outcome) {
+                eprintln!("archgymd: failed to persist cancel for {job}: {err}");
+            }
+            handle.finish(&outcome);
         }
-        handle.finish(&outcome);
     } else {
         // Running (or about to be claimed): the cancel flag makes the
         // agent stop proposing and the worker records the outcome.
@@ -664,7 +920,7 @@ fn cancel(inner: &Arc<Inner>, job: JobId) -> Response {
 }
 
 fn list_jobs(inner: &Arc<Inner>) -> Response {
-    let jobs = inner.jobs.lock().expect("jobs lock");
+    let jobs = lock(&inner.jobs);
     let mut statuses: Vec<JobStatus> = jobs.values().map(|handle| handle.status()).collect();
     statuses.sort_by_key(|status| status.job);
     Response::Jobs(statuses)
@@ -679,7 +935,7 @@ fn send(out: &mut TcpStream, response: &Response) -> bool {
 /// live watcher. Returns `true` when the socket was handed over.
 fn watch(handle: &Arc<JobHandle>, mut out: TcpStream) -> bool {
     let _events_guard = {
-        let events = handle.events.lock().expect("events lock");
+        let events = lock(&handle.events);
         for line in events.iter() {
             if writeln!(out, "{line}").is_err() {
                 return true; // client went away; nothing to keep
@@ -687,7 +943,7 @@ fn watch(handle: &Arc<JobHandle>, mut out: TcpStream) -> bool {
         }
         events
     };
-    let progress = handle.progress.lock().expect("progress lock").clone();
+    let progress = lock(&handle.progress).clone();
     if progress.state.is_terminal() {
         let frame = Response::Done {
             job: handle.id,
@@ -698,7 +954,35 @@ fn watch(handle: &Arc<JobHandle>, mut out: TcpStream) -> bool {
         let _ = writeln!(out, "{}", frame.to_line());
         return false;
     }
-    handle.watchers.lock().expect("watchers lock").push(out);
+    lock(&handle.watchers).push(out);
+    true
+}
+
+/// Drain: close admission, then wait (bounded by the drain deadline)
+/// until the scheduler holds no queued or running jobs. Returns `true`
+/// when everything finished; `false` on deadline (the leftovers are
+/// interrupted by the caller and resume on the next start).
+fn drain(inner: &Arc<Inner>, deadline_ms: u64) -> bool {
+    inner.draining.store(true, Ordering::SeqCst);
+    let deadline = Instant::now()
+        + Duration::from_millis(if deadline_ms == 0 {
+            60_000
+        } else {
+            deadline_ms
+        });
+    let mut sched = lock(&inner.sched);
+    while sched.queue_len() + sched.running_len() > 0 {
+        let now = Instant::now();
+        if now >= deadline {
+            return false;
+        }
+        let wait = (deadline - now).min(Duration::from_millis(100));
+        let (guard, _) = inner
+            .work_cv
+            .wait_timeout(sched, wait)
+            .unwrap_or_else(|e| e.into_inner());
+        sched = guard;
+    }
     true
 }
 
@@ -776,8 +1060,21 @@ fn handle_conn(inner: &Arc<Inner>, local: SocketAddr, stream: TcpStream) {
                 }
                 None => error(ErrorCode::UnknownJob, format!("no job {job}")),
             },
-            Request::Shutdown => {
+            Request::Shutdown {
+                drain: drain_first,
+                deadline_ms,
+            } => {
+                if drain_first {
+                    // The `stopping` reply is sent only after the drain
+                    // settles, so a client blocking on it knows every
+                    // admitted job reached a terminal state (or the
+                    // drain deadline passed).
+                    drain(inner, deadline_ms);
+                }
                 let _ = send(&mut out, &Response::Stopping);
+                // Any job still in flight stops at its next batch
+                // boundary and stays journaled for the next start.
+                inner.interrupt.store(true, Ordering::SeqCst);
                 inner.shutdown.store(true, Ordering::SeqCst);
                 inner.work_cv.notify_all();
                 // Poke the accept loop so it observes the flag.

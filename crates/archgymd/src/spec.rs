@@ -11,8 +11,9 @@
 //! * FARSI — `budgets:<lat_ms>,<pow_mw>,<area_mm2>` (default: workload budgets)
 //! * MAESTRO — `runtime`, `energy`
 
-use archgym_core::env::CloneEnvironment;
+use archgym_core::env::{CloneEnvironment, Environment, Observation, StepResult};
 use archgym_core::error::{ArchGymError, Result};
+use archgym_core::space::{Action, ParamSpace};
 use archgym_dram::DramWorkload;
 use archgym_soc::SocWorkload;
 
@@ -61,6 +62,52 @@ fn soc_workload(name: &str) -> Result<SocWorkload> {
                 "unknown FARSI workload `{name}` (audio-decoder|edge-detection)"
             ))
         })
+}
+
+/// A test-only environment whose `step` blocks forever after the
+/// first `hang_after` samples — a stand-in for a wedged external cost
+/// model, used to exercise the daemon's worker watchdog. Hidden from
+/// [`known_envs`]; spelled `test/stall` or `test/stall/<hang_after>`.
+#[derive(Clone)]
+struct StallEnv {
+    space: ParamSpace,
+    hang_after: u64,
+    steps: u64,
+}
+
+impl Environment for StallEnv {
+    fn name(&self) -> &str {
+        "test/stall"
+    }
+
+    fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    fn observation_labels(&self) -> Vec<String> {
+        vec!["steps".into()]
+    }
+
+    fn step(&mut self, _action: &Action) -> StepResult {
+        if self.steps >= self.hang_after {
+            // Wedge, like a hung simulator subprocess. The watchdog
+            // must retire this worker; the thread is detached.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        self.steps += 1;
+        StepResult::terminal(Observation::new(vec![self.steps as f64]), 0.0)
+    }
+}
+
+fn stall_env(hang_after: u64) -> Result<Box<dyn CloneEnvironment>> {
+    let space = ParamSpace::builder().int("x", 0, 7, 1).build()?;
+    Ok(Box::new(StallEnv {
+        space,
+        hang_after,
+        steps: 0,
+    }))
 }
 
 /// Build an environment from `spec` with an optional objective string.
@@ -164,6 +211,20 @@ pub fn make_env(spec: &str, objective: Option<&str>) -> Result<Box<dyn CloneEnvi
                 &network, layer, objective,
             )?))
         }
+        // Undocumented chaos-test family: `test/stall[/<hang_after>]`
+        // wedges after `hang_after` samples (default 0: immediately).
+        "test" => match parts.next() {
+            Some("stall") => stall_env(match parts.next() {
+                Some(n) => n
+                    .parse()
+                    .map_err(|_| bad(format!("bad test/stall count `{n}`")))?,
+                None => 0,
+            }),
+            other => Err(bad(format!(
+                "unknown test environment `{}`",
+                other.unwrap_or_default()
+            ))),
+        },
         other => Err(bad(format!(
             "unknown environment family `{other}` (dram|dramx|timeloop|farsi|maestro)"
         ))),
@@ -235,6 +296,23 @@ mod tests {
         assert!(make_env("maestro/resnet18/nope", None).is_err());
         assert!(make_env("farsi/edge-detection", Some("budgets:1,2")).is_err());
         assert!(make_env("dram/stream", Some("joint:30")).is_err());
+    }
+
+    #[test]
+    fn stall_env_exists_but_is_hidden() {
+        let mut env = make_env("test/stall/3", None).unwrap();
+        let action = archgym_core::space::Action::new(vec![0]);
+        for step in 1..=3u64 {
+            let result = env.step(&action);
+            assert_eq!(result.observation.get(0), step as f64);
+        }
+        assert!(make_env("test/stall", None).is_ok());
+        assert!(make_env("test/nope", None).is_err());
+        assert!(make_env("test/stall/x", None).is_err());
+        assert!(
+            !known_envs().iter().any(|e| e.starts_with("test/")),
+            "chaos-test envs stay out of the advertised list"
+        );
     }
 
     #[test]

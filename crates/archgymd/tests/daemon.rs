@@ -27,9 +27,16 @@ struct Daemon {
 impl Daemon {
     /// Boot a daemon on an ephemeral port over `state_dir`.
     fn boot(state_dir: &Path, workers: usize, quota: QuotaPolicy) -> Daemon {
+        Self::boot_config(state_dir, |config| {
+            config.workers = workers;
+            config.quota = quota;
+        })
+    }
+
+    /// Boot with arbitrary config tweaks (watchdog, connection cap, ...).
+    fn boot_config(state_dir: &Path, tweak: impl FnOnce(&mut DaemonConfig)) -> Daemon {
         let mut config = DaemonConfig::new("127.0.0.1:0", state_dir);
-        config.workers = workers;
-        config.quota = quota;
+        tweak(&mut config);
         let server = Server::bind(config).expect("bind daemon");
         let addr = server.local_addr().to_string();
         let thread = std::thread::spawn(move || {
@@ -43,7 +50,33 @@ impl Daemon {
 
     fn stop(&mut self) {
         if let Some(thread) = self.thread.take() {
-            let _ = request_one(&self.addr, &Request::Shutdown);
+            let _ = request_one(
+                &self.addr,
+                &Request::Shutdown {
+                    drain: false,
+                    deadline_ms: 0,
+                },
+            );
+            thread.join().expect("daemon thread");
+        }
+    }
+
+    /// Drain-shutdown: the `stopping` reply only arrives once every
+    /// admitted job reached a terminal state (or the deadline passed).
+    fn drain_stop(&mut self, deadline_ms: u64) {
+        if let Some(thread) = self.thread.take() {
+            match request_one(
+                &self.addr,
+                &Request::Shutdown {
+                    drain: true,
+                    deadline_ms,
+                },
+            )
+            .expect("drain round-trip")
+            {
+                Response::Stopping => {}
+                other => panic!("expected stopping, got {other:?}"),
+            }
             thread.join().expect("daemon thread");
         }
     }
@@ -459,6 +492,240 @@ fn restart_resumes_screened_jobs_bit_identically() {
         resumed.expect("resumed best reward").to_bits(),
         reference.to_bits(),
         "screened journal resume must be bit-identical"
+    );
+    daemon.stop();
+}
+
+/// A job that cannot finish inside its `deadline_ms` is stopped at a
+/// batch boundary and lands in `timed-out` with its best-so-far reward
+/// persisted — while another tenant's job finishes normally.
+#[test]
+fn deadline_jobs_time_out_while_other_tenants_finish() {
+    let dir = state_dir("deadline");
+    let mut daemon = Daemon::boot(&dir, 2, QuotaPolicy::default());
+    let mut slow = small_spec(1_000_000, 7);
+    slow.deadline_ms = 250;
+    let Response::Accepted { job: slow_job, .. } = submit(&daemon.addr, "tenant-a", None, slow)
+    else {
+        panic!("submit not accepted")
+    };
+    let Response::Accepted { job: fast_job, .. } =
+        submit(&daemon.addr, "tenant-b", None, small_spec(200, 8))
+    else {
+        panic!("submit not accepted")
+    };
+
+    let (state, best, samples, _) = watch_to_done(&daemon.addr, slow_job);
+    assert_eq!(state, JobState::TimedOut);
+    assert!(best.is_some(), "timed-out jobs keep their best-so-far");
+    assert!(
+        samples > 0 && samples < 1_000_000,
+        "stopped early: {samples}"
+    );
+
+    let (state, _, samples, _) = watch_to_done(&daemon.addr, fast_job);
+    assert_eq!(state, JobState::Done, "other tenants are unaffected");
+    assert_eq!(samples, 200);
+
+    // The timed-out outcome is durable: still `timed-out` after restart.
+    daemon.stop();
+    let mut daemon = Daemon::boot(&dir, 2, QuotaPolicy::default());
+    let Response::Status(status) =
+        request_one(&daemon.addr, &Request::Status { job: slow_job }).unwrap()
+    else {
+        panic!("expected status frame")
+    };
+    assert_eq!(status.state, JobState::TimedOut);
+    daemon.stop();
+}
+
+/// The worker watchdog: a job wedged inside its cost model (the hidden
+/// `test/stall` environment never returns from `step`) is failed with a
+/// stall error, the worker is retired and replaced, and the single-slot
+/// fleet keeps serving other jobs.
+#[test]
+fn watchdog_fails_stalled_jobs_and_respawns_the_worker() {
+    let mut daemon = Daemon::boot_config(&state_dir("watchdog"), |config| {
+        config.workers = 1;
+        config.stall_after_ms = 300;
+    });
+    let stall = JobSpec::search("test/stall", "rw", 50, 1);
+    let Response::Accepted { job, .. } = submit(&daemon.addr, "ci", None, stall) else {
+        panic!("submit not accepted")
+    };
+    let (state, _, _, _) = watch_to_done(&daemon.addr, job);
+    assert_eq!(state, JobState::Failed);
+    let Response::Status(status) = request_one(&daemon.addr, &Request::Status { job }).unwrap()
+    else {
+        panic!("expected status frame")
+    };
+    assert!(
+        status.error.as_deref().unwrap_or("").contains("stalled"),
+        "failure names the stall: {:?}",
+        status.error
+    );
+
+    // The lone worker slot was wedged forever; only a respawned
+    // replacement can run this follow-up job.
+    let Response::Accepted { job, .. } = submit(&daemon.addr, "ci", None, small_spec(100, 2))
+    else {
+        panic!("submit not accepted")
+    };
+    let (state, _, samples, _) = watch_to_done(&daemon.addr, job);
+    assert_eq!(state, JobState::Done);
+    assert_eq!(samples, 100);
+    daemon.stop();
+}
+
+/// The accept-loop connection cap: with one slot held, the next
+/// connection gets an inline typed `busy` error carrying the retry
+/// hint, and the slot frees once the first client hangs up.
+#[test]
+fn connection_cap_returns_typed_busy_errors() {
+    let mut daemon = Daemon::boot_config(&state_dir("busy"), |config| {
+        config.max_connections = 1;
+        config.quota.retry_after_ms = 123;
+    });
+    let mut held = Client::connect(&daemon.addr).expect("first connection");
+    match held.round_trip(&Request::Ping).unwrap() {
+        Response::Pong { .. } => {}
+        other => panic!("expected pong, got {other:?}"),
+    }
+
+    let stream = TcpStream::connect(&daemon.addr).expect("second connection");
+    let mut reader = BufReader::new(stream);
+    let mut reply = String::new();
+    reader.read_line(&mut reply).expect("busy reply");
+    match Response::from_line(reply.trim()).expect("typed busy frame") {
+        Response::Error {
+            code,
+            retry_after_ms,
+            ..
+        } => {
+            assert_eq!(code, ErrorCode::Busy);
+            assert_eq!(retry_after_ms, Some(123));
+        }
+        other => panic!("expected busy error, got {other:?}"),
+    }
+
+    // Hanging up frees the slot (the handler thread exits asynchronously).
+    drop(held);
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        if let Ok(Response::Pong { .. }) = request_one(&daemon.addr, &Request::Ping) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "connection slot never freed"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    daemon.stop();
+}
+
+/// Graceful drain: `shutdown {drain:true}` closes admission, lets every
+/// admitted job reach a terminal state before replying, and a restart
+/// over the drained state dir shows exactly one outcome per job — no
+/// losses, no duplicates, no re-runs.
+#[test]
+fn drain_shutdown_finishes_admitted_jobs_without_loss_or_duplication() {
+    let dir = state_dir("drain");
+    let mut daemon = Daemon::boot(&dir, 1, QuotaPolicy::default());
+    let mut jobs = Vec::new();
+    for seed in 0..3 {
+        let Response::Accepted { job, .. } =
+            submit(&daemon.addr, "ci", None, small_spec(300, seed))
+        else {
+            panic!("submit not accepted")
+        };
+        jobs.push(job);
+    }
+    // One worker: at most one job is running; the rest are queued when
+    // the drain lands mid-flight.
+    daemon.drain_stop(60_000);
+
+    let mut daemon = Daemon::boot(&dir, 1, QuotaPolicy::default());
+    let Response::Jobs(list) = request_one(&daemon.addr, &Request::List).unwrap() else {
+        panic!("expected jobs frame")
+    };
+    assert_eq!(list.len(), jobs.len());
+    for status in &list {
+        assert_eq!(
+            status.state,
+            JobState::Done,
+            "{}: drained to done",
+            status.job
+        );
+        assert_eq!(status.samples, 300);
+    }
+    for job in &jobs {
+        assert!(
+            dir.join(format!("{job}.done")).exists(),
+            "{job} outcome persisted exactly once"
+        );
+    }
+    let quarantined: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.ends_with(".corrupt"))
+        .collect();
+    assert!(quarantined.is_empty(), "clean drain: {quarantined:?}");
+    daemon.stop();
+}
+
+/// Plain (non-drain) shutdown interrupts in-flight jobs at a batch
+/// boundary; the job stays in-flight (no outcome record) and a restart
+/// resumes it from the journal to a reward bit-identical to an
+/// uninterrupted reference run.
+#[test]
+fn plain_shutdown_interrupts_jobs_and_restart_resumes_bit_identically() {
+    // Reference: the same spec run to completion in its own state dir.
+    let ref_dir = state_dir("interrupt-ref");
+    let mut daemon = Daemon::boot(&ref_dir, 1, QuotaPolicy::default());
+    let Response::Accepted { job, .. } = submit(&daemon.addr, "ci", None, small_spec(2_000, 17))
+    else {
+        panic!("submit not accepted")
+    };
+    let (state, reference, samples, _) = watch_to_done(&daemon.addr, job);
+    assert_eq!(state, JobState::Done);
+    assert_eq!(samples, 2_000);
+    let reference = reference.expect("reference best reward");
+    daemon.stop();
+
+    // Interrupted run: plain shutdown lands after the first settled
+    // batch, well before the budget is spent.
+    let dir = state_dir("interrupt");
+    let mut daemon = Daemon::boot(&dir, 1, QuotaPolicy::default());
+    let Response::Accepted { job, .. } = submit(&daemon.addr, "ci", None, small_spec(2_000, 17))
+    else {
+        panic!("submit not accepted")
+    };
+    let mut watcher = Client::connect(&daemon.addr).expect("watch connect");
+    watcher.send(&Request::Watch { job }).expect("send watch");
+    loop {
+        match watcher.recv().expect("watch stream") {
+            Some(Response::Event { .. }) => break, // mid-run
+            Some(Response::Done { .. }) => panic!("job finished before the shutdown"),
+            Some(_) => continue,
+            None => panic!("watch closed early"),
+        }
+    }
+    daemon.stop();
+    assert!(
+        !dir.join(format!("{job}.done")).exists(),
+        "interrupted jobs stay in-flight, not cancelled/failed"
+    );
+
+    let mut daemon = Daemon::boot(&dir, 1, QuotaPolicy::default());
+    let (state, resumed, samples, _) = watch_to_done(&daemon.addr, job);
+    assert_eq!(state, JobState::Done);
+    assert_eq!(samples, 2_000);
+    assert_eq!(
+        resumed.expect("resumed best reward").to_bits(),
+        reference.to_bits(),
+        "interrupt + restart must be bit-identical to the uninterrupted run"
     );
     daemon.stop();
 }

@@ -615,7 +615,13 @@ pub fn run(quick: bool, jobs: usize) -> Result<PerfReport> {
         Ok(all)
     });
     let latencies = latencies?;
-    let _ = archgymd::client::request_one(&daemon_addr, &archgymd::protocol::Request::Shutdown);
+    let _ = archgymd::client::request_one(
+        &daemon_addr,
+        &archgymd::protocol::Request::Shutdown {
+            drain: false,
+            deadline_ms: 0,
+        },
+    );
     let _ = daemon_thread.join();
     let _ = std::fs::remove_dir_all(&daemon_state);
     let daemon_jobs = (daemon_clients * jobs_per_client) as u64;

@@ -72,15 +72,16 @@ USAGE:
   archgym proxy  --dataset in.jsonl --metric N [--search N] [--seed N]
   archgym serve  [--addr HOST:PORT] [--state-dir DIR] [--workers N] [--port-file PATH]
                  [--max-running N] [--max-queued N] [--queue-capacity N] [--retry-after-ms MS]
+                 [--durability none|batch|always] [--max-connections N] [--stall-after-ms MS]
   archgym submit --addr HOST:PORT --env <spec> [--kind search|sweep|compare] [--tenant NAME]
                  [--name JOB] [--agent <kind>] [--agents a,b,...] [--objective <spec>]
-                 [--budget N] [--seed N] [--batch N] [--jobs N] [--seeds N]
+                 [--budget N] [--seed N] [--batch N] [--jobs N] [--seeds N] [--deadline-ms MS]
                  [--proxy true] [--proxy-topk N] [--proxy-explore F]
   archgym status --addr HOST:PORT --job job-N
-  archgym watch  --addr HOST:PORT --job job-N
+  archgym watch  --addr HOST:PORT --job job-N [--reconnect-attempts N] [--seed N]
   archgym cancel --addr HOST:PORT --job job-N
   archgym ping   --addr HOST:PORT
-  archgym shutdown --addr HOST:PORT
+  archgym shutdown --addr HOST:PORT [--drain true] [--drain-deadline-ms MS]
 
 For `sweep`/`halving`, `--jobs N` fans independent runs over N worker
 threads (default: all cores; 1 = serial). For `search`/`compare`,
@@ -758,8 +759,15 @@ fn daemon_addr(args: &Args) -> Result<&str> {
 fn unexpected(response: archgymd::protocol::Response) -> ArchGymError {
     use archgymd::protocol::Response;
     match response {
-        Response::Error { code, message } => {
-            ArchGymError::InvalidConfig(format!("daemon error [{}]: {message}", code.name()))
+        Response::Error {
+            code,
+            message,
+            retry_after_ms,
+        } => {
+            let hint = retry_after_ms
+                .map(|ms| format!(" (retry after {ms}ms)"))
+                .unwrap_or_default();
+            ArchGymError::InvalidConfig(format!("daemon error [{}]: {message}{hint}", code.name()))
         }
         other => {
             ArchGymError::InvalidConfig(format!("unexpected daemon reply: {}", other.to_line()))
@@ -811,6 +819,16 @@ fn serve(args: &Args) -> Result<String> {
     config.quota.queue_capacity =
         args.u64_or("queue-capacity", config.quota.queue_capacity as u64)? as usize;
     config.quota.retry_after_ms = args.u64_or("retry-after-ms", config.quota.retry_after_ms)?;
+    if let Some(value) = args.get("durability") {
+        config.durability = archgym_core::storeio::Durability::parse(value).ok_or_else(|| {
+            ArchGymError::InvalidConfig(format!(
+                "`--durability` expects none|batch|always, got `{value}`"
+            ))
+        })?;
+    }
+    config.max_connections =
+        args.u64_or("max-connections", config.max_connections as u64)? as usize;
+    config.stall_after_ms = args.u64_or("stall-after-ms", config.stall_after_ms)?;
     let server = Server::bind(config)?;
     let addr = server.local_addr();
     if let Some(path) = args.get("port-file") {
@@ -852,6 +870,7 @@ fn submit(args: &Args) -> Result<String> {
     spec.batch = args.u64_or("batch", 0)? as usize;
     spec.eval_jobs = args.u64_or("jobs", 1)? as usize;
     spec.sweep_seeds = args.u64_or("seeds", spec.sweep_seeds)?;
+    spec.deadline_ms = args.u64_or("deadline-ms", 0)?;
     if let Some(list) = args.get("agents") {
         spec.agents = list.split(',').map(|name| name.trim().to_owned()).collect();
     }
@@ -887,32 +906,35 @@ fn status(args: &Args) -> Result<String> {
 }
 
 /// Stream a job's events to stdout as they arrive; returns once the job
-/// reaches a terminal state (or the daemon closes the stream).
+/// reaches a terminal state. Rides out connection drops and daemon
+/// restarts via [`archgymd::client::WatchStream`], which replays the
+/// backlog on reconnect and deduplicates already-seen events.
 fn watch(args: &Args) -> Result<String> {
-    use archgymd::client::Client;
-    use archgymd::protocol::{Request, Response};
+    use archgymd::client::{ConnectOptions, WatchItem, WatchStream};
     let job = parse_job_id(args)?;
-    let mut client = Client::connect(daemon_addr(args)?)?;
-    client.send(&Request::Watch { job })?;
+    let mut stream = WatchStream::open(
+        daemon_addr(args)?,
+        job,
+        ConnectOptions::default(),
+        args.u64_or("seed", 0)?,
+        args.u64_or("reconnect-attempts", 8)? as u32,
+    );
     loop {
-        match client.recv()? {
-            None => return Ok(format!("{job}: stream closed by daemon\n")),
-            Some(Response::Event { data, .. }) => {
+        match stream.next_item()? {
+            WatchItem::Event(data) => {
                 println!("{}", data.encode());
             }
-            Some(Response::Done {
-                job,
+            WatchItem::Done {
                 state,
                 best_reward,
                 samples,
-            }) => {
+            } => {
                 let mut out = format!("{job} {}: {samples} samples\n", state.name());
                 if let Some(best) = best_reward {
                     let _ = writeln!(out, "best reward: {best:.6}");
                 }
                 return Ok(out);
             }
-            Some(other) => return Err(unexpected(other)),
         }
     }
 }
@@ -936,12 +958,24 @@ fn ping(args: &Args) -> Result<String> {
     }
 }
 
-/// Ask the daemon to stop accepting work and exit. Running jobs finish
-/// first; queued jobs stay persisted for the next start.
+/// Ask the daemon to stop. Plain shutdown interrupts in-flight jobs at
+/// a batch boundary (they stay journaled and resume on the next
+/// start); `--drain true` closes admission and waits for every
+/// admitted job to finish (bounded by `--drain-deadline-ms`) before
+/// stopping.
 fn shutdown(args: &Args) -> Result<String> {
     use archgymd::protocol::{Request, Response};
-    match archgymd::client::request_one(daemon_addr(args)?, &Request::Shutdown)? {
-        Response::Stopping => Ok("daemon stopping\n".to_owned()),
+    let drain = matches!(args.get("drain"), Some("true" | "1" | "yes"));
+    let request = Request::Shutdown {
+        drain,
+        deadline_ms: args.u64_or("drain-deadline-ms", 0)?,
+    };
+    match archgymd::client::request_one(daemon_addr(args)?, &request)? {
+        Response::Stopping => Ok(if drain {
+            "daemon drained and stopping\n".to_owned()
+        } else {
+            "daemon stopping\n".to_owned()
+        }),
         other => Err(unexpected(other)),
     }
 }

@@ -84,6 +84,9 @@ pub enum JobState {
     Failed,
     /// Cancelled by a client before or during execution.
     Cancelled,
+    /// Exceeded its [`JobSpec::deadline_ms`] and was stopped at a batch
+    /// boundary; the best-so-far result is persisted like any outcome.
+    TimedOut,
 }
 
 impl JobState {
@@ -95,6 +98,7 @@ impl JobState {
             JobState::Done => "done",
             JobState::Failed => "failed",
             JobState::Cancelled => "cancelled",
+            JobState::TimedOut => "timed-out",
         }
     }
 
@@ -106,6 +110,7 @@ impl JobState {
             "done" => Ok(JobState::Done),
             "failed" => Ok(JobState::Failed),
             "cancelled" => Ok(JobState::Cancelled),
+            "timed-out" => Ok(JobState::TimedOut),
             other => Err(ArchGymError::InvalidConfig(format!(
                 "unknown job state '{other}'"
             ))),
@@ -116,7 +121,7 @@ impl JobState {
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
-            JobState::Done | JobState::Failed | JobState::Cancelled
+            JobState::Done | JobState::Failed | JobState::Cancelled | JobState::TimedOut
         )
     }
 }
@@ -149,6 +154,13 @@ pub struct JobSpec {
     /// Online proxy screening policy; `None` runs unscreened. Encoded
     /// only when present, so specs from older clients decode unchanged.
     pub proxy: Option<crate::screen::ScreenPolicy>,
+    /// Wall-clock deadline for the whole job in milliseconds; `0` means
+    /// no deadline. Enforced cooperatively at batch boundaries: an
+    /// exceeded deadline stops the run and records a
+    /// [`JobState::TimedOut`] outcome with the best-so-far result.
+    /// Encoded only when nonzero, so specs from older clients decode
+    /// unchanged.
+    pub deadline_ms: u64,
 }
 
 impl JobSpec {
@@ -166,6 +178,7 @@ impl JobSpec {
             eval_jobs: 1,
             sweep_seeds: 3,
             proxy: None,
+            deadline_ms: 0,
         }
     }
 
@@ -217,8 +230,14 @@ impl JobSpec {
                 self.budget, self.seed, self.batch, self.eval_jobs, self.sweep_seeds
             ),
         );
-        // Optional trailing field: absent for unscreened jobs, keeping
-        // the encoding byte-identical to pre-proxy daemons and clients.
+        // Optional trailing fields: absent when at their defaults,
+        // keeping the encoding byte-identical to older daemons/clients.
+        if self.deadline_ms > 0 {
+            let _ = fmt::Write::write_fmt(
+                &mut out,
+                format_args!(",\"deadline_ms\":{}", self.deadline_ms),
+            );
+        }
         if let Some(policy) = &self.proxy {
             out.push_str(",\"proxy\":");
             out.push_str(&policy.encode());
@@ -269,6 +288,12 @@ impl JobSpec {
                 Ok(value) => Some(crate::screen::ScreenPolicy::from_json(value).map_err(bad)?),
                 Err(_) => None,
             },
+            // Tolerant decode: specs from pre-deadline clients lack the
+            // field; absent means no deadline.
+            deadline_ms: json
+                .field("deadline_ms")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
         })
     }
 
@@ -414,6 +439,127 @@ impl Scheduler {
         let before = self.queue.len();
         self.queue.retain(|(queued, _)| *queued != id);
         self.queue.len() < before
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct WorkerSlot {
+    alive: bool,
+    job: Option<JobId>,
+    epoch: u64,
+    last_progress_ms: u64,
+}
+
+/// A pure, deterministic liveness monitor over the worker fleet.
+///
+/// Like the [`Scheduler`], the watchdog is a clock-free state machine:
+/// the daemon's supervisor thread feeds it heartbeat *epochs* (a
+/// counter each worker bumps per batch of progress) together with an
+/// explicit `now_ms`, so stall detection is unit-testable with a fake
+/// clock. A worker is **stalled** when it is busy on a job and its
+/// epoch has not advanced for longer than `stall_after_ms` — wall time
+/// since claim is deliberately not used, so a slow-but-progressing job
+/// is never killed.
+///
+/// [`Watchdog::scan`] reports each stalled slot exactly once and
+/// retires it; the supervisor fails the job, detaches the wedged
+/// thread, and registers a replacement slot for the respawned worker.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    stall_after_ms: u64,
+    slots: Vec<WorkerSlot>,
+}
+
+impl Watchdog {
+    /// A watchdog that flags a busy worker whose heartbeat epoch has
+    /// not advanced for `stall_after_ms`. `0` disables stall detection
+    /// ([`Watchdog::scan`] never reports).
+    pub fn new(stall_after_ms: u64) -> Watchdog {
+        Watchdog {
+            stall_after_ms,
+            slots: Vec::new(),
+        }
+    }
+
+    /// The configured stall threshold (`0` = disabled).
+    pub fn stall_after_ms(&self) -> u64 {
+        self.stall_after_ms
+    }
+
+    /// Register a new worker slot, returning its id.
+    pub fn register(&mut self) -> usize {
+        self.slots.push(WorkerSlot {
+            alive: true,
+            job: None,
+            epoch: 0,
+            last_progress_ms: 0,
+        });
+        self.slots.len() - 1
+    }
+
+    /// Whether `slot` is still part of the fleet (not retired).
+    pub fn is_alive(&self, slot: usize) -> bool {
+        self.slots.get(slot).is_some_and(|s| s.alive)
+    }
+
+    /// The job `slot` is busy on, if any.
+    pub fn busy_on(&self, slot: usize) -> Option<JobId> {
+        self.slots.get(slot).and_then(|s| s.job)
+    }
+
+    /// Mark `slot` busy on `job`, resetting its heartbeat baseline.
+    pub fn start(&mut self, slot: usize, job: JobId, now_ms: u64) {
+        if let Some(s) = self.slots.get_mut(slot) {
+            s.job = Some(job);
+            s.epoch = 0;
+            s.last_progress_ms = now_ms;
+        }
+    }
+
+    /// Mark `slot` idle (its job finished or was handed off).
+    pub fn end(&mut self, slot: usize) {
+        if let Some(s) = self.slots.get_mut(slot) {
+            s.job = None;
+        }
+    }
+
+    /// Record a heartbeat observation for `slot`: if `epoch` advanced
+    /// past the last observed value, the stall timer resets to `now_ms`.
+    pub fn observe(&mut self, slot: usize, epoch: u64, now_ms: u64) {
+        if let Some(s) = self.slots.get_mut(slot) {
+            if epoch > s.epoch {
+                s.epoch = epoch;
+                s.last_progress_ms = now_ms;
+            }
+        }
+    }
+
+    /// Report and retire every live, busy slot that has made no
+    /// progress for longer than the stall threshold. Each stalled slot
+    /// is reported exactly once; the caller respawns a replacement via
+    /// [`Watchdog::register`].
+    pub fn scan(&mut self, now_ms: u64) -> Vec<(usize, JobId)> {
+        if self.stall_after_ms == 0 {
+            return Vec::new();
+        }
+        let mut stalled = Vec::new();
+        for (slot, s) in self.slots.iter_mut().enumerate() {
+            if !s.alive {
+                continue;
+            }
+            if let Some(job) = s.job {
+                if now_ms.saturating_sub(s.last_progress_ms) > self.stall_after_ms {
+                    s.alive = false;
+                    s.job = None;
+                    stalled.push((slot, job));
+                }
+            }
+        }
+        stalled
     }
 }
 
@@ -587,6 +733,78 @@ mod tests {
         // As flood's jobs finish, its backlog drains in FIFO order.
         sched.finish(JobId(0));
         assert_eq!(sched.next_runnable(), Some(JobId(2)));
+    }
+
+    #[test]
+    fn job_spec_deadline_field_round_trips_and_stays_optional() {
+        let mut spec = JobSpec::search("dram/stream", "ga", 5000, 7);
+        spec.deadline_ms = 1500;
+        let text = spec.encode();
+        assert!(text.contains("\"deadline_ms\":1500"), "{text}");
+        let back = JobSpec::decode(&text).expect("decode");
+        assert_eq!(back, spec);
+        assert_eq!(back.encode(), text);
+        // No deadline: the field is absent and a legacy line (without
+        // the field) decodes to deadline_ms = 0.
+        let plain = JobSpec::search("dram/stream", "ga", 5000, 7);
+        assert!(
+            !plain.encode().contains("deadline_ms"),
+            "{}",
+            plain.encode()
+        );
+        let legacy = "{\"kind\":\"search\",\"env\":\"dram/stream\",\"objective\":\"\",\
+                      \"agent\":\"ga\",\"agents\":[],\"budget\":5000,\"seed\":7,\
+                      \"batch\":0,\"eval_jobs\":1,\"sweep_seeds\":3}";
+        assert_eq!(JobSpec::decode(legacy).expect("legacy decode"), plain);
+    }
+
+    #[test]
+    fn timed_out_state_is_terminal_and_round_trips() {
+        assert_eq!(JobState::TimedOut.name(), "timed-out");
+        assert_eq!(JobState::parse("timed-out").unwrap(), JobState::TimedOut);
+        assert!(JobState::TimedOut.is_terminal());
+    }
+
+    #[test]
+    fn watchdog_flags_silent_workers_once_and_spares_progressing_ones() {
+        let mut wd = Watchdog::new(100);
+        let a = wd.register();
+        let b = wd.register();
+        wd.start(a, JobId(1), 0);
+        wd.start(b, JobId(2), 0);
+        // Both heartbeat at t=50.
+        wd.observe(a, 1, 50);
+        wd.observe(b, 1, 50);
+        assert!(wd.scan(120).is_empty(), "both progressed recently");
+        // Only b keeps heartbeating; a goes silent.
+        wd.observe(b, 2, 140);
+        wd.observe(a, 1, 140); // same epoch: no progress
+        assert_eq!(wd.scan(151).as_slice(), &[(a, JobId(1))]);
+        assert!(!wd.is_alive(a), "stalled slot retired");
+        assert!(wd.scan(160).is_empty(), "reported exactly once");
+        // b survives as long as its epoch keeps advancing.
+        wd.observe(b, 3, 230);
+        assert!(wd.scan(300).is_empty());
+        wd.end(b);
+        // The replacement slot starts clean.
+        let c = wd.register();
+        wd.start(c, JobId(3), 600);
+        assert!(wd.scan(650).is_empty());
+        assert_eq!(wd.scan(701).as_slice(), &[(c, JobId(3))]);
+    }
+
+    #[test]
+    fn watchdog_ignores_idle_workers_and_disables_at_zero() {
+        let mut wd = Watchdog::new(100);
+        let a = wd.register();
+        assert!(wd.scan(10_000).is_empty(), "idle workers never stall");
+        wd.start(a, JobId(1), 0);
+        wd.end(a);
+        assert!(wd.scan(10_000).is_empty(), "finished job clears the slot");
+        let mut off = Watchdog::new(0);
+        let s = off.register();
+        off.start(s, JobId(9), 0);
+        assert!(off.scan(u64::MAX).is_empty(), "0 disables detection");
     }
 
     #[test]

@@ -9,12 +9,24 @@
 //! batch via the atomic tmp+rename idiom, so a reader can always find a
 //! consistent best-so-far without replaying the log.
 //!
-//! Crash tolerance is asymmetric by design: a process killed mid-write
-//! leaves at most one damaged line at the *tail* of the log, so
-//! [`RunJournal::open`] silently drops an unterminated or unparsable
-//! final line (truncating the file back to the last good record), while
-//! damage anywhere else is real corruption and surfaces as
-//! [`ArchGymError::Journal`].
+//! Every line is checksum-framed (`<8-hex-crc32>|<json>`, see
+//! [`crate::storeio`]) and verified on replay, so corruption anywhere
+//! in the file is *detected* instead of replayed bit-for-bit as
+//! garbage. Recovery is prefix-oriented: a process killed mid-write
+//! leaves at most one damaged line at the *tail* of the log, which
+//! [`RunJournal::open`] silently drops (truncating the file back to
+//! the last good record); damage anywhere else — a flipped byte, a
+//! hole — is quarantined: the damaged file is copied to
+//! `<journal>.corrupt`, the log is truncated back to the last
+//! checksummed prefix, and the resumed run replays that prefix and
+//! re-evaluates forward, which keeps the final result bit-identical to
+//! an undamaged run.
+//!
+//! All file operations go through the [`StoreIo`] seam, so the chaos
+//! suite can inject deterministic write/rename/fsync faults; the
+//! fsync policy is a [`Durability`] knob (`none` / `batch` / `always`)
+//! applied at write-ahead batch boundaries and before every
+//! tmp+rename.
 //!
 //! The records are encoded with the hand-rolled JSON codec in
 //! [`crate::codec`] rather than serde: the journal must keep working in
@@ -26,14 +38,17 @@
 
 use crate::codec::{parse_json, push_json_f64, push_json_str, Json};
 use crate::error::{ArchGymError, Result};
+use crate::storeio::{
+    frame_line, real_io, unframe_line, AppendFile, Durability, FrameError, StoreIo,
+};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::fs::{self, File, OpenOptions};
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Journal format version; bumped on incompatible record changes.
-pub const JOURNAL_VERSION: u64 = 1;
+/// Version 2 introduced per-line CRC32 checksum framing.
+pub const JOURNAL_VERSION: u64 = 2;
 
 fn bad(msg: impl Into<String>) -> ArchGymError {
     ArchGymError::Journal(msg.into())
@@ -327,28 +342,68 @@ impl Snapshot {
 /// An open write-ahead run journal: the records recovered from disk
 /// plus an append handle flushing each new record before evaluation
 /// proceeds.
-#[derive(Debug)]
 pub struct RunJournal {
     path: PathBuf,
-    file: File,
+    io: Arc<dyn StoreIo>,
+    durability: Durability,
+    file: Box<dyn AppendFile>,
     records: Vec<JournalRecord>,
     recovered_partial_tail: bool,
+    quarantined: bool,
     telemetry: crate::telemetry::Recorder,
 }
 
+impl std::fmt::Debug for RunJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunJournal")
+            .field("path", &self.path)
+            .field("durability", &self.durability)
+            .field("records", &self.records.len())
+            .field("recovered_partial_tail", &self.recovered_partial_tail)
+            .field("quarantined", &self.quarantined)
+            .finish()
+    }
+}
+
+/// The quarantine path paired with a damaged journal or store file.
+pub fn corrupt_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".corrupt");
+    path.with_file_name(name)
+}
+
 impl RunJournal {
-    /// Open (or create) the journal at `path`, recovering any existing
-    /// records. An unterminated or unparsable *final* line — the
-    /// artifact of a crash mid-write — is dropped and the file is
-    /// truncated back to the last good record; damage anywhere else is
-    /// an error.
+    /// Open (or create) the journal at `path` on the real filesystem
+    /// with no fsyncing — see [`RunJournal::open_with`].
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        Self::open_with(path, real_io(), Durability::None)
+    }
+
+    /// Open (or create) the journal at `path`, recovering any existing
+    /// records through `io` and applying `durability` to every
+    /// subsequent write.
+    ///
+    /// Recovery is prefix-oriented. An unterminated or unparsable
+    /// *final* line — the artifact of a crash mid-write — is dropped
+    /// and the file truncated back to the last good record. Damage
+    /// anywhere earlier (a checksum mismatch, an unframed or torn
+    /// mid-file line) is quarantined: the whole damaged file is copied
+    /// to `<journal>.corrupt`, the log is truncated back to the last
+    /// checksummed prefix, and the open succeeds with that prefix so
+    /// resume can re-evaluate forward deterministically.
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        io: Arc<dyn StoreIo>,
+        durability: Durability,
+    ) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         let mut records = Vec::new();
         let mut recovered_partial_tail = false;
+        let mut quarantined = false;
 
-        if path.exists() {
-            let text = fs::read_to_string(&path)
+        if io.exists(&path) {
+            let text = io
+                .read_to_string(&path)
                 .map_err(|e| bad(format!("cannot read journal {}: {e}", path.display())))?;
 
             // (trimmed line, start offset, complete?) for non-blank lines.
@@ -366,15 +421,29 @@ impl RunJournal {
             let mut good_end = 0usize;
             for (i, (line, start, complete)) in entries.iter().enumerate() {
                 let last = i + 1 == entries.len();
-                if !complete {
-                    // Unterminated tail: can't trust it even if it parses.
-                    if last {
-                        recovered_partial_tail = true;
-                        break;
+                // A damaged last line is the expected artifact of a
+                // crash mid-write; damage anywhere earlier is silent
+                // corruption and quarantines the file.
+                let payload = if !complete {
+                    // Unterminated: can't trust it even if it parses.
+                    Err("unterminated journal line".to_string())
+                } else {
+                    match unframe_line(line) {
+                        Ok(payload) => Ok(payload),
+                        Err(FrameError::Unframed) => {
+                            if i == 0 && JournalRecord::from_line(line).is_ok() {
+                                return Err(bad(format!(
+                                    "journal {} predates checksum framing (format version < \
+                                     {JOURNAL_VERSION}); delete it to start fresh",
+                                    path.display()
+                                )));
+                            }
+                            Err("journal line is not checksum-framed".to_string())
+                        }
+                        Err(err @ FrameError::Mismatch { .. }) => Err(err.to_string()),
                     }
-                    return Err(bad("unterminated journal line before end of file"));
-                }
-                match JournalRecord::from_line(line) {
+                };
+                match payload.and_then(|p| JournalRecord::from_line(p).map_err(|e| e.to_string())) {
                     Ok(record) => {
                         records.push(record);
                         good_end = start
@@ -384,26 +453,40 @@ impl RunJournal {
                                 .take_while(|&&b| b == b'\r' || b == b'\n')
                                 .count());
                     }
-                    Err(err) if last => {
+                    Err(_) if last => {
                         recovered_partial_tail = true;
-                        let _ = err;
                         break;
                     }
                     Err(err) => {
-                        return Err(bad(format!(
-                            "corrupt journal record at line {}: {err}",
-                            i + 1
-                        )))
+                        // Mid-file corruption: quarantine a copy, keep
+                        // the checksummed prefix, drop everything after
+                        // the damage (it cannot be trusted to align
+                        // with the records before the hole).
+                        records.truncate(Self::count_good(&records));
+                        io.write_file(&corrupt_path(&path), text.as_bytes(), false)
+                            .map_err(|e| {
+                                bad(format!(
+                                    "corrupt journal record at line {} ({err}) and quarantine \
+                                     failed: {e}",
+                                    i + 1
+                                ))
+                            })?;
+                        eprintln!(
+                            "archgym: journal {} corrupt at line {} ({err}); quarantined to {} \
+                             and resuming from the last {} good record(s)",
+                            path.display(),
+                            i + 1,
+                            corrupt_path(&path).display(),
+                            records.len()
+                        );
+                        quarantined = true;
+                        break;
                     }
                 }
             }
 
-            if recovered_partial_tail {
-                let file = OpenOptions::new()
-                    .write(true)
-                    .open(&path)
-                    .map_err(|e| bad(format!("cannot repair journal: {e}")))?;
-                file.set_len(good_end as u64)
+            if recovered_partial_tail || quarantined {
+                io.truncate(&path, good_end as u64)
                     .map_err(|e| bad(format!("cannot truncate damaged journal tail: {e}")))?;
             }
         }
@@ -421,19 +504,27 @@ impl RunJournal {
             }
         }
 
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
+        let file = io
+            .open_append(&path)
             .map_err(|e| bad(format!("cannot open journal {}: {e}", path.display())))?;
 
         Ok(RunJournal {
             path,
+            io,
+            durability,
             file,
             records,
             recovered_partial_tail,
+            quarantined,
             telemetry: crate::telemetry::Recorder::default(),
         })
+    }
+
+    // Records form a good prefix by construction; this is a seam for
+    // future partial-prefix policies and keeps truncate() call sites
+    // honest.
+    fn count_good(records: &[JournalRecord]) -> usize {
+        records.len()
     }
 
     /// Install a telemetry recorder: each [`RunJournal::append`] counts
@@ -471,18 +562,38 @@ impl RunJournal {
         self.recovered_partial_tail
     }
 
-    /// Append one record and flush it to the OS before returning —
-    /// write-ahead semantics for batch records.
+    /// Whether mid-file corruption was detected during recovery and the
+    /// damaged file quarantined to `<journal>.corrupt`.
+    pub fn quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// Append one checksum-framed record and flush it to the OS before
+    /// returning — write-ahead semantics for batch records. Under
+    /// [`Durability::Always`] every append is fsynced; under
+    /// [`Durability::Batch`] the log is fsynced whenever a batch record
+    /// lands, so the write-ahead batch (and every step before it) is on
+    /// stable storage before its evaluations begin.
     pub fn append(&mut self, record: &JournalRecord) -> Result<()> {
         let _span = self.telemetry.span(crate::telemetry::Phase::JournalAppend);
         self.telemetry
             .incr(crate::telemetry::Counter::JournalAppends);
-        let mut line = record.to_line();
+        let mut line = frame_line(&record.to_line());
         line.push('\n');
         self.file
-            .write_all(line.as_bytes())
-            .and_then(|_| self.file.flush())
-            .map_err(|e| bad(format!("cannot append to journal: {e}")))
+            .append(line.as_bytes())
+            .map_err(|e| bad(format!("cannot append to journal: {e}")))?;
+        let sync = match self.durability {
+            Durability::Always => true,
+            Durability::Batch => matches!(record, JournalRecord::Batch(_)),
+            Durability::None => false,
+        };
+        if sync {
+            self.file
+                .sync()
+                .map_err(|e| bad(format!("cannot fsync journal: {e}")))?;
+        }
+        Ok(())
     }
 
     /// The snapshot path paired with a journal path.
@@ -492,33 +603,74 @@ impl RunJournal {
         path.with_file_name(name)
     }
 
-    /// Atomically replace the best-so-far snapshot (tmp + rename).
+    /// Atomically replace the best-so-far snapshot (tmp + rename). The
+    /// tmp file is fsynced before the rename under any durability level
+    /// other than [`Durability::None`].
     pub fn write_snapshot(&self, snapshot: &Snapshot) -> Result<()> {
         let snap_path = Self::snapshot_path(&self.path);
         let mut tmp_name = snap_path.file_name().unwrap_or_default().to_os_string();
         tmp_name.push(".tmp");
         let tmp_path = snap_path.with_file_name(tmp_name);
-        let mut line = snapshot.to_line();
+        let mut line = frame_line(&snapshot.to_line());
         line.push('\n');
-        fs::write(&tmp_path, line).map_err(|e| bad(format!("cannot write snapshot: {e}")))?;
-        fs::rename(&tmp_path, &snap_path).map_err(|e| bad(format!("cannot publish snapshot: {e}")))
+        let sync = self.durability != Durability::None;
+        self.io
+            .write_file(&tmp_path, line.as_bytes(), sync)
+            .map_err(|e| bad(format!("cannot write snapshot: {e}")))?;
+        self.io
+            .rename(&tmp_path, &snap_path)
+            .map_err(|e| bad(format!("cannot publish snapshot: {e}")))
     }
 
-    /// Read the snapshot paired with `path`, if one exists.
+    /// Read the snapshot paired with `path`, if one exists — see
+    /// [`RunJournal::read_snapshot_with`].
     pub fn read_snapshot(path: impl AsRef<Path>) -> Result<Option<Snapshot>> {
+        Self::read_snapshot_with(path, &real_io())
+    }
+
+    /// Read the snapshot paired with `path` through `io`, if one
+    /// exists. The snapshot is derived data (the journal is the source
+    /// of truth), so a snapshot that fails its checksum is quarantined
+    /// to `<snapshot>.corrupt` and reported as absent rather than
+    /// failing the open.
+    pub fn read_snapshot_with(
+        path: impl AsRef<Path>,
+        io: &Arc<dyn StoreIo>,
+    ) -> Result<Option<Snapshot>> {
         let snap_path = Self::snapshot_path(path.as_ref());
-        if !snap_path.exists() {
+        if !io.exists(&snap_path) {
             return Ok(None);
         }
-        let text = fs::read_to_string(&snap_path)
+        let text = io
+            .read_to_string(&snap_path)
             .map_err(|e| bad(format!("cannot read snapshot: {e}")))?;
-        Snapshot::from_line(text.trim()).map(Some)
+        match unframe_line(text.trim()).map_err(|e| e.to_string()) {
+            Ok(payload) => Snapshot::from_line(payload).map(Some),
+            Err(err) => {
+                io.rename(&snap_path, &corrupt_path(&snap_path))
+                    .map_err(|e| {
+                        bad(format!("corrupt snapshot ({err}); quarantine failed: {e}"))
+                    })?;
+                eprintln!(
+                    "archgym: snapshot {} failed verification ({err}); quarantined to {}",
+                    snap_path.display(),
+                    corrupt_path(&snap_path).display()
+                );
+                Ok(None)
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::storeio::{FaultyIo, IoFaultPlan};
+    use std::fs;
+
+    fn framed(record: &JournalRecord) -> String {
+        frame_line(&record.to_line())
+    }
 
     fn temp_path(tag: &str) -> PathBuf {
         let mut path = std::env::temp_dir();
@@ -634,29 +786,129 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_middle_line_is_an_error() {
+    fn corrupt_middle_line_is_quarantined_and_prefix_survives() {
         let path = temp_path("middle");
         fs::write(
             &path,
             format!(
                 "{}\nnot json at all\n{}\n",
-                header().to_line(),
-                step(0, 1.0).to_line()
+                framed(&header()),
+                framed(&step(0, 1.0))
             ),
         )
         .unwrap();
-        let err = RunJournal::open(&path).unwrap_err();
-        assert!(matches!(err, ArchGymError::Journal(_)), "{err}");
+        let journal = RunJournal::open(&path).unwrap();
+        assert!(journal.quarantined());
+        // Only the checksummed prefix before the hole survives; the
+        // step after the damage cannot be trusted to align with it.
+        assert_eq!(journal.records().len(), 1);
+        assert!(journal.header().is_some());
+        let quarantine = corrupt_path(&path);
+        assert!(quarantine.exists(), "damaged file copied aside");
+        assert!(fs::read_to_string(&quarantine)
+            .unwrap()
+            .contains("not json at all"));
+        // The repaired file reopens cleanly.
+        let journal = RunJournal::open(&path).unwrap();
+        assert!(!journal.quarantined());
+        assert_eq!(journal.records().len(), 1);
         fs::remove_file(&path).unwrap();
+        fs::remove_file(&quarantine).unwrap();
+    }
+
+    #[test]
+    fn flipped_byte_mid_file_is_detected_and_quarantined() {
+        let path = temp_path("bitflip");
+        {
+            let mut journal = RunJournal::open(&path).unwrap();
+            journal.append(&header()).unwrap();
+            journal
+                .append(&JournalRecord::Batch(vec![vec![1]]))
+                .unwrap();
+            journal.append(&step(0, 2.0)).unwrap();
+        }
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a byte inside the *payload* of the middle (batch) record
+        // — the pre-checksum format would replay this bit-for-bit.
+        let first_nl = bytes.iter().position(|&b| b == b'\n').unwrap();
+        bytes[first_nl + 12] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let journal = RunJournal::open(&path).unwrap();
+        assert!(journal.quarantined());
+        assert_eq!(journal.records().len(), 1, "only the header prefix replays");
+        fs::remove_file(&path).unwrap();
+        let _ = fs::remove_file(corrupt_path(&path));
     }
 
     #[test]
     fn journal_must_start_with_a_header() {
         let path = temp_path("noheader");
-        fs::write(&path, format!("{}\n", step(0, 1.0).to_line())).unwrap();
+        fs::write(&path, format!("{}\n", framed(&step(0, 1.0)))).unwrap();
         let err = RunJournal::open(&path).unwrap_err();
         assert!(err.to_string().contains("header"), "{err}");
         fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pre_checksum_journals_are_refused_with_a_typed_error() {
+        let path = temp_path("legacy");
+        // A version-1 journal: valid records, no checksum frames.
+        fs::write(
+            &path,
+            format!("{}\n{}\n", header().to_line(), step(0, 1.0).to_line()),
+        )
+        .unwrap();
+        let err = RunJournal::open(&path).unwrap_err();
+        assert!(matches!(err, ArchGymError::Journal(_)), "{err}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn durability_always_syncs_every_append() {
+        let path = temp_path("durable");
+        let io = FaultyIo::new(real_io(), IoFaultPlan::new(3).sync_fail(1.0));
+        let mut journal =
+            RunJournal::open_with(&path, Arc::new(io.clone()), Durability::Always).unwrap();
+        let err = journal.append(&header()).unwrap_err();
+        assert!(err.to_string().contains("fsync"), "{err}");
+        assert!(io.stats().syncs_failed() > 0);
+        // Under Durability::None the same plan never syncs, so appends
+        // succeed.
+        let io = FaultyIo::new(real_io(), IoFaultPlan::new(3).sync_fail(1.0));
+        let path2 = temp_path("durable-none");
+        let mut journal =
+            RunJournal::open_with(&path2, Arc::new(io.clone()), Durability::None).unwrap();
+        journal.append(&header()).unwrap();
+        assert_eq!(io.stats().total(), 0);
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(&path2);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_quarantined_and_reads_as_none() {
+        let path = temp_path("badsnap");
+        let mut journal = RunJournal::open(&path).unwrap();
+        journal.append(&header()).unwrap();
+        let snapshot = Snapshot {
+            samples: 8,
+            best_reward: 0.5,
+            best_action: vec![1],
+            best_observation: vec![0.25],
+            eval_retries: 0,
+            eval_failures: 0,
+            degraded_samples: 0,
+        };
+        journal.write_snapshot(&snapshot).unwrap();
+        let snap_path = RunJournal::snapshot_path(&path);
+        let mut bytes = fs::read(&snap_path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&snap_path, &bytes).unwrap();
+        assert_eq!(RunJournal::read_snapshot(&path).unwrap(), None);
+        assert!(corrupt_path(&snap_path).exists());
+        fs::remove_file(&path).unwrap();
+        let _ = fs::remove_file(corrupt_path(&snap_path));
     }
 
     #[test]

@@ -32,6 +32,8 @@
 //! * [`executor`] — deterministic parallel fan-out of independent runs.
 //! * [`pool`] — in-run parallel batch evaluation ([`EnvPool`]).
 //! * [`fault`] — deterministic fault injection ([`FaultyEnv`]).
+//! * [`storeio`] — checksummed, fsync-policied store I/O with seeded
+//!   fault injection ([`StoreIo`]/[`FaultyIo`]).
 //! * [`journal`] — crash-safe write-ahead run journaling ([`RunJournal`]).
 //! * [`jobs`] — multi-tenant job scheduling for `archgymd` ([`Scheduler`]).
 //! * [`trajectory`] — standardized exploration datasets (Section 3.4).
@@ -95,6 +97,7 @@ pub mod screen;
 pub mod search;
 pub mod space;
 pub mod stats;
+pub mod storeio;
 pub mod sweep;
 pub mod telemetry;
 pub mod toy;
@@ -107,13 +110,14 @@ pub use env::{CloneEnvironment, Environment, Observation, StepResult};
 pub use error::{ArchGymError, Result};
 pub use executor::Executor;
 pub use fault::{FaultKind, FaultPlan, FaultStats, FaultyEnv};
-pub use jobs::{Admission, JobId, JobKind, JobSpec, JobState, QuotaPolicy, Scheduler};
+pub use jobs::{Admission, JobId, JobKind, JobSpec, JobState, QuotaPolicy, Scheduler, Watchdog};
 pub use journal::{JournalHeader, JournalRecord, JournalStep, RunJournal, Snapshot};
 pub use pool::{BatchEvaluator, EnvPool};
 pub use reward::{BudgetTerm, Objective, RewardSpec};
 pub use screen::{select_admitted, ScreenPolicy, Screener};
 pub use search::{RetryPolicy, RunConfig, RunResult, SearchLoop};
 pub use space::{Action, ParamDomain, ParamSpace, ParamValue, SpaceBuilder};
+pub use storeio::{Durability, FaultyIo, IoFaultPlan, RealIo, StoreIo};
 pub use telemetry::{Counter, Phase, PhaseSummary, Recorder, RunReport};
 pub use trajectory::{Dataset, Transition};
 

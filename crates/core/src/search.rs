@@ -301,6 +301,8 @@ struct ReplayBatch {
 pub struct SearchLoop {
     config: RunConfig,
     telemetry: Recorder,
+    journal_io: std::sync::Arc<dyn crate::storeio::StoreIo>,
+    durability: crate::storeio::Durability,
 }
 
 impl SearchLoop {
@@ -310,6 +312,8 @@ impl SearchLoop {
         SearchLoop {
             config,
             telemetry: Recorder::default(),
+            journal_io: crate::storeio::real_io(),
+            durability: crate::storeio::Durability::None,
         }
     }
 
@@ -320,6 +324,23 @@ impl SearchLoop {
     /// into [`RunResult::telemetry`].
     pub fn with_telemetry(mut self, recorder: Recorder) -> Self {
         self.telemetry = recorder;
+        self
+    }
+
+    /// Route the resumable entry points' journal/snapshot file I/O
+    /// through `io`, builder-style. The default is the real filesystem;
+    /// tests install a [`FaultyIo`](crate::storeio::FaultyIo) here to
+    /// exercise crash/corruption paths deterministically.
+    pub fn with_journal_io(mut self, io: std::sync::Arc<dyn crate::storeio::StoreIo>) -> Self {
+        self.journal_io = io;
+        self
+    }
+
+    /// Set the journal fsync policy, builder-style. The default is
+    /// [`Durability::None`](crate::storeio::Durability::None) — flush
+    /// to the OS only, matching pre-durability behaviour.
+    pub fn with_durability(mut self, durability: crate::storeio::Durability) -> Self {
+        self.durability = durability;
         self
     }
 
@@ -393,7 +414,11 @@ impl SearchLoop {
         A: Agent + ?Sized,
         E: BatchEvaluator + ?Sized,
     {
-        let mut journal = RunJournal::open(path)?;
+        let mut journal = RunJournal::open_with(
+            path,
+            std::sync::Arc::clone(&self.journal_io),
+            self.durability,
+        )?;
         self.drive(agent, eval, Some(&mut journal), None)
     }
 
@@ -483,7 +508,11 @@ impl SearchLoop {
         A: Agent + ?Sized,
         E: BatchEvaluator + ?Sized,
     {
-        let mut journal = RunJournal::open(path)?;
+        let mut journal = RunJournal::open_with(
+            path,
+            std::sync::Arc::clone(&self.journal_io),
+            self.durability,
+        )?;
         self.drive(agent, eval, Some(&mut journal), Some(screener))
     }
 

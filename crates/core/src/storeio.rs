@@ -1,0 +1,696 @@
+//! Store I/O seam: checksum framing, fsync policy, and deterministic
+//! I/O fault injection.
+//!
+//! PR 4 made the *search loop* fault-tolerant by pushing every
+//! environment evaluation through a seeded, replayable
+//! [`FaultPlan`](crate::fault::FaultPlan). This module extends the same
+//! philosophy down into the persistence layer: every file operation the
+//! journal and job store perform goes through the [`StoreIo`] trait, so
+//! a test can swap the real filesystem for a [`FaultyIo`] that injects
+//! write errors, short writes, rename failures and fsync failures from
+//! a pure hash of `(seed, op, path, attempt)` — the crash/corruption
+//! paths become ordinary unit tests instead of SIGKILL-only smoke runs.
+//!
+//! The module also owns the two cross-cutting durability primitives:
+//!
+//! * **CRC32 line framing** ([`frame_line`] / [`unframe_line`]): every
+//!   journal record and store file is written as
+//!   `<8-hex-crc32>|<payload>`, so a flipped byte anywhere in the line
+//!   is detected on replay instead of being replayed bit-for-bit as
+//!   garbage. The CRC is the standard IEEE polynomial, hand-rolled —
+//!   no new dependencies.
+//! * **Fsync policy** ([`Durability`]): `none` keeps today's
+//!   flush-only behaviour, `batch` fsyncs at write-ahead batch
+//!   boundaries and before every tmp+rename, `always` fsyncs every
+//!   append.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3 polynomial, reflected: 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC32 checksum (IEEE polynomial) of `data`.
+///
+/// Any single-bit or single-byte corruption of a checked line changes
+/// the CRC, so a flipped byte in a framed record is always detected.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ byte as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// Frame a single-line payload as `<8-hex-crc32>|<payload>`.
+///
+/// The payload must not contain a newline; callers frame one record at
+/// a time.
+pub fn frame_line(payload: &str) -> String {
+    debug_assert!(
+        !payload.contains('\n'),
+        "frame_line payload must be a single line"
+    );
+    format!("{:08x}|{payload}", crc32(payload.as_bytes()))
+}
+
+/// Why a line failed checksum verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The line does not carry an `xxxxxxxx|` checksum prefix at all
+    /// (e.g. a pre-checksum legacy file, or a torn write that lost the
+    /// prefix).
+    Unframed,
+    /// The line carries a checksum prefix but the payload does not hash
+    /// to it — the line was corrupted after it was written.
+    Mismatch {
+        /// CRC recorded in the frame prefix.
+        expected: u32,
+        /// CRC actually computed over the payload.
+        found: u32,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Unframed => write!(f, "line is not checksum-framed"),
+            FrameError::Mismatch { expected, found } => {
+                write!(
+                    f,
+                    "checksum mismatch: frame says {expected:08x}, payload hashes to {found:08x}"
+                )
+            }
+        }
+    }
+}
+
+/// Verify and strip the checksum frame from one line, returning the
+/// payload.
+pub fn unframe_line(line: &str) -> Result<&str, FrameError> {
+    let bytes = line.as_bytes();
+    if bytes.len() < 9 || bytes[8] != b'|' {
+        return Err(FrameError::Unframed);
+    }
+    let prefix = &line[..8];
+    if !prefix.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(FrameError::Unframed);
+    }
+    let expected = u32::from_str_radix(prefix, 16).map_err(|_| FrameError::Unframed)?;
+    let payload = &line[9..];
+    let found = crc32(payload.as_bytes());
+    if found != expected {
+        return Err(FrameError::Mismatch { expected, found });
+    }
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------------
+// Durability policy
+// ---------------------------------------------------------------------------
+
+/// How aggressively journal/store writes are fsynced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Flush to the OS only (today's behaviour). A machine crash can
+    /// lose recent records; a process crash cannot.
+    #[default]
+    None,
+    /// Fsync at write-ahead batch boundaries and before every
+    /// tmp+rename. The documented daemon default: a machine crash can
+    /// lose at most the current in-flight batch.
+    Batch,
+    /// Fsync after every appended record. Strongest, slowest.
+    Always,
+}
+
+impl Durability {
+    /// Stable wire/CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Durability::None => "none",
+            Durability::Batch => "batch",
+            Durability::Always => "always",
+        }
+    }
+
+    /// Parse a CLI value; inverse of [`Durability::name`].
+    pub fn parse(text: &str) -> Option<Durability> {
+        match text {
+            "none" => Some(Durability::None),
+            "batch" => Some(Durability::Batch),
+            "always" => Some(Durability::Always),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Durability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The StoreIo seam
+// ---------------------------------------------------------------------------
+
+/// An open append handle, as used by the journal's write-ahead log.
+pub trait AppendFile: Send {
+    /// Append `data` in full (or fail without claiming success).
+    fn append(&mut self, data: &[u8]) -> io::Result<()>;
+    /// Fsync the file to stable storage.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// The file operations the journal and job store need, abstracted so
+/// tests can inject deterministic faults. Implementations must be
+/// cheaply shareable behind an `Arc`.
+pub trait StoreIo: fmt::Debug + Send + Sync {
+    /// Read an entire file as UTF-8.
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+    /// Create/overwrite `path` with `data`, optionally fsyncing before
+    /// returning (the durability-before-rename half of tmp+rename).
+    fn write_file(&self, path: &Path, data: &[u8], sync: bool) -> io::Result<()>;
+    /// Atomically rename `from` to `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Remove a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Truncate `path` to `len` bytes (journal torn-tail repair).
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Open (creating if absent) an append handle.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn AppendFile>>;
+    /// Does `path` exist?
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealIo;
+
+/// Shared `Arc<dyn StoreIo>` over the real filesystem.
+pub fn real_io() -> Arc<dyn StoreIo> {
+    Arc::new(RealIo)
+}
+
+struct RealAppend {
+    file: fs::File,
+}
+
+impl AppendFile for RealAppend {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        self.file.write_all(data)?;
+        self.file.flush()
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+}
+
+impl StoreIo for RealIo {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        let mut text = String::new();
+        fs::File::open(path)?.read_to_string(&mut text)?;
+        Ok(text)
+    }
+
+    fn write_file(&self, path: &Path, data: &[u8], sync: bool) -> io::Result<()> {
+        let mut file = fs::File::create(path)?;
+        file.write_all(data)?;
+        if sync {
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        fs::OpenOptions::new().write(true).open(path)?.set_len(len)
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn AppendFile>> {
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Box::new(RealAppend { file }))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection
+// ---------------------------------------------------------------------------
+
+// splitmix64 finalizer — the same bit mixer `fault::FaultPlan` uses, so
+// the two fault layers share one statistical pedigree.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn hash_bytes(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = mix(seed ^ 0x9e37_79b9_7f4a_7c15);
+    for chunk in bytes.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        h = mix(h ^ u64::from_le_bytes(word));
+    }
+    h
+}
+
+/// The I/O operations [`FaultyIo`] can fail. Used as the `op`
+/// dimension of the `(seed, op, path, attempt)` hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoOp {
+    /// Whole-file writes (`write_file`) and journal appends.
+    Write,
+    /// Rename (the commit point of tmp+rename).
+    Rename,
+    /// Fsync (both append-handle sync and pre-rename sync).
+    Sync,
+}
+
+impl IoOp {
+    fn tag(self) -> u64 {
+        match self {
+            IoOp::Write => 0x57,
+            IoOp::Rename => 0x52,
+            IoOp::Sync => 0x53,
+        }
+    }
+}
+
+/// Seeded fault schedule for store I/O. A pure function of
+/// `(seed, op, path, attempt)` — mirroring
+/// [`FaultPlan`](crate::fault::FaultPlan) — so two runs with the same
+/// seed see byte-identical fault schedules, which is what lets the
+/// chaos suite assert bit-identical recovery.
+#[derive(Debug, Clone, Copy)]
+pub struct IoFaultPlan {
+    seed: u64,
+    write_fail: f64,
+    short_write: f64,
+    rename_fail: f64,
+    sync_fail: f64,
+}
+
+fn checked(rate: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&rate),
+        "fault rate must be within [0, 1], got {rate}"
+    );
+    rate
+}
+
+impl IoFaultPlan {
+    /// A plan with the given seed and all fault rates at zero.
+    pub fn new(seed: u64) -> IoFaultPlan {
+        IoFaultPlan {
+            seed,
+            write_fail: 0.0,
+            short_write: 0.0,
+            rename_fail: 0.0,
+            sync_fail: 0.0,
+        }
+    }
+
+    /// Probability that a write returns an error without writing.
+    pub fn write_fail(mut self, rate: f64) -> IoFaultPlan {
+        self.write_fail = checked(rate);
+        self
+    }
+
+    /// Probability that a write persists only a prefix of the data and
+    /// then errors — a genuine torn write, as after a power cut.
+    pub fn short_write(mut self, rate: f64) -> IoFaultPlan {
+        self.short_write = checked(rate);
+        self
+    }
+
+    /// Probability that a rename fails (the tmp file is left behind).
+    pub fn rename_fail(mut self, rate: f64) -> IoFaultPlan {
+        self.rename_fail = checked(rate);
+        self
+    }
+
+    /// Probability that an fsync reports failure.
+    pub fn sync_fail(mut self, rate: f64) -> IoFaultPlan {
+        self.sync_fail = checked(rate);
+        self
+    }
+
+    /// The seed this plan was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn roll(&self, op: IoOp, path: &Path, attempt: u64, salt: u64) -> f64 {
+        let h = mix(hash_bytes(self.seed, path.to_string_lossy().as_bytes())
+            ^ op.tag().wrapping_mul(0x0100_0000_01b3)
+            ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ salt);
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Counters for faults actually injected, shared across clones.
+#[derive(Debug, Default)]
+pub struct IoFaultStats {
+    writes_failed: AtomicU64,
+    short_writes: AtomicU64,
+    renames_failed: AtomicU64,
+    syncs_failed: AtomicU64,
+}
+
+impl IoFaultStats {
+    /// Writes that errored without writing.
+    pub fn writes_failed(&self) -> u64 {
+        self.writes_failed.load(Ordering::Relaxed)
+    }
+
+    /// Writes that persisted a prefix and then errored.
+    pub fn short_writes(&self) -> u64 {
+        self.short_writes.load(Ordering::Relaxed)
+    }
+
+    /// Renames that errored.
+    pub fn renames_failed(&self) -> u64 {
+        self.renames_failed.load(Ordering::Relaxed)
+    }
+
+    /// Fsyncs that errored.
+    pub fn syncs_failed(&self) -> u64 {
+        self.syncs_failed.load(Ordering::Relaxed)
+    }
+
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.writes_failed() + self.short_writes() + self.renames_failed() + self.syncs_failed()
+    }
+}
+
+/// A [`StoreIo`] that wraps another and injects deterministic faults
+/// per [`IoFaultPlan`]. Clones share attempt counters and stats, so a
+/// retried operation sees a fresh `attempt` index and (typically)
+/// succeeds on a later try — exactly the recover-and-retry shape the
+/// chaos suite exercises.
+#[derive(Debug, Clone)]
+pub struct FaultyIo {
+    inner: Arc<dyn StoreIo>,
+    plan: IoFaultPlan,
+    attempts: Arc<Mutex<HashMap<(IoOp, PathBuf), u64>>>,
+    stats: Arc<IoFaultStats>,
+}
+
+fn injected(what: &str, path: &Path) -> io::Error {
+    io::Error::other(format!("injected {what} fault: {}", path.display()))
+}
+
+impl FaultyIo {
+    /// Wrap `inner` with the given fault plan.
+    pub fn new(inner: Arc<dyn StoreIo>, plan: IoFaultPlan) -> FaultyIo {
+        FaultyIo {
+            inner,
+            plan,
+            attempts: Arc::new(Mutex::new(HashMap::new())),
+            stats: Arc::new(IoFaultStats::default()),
+        }
+    }
+
+    /// Counters for faults injected so far (shared across clones).
+    pub fn stats(&self) -> &IoFaultStats {
+        &self.stats
+    }
+
+    fn next_attempt(&self, op: IoOp, path: &Path) -> u64 {
+        let mut attempts = self.attempts.lock().unwrap_or_else(|e| e.into_inner());
+        let counter = attempts.entry((op, path.to_path_buf())).or_insert(0);
+        let attempt = *counter;
+        *counter += 1;
+        attempt
+    }
+}
+
+impl StoreIo for FaultyIo {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        // Reads pass through: corruption is injected at write time so
+        // that what replay sees is exactly what a real torn write
+        // leaves behind.
+        self.inner.read_to_string(path)
+    }
+
+    fn write_file(&self, path: &Path, data: &[u8], sync: bool) -> io::Result<()> {
+        let attempt = self.next_attempt(IoOp::Write, path);
+        if self.plan.roll(IoOp::Write, path, attempt, 1) < self.plan.write_fail {
+            self.stats.writes_failed.fetch_add(1, Ordering::Relaxed);
+            return Err(injected("write", path));
+        }
+        if !data.is_empty() && self.plan.roll(IoOp::Write, path, attempt, 2) < self.plan.short_write
+        {
+            // Persist a deterministic strict prefix, then report failure.
+            let keep = (self.plan.roll(IoOp::Write, path, attempt, 3) * data.len() as f64) as usize;
+            let keep = keep.min(data.len() - 1);
+            self.inner.write_file(path, &data[..keep], false)?;
+            self.stats.short_writes.fetch_add(1, Ordering::Relaxed);
+            return Err(injected("short write", path));
+        }
+        if sync && self.plan.roll(IoOp::Sync, path, attempt, 4) < self.plan.sync_fail {
+            // The data may have reached the OS cache but sync failed:
+            // write without sync, then report the sync failure.
+            self.inner.write_file(path, data, false)?;
+            self.stats.syncs_failed.fetch_add(1, Ordering::Relaxed);
+            return Err(injected("fsync", path));
+        }
+        self.inner.write_file(path, data, sync)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let attempt = self.next_attempt(IoOp::Rename, from);
+        if self.plan.roll(IoOp::Rename, from, attempt, 1) < self.plan.rename_fail {
+            self.stats.renames_failed.fetch_add(1, Ordering::Relaxed);
+            return Err(injected("rename", from));
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove_file(path)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.inner.truncate(path, len)
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn AppendFile>> {
+        let inner = self.inner.open_append(path)?;
+        Ok(Box::new(FaultyAppend {
+            inner,
+            io: self.clone(),
+            path: path.to_path_buf(),
+        }))
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+}
+
+struct FaultyAppend {
+    inner: Box<dyn AppendFile>,
+    io: FaultyIo,
+    path: PathBuf,
+}
+
+impl AppendFile for FaultyAppend {
+    fn append(&mut self, data: &[u8]) -> io::Result<()> {
+        let attempt = self.io.next_attempt(IoOp::Write, &self.path);
+        if self.io.plan.roll(IoOp::Write, &self.path, attempt, 1) < self.io.plan.write_fail {
+            self.io.stats.writes_failed.fetch_add(1, Ordering::Relaxed);
+            return Err(injected("append", &self.path));
+        }
+        if !data.is_empty()
+            && self.io.plan.roll(IoOp::Write, &self.path, attempt, 2) < self.io.plan.short_write
+        {
+            let keep = (self.io.plan.roll(IoOp::Write, &self.path, attempt, 3) * data.len() as f64)
+                as usize;
+            let keep = keep.min(data.len() - 1);
+            self.inner.append(&data[..keep])?;
+            self.io.stats.short_writes.fetch_add(1, Ordering::Relaxed);
+            return Err(injected("short append", &self.path));
+        }
+        self.inner.append(data)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let attempt = self.io.next_attempt(IoOp::Sync, &self.path);
+        if self.io.plan.roll(IoOp::Sync, &self.path, attempt, 1) < self.io.plan.sync_fail {
+            self.io.stats.syncs_failed.fetch_add(1, Ordering::Relaxed);
+            return Err(injected("fsync", &self.path));
+        }
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE CRC32 check value.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_round_trips_and_detects_every_single_byte_flip() {
+        let payload = r#"{"kind":"step","idx":3,"reward":0.25}"#;
+        let line = frame_line(payload);
+        assert_eq!(unframe_line(&line), Ok(payload));
+
+        let bytes = line.as_bytes();
+        for i in 0..bytes.len() {
+            for flip in [0x01u8, 0x80] {
+                let mut damaged = bytes.to_vec();
+                damaged[i] ^= flip;
+                if let Ok(text) = std::str::from_utf8(&damaged) {
+                    assert!(
+                        unframe_line(text).is_err(),
+                        "flip at byte {i} (^{flip:#x}) went undetected: {text}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unframed_lines_are_distinguished_from_mismatches() {
+        assert_eq!(
+            unframe_line("{\"kind\":\"header\"}"),
+            Err(FrameError::Unframed)
+        );
+        assert_eq!(unframe_line("short"), Err(FrameError::Unframed));
+        let framed = frame_line("payload");
+        let wrong = format!("00000000|{}", &framed[9..]);
+        assert!(matches!(
+            unframe_line(&wrong),
+            Err(FrameError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn durability_names_round_trip() {
+        for d in [Durability::None, Durability::Batch, Durability::Always] {
+            assert_eq!(Durability::parse(d.name()), Some(d));
+        }
+        assert_eq!(Durability::parse("sometimes"), None);
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic_per_seed() {
+        let plan = IoFaultPlan::new(42).write_fail(0.5);
+        let path = Path::new("/tmp/x/journal.jsonl");
+        for attempt in 0..32 {
+            assert_eq!(
+                plan.roll(IoOp::Write, path, attempt, 1),
+                plan.roll(IoOp::Write, path, attempt, 1),
+            );
+        }
+        // Different seeds decorrelate.
+        let other = IoFaultPlan::new(43).write_fail(0.5);
+        let same = (0..64)
+            .filter(|&a| {
+                (plan.roll(IoOp::Write, path, a, 1) < 0.5)
+                    == (other.roll(IoOp::Write, path, a, 1) < 0.5)
+            })
+            .count();
+        assert!(same < 64, "two seeds produced identical schedules");
+    }
+
+    #[test]
+    fn faulty_io_injects_and_counts_short_writes() {
+        let dir = std::env::temp_dir().join(format!("archgym-storeio-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("short.txt");
+        let io = FaultyIo::new(real_io(), IoFaultPlan::new(7).short_write(1.0));
+        let err = io.write_file(&target, b"hello world", false).unwrap_err();
+        assert!(err.to_string().contains("short write"), "{err}");
+        assert_eq!(io.stats().short_writes(), 1);
+        let kept = fs::read_to_string(&target).unwrap();
+        assert!(
+            kept.len() < "hello world".len(),
+            "short write persisted everything"
+        );
+        assert!("hello world".starts_with(&kept));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faulty_io_attempt_counter_lets_retries_through() {
+        let dir =
+            std::env::temp_dir().join(format!("archgym-storeio-retry-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("retry.txt");
+        // A 50% plan must eventually let a retry through well before 64
+        // attempts for any seed; verify with a handful of seeds.
+        for seed in 0..8 {
+            let io = FaultyIo::new(real_io(), IoFaultPlan::new(seed).write_fail(0.5));
+            let mut ok = false;
+            for _ in 0..64 {
+                if io.write_file(&target, b"payload", false).is_ok() {
+                    ok = true;
+                    break;
+                }
+            }
+            assert!(ok, "seed {seed}: no write succeeded in 64 attempts");
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rates_outside_unit_interval_panic() {
+        let caught = std::panic::catch_unwind(|| IoFaultPlan::new(1).write_fail(1.5));
+        assert!(caught.is_err());
+    }
+}
