@@ -94,6 +94,9 @@ impl AgentKind {
 /// assignment. Unknown keys are ignored (grids may carry axes for several
 /// families); missing keys fall back to each agent's defaults.
 ///
+/// The box is `Send` so callers can race agents across lanes on worker
+/// threads; it coerces to a plain `Box<dyn Agent>` everywhere else.
+///
 /// # Errors
 ///
 /// Returns an error when a present key has the wrong type or an invalid
@@ -103,7 +106,7 @@ pub fn build_agent(
     space: &ParamSpace,
     hyper: &HyperMap,
     seed: u64,
-) -> Result<Box<dyn Agent>> {
+) -> Result<Box<dyn Agent + Send>> {
     Ok(match kind {
         AgentKind::Aco => Box::new(AntColony::from_hyper(space.clone(), hyper, seed)?),
         AgentKind::Bo => Box::new(BayesOpt::from_hyper(space.clone(), hyper, seed)?),
@@ -113,6 +116,57 @@ pub fn build_agent(
         AgentKind::Sa => Box::new(SimulatedAnnealing::from_hyper(space.clone(), hyper, seed)?),
         AgentKind::Ppo => Box::new(Ppo::from_hyper(space.clone(), hyper, seed)?),
     })
+}
+
+/// The families that enter an online race
+/// ([`archgym_core::race`](archgym_core::race)): every searching agent
+/// of the paper's roster. The pure random walker is excluded — its
+/// lottery grid is a dummy axis, so racing several copies of it would
+/// only burn budget on identical tickets.
+pub const RACE_KINDS: [AgentKind; 6] = [
+    AgentKind::Aco,
+    AgentKind::Bo,
+    AgentKind::Ga,
+    AgentKind::Rl,
+    AgentKind::Sa,
+    AgentKind::Ppo,
+];
+
+/// One ticket of the race roster: an agent family plus one
+/// hyperparameter assignment from its lottery grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RosterEntry {
+    /// Agent family.
+    pub kind: AgentKind,
+    /// Hyperparameter assignment.
+    pub hyper: HyperMap,
+    /// Stable ticket name, `"{family}#{grid_index}"`.
+    pub name: String,
+}
+
+/// The full agent × hyperparameter roster for an online race: for every
+/// family in [`RACE_KINDS`], up to `per_family` assignments sampled
+/// from its [`default_grid`] by even striding (so the picks spread over
+/// the grid instead of clustering at one corner). Deterministic in
+/// `per_family` alone; ticket names embed the grid index so the same
+/// name always denotes the same configuration.
+pub fn race_roster(per_family: usize) -> Vec<RosterEntry> {
+    let per_family = per_family.max(1);
+    let mut roster = Vec::new();
+    for kind in RACE_KINDS {
+        let grid = default_grid(kind);
+        let configs: Vec<HyperMap> = grid.iter().collect();
+        let take = per_family.min(configs.len());
+        for i in 0..take {
+            let index = i * configs.len() / take;
+            roster.push(RosterEntry {
+                kind,
+                hyper: configs[index].clone(),
+                name: format!("{}#{index}", kind.name()),
+            });
+        }
+    }
+    roster
 }
 
 /// The default lottery sweep grid for a family — the axes the paper
@@ -219,6 +273,37 @@ mod tests {
             .unwrap();
         assert_eq!(result.points.len(), 4);
         assert!(result.summary().stats.max > 0.2);
+    }
+
+    #[test]
+    fn race_roster_is_deterministic_strided_and_named_by_grid_index() {
+        let roster = race_roster(4);
+        assert_eq!(roster, race_roster(4));
+        assert_eq!(roster.len(), 4 * RACE_KINDS.len());
+        for entry in &roster {
+            let grid: Vec<HyperMap> = default_grid(entry.kind).iter().collect();
+            let index: usize = entry
+                .name
+                .split('#')
+                .nth(1)
+                .and_then(|i| i.parse().ok())
+                .expect("name embeds the grid index");
+            assert_eq!(grid[index], entry.hyper);
+            build_agent(entry.kind, &space(), &entry.hyper, 0).unwrap();
+        }
+        // Per-family cap larger than a grid clamps to the grid.
+        let big = race_roster(1000);
+        for kind in RACE_KINDS {
+            let grid_len = default_grid(kind).len();
+            assert_eq!(big.iter().filter(|e| e.kind == kind).count(), grid_len);
+        }
+        // Strides spread: the 4 SA picks over its 9-point grid are distinct.
+        let sa: Vec<&str> = roster
+            .iter()
+            .filter(|e| e.kind == AgentKind::Sa)
+            .map(|e| e.name.as_str())
+            .collect();
+        assert_eq!(sa, ["sa#0", "sa#2", "sa#4", "sa#6"]);
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod sa;
 pub use aco::AntColony;
 pub use archgym_core::agent::RandomWalker;
 pub use bo::{Acquisition, BayesOpt};
-pub use factory::{build_agent, default_grid, AgentKind};
+pub use factory::{build_agent, default_grid, race_roster, AgentKind, RosterEntry, RACE_KINDS};
 pub use ga::{GaOperators, GeneticAlgorithm};
 pub use ppo::Ppo;
 pub use rl::{PolicyKind, Reinforce};

@@ -37,13 +37,14 @@
 use crate::protocol::{ErrorCode, JobStatus, Request, Response, MAX_LINE_BYTES, PROTOCOL_VERSION};
 use crate::spec::make_env;
 use crate::store::{JobOutcome, JobStore, PersistedJob};
-use archgym_agents::factory::{build_agent, default_grid, AgentKind};
+use archgym_agents::factory::{build_agent, default_grid, race_roster, AgentKind};
 use archgym_core::agent::HyperMap;
 use archgym_core::codec::{parse_json, Json};
-use archgym_core::error::Result;
+use archgym_core::error::{ArchGymError, Result};
 use archgym_core::jobs::{
     Admission, JobId, JobKind, JobSpec, JobState, QuotaPolicy, Scheduler, Watchdog,
 };
+use archgym_core::race::{Race, RaceLane};
 use archgym_core::search::{RunConfig, RunResult, SearchLoop};
 use archgym_core::storeio::{real_io, Durability, StoreIo};
 use archgym_core::sweep::Sweep;
@@ -280,7 +281,7 @@ impl std::io::Write for EventSink {
 /// has and stops — no samples are torn mid-batch. Each `propose` also
 /// bumps the job's heartbeat epoch for the watchdog.
 struct Cancellable {
-    inner: Box<dyn Agent>,
+    inner: Box<dyn Agent + Send>,
     flag: Arc<JobHandle>,
     interrupt: Arc<AtomicBool>,
     deadline: Option<Instant>,
@@ -623,6 +624,7 @@ fn run_job(inner: &Arc<Inner>, handle: &Arc<JobHandle>) -> Option<JobOutcome> {
             JobKind::Search => run_search(inner, handle),
             JobKind::Compare => run_compare(inner, handle),
             JobKind::Sweep => run_sweep(inner, handle),
+            JobKind::Race => run_race(inner, handle),
         }));
     let cancelled = handle.cancel.load(Ordering::SeqCst);
     let timed_out = handle.timed_out.load(Ordering::SeqCst);
@@ -679,7 +681,11 @@ fn streaming_driver(inner: &Arc<Inner>, spec: &JobSpec, handle: &Arc<JobHandle>)
         .with_durability(inner.store.durability())
 }
 
-fn cancellable(inner: &Arc<Inner>, handle: &Arc<JobHandle>, agent: Box<dyn Agent>) -> Cancellable {
+fn cancellable(
+    inner: &Arc<Inner>,
+    handle: &Arc<JobHandle>,
+    agent: Box<dyn Agent + Send>,
+) -> Cancellable {
     Cancellable {
         inner: agent,
         flag: Arc::clone(handle),
@@ -747,6 +753,72 @@ fn run_compare(inner: &Arc<Inner>, handle: &Arc<JobHandle>) -> Result<(Option<f6
     Ok((best, samples))
 }
 
+/// The default successive-halving elimination factor for race jobs.
+const RACE_DEFAULT_ETA: usize = 3;
+/// The default per-family roster cap for race jobs.
+const RACE_DEFAULT_CAP: usize = 4;
+
+/// Race jobs run the full agent × hyperparameter roster under online
+/// successive halving on the job's budget. Every `(lane, rung)` slice
+/// journals under the store's race prefix, so a killed daemon resumes
+/// the race bit-identically: completed slices replay from their
+/// journals, the interrupted slice finishes live. Rung, elimination,
+/// and promotion events stream to watchers through the job's trace
+/// sink like every other streaming event.
+fn run_race(inner: &Arc<Inner>, handle: &Arc<JobHandle>) -> Result<(Option<f64>, u64)> {
+    let spec = &handle.spec;
+    let env = make_env(&spec.env, Some(&spec.objective))?;
+    let eta = if spec.race_eta == 0 {
+        RACE_DEFAULT_ETA
+    } else {
+        spec.race_eta
+    };
+    let cap = if spec.race_cap == 0 {
+        RACE_DEFAULT_CAP
+    } else {
+        spec.race_cap
+    };
+    let mut roster = race_roster(cap);
+    if !spec.agents.is_empty() {
+        // An explicit roster restricts the race to the listed families.
+        roster.retain(|entry| spec.agents.iter().any(|a| a == entry.kind.name()));
+        if roster.is_empty() {
+            return Err(ArchGymError::InvalidConfig(
+                "race roster is empty after the agents filter".into(),
+            ));
+        }
+    }
+    let mut lanes = Vec::with_capacity(roster.len());
+    for entry in roster {
+        let agent = build_agent(entry.kind, env.space(), &entry.hyper, spec.seed)?;
+        let mut lane = RaceLane::new(
+            entry.name,
+            Box::new(cancellable(inner, handle, agent)) as Box<dyn Agent + Send>,
+        );
+        if let Some(policy) = &spec.proxy {
+            lane = lane.screened(Box::new(archgym_proxy::OnlineProxy::with_defaults(
+                *policy, spec.seed,
+            )?));
+        }
+        lanes.push(lane);
+    }
+    let recorder = Recorder::new();
+    recorder.set_trace(EventSink {
+        handle: Arc::clone(handle),
+        buf: Vec::new(),
+    });
+    let result = Race::new(spec.budget, eta)
+        .batch(spec.batch)
+        .jobs(spec.eval_jobs.max(1))
+        .ensemble(spec.race_ensemble)
+        .with_telemetry(recorder)
+        .with_journal_prefix(inner.store.race_journal_prefix(handle.id))
+        .with_journal_io(Arc::clone(inner.store.io()))
+        .with_durability(inner.store.durability())
+        .run(lanes, env)?;
+    Ok((Some(result.best_reward), result.samples_used))
+}
+
 /// Sweeps are deterministic in the spec, so a restarted daemon reruns
 /// them from scratch instead of journaling every grid cell.
 fn run_sweep(inner: &Arc<Inner>, handle: &Arc<JobHandle>) -> Result<(Option<f64>, u64)> {
@@ -804,7 +876,7 @@ fn validate_spec(spec: &JobSpec) -> Result<()> {
     // submit time, not a failed job later.
     make_env(&spec.env, Some(&spec.objective))?;
     match spec.kind {
-        JobKind::Compare => {
+        JobKind::Compare | JobKind::Race => {
             for agent in &spec.agents {
                 AgentKind::parse(agent)?;
             }

@@ -144,6 +144,14 @@ impl JobStore {
         self.dir.join(format!("{id}-{agent}.jsonl"))
     }
 
+    /// The journal prefix for a race job. The racing scheduler derives
+    /// one file per `(lane, rung)` slice from it
+    /// (`{id}-race-l{lane:03}-r{rung:02}.jsonl`), all flat in the store
+    /// directory so the store needs no subdirectory management.
+    pub fn race_journal_prefix(&self, id: JobId) -> PathBuf {
+        self.dir.join(format!("{id}-race"))
+    }
+
     fn job_path(&self, id: JobId) -> PathBuf {
         self.dir.join(format!("{id}.job"))
     }

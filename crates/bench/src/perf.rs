@@ -14,12 +14,13 @@
 //! The cached-sweep scenarios double as an end-to-end determinism
 //! check: the run panics if cached results diverge from uncached ones.
 
-use archgym_agents::factory::{build_agent, default_grid, AgentKind};
+use archgym_agents::factory::{build_agent, default_grid, race_roster, AgentKind};
 use archgym_core::agent::HyperMap;
 use archgym_core::cache::EvalCache;
 use archgym_core::env::Environment;
 use archgym_core::error::Result;
 use archgym_core::executor::Executor;
+use archgym_core::race::{Race, RaceLane};
 use archgym_core::screen::ScreenPolicy;
 use archgym_core::search::{RunConfig, RunResult, SearchLoop};
 use archgym_core::seeded_rng;
@@ -727,6 +728,46 @@ pub fn run(quick: bool, jobs: usize) -> Result<PerfReport> {
         per_second: screened_budget as f64 / screened_seconds,
     });
 
+    // --- race: the successive-halving roster race ---------------------
+    // A full `search --auto`-style race (one ticket per family, eta 3)
+    // against the low-power DRAM objective, timed end to end. The run
+    // must both spend its budget exactly and pass a fixed reward
+    // target, so the scenario gates the racing layer's wall-clock-to-
+    // target as well as its raw throughput. The name self-bootstraps
+    // under the gate: the first recorded run becomes the baseline.
+    let race_budget: u64 = if quick { 240 } else { 960 };
+    let race_target = 900.0;
+    let race_lanes = || -> Result<Vec<RaceLane>> {
+        race_roster(1)
+            .into_iter()
+            .map(|entry| {
+                Ok(RaceLane::new(
+                    entry.name,
+                    build_agent(entry.kind, &batched_space, &entry.hyper, 0)?,
+                ))
+            })
+            .collect()
+    };
+    let race = Race::new(race_budget, 3).batch(8);
+    let (race_seconds, race_result) =
+        timed(|| -> Result<_> { race.run(race_lanes()?, batched_env()) });
+    let race_result = race_result?;
+    assert_eq!(
+        race_result.samples_used, race_budget,
+        "race consumed the wrong true-sample budget"
+    );
+    assert!(
+        race_result.samples_to_reach(race_target).is_some(),
+        "race never reached the target reward {race_target} (best {:.3})",
+        race_result.best_reward
+    );
+    scenarios.push(ScenarioResult {
+        name: "race/wall-to-target".into(),
+        work_units: race_budget,
+        wall_seconds: race_seconds,
+        per_second: race_budget as f64 / race_seconds,
+    });
+
     let stats = cache.stats();
     Ok(PerfReport {
         rev: "unknown".into(),
@@ -811,6 +852,7 @@ pub fn gate(report: &PerfReport, baseline_json: &str, tolerance: f64) -> Vec<Str
         "proxy/fit",
         "proxy/predict",
         "proxy/screened-search",
+        "race/wall-to-target",
     ] {
         let (Some(base), Some(now)) = (
             last_per_second(baseline_json, scenario),
@@ -990,7 +1032,8 @@ mod tests {
                 "daemon/p99",
                 "proxy/fit",
                 "proxy/predict",
-                "proxy/screened-search"
+                "proxy/screened-search",
+                "race/wall-to-target"
             ]
         );
         assert!(report.scenarios.iter().all(|s| s.per_second > 0.0));

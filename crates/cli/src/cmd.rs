@@ -3,10 +3,11 @@
 
 use crate::args::Args;
 use crate::spec::{known_envs, make_env};
-use archgym_agents::factory::{build_agent, default_grid, AgentKind};
+use archgym_agents::factory::{build_agent, default_grid, race_roster, AgentKind};
 use archgym_core::env::Environment;
 use archgym_core::error::{ArchGymError, Result};
 use archgym_core::fault::{FaultPlan, FaultStats, FaultyEnv};
+use archgym_core::race::{lane_journal, Race, RaceLane};
 use archgym_core::screen::ScreenPolicy;
 use archgym_core::search::{RetryPolicy, RunConfig, RunResult, SearchLoop};
 use archgym_core::seeded_rng;
@@ -60,6 +61,11 @@ USAGE:
                  [--fault-corrupt P] [--fault-stall P]
                  [--proxy true] [--proxy-topk N] [--proxy-explore F] [--proxy-oversample N]
                  [--proxy-warmup N] [--proxy-refit N] [--proxy-revalidate N]
+                 [--metrics out.json] [--trace out.jsonl] [--target R]
+  archgym search --auto true --env <spec> [--objective <spec>] [--budget N] [--seed N]
+                 [--batch N] [--jobs N] [--eta N] [--roster-cap N] [--ensemble true]
+                 [--agents aco,ga,...] [--target R] [--journal PREFIX] [--resume true]
+                 [--retries N] [--backoff-ms N] [--proxy true ...]
                  [--metrics out.json] [--trace out.jsonl]
   archgym compare --env <spec> [--agents aco,ga,sa,...] [--objective <spec>]
                  [--budget N] [--seed N] [--batch N] [--jobs N] [--retries N] [--backoff-ms N]
@@ -73,9 +79,10 @@ USAGE:
   archgym serve  [--addr HOST:PORT] [--state-dir DIR] [--workers N] [--port-file PATH]
                  [--max-running N] [--max-queued N] [--queue-capacity N] [--retry-after-ms MS]
                  [--durability none|batch|always] [--max-connections N] [--stall-after-ms MS]
-  archgym submit --addr HOST:PORT --env <spec> [--kind search|sweep|compare] [--tenant NAME]
+  archgym submit --addr HOST:PORT --env <spec> [--kind search|sweep|compare|race] [--tenant NAME]
                  [--name JOB] [--agent <kind>] [--agents a,b,...] [--objective <spec>]
                  [--budget N] [--seed N] [--batch N] [--jobs N] [--seeds N] [--deadline-ms MS]
+                 [--race-eta N] [--race-cap N] [--race-ensemble true]
                  [--proxy true] [--proxy-topk N] [--proxy-explore F]
   archgym status --addr HOST:PORT --job job-N
   archgym watch  --addr HOST:PORT --job job-N [--reconnect-attempts N] [--seed N]
@@ -101,6 +108,24 @@ printed as a table. For `compare`, FILE holds per-agent stable counters
 that are byte-identical across reruns and `--jobs` settings. `--trace
 FILE` streams one JSON object per settled batch to FILE as the run
 executes. Without either flag the recorder is a no-op and costs nothing.
+
+RACING:
+`search --auto true` skips picking an agent: it launches the full
+agent × hyperparameter roster (up to `--roster-cap N` tickets per
+family, default 4, from the lottery grids of aco|bo|ga|rl|sa|ppo) as
+concurrent lanes on one `--budget` and eliminates the weakest
+`1 - 1/eta` of lanes at successive-halving rung boundaries (`--eta N`,
+default 3) until one survives; freed `--jobs` workers are reallocated
+to the survivors. `--ensemble true` keeps the final rung's survivors
+and races them as a reward-weighted voting committee instead of
+eliminating down to one. `--agents a,b,...` restricts the roster to
+those families; `--target R` reports how many true evaluations the
+race needed to first reach reward R. With `--journal PREFIX` every
+lane's every rung is write-ahead journaled (`PREFIX-lNNN-rNN.jsonl`);
+rerunning with `--resume true` after a crash replays the finished
+prefix and continues, bit-identical to an uninterrupted race. Races
+compose with `--proxy` (each lane gets its own screener) and are
+deterministic per seed regardless of `--jobs`.
 
 PROXY SCREENING:
 `--proxy true` puts a random-forest surrogate in the loop: after
@@ -321,6 +346,18 @@ fn write_fault_lines(out: &mut String, result: &RunResult, injected: Option<&Fau
 }
 
 fn search(args: &Args) -> Result<String> {
+    if args.bool_or("auto", false)? {
+        return search_auto(args);
+    }
+    // Racing knobs without `--auto true` are an error, not silently inert
+    // (mirrors the `--proxy` knob guard above).
+    for name in ["eta", "roster-cap", "ensemble"] {
+        if args.get(name).is_some() {
+            return Err(ArchGymError::InvalidConfig(format!(
+                "`--{name}` needs `--auto true`"
+            )));
+        }
+    }
     let env = make_env(args.require("env")?, args.get("objective"))?;
     let kind = AgentKind::parse(args.require("agent")?)?;
     let budget = args.u64_or("budget", 1_000)?;
@@ -386,6 +423,7 @@ fn search(args: &Args) -> Result<String> {
     for (name, value) in env.space().decode(&result.best_action)? {
         let _ = writeln!(out, "  {name:<34} = {value}");
     }
+    write_target_line(&mut out, args, |t| result.samples_to_reach(t))?;
     write_fault_lines(&mut out, &result, injected.as_ref());
     write_proxy_line(&mut out, &result);
     if let Some(path) = &journal {
@@ -401,6 +439,187 @@ fn search(args: &Args) -> Result<String> {
     }
     if let Some(rec) = &telemetry {
         write_metrics(&mut out, args, rec)?;
+    }
+    Ok(out)
+}
+
+/// The `--target R` knob: report how many true evaluations a run needed
+/// to first reach reward `R` (the wall-clock-to-target metric of the
+/// racing experiments), or that it never got there.
+fn write_target_line(
+    out: &mut String,
+    args: &Args,
+    samples_to_reach: impl Fn(f64) -> Option<u64>,
+) -> Result<()> {
+    if args.get("target").is_none() {
+        return Ok(());
+    }
+    let threshold = args.f64_or("target", 0.0)?;
+    match samples_to_reach(threshold) {
+        Some(n) => {
+            let _ = writeln!(out, "samples to target {threshold}: {n}");
+        }
+        None => {
+            let _ = writeln!(out, "target {threshold} not reached");
+        }
+    }
+    Ok(())
+}
+
+/// `search --auto true`: race the full agent × hyperparameter roster
+/// under one budget with successive-halving elimination
+/// ([`archgym_core::race`]) instead of committing to a single `--agent`.
+fn search_auto(args: &Args) -> Result<String> {
+    if args.get("agent").is_some() {
+        return Err(ArchGymError::InvalidConfig(
+            "`--agent` conflicts with `--auto true` (the race runs the full \
+             roster; restrict families with `--agents aco,ga,...`)"
+                .into(),
+        ));
+    }
+    let env = make_env(args.require("env")?, args.get("objective"))?;
+    let budget = args.u64_or("budget", 1_000)?;
+    let seed = args.u64_or("seed", 0)?;
+    let batch = args.u64_or("batch", 16)? as usize;
+    let jobs = args.u64_or("jobs", 1)? as usize;
+    let eta = args.u64_or("eta", 3)? as usize;
+    if eta < 2 {
+        return Err(ArchGymError::InvalidConfig(format!(
+            "`--eta` must be at least 2, got `{eta}`"
+        )));
+    }
+    let cap = args.u64_or("roster-cap", 4)? as usize;
+    let ensemble = args.bool_or("ensemble", false)?;
+    let telemetry = telemetry_sink(args)?;
+    let policy = screen_policy(args)?;
+
+    let mut roster = race_roster(cap);
+    if let Some(list) = args.get("agents") {
+        let kinds: Vec<AgentKind> = list
+            .split(',')
+            .map(|name| AgentKind::parse(name.trim()))
+            .collect::<Result<_>>()?;
+        roster.retain(|entry| kinds.contains(&entry.kind));
+        if roster.is_empty() {
+            return Err(ArchGymError::InvalidConfig(
+                "`--agents` filtered out every race lane (the roster races \
+                 aco|bo|ga|rl|sa|ppo)"
+                    .into(),
+            ));
+        }
+    }
+    let mut lanes = Vec::with_capacity(roster.len());
+    for entry in &roster {
+        let mut lane = RaceLane::new(
+            entry.name.clone(),
+            build_agent(entry.kind, env.space(), &entry.hyper, seed)?,
+        );
+        if let Some(policy) = policy {
+            lane = lane.screened(Box::new(archgym_proxy::OnlineProxy::with_defaults(
+                policy, seed,
+            )?));
+        }
+        lanes.push(lane);
+    }
+
+    // `--journal` names a *prefix* here: the race writes one journal per
+    // lane per rung (`{prefix}-lNNN-rNN.jsonl`). Same refusal semantics
+    // as plain search: an existing race journal needs `--resume true`.
+    let resume = args.bool_or("resume", false)?;
+    let journal_prefix = match args.get("journal") {
+        Some(path) => {
+            let prefix = std::path::PathBuf::from(path);
+            if !resume && lane_journal(&prefix, 0, 0).exists() {
+                return Err(ArchGymError::InvalidConfig(format!(
+                    "race journal prefix `{path}` already has lane files; pass \
+                     `--resume true` to continue or remove them to start fresh"
+                )));
+            }
+            Some(prefix)
+        }
+        None if resume => {
+            return Err(ArchGymError::InvalidConfig(
+                "`--resume true` needs `--journal <prefix>`".into(),
+            ))
+        }
+        None => None,
+    };
+
+    let mut race = Race::new(budget, eta)
+        .batch(batch)
+        .jobs(jobs)
+        .ensemble(ensemble)
+        .retry(retry_policy(args)?);
+    if let Some(rec) = &telemetry {
+        race = race.with_telemetry(rec.clone());
+    }
+    if let Some(prefix) = &journal_prefix {
+        race = race.with_journal_prefix(prefix.clone());
+    }
+    let result = race.run(lanes, env.clone())?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "race on {}: {} lanes (eta {eta}), {} samples in {:.2}s",
+        result.env,
+        result.lanes.len(),
+        result.samples_used,
+        result.wall_seconds
+    );
+    for rung in &result.rungs {
+        let _ = writeln!(
+            out,
+            "  rung {}: {} lanes × {} samples/lane ({} workers/lane), eliminated {}",
+            rung.rung,
+            rung.lanes,
+            rung.slice,
+            rung.workers_per_lane,
+            rung.eliminated.len()
+        );
+    }
+    if let Some(ensemble) = &result.ensemble {
+        let members: Vec<&str> = ensemble
+            .members
+            .iter()
+            .map(|&lane| result.lanes[lane].name.as_str())
+            .collect();
+        let _ = writeln!(
+            out,
+            "  ensemble rung: {} voting on {} samples (best {:.6})",
+            members.join("+"),
+            ensemble.samples_used,
+            ensemble.best_reward
+        );
+    }
+    let _ = writeln!(out, "winner: {}", result.winner);
+    let _ = writeln!(out, "best reward: {:.6}", result.best_reward);
+    let labels = env.observation_labels();
+    for (label, value) in labels.iter().zip(&result.best_observation) {
+        let _ = writeln!(out, "  {label:<20} = {value:.6}");
+    }
+    let _ = writeln!(out, "best design:");
+    for (name, value) in env.space().decode(&result.best_action)? {
+        let _ = writeln!(out, "  {name:<34} = {value}");
+    }
+    write_target_line(&mut out, args, |t| result.samples_to_reach(t))?;
+    if let Some(prefix) = &journal_prefix {
+        let _ = writeln!(out, "journal prefix: {}", prefix.display());
+    }
+    if let Some(rec) = &telemetry {
+        if let Some(report) = rec.report() {
+            if let Some(path) = args.get("metrics") {
+                // Stable counters only (no timings, no job-dependent cache
+                // traffic): the file is byte-identical across reruns and
+                // `--jobs` settings, same discipline as `compare`.
+                std::fs::write(path, report.stable_json() + "\n")?;
+                let _ = writeln!(out, "telemetry:\n{}", report.human_table());
+                let _ = writeln!(out, "metrics: {path}");
+            }
+        }
+        if let Some(path) = args.get("trace") {
+            let _ = writeln!(out, "trace: {path}");
+        }
     }
     Ok(out)
 }
@@ -851,19 +1070,28 @@ fn submit(args: &Args) -> Result<String> {
         "search" => JobKind::Search,
         "sweep" => JobKind::Sweep,
         "compare" => JobKind::Compare,
+        "race" => JobKind::Race,
         other => {
             return Err(ArchGymError::InvalidConfig(format!(
-                "`--kind` expects search|sweep|compare, got `{other}`"
+                "`--kind` expects search|sweep|compare|race, got `{other}`"
             )))
         }
     };
+    // A race has no single agent — the daemon builds the full roster.
+    let agent = match kind {
+        JobKind::Race => "",
+        _ => args.get("agent").unwrap_or("ga"),
+    };
     let mut spec = JobSpec::search(
         args.require("env")?,
-        args.get("agent").unwrap_or("ga"),
+        agent,
         args.u64_or("budget", 1_000)?,
         args.u64_or("seed", 0)?,
     );
     spec.kind = kind;
+    spec.race_eta = args.u64_or("race-eta", 0)? as usize;
+    spec.race_cap = args.u64_or("race-cap", 0)? as usize;
+    spec.race_ensemble = args.bool_or("race-ensemble", false)?;
     if let Some(objective) = args.get("objective") {
         spec.objective = objective.to_owned();
     }

@@ -46,6 +46,11 @@ pub enum JobKind {
     Sweep,
     /// Several agents raced on one environment, one journaled run each.
     Compare,
+    /// The full agent × hyperparameter roster raced online under
+    /// successive halving on one shared budget
+    /// ([`Race`](crate::race::Race)); lanes journal per rung for
+    /// bit-identical crash resume.
+    Race,
 }
 
 impl JobKind {
@@ -55,6 +60,7 @@ impl JobKind {
             JobKind::Search => "search",
             JobKind::Sweep => "sweep",
             JobKind::Compare => "compare",
+            JobKind::Race => "race",
         }
     }
 
@@ -64,8 +70,9 @@ impl JobKind {
             "search" => Ok(JobKind::Search),
             "sweep" => Ok(JobKind::Sweep),
             "compare" => Ok(JobKind::Compare),
+            "race" => Ok(JobKind::Race),
             other => Err(ArchGymError::InvalidConfig(format!(
-                "unknown job kind '{other}' (expected search|sweep|compare)"
+                "unknown job kind '{other}' (expected search|sweep|compare|race)"
             ))),
         }
     }
@@ -161,6 +168,17 @@ pub struct JobSpec {
     /// Encoded only when nonzero, so specs from older clients decode
     /// unchanged.
     pub deadline_ms: u64,
+    /// Successive-halving elimination factor for `race` jobs; `0` means
+    /// the daemon default (3). Encoded only when nonzero.
+    pub race_eta: usize,
+    /// Hyperparameter configurations per agent family in a `race` job's
+    /// roster; `0` means the daemon default (4). Encoded only when
+    /// nonzero.
+    pub race_cap: usize,
+    /// Drive a `race` job's final rung with the reward-weighted
+    /// survivor ensemble instead of the solo winner. Encoded only when
+    /// `true`.
+    pub race_ensemble: bool,
 }
 
 impl JobSpec {
@@ -179,7 +197,18 @@ impl JobSpec {
             sweep_seeds: 3,
             proxy: None,
             deadline_ms: 0,
+            race_eta: 0,
+            race_cap: 0,
+            race_ensemble: false,
         }
+    }
+
+    /// A race-job spec over the default roster with the daemon's
+    /// defaults for the rest.
+    pub fn race(env: &str, budget: u64, seed: u64) -> JobSpec {
+        let mut spec = JobSpec::search(env, "", budget, seed);
+        spec.kind = JobKind::Race;
+        spec
     }
 
     /// Cheap structural validation, applied at admission time so malformed
@@ -191,8 +220,15 @@ impl JobSpec {
         if self.budget == 0 {
             return Err(ArchGymError::InvalidConfig("job budget is zero".into()));
         }
-        if self.kind != JobKind::Compare && self.agent.is_empty() {
+        // Compare and race jobs pick their own rosters; only single-agent
+        // kinds need an agent name.
+        if !matches!(self.kind, JobKind::Compare | JobKind::Race) && self.agent.is_empty() {
             return Err(ArchGymError::InvalidConfig("job agent is empty".into()));
+        }
+        if self.race_eta == 1 {
+            return Err(ArchGymError::InvalidConfig(
+                "race eta must be at least 2".into(),
+            ));
         }
         if self.kind == JobKind::Sweep && self.sweep_seeds == 0 {
             return Err(ArchGymError::InvalidConfig(
@@ -241,6 +277,17 @@ impl JobSpec {
         if let Some(policy) = &self.proxy {
             out.push_str(",\"proxy\":");
             out.push_str(&policy.encode());
+        }
+        if self.race_eta > 0 {
+            let _ =
+                fmt::Write::write_fmt(&mut out, format_args!(",\"race_eta\":{}", self.race_eta));
+        }
+        if self.race_cap > 0 {
+            let _ =
+                fmt::Write::write_fmt(&mut out, format_args!(",\"race_cap\":{}", self.race_cap));
+        }
+        if self.race_ensemble {
+            out.push_str(",\"race_ensemble\":true");
         }
         out.push('}');
         out
@@ -294,6 +341,14 @@ impl JobSpec {
                 .field("deadline_ms")
                 .and_then(Json::as_u64)
                 .unwrap_or(0),
+            // Tolerant decode: specs from pre-race clients lack the
+            // fields; absent means the daemon defaults.
+            race_eta: json.field("race_eta").and_then(Json::as_usize).unwrap_or(0),
+            race_cap: json.field("race_cap").and_then(Json::as_usize).unwrap_or(0),
+            race_ensemble: json
+                .field("race_ensemble")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
         })
     }
 
@@ -756,6 +811,36 @@ mod tests {
                       \"agent\":\"ga\",\"agents\":[],\"budget\":5000,\"seed\":7,\
                       \"batch\":0,\"eval_jobs\":1,\"sweep_seeds\":3}";
         assert_eq!(JobSpec::decode(legacy).expect("legacy decode"), plain);
+    }
+
+    #[test]
+    fn job_spec_race_fields_round_trip_and_stay_optional() {
+        let mut spec = JobSpec::race("dram/stream", 5000, 7);
+        spec.race_eta = 2;
+        spec.race_cap = 3;
+        spec.race_ensemble = true;
+        spec.validate().expect("race spec without agent is valid");
+        let text = spec.encode();
+        assert!(text.contains("\"kind\":\"race\""), "{text}");
+        assert!(text.contains("\"race_eta\":2"), "{text}");
+        assert!(text.contains("\"race_cap\":3"), "{text}");
+        assert!(text.contains("\"race_ensemble\":true"), "{text}");
+        let back = JobSpec::decode(&text).expect("decode");
+        assert_eq!(back, spec);
+        assert_eq!(back.encode(), text);
+        // At the defaults: the fields are absent, and a legacy line
+        // (without the fields) decodes to the defaults.
+        let plain = JobSpec::search("dram/stream", "ga", 5000, 7);
+        assert!(!plain.encode().contains("race_"), "{}", plain.encode());
+        let legacy = "{\"kind\":\"search\",\"env\":\"dram/stream\",\"objective\":\"\",\
+                      \"agent\":\"ga\",\"agents\":[],\"budget\":5000,\"seed\":7,\
+                      \"batch\":0,\"eval_jobs\":1,\"sweep_seeds\":3}";
+        assert_eq!(JobSpec::decode(legacy).expect("legacy decode"), plain);
+        // Degenerate eta is rejected at admission.
+        let mut bad = JobSpec::race("dram/stream", 5000, 7);
+        bad.race_eta = 1;
+        assert!(bad.validate().is_err());
+        assert_eq!(JobKind::parse("race").unwrap(), JobKind::Race);
     }
 
     #[test]

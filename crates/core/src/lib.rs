@@ -92,6 +92,7 @@ pub mod jobs;
 pub mod journal;
 pub mod pareto;
 pub mod pool;
+pub mod race;
 pub mod reward;
 pub mod screen;
 pub mod search;
@@ -113,6 +114,10 @@ pub use fault::{FaultKind, FaultPlan, FaultStats, FaultyEnv};
 pub use jobs::{Admission, JobId, JobKind, JobSpec, JobState, QuotaPolicy, Scheduler, Watchdog};
 pub use journal::{JournalHeader, JournalRecord, JournalStep, RunJournal, Snapshot};
 pub use pool::{BatchEvaluator, EnvPool};
+pub use race::{
+    rank_lanes, rung_schedule, EnsembleAgent, EnsembleOutcome, LaneOutcome, Race, RaceLane,
+    RaceResult, Rung, RungOutcome,
+};
 pub use reward::{BudgetTerm, Objective, RewardSpec};
 pub use screen::{select_admitted, ScreenPolicy, Screener};
 pub use search::{RetryPolicy, RunConfig, RunResult, SearchLoop};
@@ -149,6 +154,7 @@ pub mod prelude {
     pub use crate::fault::{FaultPlan, FaultStats, FaultyEnv};
     pub use crate::journal::RunJournal;
     pub use crate::pool::{BatchEvaluator, EnvPool};
+    pub use crate::race::{Race, RaceLane, RaceResult};
     pub use crate::reward::{BudgetTerm, Objective, RewardSpec};
     pub use crate::screen::{ScreenPolicy, Screener};
     pub use crate::search::{RetryPolicy, RunConfig, RunResult, SearchLoop};

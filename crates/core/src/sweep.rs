@@ -286,6 +286,14 @@ impl Sweep {
     }
 }
 
+/// Successive-halving survivor count: keep the top `1/eta` fraction of
+/// `candidates`, rounded up so at least one survives. This is the one
+/// elimination rule shared by [`SuccessiveHalving`] and the online
+/// racing scheduler ([`crate::race`]).
+pub fn halving_keep(candidates: usize, eta: usize) -> usize {
+    candidates.div_ceil(eta)
+}
+
 /// One elimination round of a successive-halving tune.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HalvingRound {
@@ -335,6 +343,7 @@ impl HalvingResult {
 pub struct SuccessiveHalving {
     initial_budget: u64,
     eta: usize,
+    total: Option<u64>,
     batch: usize,
     seed: u64,
     jobs: usize,
@@ -355,12 +364,32 @@ impl SuccessiveHalving {
         SuccessiveHalving {
             initial_budget,
             eta,
+            total: None,
             batch: 16,
             seed: 0,
             jobs: 1,
             batch_jobs: 1,
             cache: None,
         }
+    }
+
+    /// Pin the tune to an exact *total* sample budget, builder-style.
+    /// Per-round budgets are then derived from the racing layer's
+    /// [`rung_schedule`](crate::race::rung_schedule) instead of the
+    /// classic `initial_budget * eta^round` progression: the schedule
+    /// splits `total` over the elimination levels and — crucially —
+    /// routes any division remainder into the final winner-only round,
+    /// where the classic integer split silently dropped it. The tune
+    /// then consumes exactly `total` samples (whenever no agent stops
+    /// proposing early).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0`.
+    pub fn total_budget(mut self, total: u64) -> Self {
+        assert!(total > 0, "total budget must be positive");
+        self.total = Some(total);
+        self
     }
 
     /// Override the proposal batch size, builder-style.
@@ -428,6 +457,13 @@ impl SuccessiveHalving {
         let executor = Executor::new(self.jobs);
         let grid_size = candidates.len() as u64;
         let mut budget = self.initial_budget;
+        // Exact-total mode: per-round budgets come from the racing
+        // layer's rung schedule, which routes the division remainder to
+        // the final winner-only round instead of dropping it.
+        let schedule = self
+            .total
+            .map(|total| crate::race::rung_schedule(candidates.len(), self.eta, total));
+        let mut round_idx = 0usize;
         let mut rounds = Vec::new();
         let mut total_samples = 0u64;
         let mut env_name = String::new();
@@ -436,7 +472,11 @@ impl SuccessiveHalving {
         // current budget and keeps the top 1/eta; the loop exits by
         // yielding the final round's best run directly.
         let (winner_hyper, winner_result) = loop {
-            let round_config = RunConfig::with_budget(budget)
+            let round_budget = match &schedule {
+                Some(s) => s[round_idx].slice,
+                None => budget,
+            };
+            let round_config = RunConfig::with_budget(round_budget)
                 .batch(self.batch)
                 .record(false)
                 .jobs(self.batch_jobs);
@@ -460,20 +500,33 @@ impl SuccessiveHalving {
                     .expect("NaN reward")
             });
             rounds.push(HalvingRound {
-                budget,
+                budget: round_budget,
                 survivors: scored
                     .iter()
                     .map(|(h, r)| (h.clone(), r.best_reward))
                     .collect(),
             });
-            let keep = scored.len().div_ceil(self.eta);
-            scored.truncate(keep);
-            if scored.len() <= 1 {
-                break scored.remove(0);
+            match &schedule {
+                // Exact-total mode runs the solo winner round (which
+                // holds the remainder) before exiting.
+                Some(_) => {
+                    if scored.len() == 1 {
+                        break scored.remove(0);
+                    }
+                    scored.truncate(halving_keep(scored.len(), self.eta));
+                }
+                None => {
+                    scored.truncate(halving_keep(scored.len(), self.eta));
+                    if scored.len() <= 1 {
+                        break scored.remove(0);
+                    }
+                    budget *= self.eta as u64;
+                }
             }
             candidates = scored.into_iter().map(|(h, _)| h).collect();
-            budget *= self.eta as u64;
+            round_idx += 1;
         };
+        let final_budget = rounds.last().map_or(0, |r| r.budget);
 
         Ok(HalvingResult {
             agent: agent_name.to_owned(),
@@ -482,7 +535,7 @@ impl SuccessiveHalving {
             winner_result,
             rounds,
             total_samples,
-            flat_sweep_samples: grid_size * budget,
+            flat_sweep_samples: grid_size * final_budget,
         })
     }
 }
@@ -992,6 +1045,39 @@ mod tests {
     #[should_panic(expected = "eta must be at least 2")]
     fn successive_halving_panics_on_eta_one() {
         let _ = SuccessiveHalving::new(4, 1);
+    }
+
+    #[test]
+    fn total_budget_mode_spends_exactly_the_total_remainder_included() {
+        // 5 candidates, eta 2 → 3 elimination levels (5, 3, 2, 1 with
+        // div_ceil... schedule: 5→3→2→1, 4 levels). 1003 divides into
+        // none of them evenly; the classic per-round integer split
+        // would drop the remainder, the exact schedule must not.
+        let grid = HyperGrid::new().axis("restart", [0i64, 1, 2, 3, 4]);
+        let total = 1003;
+        let result = SuccessiveHalving::new(1, 2)
+            .total_budget(total)
+            .batch(8)
+            .run(
+                "rw",
+                &grid,
+                || PeakEnv::new(&[6, 6], vec![2, 4]),
+                |_h, s| {
+                    Ok(RandomWalker::new(
+                        PeakEnv::new(&[6, 6], vec![2, 4]).space().clone(),
+                        s,
+                    ))
+                },
+            )
+            .unwrap();
+        assert_eq!(result.total_samples, total, "remainder budget was dropped");
+        // The final round is the solo winner holding the remainder, so
+        // it is at least as large as every earlier per-candidate slice.
+        let budgets: Vec<u64> = result.rounds.iter().map(|r| r.budget).collect();
+        assert_eq!(result.rounds.last().unwrap().survivors.len(), 1);
+        for pair in budgets.windows(2) {
+            assert!(pair[1] >= pair[0], "round budgets must be monotone");
+        }
     }
 
     #[test]

@@ -118,11 +118,17 @@ pub enum Counter {
     ProxyRefits,
     /// Full-batch drift re-validations driven through the screen.
     ProxyRevalidations,
+    /// Lanes launched by a racing scheduler.
+    RaceLanesStarted,
+    /// Lanes eliminated at race rung boundaries.
+    RaceLanesEliminated,
+    /// Lanes promoted past a race rung boundary.
+    RaceLanesPromoted,
 }
 
 impl Counter {
     /// Every counter, in report order.
-    pub const ALL: [Counter; 24] = [
+    pub const ALL: [Counter; 27] = [
         Counter::SamplesSettled,
         Counter::SamplesReplayed,
         Counter::Batches,
@@ -147,6 +153,9 @@ impl Counter {
         Counter::ProxyAdmitted,
         Counter::ProxyRefits,
         Counter::ProxyRevalidations,
+        Counter::RaceLanesStarted,
+        Counter::RaceLanesEliminated,
+        Counter::RaceLanesPromoted,
     ];
 
     /// The counter's stable report key.
@@ -176,6 +185,9 @@ impl Counter {
             Counter::ProxyAdmitted => "proxy_admitted",
             Counter::ProxyRefits => "proxy_refits",
             Counter::ProxyRevalidations => "proxy_revalidations",
+            Counter::RaceLanesStarted => "race_lanes_started",
+            Counter::RaceLanesEliminated => "race_lanes_eliminated",
+            Counter::RaceLanesPromoted => "race_lanes_promoted",
         }
     }
 }
@@ -203,11 +215,13 @@ pub enum Phase {
     Simulate,
     /// One proxy screen pass: batch prediction + admission ranking.
     Proxy,
+    /// One full race rung: advance every live lane, rank, eliminate.
+    Race,
 }
 
 impl Phase {
     /// Every phase, in report order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::Propose,
         Phase::Evaluate,
         Phase::Settle,
@@ -217,6 +231,7 @@ impl Phase {
         Phase::ExecutorBatch,
         Phase::Simulate,
         Phase::Proxy,
+        Phase::Race,
     ];
 
     /// The phase's stable report key.
@@ -231,6 +246,7 @@ impl Phase {
             Phase::ExecutorBatch => "executor_batch",
             Phase::Simulate => "simulate",
             Phase::Proxy => "proxy",
+            Phase::Race => "race",
         }
     }
 }

@@ -109,6 +109,49 @@ fn trace_generation_golden() {
 }
 
 #[test]
+fn race_metrics_golden() {
+    // `search --auto --metrics` keeps only order-independent counters
+    // (cache traffic is job-dependent and filtered), so the file must
+    // be byte-identical to the committed golden across reruns and
+    // regardless of `--jobs`.
+    let golden = include_str!("golden/race_metrics.json");
+    for jobs in ["1", "4"] {
+        let dir = std::env::temp_dir().join("archgym-golden-metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("race-jobs{jobs}.json"));
+        let args = archgym_cli::Args::parse([
+            "search",
+            "--auto",
+            "true",
+            "--env",
+            "dram/stream",
+            "--objective",
+            "power:1.0",
+            "--budget",
+            "96",
+            "--seed",
+            "0",
+            "--batch",
+            "8",
+            "--roster-cap",
+            "2",
+            "--jobs",
+            jobs,
+            "--metrics",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        archgym_cli::run(&args).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            body, golden,
+            "search --auto --metrics drifted from the golden at jobs={jobs}"
+        );
+    }
+}
+
+#[test]
 fn compare_metrics_golden() {
     // `compare --metrics` keeps only order-independent counters, so the
     // file must be byte-identical to the committed golden regardless of
